@@ -1,0 +1,165 @@
+// Cost-model validation ablation: the Section 5.4.1 per-unit-time cost
+// model is only useful if its plan *rankings* agree with measured
+// runtimes. For the decisions DESIGN.md calls out -- execution strategy
+// on Query 1, the Query 5 rewriting choice, and the STR storage strategy
+// at low/high premature-expiration frequency -- this bench measures every
+// alternative, prints the model's estimate next to the measurement, and
+// reports whether the argmin agrees.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/optimizer.h"
+
+namespace upa {
+namespace {
+
+using bench_util::LblCatalog;
+using bench_util::LblTrace;
+using bench_util::TraceDurationFor;
+
+struct Alternative {
+  std::string name;
+  double estimated = 0.0;
+  double measured_ms = 0.0;
+};
+
+double Measure(const PlanNode& plan, ExecMode mode,
+               const PlannerOptions& options, const Trace& trace) {
+  auto pipeline = BuildPipeline(plan, mode, options);
+  return ReplayTrace(trace, pipeline.get()).ms_per_1000_tuples;
+}
+
+void Report(const std::string& decision, std::vector<Alternative> alts) {
+  size_t best_est = 0;
+  size_t best_meas = 0;
+  for (size_t i = 1; i < alts.size(); ++i) {
+    if (alts[i].estimated < alts[best_est].estimated) best_est = i;
+    if (alts[i].measured_ms < alts[best_meas].measured_ms) best_meas = i;
+  }
+  std::printf("\n== %s ==\n", decision.c_str());
+  for (const Alternative& a : alts) {
+    std::printf("  %-28s est. cost %12.1f   measured %8.3f ms/1k\n",
+                a.name.c_str(), a.estimated, a.measured_ms);
+  }
+  std::printf("  model argmin = %s, measured argmin = %s  -> %s\n",
+              alts[best_est].name.c_str(), alts[best_meas].name.c_str(),
+              best_est == best_meas ? "AGREE" : "DISAGREE");
+}
+
+PlanPtr Q1(Time window) {
+  auto side = [&](int link) {
+    return MakeSelect(
+        MakeWindow(MakeStream(link, LblSchema()), window),
+        {Predicate{kColProtocol, CmpOp::kEq, Value{int64_t{kProtoFtp}}}});
+  };
+  PlanPtr plan = MakeJoin(side(0), side(1), kColSrcIp, kColSrcIp);
+  AnnotatePatterns(plan.get());
+  return plan;
+}
+
+void ValidateStrategyChoice() {
+  const Time window = 20000;
+  PlanPtr plan = Q1(window);
+  const Catalog catalog = LblCatalog(2, 1000);
+  const Trace& trace = LblTrace(2, TraceDurationFor(window));
+  std::vector<Alternative> alts;
+  for (ExecMode mode :
+       {ExecMode::kNegativeTuple, ExecMode::kDirect, ExecMode::kUpa}) {
+    Alternative a;
+    a.name = ExecModeName(mode);
+    a.estimated = EstimatePlanCost(*plan, catalog, mode, {}).total;
+    a.measured_ms = Measure(*plan, mode, {}, trace);
+    alts.push_back(std::move(a));
+  }
+  Report("Query 1 (ftp, W=20000): execution strategy", std::move(alts));
+}
+
+void ValidateQ5Rewriting() {
+  const Time window = 5000;
+  auto sigma3 = [&]() {
+    return MakeSelect(
+        MakeWindow(MakeStream(2, LblSchema()), window),
+        {Predicate{kColProtocol, CmpOp::kEq, Value{int64_t{kProtoFtp}}}});
+  };
+  PlanPtr push_down = MakeJoin(
+      MakeNegate(MakeWindow(MakeStream(0, LblSchema()), window),
+                 MakeWindow(MakeStream(1, LblSchema()), window), kColSrcIp,
+                 kColSrcIp),
+      sigma3(), kColSrcIp, kColSrcIp);
+  AnnotatePatterns(push_down.get());
+  PlanPtr pull_up = RewriteNegationPullUp(*push_down);
+  AnnotatePatterns(pull_up.get());
+
+  const Catalog catalog = LblCatalog(3, 1000);
+  const Trace& trace = LblTrace(3, TraceDurationFor(window));
+  std::vector<Alternative> alts;
+  alts.push_back({"push-down",
+                  EstimatePlanCost(*push_down, catalog, ExecMode::kUpa, {}).total,
+                  Measure(*push_down, ExecMode::kUpa, {}, trace)});
+  alts.push_back({"pull-up",
+                  EstimatePlanCost(*pull_up, catalog, ExecMode::kUpa, {}).total,
+                  Measure(*pull_up, ExecMode::kUpa, {}, trace)});
+  Report("Query 5 (W=5000, UPA): negation placement", std::move(alts));
+}
+
+void ValidateStrStorage(double overlap) {
+  const Time window = 10000;
+  auto src = [&](int link) {
+    return MakeProject(MakeWindow(MakeStream(link, LblSchema()), window),
+                       {kColSrcIp});
+  };
+  PlanPtr plan = MakeNegate(src(0), src(1), 0, 0);
+  AnnotatePatterns(plan.get());
+
+  Catalog catalog = LblCatalog(2, 1000);
+  catalog.value_overlap[{{0, kColSrcIp}, {1, kColSrcIp}}] = overlap;
+  Trace trace = LblTrace(2, TraceDurationFor(window));
+  Rng rng(13);
+  for (TraceEvent& e : trace.events) {
+    if (e.stream == 1 && !rng.NextBool(overlap)) {
+      e.tuple.fields[kColSrcIp] =
+          Value{AsInt(e.tuple.fields[kColSrcIp]) + 1'000'000};
+    }
+  }
+  const double premature = EstimatePrematureFrequency(*plan, catalog);
+
+  std::vector<Alternative> alts;
+  for (StrStrategy strategy :
+       {StrStrategy::kPartitioned, StrStrategy::kNegativeTuples}) {
+    PlannerOptions options;
+    options.str_strategy = strategy;
+    Alternative a;
+    a.name = strategy == StrStrategy::kPartitioned ? "partitioned-view"
+                                                   : "negative/hash-view";
+    // The cost model folds the strategy choice into the premature
+    // frequency: the partitioned view's cost grows with the premature
+    // share while the hash view's stays flat at the calibrated threshold.
+    a.estimated = strategy == StrStrategy::kPartitioned
+                      ? premature
+                      : kPrematureFrequencyThreshold;
+    a.measured_ms = Measure(*plan, ExecMode::kUpa, options, trace);
+    alts.push_back(std::move(a));
+  }
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "Query 3 STR storage at overlap %.2f (premature freq %.2f)",
+                overlap, premature);
+  Report(title, std::move(alts));
+}
+
+}  // namespace
+}  // namespace upa
+
+int main() {
+  std::printf("Cost-model validation: does the Section 5.4.1 model rank "
+              "alternatives the way measurements do?\n");
+  upa::ValidateStrategyChoice();
+  upa::ValidateQ5Rewriting();
+  upa::ValidateStrStorage(0.0);
+  upa::ValidateStrStorage(1.0);
+  return 0;
+}

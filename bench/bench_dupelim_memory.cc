@@ -1,0 +1,47 @@
+// Experiment E7: the space claim of the delta duplicate-elimination
+// operator (Section 5.3.1): "instead of storing both the input and the
+// output, the space requirement of delta is at most twice the size of the
+// output" -- which is never larger than the input, so delta strictly
+// saves memory on duplicate-heavy streams.
+//
+// Runs Query 2 (distinct sources) under UPA (delta) versus DIRECT and NT
+// (classic input+output implementation) and reports the peak stored
+// tuples and bytes. The duplicate ratio is controlled through the source
+// domain size: fewer sources = more duplicates = bigger delta advantage.
+
+#include "bench/bench_util.h"
+
+namespace upa {
+namespace {
+
+using bench_util::LblTrace;
+using bench_util::ModeOf;
+using bench_util::RunQuery;
+using bench_util::TraceDurationFor;
+
+void BM_DupelimMemory(benchmark::State& state) {
+  const Time window = 20000;
+  const int sources = static_cast<int>(state.range(0));
+  const ExecMode mode = ModeOf(state.range(1));
+  PlanPtr plan = MakeDistinct(
+      MakeProject(MakeWindow(MakeStream(0, LblSchema()), window),
+                  {kColSrcIp}),
+      {0});
+  AnnotatePatterns(plan.get());
+  const Trace& trace = LblTrace(1, TraceDurationFor(window), sources);
+  RunQuery(state, *plan, mode, {}, trace);
+  state.counters["sources"] = sources;
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int sources : {100, 1000, 10000}) {
+    for (int mode = 0; mode < 3; ++mode) b->Args({sources, mode});
+  }
+}
+
+BENCHMARK(BM_DupelimMemory)->Apply(Args)->UseManualTime()->Iterations(1);
+
+}  // namespace
+}  // namespace upa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Experiment E9 (extension ablation): the IndexedBuffer grid -- state
+// that is simultaneously hash-indexed on the probe attribute and
+// partitioned by expiration time (see state/indexed_buffer.h). This goes
+// beyond the SIGMOD'05 design in the direction of the authors' companion
+// report on indexing the results of sliding window queries.
+//
+// The index pays off when probe cost dominates (it does nothing for the
+// result-view maintenance the other experiments stress), so the query
+// correlates the two links on the *payload size* -- a wide-domain
+// attribute where matches are rare: nearly all of the per-arrival cost is
+// the probe of the other link's full window state. Expected shape:
+// UPA-scan grows linearly with the window (O(W) scan per arrival) while
+// UPA-indexed stays flat (one hash column of the grid per probe).
+
+#include "bench/bench_util.h"
+
+namespace upa {
+namespace {
+
+using bench_util::LblTrace;
+using bench_util::RunQuery;
+using bench_util::TraceDurationFor;
+
+void BM_IndexedState(benchmark::State& state) {
+  const Time window = state.range(0);
+  const bool indexed = state.range(1) == 1;
+  auto side = [&](int link) {
+    return MakeWindow(MakeStream(link, LblSchema()), window);
+  };
+  PlanPtr plan = MakeJoin(side(0), side(1), kColPayload, kColPayload);
+  AnnotatePatterns(plan.get());
+  PlannerOptions options;
+  options.index_probed_state = indexed;
+  const Trace& trace = LblTrace(2, TraceDurationFor(window));
+  RunQuery(state, *plan, ExecMode::kUpa, options, trace);
+  state.SetLabel(indexed ? "UPA-indexed" : "UPA-scan");
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (Time w : {2000, 5000, 10000, 20000}) {
+    for (int indexed = 0; indexed < 2; ++indexed) b->Args({w, indexed});
+  }
+}
+
+BENCHMARK(BM_IndexedState)->Apply(Args)->UseManualTime()->Iterations(1);
+
+}  // namespace
+}  // namespace upa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Experiment E8: the lazy expiration interval parameter (Section 6.1:
+// "the lazy expiration interval is set to five percent of the window
+// size. Increasing this interval gives slightly better performance").
+//
+// Runs the Query 1 (ftp) plan under UPA, sweeping the interval from 1% to
+// 50% of the window. Expected shape: execution time decreases mildly with
+// a longer interval (fewer physical purges of the lazily maintained join
+// state), while the peak state size grows (expired tuples linger longer).
+
+#include "bench/bench_util.h"
+
+namespace upa {
+namespace {
+
+using bench_util::LblTrace;
+using bench_util::RunQuery;
+using bench_util::TraceDurationFor;
+
+void BM_LazyInterval(benchmark::State& state) {
+  const Time window = 20000;
+  auto side = [&](int link) {
+    return MakeSelect(
+        MakeWindow(MakeStream(link, LblSchema()), window),
+        {Predicate{kColProtocol, CmpOp::kEq, Value{int64_t{kProtoFtp}}}});
+  };
+  PlanPtr plan = MakeJoin(side(0), side(1), kColSrcIp, kColSrcIp);
+  AnnotatePatterns(plan.get());
+  PlannerOptions options;
+  options.lazy_fraction = static_cast<double>(state.range(0)) / 100.0;
+  const Trace& trace = LblTrace(2, TraceDurationFor(window));
+  RunQuery(state, *plan, ExecMode::kUpa, options, trace);
+  state.counters["lazy_pct"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_LazyInterval)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)
+    ->UseManualTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace upa
+
+BENCHMARK_MAIN();

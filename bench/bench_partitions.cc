@@ -1,0 +1,52 @@
+// Experiment E6: the number-of-partitions parameter of the partitioned
+// state buffer (Section 5.3.2 / Figure 7): "adding more partitions
+// improves insertion and deletion times (there is less state to scan),
+// but increases the space requirements as each partition is stored as a
+// separate structure."
+//
+// Runs the Query 1 (ftp) plan under UPA at a fixed window, sweeping the
+// partition count. Expected shape: execution time falls steeply from
+// P=1 (a single sorted list, scanned on every insertion) and flattens;
+// reported state bytes grow with P.
+
+#include "bench/bench_util.h"
+
+namespace upa {
+namespace {
+
+using bench_util::LblTrace;
+using bench_util::RunQuery;
+using bench_util::TraceDurationFor;
+
+void BM_Partitions(benchmark::State& state) {
+  const Time window = 20000;
+  auto side = [&](int link) {
+    return MakeSelect(
+        MakeWindow(MakeStream(link, LblSchema()), window),
+        {Predicate{kColProtocol, CmpOp::kEq, Value{int64_t{kProtoFtp}}}});
+  };
+  PlanPtr plan = MakeJoin(side(0), side(1), kColSrcIp, kColSrcIp);
+  AnnotatePatterns(plan.get());
+  PlannerOptions options;
+  options.num_partitions = static_cast<int>(state.range(0));
+  const Trace& trace = LblTrace(2, TraceDurationFor(window));
+  RunQuery(state, *plan, ExecMode::kUpa, options, trace);
+  state.counters["partitions"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_Partitions)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(500)
+    ->UseManualTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace upa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Experiment E3 (paper Query 3): negation of two outgoing links on the
+// source address -- which sources used link 0 but not link 1? Tests the
+// two storage choices for strict non-monotonic results (Section 5.3.2):
+// the partitioned structure with scan-on-negative deletion versus the
+// negative tuple approach with a hash table on the negation attribute
+// (the Section 5.4.3 hybrid, here with negation at the root).
+//
+// The premature-expiration frequency is controlled by shifting a fraction
+// of link 1's source addresses into a disjoint range: overlap 1.0 means
+// most answer deletions are premature (an arrival on link 1 kills an
+// answer tuple); overlap 0.0 means none ever are. The expected crossover:
+// the hash/negative choice wins at high overlap, the partitioned/direct
+// choice wins at low overlap -- exactly the decision the cost model's
+// EstimatePrematureFrequency drives.
+
+#include "bench/bench_util.h"
+
+#include "common/rng.h"
+
+namespace upa {
+namespace {
+
+using bench_util::LblTrace;
+using bench_util::ModeOf;
+using bench_util::RunQuery;
+using bench_util::TraceDurationFor;
+
+PlanPtr Query3(Time window) {
+  auto src = [&](int link) {
+    return MakeProject(MakeWindow(MakeStream(link, LblSchema()), window),
+                       {kColSrcIp});
+  };
+  PlanPtr plan = MakeNegate(src(0), src(1), 0, 0);
+  AnnotatePatterns(plan.get());
+  return plan;
+}
+
+/// Rewrites a fraction of link-1 source addresses into a disjoint range.
+Trace WithOverlap(const Trace& base, double overlap, uint64_t seed) {
+  Rng rng(seed);
+  Trace out = base;
+  for (TraceEvent& e : out.events) {
+    if (e.stream == 1 && !rng.NextBool(overlap)) {
+      e.tuple.fields[kColSrcIp] =
+          Value{AsInt(e.tuple.fields[kColSrcIp]) + 1'000'000};
+    }
+  }
+  return out;
+}
+
+void BM_Q3_ModeSweep(benchmark::State& state) {
+  const Time window = state.range(0);
+  const ExecMode mode = ModeOf(state.range(1));
+  PlanPtr plan = Query3(window);
+  const Trace& trace = LblTrace(2, TraceDurationFor(window));
+  RunQuery(state, *plan, mode, {}, trace);
+}
+
+void BM_Q3_StrStrategy(benchmark::State& state) {
+  // UPA with the two STR storage strategies, sweeping the value overlap.
+  const double overlap = static_cast<double>(state.range(0)) / 100.0;
+  const Time window = 10000;
+  PlanPtr plan = Query3(window);
+  const Trace trace =
+      WithOverlap(LblTrace(2, TraceDurationFor(window)), overlap, 7);
+  PlannerOptions options;
+  options.str_strategy = state.range(1) == 0 ? StrStrategy::kPartitioned
+                                             : StrStrategy::kNegativeTuples;
+  RunQuery(state, *plan, ExecMode::kUpa, options, trace);
+  state.SetLabel(state.range(1) == 0 ? "UPA-partitioned" : "UPA-negative");
+  state.counters["overlap"] = overlap;
+}
+
+void ModeArgs(benchmark::internal::Benchmark* b) {
+  for (Time w : {1000, 2000, 5000, 10000}) {
+    for (int mode = 0; mode < 3; ++mode) b->Args({w, mode});
+  }
+}
+
+void OverlapArgs(benchmark::internal::Benchmark* b) {
+  for (int overlap_pct : {0, 25, 50, 75, 100}) {
+    for (int strategy = 0; strategy < 2; ++strategy) {
+      b->Args({overlap_pct, strategy});
+    }
+  }
+}
+
+BENCHMARK(BM_Q3_ModeSweep)->Apply(ModeArgs)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Q3_StrStrategy)->Apply(OverlapArgs)->UseManualTime()->Iterations(1);
+
+}  // namespace
+}  // namespace upa
+
+BENCHMARK_MAIN();

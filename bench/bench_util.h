@@ -1,0 +1,120 @@
+#ifndef UPA_BENCH_BENCH_UTIL_H_
+#define UPA_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "core/cost_model.h"
+#include "core/logical_plan.h"
+#include "core/physical_planner.h"
+#include "exec/replay.h"
+#include "workload/lbl_generator.h"
+
+namespace upa {
+namespace bench_util {
+
+/// The experiments replay, per Section 6.1, a fixed-rate trace whose
+/// length scales with the window size so that the windows fill and then
+/// slide for at least twice their span.
+inline Time TraceDurationFor(Time window) {
+  return std::max<Time>(3 * window, 6000);
+}
+
+/// Cached trace generation (several benchmarks share the same trace).
+inline const Trace& LblTrace(int links, Time duration, int sources = 1000,
+                             uint64_t seed = 42) {
+  struct Key {
+    int links;
+    Time duration;
+    int sources;
+    uint64_t seed;
+    bool operator<(const Key& o) const {
+      return std::tie(links, duration, sources, seed) <
+             std::tie(o.links, o.duration, o.sources, o.seed);
+    }
+  };
+  static std::map<Key, Trace>* cache = new std::map<Key, Trace>();
+  const Key key{links, duration, sources, seed};
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    LblTraceConfig cfg;
+    cfg.num_links = links;
+    cfg.duration = duration;
+    cfg.num_sources = sources;
+    cfg.seed = seed;
+    it = cache->emplace(key, GenerateLblTrace(cfg)).first;
+  }
+  return it->second;
+}
+
+/// Catalog matching the generator's statistics, for optimizer benches.
+inline Catalog LblCatalog(int links, int sources) {
+  Catalog catalog;
+  for (int s = 0; s < links; ++s) {
+    StreamStats stats;
+    stats.rate = 1.0;
+    stats.columns[kColSrcIp].distinct = sources;
+    stats.columns[kColProtocol].distinct = 5;
+    stats.columns[kColProtocol].value_freq[Value{int64_t{kProtoFtp}}] = 0.03;
+    stats.columns[kColProtocol].value_freq[Value{int64_t{kProtoTelnet}}] =
+        0.30;
+    catalog.streams[s] = stats;
+  }
+  return catalog;
+}
+
+/// Replays `trace` through a fresh pipeline for `plan` and reports the
+/// paper's metric (execution time per 1000 tuples) plus state/result
+/// counters through the google-benchmark counter mechanism. Call from a
+/// benchmark body with ->UseManualTime()->Iterations(1).
+inline void RunQuery(benchmark::State& state, const PlanNode& plan,
+                     ExecMode mode, const PlannerOptions& options,
+                     const Trace& trace) {
+  for (auto _ : state) {
+    auto pipeline = BuildPipeline(plan, mode, options);
+    const ReplayMetrics m = ReplayTrace(trace, pipeline.get());
+    state.SetIterationTime(m.wall_seconds);
+    state.counters["ms_per_1k"] = m.ms_per_1000_tuples;
+    state.counters["results"] =
+        static_cast<double>(pipeline->view().Size());
+    state.counters["neg_tuples"] =
+        static_cast<double>(m.stats.negatives_delivered);
+    state.counters["state_KB"] =
+        static_cast<double>(m.max_state_bytes) / 1024.0;
+    state.counters["state_tuples"] =
+        static_cast<double>(m.max_state_tuples);
+  }
+  state.SetLabel(ExecModeName(mode));
+}
+
+/// Window-size sweep used across the experiments (Section 6.1: windows of
+/// 2,000 to 200,000 time units at ~1 tuple per link per time unit). The
+/// sweep is trimmed at the top relative to the paper because the DIRECT
+/// baseline's sequential scans are quadratic in the window size -- by
+/// W=20,000 the orderings and growth trends are unambiguous, and pushing
+/// further only multiplies the DIRECT runtime (at W=50,000 a single
+/// DIRECT run of Query 1 takes minutes while UPA stays in milliseconds).
+inline const std::vector<Time>& WindowSweep() {
+  static const std::vector<Time>* sweep =
+      new std::vector<Time>{2000, 5000, 10000, 20000};
+  return *sweep;
+}
+
+inline ExecMode ModeOf(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return ExecMode::kNegativeTuple;
+    case 1:
+      return ExecMode::kDirect;
+    default:
+      return ExecMode::kUpa;
+  }
+}
+
+}  // namespace bench_util
+}  // namespace upa
+
+#endif  // UPA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,72 @@
+// Strict non-monotonic alerting: "sources that used link 0 but not link 1
+// in the last W time units" -- the paper's Query 3 (negation), run both
+// with the direct/partitioned strategy and with the hybrid negative-tuple
+// strategy of Section 5.4.3, which the planner selects when premature
+// expirations dominate.
+
+#include <cstdio>
+
+#include "core/cost_model.h"
+#include "core/logical_plan.h"
+#include "core/physical_planner.h"
+#include "exec/replay.h"
+#include "ops/negation.h"
+#include "workload/lbl_generator.h"
+
+int main() {
+  using namespace upa;
+
+  LblTraceConfig cfg;
+  cfg.num_links = 2;
+  cfg.duration = 15000;
+  cfg.num_sources = 400;
+  const Trace trace = GenerateLblTrace(cfg);
+  const Time window = 600;
+
+  auto src = [&](int link) {
+    return MakeProject(MakeWindow(MakeStream(link, LblSchema()), window),
+                       {kColSrcIp});
+  };
+  PlanPtr plan = MakeNegate(src(0), src(1), 0, 0);
+  AnnotatePatterns(plan.get());
+  std::printf("alert query:\n%s\n", plan->ToString().c_str());
+
+  // The cost model predicts how often answers die prematurely (an arrival
+  // on link 1 kills an alert before its window expiry), which drives the
+  // Section 5.4.3 storage choice for STR results.
+  Catalog catalog;
+  for (int s : {0, 1}) {
+    StreamStats stats;
+    stats.rate = 1.0;
+    stats.columns[kColSrcIp].distinct = cfg.num_sources;
+    catalog.streams[s] = stats;
+  }
+  std::printf("estimated premature-expiration frequency: %.2f\n\n",
+              EstimatePrematureFrequency(*plan, catalog));
+
+  for (StrStrategy strategy :
+       {StrStrategy::kPartitioned, StrStrategy::kNegativeTuples}) {
+    PlannerOptions options;
+    options.str_strategy = strategy;
+    auto pipeline = BuildPipeline(*plan, ExecMode::kUpa, options);
+    const ReplayMetrics m = ReplayTrace(trace, pipeline.get());
+    const NegationOp* negation = nullptr;
+    for (int i = 0; i < pipeline->num_operators(); ++i) {
+      negation = dynamic_cast<const NegationOp*>(&pipeline->op(i));
+      if (negation != nullptr) break;
+    }
+    std::printf(
+        "%-28s %7.3f ms / 1000 tuples | live alerts %zu | premature "
+        "negatives %llu\n",
+        strategy == StrStrategy::kPartitioned
+            ? "partitioned view (direct)"
+            : "hybrid negative-tuple view",
+        m.ms_per_1000_tuples, pipeline->view().Size(),
+        static_cast<unsigned long long>(negation->premature_negatives()));
+  }
+
+  std::printf(
+      "\nBoth strategies maintain the identical alert set; the paper's E3\n"
+      "experiment sweeps the value-domain overlap to find their crossover.\n");
+  return 0;
+}

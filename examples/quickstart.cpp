@@ -1,0 +1,72 @@
+// Quickstart: build a continuous query, annotate it with update patterns,
+// compile it for each execution strategy, and run it over a synthetic
+// traffic trace.
+//
+//   $ ./quickstart
+//
+// The query is the paper's Figure 1 scenario: join two outgoing links on
+// the source address, keeping only ftp connections, over 500-time-unit
+// sliding windows, and materialize the result.
+
+#include <cstdio>
+
+#include "core/logical_plan.h"
+#include "core/optimizer.h"
+#include "core/physical_planner.h"
+#include "exec/replay.h"
+#include "workload/lbl_generator.h"
+
+int main() {
+  using namespace upa;
+
+  // 1. Generate a workload: an LBL-style TCP connection trace split into
+  //    two logical streams by outgoing link (one tuple per link per time
+  //    unit; schema: duration, protocol, payload, src_ip, dst_ip).
+  LblTraceConfig cfg;
+  cfg.num_links = 2;
+  cfg.duration = 20000;
+  cfg.num_sources = 500;
+  const Trace trace = GenerateLblTrace(cfg);
+
+  // 2. Describe the continuous query as a logical plan.
+  const Time window = 500;
+  auto link = [&](int id) {
+    return MakeSelect(
+        MakeWindow(MakeStream(id, LblSchema()), window),
+        {Predicate{kColProtocol, CmpOp::kEq, Value{int64_t{kProtoFtp}}}});
+  };
+  PlanPtr plan = MakeJoin(link(0), link(1), kColSrcIp, kColSrcIp);
+
+  // 3. Annotate every edge with its update pattern (Section 5.2).
+  AnnotatePatterns(plan.get());
+  std::printf("Annotated plan:\n%s\n", plan->ToString().c_str());
+
+  // 4. Compile and run under each execution strategy; the answers are
+  //    identical, the costs are not.
+  for (ExecMode mode :
+       {ExecMode::kNegativeTuple, ExecMode::kDirect, ExecMode::kUpa}) {
+    auto pipeline = BuildPipeline(*plan, mode);
+    const ReplayMetrics m = ReplayTrace(trace, pipeline.get());
+    std::printf(
+        "%-7s  %7.3f ms / 1000 tuples   results in view: %zu   "
+        "negative tuples processed: %llu\n",
+        ExecModeName(mode).c_str(), m.ms_per_1000_tuples,
+        pipeline->view().Size(),
+        static_cast<unsigned long long>(m.stats.negatives_delivered));
+  }
+
+  // 5. Ask the optimizer what it thinks of the plan (Section 5.4).
+  Catalog catalog;
+  for (int s : {0, 1}) {
+    StreamStats stats;
+    stats.rate = 1.0;
+    stats.columns[kColSrcIp].distinct = cfg.num_sources;
+    stats.columns[kColProtocol].distinct = 5;
+    stats.columns[kColProtocol].value_freq[Value{int64_t{kProtoFtp}}] = 0.03;
+    catalog.streams[s] = stats;
+  }
+  const OptimizedPlan best = Optimize(*plan, catalog, ExecMode::kUpa);
+  std::printf("\nOptimizer-estimated cost of the chosen plan: %.1f\n",
+              best.cost);
+  return 0;
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Replaces the RESULTS_* placeholders in EXPERIMENTS.md with formatted
+tables extracted from bench_output.txt. Idempotent only on a fresh
+template; intended to be run once per regeneration:
+
+    scripts/format_results.py is used as a library here.
+"""
+import re
+import sys
+
+sys.path.insert(0, "scripts")
+import format_results  # noqa: E402
+
+FAMS = {
+    "RESULTS_E1": ["BM_Q1_Ftp", "BM_Q1_Telnet"],
+    "RESULTS_E2": ["BM_Q2_DistinctSources", "BM_Q2_DistinctPairs"],
+    "RESULTS_E3": ["BM_Q3_ModeSweep", "BM_Q3_StrStrategy"],
+    "RESULTS_E4": ["BM_Q4"],
+    "RESULTS_E5": ["BM_Q5"],
+    "RESULTS_E6": ["BM_Partitions"],
+    "RESULTS_E7": ["BM_DupelimMemory"],
+    "RESULTS_E8": ["BM_LazyInterval"],
+    "RESULTS_E9": ["BM_IndexedState"],
+}
+
+
+def tables(path):
+    """Returns {family: formatted table string} from the raw bench file."""
+    import io
+    from contextlib import redirect_stdout
+
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        format_results.main(path)
+    out = {}
+    current = None
+    for line in buf.getvalue().splitlines():
+        if line.startswith("### "):
+            current = line[4:]
+            out[current] = []
+        elif current is not None:
+            out[current].append(line)
+    return {k: "\n".join(v).rstrip() for k, v in out.items()}
+
+
+def main():
+    bench = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    t = tables(bench)
+    with open("EXPERIMENTS.md") as f:
+        text = f.read()
+    for placeholder, fams in FAMS.items():
+        blocks = []
+        for fam in fams:
+            if fam in t:
+                blocks.append("```\n" + fam + "\n" + t[fam] + "\n```")
+            else:
+                blocks.append("```\n" + fam + ": (not present in " + bench +
+                              ")\n```")
+        text = text.replace(placeholder, "\n\n".join(blocks))
+    # Cost-model validation is plain text, not benchmark rows.
+    cost = []
+    keep = False
+    with open(bench, errors="replace") as f:
+        for line in f:
+            if line.startswith("=== bench_cost_model"):
+                keep = True
+                continue
+            if keep and line.startswith("==="):
+                break
+            if keep and (line.startswith("==") or "est. cost" in line or
+                         "argmin" in line):
+                cost.append(line.rstrip())
+    text = text.replace("RESULTS_COST", "```\n" + "\n".join(cost) + "\n```")
+    with open("EXPERIMENTS.md", "w") as f:
+        f.write(text)
+    print("EXPERIMENTS.md filled.")
+
+
+if __name__ == "__main__":
+    main()

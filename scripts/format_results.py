@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Formats raw google-benchmark rows (bench_output.txt) into the compact
+per-experiment tables embedded in EXPERIMENTS.md.
+
+Usage: scripts/format_results.py bench_output.txt
+Prints one markdown-ish table per benchmark family to stdout.
+"""
+import re
+import sys
+from collections import defaultdict
+
+ROW = re.compile(
+    r"^(?P<name>BM_\S+?)/(?P<args>[\d/]+)/iterations:1/manual_time\s+"
+    r"(?P<time>[\d.e+]+) ns.*?ms_per_1k=(?P<ms>[\d.]+k?)")
+COUNTER = re.compile(r"(\w+)=([\d.]+k?|[\d.e+]+)")
+
+
+def expand(v: str) -> float:
+    if v.endswith("k"):
+        return float(v[:-1]) * 1000.0
+    return float(v)
+
+
+def main(path: str) -> None:
+    families = defaultdict(list)
+    label_re = re.compile(r"\b(NT|DIRECT|UPA[\w-]*|push-down/\S+|pull-up/\S+)\s*$")
+    with open(path, errors="replace") as f:
+        for line in f:
+            m = ROW.match(line.strip())
+            if not m:
+                continue
+            counters = dict(COUNTER.findall(line))
+            label = label_re.search(line.strip())
+            families[m.group("name")].append({
+                "args": m.group("args"),
+                "ms_per_1k": expand(m.group("ms")),
+                "label": label.group(1) if label else "",
+                "counters": counters,
+            })
+    for name, rows in families.items():
+        print(f"### {name}")
+        print(f"{'args':>14} {'label':>28} {'ms/1k':>12} "
+              f"{'results':>9} {'state_KB':>10}")
+        for r in rows:
+            results = expand(r["counters"].get("results", "0"))
+            state = expand(r["counters"].get("state_KB", "0"))
+            print(f"{r['args']:>14} {r['label']:>28} "
+                  f"{r['ms_per_1k']:>12.3f} {results:>9.0f} {state:>10.0f}")
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")

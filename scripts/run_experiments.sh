@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every experiment of EXPERIMENTS.md (one benchmark binary per
+# paper table/figure) and captures the raw rows into bench_output.txt.
+set -u
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja && cmake --build build || exit 1
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  echo "=== $(basename "$b") ===" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done

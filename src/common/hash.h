@@ -1,0 +1,24 @@
+#ifndef UPA_COMMON_HASH_H_
+#define UPA_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace upa {
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer used to hash
+/// field values and to combine hashes across columns.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent hash combiner (boost-style).
+inline uint64_t HashCombine(uint64_t seed, uint64_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace upa
+
+#endif  // UPA_COMMON_HASH_H_

@@ -1,0 +1,32 @@
+#include "common/key.h"
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace upa {
+
+Key ExtractKey(const Tuple& t, const std::vector<int>& cols) {
+  Key key;
+  key.reserve(cols.size());
+  for (int c : cols) {
+    UPA_DCHECK(c >= 0 && static_cast<size_t>(c) < t.fields.size());
+    key.push_back(t.fields[static_cast<size_t>(c)]);
+  }
+  return key;
+}
+
+bool KeyEquals(const Tuple& t, const std::vector<int>& cols, const Key& key) {
+  UPA_DCHECK(cols.size() == key.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (t.fields[static_cast<size_t>(cols[i])] != key[i]) return false;
+  }
+  return true;
+}
+
+size_t KeyHash::operator()(const Key& k) const {
+  uint64_t h = 0x243f6a8885a308d3ULL;
+  for (const Value& v : k) h = HashCombine(h, HashValue(v));
+  return static_cast<size_t>(h);
+}
+
+}  // namespace upa

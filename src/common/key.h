@@ -1,0 +1,27 @@
+#ifndef UPA_COMMON_KEY_H_
+#define UPA_COMMON_KEY_H_
+
+#include <vector>
+
+#include "common/tuple.h"
+
+namespace upa {
+
+/// A (possibly multi-column) key extracted from a tuple, e.g. the distinct
+/// key of duplicate elimination or a group-by label.
+using Key = std::vector<Value>;
+
+/// Extracts the values of `cols` from `t`, in order.
+Key ExtractKey(const Tuple& t, const std::vector<int>& cols);
+
+/// True when `t` matches `key` on `cols`.
+bool KeyEquals(const Tuple& t, const std::vector<int>& cols, const Key& key);
+
+/// Hash functor so Key can index unordered containers.
+struct KeyHash {
+  size_t operator()(const Key& k) const;
+};
+
+}  // namespace upa
+
+#endif  // UPA_COMMON_KEY_H_

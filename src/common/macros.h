@@ -1,0 +1,37 @@
+#ifndef UPA_COMMON_MACROS_H_
+#define UPA_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts the process with a message when `cond` is false. Used for
+/// programming-error invariants on library paths (the library does not use
+/// exceptions).
+#define UPA_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "UPA_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Like UPA_CHECK but compiled out in release (NDEBUG) builds. Use on hot
+/// paths where the invariant is internal to a single module.
+#ifdef NDEBUG
+#define UPA_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define UPA_DCHECK(cond) UPA_CHECK(cond)
+#endif
+
+/// Aborts with a formatted message; for unreachable code paths.
+#define UPA_FATAL(msg)                                                  \
+  do {                                                                  \
+    std::fprintf(stderr, "UPA_FATAL at %s:%d: %s\n", __FILE__, __LINE__, \
+                 (msg));                                                \
+    std::abort();                                                       \
+  } while (0)
+
+#endif  // UPA_COMMON_MACROS_H_

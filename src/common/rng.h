@@ -1,0 +1,55 @@
+#ifndef UPA_COMMON_RNG_H_
+#define UPA_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace upa {
+
+/// Deterministic xoshiro256** pseudo-random generator. Workload generation
+/// and property tests need reproducible randomness across platforms, so the
+/// library does not rely on std::mt19937's distribution implementations
+/// (which are unspecified for std::*_distribution).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). UPA_DCHECKs n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over {0, 1, ..., n-1} using precomputed inverse-CDF
+/// tables. Rank 0 is the most popular item. Used to give the synthetic
+/// trace the skewed source-address popularity of real packet traces.
+class ZipfSampler {
+ public:
+  /// `n` items, exponent `s` (s = 0 degenerates to uniform).
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace upa
+
+#endif  // UPA_COMMON_RNG_H_

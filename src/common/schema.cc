@@ -1,0 +1,58 @@
+#include "common/schema.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+const Field& Schema::field(int i) const {
+  UPA_CHECK(i >= 0 && i < num_fields());
+  return fields_[static_cast<size_t>(i)];
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_fields(); ++i) {
+    if (fields_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return -1;
+}
+
+int Schema::MustIndexOf(const std::string& name) const {
+  const int i = IndexOf(name);
+  UPA_CHECK(i >= 0);
+  return i;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right,
+                      const std::string& suffix) {
+  std::vector<Field> fields = left.fields_;
+  fields.reserve(left.fields_.size() + right.fields_.size());
+  for (const Field& f : right.fields_) {
+    Field g = f;
+    if (left.IndexOf(f.name) >= 0) g.name += suffix;
+    fields.push_back(std::move(g));
+  }
+  return Schema(std::move(fields));
+}
+
+Schema Schema::Project(const std::vector<int>& cols) const {
+  std::vector<Field> fields;
+  fields.reserve(cols.size());
+  for (int c : cols) fields.push_back(field(c));
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < num_fields(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[static_cast<size_t>(i)].name;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace upa

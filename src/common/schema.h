@@ -1,0 +1,62 @@
+#ifndef UPA_COMMON_SCHEMA_H_
+#define UPA_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace upa {
+
+/// A named, typed column of a stream, window, relation or derived result.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kInt;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// The relational schema shared by every tuple of a stream (paper,
+/// Section 2: "A data stream is an append-only sequence of relational
+/// tuples with the same schema").
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Number of columns.
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+
+  const Field& field(int i) const;
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Returns the index of the column named `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  /// Returns the index of the column named `name`; UPA_CHECKs presence.
+  int MustIndexOf(const std::string& name) const;
+
+  /// Schema of the concatenation of `left` and `right` columns (window
+  /// join output). Right-side columns that collide with a left-side name
+  /// are suffixed with `suffix`.
+  static Schema Concat(const Schema& left, const Schema& right,
+                       const std::string& suffix = "_r");
+
+  /// Schema restricted to the given column indexes, in order (projection).
+  Schema Project(const std::vector<int>& cols) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace upa
+
+#endif  // UPA_COMMON_SCHEMA_H_

@@ -1,0 +1,34 @@
+#include "common/tuple.h"
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace upa {
+
+std::string Tuple::ToString() const {
+  std::string out = negative ? "-[" : "+[";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += upa::ToString(fields[i]);
+  }
+  out += "] ts=" + std::to_string(ts);
+  out += exp == kNeverExpires ? " exp=inf" : " exp=" + std::to_string(exp);
+  return out;
+}
+
+uint64_t HashFields(const Tuple& t) {
+  uint64_t h = 0x5851f42d4c957f2dULL;
+  for (const Value& v : t.fields) h = HashCombine(h, HashValue(v));
+  return h;
+}
+
+uint64_t HashField(const Tuple& t, int col) {
+  UPA_DCHECK(col >= 0 && static_cast<size_t>(col) < t.fields.size());
+  return HashValue(t.fields[static_cast<size_t>(col)]);
+}
+
+bool FieldsLess(const Tuple& a, const Tuple& b) {
+  return a.fields < b.fields;
+}
+
+}  // namespace upa

@@ -1,0 +1,75 @@
+#ifndef UPA_COMMON_TUPLE_H_
+#define UPA_COMMON_TUPLE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace upa {
+
+/// Timestamps are integral "time units" (paper, Section 6.1: an average of
+/// one tuple arrives on each link during one time unit).
+using Time = int64_t;
+
+/// Expiration time of tuples that never expire (tuples of infinite,
+/// unwindowed streams and of relations).
+inline constexpr Time kNeverExpires = std::numeric_limits<Time>::max();
+
+/// A stream/result tuple.
+///
+/// Per Section 2.2 of the paper every tuple carries two timestamps: `ts`,
+/// the (non-decreasing) arrival or generation time, and `exp`, the
+/// precomputed expiration time. A tuple entering a time-based window of
+/// size T gets `exp = ts + T`; a composite (e.g. join) result expires when
+/// the first of its constituents does, so its `exp` is the minimum of the
+/// constituent `exp` values. A tuple is *live* at time `now` while
+/// `now < exp`.
+///
+/// `negative` marks negative tuples (Section 2.1): explicit deletions
+/// produced by the negation operator, by retroactive-relation joins, or --
+/// under the negative tuple approach -- by every expiring window tuple.
+struct Tuple {
+  Time ts = 0;
+  Time exp = kNeverExpires;
+  bool negative = false;
+  std::vector<Value> fields;
+
+  Tuple() = default;
+  Tuple(Time ts_in, Time exp_in, std::vector<Value> fields_in)
+      : ts(ts_in), exp(exp_in), fields(std::move(fields_in)) {}
+
+  /// True while the tuple has not yet fallen out of its window(s).
+  bool LiveAt(Time now) const { return now < exp; }
+
+  /// Returns a copy of this tuple with the negative flag set; the deletion
+  /// signal corresponding to this result (Section 2.3.1).
+  Tuple AsNegative() const {
+    Tuple t = *this;
+    t.negative = true;
+    return t;
+  }
+
+  /// Field-wise equality (ignores timestamps and sign). Negative tuples
+  /// identify the result to delete by its attribute values, so this is the
+  /// match predicate used when applying them.
+  bool FieldsEqual(const Tuple& other) const { return fields == other.fields; }
+
+  std::string ToString() const;
+};
+
+/// 64-bit hash over all fields.
+uint64_t HashFields(const Tuple& t);
+
+/// 64-bit hash over one field.
+uint64_t HashField(const Tuple& t, int col);
+
+/// Lexicographic comparison of field vectors; used by canonical multiset
+/// comparisons in tests and the reference evaluator.
+bool FieldsLess(const Tuple& a, const Tuple& b);
+
+}  // namespace upa
+
+#endif  // UPA_COMMON_TUPLE_H_

@@ -1,0 +1,73 @@
+#include "common/value.h"
+
+#include <functional>
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace upa {
+
+ValueType TypeOf(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return ValueType::kInt;
+    case 1:
+      return ValueType::kDouble;
+    case 2:
+      return ValueType::kString;
+    default:
+      UPA_FATAL("corrupt Value variant");
+  }
+}
+
+std::string ToString(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::to_string(std::get<int64_t>(v));
+    case 1:
+      return std::to_string(std::get<double>(v));
+    default:
+      return std::get<std::string>(v);
+  }
+}
+
+uint64_t HashValue(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return Mix64(static_cast<uint64_t>(std::get<int64_t>(v)));
+    case 1: {
+      const double d = std::get<double>(v);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits);
+    }
+    default:
+      return Mix64(std::hash<std::string>{}(std::get<std::string>(v)));
+  }
+}
+
+int64_t AsInt(const Value& v) {
+  UPA_CHECK(std::holds_alternative<int64_t>(v));
+  return std::get<int64_t>(v);
+}
+
+double AsDouble(const Value& v) {
+  UPA_CHECK(std::holds_alternative<double>(v));
+  return std::get<double>(v);
+}
+
+const std::string& AsString(const Value& v) {
+  UPA_CHECK(std::holds_alternative<std::string>(v));
+  return std::get<std::string>(v);
+}
+
+double AsNumeric(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) {
+    return static_cast<double>(std::get<int64_t>(v));
+  }
+  UPA_CHECK(std::holds_alternative<double>(v));
+  return std::get<double>(v);
+}
+
+}  // namespace upa

@@ -1,0 +1,46 @@
+#ifndef UPA_COMMON_VALUE_H_
+#define UPA_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace upa {
+
+/// The type of a field value. Streams are sequences of relational tuples
+/// (paper, Section 2), so the value system is deliberately small: integers
+/// (also used for encoded IP addresses, protocol ids and timestamps),
+/// doubles (aggregates such as AVG), and strings (symbolic metadata such as
+/// the stock symbols of the Section 4.1 example).
+enum class ValueType {
+  kInt,
+  kDouble,
+  kString,
+};
+
+/// A single field value. Equality and ordering are the natural per-type
+/// ones; mixed-type comparison is a programming error caught by variant
+/// index comparison (values of one column always share a type).
+using Value = std::variant<int64_t, double, std::string>;
+
+/// Returns the ValueType tag of `v`.
+ValueType TypeOf(const Value& v);
+
+/// Renders `v` for logs and debugging output.
+std::string ToString(const Value& v);
+
+/// 64-bit hash of a value, suitable for hash-partitioned state buffers.
+uint64_t HashValue(const Value& v);
+
+/// Convenience accessors that UPA_CHECK the stored type.
+int64_t AsInt(const Value& v);
+double AsDouble(const Value& v);
+const std::string& AsString(const Value& v);
+
+/// Returns the value as a double regardless of numeric representation
+/// (ints are widened). UPA_CHECKs that `v` is numeric.
+double AsNumeric(const Value& v);
+
+}  // namespace upa
+
+#endif  // UPA_COMMON_VALUE_H_

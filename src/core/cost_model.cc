@@ -1,0 +1,455 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace upa {
+
+namespace {
+
+constexpr double kHuge = 1e12;  // Stand-in for unbounded stream state.
+
+double Cap(double x, double cap) { return std::min(x, cap); }
+
+}  // namespace
+
+const StreamStats& Catalog::Stream(int id) const {
+  static const StreamStats kDefault;
+  auto it = streams.find(id);
+  return it == streams.end() ? kDefault : it->second;
+}
+
+double Catalog::Overlap(int stream_l, int col_l, int stream_r,
+                        int col_r) const {
+  auto it = value_overlap.find({{stream_l, col_l}, {stream_r, col_r}});
+  return it == value_overlap.end() ? 1.0 : it->second;
+}
+
+NodeEstimate EstimateNode(const PlanNode& n, const Catalog& catalog) {
+  NodeEstimate e;
+  const int width = n.schema.num_fields();
+  e.distinct.assign(static_cast<size_t>(width), 1.0);
+  e.origin.assign(static_cast<size_t>(width), {-1, -1});
+
+  auto fill_from_stream = [&](int stream_id) {
+    const StreamStats& s = catalog.Stream(stream_id);
+    for (int c = 0; c < width; ++c) {
+      auto it = s.columns.find(c);
+      e.distinct[size_t(c)] = it == s.columns.end()
+                                  ? Cap(e.size, 1000.0)
+                                  : Cap(it->second.distinct, kHuge);
+      e.origin[size_t(c)] = {stream_id, c};
+    }
+  };
+
+  switch (n.kind) {
+    case PlanOpKind::kStream: {
+      const StreamStats& s = catalog.Stream(n.stream_id);
+      e.rate = s.rate;
+      e.size = kHuge;  // Unbounded (monotonic plans never expire state).
+      fill_from_stream(n.stream_id);
+      return e;
+    }
+    case PlanOpKind::kRelation: {
+      const StreamStats& s = catalog.Stream(n.stream_id);
+      e.rate = s.rate;  // Update rate.
+      e.size = s.size;
+      fill_from_stream(n.stream_id);
+      for (double& d : e.distinct) d = Cap(d, std::max(1.0, e.size));
+      return e;
+    }
+    case PlanOpKind::kWindow: {
+      const NodeEstimate in = EstimateNode(n.child(0), catalog);
+      e.rate = in.rate;
+      e.size = in.rate * static_cast<double>(n.window_size);
+      e.distinct = in.distinct;
+      e.origin = in.origin;
+      for (double& d : e.distinct) d = Cap(d, std::max(1.0, e.size));
+      return e;
+    }
+    case PlanOpKind::kCountWindow: {
+      const NodeEstimate in = EstimateNode(n.child(0), catalog);
+      e.rate = in.rate;
+      e.size = static_cast<double>(n.count);
+      e.distinct = in.distinct;
+      e.origin = in.origin;
+      for (double& d : e.distinct) d = Cap(d, std::max(1.0, e.size));
+      // Every arrival evicts one tuple once the window is full; all those
+      // evictions are signalled with negative tuples.
+      e.premature_rate = in.rate;
+      return e;
+    }
+    case PlanOpKind::kSelect: {
+      const NodeEstimate in = EstimateNode(n.child(0), catalog);
+      double sel = 1.0;
+      for (const Predicate& p : n.preds) {
+        double p_sel = 0.5;
+        const double d = in.distinct[static_cast<size_t>(p.col)];
+        if (p.op == CmpOp::kEq) {
+          p_sel = 1.0 / std::max(1.0, d);
+          const auto [stream, col] = in.origin[static_cast<size_t>(p.col)];
+          if (stream >= 0) {
+            const StreamStats& s = catalog.Stream(stream);
+            auto cit = s.columns.find(col);
+            if (cit != s.columns.end()) {
+              auto fit = cit->second.value_freq.find(p.rhs);
+              if (fit != cit->second.value_freq.end()) p_sel = fit->second;
+            }
+          }
+        } else if (p.op == CmpOp::kNe) {
+          p_sel = 1.0 - 1.0 / std::max(1.0, d);
+        } else {
+          p_sel = 1.0 / 3.0;  // Range predicate heuristic.
+        }
+        sel *= p_sel;
+      }
+      e = in;
+      e.rate = in.rate * sel;
+      e.size = in.size >= kHuge ? kHuge : in.size * sel;
+      for (size_t c = 0; c < e.distinct.size(); ++c) {
+        e.distinct[c] = Cap(e.distinct[c], std::max(1.0, e.size));
+      }
+      for (const Predicate& p : n.preds) {
+        if (p.op == CmpOp::kEq) e.distinct[static_cast<size_t>(p.col)] = 1.0;
+      }
+      e.premature_rate = in.premature_rate * sel;
+      return e;
+    }
+    case PlanOpKind::kProject: {
+      const NodeEstimate in = EstimateNode(n.child(0), catalog);
+      e.rate = in.rate;
+      e.size = in.size;
+      e.premature_rate = in.premature_rate;
+      for (size_t i = 0; i < n.cols.size(); ++i) {
+        e.distinct[i] = in.distinct[static_cast<size_t>(n.cols[i])];
+        e.origin[i] = in.origin[static_cast<size_t>(n.cols[i])];
+      }
+      return e;
+    }
+    case PlanOpKind::kUnion: {
+      const NodeEstimate l = EstimateNode(n.child(0), catalog);
+      const NodeEstimate r = EstimateNode(n.child(1), catalog);
+      e.rate = l.rate + r.rate;
+      e.size = Cap(l.size + r.size, kHuge);
+      for (int c = 0; c < width; ++c) {
+        e.distinct[size_t(c)] = Cap(
+            l.distinct[size_t(c)] + r.distinct[size_t(c)], std::max(1.0, e.size));
+        e.origin[size_t(c)] = l.origin[size_t(c)];
+      }
+      e.premature_rate = l.premature_rate + r.premature_rate;
+      return e;
+    }
+    case PlanOpKind::kJoin: {
+      const NodeEstimate l = EstimateNode(n.child(0), catalog);
+      const NodeEstimate r = EstimateNode(n.child(1), catalog);
+      const double d = std::max(
+          {1.0, l.distinct[static_cast<size_t>(n.left_col)],
+           r.distinct[static_cast<size_t>(n.right_col)]});
+      const PlanNode& rnode = n.child(1);
+      if (rnode.kind == PlanOpKind::kRelation) {
+        const double match = r.size / d;
+        e.rate = l.rate * match + (rnode.retroactive ? r.rate * l.size / d : 0);
+        e.size = l.size >= kHuge ? kHuge : l.size * match;
+      } else {
+        e.rate = (l.rate * r.size + r.rate * l.size) / d;
+        e.size = (l.size >= kHuge || r.size >= kHuge) ? kHuge
+                                                      : l.size * r.size / d;
+      }
+      const int lw = n.child(0).schema.num_fields();
+      for (int c = 0; c < width; ++c) {
+        const NodeEstimate& src = c < lw ? l : r;
+        const int sc = c < lw ? c : c - lw;
+        e.distinct[size_t(c)] =
+            Cap(src.distinct[static_cast<size_t>(sc)], std::max(1.0, e.size));
+        e.origin[size_t(c)] = src.origin[static_cast<size_t>(sc)];
+      }
+      // Premature deletions fan out through the join like insertions do.
+      const double fanout = std::max(1.0, e.size / std::max(1.0, l.size));
+      e.premature_rate = l.premature_rate * fanout + r.premature_rate * fanout;
+      return e;
+    }
+    case PlanOpKind::kIntersect: {
+      const NodeEstimate l = EstimateNode(n.child(0), catalog);
+      const NodeEstimate r = EstimateNode(n.child(1), catalog);
+      const double d =
+          std::max({1.0, l.distinct.empty() ? 1.0 : l.distinct[0],
+                    r.distinct.empty() ? 1.0 : r.distinct[0]});
+      e.rate = (l.rate * r.size + r.rate * l.size) / d;
+      e.size = Cap(l.size * r.size / d, kHuge);
+      e.distinct = l.distinct;
+      e.origin = l.origin;
+      e.premature_rate = l.premature_rate + r.premature_rate;
+      return e;
+    }
+    case PlanOpKind::kDistinct: {
+      const NodeEstimate in = EstimateNode(n.child(0), catalog);
+      double keys = 1.0;
+      for (int c : n.cols) {
+        keys *= std::max(1.0, in.distinct[static_cast<size_t>(c)]);
+      }
+      e.size = Cap(std::min(keys, in.size), kHuge);
+      // New-key arrivals plus replacement re-emissions as output expires.
+      e.rate = in.rate * (e.size / std::max(1.0, in.size)) +
+               (in.size >= kHuge ? 0.0 : e.size / std::max(1.0, in.size) *
+                                             in.rate * 0.5);
+      e.distinct = in.distinct;
+      e.origin = in.origin;
+      for (double& dd : e.distinct) dd = Cap(dd, std::max(1.0, e.size));
+      e.premature_rate = in.premature_rate;
+      return e;
+    }
+    case PlanOpKind::kGroupBy: {
+      const NodeEstimate in = EstimateNode(n.child(0), catalog);
+      const double groups =
+          n.group_col >= 0
+              ? std::max(1.0, in.distinct[static_cast<size_t>(n.group_col)])
+              : 1.0;
+      e.rate = 2.0 * in.rate;  // One update per arrival and per expiration.
+      e.size = groups;
+      e.distinct[0] = groups;
+      e.distinct[1] = groups;
+      e.distinct[2] = groups;
+      return e;
+    }
+    case PlanOpKind::kNegate: {
+      const NodeEstimate l = EstimateNode(n.child(0), catalog);
+      const NodeEstimate r = EstimateNode(n.child(1), catalog);
+      const double d1 =
+          std::max(1.0, l.distinct[static_cast<size_t>(n.left_col)]);
+      const double d2 =
+          std::max(1.0, r.distinct[static_cast<size_t>(n.right_col)]);
+      const auto [ls, lc] = l.origin[static_cast<size_t>(n.left_col)];
+      const auto [rs, rc] = r.origin[static_cast<size_t>(n.right_col)];
+      const double overlap =
+          (ls >= 0 && rs >= 0) ? catalog.Overlap(ls, lc, rs, rc) : 1.0;
+      // A left value is "covered" (suppressed) when at least one of the
+      // ~size2 right tuples carries it; Poisson approximation.
+      const double covered =
+          overlap * (1.0 - std::exp(-r.size / std::max(1.0, d2)));
+      e.size = Cap(l.size * (1.0 - covered), kHuge);
+      e.rate = l.rate * (1.0 - covered);
+      e.distinct = l.distinct;
+      e.origin = l.origin;
+      for (double& dd : e.distinct) dd = Cap(dd, std::max(1.0, e.size));
+      // Premature deletions (Section 5.3.2): a W2 arrival whose value is
+      // live in W1 but currently uncovered evicts answer tuples.
+      const double p_in_left =
+          1.0 - std::exp(-std::min(l.size, kHuge) / std::max(1.0, d1));
+      const double p_uncovered = std::exp(-r.size / std::max(1.0, d2));
+      e.premature_rate = l.premature_rate + r.premature_rate +
+                         r.rate * overlap * p_in_left * p_uncovered;
+      return e;
+    }
+  }
+  UPA_FATAL("unhandled plan node kind");
+}
+
+double EstimatePrematureFrequency(const PlanNode& plan,
+                                  const Catalog& catalog) {
+  const NodeEstimate e = EstimateNode(plan, catalog);
+  // Natural deletions happen at roughly the output rate (everything that
+  // enters the answer eventually leaves it).
+  const double natural = std::max(e.rate, 1e-9);
+  return e.premature_rate / (e.premature_rate + natural);
+}
+
+namespace {
+
+struct CostCtx {
+  const Catalog* catalog;
+  ExecMode mode;
+  const PlannerOptions* opts;
+  PlanCost* out;
+};
+
+/// Structure maintenance cost per unit time for a buffer holding `size`
+/// tuples fed at `rate`, per Sections 2.3.3 and 5.3.2.
+double MaintainCost(ExecMode mode, UpdatePattern pattern, double rate,
+                    double size, bool lazy, const PlannerOptions& opts) {
+  if (size >= 1e12) size = 0;  // Monotonic state is never expired.
+  switch (mode) {
+    case ExecMode::kNegativeTuple:
+      // Hash insert plus hash delete per tuple, plus the negative tuple
+      // itself being generated and routed (factored in by the caller
+      // doubling the processed-tuple count).
+      return 2.0 * rate;
+    case ExecMode::kDirect: {
+      if (lazy) {
+        // Physical purges amortize to one scan per lazy interval.
+        return rate + 1.0 / std::max(1e-9, opts.lazy_fraction);
+      }
+      return rate * size;  // Sequential scan per arrival.
+    }
+    case ExecMode::kUpa:
+      switch (pattern) {
+        case UpdatePattern::kMonotonic:
+        case UpdatePattern::kWeakest:
+          return rate;  // FIFO push/pop.
+        case UpdatePattern::kWeak:
+        case UpdatePattern::kStrict:
+          return rate * (size / std::max(1, opts.num_partitions) + 1.0);
+      }
+  }
+  return rate;
+}
+
+double NodeCost(const PlanNode& n, const NodeEstimate& e, CostCtx& ctx) {
+  const ExecMode mode = ctx.mode;
+  const PlannerOptions& opts = *ctx.opts;
+  // Under the negative tuple approach every stored tuple is processed
+  // twice (arrival + negative), Section 2.3.1.
+  const double nt_factor = mode == ExecMode::kNegativeTuple ? 2.0 : 1.0;
+  switch (n.kind) {
+    case PlanOpKind::kStream:
+    case PlanOpKind::kRelation:
+      return 0.0;
+    case PlanOpKind::kWindow: {
+      // NT materializes the window itself.
+      const NodeEstimate in = EstimateNode(n.child(0), *ctx.catalog);
+      return mode == ExecMode::kNegativeTuple ? 2.0 * in.rate : in.rate;
+    }
+    case PlanOpKind::kCountWindow: {
+      const NodeEstimate in = EstimateNode(n.child(0), *ctx.catalog);
+      return 2.0 * in.rate;
+    }
+    case PlanOpKind::kSelect:
+    case PlanOpKind::kProject:
+    case PlanOpKind::kUnion: {
+      double rates = 0.0;
+      for (const auto& c : n.children) {
+        rates += EstimateNode(*c, *ctx.catalog).rate;
+      }
+      return nt_factor * rates;
+    }
+    case PlanOpKind::kJoin: {
+      const NodeEstimate l = EstimateNode(n.child(0), *ctx.catalog);
+      const NodeEstimate r = EstimateNode(n.child(1), *ctx.catalog);
+      const PlanNode& rnode = n.child(1);
+      if (rnode.kind == PlanOpKind::kRelation) {
+        const double probe = mode == ExecMode::kDirect
+                                 ? l.rate * r.size  // List scan.
+                                 : l.rate;          // Hash probe.
+        const double maintain =
+            rnode.retroactive
+                ? MaintainCost(mode, n.child(0).pattern, l.rate,
+                               std::min(l.size, 1e12), /*lazy=*/true, opts) +
+                      r.rate * std::min(l.size, 1e12) /
+                          std::max(1.0, l.distinct[static_cast<size_t>(
+                                            n.left_col)])
+                : 0.0;
+        return probe + maintain;
+      }
+      // Probes scan the other input's live state in every strategy; the
+      // negative tuple approach processes each tuple twice (Section 5.4.1).
+      const double probe = nt_factor * (l.rate * std::min(r.size, 1e12) +
+                                        r.rate * std::min(l.size, 1e12));
+      const double maintain =
+          MaintainCost(mode, n.child(0).pattern, l.rate,
+                       std::min(l.size, 1e12), /*lazy=*/true, opts) +
+          MaintainCost(mode, n.child(1).pattern, r.rate,
+                       std::min(r.size, 1e12), /*lazy=*/true, opts);
+      // Premature deletions scan partitioned state under direct execution.
+      const double premature =
+          mode == ExecMode::kNegativeTuple
+              ? 0.0
+              : (l.premature_rate + r.premature_rate) *
+                    (std::min(l.size, 1e12) + std::min(r.size, 1e12));
+      return probe + maintain + premature;
+    }
+    case PlanOpKind::kIntersect: {
+      const NodeEstimate l = EstimateNode(n.child(0), *ctx.catalog);
+      const NodeEstimate r = EstimateNode(n.child(1), *ctx.catalog);
+      const double probe = l.rate * std::min(r.size, 1e12) +
+                           r.rate * std::min(l.size, 1e12);
+      return nt_factor * probe +
+             MaintainCost(mode, n.child(0).pattern, l.rate,
+                          std::min(l.size, 1e12), true, opts) +
+             MaintainCost(mode, n.child(1).pattern, r.rate,
+                          std::min(r.size, 1e12), true, opts);
+    }
+    case PlanOpKind::kDistinct: {
+      const NodeEstimate in = EstimateNode(n.child(0), *ctx.catalog);
+      const double in_size = std::min(in.size, 1e12);
+      const bool delta_eligible = mode == ExecMode::kUpa &&
+                                  n.child(0).pattern != UpdatePattern::kStrict;
+      // Every arrival scans (half) the stored output for its key.
+      const double probe = in.rate * e.size / 2.0;
+      if (delta_eligible) {
+        // Section 5.4.1: cost of the delta operator.
+        return probe + MaintainCost(mode, UpdatePattern::kWeak, e.rate,
+                                    2.0 * e.size, false, opts);
+      }
+      // Classic: replacement scans of the stored input on output expiry.
+      const double replacement_rate = e.size / std::max(1.0, in_size) * in.rate;
+      const double replace_cost =
+          mode == ExecMode::kNegativeTuple
+              ? nt_factor * in.rate
+              : replacement_rate * in_size;
+      return probe + replace_cost +
+             MaintainCost(mode, n.child(0).pattern, in.rate, in_size, true,
+                          opts) +
+             MaintainCost(mode, UpdatePattern::kWeak, e.rate, e.size, false,
+                          opts);
+    }
+    case PlanOpKind::kGroupBy: {
+      const NodeEstimate in = EstimateNode(n.child(0), *ctx.catalog);
+      const double groups = std::max(1.0, e.size);
+      const double update_cost = std::log2(groups + 1.0) + 1.0;
+      return 2.0 * in.rate * update_cost +
+             MaintainCost(mode, n.child(0).pattern, in.rate,
+                          std::min(in.size, 1e12), false, opts);
+    }
+    case PlanOpKind::kNegate: {
+      const NodeEstimate l = EstimateNode(n.child(0), *ctx.catalog);
+      const NodeEstimate r = EstimateNode(n.child(1), *ctx.catalog);
+      const double d1 =
+          std::max(2.0, l.distinct[static_cast<size_t>(n.left_col)]);
+      const double d2 =
+          std::max(2.0, r.distinct[static_cast<size_t>(n.right_col)]);
+      return 2.0 * l.rate * std::log2(d1) + 2.0 * r.rate * std::log2(d2) +
+             MaintainCost(mode, n.child(0).pattern, l.rate,
+                          std::min(l.size, 1e12), false, opts) +
+             MaintainCost(mode, n.child(1).pattern, r.rate,
+                          std::min(r.size, 1e12), false, opts);
+    }
+  }
+  UPA_FATAL("unhandled plan node kind");
+}
+
+void Walk(const PlanNode& n, CostCtx& ctx) {
+  for (const auto& c : n.children) Walk(*c, ctx);
+  const NodeEstimate e = EstimateNode(n, *ctx.catalog);
+  const double cost = NodeCost(n, e, ctx);
+  ctx.out->per_node.emplace_back(PatternName(n.pattern), cost);
+  ctx.out->total += cost;
+}
+
+}  // namespace
+
+PlanCost EstimatePlanCost(const PlanNode& plan, const Catalog& catalog,
+                          ExecMode mode, const PlannerOptions& options) {
+  PlanCost cost;
+  CostCtx ctx{&catalog, mode, &options, &cost};
+  Walk(plan, ctx);
+  // Result view maintenance.
+  const NodeEstimate root = EstimateNode(plan, catalog);
+  const double view_cost =
+      plan.kind == PlanOpKind::kGroupBy
+          ? root.rate
+          : MaintainCost(mode, plan.pattern, root.rate,
+                         std::min(root.size, 1e12), false, options) +
+                (mode == ExecMode::kNegativeTuple
+                     ? 0.0
+                     : root.premature_rate * std::min(root.size, 1e12) /
+                           (mode == ExecMode::kUpa
+                                ? std::max(1, options.num_partitions)
+                                : 1));
+  cost.per_node.emplace_back("view", view_cost);
+  cost.total += view_cost;
+  cost.premature_frequency = EstimatePrematureFrequency(plan, catalog);
+  return cost;
+}
+
+}  // namespace upa

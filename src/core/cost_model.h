@@ -1,0 +1,99 @@
+#ifndef UPA_CORE_COST_MODEL_H_
+#define UPA_CORE_COST_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/logical_plan.h"
+#include "core/physical_planner.h"
+
+namespace upa {
+
+/// Per-column statistics of a base stream or relation, used to estimate
+/// operator selectivities and state sizes (Section 5.4.1: "we assume that
+/// these quantities may be approximated on the basis of stream arrival
+/// rates, attribute value distributions, and operator selectivities").
+struct ColumnStats {
+  /// Distinct values in the column's domain.
+  double distinct = 1000.0;
+  /// Optional per-value frequency (fraction of tuples), for skewed columns
+  /// such as the protocol field of the traffic trace; equality predicates
+  /// fall back to 1/distinct when the value is not listed.
+  std::map<Value, double> value_freq;
+};
+
+/// Statistics of one base stream / relation.
+struct StreamStats {
+  /// Arrival rate in tuples per time unit (Section 6.1 fixes ~1 per link).
+  double rate = 1.0;
+  /// Rows, for relations (rate then describes update frequency).
+  double size = 0.0;
+  std::map<int, ColumnStats> columns;
+};
+
+/// The statistics catalog keyed by stream id.
+struct Catalog {
+  std::map<int, StreamStats> streams;
+
+  /// Fraction of left-column values that also occur in the right column's
+  /// domain, keyed by ((stream_l, col_l), (stream_r, col_r)); drives the
+  /// premature-expiration frequency of negation (Section 5.3.2: "if the
+  /// two inputs have different sets of values of the negation attribute,
+  /// then premature expirations never happen"). Defaults to 1.0.
+  std::map<std::pair<std::pair<int, int>, std::pair<int, int>>, double>
+      value_overlap;
+
+  const StreamStats& Stream(int id) const;
+  double Overlap(int stream_l, int col_l, int stream_r, int col_r) const;
+};
+
+/// Cardinality estimates derived for one plan edge.
+struct NodeEstimate {
+  double rate = 0.0;                ///< Output tuples per time unit.
+  double size = 0.0;                ///< Live tuples of the sub-result.
+  std::vector<double> distinct;     ///< Distinct values per output column.
+  /// Dominant base stream feeding each column (stream id, col) for overlap
+  /// lookups; -1 when unknown/derived.
+  std::vector<std::pair<int, int>> origin;
+  /// For STR edges: expected premature deletions per time unit.
+  double premature_rate = 0.0;
+};
+
+/// Cost breakdown of one candidate plan under one execution strategy, in
+/// abstract per-unit-time work units (Section 5.4.1's model). The absolute
+/// scale is meaningless; only comparisons between candidate plans matter.
+struct PlanCost {
+  double total = 0.0;
+  std::vector<std::pair<std::string, double>> per_node;
+  /// Fraction of answer deletions expected to be premature, at the root.
+  double premature_frequency = 0.0;
+};
+
+/// Estimates output rate / state size / distinct counts bottom-up.
+NodeEstimate EstimateNode(const PlanNode& n, const Catalog& catalog);
+
+/// Applies the Section 5.4.1 per-unit-time cost formulas, specialised by
+/// execution strategy:
+///  - selection/projection/union: sum of input rates;
+///  - join/intersection: probe cost lambda1*N2 + lambda2*N1 plus state
+///    maintenance that depends on the buffer structure (list scans for
+///    DIRECT, per-partition work N/P for UPA, doubled tuple count for NT);
+///  - delta-distinct: lambda1 * No / 2; classic duplicate elimination adds
+///    the replacement scans of the stored input;
+///  - group-by: 2 * lambda1 * C;
+///  - negation: 2*lambda1*log(d1) + 2*lambda2*log(d2) plus premature
+///    probing;
+///  - materialized results: per-structure maintenance at the output rate.
+PlanCost EstimatePlanCost(const PlanNode& plan, const Catalog& catalog,
+                          ExecMode mode, const PlannerOptions& options);
+
+/// Expected fraction of answer deletions that are premature (caused by
+/// negation rather than window movement); used for the StrStrategy::kAuto
+/// decision and reported by the optimizer.
+double EstimatePrematureFrequency(const PlanNode& plan,
+                                  const Catalog& catalog);
+
+}  // namespace upa
+
+#endif  // UPA_CORE_COST_MODEL_H_

@@ -1,0 +1,438 @@
+#include "core/logical_plan.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+namespace {
+
+PlanPtr NewNode(PlanOpKind kind) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = kind;
+  return node;
+}
+
+bool IsRelationLeaf(const PlanNode& n) { return n.kind == PlanOpKind::kRelation; }
+
+}  // namespace
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->kind = kind;
+  copy->schema = schema;
+  copy->pattern = pattern;
+  copy->stream_id = stream_id;
+  copy->retroactive = retroactive;
+  copy->window_size = window_size;
+  copy->count = count;
+  copy->preds = preds;
+  copy->cols = cols;
+  copy->left_col = left_col;
+  copy->right_col = right_col;
+  copy->group_col = group_col;
+  copy->agg = agg;
+  copy->agg_col = agg_col;
+  copy->children.reserve(children.size());
+  for (const auto& c : children) copy->children.push_back(c->Clone());
+  return copy;
+}
+
+namespace {
+
+const char* KindName(PlanOpKind k) {
+  switch (k) {
+    case PlanOpKind::kStream:
+      return "stream";
+    case PlanOpKind::kRelation:
+      return "relation";
+    case PlanOpKind::kWindow:
+      return "window";
+    case PlanOpKind::kCountWindow:
+      return "count-window";
+    case PlanOpKind::kSelect:
+      return "select";
+    case PlanOpKind::kProject:
+      return "project";
+    case PlanOpKind::kUnion:
+      return "union";
+    case PlanOpKind::kJoin:
+      return "join";
+    case PlanOpKind::kIntersect:
+      return "intersect";
+    case PlanOpKind::kDistinct:
+      return "distinct";
+    case PlanOpKind::kGroupBy:
+      return "group-by";
+    case PlanOpKind::kNegate:
+      return "negate";
+  }
+  return "?";
+}
+
+void Render(const PlanNode& n, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += KindName(n.kind);
+  switch (n.kind) {
+    case PlanOpKind::kStream:
+      *out += " S" + std::to_string(n.stream_id);
+      break;
+    case PlanOpKind::kRelation:
+      *out += std::string(n.retroactive ? " R" : " NRR") +
+              std::to_string(n.stream_id);
+      break;
+    case PlanOpKind::kWindow:
+      *out += " [" + std::to_string(n.window_size) + "]";
+      break;
+    case PlanOpKind::kCountWindow:
+      *out += " [#" + std::to_string(n.count) + "]";
+      break;
+    case PlanOpKind::kSelect:
+      for (const Predicate& p : n.preds) *out += " " + p.ToString();
+      break;
+    case PlanOpKind::kJoin:
+      *out += " $" + std::to_string(n.left_col) + "=$" +
+              std::to_string(n.right_col);
+      break;
+    case PlanOpKind::kNegate:
+      *out += " $" + std::to_string(n.left_col) + " not-in $" +
+              std::to_string(n.right_col);
+      break;
+    default:
+      break;
+  }
+  *out += "   <" + PatternName(n.pattern) + ">\n";
+  for (const auto& c : n.children) Render(*c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string PlanNode::ToString() const {
+  std::string out;
+  Render(*this, 0, &out);
+  return out;
+}
+
+PlanPtr MakeStream(int stream_id, Schema schema) {
+  UPA_CHECK(stream_id >= 0);
+  PlanPtr n = NewNode(PlanOpKind::kStream);
+  n->stream_id = stream_id;
+  n->schema = std::move(schema);
+  return n;
+}
+
+PlanPtr MakeRelation(int stream_id, Schema schema, bool retroactive) {
+  UPA_CHECK(stream_id >= 0);
+  PlanPtr n = NewNode(PlanOpKind::kRelation);
+  n->stream_id = stream_id;
+  n->schema = std::move(schema);
+  n->retroactive = retroactive;
+  return n;
+}
+
+PlanPtr MakeWindow(PlanPtr stream, Time window_size) {
+  UPA_CHECK(stream != nullptr);
+  UPA_CHECK(stream->kind == PlanOpKind::kStream);
+  UPA_CHECK(window_size > 0);
+  PlanPtr n = NewNode(PlanOpKind::kWindow);
+  n->schema = stream->schema;
+  n->window_size = window_size;
+  n->children.push_back(std::move(stream));
+  return n;
+}
+
+PlanPtr MakeCountWindow(PlanPtr stream, size_t count) {
+  UPA_CHECK(stream != nullptr);
+  UPA_CHECK(stream->kind == PlanOpKind::kStream);
+  UPA_CHECK(count > 0);
+  PlanPtr n = NewNode(PlanOpKind::kCountWindow);
+  n->schema = stream->schema;
+  n->count = count;
+  n->children.push_back(std::move(stream));
+  return n;
+}
+
+PlanPtr MakeSelect(PlanPtr child, std::vector<Predicate> preds) {
+  UPA_CHECK(child != nullptr);
+  for (const Predicate& p : preds) {
+    UPA_CHECK(p.col >= 0 && p.col < child->schema.num_fields());
+  }
+  PlanPtr n = NewNode(PlanOpKind::kSelect);
+  n->schema = child->schema;
+  n->preds = std::move(preds);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr MakeProject(PlanPtr child, std::vector<int> cols) {
+  UPA_CHECK(child != nullptr);
+  PlanPtr n = NewNode(PlanOpKind::kProject);
+  n->schema = child->schema.Project(cols);
+  n->cols = std::move(cols);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr MakeUnion(PlanPtr left, PlanPtr right) {
+  UPA_CHECK(left != nullptr && right != nullptr);
+  UPA_CHECK(left->schema == right->schema);
+  PlanPtr n = NewNode(PlanOpKind::kUnion);
+  n->schema = left->schema;
+  n->children.push_back(std::move(left));
+  n->children.push_back(std::move(right));
+  return n;
+}
+
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, int left_col, int right_col) {
+  UPA_CHECK(left != nullptr && right != nullptr);
+  UPA_CHECK(!IsRelationLeaf(*left));  // Relations join on the right.
+  UPA_CHECK(left_col >= 0 && left_col < left->schema.num_fields());
+  UPA_CHECK(right_col >= 0 && right_col < right->schema.num_fields());
+  PlanPtr n = NewNode(PlanOpKind::kJoin);
+  n->schema = Schema::Concat(left->schema, right->schema);
+  n->left_col = left_col;
+  n->right_col = right_col;
+  n->children.push_back(std::move(left));
+  n->children.push_back(std::move(right));
+  return n;
+}
+
+PlanPtr MakeIntersect(PlanPtr left, PlanPtr right) {
+  UPA_CHECK(left != nullptr && right != nullptr);
+  UPA_CHECK(left->schema == right->schema);
+  UPA_CHECK(!IsRelationLeaf(*left) && !IsRelationLeaf(*right));
+  PlanPtr n = NewNode(PlanOpKind::kIntersect);
+  n->schema = left->schema;
+  n->children.push_back(std::move(left));
+  n->children.push_back(std::move(right));
+  return n;
+}
+
+PlanPtr MakeDistinct(PlanPtr child, std::vector<int> key_cols) {
+  UPA_CHECK(child != nullptr);
+  UPA_CHECK(!key_cols.empty());
+  for (int c : key_cols) UPA_CHECK(c >= 0 && c < child->schema.num_fields());
+  PlanPtr n = NewNode(PlanOpKind::kDistinct);
+  n->schema = child->schema;
+  n->cols = std::move(key_cols);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr MakeGroupBy(PlanPtr child, int group_col, AggKind agg, int agg_col) {
+  UPA_CHECK(child != nullptr);
+  UPA_CHECK(group_col >= -1 && group_col < child->schema.num_fields());
+  if (agg != AggKind::kCount) {
+    UPA_CHECK(agg_col >= 0 && agg_col < child->schema.num_fields());
+  }
+  PlanPtr n = NewNode(PlanOpKind::kGroupBy);
+  // Output schema mirrors GroupByOp's (group, agg, count).
+  {
+    std::vector<Field> fields;
+    fields.push_back(group_col >= 0 ? child->schema.field(group_col)
+                                    : Field{"group", ValueType::kInt});
+    fields.push_back(Field{AggName(agg), ValueType::kDouble});
+    fields.push_back(Field{"count", ValueType::kInt});
+    n->schema = Schema(std::move(fields));
+  }
+  n->group_col = group_col;
+  n->agg = agg;
+  n->agg_col = agg_col;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PlanPtr MakeNegate(PlanPtr left, PlanPtr right, int left_col,
+                   int right_col) {
+  UPA_CHECK(left != nullptr && right != nullptr);
+  UPA_CHECK(!IsRelationLeaf(*left) && !IsRelationLeaf(*right));
+  UPA_CHECK(left_col >= 0 && left_col < left->schema.num_fields());
+  UPA_CHECK(right_col >= 0 && right_col < right->schema.num_fields());
+  UPA_CHECK(left->schema.field(left_col).type ==
+            right->schema.field(right_col).type);
+  PlanPtr n = NewNode(PlanOpKind::kNegate);
+  n->schema = left->schema;
+  n->left_col = left_col;
+  n->right_col = right_col;
+  n->children.push_back(std::move(left));
+  n->children.push_back(std::move(right));
+  return n;
+}
+
+namespace {
+
+/// True when every tuple of the subtree's output carries the same
+/// arrival-to-expiration offset (a single window size end to end), which
+/// is what makes generation order equal expiration order. `*span` is the
+/// common offset (kNeverExpires for unwindowed streams/relations).
+bool UniformExpProfile(const PlanNode& n, Time* span) {
+  switch (n.kind) {
+    case PlanOpKind::kStream:
+    case PlanOpKind::kRelation:
+      *span = kNeverExpires;
+      return true;
+    case PlanOpKind::kWindow:
+      *span = n.window_size;
+      return true;
+    case PlanOpKind::kCountWindow:
+      return false;  // Expiration times are unknown at arrival.
+    case PlanOpKind::kSelect:
+    case PlanOpKind::kProject:
+    case PlanOpKind::kDistinct:
+      return UniformExpProfile(n.child(0), span);
+    case PlanOpKind::kUnion: {
+      Time l = 0;
+      Time r = 0;
+      if (!UniformExpProfile(n.child(0), &l) ||
+          !UniformExpProfile(n.child(1), &r)) {
+        return false;
+      }
+      *span = l;
+      return l == r;
+    }
+    default:
+      // Joins/negation/group-by re-time their outputs.
+      return false;
+  }
+}
+
+}  // namespace
+
+void AnnotatePatterns(PlanNode* root) {
+  UPA_CHECK(root != nullptr);
+  for (auto& c : root->children) AnnotatePatterns(c.get());
+  switch (root->kind) {
+    case PlanOpKind::kStream:
+      root->pattern = UpdatePattern::kMonotonic;
+      break;
+    case PlanOpKind::kRelation:
+      // Patterns describe *query outputs*; for a table leaf the value is
+      // only used through the join rules (Rule 1 for NRR, Rule 5 for R).
+      root->pattern = root->retroactive ? UpdatePattern::kStrict
+                                        : UpdatePattern::kMonotonic;
+      break;
+    case PlanOpKind::kWindow:
+      // Individual windows expire in FIFO order (Section 3.1).
+      root->pattern = UpdatePattern::kWeakest;
+      break;
+    case PlanOpKind::kCountWindow:
+      // Extension: evictions are unpredictable from timestamps alone and
+      // are signalled with negative tuples, so downstream processing sees
+      // strict non-monotonic input.
+      root->pattern = UpdatePattern::kStrict;
+      break;
+    case PlanOpKind::kSelect:
+    case PlanOpKind::kProject:
+      // Rule 1: unary weakest non-monotonic operators preserve the input
+      // pattern (and stay monotonic over infinite streams).
+      root->pattern = root->child(0).pattern;
+      break;
+    case PlanOpKind::kUnion: {
+      // Rule 2: merge-union does not reorder, so the output pattern is
+      // the more complex of the inputs. Refinement over the paper's
+      // statement: two weakest inputs only yield a weakest (FIFO) output
+      // when they expire on the same schedule -- a union of windows of
+      // *different* sizes interleaves expirations out of generation
+      // order, which is weak non-monotonic (expirations remain fully
+      // predictable from the exp timestamps).
+      root->pattern =
+          MaxPattern(root->child(0).pattern, root->child(1).pattern);
+      if (root->pattern == UpdatePattern::kWeakest) {
+        Time span = 0;
+        if (!UniformExpProfile(*root, &span)) {
+          root->pattern = UpdatePattern::kWeak;
+        }
+      }
+      break;
+    }
+    case PlanOpKind::kJoin: {
+      const PlanNode& right = root->child(1);
+      if (right.kind == PlanOpKind::kRelation) {
+        if (right.retroactive) {
+          // Rule 5: R-join output is always STR -- table updates force
+          // unpredictable insertions into and deletions from the result.
+          root->pattern = UpdatePattern::kStrict;
+        } else {
+          // Rule 1: the NRR-join preserves the streaming input's pattern
+          // (monotonic over a stream, WKS over a window, ...).
+          root->pattern = root->child(0).pattern;
+        }
+        break;
+      }
+      // Rule 3 (plus the Section 3.1 observation that a join of two
+      // unwindowed streams is monotonic, if impractical).
+      const UpdatePattern combined =
+          MaxPattern(root->child(0).pattern, right.pattern);
+      root->pattern = combined == UpdatePattern::kMonotonic
+                          ? UpdatePattern::kMonotonic
+                      : combined == UpdatePattern::kStrict
+                          ? UpdatePattern::kStrict
+                          : UpdatePattern::kWeak;
+      break;
+    }
+    case PlanOpKind::kIntersect: {
+      const UpdatePattern combined =
+          MaxPattern(root->child(0).pattern, root->child(1).pattern);
+      root->pattern = combined == UpdatePattern::kMonotonic
+                          ? UpdatePattern::kMonotonic
+                      : combined == UpdatePattern::kStrict
+                          ? UpdatePattern::kStrict
+                          : UpdatePattern::kWeak;
+      break;
+    }
+    case PlanOpKind::kDistinct: {
+      // Rule 3; over an infinite stream duplicate elimination only ever
+      // appends (first occurrence wins), hence monotonic.
+      const UpdatePattern in = root->child(0).pattern;
+      root->pattern = in == UpdatePattern::kMonotonic
+                          ? UpdatePattern::kMonotonic
+                      : in == UpdatePattern::kStrict ? UpdatePattern::kStrict
+                                                     : UpdatePattern::kWeak;
+      break;
+    }
+    case PlanOpKind::kGroupBy:
+      // Rule 4: group-by output is always WK -- new aggregates replace old
+      // ones without negative tuples, even for STR input.
+      root->pattern = UpdatePattern::kWeak;
+      break;
+    case PlanOpKind::kNegate:
+      // Rule 5.
+      root->pattern = UpdatePattern::kStrict;
+      break;
+  }
+}
+
+namespace {
+
+bool ValidateNode(const PlanNode& n, bool is_root) {
+  if (n.kind == PlanOpKind::kRelation && is_root) return false;
+  // Replace-semantics output feeds the group array view directly.
+  if (n.kind == PlanOpKind::kGroupBy && !is_root) return false;
+  if (n.kind == PlanOpKind::kJoin &&
+      n.child(1).kind == PlanOpKind::kRelation) {
+    // Section 5.4.2: relation joins cannot process negative tuples, so
+    // their streaming input must not be strict non-monotonic. The NRR
+    // variant is stricter still: it never stores the stream side, so it
+    // cannot undo anything.
+    if (n.child(0).pattern == UpdatePattern::kStrict) return false;
+  }
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    const PlanNode& c = *n.children[i];
+    if (c.kind == PlanOpKind::kRelation &&
+        !(n.kind == PlanOpKind::kJoin && i == 1)) {
+      // Relations may only feed a join's right input.
+      return false;
+    }
+    if (!ValidateNode(c, /*is_root=*/false)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsValidPlan(const PlanNode& root) { return ValidateNode(root, true); }
+
+void ValidatePlan(const PlanNode& root) { UPA_CHECK(IsValidPlan(root)); }
+
+}  // namespace upa

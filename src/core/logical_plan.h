@@ -1,0 +1,117 @@
+#ifndef UPA_CORE_LOGICAL_PLAN_H_
+#define UPA_CORE_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+#include "core/update_pattern.h"
+#include "ops/groupby.h"
+#include "ops/predicate.h"
+
+namespace upa {
+
+/// Logical operator kinds. The logical algebra is the paper's Section 2.1
+/// operator set plus the two relation variants of Section 4.1 (a join
+/// whose right child is a kRelation leaf becomes the NRR-join or R-join)
+/// and the count-based window extension of Section 7.
+enum class PlanOpKind {
+  kStream,       ///< Base stream leaf (infinite unless windowed).
+  kRelation,     ///< Table leaf: NRR or retroactive relation.
+  kWindow,       ///< Time-based sliding window over a stream.
+  kCountWindow,  ///< Count-based sliding window (extension).
+  kSelect,
+  kProject,
+  kUnion,
+  kJoin,
+  kIntersect,
+  kDistinct,
+  kGroupBy,
+  kNegate,
+};
+
+/// A node of a logical continuous-query plan (an operator tree). Built
+/// via the factory functions below, which compute output schemas; update
+/// patterns are filled in by AnnotatePatterns().
+struct PlanNode {
+  PlanOpKind kind;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  /// Output schema (computed by the builders).
+  Schema schema;
+
+  /// Update pattern of the sub-query rooted here (AnnotatePatterns).
+  UpdatePattern pattern = UpdatePattern::kMonotonic;
+
+  // --- Parameters (validity depends on `kind`). ---
+  int stream_id = -1;               ///< kStream / kRelation.
+  bool retroactive = false;         ///< kRelation: R (true) vs NRR (false).
+  Time window_size = 0;             ///< kWindow.
+  size_t count = 0;                 ///< kCountWindow.
+  std::vector<Predicate> preds;     ///< kSelect.
+  std::vector<int> cols;            ///< kProject columns / kDistinct keys.
+  int left_col = -1;                ///< kJoin / kNegate left attribute.
+  int right_col = -1;               ///< kJoin / kNegate right attribute.
+  int group_col = -1;               ///< kGroupBy (-1 = single group).
+  AggKind agg = AggKind::kCount;    ///< kGroupBy.
+  int agg_col = -1;                 ///< kGroupBy.
+
+  PlanNode() = default;
+  PlanNode(const PlanNode&) = delete;
+  PlanNode& operator=(const PlanNode&) = delete;
+
+  const PlanNode& child(int i) const { return *children[size_t(i)]; }
+  PlanNode* mutable_child(int i) { return children[size_t(i)].get(); }
+
+  /// Deep copy (used by the optimizer to derive rewritten candidates).
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Multi-line rendering with per-edge update-pattern annotations, in the
+  /// spirit of the paper's Figure 6.
+  std::string ToString() const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+// --- Builders. All UPA_CHECK their argument well-formedness. ---
+
+PlanPtr MakeStream(int stream_id, Schema schema);
+/// `retroactive` selects the Section 4.1 semantics: false = NRR (updates
+/// do not affect previously arrived stream tuples), true = R (they do).
+PlanPtr MakeRelation(int stream_id, Schema schema, bool retroactive);
+PlanPtr MakeWindow(PlanPtr stream, Time window_size);
+PlanPtr MakeCountWindow(PlanPtr stream, size_t count);
+PlanPtr MakeSelect(PlanPtr child, std::vector<Predicate> preds);
+PlanPtr MakeProject(PlanPtr child, std::vector<int> cols);
+PlanPtr MakeUnion(PlanPtr left, PlanPtr right);
+/// Equi-join. If `right` is a kRelation leaf this is the NRR-join / R-join.
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, int left_col, int right_col);
+PlanPtr MakeIntersect(PlanPtr left, PlanPtr right);
+PlanPtr MakeDistinct(PlanPtr child, std::vector<int> key_cols);
+PlanPtr MakeGroupBy(PlanPtr child, int group_col, AggKind agg, int agg_col);
+/// W1 NOT-IN W2 on an attribute (Equation 1): the answer holds
+/// max(v1 - v2, 0) left tuples per attribute value v, where v1/v2 are the
+/// live multiplicities of v in the left/right input. The schemas need not
+/// match; the output schema is the left input's.
+PlanPtr MakeNegate(PlanPtr left, PlanPtr right, int left_col, int right_col);
+
+/// Annotates every node with its update pattern using the five
+/// propagation rules of Section 5.2 (leaf windows are WKS; stateless
+/// operators over infinite streams stay monotonic).
+void AnnotatePatterns(PlanNode* root);
+
+/// Checks planner-level constraints (Section 5.4.2): relations appear
+/// only as right children of joins, a relation-join's streaming input must
+/// not be strict non-monotonic, and group-by only appears at the root
+/// (its replace-semantics output feeds the group array view). Requires
+/// patterns to be annotated. Returns false on violation.
+bool IsValidPlan(const PlanNode& root);
+
+/// UPA_CHECKs IsValidPlan(root); aborts on violation.
+void ValidatePlan(const PlanNode& root);
+
+}  // namespace upa
+
+#endif  // UPA_CORE_LOGICAL_PLAN_H_

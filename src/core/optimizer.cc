@@ -1,0 +1,252 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+namespace {
+
+bool IsRegularJoin(const PlanNode& n) {
+  return n.kind == PlanOpKind::kJoin &&
+         n.child(1).kind != PlanOpKind::kRelation;
+}
+
+bool IsAnyJoin(const PlanNode& n) { return n.kind == PlanOpKind::kJoin; }
+
+/// Applies `fn` to the first node slot (preorder) where it returns true;
+/// returns whether any application happened.
+bool ApplyFirst(PlanPtr& slot, const std::function<bool(PlanPtr&)>& fn) {
+  if (fn(slot)) return true;
+  for (auto& c : slot->children) {
+    if (ApplyFirst(c, fn)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PlanPtr RewritePushDownSelect(const PlanNode& plan) {
+  PlanPtr copy = plan.Clone();
+  const bool changed = ApplyFirst(copy, [](PlanPtr& slot) {
+    if (slot->kind != PlanOpKind::kSelect) return false;
+    PlanNode& sel = *slot;
+    PlanNode& child = *sel.mutable_child(0);
+    if (child.kind == PlanOpKind::kUnion) {
+      // sigma(A union B) == sigma(A) union sigma(B).
+      PlanPtr left = MakeSelect(std::move(child.children[0]), sel.preds);
+      PlanPtr right = MakeSelect(std::move(child.children[1]), sel.preds);
+      PlanPtr merged = MakeUnion(std::move(left), std::move(right));
+      slot = std::move(merged);
+      return true;
+    }
+    if (!IsAnyJoin(child)) return false;
+    const int lw = child.child(0).schema.num_fields();
+    std::vector<Predicate> left_preds;
+    std::vector<Predicate> right_preds;
+    std::vector<Predicate> keep;
+    for (const Predicate& p : sel.preds) {
+      if (p.col < lw) {
+        left_preds.push_back(p);
+      } else if (child.child(1).kind != PlanOpKind::kRelation) {
+        Predicate q = p;
+        q.col -= lw;
+        right_preds.push_back(q);
+      } else {
+        keep.push_back(p);  // Table-side predicates stay above.
+      }
+    }
+    if (left_preds.empty() && right_preds.empty()) return false;
+    PlanPtr l = std::move(child.children[0]);
+    PlanPtr r = std::move(child.children[1]);
+    if (!left_preds.empty()) l = MakeSelect(std::move(l), left_preds);
+    if (!right_preds.empty()) r = MakeSelect(std::move(r), right_preds);
+    PlanPtr join =
+        MakeJoin(std::move(l), std::move(r), child.left_col, child.right_col);
+    slot = keep.empty() ? std::move(join)
+                        : MakeSelect(std::move(join), std::move(keep));
+    return true;
+  });
+  return changed ? std::move(copy) : nullptr;
+}
+
+PlanPtr RewriteNegationPullUp(const PlanNode& plan) {
+  PlanPtr copy = plan.Clone();
+  const bool changed = ApplyFirst(copy, [](PlanPtr& slot) {
+    if (!IsAnyJoin(*slot)) return false;
+    PlanNode& join = *slot;
+    const int lw = join.child(0).schema.num_fields();
+    if (join.child(0).kind == PlanOpKind::kNegate) {
+      // J(N(A, B), C) -> N(J(A, C), B): A's columns keep their indices.
+      PlanNode& neg = *join.mutable_child(0);
+      PlanPtr a = std::move(neg.children[0]);
+      PlanPtr b = std::move(neg.children[1]);
+      const int la = neg.left_col;
+      const int ra = neg.right_col;
+      PlanPtr new_join = MakeJoin(std::move(a), std::move(join.children[1]),
+                                  join.left_col, join.right_col);
+      slot = MakeNegate(std::move(new_join), std::move(b), la, ra);
+      return true;
+    }
+    if (join.child(1).kind == PlanOpKind::kNegate) {
+      // J(C, N(A, B)) -> N(J(C, A), B): A's columns shift by C's width.
+      PlanNode& neg = *join.mutable_child(1);
+      PlanPtr a = std::move(neg.children[0]);
+      PlanPtr b = std::move(neg.children[1]);
+      const int la = neg.left_col;
+      const int ra = neg.right_col;
+      PlanPtr new_join = MakeJoin(std::move(join.children[0]), std::move(a),
+                                  join.left_col, join.right_col);
+      slot = MakeNegate(std::move(new_join), std::move(b), lw + la, ra);
+      return true;
+    }
+    return false;
+  });
+  return changed ? std::move(copy) : nullptr;
+}
+
+PlanPtr RewriteNegationPushDown(const PlanNode& plan) {
+  PlanPtr copy = plan.Clone();
+  const bool changed = ApplyFirst(copy, [](PlanPtr& slot) {
+    if (slot->kind != PlanOpKind::kNegate) return false;
+    PlanNode& neg = *slot;
+    if (!IsRegularJoin(neg.child(0))) return false;
+    PlanNode& join = *neg.mutable_child(0);
+    const int lw = join.child(0).schema.num_fields();
+    PlanPtr b = std::move(neg.children[1]);
+    if (neg.left_col < lw) {
+      // N(J(A, C), B) on an A-attribute -> J(N(A, B), C).
+      PlanPtr pushed = MakeNegate(std::move(join.children[0]), std::move(b),
+                                  neg.left_col, neg.right_col);
+      slot = MakeJoin(std::move(pushed), std::move(join.children[1]),
+                      join.left_col, join.right_col);
+    } else {
+      // N(J(C, A), B) on an A-attribute -> J(C, N(A, B)).
+      PlanPtr pushed = MakeNegate(std::move(join.children[1]), std::move(b),
+                                  neg.left_col - lw, neg.right_col);
+      slot = MakeJoin(std::move(join.children[0]), std::move(pushed),
+                      join.left_col, join.right_col);
+    }
+    return true;
+  });
+  return changed ? std::move(copy) : nullptr;
+}
+
+PlanPtr RewriteDistinctPushDown(const PlanNode& plan) {
+  PlanPtr copy = plan.Clone();
+  const bool changed = ApplyFirst(copy, [](PlanPtr& slot) {
+    if (slot->kind != PlanOpKind::kDistinct) return false;
+    PlanNode& dist = *slot;
+    if (!IsRegularJoin(dist.child(0))) return false;
+    PlanNode& join = *dist.mutable_child(0);
+    if (join.child(0).kind == PlanOpKind::kDistinct ||
+        join.child(1).kind == PlanOpKind::kDistinct) {
+      return false;  // Already pushed.
+    }
+    const int lw = join.child(0).schema.num_fields();
+    std::vector<int> left_keys;
+    std::vector<int> right_keys;
+    for (int k : dist.cols) {
+      if (k < lw) {
+        left_keys.push_back(k);
+      } else {
+        right_keys.push_back(k - lw);
+      }
+    }
+    // The join attributes must be part of the pushed keys or join results
+    // would be lost.
+    if (std::find(left_keys.begin(), left_keys.end(), join.left_col) ==
+        left_keys.end()) {
+      left_keys.push_back(join.left_col);
+    }
+    if (std::find(right_keys.begin(), right_keys.end(), join.right_col) ==
+        right_keys.end()) {
+      right_keys.push_back(join.right_col);
+    }
+    PlanPtr l = MakeDistinct(std::move(join.children[0]), left_keys);
+    PlanPtr r = MakeDistinct(std::move(join.children[1]), right_keys);
+    PlanPtr new_join =
+        MakeJoin(std::move(l), std::move(r), join.left_col, join.right_col);
+    slot = MakeDistinct(std::move(new_join), dist.cols);
+    return true;
+  });
+  return changed ? std::move(copy) : nullptr;
+}
+
+OptimizedPlan Optimize(const PlanNode& plan, const Catalog& catalog,
+                       ExecMode mode, const PlannerOptions& base_options) {
+  constexpr int kMaxCandidates = 32;
+  using Rewrite = PlanPtr (*)(const PlanNode&);
+  const std::vector<std::pair<std::string, Rewrite>> rules = {
+      {"select-push-down", &RewritePushDownSelect},
+      {"negation-pull-up", &RewriteNegationPullUp},
+      {"negation-push-down", &RewriteNegationPushDown},
+      {"distinct-push-down", &RewriteDistinctPushDown},
+  };
+
+  std::vector<PlanCandidate> candidates;
+  std::set<std::string> seen;
+  auto add = [&](PlanPtr p, std::vector<std::string> applied) -> bool {
+    AnnotatePatterns(p.get());
+    if (!IsValidPlan(*p)) return false;
+    std::string fingerprint = p->ToString();
+    if (!seen.insert(fingerprint).second) return false;
+    PlanCandidate c;
+    c.plan = std::move(p);
+    c.rules = std::move(applied);
+    candidates.push_back(std::move(c));
+    return true;
+  };
+  add(plan.Clone(), {});
+
+  // Breadth-first closure over the rewrite rules.
+  for (size_t i = 0;
+       i < candidates.size() &&
+       candidates.size() < static_cast<size_t>(kMaxCandidates);
+       ++i) {
+    for (const auto& [name, rule] : rules) {
+      PlanPtr rewritten = rule(*candidates[i].plan);
+      if (rewritten == nullptr) continue;
+      std::vector<std::string> applied = candidates[i].rules;
+      applied.push_back(name);
+      add(std::move(rewritten), std::move(applied));
+      if (candidates.size() >= static_cast<size_t>(kMaxCandidates)) break;
+    }
+  }
+
+  for (PlanCandidate& c : candidates) {
+    const PlanCost cost = EstimatePlanCost(*c.plan, catalog, mode, base_options);
+    c.cost = cost.total;
+    c.premature_frequency = cost.premature_frequency;
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const PlanCandidate& a, const PlanCandidate& b) {
+                     return a.cost < b.cost;
+                   });
+
+  OptimizedPlan out;
+  out.plan = candidates.front().plan->Clone();
+  out.cost = candidates.front().cost;
+  out.options = base_options;
+  out.options.premature_frequency = candidates.front().premature_frequency;
+  std::string report = "mode=" + ExecModeName(mode) + "\n";
+  for (const PlanCandidate& c : candidates) {
+    report += "cost=" + std::to_string(c.cost) + " premature=" +
+              std::to_string(c.premature_frequency) + " rules=[";
+    for (size_t i = 0; i < c.rules.size(); ++i) {
+      if (i > 0) report += ",";
+      report += c.rules[i];
+    }
+    report += "]\n" + c.plan->ToString();
+  }
+  out.report = std::move(report);
+  out.candidates = std::move(candidates);
+  return out;
+}
+
+}  // namespace upa

@@ -1,0 +1,71 @@
+#ifndef UPA_CORE_OPTIMIZER_H_
+#define UPA_CORE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/logical_plan.h"
+#include "core/physical_planner.h"
+
+namespace upa {
+
+/// One costed candidate produced during optimization.
+struct PlanCandidate {
+  PlanPtr plan;
+  double cost = 0.0;
+  double premature_frequency = 0.0;
+  std::vector<std::string> rules;  ///< Rewrites that produced this plan.
+};
+
+/// Result of Optimize(): the chosen plan plus the ranked candidate list
+/// (kept for inspection, reports and the cost-model validation bench).
+struct OptimizedPlan {
+  PlanPtr plan;
+  double cost = 0.0;
+  /// Planner options with premature_frequency filled in from the cost
+  /// model, so BuildPipeline's StrStrategy::kAuto resolves the Section
+  /// 5.4.3 choice the way the optimizer intended.
+  PlannerOptions options;
+  std::vector<PlanCandidate> candidates;  ///< Sorted by ascending cost.
+  std::string report;                     ///< Human-readable summary.
+};
+
+/// Update-pattern-aware rule-based optimizer (Section 5.4.2).
+///
+/// Rewrite rules:
+///  1. *Selection push-down* (conventional): selections migrate below
+///     joins/unions when their predicates reference one input only.
+///  2. *Update pattern simplification* -- negation pull-up: a join above
+///     whose left input is a negation commutes to a negation above the
+///     join, shrinking the strict non-monotonic region of the plan
+///     (Figure 6, left) so fewer operators process negative tuples.
+///  3. Negation push-down: the inverse of rule 2, preferable when the
+///     negation is highly selective and shrinks intermediate results.
+///  4. *Duplicate elimination push-down*: a distinct above a join spawns
+///     distincts below the join (keyed on each side's contribution plus
+///     the join attribute), sharing delta-distinct output as join input.
+///
+/// Note on rules 2/3: with the paper's Equation 1 multiplicity semantics
+/// the two forms agree exactly when each negation-attribute value matches
+/// at most one tuple on the join's other side (and always under NOT-EXISTS
+/// set semantics); the paper treats the Figure 6 rewritings as equivalent,
+/// and the E5 experiment compares their performance as the paper does.
+///
+/// All candidates are annotated, validated and costed with the Section
+/// 5.4.1 model for the given execution mode; the cheapest is returned.
+OptimizedPlan Optimize(const PlanNode& plan, const Catalog& catalog,
+                       ExecMode mode, const PlannerOptions& base_options = {});
+
+// --- Individual rewrites, exposed for tests and benches. Each returns
+// nullptr when the rule does not apply anywhere in the plan; otherwise a
+// rewritten deep copy (first applicable site, preorder). ---
+
+PlanPtr RewritePushDownSelect(const PlanNode& plan);
+PlanPtr RewriteNegationPullUp(const PlanNode& plan);
+PlanPtr RewriteNegationPushDown(const PlanNode& plan);
+PlanPtr RewriteDistinctPushDown(const PlanNode& plan);
+
+}  // namespace upa
+
+#endif  // UPA_CORE_OPTIMIZER_H_

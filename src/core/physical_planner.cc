@@ -1,0 +1,483 @@
+#include "core/physical_planner.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/macros.h"
+#include "exec/view.h"
+#include "ops/distinct.h"
+#include "ops/groupby.h"
+#include "ops/intersect.h"
+#include "ops/join.h"
+#include "ops/negation.h"
+#include "ops/relation_join.h"
+#include "ops/stateless.h"
+#include "ops/window.h"
+#include "state/hash_buffer.h"
+#include "state/indexed_buffer.h"
+#include "state/list_buffer.h"
+#include "state/partitioned_buffer.h"
+
+namespace upa {
+
+std::string ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kNegativeTuple:
+      return "NT";
+    case ExecMode::kDirect:
+      return "DIRECT";
+    case ExecMode::kUpa:
+      return "UPA";
+  }
+  return "?";
+}
+
+int RootKeyColumn(const PlanNode& plan) {
+  switch (plan.kind) {
+    case PlanOpKind::kJoin:
+    case PlanOpKind::kNegate:
+      return plan.left_col;
+    case PlanOpKind::kIntersect:
+      return 0;
+    case PlanOpKind::kDistinct:
+      return plan.cols[0];
+    case PlanOpKind::kSelect:
+      return RootKeyColumn(plan.child(0));
+    default:
+      return 0;
+  }
+}
+
+Time MaxWindowSpan(const PlanNode& plan) {
+  Time span = plan.kind == PlanOpKind::kWindow ? plan.window_size : 0;
+  for (const auto& c : plan.children) {
+    span = std::max(span, MaxWindowSpan(*c));
+  }
+  return span;
+}
+
+bool ContainsNegation(const PlanNode& plan) {
+  if (plan.kind == PlanOpKind::kNegate) return true;
+  for (const auto& c : plan.children) {
+    if (ContainsNegation(*c)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Per-subtree build style. Under UPA's hybrid strategy different regions
+/// of one plan use different styles (Section 5.4.3: direct below the
+/// negation, negative tuples above it).
+enum class Style { kDirect, kNegative, kPattern };
+
+struct BuildResult {
+  int node = -1;
+  UpdatePattern pattern = UpdatePattern::kMonotonic;
+  Time span = 0;  // Expiration-time spread of tuples on this edge.
+  /// True when every deletion on this edge is signalled by a negative
+  /// tuple, so consumers need no time-based expiration.
+  bool negatives_complete = false;
+};
+
+class PlannerImpl {
+ public:
+  PlannerImpl(ExecMode mode, const PlannerOptions& opts)
+      : mode_(mode), opts_(opts) {}
+
+  std::unique_ptr<Pipeline> Build(const PlanNode& plan) {
+    pipeline_ = std::make_unique<Pipeline>();
+    AssignStyles(plan);
+    const BuildResult root = BuildNode(plan);
+    pipeline_->SetView(MakeView(plan, root));
+    return std::move(pipeline_);
+  }
+
+ private:
+  Style StyleOf(const PlanNode& n) const {
+    auto it = styles_.find(&n);
+    UPA_CHECK(it != styles_.end());
+    return it->second;
+  }
+
+  void MarkSubtree(const PlanNode& n, Style style) {
+    styles_[&n] = style;
+    for (const auto& c : n.children) MarkSubtree(*c, style);
+  }
+
+  /// Finds the topmost negation (preorder) and returns the root-to-it
+  /// path, or an empty path if none.
+  static bool FindNegationPath(const PlanNode& n,
+                               std::vector<const PlanNode*>* path) {
+    path->push_back(&n);
+    if (n.kind == PlanOpKind::kNegate) return true;
+    for (const auto& c : n.children) {
+      if (FindNegationPath(*c, path)) return true;
+    }
+    path->pop_back();
+    return false;
+  }
+
+  void AssignStyles(const PlanNode& plan) {
+    switch (mode_) {
+      case ExecMode::kDirect:
+        MarkSubtree(plan, Style::kDirect);
+        return;
+      case ExecMode::kNegativeTuple:
+        MarkSubtree(plan, Style::kNegative);
+        return;
+      case ExecMode::kUpa:
+        break;
+    }
+    MarkSubtree(plan, Style::kPattern);
+    if (!ContainsNegation(plan)) return;
+    const bool frequent =
+        opts_.str_strategy == StrStrategy::kNegativeTuples ||
+        (opts_.str_strategy == StrStrategy::kAuto &&
+         opts_.premature_frequency > kPrematureFrequencyThreshold);
+    if (!frequent) return;
+    // Hybrid execution (Section 5.4.3): everything strictly above the
+    // topmost negation -- including the sibling subtrees feeding those
+    // ancestors -- runs under the negative tuple approach; the negation
+    // itself emits a negative tuple for every removal from its answer.
+    std::vector<const PlanNode*> path;
+    const bool found = FindNegationPath(plan, &path);
+    UPA_CHECK(found);
+    hybrid_negation_ = path.back();
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      styles_[path[i]] = Style::kNegative;
+      for (const auto& c : path[i]->children) {
+        if (c.get() != path[i + 1]) MarkSubtree(*c, Style::kNegative);
+      }
+    }
+  }
+
+  Time LazyInterval(Time span) const {
+    return std::max<Time>(
+        1, static_cast<Time>(static_cast<double>(span) * opts_.lazy_fraction));
+  }
+
+  /// Builds a state buffer for an operator input with the given edge
+  /// properties. `key_col` is the operator's key attribute on that input
+  /// (hash key under negative-tuple maintenance). `probed` marks state
+  /// that the operator probes by key on every arrival (join/intersection
+  /// inputs), eligible for the IndexedBuffer extension.
+  std::unique_ptr<StateBuffer> MakeBuffer(Style style, UpdatePattern pattern,
+                                          bool negatives_complete, int key_col,
+                                          Time span, bool allow_lazy,
+                                          bool probed = false) const {
+    std::unique_ptr<StateBuffer> buf;
+    if (style == Style::kNegative || negatives_complete) {
+      // Negative-tuple maintenance: the hash index locates the tuples that
+      // arriving negatives delete; probing still scans, matching the
+      // Section 5.4.1 cost accounting (see HashBuffer).
+      buf = std::make_unique<HashBuffer>(key_col < 0 ? 0 : key_col,
+                                         opts_.hash_buckets,
+                                         /*scan_probes=*/true);
+      return buf;
+    }
+    const Time effective_span = std::max<Time>(1, span);
+    if (style == Style::kDirect) {
+      buf = std::make_unique<ListBuffer>();
+    } else if (probed && opts_.index_probed_state && key_col >= 0) {
+      buf = std::make_unique<IndexedBuffer>(key_col, opts_.num_partitions,
+                                            effective_span,
+                                            opts_.index_buckets);
+    } else {
+      switch (pattern) {
+        case UpdatePattern::kMonotonic:
+        case UpdatePattern::kWeakest:
+          buf = std::make_unique<FifoBuffer>();
+          break;
+        case UpdatePattern::kWeak:
+        case UpdatePattern::kStrict:
+          buf = std::make_unique<PartitionedBuffer>(opts_.num_partitions,
+                                                    effective_span);
+          break;
+      }
+    }
+    if (allow_lazy) buf->SetLazy(LazyInterval(effective_span));
+    return buf;
+  }
+
+  BuildResult BuildNode(const PlanNode& n) {
+    const Style style = StyleOf(n);
+    switch (n.kind) {
+      case PlanOpKind::kStream: {
+        BuildResult r;
+        r.node = pipeline_->AddOperator(
+            std::make_unique<TimeWindowOp>(n.schema, kNeverExpires,
+                                           /*materialize=*/false),
+            {});
+        pipeline_->BindStream(n.stream_id, r.node, 0);
+        r.pattern = UpdatePattern::kMonotonic;
+        r.span = 1;
+        r.negatives_complete = false;
+        return r;
+      }
+      case PlanOpKind::kWindow: {
+        BuildResult r;
+        const bool materialize = style == Style::kNegative;
+        r.node = pipeline_->AddOperator(
+            std::make_unique<TimeWindowOp>(n.schema, n.window_size,
+                                           materialize),
+            {});
+        pipeline_->BindStream(n.child(0).stream_id, r.node, 0);
+        r.pattern = UpdatePattern::kWeakest;
+        r.span = n.window_size;
+        r.negatives_complete = materialize;
+        return r;
+      }
+      case PlanOpKind::kCountWindow: {
+        BuildResult r;
+        r.node = pipeline_->AddOperator(
+            std::make_unique<CountWindowOp>(n.schema, n.count), {});
+        pipeline_->BindStream(n.child(0).stream_id, r.node, 0);
+        r.pattern = UpdatePattern::kStrict;
+        r.span = static_cast<Time>(n.count);
+        r.negatives_complete = true;
+        return r;
+      }
+      case PlanOpKind::kSelect: {
+        BuildResult r = BuildNode(n.child(0));
+        r.node = pipeline_->AddOperator(
+            std::make_unique<SelectOp>(n.schema, n.preds), {r.node});
+        return r;
+      }
+      case PlanOpKind::kProject: {
+        BuildResult r = BuildNode(n.child(0));
+        r.node = pipeline_->AddOperator(
+            std::make_unique<ProjectOp>(n.child(0).schema, n.cols), {r.node});
+        return r;
+      }
+      case PlanOpKind::kUnion: {
+        const BuildResult l = BuildNode(n.child(0));
+        const BuildResult rr = BuildNode(n.child(1));
+        UPA_CHECK(l.negatives_complete == rr.negatives_complete);
+        BuildResult r;
+        r.node = pipeline_->AddOperator(std::make_unique<UnionOp>(n.schema),
+                                        {l.node, rr.node});
+        r.pattern = n.pattern;
+        r.span = std::max(l.span, rr.span);
+        r.negatives_complete = l.negatives_complete;
+        return r;
+      }
+      case PlanOpKind::kJoin:
+        return BuildJoin(n, style);
+      case PlanOpKind::kIntersect: {
+        const BuildResult l = BuildNode(n.child(0));
+        const BuildResult rr = BuildNode(n.child(1));
+        UPA_CHECK(l.negatives_complete == rr.negatives_complete);
+        const bool complete = l.negatives_complete;
+        BuildResult r;
+        r.node = pipeline_->AddOperator(
+            std::make_unique<IntersectOp>(
+                n.schema,
+                MakeBuffer(style, l.pattern, complete, 0, l.span,
+                           /*allow_lazy=*/!complete),
+                MakeBuffer(style, rr.pattern, complete, 0, rr.span,
+                           /*allow_lazy=*/!complete),
+                /*time_expiration=*/!complete),
+            {l.node, rr.node});
+        r.pattern = n.pattern;
+        r.span = std::max(l.span, rr.span);
+        r.negatives_complete = complete;
+        return r;
+      }
+      case PlanOpKind::kDistinct:
+        return BuildDistinct(n, style);
+      case PlanOpKind::kGroupBy: {
+        const BuildResult c = BuildNode(n.child(0));
+        const int key = n.group_col >= 0 ? n.group_col : 0;
+        BuildResult r;
+        r.node = pipeline_->AddOperator(
+            std::make_unique<GroupByOp>(
+                n.child(0).schema, n.group_col, n.agg, n.agg_col,
+                MakeBuffer(style, c.pattern, c.negatives_complete, key, c.span,
+                           /*allow_lazy=*/false),
+                /*time_expiration=*/!c.negatives_complete),
+            {c.node});
+        r.pattern = n.pattern;
+        r.span = c.span;
+        r.negatives_complete = false;  // Replace semantics, root-only.
+        return r;
+      }
+      case PlanOpKind::kNegate: {
+        const BuildResult l = BuildNode(n.child(0));
+        const BuildResult rr = BuildNode(n.child(1));
+        UPA_CHECK(l.negatives_complete == rr.negatives_complete);
+        const bool complete = l.negatives_complete;
+        const bool emit_expiration_negatives =
+            style == Style::kNegative || &n == hybrid_negation_;
+        BuildResult r;
+        r.node = pipeline_->AddOperator(
+            std::make_unique<NegationOp>(
+                n.schema, n.left_col, n.right_col,
+                MakeBuffer(style, l.pattern, complete, n.left_col, l.span,
+                           /*allow_lazy=*/false),
+                MakeBuffer(style, rr.pattern, complete, n.right_col, rr.span,
+                           /*allow_lazy=*/false),
+                /*time_expiration=*/!complete, emit_expiration_negatives),
+            {l.node, rr.node});
+        r.pattern = n.pattern;
+        r.span = std::max(l.span, rr.span);
+        r.negatives_complete = emit_expiration_negatives;
+        return r;
+      }
+      case PlanOpKind::kRelation:
+        UPA_FATAL("relation leaves are built by their parent join");
+    }
+    UPA_FATAL("unhandled plan node kind");
+  }
+
+  BuildResult BuildJoin(const PlanNode& n, Style style) {
+    const PlanNode& rnode = n.child(1);
+    if (rnode.kind != PlanOpKind::kRelation) {
+      const BuildResult l = BuildNode(n.child(0));
+      const BuildResult rr = BuildNode(n.child(1));
+      UPA_CHECK(l.negatives_complete == rr.negatives_complete);
+      const bool complete = l.negatives_complete;
+      BuildResult r;
+      r.node = pipeline_->AddOperator(
+          std::make_unique<JoinOp>(
+              n.child(0).schema, n.child(1).schema, n.left_col, n.right_col,
+              MakeBuffer(style, l.pattern, complete, n.left_col, l.span,
+                         /*allow_lazy=*/!complete, /*probed=*/true),
+              MakeBuffer(style, rr.pattern, complete, n.right_col, rr.span,
+                         /*allow_lazy=*/!complete, /*probed=*/true),
+              /*time_expiration=*/!complete),
+          {l.node, rr.node});
+      r.pattern = n.pattern;
+      r.span = std::max(l.span, rr.span);
+      r.negatives_complete = complete;
+      return r;
+    }
+    const BuildResult l = BuildNode(n.child(0));
+    // The relation rows never expire; a hash table keyed on the join
+    // attribute is the natural store except under the scan-everything
+    // DIRECT baseline.
+    std::unique_ptr<StateBuffer> table;
+    if (style == Style::kDirect) {
+      table = std::make_unique<ListBuffer>();
+    } else {
+      table = std::make_unique<HashBuffer>(n.right_col, opts_.hash_buckets);
+    }
+    BuildResult r;
+    if (!rnode.retroactive) {
+      // Section 5.4.2: the NRR join cannot process negative tuples.
+      UPA_CHECK(!l.negatives_complete);
+      r.node = pipeline_->AddOperator(
+          std::make_unique<NrrJoinOp>(n.child(0).schema, rnode.schema,
+                                      n.left_col, n.right_col,
+                                      std::move(table)),
+          {l.node});
+      r.negatives_complete = false;
+    } else {
+      r.node = pipeline_->AddOperator(
+          std::make_unique<RelJoinOp>(
+              n.child(0).schema, rnode.schema, n.left_col, n.right_col,
+              MakeBuffer(style, l.pattern, l.negatives_complete, n.left_col,
+                         l.span, /*allow_lazy=*/!l.negatives_complete),
+              std::move(table),
+              /*time_expiration=*/!l.negatives_complete),
+          {l.node});
+      r.negatives_complete = l.negatives_complete;
+    }
+    pipeline_->BindStream(rnode.stream_id, r.node, 1);
+    r.pattern = n.pattern;
+    r.span = l.span;
+    return r;
+  }
+
+  BuildResult BuildDistinct(const PlanNode& n, Style style) {
+    const BuildResult c = BuildNode(n.child(0));
+    const int key0 = n.cols[0];
+    BuildResult r;
+    const bool use_delta =
+        style == Style::kPattern && !c.negatives_complete &&
+        c.pattern != UpdatePattern::kStrict;
+    if (use_delta) {
+      // The delta operator's own output expires out of generation order
+      // (weak non-monotonic), so its output state is partitioned.
+      r.node = pipeline_->AddOperator(
+          std::make_unique<DeltaDistinctOp>(
+              n.schema, n.cols,
+              MakeBuffer(style, UpdatePattern::kWeak, false, key0, c.span,
+                         /*allow_lazy=*/false)),
+          {c.node});
+      r.negatives_complete = false;
+    } else {
+      r.node = pipeline_->AddOperator(
+          std::make_unique<DistinctOp>(
+              n.schema, n.cols,
+              MakeBuffer(style, c.pattern, c.negatives_complete, key0, c.span,
+                         /*allow_lazy=*/!c.negatives_complete),
+              MakeBuffer(style, UpdatePattern::kWeak, c.negatives_complete,
+                         key0, c.span, /*allow_lazy=*/false),
+              /*time_expiration=*/!c.negatives_complete),
+          {c.node});
+      r.negatives_complete = c.negatives_complete;
+    }
+    r.pattern = n.pattern;
+    r.span = c.span;
+    return r;
+  }
+
+  std::unique_ptr<ResultView> MakeView(const PlanNode& plan,
+                                       const BuildResult& root) {
+    if (plan.kind == PlanOpKind::kGroupBy) {
+      return std::make_unique<GroupArrayView>();
+    }
+    const int key = RootKeyColumn(plan);
+    if (root.negatives_complete) {
+      // All deletions arrive as negative tuples: hash on the key attribute
+      // (Sections 2.3.1 and 5.4.3).
+      return std::make_unique<BufferView>(
+          std::make_unique<HashBuffer>(key, opts_.hash_buckets),
+          /*time_expiration=*/false);
+    }
+    const Time span = std::max<Time>(1, root.span);
+    std::unique_ptr<StateBuffer> buf;
+    switch (StyleOf(plan)) {
+      case Style::kDirect:
+        buf = std::make_unique<ListBuffer>();
+        break;
+      case Style::kNegative:
+        buf = std::make_unique<HashBuffer>(key, opts_.hash_buckets);
+        break;
+      case Style::kPattern:
+        switch (root.pattern) {
+          case UpdatePattern::kMonotonic:
+          case UpdatePattern::kWeakest:
+            buf = std::make_unique<FifoBuffer>();
+            break;
+          case UpdatePattern::kWeak:
+          case UpdatePattern::kStrict:
+            buf = std::make_unique<PartitionedBuffer>(opts_.num_partitions,
+                                                      span);
+            break;
+        }
+        break;
+    }
+    return std::make_unique<BufferView>(std::move(buf),
+                                        /*time_expiration=*/true);
+  }
+
+  ExecMode mode_;
+  PlannerOptions opts_;
+  std::unique_ptr<Pipeline> pipeline_;
+  std::map<const PlanNode*, Style> styles_;
+  const PlanNode* hybrid_negation_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Pipeline> BuildPipeline(const PlanNode& plan, ExecMode mode,
+                                        const PlannerOptions& options) {
+  ValidatePlan(plan);
+  PlannerImpl impl(mode, options);
+  return impl.Build(plan);
+}
+
+}  // namespace upa

@@ -1,0 +1,26 @@
+#include "core/update_pattern.h"
+
+#include <algorithm>
+
+namespace upa {
+
+std::string PatternName(UpdatePattern p) {
+  switch (p) {
+    case UpdatePattern::kMonotonic:
+      return "MONO";
+    case UpdatePattern::kWeakest:
+      return "WKS";
+    case UpdatePattern::kWeak:
+      return "WK";
+    case UpdatePattern::kStrict:
+      return "STR";
+  }
+  return "?";
+}
+
+UpdatePattern MaxPattern(UpdatePattern a, UpdatePattern b) {
+  return static_cast<UpdatePattern>(
+      std::max(static_cast<int>(a), static_cast<int>(b)));
+}
+
+}  // namespace upa

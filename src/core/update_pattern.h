@@ -1,0 +1,39 @@
+#ifndef UPA_CORE_UPDATE_PATTERN_H_
+#define UPA_CORE_UPDATE_PATTERN_H_
+
+#include <string>
+
+namespace upa {
+
+/// The paper's classification of continuous-query update patterns
+/// (Section 3.1). Ordered by increasing complexity, which is what the
+/// propagation rules of Section 5.2 combine over.
+enum class UpdatePattern {
+  /// Append-only output; no deletions ever (stateless operators over
+  /// infinite streams).
+  kMonotonic = 0,
+  /// Weakest non-monotonic (WKS): results expire in the order they were
+  /// generated (FIFO). Projection/selection over a single window,
+  /// merge-union of windows.
+  kWeakest = 1,
+  /// Weak non-monotonic (WK): expiration order differs from generation
+  /// order, but every result's expiration time is known when it is
+  /// produced (the exp timestamp) -- no negative tuples needed. Join,
+  /// duplicate elimination, group-by.
+  kWeak = 2,
+  /// Strict non-monotonic (STR): some results expire at unpredictable
+  /// times and deletions must be signalled with negative tuples. Negation,
+  /// joins with retroactive relations.
+  kStrict = 3,
+};
+
+/// Short label: "MONO", "WKS", "WK", "STR" (the paper's abbreviations).
+std::string PatternName(UpdatePattern p);
+
+/// The more complex of two patterns (Rule 2's combination for binary
+/// weakest non-monotonic operators).
+UpdatePattern MaxPattern(UpdatePattern a, UpdatePattern b);
+
+}  // namespace upa
+
+#endif  // UPA_CORE_UPDATE_PATTERN_H_

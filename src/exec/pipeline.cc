@@ -1,0 +1,143 @@
+#include "exec/pipeline.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+int Pipeline::AddOperator(std::unique_ptr<Operator> op,
+                          const std::vector<int>& children) {
+  UPA_CHECK(op != nullptr);
+  UPA_CHECK(static_cast<int>(children.size()) <= op->num_inputs());
+  const int id = static_cast<int>(nodes_.size());
+  for (size_t port = 0; port < children.size(); ++port) {
+    const int child = children[port];
+    UPA_CHECK(child >= 0 && child < id);
+    Node& c = nodes_[static_cast<size_t>(child)];
+    UPA_CHECK(c.parent == -1);  // Trees only: one consumer per node.
+    c.parent = id;
+    c.parent_port = static_cast<int>(port);
+  }
+  Node node;
+  node.op = std::move(op);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void Pipeline::SetView(std::unique_ptr<ResultView> view) {
+  UPA_CHECK(view != nullptr);
+  UPA_CHECK(view_ == nullptr);
+  int roots = 0;
+  for (const Node& n : nodes_) roots += n.parent == -1 ? 1 : 0;
+  UPA_CHECK(roots == 1);
+  view_ = std::move(view);
+}
+
+void Pipeline::BindStream(int stream_id, int node, int port) {
+  UPA_CHECK(node >= 0 && node < static_cast<int>(nodes_.size()));
+  UPA_CHECK(port >= 0 &&
+            port < nodes_[static_cast<size_t>(node)].op->num_inputs());
+  stream_bindings_.emplace(stream_id, std::make_pair(node, port));
+}
+
+void Pipeline::Tick(Time now) {
+  if (now <= last_tick_) return;
+  last_tick_ = now;
+  // Children first: materialized windows at the leaves emit expiration
+  // negatives into parents that have not advanced yet.
+  class TickEmitter : public Emitter {
+   public:
+    TickEmitter(Pipeline* p, int node) : p_(p), node_(node) {}
+    void Emit(const Tuple& t) override {
+      const Node& n = p_->nodes_[static_cast<size_t>(node_)];
+      p_->Deliver(n.parent, n.parent_port, t);
+    }
+
+   private:
+    Pipeline* p_;
+    int node_;
+  };
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    TickEmitter e(this, static_cast<int>(i));
+    nodes_[i].op->AdvanceTime(now, e);
+  }
+  if (view_ != nullptr) view_->AdvanceTime(now);
+}
+
+void Pipeline::Ingest(int stream_id, const Tuple& t) {
+  const auto [begin, end] = stream_bindings_.equal_range(stream_id);
+  UPA_CHECK(begin != end);
+  UPA_CHECK(t.ts <= last_tick_);
+  ++stats_.ingested;
+  for (auto it = begin; it != end; ++it) {
+    Deliver(it->second.first, it->second.second, t);
+  }
+}
+
+void Pipeline::Deliver(int node, int port, const Tuple& t) {
+  if (node < 0) {
+    DeliverToView(t);
+    return;
+  }
+  ++stats_.delivered;
+  if (t.negative) ++stats_.negatives_delivered;
+  Node& n = nodes_[static_cast<size_t>(node)];
+  class ForwardEmitter : public Emitter {
+   public:
+    ForwardEmitter(Pipeline* p, int node) : p_(p), node_(node) {}
+    void Emit(const Tuple& t) override {
+      const Node& n = p_->nodes_[static_cast<size_t>(node_)];
+      p_->Deliver(n.parent, n.parent_port, t);
+    }
+
+   private:
+    Pipeline* p_;
+    int node_;
+  };
+  ForwardEmitter e(this, node);
+  n.op->Process(port, t, e);
+}
+
+void Pipeline::DeliverToView(const Tuple& t) {
+  if (t.negative) {
+    ++stats_.results_neg;
+  } else {
+    ++stats_.results_pos;
+  }
+  if (view_ != nullptr) view_->Apply(t);
+}
+
+const ResultView& Pipeline::view() const {
+  UPA_CHECK(view_ != nullptr);
+  return *view_;
+}
+
+size_t Pipeline::StateBytes() const {
+  size_t bytes = view_ != nullptr ? view_->StateBytes() : 0;
+  for (const Node& n : nodes_) bytes += n.op->StateBytes();
+  return bytes;
+}
+
+size_t Pipeline::StateTuples() const {
+  size_t tuples = view_ != nullptr ? view_->Size() : 0;
+  for (const Node& n : nodes_) tuples += n.op->StateTuples();
+  return tuples;
+}
+
+std::string Pipeline::DebugString() const {
+  std::string out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    out += "#" + std::to_string(i) + " " + nodes_[i].op->Name();
+    if (nodes_[i].parent >= 0) {
+      out += " -> #" + std::to_string(nodes_[i].parent) + ":" +
+             std::to_string(nodes_[i].parent_port);
+    } else {
+      out += " -> view";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace upa

@@ -1,0 +1,105 @@
+#ifndef UPA_EXEC_PIPELINE_H_
+#define UPA_EXEC_PIPELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/view.h"
+#include "ops/operator.h"
+
+namespace upa {
+
+/// Execution counters for one pipeline run.
+struct PipelineStats {
+  uint64_t ingested = 0;           ///< Base tuples pushed in.
+  uint64_t delivered = 0;          ///< Tuples delivered to any operator.
+  uint64_t negatives_delivered = 0;///< Negative tuples among `delivered`.
+  uint64_t results_pos = 0;        ///< Positive tuples applied to the view.
+  uint64_t results_neg = 0;        ///< Negative tuples applied to the view.
+};
+
+/// A physical query plan wired for push-based execution.
+///
+/// Operators form a tree; each operator's emissions are routed to its
+/// parent's input port, and the root's emissions feed the materialized
+/// ResultView. Per the paper's processing model (Section 2), the driver
+/// must alternate:
+///
+///   pipeline.Tick(ts);              // advance clocks / expire, bottom-up
+///   pipeline.Ingest(stream_id, t);  // then process the new arrival
+///
+/// with non-decreasing timestamps. Tick() walks operators in insertion
+/// (topological, children-first) order, which makes the negative tuple
+/// approach work out naturally: materialized windows at the leaves emit
+/// their expiration negatives into parents whose local clocks have not yet
+/// advanced, exactly the Section 2.3.2 local-clock discipline.
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Adds `op`, wiring the existing nodes `children` (in port order) to
+  /// feed it. Children must be added before parents. Returns the node id.
+  int AddOperator(std::unique_ptr<Operator> op,
+                  const std::vector<int>& children);
+
+  /// Installs the materialized view fed by the (unique) root operator.
+  /// Must be called after all operators are added.
+  void SetView(std::unique_ptr<ResultView> view);
+
+  /// Declares that tuples of `stream_id` enter at `node`'s input `port`.
+  /// A stream may be bound to several ingress nodes (e.g. two windows of
+  /// different sizes over one base stream, or a self-join): each Ingest()
+  /// then delivers the tuple to every binding, in binding order.
+  void BindStream(int stream_id, int node, int port = 0);
+
+  /// Advances time to `now` (idempotent per timestamp).
+  void Tick(Time now);
+
+  /// Pushes one tuple of `stream_id` through the plan.
+  void Ingest(int stream_id, const Tuple& t);
+
+  /// True if `stream_id` is bound to an ingress node.
+  bool HasStream(int stream_id) const {
+    return stream_bindings_.count(stream_id) > 0;
+  }
+
+  const ResultView& view() const;
+  ResultView* mutable_view() { return view_.get(); }
+
+  const PipelineStats& stats() const { return stats_; }
+
+  /// Total operator + view state, for the memory experiments.
+  size_t StateBytes() const;
+  size_t StateTuples() const;
+
+  int num_operators() const { return static_cast<int>(nodes_.size()); }
+  const Operator& op(int node) const { return *nodes_[size_t(node)].op; }
+
+  std::string DebugString() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<Operator> op;
+    int parent = -1;
+    int parent_port = 0;
+  };
+
+  void Deliver(int node, int port, const Tuple& t);
+  void DeliverToView(const Tuple& t);
+
+  std::vector<Node> nodes_;
+  std::unique_ptr<ResultView> view_;
+  std::multimap<int, std::pair<int, int>> stream_bindings_;  // id->(node,port)
+  Time last_tick_ = -1;
+  PipelineStats stats_;
+};
+
+}  // namespace upa
+
+#endif  // UPA_EXEC_PIPELINE_H_

@@ -1,0 +1,60 @@
+#include "exec/replay.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/macros.h"
+
+namespace upa {
+
+ReplayMetrics ReplayTrace(const Trace& trace, Pipeline* pipeline,
+                          const ReplayOptions& options) {
+  UPA_CHECK(pipeline != nullptr);
+  ReplayMetrics m;
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t since_poll = 0;
+  uint64_t since_checkpoint = 0;
+  for (const TraceEvent& e : trace.events) {
+    // Traces may carry streams this query does not reference.
+    if (!pipeline->HasStream(e.stream)) continue;
+    pipeline->Tick(e.tuple.ts);
+    pipeline->Ingest(e.stream, e.tuple);
+    ++m.tuples;
+    if (options.state_poll_interval > 0 &&
+        ++since_poll >= options.state_poll_interval) {
+      since_poll = 0;
+      m.max_state_bytes = std::max(m.max_state_bytes, pipeline->StateBytes());
+      m.max_state_tuples =
+          std::max(m.max_state_tuples, pipeline->StateTuples());
+    }
+    if (options.checkpoint_interval > 0 &&
+        ++since_checkpoint >= options.checkpoint_interval) {
+      since_checkpoint = 0;
+      if (options.on_checkpoint) options.on_checkpoint(e.tuple.ts);
+    }
+  }
+  if (options.drain > 0 && !trace.events.empty()) {
+    const Time last = trace.LastTs();
+    const Time step = std::max<Time>(1, options.drain_step);
+    for (Time t = last + step; t <= last + options.drain; t += step) {
+      pipeline->Tick(t);
+      if (options.checkpoint_interval > 0 && options.on_checkpoint) {
+        options.on_checkpoint(t);
+      }
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  m.wall_seconds = std::chrono::duration<double>(end - start).count();
+  if (m.tuples > 0) {
+    m.ms_per_1000_tuples =
+        m.wall_seconds * 1000.0 / (static_cast<double>(m.tuples) / 1000.0);
+  }
+  m.stats = pipeline->stats();
+  if (options.state_poll_interval > 0) {
+    m.max_state_bytes = std::max(m.max_state_bytes, pipeline->StateBytes());
+    m.max_state_tuples = std::max(m.max_state_tuples, pipeline->StateTuples());
+  }
+  return m;
+}
+
+}  // namespace upa

@@ -1,0 +1,49 @@
+#ifndef UPA_EXEC_REPLAY_H_
+#define UPA_EXEC_REPLAY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "exec/pipeline.h"
+#include "workload/trace.h"
+
+namespace upa {
+
+/// Measurement results of one trace replay, in the units the paper reports
+/// (Section 6.1: "average overall query execution times -- including
+/// processing, tuple insertion, and expiration -- per 1000 tuples").
+struct ReplayMetrics {
+  uint64_t tuples = 0;
+  double wall_seconds = 0.0;
+  /// Milliseconds of execution time per 1000 input tuples processed.
+  double ms_per_1000_tuples = 0.0;
+  size_t max_state_bytes = 0;
+  size_t max_state_tuples = 0;
+  PipelineStats stats;
+};
+
+/// Options for ReplayTrace.
+struct ReplayOptions {
+  /// Poll pipeline state size every this many tuples (0 = never).
+  uint64_t state_poll_interval = 1000;
+  /// Invoked after every `checkpoint_interval` tuples with the current
+  /// time; used by correctness tests to compare views against the
+  /// reference evaluator. 0 disables.
+  uint64_t checkpoint_interval = 0;
+  std::function<void(Time now)> on_checkpoint;
+  /// After the last event, keep ticking once per `drain_step` time units
+  /// for `drain` more time units so that pending expirations are applied
+  /// (the paper's handling of idle inputs: operators initiate expiration
+  /// even without arrivals). 0 disables.
+  Time drain = 0;
+  Time drain_step = 1;
+};
+
+/// Replays `trace` through `pipeline` (Tick + Ingest per event, per the
+/// Section 2 processing model) and returns timing/size metrics.
+ReplayMetrics ReplayTrace(const Trace& trace, Pipeline* pipeline,
+                          const ReplayOptions& options = {});
+
+}  // namespace upa
+
+#endif  // UPA_EXEC_REPLAY_H_

@@ -1,0 +1,77 @@
+#include "exec/view.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+BufferView::BufferView(std::unique_ptr<StateBuffer> buffer,
+                       bool time_expiration)
+    : buffer_(std::move(buffer)), time_expiration_(time_expiration) {
+  UPA_CHECK(buffer_ != nullptr);
+  // A materialized answer must satisfy Definition 1 at all times, so lazy
+  // maintenance is not allowed for the final view.
+  UPA_CHECK(!buffer_->lazy());
+}
+
+void BufferView::Apply(const Tuple& t) {
+  if (t.negative) {
+    buffer_->EraseOneMatch(t);
+    return;
+  }
+  buffer_->Insert(t);
+}
+
+void BufferView::AdvanceTime(Time now) {
+  if (time_expiration_) {
+    buffer_->Advance(now, nullptr);
+  } else {
+    buffer_->SetClock(now);
+  }
+}
+
+std::vector<Tuple> BufferView::Snapshot() const {
+  std::vector<Tuple> out;
+  out.reserve(buffer_->LiveCount());
+  buffer_->ForEachLive([&out](const Tuple& t) { out.push_back(t); });
+  return out;
+}
+
+void GroupArrayView::Apply(const Tuple& t) {
+  UPA_CHECK(!t.negative);
+  UPA_CHECK(t.fields.size() == 3);
+  const Value& group = t.fields[0];
+  const int64_t count = AsInt(t.fields[2]);
+  if (count == 0) {
+    groups_.erase(group);
+  } else {
+    groups_[group] = AsDouble(t.fields[1]);
+  }
+}
+
+void GroupArrayView::AdvanceTime(Time now) {
+  (void)now;  // Replacement semantics: nothing expires by time here.
+}
+
+size_t GroupArrayView::StateBytes() const {
+  return groups_.size() * (sizeof(Value) + sizeof(double) + 48);
+}
+
+std::vector<Tuple> GroupArrayView::Snapshot() const {
+  std::vector<Tuple> out;
+  out.reserve(groups_.size());
+  for (const auto& [group, agg] : groups_) {
+    Tuple t;
+    t.fields = {group, Value{agg}};
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+const double* GroupArrayView::Lookup(const Value& group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+}  // namespace upa

@@ -1,0 +1,156 @@
+#include "ops/distinct.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+DistinctOp::DistinctOp(Schema schema, std::vector<int> key_cols,
+                       std::unique_ptr<StateBuffer> input_state,
+                       std::unique_ptr<StateBuffer> output_state,
+                       bool time_expiration)
+    : schema_(std::move(schema)),
+      key_cols_(std::move(key_cols)),
+      input_(std::move(input_state)),
+      output_(std::move(output_state)),
+      time_expiration_(time_expiration) {
+  UPA_CHECK(!key_cols_.empty());
+  for (int c : key_cols_) UPA_CHECK(c >= 0 && c < schema_.num_fields());
+  UPA_CHECK(input_ != nullptr && output_ != nullptr);
+  UPA_CHECK(!output_->lazy());  // The output must react to expirations.
+}
+
+bool DistinctOp::FindReplacement(const Key& key, const Tuple** found) const {
+  const Tuple* best = nullptr;
+  ForEachMatchKey(*input_, key_cols_, key, [&](const Tuple& t) {
+    if (best == nullptr || t.exp > best->exp ||
+        (t.exp == best->exp && t.ts > best->ts)) {
+      best = &t;
+    }
+  });
+  *found = best;
+  return best != nullptr;
+}
+
+void DistinctOp::Replace(const Tuple& gone, Emitter& out) {
+  const Tuple* repl = nullptr;
+  if (FindReplacement(ExtractKey(gone, key_cols_), &repl)) {
+    Tuple r = *repl;
+    output_->Insert(r);
+    out.Emit(r);
+  }
+}
+
+void DistinctOp::Process(int port, const Tuple& t, Emitter& out) {
+  UPA_DCHECK(port == 0);
+  (void)port;
+  if (t.negative) {
+    input_->EraseOneMatch(t);
+    if (output_->EraseOneMatch(t)) {
+      // The expired/deleted tuple was the output representative of its
+      // key: signal its deletion and promote a live duplicate, if any.
+      out.Emit(t);
+      Replace(t, out);
+    }
+    return;
+  }
+  input_->Insert(t);
+  bool duplicate = false;
+  ForEachMatchKey(*output_, key_cols_, ExtractKey(t, key_cols_),
+                  [&duplicate](const Tuple&) { duplicate = true; });
+  if (!duplicate) {
+    output_->Insert(t);
+    out.Emit(t);
+  }
+}
+
+void DistinctOp::AdvanceTime(Time now, Emitter& out) {
+  if (!time_expiration_) {
+    input_->SetClock(now);
+    output_->SetClock(now);
+    return;
+  }
+  // Advance the input first so replacement probes observe correct
+  // liveness; collect expired output tuples, then replace outside the
+  // buffer's expiration loop.
+  input_->Advance(now, nullptr);
+  std::vector<Tuple> expired;
+  output_->Advance(now, [&expired](const Tuple& t) { expired.push_back(t); });
+  for (const Tuple& gone : expired) Replace(gone, out);
+}
+
+size_t DistinctOp::StateBytes() const {
+  return input_->StateBytes() + output_->StateBytes();
+}
+
+size_t DistinctOp::StateTuples() const {
+  return input_->PhysicalCount() + output_->PhysicalCount();
+}
+
+DeltaDistinctOp::DeltaDistinctOp(Schema schema, std::vector<int> key_cols,
+                                 std::unique_ptr<StateBuffer> output_state)
+    : schema_(std::move(schema)),
+      key_cols_(std::move(key_cols)),
+      output_(std::move(output_state)) {
+  UPA_CHECK(!key_cols_.empty());
+  for (int c : key_cols_) UPA_CHECK(c >= 0 && c < schema_.num_fields());
+  UPA_CHECK(output_ != nullptr);
+  UPA_CHECK(!output_->lazy());
+}
+
+void DeltaDistinctOp::Process(int port, const Tuple& t, Emitter& out) {
+  UPA_DCHECK(port == 0);
+  (void)port;
+  // delta-distinct is only planned over WKS/WK inputs, which by definition
+  // produce no premature expirations.
+  UPA_CHECK(!t.negative);
+  Key key = ExtractKey(t, key_cols_);
+  bool duplicate = false;
+  ForEachMatchKey(*output_, key_cols_, key,
+                  [&duplicate](const Tuple&) { duplicate = true; });
+  if (!duplicate) {
+    output_->Insert(t);
+    out.Emit(t);
+    return;
+  }
+  // Keep the latest-expiring duplicate as the designated replacement.
+  auto it = aux_.find(key);
+  if (it == aux_.end()) {
+    aux_bytes_ += EstimateTupleBytes(t);
+    aux_.emplace(std::move(key), t);
+  } else if (t.exp > it->second.exp ||
+             (t.exp == it->second.exp && t.ts >= it->second.ts)) {
+    aux_bytes_ -= EstimateTupleBytes(it->second);
+    aux_bytes_ += EstimateTupleBytes(t);
+    it->second = t;
+  }
+}
+
+void DeltaDistinctOp::AdvanceTime(Time now, Emitter& out) {
+  std::vector<Tuple> expired;
+  output_->Advance(now, [&expired](const Tuple& t) { expired.push_back(t); });
+  for (const Tuple& gone : expired) {
+    const Key key = ExtractKey(gone, key_cols_);
+    auto it = aux_.find(key);
+    if (it == aux_.end()) continue;
+    const Tuple promoted = it->second;
+    aux_bytes_ -= EstimateTupleBytes(promoted);
+    aux_.erase(it);
+    if (promoted.LiveAt(now)) {
+      output_->Insert(promoted);
+      out.Emit(promoted);
+    }
+  }
+}
+
+size_t DeltaDistinctOp::StateBytes() const {
+  return output_->StateBytes() + aux_bytes_ +
+         aux_.size() * (sizeof(Key) + 16);
+}
+
+size_t DeltaDistinctOp::StateTuples() const {
+  return output_->PhysicalCount() + aux_.size();
+}
+
+}  // namespace upa

@@ -1,0 +1,160 @@
+#include "ops/groupby.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace upa {
+
+const Value GroupByOp::kSingleGroupLabel = Value{static_cast<int64_t>(0)};
+
+std::string AggName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+namespace {
+Schema MakeOutputSchema(const Schema& in, int group_col, AggKind agg,
+                        int agg_col) {
+  std::vector<Field> fields;
+  if (group_col >= 0) {
+    fields.push_back(in.field(group_col));
+  } else {
+    fields.push_back(Field{"group", ValueType::kInt});
+  }
+  const std::string agg_field =
+      agg == AggKind::kCount ? "count_all"
+                             : AggName(agg) + "_" + in.field(agg_col).name;
+  fields.push_back(Field{agg_field, ValueType::kDouble});
+  fields.push_back(Field{"count", ValueType::kInt});
+  return Schema(std::move(fields));
+}
+}  // namespace
+
+GroupByOp::GroupByOp(const Schema& input_schema, int group_col, AggKind agg,
+                     int agg_col, std::unique_ptr<StateBuffer> input_state,
+                     bool time_expiration)
+    : schema_(MakeOutputSchema(input_schema, group_col, agg, agg_col)),
+      group_col_(group_col),
+      agg_(agg),
+      agg_col_(agg_col),
+      input_(std::move(input_state)),
+      time_expiration_(time_expiration) {
+  UPA_CHECK(group_col_ >= -1 && group_col_ < input_schema.num_fields());
+  if (agg_ == AggKind::kCount) {
+    agg_col_ = -1;
+  } else {
+    UPA_CHECK(agg_col_ >= 0 && agg_col_ < input_schema.num_fields());
+    const ValueType vt = input_schema.field(agg_col_).type;
+    UPA_CHECK(vt == ValueType::kInt || vt == ValueType::kDouble);
+    agg_col_is_int_ = vt == ValueType::kInt;
+  }
+  UPA_CHECK(input_ != nullptr);
+  UPA_CHECK(!input_->lazy());  // Aggregates must react to expirations.
+}
+
+const Value& GroupByOp::GroupLabelOf(const Tuple& t) const {
+  if (group_col_ < 0) return kSingleGroupLabel;
+  return t.fields[static_cast<size_t>(group_col_)];
+}
+
+double GroupByOp::CurrentAggregate(const Group& g) const {
+  switch (agg_) {
+    case AggKind::kCount:
+      return static_cast<double>(g.count);
+    case AggKind::kSum:
+      return agg_col_is_int_ ? static_cast<double>(g.isum) : g.dsum;
+    case AggKind::kAvg: {
+      if (g.count == 0) return 0.0;
+      const double sum = agg_col_is_int_ ? static_cast<double>(g.isum) : g.dsum;
+      return sum / static_cast<double>(g.count);
+    }
+    case AggKind::kMin:
+      return g.values.empty() ? 0.0 : AsNumeric(*g.values.begin());
+    case AggKind::kMax:
+      return g.values.empty() ? 0.0 : AsNumeric(*g.values.rbegin());
+  }
+  return 0.0;
+}
+
+void GroupByOp::ApplyDelta(const Tuple& t, int sign, Emitter& out) {
+  Group& g = groups_[GroupLabelOf(t)];
+  g.count += sign;
+  UPA_DCHECK(g.count >= 0);
+  if (agg_ != AggKind::kCount) {
+    const Value& v = t.fields[static_cast<size_t>(agg_col_)];
+    if (agg_ == AggKind::kSum || agg_ == AggKind::kAvg) {
+      if (agg_col_is_int_) {
+        g.isum += sign * AsInt(v);
+      } else {
+        g.dsum += sign * AsDouble(v);
+      }
+    } else {
+      if (sign > 0) {
+        g.values.insert(v);
+      } else {
+        auto it = g.values.find(v);
+        UPA_DCHECK(it != g.values.end());
+        g.values.erase(it);
+      }
+    }
+  }
+  // Report the updated result for this group; it replaces the previously
+  // reported result (no negative tuples, Rule 4).
+  Tuple result;
+  result.ts = input_->now();
+  result.exp = kNeverExpires;
+  result.fields = {GroupLabelOf(t), Value{CurrentAggregate(g)}, Value{g.count}};
+  out.Emit(result);
+  if (g.count == 0) groups_.erase(GroupLabelOf(t));
+}
+
+void GroupByOp::Process(int port, const Tuple& t, Emitter& out) {
+  UPA_DCHECK(port == 0);
+  (void)port;
+  if (t.negative) {
+    // Explicit deletion (negative tuple approach, or STR input): remove
+    // from state and report the decreased aggregate.
+    const bool erased = input_->EraseOneMatch(t);
+    UPA_DCHECK(erased);
+    (void)erased;
+    ApplyDelta(t, -1, out);
+    return;
+  }
+  input_->Insert(t);
+  ApplyDelta(t, +1, out);
+}
+
+void GroupByOp::AdvanceTime(Time now, Emitter& out) {
+  if (!time_expiration_) {
+    input_->SetClock(now);
+    return;
+  }
+  std::vector<Tuple> expired;
+  input_->Advance(now, [&expired](const Tuple& t) { expired.push_back(t); });
+  for (const Tuple& gone : expired) ApplyDelta(gone, -1, out);
+}
+
+size_t GroupByOp::StateBytes() const {
+  size_t agg_bytes = groups_.size() * (sizeof(Value) + sizeof(Group) + 32);
+  for (const auto& [label, g] : groups_) {
+    agg_bytes += g.values.size() * (sizeof(Value) + 32);
+  }
+  return input_->StateBytes() + agg_bytes;
+}
+
+size_t GroupByOp::StateTuples() const { return input_->PhysicalCount(); }
+
+}  // namespace upa

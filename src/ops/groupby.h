@@ -1,0 +1,82 @@
+#ifndef UPA_OPS_GROUPBY_H_
+#define UPA_OPS_GROUPBY_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "ops/operator.h"
+#include "state/buffer.h"
+
+namespace upa {
+
+/// Supported incremental aggregate functions.
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+std::string AggName(AggKind kind);
+
+/// Group-by with a single aggregate (Section 2.1). Plain aggregation is
+/// group-by with a single group (pass group_col = -1).
+///
+/// For each new input tuple the operator updates the aggregate of the
+/// tuple's group and emits an updated result for that group; the new
+/// result *replaces* the previously reported result for the group (Rule 4:
+/// the output is weak non-monotonic and never contains negative tuples).
+/// The input state must be maintained eagerly: expirations also change
+/// aggregates and must be reported immediately.
+///
+/// Output schema: (group, agg, count). `count` is the number of live input
+/// tuples in the group; a result with count = 0 means the group vanished
+/// from the answer (relational GROUP BY drops empty groups), which lets
+/// the GroupArrayView -- the paper's array indexed by group label -- drop
+/// the entry without a negative tuple.
+///
+/// SUM over integer columns is kept in exact 64-bit arithmetic so that
+/// incremental add/subtract maintenance cannot drift from recomputation;
+/// MIN/MAX keep a per-group multiset to support deletions.
+class GroupByOp : public Operator {
+ public:
+  GroupByOp(const Schema& input_schema, int group_col, AggKind agg,
+            int agg_col, std::unique_ptr<StateBuffer> input_state,
+            bool time_expiration);
+
+  int num_inputs() const override { return 1; }
+  const Schema& output_schema() const override { return schema_; }
+  void Process(int port, const Tuple& t, Emitter& out) override;
+  void AdvanceTime(Time now, Emitter& out) override;
+  size_t StateBytes() const override;
+  size_t StateTuples() const override;
+  std::string Name() const override { return "group-by"; }
+
+  int group_col() const { return group_col_; }
+  AggKind agg() const { return agg_; }
+  int agg_col() const { return agg_col_; }
+
+ private:
+  struct Group {
+    int64_t count = 0;
+    int64_t isum = 0;
+    double dsum = 0.0;
+    std::multiset<Value> values;  // Only maintained for MIN/MAX.
+  };
+
+  static const Value kSingleGroupLabel;
+
+  const Value& GroupLabelOf(const Tuple& t) const;
+  void ApplyDelta(const Tuple& t, int sign, Emitter& out);
+  double CurrentAggregate(const Group& g) const;
+
+  Schema schema_;
+  int group_col_;
+  AggKind agg_;
+  int agg_col_;
+  bool agg_col_is_int_ = false;
+  std::unique_ptr<StateBuffer> input_;
+  bool time_expiration_;
+  std::map<Value, Group> groups_;
+};
+
+}  // namespace upa
+
+#endif  // UPA_OPS_GROUPBY_H_

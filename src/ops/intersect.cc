@@ -1,0 +1,60 @@
+#include "ops/intersect.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+IntersectOp::IntersectOp(const Schema& schema,
+                         std::unique_ptr<StateBuffer> left_state,
+                         std::unique_ptr<StateBuffer> right_state,
+                         bool time_expiration)
+    : schema_(schema), time_expiration_(time_expiration) {
+  state_[0] = std::move(left_state);
+  state_[1] = std::move(right_state);
+  UPA_CHECK(state_[0] != nullptr && state_[1] != nullptr);
+}
+
+void IntersectOp::Process(int port, const Tuple& t, Emitter& out) {
+  UPA_DCHECK(port == 0 || port == 1);
+  const int other = 1 - port;
+  const auto emit_match = [&](const Tuple& match) {
+    Tuple result = t;  // Common schema; copy fields from the trigger.
+    result.exp = std::min(t.exp, match.exp);
+    out.Emit(result);
+  };
+  if (t.negative) {
+    state_[port]->EraseOneMatch(t);
+    state_[other]->ForEachLive([&](const Tuple& match) {
+      if (match.FieldsEqual(t)) emit_match(match);
+    });
+    return;
+  }
+  state_[port]->Insert(t);
+  state_[other]->ForEachLive([&](const Tuple& match) {
+    if (match.FieldsEqual(t)) emit_match(match);
+  });
+}
+
+void IntersectOp::AdvanceTime(Time now, Emitter& out) {
+  (void)out;
+  if (time_expiration_) {
+    state_[0]->Advance(now, nullptr);
+    state_[1]->Advance(now, nullptr);
+  } else {
+    state_[0]->SetClock(now);
+    state_[1]->SetClock(now);
+  }
+}
+
+size_t IntersectOp::StateBytes() const {
+  return state_[0]->StateBytes() + state_[1]->StateBytes();
+}
+
+size_t IntersectOp::StateTuples() const {
+  return state_[0]->PhysicalCount() + state_[1]->PhysicalCount();
+}
+
+}  // namespace upa

@@ -1,0 +1,45 @@
+#ifndef UPA_OPS_INTERSECT_H_
+#define UPA_OPS_INTERSECT_H_
+
+#include <memory>
+#include <string>
+
+#include "ops/operator.h"
+#include "state/buffer.h"
+
+namespace upa {
+
+/// Window intersection (Section 2.1): like the join, it stores both inputs
+/// and each new arrival probes the other input's buffer for matching
+/// (field-identical) tuples, appending results to the output.
+///
+/// Semantics note: the paper describes intersection operationally as the
+/// probe-on-arrival binary operator above, i.e. one result per matching
+/// (W1, W2) *pair*, projected onto the common schema, expiring when either
+/// constituent does (exp = min). That pair-based definition is what keeps
+/// the operator weak non-monotonic -- expirations stay predictable from
+/// `exp` timestamps. (A min(multiplicity) bag intersection would need
+/// premature deletions and hence be strict non-monotonic; compose
+/// DistinctOp on top for set semantics.)
+class IntersectOp : public Operator {
+ public:
+  IntersectOp(const Schema& schema, std::unique_ptr<StateBuffer> left_state,
+              std::unique_ptr<StateBuffer> right_state, bool time_expiration);
+
+  int num_inputs() const override { return 2; }
+  const Schema& output_schema() const override { return schema_; }
+  void Process(int port, const Tuple& t, Emitter& out) override;
+  void AdvanceTime(Time now, Emitter& out) override;
+  size_t StateBytes() const override;
+  size_t StateTuples() const override;
+  std::string Name() const override { return "intersect"; }
+
+ private:
+  Schema schema_;
+  std::unique_ptr<StateBuffer> state_[2];
+  bool time_expiration_;
+};
+
+}  // namespace upa
+
+#endif  // UPA_OPS_INTERSECT_H_

@@ -1,0 +1,78 @@
+#include "ops/join.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+JoinOp::JoinOp(const Schema& left, const Schema& right, int left_col,
+               int right_col, std::unique_ptr<StateBuffer> left_state,
+               std::unique_ptr<StateBuffer> right_state, bool time_expiration)
+    : schema_(Schema::Concat(left, right)),
+      col_{left_col, right_col},
+      left_width_(left.num_fields()),
+      right_width_(right.num_fields()),
+      time_expiration_(time_expiration) {
+  UPA_CHECK(left_col >= 0 && left_col < left.num_fields());
+  UPA_CHECK(right_col >= 0 && right_col < right.num_fields());
+  state_[0] = std::move(left_state);
+  state_[1] = std::move(right_state);
+  UPA_CHECK(state_[0] != nullptr && state_[1] != nullptr);
+}
+
+Tuple JoinOp::Combine(int port, const Tuple& t, const Tuple& match) const {
+  const Tuple& l = port == 0 ? t : match;
+  const Tuple& r = port == 0 ? match : t;
+  Tuple result;
+  result.ts = t.ts;  // Generation time: the triggering arrival/deletion.
+  result.exp = std::min(l.exp, r.exp);
+  result.negative = t.negative;
+  result.fields.reserve(static_cast<size_t>(left_width_ + right_width_));
+  result.fields.insert(result.fields.end(), l.fields.begin(), l.fields.end());
+  result.fields.insert(result.fields.end(), r.fields.begin(), r.fields.end());
+  return result;
+}
+
+void JoinOp::Process(int port, const Tuple& t, Emitter& out) {
+  UPA_DCHECK(port == 0 || port == 1);
+  const int other = 1 - port;
+  if (t.negative) {
+    // Explicit deletion: undo every result this tuple participated in.
+    state_[port]->EraseOneMatch(t);
+    state_[other]->ForEachMatch(col_[other],
+                                t.fields[static_cast<size_t>(col_[port])],
+                                [&](const Tuple& match) {
+                                  out.Emit(Combine(port, t, match));
+                                });
+    return;
+  }
+  state_[port]->Insert(t);
+  state_[other]->ForEachMatch(col_[other],
+                              t.fields[static_cast<size_t>(col_[port])],
+                              [&](const Tuple& match) {
+                                out.Emit(Combine(port, t, match));
+                              });
+}
+
+void JoinOp::AdvanceTime(Time now, Emitter& out) {
+  (void)out;  // Join state expires silently; results carry exp timestamps.
+  if (time_expiration_) {
+    state_[0]->Advance(now, nullptr);
+    state_[1]->Advance(now, nullptr);
+  } else {
+    state_[0]->SetClock(now);
+    state_[1]->SetClock(now);
+  }
+}
+
+size_t JoinOp::StateBytes() const {
+  return state_[0]->StateBytes() + state_[1]->StateBytes();
+}
+
+size_t JoinOp::StateTuples() const {
+  return state_[0]->PhysicalCount() + state_[1]->PhysicalCount();
+}
+
+}  // namespace upa

@@ -1,0 +1,61 @@
+#ifndef UPA_OPS_JOIN_H_
+#define UPA_OPS_JOIN_H_
+
+#include <memory>
+#include <string>
+
+#include "ops/operator.h"
+#include "state/buffer.h"
+
+namespace upa {
+
+/// Sliding-window equi-join (Section 2.1): stores both inputs; each new
+/// arrival is inserted into its state buffer and probes the other buffer
+/// for matches, appending joined results to the output stream. A result
+/// expires when either constituent does, so its expiration timestamp is
+/// the minimum of the constituents' (Section 2.2), which makes the join
+/// weak non-monotonic (Figure 5).
+///
+/// State maintenance:
+///  - `time_expiration = true` (direct/UPA): AdvanceTime() lets the state
+///    buffers expire old tuples themselves; the buffers may be lazy, in
+///    which case expired tuples are skipped during probing.
+///  - `time_expiration = false` (negative tuple approach): expirations
+///    arrive as negative tuples. A negative tuple is removed from its
+///    side's state and probes the other side, emitting a negative result
+///    for every join result the deleted tuple participated in (Figure 3).
+///    Negative tuples are handled this way in *both* modes -- under direct
+///    execution they occur when the input is strict non-monotonic (e.g.
+///    below is a negation).
+class JoinOp : public Operator {
+ public:
+  JoinOp(const Schema& left, const Schema& right, int left_col, int right_col,
+         std::unique_ptr<StateBuffer> left_state,
+         std::unique_ptr<StateBuffer> right_state, bool time_expiration);
+
+  int num_inputs() const override { return 2; }
+  const Schema& output_schema() const override { return schema_; }
+  void Process(int port, const Tuple& t, Emitter& out) override;
+  void AdvanceTime(Time now, Emitter& out) override;
+  size_t StateBytes() const override;
+  size_t StateTuples() const override;
+  std::string Name() const override { return "join"; }
+
+  int left_col() const { return col_[0]; }
+  int right_col() const { return col_[1]; }
+
+ private:
+  /// Builds the (left, right)-ordered concatenation of the matched pair.
+  Tuple Combine(int port, const Tuple& t, const Tuple& match) const;
+
+  Schema schema_;
+  int col_[2];
+  int left_width_;
+  int right_width_;
+  std::unique_ptr<StateBuffer> state_[2];
+  bool time_expiration_;
+};
+
+}  // namespace upa
+
+#endif  // UPA_OPS_JOIN_H_

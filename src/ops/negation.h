@@ -1,0 +1,92 @@
+#ifndef UPA_OPS_NEGATION_H_
+#define UPA_OPS_NEGATION_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ops/operator.h"
+#include "state/buffer.h"
+
+namespace upa {
+
+/// Window negation (Section 2.1, Equation 1): with v1 and v2 the numbers
+/// of live tuples with value v in the left (W1) and right (W2) inputs, the
+/// answer contains max(v1 - v2, 0) tuples with value v drawn from W1.
+///
+/// Negation is the canonical strict non-monotonic operator: an arrival on
+/// W2 can force a previously reported result out of the answer *before*
+/// its window expiration, which is signalled downstream with a negative
+/// tuple; conversely an expiration from W2 can add a W1 tuple to the
+/// answer. The operator stores both inputs together with per-value
+/// multiplicities (kept in an ordered map, matching the binary-searched
+/// frequency counts of the Section 5.4.1 cost model).
+///
+/// Answer membership follows the paper's tie-breaking rules: when the
+/// answer must shrink the *oldest* member leaves; when it may grow the
+/// *youngest* (latest-expiring) live non-member enters.
+///
+/// `emit_expiration_negatives` distinguishes the two maintenance regimes:
+///  - false (direct/UPA): only premature deletions emit negative tuples;
+///    natural window expirations are left to downstream `exp` timestamps.
+///  - true (negative tuple approach / hybrid above-negation execution,
+///    Section 5.4.3): every removal from the answer emits a negative
+///    tuple, so downstream state can be a hash table on the negation
+///    attribute.
+class NegationOp : public Operator {
+ public:
+  /// `left_col` / `right_col` are the negation attribute's positions in
+  /// the two input schemas (they need not be equal: the output consists of
+  /// W1 tuples, and W2 only contributes multiplicities of the attribute).
+  NegationOp(Schema schema, int left_col, int right_col,
+             std::unique_ptr<StateBuffer> left_state,
+             std::unique_ptr<StateBuffer> right_state, bool time_expiration,
+             bool emit_expiration_negatives);
+
+  int num_inputs() const override { return 2; }
+  const Schema& output_schema() const override { return schema_; }
+  void Process(int port, const Tuple& t, Emitter& out) override;
+  void AdvanceTime(Time now, Emitter& out) override;
+  size_t StateBytes() const override;
+  size_t StateTuples() const override;
+  std::string Name() const override { return "negation"; }
+
+  int left_col() const { return col_[0]; }
+  int right_col() const { return col_[1]; }
+
+  /// Number of negative tuples this operator has emitted due to premature
+  /// (non-window) expirations; exposed for the E3 crossover experiment.
+  uint64_t premature_negatives() const { return premature_negatives_; }
+
+ private:
+  struct Entry {
+    Tuple tuple;
+    bool in_answer = false;
+  };
+  struct PerValue {
+    std::list<Entry> w1;  // Live W1 tuples with this value, arrival order.
+    int64_t v2 = 0;       // Live W2 multiplicity.
+    int64_t answer = 0;   // Members of w1 currently in the answer.
+  };
+
+  void OnLeftGone(const Tuple& t, bool natural, Emitter& out);
+  void OnRightGone(const Tuple& t, Emitter& out);
+
+  /// Restores the Equation 1 invariant for `pv`, emitting the insertions
+  /// and (negative-tuple) deletions this requires, then garbage-collects
+  /// the map entry if it became empty.
+  void Reconcile(const Value& v, Emitter& out);
+
+  Schema schema_;
+  int col_[2];
+  std::unique_ptr<StateBuffer> state_[2];
+  bool time_expiration_;
+  bool emit_expiration_negatives_;
+  std::map<Value, PerValue> values_;
+  uint64_t premature_negatives_ = 0;
+};
+
+}  // namespace upa
+
+#endif  // UPA_OPS_NEGATION_H_

@@ -1,0 +1,83 @@
+#ifndef UPA_OPS_OPERATOR_H_
+#define UPA_OPS_OPERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+
+namespace upa {
+
+/// Receives the tuples (positive and negative) produced by an operator.
+/// In a pipeline the emitter routes them to the parent operator or to the
+/// materialized result view.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(const Tuple& t) = 0;
+};
+
+/// Emitter that appends to a vector; used by tests and by operators that
+/// buffer their own output.
+class VectorEmitter : public Emitter {
+ public:
+  explicit VectorEmitter(std::vector<Tuple>* out) : out_(out) {}
+  void Emit(const Tuple& t) override { out_->push_back(t); }
+
+ private:
+  std::vector<Tuple>* out_;
+};
+
+/// A physical continuous-query operator (Section 2.1).
+///
+/// The execution contract mirrors the paper's processing model:
+///
+///  - Tuples are pushed in non-decreasing timestamp order and each tuple is
+///    fully processed by the whole plan before the next one (Section 2).
+///  - Before any tuple with timestamp `ts` is processed, the driver calls
+///    AdvanceTime(ts) bottom-up through the plan. Operators advance their
+///    local clocks (Section 2.3.2); under *direct* maintenance they also
+///    purge expired state and may produce output (e.g. group-by emitting a
+///    decreased aggregate, duplicate elimination promoting a replacement,
+///    a negative-tuple-generating window ingress under the NT approach).
+///  - Process() then handles the new tuple. Negative input tuples
+///    (`t.negative`) signal explicit deletions and are matched against
+///    state by (fields, exp).
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Number of input ports (1 for unary, 2 for binary operators).
+  virtual int num_inputs() const = 0;
+
+  /// Schema of the tuples this operator emits.
+  virtual const Schema& output_schema() const = 0;
+
+  /// Handles one input tuple arriving on `port`.
+  virtual void Process(int port, const Tuple& t, Emitter& out) = 0;
+
+  /// Advances the operator's local clock to `now` (monotone), performing
+  /// whatever expiration work the operator's maintenance policy requires.
+  virtual void AdvanceTime(Time now, Emitter& out) = 0;
+
+  /// Approximate bytes of operator state (all buffers and auxiliary
+  /// structures).
+  virtual size_t StateBytes() const { return 0; }
+
+  /// Number of tuples currently held in operator state.
+  virtual size_t StateTuples() const { return 0; }
+
+  /// Short display name, e.g. "join", "delta-distinct".
+  virtual std::string Name() const = 0;
+
+ protected:
+  Operator() = default;
+};
+
+}  // namespace upa
+
+#endif  // UPA_OPS_OPERATOR_H_

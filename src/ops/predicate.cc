@@ -1,0 +1,60 @@
+#include "ops/predicate.h"
+
+#include "common/macros.h"
+
+namespace upa {
+
+namespace {
+const char* CmpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+}  // namespace
+
+bool Predicate::Eval(const Tuple& t) const {
+  UPA_DCHECK(col >= 0 && static_cast<size_t>(col) < t.fields.size());
+  const Value& lhs = t.fields[static_cast<size_t>(col)];
+  UPA_DCHECK(lhs.index() == rhs.index());
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  return "$" + std::to_string(col) + " " + CmpName(op) + " " +
+         upa::ToString(rhs);
+}
+
+bool EvalAll(const std::vector<Predicate>& preds, const Tuple& t) {
+  for (const Predicate& p : preds) {
+    if (!p.Eval(t)) return false;
+  }
+  return true;
+}
+
+}  // namespace upa

@@ -1,0 +1,32 @@
+#ifndef UPA_OPS_PREDICATE_H_
+#define UPA_OPS_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+
+namespace upa {
+
+/// Comparison operator of a simple selection predicate.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// One conjunct of a selection condition: `column <op> constant`.
+/// Predicates are structured (rather than opaque callables) so that the
+/// optimizer can estimate selectivities and push selections around the plan
+/// (Section 5.4.2's conventional rewrites).
+struct Predicate {
+  int col = 0;
+  CmpOp op = CmpOp::kEq;
+  Value rhs;
+
+  bool Eval(const Tuple& t) const;
+  std::string ToString() const;
+};
+
+/// Evaluates the conjunction of `preds` over `t` (empty = true).
+bool EvalAll(const std::vector<Predicate>& preds, const Tuple& t);
+
+}  // namespace upa
+
+#endif  // UPA_OPS_PREDICATE_H_

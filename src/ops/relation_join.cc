@@ -1,0 +1,143 @@
+#include "ops/relation_join.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+NrrJoinOp::NrrJoinOp(const Schema& stream_schema, const Schema& table_schema,
+                     int stream_col, int table_col,
+                     std::unique_ptr<StateBuffer> table)
+    : schema_(Schema::Concat(stream_schema, table_schema)),
+      stream_col_(stream_col),
+      table_col_(table_col),
+      table_(std::move(table)) {
+  UPA_CHECK(stream_col_ >= 0 && stream_col_ < stream_schema.num_fields());
+  UPA_CHECK(table_col_ >= 0 && table_col_ < table_schema.num_fields());
+  UPA_CHECK(table_ != nullptr);
+}
+
+void NrrJoinOp::Process(int port, const Tuple& t, Emitter& out) {
+  UPA_DCHECK(port == 0 || port == 1);
+  if (port == 1) {
+    // Non-retroactive table maintenance: silent.
+    UPA_CHECK(t.exp == kNeverExpires);
+    if (t.negative) {
+      table_->EraseOneMatch(t);
+    } else {
+      table_->Insert(t);
+    }
+    return;
+  }
+  // Section 5.4.2: relations cannot undo results for deleted/updated rows,
+  // so strict non-monotonic streaming input is a planning error.
+  UPA_CHECK(!t.negative);
+  table_->ForEachMatch(table_col_, t.fields[static_cast<size_t>(stream_col_)],
+                       [&](const Tuple& row) {
+                         Tuple result;
+                         result.ts = t.ts;
+                         result.exp = t.exp;  // Table rows never expire.
+                         result.fields.reserve(t.fields.size() +
+                                               row.fields.size());
+                         result.fields.insert(result.fields.end(),
+                                              t.fields.begin(),
+                                              t.fields.end());
+                         result.fields.insert(result.fields.end(),
+                                              row.fields.begin(),
+                                              row.fields.end());
+                         out.Emit(result);
+                       });
+}
+
+void NrrJoinOp::AdvanceTime(Time now, Emitter& out) {
+  (void)out;
+  table_->SetClock(now);
+}
+
+RelJoinOp::RelJoinOp(const Schema& stream_schema, const Schema& table_schema,
+                     int stream_col, int table_col,
+                     std::unique_ptr<StateBuffer> window_state,
+                     std::unique_ptr<StateBuffer> table, bool time_expiration)
+    : schema_(Schema::Concat(stream_schema, table_schema)),
+      stream_col_(stream_col),
+      table_col_(table_col),
+      window_(std::move(window_state)),
+      table_(std::move(table)),
+      time_expiration_(time_expiration) {
+  UPA_CHECK(stream_col_ >= 0 && stream_col_ < stream_schema.num_fields());
+  UPA_CHECK(table_col_ >= 0 && table_col_ < table_schema.num_fields());
+  UPA_CHECK(window_ != nullptr && table_ != nullptr);
+}
+
+Tuple RelJoinOp::Combine(const Tuple& stream_t, const Tuple& table_t,
+                         bool negative, Time ts) const {
+  Tuple result;
+  result.ts = ts;
+  result.exp = stream_t.exp;  // min(stream exp, never) == stream exp.
+  result.negative = negative;
+  result.fields.reserve(stream_t.fields.size() + table_t.fields.size());
+  result.fields.insert(result.fields.end(), stream_t.fields.begin(),
+                       stream_t.fields.end());
+  result.fields.insert(result.fields.end(), table_t.fields.begin(),
+                       table_t.fields.end());
+  return result;
+}
+
+void RelJoinOp::Process(int port, const Tuple& t, Emitter& out) {
+  UPA_DCHECK(port == 0 || port == 1);
+  if (port == 1) {
+    UPA_CHECK(t.exp == kNeverExpires);
+    if (t.negative) {
+      // Retroactive deletion: undo every previously reported result that
+      // contains this row (negative tuples on the output, Section 4.1).
+      table_->EraseOneMatch(t);
+      window_->ForEachMatch(
+          stream_col_, t.fields[static_cast<size_t>(table_col_)],
+          [&](const Tuple& w) { out.Emit(Combine(w, t, true, t.ts)); });
+    } else {
+      // Retroactive insertion: join with everything already in the window.
+      table_->Insert(t);
+      window_->ForEachMatch(
+          stream_col_, t.fields[static_cast<size_t>(table_col_)],
+          [&](const Tuple& w) { out.Emit(Combine(w, t, false, t.ts)); });
+    }
+    return;
+  }
+  if (t.negative) {
+    // Window expiration relayed as a negative tuple (NT maintenance).
+    window_->EraseOneMatch(t);
+    table_->ForEachMatch(table_col_,
+                         t.fields[static_cast<size_t>(stream_col_)],
+                         [&](const Tuple& row) {
+                           out.Emit(Combine(t, row, true, t.ts));
+                         });
+    return;
+  }
+  window_->Insert(t);
+  table_->ForEachMatch(table_col_, t.fields[static_cast<size_t>(stream_col_)],
+                       [&](const Tuple& row) {
+                         out.Emit(Combine(t, row, false, t.ts));
+                       });
+}
+
+void RelJoinOp::AdvanceTime(Time now, Emitter& out) {
+  (void)out;
+  if (time_expiration_) {
+    window_->Advance(now, nullptr);
+  } else {
+    window_->SetClock(now);
+  }
+  table_->SetClock(now);
+}
+
+size_t RelJoinOp::StateBytes() const {
+  return window_->StateBytes() + table_->StateBytes();
+}
+
+size_t RelJoinOp::StateTuples() const {
+  return window_->PhysicalCount() + table_->PhysicalCount();
+}
+
+}  // namespace upa

@@ -1,0 +1,89 @@
+#ifndef UPA_OPS_RELATION_JOIN_H_
+#define UPA_OPS_RELATION_JOIN_H_
+
+#include <memory>
+#include <string>
+
+#include "ops/operator.h"
+#include "state/buffer.h"
+
+namespace upa {
+
+/// Join of a stream/window with a non-retroactive relation (NRR), the
+/// paper's NRR-join of Section 4.1.
+///
+/// An NRR is a table supporting arbitrary insertions, deletions and
+/// updates whose updates do *not* affect previously arrived stream tuples:
+/// only arrivals on the streaming input (port 0) probe the table and
+/// produce results, reflecting the table state at the result's generation
+/// timestamp (Definition 2). Table updates arrive on port 1 as positive
+/// (insert) or negative (delete) tuples with exp = kNeverExpires and
+/// produce no output -- so the streaming input need not be stored at all,
+/// and the operator preserves its input's update pattern (monotonic over a
+/// stream, weakest non-monotonic over a window; Rule 1).
+///
+/// Strict non-monotonic streaming input is rejected (Section 5.4.2: a join
+/// involving a relation cannot process negative tuples, because the
+/// matching table rows may have changed since the original result was
+/// generated).
+class NrrJoinOp : public Operator {
+ public:
+  /// `table` stores the relation rows (never-expiring; keyed probes).
+  NrrJoinOp(const Schema& stream_schema, const Schema& table_schema,
+            int stream_col, int table_col,
+            std::unique_ptr<StateBuffer> table);
+
+  int num_inputs() const override { return 2; }
+  const Schema& output_schema() const override { return schema_; }
+  void Process(int port, const Tuple& t, Emitter& out) override;
+  void AdvanceTime(Time now, Emitter& out) override;
+  size_t StateBytes() const override { return table_->StateBytes(); }
+  size_t StateTuples() const override { return table_->PhysicalCount(); }
+  std::string Name() const override { return "nrr-join"; }
+
+ private:
+  Schema schema_;
+  int stream_col_;
+  int table_col_;
+  std::unique_ptr<StateBuffer> table_;
+};
+
+/// Join of a sliding window with a *retroactive* relation, the paper's
+/// R-join (Section 4.1): relation updates affect previously arrived stream
+/// tuples, so by Definition 1 an insertion into the table probes the
+/// current window and generates new results, and a deletion probes the
+/// window and generates negative tuples undoing previously reported
+/// results. The output is therefore always strict non-monotonic (Rule 5).
+///
+/// Port 0 is the windowed stream (stored); port 1 carries the relation
+/// updates (positive = insert, negative = delete, exp = kNeverExpires).
+class RelJoinOp : public Operator {
+ public:
+  RelJoinOp(const Schema& stream_schema, const Schema& table_schema,
+            int stream_col, int table_col,
+            std::unique_ptr<StateBuffer> window_state,
+            std::unique_ptr<StateBuffer> table, bool time_expiration);
+
+  int num_inputs() const override { return 2; }
+  const Schema& output_schema() const override { return schema_; }
+  void Process(int port, const Tuple& t, Emitter& out) override;
+  void AdvanceTime(Time now, Emitter& out) override;
+  size_t StateBytes() const override;
+  size_t StateTuples() const override;
+  std::string Name() const override { return "rel-join"; }
+
+ private:
+  Tuple Combine(const Tuple& stream_t, const Tuple& table_t,
+                bool negative, Time ts) const;
+
+  Schema schema_;
+  int stream_col_;
+  int table_col_;
+  std::unique_ptr<StateBuffer> window_;
+  std::unique_ptr<StateBuffer> table_;
+  bool time_expiration_;
+};
+
+}  // namespace upa
+
+#endif  // UPA_OPS_RELATION_JOIN_H_

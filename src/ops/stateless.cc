@@ -1,0 +1,60 @@
+#include "ops/stateless.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+SelectOp::SelectOp(Schema schema, std::vector<Predicate> preds)
+    : schema_(std::move(schema)), preds_(std::move(preds)) {
+  for (const Predicate& p : preds_) {
+    UPA_CHECK(p.col >= 0 && p.col < schema_.num_fields());
+  }
+}
+
+void SelectOp::Process(int port, const Tuple& t, Emitter& out) {
+  UPA_DCHECK(port == 0);
+  (void)port;
+  if (EvalAll(preds_, t)) out.Emit(t);
+}
+
+void SelectOp::AdvanceTime(Time now, Emitter& out) {
+  (void)now;
+  (void)out;
+}
+
+ProjectOp::ProjectOp(const Schema& input_schema, std::vector<int> cols)
+    : schema_(input_schema.Project(cols)), cols_(std::move(cols)) {}
+
+void ProjectOp::Process(int port, const Tuple& t, Emitter& out) {
+  UPA_DCHECK(port == 0);
+  (void)port;
+  Tuple r;
+  r.ts = t.ts;
+  r.exp = t.exp;
+  r.negative = t.negative;
+  r.fields.reserve(cols_.size());
+  for (int c : cols_) r.fields.push_back(t.fields[static_cast<size_t>(c)]);
+  out.Emit(r);
+}
+
+void ProjectOp::AdvanceTime(Time now, Emitter& out) {
+  (void)now;
+  (void)out;
+}
+
+UnionOp::UnionOp(Schema schema) : schema_(std::move(schema)) {}
+
+void UnionOp::Process(int port, const Tuple& t, Emitter& out) {
+  UPA_DCHECK(port == 0 || port == 1);
+  (void)port;
+  out.Emit(t);
+}
+
+void UnionOp::AdvanceTime(Time now, Emitter& out) {
+  (void)now;
+  (void)out;
+}
+
+}  // namespace upa

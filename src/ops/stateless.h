@@ -1,0 +1,77 @@
+#ifndef UPA_OPS_STATELESS_H_
+#define UPA_OPS_STATELESS_H_
+
+#include <string>
+#include <vector>
+
+#include "ops/operator.h"
+#include "ops/predicate.h"
+
+namespace upa {
+
+/// Selection (Section 2.1): stateless, processes tuples on the fly,
+/// dropping those that fail the conjunctive condition. Negative tuples are
+/// filtered by the same condition: the deletion of a tuple that never
+/// passed the filter must not reach downstream state.
+///
+/// Over a single window the operator is weakest non-monotonic (it neither
+/// stores state nor reorders input), over an infinite stream it is
+/// monotonic.
+class SelectOp : public Operator {
+ public:
+  SelectOp(Schema schema, std::vector<Predicate> preds);
+
+  int num_inputs() const override { return 1; }
+  const Schema& output_schema() const override { return schema_; }
+  void Process(int port, const Tuple& t, Emitter& out) override;
+  void AdvanceTime(Time now, Emitter& out) override;
+  std::string Name() const override { return "select"; }
+
+  const std::vector<Predicate>& predicates() const { return preds_; }
+
+ private:
+  Schema schema_;
+  std::vector<Predicate> preds_;
+};
+
+/// Projection (Section 2.1): stateless column pruning/reordering.
+/// Duplicate-preserving (bag projection); compose with DistinctOp /
+/// DeltaDistinctOp for set semantics.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(const Schema& input_schema, std::vector<int> cols);
+
+  int num_inputs() const override { return 1; }
+  const Schema& output_schema() const override { return schema_; }
+  void Process(int port, const Tuple& t, Emitter& out) override;
+  void AdvanceTime(Time now, Emitter& out) override;
+  std::string Name() const override { return "project"; }
+
+  const std::vector<int>& cols() const { return cols_; }
+
+ private:
+  Schema schema_;
+  std::vector<int> cols_;
+};
+
+/// Non-blocking merge union (Section 2.1): propagates inputs up the plan.
+/// Because the driver pushes tuples in global timestamp order and each
+/// tuple is fully processed before the next, forwarding preserves arrival
+/// order (the paper's merge requirement).
+class UnionOp : public Operator {
+ public:
+  explicit UnionOp(Schema schema);
+
+  int num_inputs() const override { return 2; }
+  const Schema& output_schema() const override { return schema_; }
+  void Process(int port, const Tuple& t, Emitter& out) override;
+  void AdvanceTime(Time now, Emitter& out) override;
+  std::string Name() const override { return "union"; }
+
+ private:
+  Schema schema_;
+};
+
+}  // namespace upa
+
+#endif  // UPA_OPS_STATELESS_H_

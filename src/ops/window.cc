@@ -1,0 +1,78 @@
+#include "ops/window.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "state/list_buffer.h"
+
+namespace upa {
+
+TimeWindowOp::TimeWindowOp(Schema schema, Time window_size, bool materialize)
+    : schema_(std::move(schema)),
+      window_size_(window_size),
+      materialize_(materialize) {
+  UPA_CHECK(window_size_ > 0);
+  if (materialize_) {
+    UPA_CHECK(window_size_ != kNeverExpires);
+    state_ = std::make_unique<FifoBuffer>();
+  }
+}
+
+void TimeWindowOp::Process(int port, const Tuple& t, Emitter& out) {
+  UPA_DCHECK(port == 0);
+  (void)port;
+  UPA_CHECK(!t.negative);
+  Tuple stamped = t;
+  stamped.exp = window_size_ == kNeverExpires ? kNeverExpires
+                                              : t.ts + window_size_;
+  if (materialize_) state_->Insert(stamped);
+  out.Emit(stamped);
+}
+
+void TimeWindowOp::AdvanceTime(Time now, Emitter& out) {
+  if (!materialize_) return;
+  // Every expiration explicitly generates a negative tuple that propagates
+  // through the plan (Section 2.3.1 / Figure 3).
+  state_->Advance(now, [&out](const Tuple& expired) {
+    out.Emit(expired.AsNegative());
+  });
+}
+
+size_t TimeWindowOp::StateBytes() const {
+  return materialize_ ? state_->StateBytes() : 0;
+}
+
+size_t TimeWindowOp::StateTuples() const {
+  return materialize_ ? state_->PhysicalCount() : 0;
+}
+
+CountWindowOp::CountWindowOp(Schema schema, size_t count)
+    : schema_(std::move(schema)), count_(count) {
+  UPA_CHECK(count_ > 0);
+}
+
+void CountWindowOp::Process(int port, const Tuple& t, Emitter& out) {
+  UPA_DCHECK(port == 0);
+  (void)port;
+  UPA_CHECK(!t.negative);
+  Tuple stamped = t;
+  stamped.exp = kNeverExpires;  // Unknown in advance; evicted by count.
+  if (window_.size() == count_) {
+    Tuple oldest = window_.front();
+    window_.pop_front();
+    bytes_ -= EstimateTupleBytes(oldest);
+    out.Emit(oldest.AsNegative());
+  }
+  window_.push_back(stamped);
+  bytes_ += EstimateTupleBytes(stamped);
+  out.Emit(stamped);
+}
+
+void CountWindowOp::AdvanceTime(Time now, Emitter& out) {
+  (void)now;
+  (void)out;  // Count-based windows slide on arrivals, not on time.
+}
+
+size_t CountWindowOp::StateBytes() const { return bytes_; }
+
+}  // namespace upa

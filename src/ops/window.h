@@ -1,0 +1,83 @@
+#ifndef UPA_OPS_WINDOW_H_
+#define UPA_OPS_WINDOW_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "ops/operator.h"
+#include "state/buffer.h"
+
+namespace upa {
+
+/// Time-based sliding-window ingress: the leaf of every physical plan.
+///
+/// Every arriving tuple is stamped with its expiration timestamp
+/// `exp = ts + window_size` (Section 2.2). What else happens depends on the
+/// execution strategy:
+///
+///  - Direct approach (Section 2.3.2), used by DIRECT and UPA plans: the
+///    window itself is not stored; downstream operators find expired state
+///    through the `exp` timestamps.
+///  - Negative tuple approach (Section 2.3.1), used by NT plans and by the
+///    hybrid strategy above a negation: the window is materialized (FIFO,
+///    since base windows expire in arrival order) and AdvanceTime() emits a
+///    negative tuple for every expiration, which then propagates through
+///    the plan.
+///
+/// A window_size of kNeverExpires models an unwindowed infinite stream.
+class TimeWindowOp : public Operator {
+ public:
+  /// `materialize` selects the negative tuple approach.
+  TimeWindowOp(Schema schema, Time window_size, bool materialize);
+
+  int num_inputs() const override { return 1; }
+  const Schema& output_schema() const override { return schema_; }
+  void Process(int port, const Tuple& t, Emitter& out) override;
+  void AdvanceTime(Time now, Emitter& out) override;
+  size_t StateBytes() const override;
+  size_t StateTuples() const override;
+  std::string Name() const override { return "window"; }
+
+  Time window_size() const { return window_size_; }
+
+ private:
+  Schema schema_;
+  Time window_size_;
+  bool materialize_;
+  std::unique_ptr<StateBuffer> state_;  // FIFO; only when materialize_.
+};
+
+/// Count-based sliding-window ingress (a Section 7 "future work" item,
+/// implemented here as an extension): retains the N most recent tuples.
+///
+/// The expiration time of a count-based window tuple is not known on
+/// arrival (it expires when the Nth later tuple arrives), so `exp` cannot
+/// be stamped; instead the window materializes its content and emits a
+/// negative tuple whenever an arrival evicts the oldest tuple. Downstream
+/// processing therefore sees strict non-monotonic input and must run under
+/// negative-tuple maintenance.
+class CountWindowOp : public Operator {
+ public:
+  CountWindowOp(Schema schema, size_t count);
+
+  int num_inputs() const override { return 1; }
+  const Schema& output_schema() const override { return schema_; }
+  void Process(int port, const Tuple& t, Emitter& out) override;
+  void AdvanceTime(Time now, Emitter& out) override;
+  size_t StateBytes() const override;
+  size_t StateTuples() const override { return window_.size(); }
+  std::string Name() const override { return "count-window"; }
+
+  size_t count() const { return count_; }
+
+ private:
+  Schema schema_;
+  size_t count_;
+  std::deque<Tuple> window_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace upa
+
+#endif  // UPA_OPS_WINDOW_H_

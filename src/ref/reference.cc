@@ -1,0 +1,266 @@
+#include "ref/reference.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/key.h"
+#include "common/macros.h"
+
+namespace upa {
+
+ReferenceEvaluator::ReferenceEvaluator(const PlanNode* plan) : plan_(plan) {
+  UPA_CHECK(plan_ != nullptr);
+}
+
+void ReferenceEvaluator::Observe(int stream_id, const Tuple& t) {
+  std::vector<Tuple>& hist = history_[stream_id];
+  UPA_DCHECK(hist.empty() || hist.back().ts <= t.ts);
+  hist.push_back(t);
+}
+
+std::vector<Tuple> ReferenceEvaluator::EvalAt(Time tau) const {
+  return Eval(*plan_, tau);
+}
+
+std::vector<Tuple> ReferenceEvaluator::RelationStateAt(int stream_id,
+                                                       Time tau) const {
+  std::vector<Tuple> state;
+  auto it = history_.find(stream_id);
+  if (it == history_.end()) return state;
+  for (const Tuple& t : it->second) {
+    if (t.ts > tau) break;
+    if (!t.negative) {
+      state.push_back(t);
+      continue;
+    }
+    for (auto s = state.begin(); s != state.end(); ++s) {
+      if (s->FieldsEqual(t)) {
+        state.erase(s);
+        break;
+      }
+    }
+  }
+  return state;
+}
+
+namespace {
+
+/// Aggregates a group per GroupByOp's semantics, from scratch.
+double ComputeAggregate(const std::vector<const Tuple*>& group, AggKind agg,
+                        int agg_col) {
+  switch (agg) {
+    case AggKind::kCount:
+      return static_cast<double>(group.size());
+    case AggKind::kSum:
+    case AggKind::kAvg: {
+      double sum = 0.0;
+      for (const Tuple* t : group) {
+        sum += AsNumeric(t->fields[static_cast<size_t>(agg_col)]);
+      }
+      if (agg == AggKind::kSum) return sum;
+      return group.empty() ? 0.0 : sum / static_cast<double>(group.size());
+    }
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      UPA_CHECK(!group.empty());
+      double best = AsNumeric(group[0]->fields[static_cast<size_t>(agg_col)]);
+      for (const Tuple* t : group) {
+        const double v = AsNumeric(t->fields[static_cast<size_t>(agg_col)]);
+        best = agg == AggKind::kMin ? std::min(best, v) : std::max(best, v);
+      }
+      return best;
+    }
+  }
+  return 0.0;
+}
+
+Tuple JoinPair(const Tuple& l, const Tuple& r) {
+  Tuple out;
+  out.ts = std::max(l.ts, r.ts);
+  out.exp = std::min(l.exp, r.exp);
+  out.fields.reserve(l.fields.size() + r.fields.size());
+  out.fields.insert(out.fields.end(), l.fields.begin(), l.fields.end());
+  out.fields.insert(out.fields.end(), r.fields.begin(), r.fields.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<Tuple> ReferenceEvaluator::Eval(const PlanNode& n,
+                                            Time tau) const {
+  switch (n.kind) {
+    case PlanOpKind::kStream: {
+      std::vector<Tuple> out;
+      auto it = history_.find(n.stream_id);
+      if (it == history_.end()) return out;
+      for (const Tuple& t : it->second) {
+        if (t.ts > tau) break;
+        Tuple u = t;
+        u.exp = kNeverExpires;
+        out.push_back(std::move(u));
+      }
+      return out;
+    }
+    case PlanOpKind::kRelation:
+      return RelationStateAt(n.stream_id, tau);
+    case PlanOpKind::kWindow: {
+      const PlanNode& stream = n.child(0);
+      std::vector<Tuple> out;
+      auto it = history_.find(stream.stream_id);
+      if (it == history_.end()) return out;
+      for (const Tuple& t : it->second) {
+        if (t.ts > tau) break;
+        if (t.ts > tau - n.window_size) {
+          Tuple u = t;
+          u.exp = t.ts + n.window_size;
+          out.push_back(std::move(u));
+        }
+      }
+      return out;
+    }
+    case PlanOpKind::kCountWindow: {
+      const PlanNode& stream = n.child(0);
+      std::vector<Tuple> arrived;
+      auto it = history_.find(stream.stream_id);
+      if (it == history_.end()) return arrived;
+      for (const Tuple& t : it->second) {
+        if (t.ts > tau) break;
+        arrived.push_back(t);
+      }
+      if (arrived.size() > n.count) {
+        arrived.erase(arrived.begin(),
+                      arrived.end() - static_cast<long>(n.count));
+      }
+      for (Tuple& t : arrived) t.exp = kNeverExpires;
+      return arrived;
+    }
+    case PlanOpKind::kSelect: {
+      std::vector<Tuple> in = Eval(n.child(0), tau);
+      std::vector<Tuple> out;
+      for (Tuple& t : in) {
+        if (EvalAll(n.preds, t)) out.push_back(std::move(t));
+      }
+      return out;
+    }
+    case PlanOpKind::kProject: {
+      std::vector<Tuple> in = Eval(n.child(0), tau);
+      for (Tuple& t : in) {
+        std::vector<Value> fields;
+        fields.reserve(n.cols.size());
+        for (int c : n.cols) {
+          fields.push_back(std::move(t.fields[static_cast<size_t>(c)]));
+        }
+        t.fields = std::move(fields);
+      }
+      return in;
+    }
+    case PlanOpKind::kUnion: {
+      std::vector<Tuple> out = Eval(n.child(0), tau);
+      std::vector<Tuple> right = Eval(n.child(1), tau);
+      out.insert(out.end(), std::make_move_iterator(right.begin()),
+                 std::make_move_iterator(right.end()));
+      return out;
+    }
+    case PlanOpKind::kJoin: {
+      const std::vector<Tuple> left = Eval(n.child(0), tau);
+      const PlanNode& rnode = n.child(1);
+      std::vector<Tuple> out;
+      if (rnode.kind == PlanOpKind::kRelation && !rnode.retroactive) {
+        // Definition 2: each result reflects the NRR state at the result's
+        // generation time.
+        for (const Tuple& l : left) {
+          const std::vector<Tuple> rel = RelationStateAt(rnode.stream_id, l.ts);
+          for (const Tuple& r : rel) {
+            if (l.fields[static_cast<size_t>(n.left_col)] ==
+                r.fields[static_cast<size_t>(n.right_col)]) {
+              out.push_back(JoinPair(l, r));
+            }
+          }
+        }
+        return out;
+      }
+      const std::vector<Tuple> right = Eval(rnode, tau);
+      for (const Tuple& l : left) {
+        for (const Tuple& r : right) {
+          if (l.fields[static_cast<size_t>(n.left_col)] ==
+              r.fields[static_cast<size_t>(n.right_col)]) {
+            out.push_back(JoinPair(l, r));
+          }
+        }
+      }
+      return out;
+    }
+    case PlanOpKind::kIntersect: {
+      const std::vector<Tuple> left = Eval(n.child(0), tau);
+      const std::vector<Tuple> right = Eval(n.child(1), tau);
+      std::vector<Tuple> out;
+      for (const Tuple& l : left) {
+        for (const Tuple& r : right) {
+          if (l.FieldsEqual(r)) {
+            Tuple u = l;
+            u.ts = std::max(l.ts, r.ts);
+            u.exp = std::min(l.exp, r.exp);
+            out.push_back(std::move(u));
+          }
+        }
+      }
+      return out;
+    }
+    case PlanOpKind::kDistinct: {
+      const std::vector<Tuple> in = Eval(n.child(0), tau);
+      std::map<Key, const Tuple*> reps;
+      for (const Tuple& t : in) {
+        reps.emplace(ExtractKey(t, n.cols), &t);
+      }
+      std::vector<Tuple> out;
+      out.reserve(reps.size());
+      for (const auto& [key, t] : reps) out.push_back(*t);
+      return out;
+    }
+    case PlanOpKind::kGroupBy: {
+      const std::vector<Tuple> in = Eval(n.child(0), tau);
+      std::map<Value, std::vector<const Tuple*>> groups;
+      const Value single{static_cast<int64_t>(0)};
+      for (const Tuple& t : in) {
+        const Value& label =
+            n.group_col >= 0 ? t.fields[static_cast<size_t>(n.group_col)]
+                             : single;
+        groups[label].push_back(&t);
+      }
+      std::vector<Tuple> out;
+      out.reserve(groups.size());
+      for (const auto& [label, members] : groups) {
+        Tuple t;
+        t.ts = tau;
+        t.fields = {label,
+                    Value{ComputeAggregate(members, n.agg, n.agg_col)}};
+        out.push_back(std::move(t));
+      }
+      return out;
+    }
+    case PlanOpKind::kNegate: {
+      const std::vector<Tuple> left = Eval(n.child(0), tau);
+      const std::vector<Tuple> right = Eval(n.child(1), tau);
+      std::map<Value, int64_t> v2;
+      for (const Tuple& r : right) {
+        ++v2[r.fields[static_cast<size_t>(n.right_col)]];
+      }
+      // Emit each left tuple while its value's remaining right
+      // multiplicity is exhausted (Equation 1: max(v1 - v2, 0) copies).
+      std::map<Value, int64_t> remaining = v2;
+      std::vector<Tuple> out;
+      for (const Tuple& l : left) {
+        int64_t& rem = remaining[l.fields[static_cast<size_t>(n.left_col)]];
+        if (rem > 0) {
+          --rem;
+        } else {
+          out.push_back(l);
+        }
+      }
+      return out;
+    }
+  }
+  UPA_FATAL("unhandled plan node kind");
+}
+
+}  // namespace upa

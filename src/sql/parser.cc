@@ -1,0 +1,706 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace upa {
+
+namespace {
+
+// --- Tokenizer. ---
+
+enum class TokKind { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // Identifier (as written), symbol, or string body.
+  bool is_float = false;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Splits `text` into tokens; returns false and sets *error on bad input.
+bool Tokenize(const std::string& text, std::vector<Token>* out,
+              std::string* error) {
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.text = text.substr(i, j - i);
+      out->push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t j = i + 1;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '.')) {
+        is_float |= text[j] == '.';
+        ++j;
+      }
+      Token t;
+      t.kind = TokKind::kNumber;
+      t.text = text.substr(i, j - i);
+      t.is_float = is_float;
+      if (is_float) {
+        t.float_value = std::strtod(t.text.c_str(), nullptr);
+      } else {
+        t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+      }
+      out->push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      const size_t close = text.find('\'', i + 1);
+      if (close == std::string::npos) {
+        *error = "unterminated string literal";
+        return false;
+      }
+      Token t;
+      t.kind = TokKind::kString;
+      t.text = text.substr(i + 1, close - i - 1);
+      out->push_back(std::move(t));
+      i = close + 1;
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      const std::string two = text.substr(i, 2);
+      if (two == "!=" || two == "<=" || two == ">=" || two == "<>") {
+        Token t;
+        t.kind = TokKind::kSymbol;
+        t.text = two == "<>" ? "!=" : two;
+        out->push_back(std::move(t));
+        i += 2;
+        continue;
+      }
+    }
+    const std::string one(1, c);
+    if (one == "," || one == "." || one == "(" || one == ")" || one == "[" ||
+        one == "]" || one == "*" || one == "=" || one == "<" || one == ">") {
+      Token t;
+      t.kind = TokKind::kSymbol;
+      t.text = one;
+      out->push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    *error = "unexpected character '" + one + "'";
+    return false;
+  }
+  out->push_back(Token{});  // kEnd sentinel.
+  return true;
+}
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+// --- Parser. ---
+
+/// A FROM-list entry after resolution.
+struct FromSource {
+  std::string name;   // As written (used for qualified column refs).
+  SourceDecl decl;
+  bool windowed = false;
+  bool count_window = false;
+  Time range = 0;
+  size_t rows = 0;
+};
+
+/// A resolved column reference: which FROM source, which column.
+struct ColumnRef {
+  int source = 0;
+  int col = 0;
+};
+
+/// One WHERE conjunct: either column-vs-literal or column-vs-column.
+struct WherePred {
+  bool is_join = false;
+  ColumnRef lhs;
+  CmpOp op = CmpOp::kEq;
+  Value rhs_literal;
+  ColumnRef rhs_col;  // Valid when is_join.
+};
+
+struct AggSpec {
+  bool present = false;
+  AggKind kind = AggKind::kCount;
+  int agg_col = -1;        // Resolved later (-1 for COUNT(*)).
+  std::string agg_name;    // Column name inside the aggregate.
+};
+
+struct Projection {
+  bool star = false;
+  bool distinct = false;
+  std::vector<std::string> columns;  // Unresolved names (possibly a.b).
+  AggSpec agg;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens,
+         const std::map<std::string, SourceDecl>& sources)
+      : tokens_(std::move(tokens)), sources_(sources) {}
+
+  ParseResult Run() {
+    PlanPtr left = ParseSelect();
+    if (left == nullptr) return Fail();
+    if (MatchKeyword("UNION") || MatchKeyword("EXCEPT") ||
+        MatchKeyword("INTERSECT")) {
+      const std::string op = Upper(tokens_[pos_ - 1].text);
+      PlanPtr right = ParseSelect();
+      if (right == nullptr) return Fail();
+      if (!AtEnd()) return FailWith("trailing input after set operation");
+      if (op == "UNION") {
+        if (!(left->schema == right->schema)) {
+          return FailWith("UNION operands must have identical schemas");
+        }
+        return Done(MakeUnion(std::move(left), std::move(right)));
+      }
+      if (op == "INTERSECT") {
+        if (!(left->schema == right->schema)) {
+          return FailWith("INTERSECT operands must have identical schemas");
+        }
+        return Done(MakeIntersect(std::move(left), std::move(right)));
+      }
+      // EXCEPT: the paper's attribute-based negation.
+      if (left->schema.num_fields() != 1 || right->schema.num_fields() != 1) {
+        return FailWith(
+            "EXCEPT requires single-column operands (project first); it "
+            "maps to the attribute-based negation of Equation 1");
+      }
+      if (left->schema.field(0).type != right->schema.field(0).type) {
+        return FailWith("EXCEPT operand column types differ");
+      }
+      return Done(MakeNegate(std::move(left), std::move(right), 0, 0));
+    }
+    if (!AtEnd()) return FailWith("trailing input after query");
+    return Done(std::move(left));
+  }
+
+ private:
+  // -- Token helpers. --
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  bool MatchSymbol(const std::string& s) {
+    if (Peek().kind == TokKind::kSymbol && Peek().text == s) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchKeyword(const std::string& kw) {
+    if (Peek().kind == TokKind::kIdent && Upper(Peek().text) == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().kind == TokKind::kIdent && Upper(Peek().text) == kw;
+  }
+
+  bool TakeIdent(std::string* out) {
+    if (Peek().kind != TokKind::kIdent) return false;
+    *out = Peek().text;
+    ++pos_;
+    return true;
+  }
+
+  // -- Error plumbing (no exceptions). --
+
+  PlanPtr Error(const std::string& message) {
+    if (error_.empty()) error_ = message;
+    return nullptr;
+  }
+
+  ParseResult Fail() {
+    ParseResult r;
+    r.error = error_.empty() ? "parse error" : error_;
+    return r;
+  }
+
+  ParseResult FailWith(const std::string& message) {
+    error_ = message;
+    return Fail();
+  }
+
+  ParseResult Done(PlanPtr plan) {
+    ParseResult r;
+    r.plan = std::move(plan);
+    return r;
+  }
+
+  // -- Grammar productions. --
+
+  PlanPtr ParseSelect() {
+    if (!MatchKeyword("SELECT")) return Error("expected SELECT");
+    Projection proj;
+    if (!ParseProjection(&proj)) return nullptr;
+    if (!MatchKeyword("FROM")) return Error("expected FROM");
+    std::vector<FromSource> from;
+    if (!ParseFromList(&from)) return nullptr;
+    std::vector<WherePred> preds;
+    if (MatchKeyword("WHERE") && !ParseConjunction(from, &preds)) {
+      return nullptr;
+    }
+    std::string group_col_name;
+    bool has_group_by = false;
+    if (MatchKeyword("GROUP")) {
+      if (!MatchKeyword("BY")) return Error("expected BY after GROUP");
+      if (!ParseColumnName(&group_col_name)) {
+        return Error("expected column after GROUP BY");
+      }
+      has_group_by = true;
+    }
+    return Assemble(proj, std::move(from), preds, has_group_by,
+                    group_col_name);
+  }
+
+  bool ParseProjection(Projection* proj) {
+    if (MatchSymbol("*")) {
+      proj->star = true;
+      return true;
+    }
+    proj->distinct = MatchKeyword("DISTINCT");
+    for (;;) {
+      // Aggregate?
+      for (const auto& [kw, kind] :
+           {std::pair<std::string, AggKind>{"COUNT", AggKind::kCount},
+            {"SUM", AggKind::kSum},
+            {"AVG", AggKind::kAvg},
+            {"MIN", AggKind::kMin},
+            {"MAX", AggKind::kMax}}) {
+        if (PeekKeyword(kw)) {
+          ++pos_;
+          if (!MatchSymbol("(")) {
+            Error("expected ( after aggregate");
+            return false;
+          }
+          if (proj->agg.present) {
+            Error("only one aggregate per query is supported");
+            return false;
+          }
+          proj->agg.present = true;
+          proj->agg.kind = kind;
+          if (MatchSymbol("*")) {
+            if (kind != AggKind::kCount) {
+              Error("only COUNT accepts *");
+              return false;
+            }
+          } else if (!ParseColumnName(&proj->agg.agg_name)) {
+            Error("expected column inside aggregate");
+            return false;
+          }
+          if (!MatchSymbol(")")) {
+            Error("expected ) after aggregate");
+            return false;
+          }
+          goto item_done;
+        }
+      }
+      {
+        std::string col;
+        if (!ParseColumnName(&col)) {
+          Error("expected column or aggregate in SELECT list");
+          return false;
+        }
+        proj->columns.push_back(col);
+      }
+    item_done:
+      if (!MatchSymbol(",")) break;
+    }
+    if (proj->distinct && proj->agg.present) {
+      Error("DISTINCT with aggregates is not supported");
+      return false;
+    }
+    return true;
+  }
+
+  bool ParseColumnName(std::string* out) {
+    std::string name;
+    if (!TakeIdent(&name)) return false;
+    if (MatchSymbol(".")) {
+      std::string col;
+      if (!TakeIdent(&col)) {
+        Error("expected column after '.'");
+        return false;
+      }
+      name += "." + col;
+    }
+    *out = name;
+    return true;
+  }
+
+  bool ParseFromList(std::vector<FromSource>* from) {
+    do {
+      FromSource src;
+      if (!TakeIdent(&src.name)) {
+        Error("expected source name in FROM");
+        return false;
+      }
+      auto it = sources_.find(src.name);
+      if (it == sources_.end()) {
+        Error("unknown source '" + src.name + "'");
+        return false;
+      }
+      src.decl = it->second;
+      if (MatchSymbol("[")) {
+        if (src.decl.kind != SourceKind::kStream) {
+          Error("relation '" + src.name + "' cannot take a window");
+          return false;
+        }
+        if (MatchKeyword("RANGE")) {
+          if (Peek().kind != TokKind::kNumber || Peek().is_float ||
+              Peek().int_value <= 0) {
+            Error("RANGE requires a positive integer");
+            return false;
+          }
+          src.windowed = true;
+          src.range = Peek().int_value;
+          ++pos_;
+        } else if (MatchKeyword("ROWS")) {
+          if (Peek().kind != TokKind::kNumber || Peek().is_float ||
+              Peek().int_value <= 0) {
+            Error("ROWS requires a positive integer");
+            return false;
+          }
+          src.windowed = true;
+          src.count_window = true;
+          src.rows = static_cast<size_t>(Peek().int_value);
+          ++pos_;
+        } else {
+          Error("expected RANGE or ROWS in window clause");
+          return false;
+        }
+        if (!MatchSymbol("]")) {
+          Error("expected ] after window clause");
+          return false;
+        }
+      }
+      from->push_back(std::move(src));
+    } while (MatchSymbol(","));
+    if (from->size() > 2) {
+      Error("at most two sources per SELECT (compose queries instead)");
+      return false;
+    }
+    return true;
+  }
+
+  /// Resolves "name" or "source.name" against the FROM sources.
+  bool ResolveColumn(const std::vector<FromSource>& from,
+                     const std::string& spec, ColumnRef* out) {
+    const size_t dot = spec.find('.');
+    if (dot != std::string::npos) {
+      const std::string source = spec.substr(0, dot);
+      const std::string col = spec.substr(dot + 1);
+      for (size_t s = 0; s < from.size(); ++s) {
+        if (from[s].name == source) {
+          const int c = from[s].decl.schema.IndexOf(col);
+          if (c < 0) {
+            Error("no column '" + col + "' in '" + source + "'");
+            return false;
+          }
+          out->source = static_cast<int>(s);
+          out->col = c;
+          return true;
+        }
+      }
+      Error("unknown source '" + source + "' in column reference");
+      return false;
+    }
+    int hits = 0;
+    for (size_t s = 0; s < from.size(); ++s) {
+      const int c = from[s].decl.schema.IndexOf(spec);
+      if (c >= 0) {
+        ++hits;
+        out->source = static_cast<int>(s);
+        out->col = c;
+      }
+    }
+    if (hits == 0) {
+      Error("unknown column '" + spec + "'");
+      return false;
+    }
+    if (hits > 1) {
+      Error("ambiguous column '" + spec + "' (qualify with the source name)");
+      return false;
+    }
+    return true;
+  }
+
+  bool ParseConjunction(const std::vector<FromSource>& from,
+                        std::vector<WherePred>* preds) {
+    do {
+      std::string lhs_name;
+      if (!ParseColumnName(&lhs_name)) {
+        Error("expected column in WHERE predicate");
+        return false;
+      }
+      WherePred pred;
+      if (!ResolveColumn(from, lhs_name, &pred.lhs)) return false;
+      if (MatchSymbol("=")) {
+        pred.op = CmpOp::kEq;
+      } else if (MatchSymbol("!=")) {
+        pred.op = CmpOp::kNe;
+      } else if (MatchSymbol("<=")) {
+        pred.op = CmpOp::kLe;
+      } else if (MatchSymbol(">=")) {
+        pred.op = CmpOp::kGe;
+      } else if (MatchSymbol("<")) {
+        pred.op = CmpOp::kLt;
+      } else if (MatchSymbol(">")) {
+        pred.op = CmpOp::kGt;
+      } else {
+        Error("expected comparison operator in WHERE predicate");
+        return false;
+      }
+      const ValueType lhs_type = from[static_cast<size_t>(pred.lhs.source)]
+                                     .decl.schema.field(pred.lhs.col)
+                                     .type;
+      if (Peek().kind == TokKind::kNumber) {
+        if (Peek().is_float) {
+          if (lhs_type != ValueType::kDouble) {
+            Error("numeric literal type does not match column type");
+            return false;
+          }
+          pred.rhs_literal = Value{Peek().float_value};
+        } else if (lhs_type == ValueType::kDouble) {
+          pred.rhs_literal = Value{static_cast<double>(Peek().int_value)};
+        } else if (lhs_type == ValueType::kInt) {
+          pred.rhs_literal = Value{Peek().int_value};
+        } else {
+          Error("numeric literal compared against a string column");
+          return false;
+        }
+        ++pos_;
+      } else if (Peek().kind == TokKind::kString) {
+        if (lhs_type != ValueType::kString) {
+          Error("string literal compared against a non-string column");
+          return false;
+        }
+        pred.rhs_literal = Value{Peek().text};
+        ++pos_;
+      } else {
+        // Column-vs-column: join predicate.
+        std::string rhs_name;
+        if (!ParseColumnName(&rhs_name)) {
+          Error("expected literal or column on the right of the predicate");
+          return false;
+        }
+        if (!ResolveColumn(from, rhs_name, &pred.rhs_col)) return false;
+        if (pred.op != CmpOp::kEq) {
+          Error("column-to-column predicates must be equalities");
+          return false;
+        }
+        pred.is_join = true;
+      }
+      preds->push_back(std::move(pred));
+    } while (MatchKeyword("AND"));
+    return true;
+  }
+
+  /// Builds the leaf plan for one FROM source.
+  PlanPtr BuildSource(const FromSource& src) {
+    switch (src.decl.kind) {
+      case SourceKind::kStream: {
+        PlanPtr stream = MakeStream(src.decl.stream_id, src.decl.schema);
+        if (!src.windowed) return stream;
+        if (src.count_window) {
+          return MakeCountWindow(std::move(stream), src.rows);
+        }
+        return MakeWindow(std::move(stream), src.range);
+      }
+      case SourceKind::kNrr:
+        return MakeRelation(src.decl.stream_id, src.decl.schema, false);
+      case SourceKind::kRelation:
+        return MakeRelation(src.decl.stream_id, src.decl.schema, true);
+    }
+    return nullptr;
+  }
+
+  /// Assembles the logical plan for one SELECT block.
+  PlanPtr Assemble(const Projection& proj, std::vector<FromSource> from,
+                   const std::vector<WherePred>& preds, bool has_group_by,
+                   const std::string& group_col_name) {
+    // Partition the WHERE conjuncts.
+    std::vector<Predicate> pre[2];
+    std::vector<const WherePred*> joins;
+    for (const WherePred& p : preds) {
+      if (p.is_join) {
+        if (p.lhs.source == p.rhs_col.source) {
+          return Error(
+              "same-source column equality is not supported; only join "
+              "predicates may compare two columns");
+        }
+        joins.push_back(&p);
+        continue;
+      }
+      pre[p.lhs.source].push_back(Predicate{p.lhs.col, p.op, p.rhs_literal});
+    }
+
+    PlanPtr base;
+    const bool is_join_query = from.size() == 2;
+    if (!is_join_query) {
+      if (!joins.empty()) {
+        return Error("join predicate with a single source");
+      }
+      base = BuildSource(from[0]);
+      if (base->kind == PlanOpKind::kRelation) {
+        return Error("a relation cannot be queried on its own; join it "
+                     "with a stream");
+      }
+      if (!pre[0].empty()) base = MakeSelect(std::move(base), pre[0]);
+    } else {
+      if (joins.size() != 1) {
+        return Error("a two-source query needs exactly one join equality");
+      }
+      if (from[0].decl.kind != SourceKind::kStream) {
+        return Error("a relation must be the second source of a join");
+      }
+      const WherePred& j = *joins[0];
+      const ColumnRef l = j.lhs.source == 0 ? j.lhs : j.rhs_col;
+      const ColumnRef r = j.lhs.source == 0 ? j.rhs_col : j.lhs;
+      PlanPtr left = BuildSource(from[0]);
+      PlanPtr right = BuildSource(from[1]);
+      if (!pre[0].empty()) left = MakeSelect(std::move(left), pre[0]);
+      if (!pre[1].empty()) {
+        if (right->kind == PlanOpKind::kRelation) {
+          // Predicates on the table side apply above the join (tables are
+          // leaves); rebase below.
+          // Handled after the join; push into post list instead.
+        } else {
+          right = MakeSelect(std::move(right), pre[1]);
+          pre[1].clear();
+        }
+      }
+      const int lw = left->schema.num_fields();
+      base = MakeJoin(std::move(left), std::move(right), l.col, r.col);
+      if (!pre[1].empty()) {
+        std::vector<Predicate> rebased;
+        for (Predicate p : pre[1]) {
+          p.col += lw;
+          rebased.push_back(std::move(p));
+        }
+        base = MakeSelect(std::move(base), rebased);
+      }
+    }
+
+    // Column resolution against the (possibly joined) output schema.
+    const int lw = is_join_query ? from[0].decl.schema.num_fields() : 0;
+    auto combined_index = [&](const ColumnRef& ref) {
+      return ref.source == 0 ? ref.col : lw + ref.col;
+    };
+
+    // Aggregation.
+    if (proj.agg.present || has_group_by) {
+      if (!proj.agg.present) {
+        return Error("GROUP BY requires an aggregate in the SELECT list");
+      }
+      if (proj.columns.size() > (has_group_by ? 1u : 0u)) {
+        return Error("SELECT list may contain only the group column and "
+                     "one aggregate");
+      }
+      int group_col = -1;
+      if (has_group_by) {
+        ColumnRef ref;
+        if (!ResolveColumn(from, group_col_name, &ref)) return nullptr;
+        group_col = combined_index(ref);
+        if (!proj.columns.empty()) {
+          ColumnRef sel_ref;
+          if (!ResolveColumn(from, proj.columns[0], &sel_ref)) return nullptr;
+          if (combined_index(sel_ref) != group_col) {
+            return Error("the non-aggregate SELECT column must be the GROUP "
+                         "BY column");
+          }
+        }
+      }
+      int agg_col = -1;
+      if (proj.agg.kind != AggKind::kCount || !proj.agg.agg_name.empty()) {
+        if (proj.agg.agg_name.empty()) {
+          agg_col = -1;  // COUNT(*)
+        } else {
+          ColumnRef ref;
+          if (!ResolveColumn(from, proj.agg.agg_name, &ref)) return nullptr;
+          agg_col = combined_index(ref);
+          const ValueType t = base->schema.field(agg_col).type;
+          if (proj.agg.kind != AggKind::kCount && t == ValueType::kString) {
+            return Error("cannot aggregate a string column");
+          }
+        }
+      }
+      return MakeGroupBy(std::move(base), group_col, proj.agg.kind, agg_col);
+    }
+
+    // Plain projection.
+    if (!proj.star) {
+      std::vector<int> cols;
+      for (const std::string& name : proj.columns) {
+        ColumnRef ref;
+        if (!ResolveColumn(from, name, &ref)) return nullptr;
+        cols.push_back(combined_index(ref));
+      }
+      base = MakeProject(std::move(base), cols);
+    }
+    if (proj.distinct) {
+      std::vector<int> keys;
+      for (int i = 0; i < base->schema.num_fields(); ++i) keys.push_back(i);
+      base = MakeDistinct(std::move(base), keys);
+    }
+    return base;
+  }
+
+  std::vector<Token> tokens_;
+  const std::map<std::string, SourceDecl>& sources_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult ParseQuery(const std::string& text,
+                       const std::map<std::string, SourceDecl>& sources) {
+  std::vector<Token> tokens;
+  ParseResult result;
+  if (!Tokenize(text, &tokens, &result.error)) return result;
+  Parser parser(std::move(tokens), sources);
+  ParseResult parsed = parser.Run();
+  if (!parsed.ok()) return parsed;
+  AnnotatePatterns(parsed.plan.get());
+  if (!IsValidPlan(*parsed.plan)) {
+    parsed.plan.reset();
+    parsed.error = "query violates planner constraints (Section 5.4.2)";
+  }
+  return parsed;
+}
+
+}  // namespace upa

@@ -1,0 +1,81 @@
+#ifndef UPA_SQL_PARSER_H_
+#define UPA_SQL_PARSER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/logical_plan.h"
+
+namespace upa {
+
+/// How a registered name behaves as a query input (Section 4.2's
+/// trichotomy: base streams, non-retroactive relations, relations).
+enum class SourceKind {
+  kStream,
+  kNrr,       ///< Non-retroactive relation (Section 4.1).
+  kRelation,  ///< Retroactive relation.
+};
+
+/// A named input registered with the parser.
+struct SourceDecl {
+  int stream_id = 0;
+  Schema schema;
+  SourceKind kind = SourceKind::kStream;
+};
+
+/// Result of ParseQuery: either a plan or a parse/semantic error message
+/// (the library does not use exceptions).
+struct ParseResult {
+  PlanPtr plan;             ///< Null on error.
+  std::string error;        ///< Empty on success.
+
+  bool ok() const { return plan != nullptr; }
+};
+
+/// Compiles a declarative continuous query into a logical plan.
+///
+/// The accepted dialect is a CQL-flavoured subset covering exactly the
+/// paper's operator algebra:
+///
+///   query      := select
+///               | select UNION select
+///               | select EXCEPT select              -- negation (Eq. 1)
+///               | select INTERSECT select
+///   select     := SELECT proj FROM from
+///                 [WHERE conj] [GROUP BY column]
+///   proj       := '*' | [DISTINCT] column_list
+///               | [column ','] agg '(' column | '*' ')'
+///   agg        := COUNT | SUM | AVG | MIN | MAX
+///   from       := source [',' source]               -- two = equi-join
+///   source     := name [window]
+///   window     := '[' RANGE n ']'                   -- time-based window
+///               | '[' ROWS n ']'                    -- count-based window
+///   conj       := pred (AND pred)*
+///   pred       := column op literal | column '=' column   -- join pred
+///   op         := '=' | '!=' | '<' | '<=' | '>' | '>='
+///   column     := name | name '.' name
+///
+/// Semantics and restrictions (all reported as errors, never silently
+/// altered):
+///  - A two-source FROM requires exactly one cross-source equality
+///    predicate in WHERE, which becomes the join condition; remaining
+///    single-source predicates are pushed below the join and
+///    combined-schema predicates stay above it.
+///  - A relation/NRR source may only appear as the second of two sources
+///    (it becomes the R-join / NRR-join of Section 4.1) and accepts no
+///    window clause.
+///  - EXCEPT / INTERSECT require both operands to produce a single
+///    column (project first); EXCEPT maps to the attribute-based
+///    negation operator, INTERSECT to the pair-based intersection.
+///  - GROUP BY requires an aggregate in the projection; an aggregate
+///    without GROUP BY aggregates the whole window (single group).
+///
+/// Literals: integer, floating point, or single-quoted strings, matched
+/// against the column's declared type.
+ParseResult ParseQuery(const std::string& text,
+                       const std::map<std::string, SourceDecl>& sources);
+
+}  // namespace upa
+
+#endif  // UPA_SQL_PARSER_H_

@@ -1,0 +1,50 @@
+#include "state/buffer.h"
+
+#include "common/key.h"
+#include "common/macros.h"
+
+namespace upa {
+
+void StateBuffer::SetLazy(Time purge_interval) {
+  UPA_CHECK(purge_interval > 0);
+  UPA_CHECK(PhysicalCount() == 0);
+  lazy_ = true;
+  purge_interval_ = purge_interval;
+  last_purge_ = now_;
+}
+
+bool StateBuffer::LazyPurgeDue(Time now) {
+  if (now - last_purge_ < purge_interval_) return false;
+  last_purge_ = now;
+  return true;
+}
+
+void StateBuffer::BumpClock(Time now) {
+  // Local clocks are monotone; tuples are processed in timestamp order
+  // (Section 2), so a stale `now` indicates a driver bug.
+  UPA_DCHECK(now >= now_);
+  if (now > now_) now_ = now;
+}
+
+void ForEachMatchKey(const StateBuffer& buf, const std::vector<int>& cols,
+                     const std::vector<Value>& key, const TupleFn& fn) {
+  UPA_DCHECK(cols.size() == key.size());
+  UPA_DCHECK(!cols.empty());
+  if (cols.size() == 1) {
+    buf.ForEachMatch(cols[0], key[0], fn);
+    return;
+  }
+  buf.ForEachLive([&](const Tuple& t) {
+    if (KeyEquals(t, cols, key)) fn(t);
+  });
+}
+
+size_t EstimateTupleBytes(const Tuple& t) {
+  size_t bytes = sizeof(Tuple) + t.fields.capacity() * sizeof(Value);
+  for (const Value& v : t.fields) {
+    if (const auto* s = std::get_if<std::string>(&v)) bytes += s->capacity();
+  }
+  return bytes;
+}
+
+}  // namespace upa

@@ -1,0 +1,129 @@
+#ifndef UPA_STATE_BUFFER_H_
+#define UPA_STATE_BUFFER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/tuple.h"
+
+namespace upa {
+
+/// Callback invoked for each tuple removed by eager expiration.
+using ExpireFn = std::function<void(const Tuple&)>;
+
+/// Callback for iteration over live tuples.
+using TupleFn = std::function<void(const Tuple&)>;
+
+/// Abstract state buffer used by stateful operators (join inputs, duplicate
+/// elimination input/output, negation inputs) and by materialized results.
+///
+/// The paper's central processing observation (Sections 2.3.3 and 5.3.2) is
+/// that the cost of maintaining a buffer depends on the relationship between
+/// its insertion order and its expiration order, i.e. on the update pattern
+/// of the sub-query feeding it. The concrete implementations are:
+///
+///  - FifoBuffer:         WKS inputs (expiration order == insertion order).
+///  - ListBuffer:         the straightforward structure used by the DIRECT
+///                        baseline; O(1) insert, sequential scans to expire.
+///  - PartitionedBuffer:  the paper's Figure 7 circular array of partitions
+///                        bucketed by expiration time; the UPA structure for
+///                        WK inputs.
+///  - HashBuffer:         hash table on a key attribute; the structure used
+///                        by the negative tuple approach, where expirations
+///                        arrive as explicit negative tuples.
+///
+/// Expiration discipline (Section 2.3): a buffer is maintained either
+/// *eagerly* (expired tuples are removed, and reported via a callback, as
+/// soon as the buffer's logical clock passes their `exp`) or *lazily*
+/// (expired tuples are merely skipped during iteration and physically
+/// purged every `purge_interval` time units). Operators that must react to
+/// expirations -- duplicate elimination, group-by, negation, and
+/// materialized final results -- use eager buffers; join/intersection
+/// inputs may be lazy at the price of transiently higher memory use.
+class StateBuffer {
+ public:
+  virtual ~StateBuffer() = default;
+
+  StateBuffer(const StateBuffer&) = delete;
+  StateBuffer& operator=(const StateBuffer&) = delete;
+
+  /// Switches the buffer to lazy maintenance with the given physical purge
+  /// interval (time units). Must be called before the first Insert.
+  void SetLazy(Time purge_interval);
+
+  bool lazy() const { return lazy_; }
+
+  /// Current logical clock (the operator's local clock, Section 2.3.2).
+  Time now() const { return now_; }
+
+  /// Advances the logical clock without purging. Used under the negative
+  /// tuple approach, where physical removal is driven by negative tuples
+  /// but liveness checks must still observe the current time.
+  void SetClock(Time now) { BumpClock(now); }
+
+  /// Adds a live tuple. UPA_DCHECKs that `t.exp > now()`.
+  virtual void Insert(const Tuple& t) = 0;
+
+  /// Advances the logical clock to `now`. In eager mode, removes every
+  /// tuple with `exp <= now` and invokes `on_expire` (may be nullptr) for
+  /// each. In lazy mode, `on_expire` must be nullptr; physical purging
+  /// happens every `purge_interval` time units.
+  virtual void Advance(Time now, const ExpireFn& on_expire) = 0;
+
+  /// Removes one stored tuple whose fields and expiration time equal
+  /// `t`'s (negative tuple handling, Section 2.3.1). Matching is by
+  /// (fields, exp) identity and deliberately ignores liveness: the
+  /// negative tuple for an expiring window tuple arrives exactly when the
+  /// clock reaches its `exp`, at which point LiveAt() is already false.
+  /// Returns false if nothing matches.
+  virtual bool EraseOneMatch(const Tuple& t) = 0;
+
+  /// Invokes `fn` for every live tuple (logically expired tuples retained
+  /// by a lazy buffer are skipped).
+  virtual void ForEachLive(const TupleFn& fn) const = 0;
+
+  /// Invokes `fn` for every live tuple whose column `col` equals `v`.
+  virtual void ForEachMatch(int col, const Value& v, const TupleFn& fn) const = 0;
+
+  /// Number of live tuples.
+  virtual size_t LiveCount() const = 0;
+
+  /// Number of physically stored tuples (>= LiveCount() when lazy).
+  virtual size_t PhysicalCount() const = 0;
+
+  /// Approximate heap footprint in bytes, for the memory experiments.
+  virtual size_t StateBytes() const = 0;
+
+  virtual void Clear() = 0;
+
+  virtual std::string Name() const = 0;
+
+ protected:
+  StateBuffer() = default;
+
+  /// Returns true when a lazy buffer should physically purge at `now`, and
+  /// records the purge time.
+  bool LazyPurgeDue(Time now);
+
+  void BumpClock(Time now);
+
+  Time now_ = 0;
+  bool lazy_ = false;
+  Time purge_interval_ = 0;
+  Time last_purge_ = 0;
+};
+
+/// Approximate heap bytes occupied by one stored tuple (used by the memory
+/// experiments; not an allocator-exact measure).
+size_t EstimateTupleBytes(const Tuple& t);
+
+/// Invokes `fn` for every live tuple of `buf` matching `key` on `cols`.
+/// Single-column keys dispatch to ForEachMatch so that hash buffers probe
+/// one bucket; multi-column keys scan.
+void ForEachMatchKey(const StateBuffer& buf, const std::vector<int>& cols,
+                     const std::vector<Value>& key, const TupleFn& fn);
+
+}  // namespace upa
+
+#endif  // UPA_STATE_BUFFER_H_

@@ -1,0 +1,114 @@
+#include "state/hash_buffer.h"
+
+#include "common/macros.h"
+
+namespace upa {
+
+namespace {
+constexpr size_t kBucketOverheadBytes = 24;
+}  // namespace
+
+HashBuffer::HashBuffer(int key_col, int num_buckets, bool scan_probes)
+    : key_col_(key_col), scan_probes_(scan_probes) {
+  UPA_CHECK(key_col >= 0);
+  UPA_CHECK(num_buckets >= 1);
+  buckets_.resize(static_cast<size_t>(num_buckets));
+}
+
+size_t HashBuffer::BucketOf(const Value& v) const {
+  return static_cast<size_t>(HashValue(v) % buckets_.size());
+}
+
+void HashBuffer::Insert(const Tuple& t) {
+  UPA_DCHECK(!t.negative);
+  UPA_DCHECK(t.LiveAt(now_));
+  UPA_DCHECK(static_cast<size_t>(key_col_) < t.fields.size());
+  buckets_[BucketOf(t.fields[static_cast<size_t>(key_col_)])].push_back(t);
+  ++count_;
+  bytes_ += EstimateTupleBytes(t);
+}
+
+void HashBuffer::Advance(Time now, const ExpireFn& on_expire) {
+  BumpClock(now);
+  if (lazy_) {
+    UPA_CHECK(on_expire == nullptr);
+    if (!LazyPurgeDue(now_)) return;
+  }
+  if (count_ == 0) return;
+  // Time-based expiration over hash state scans every bucket; under the
+  // negative tuple approach this path is idle because expirations arrive
+  // as negative tuples and are handled by EraseOneMatch.
+  for (std::list<Tuple>& bucket : buckets_) {
+    for (auto it = bucket.begin(); it != bucket.end();) {
+      if (!it->LiveAt(now_)) {
+        bytes_ -= EstimateTupleBytes(*it);
+        --count_;
+        if (!lazy_ && on_expire != nullptr) on_expire(*it);
+        it = bucket.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+bool HashBuffer::EraseOneMatch(const Tuple& t) {
+  UPA_DCHECK(static_cast<size_t>(key_col_) < t.fields.size());
+  std::list<Tuple>& bucket =
+      buckets_[BucketOf(t.fields[static_cast<size_t>(key_col_)])];
+  for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+    if (it->exp == t.exp && it->FieldsEqual(t)) {
+      bytes_ -= EstimateTupleBytes(*it);
+      --count_;
+      bucket.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void HashBuffer::ForEachLive(const TupleFn& fn) const {
+  for (const std::list<Tuple>& bucket : buckets_) {
+    for (const Tuple& t : bucket) {
+      if (t.LiveAt(now_)) fn(t);
+    }
+  }
+}
+
+void HashBuffer::ForEachMatch(int col, const Value& v,
+                              const TupleFn& fn) const {
+  if (col == key_col_ && !scan_probes_) {
+    for (const Tuple& t : buckets_[BucketOf(v)]) {
+      if (t.LiveAt(now_) && t.fields[static_cast<size_t>(col)] == v) fn(t);
+    }
+    return;
+  }
+  for (const std::list<Tuple>& bucket : buckets_) {
+    for (const Tuple& t : bucket) {
+      if (t.LiveAt(now_) && t.fields[static_cast<size_t>(col)] == v) fn(t);
+    }
+  }
+}
+
+size_t HashBuffer::LiveCount() const {
+  if (!lazy_) return count_;
+  size_t live = 0;
+  for (const std::list<Tuple>& bucket : buckets_) {
+    for (const Tuple& t : bucket) {
+      if (t.LiveAt(now_)) ++live;
+    }
+  }
+  return live;
+}
+
+size_t HashBuffer::StateBytes() const {
+  return bytes_ + buckets_.size() * kBucketOverheadBytes;
+}
+
+void HashBuffer::Clear() {
+  for (std::list<Tuple>& bucket : buckets_) bucket.clear();
+  count_ = 0;
+  bytes_ = 0;
+}
+
+}  // namespace upa

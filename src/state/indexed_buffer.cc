@@ -1,0 +1,145 @@
+#include "state/indexed_buffer.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace upa {
+
+namespace {
+constexpr size_t kCellOverheadBytes = 24;
+}  // namespace
+
+IndexedBuffer::IndexedBuffer(int key_col, int num_partitions,
+                             Time window_span, int num_buckets)
+    : key_col_(key_col), rows_(num_partitions), buckets_(num_buckets) {
+  UPA_CHECK(key_col_ >= 0);
+  UPA_CHECK(rows_ >= 1);
+  UPA_CHECK(buckets_ >= 1);
+  UPA_CHECK(window_span >= 1);
+  span_ = std::max<Time>(1, (window_span + rows_ - 1) / rows_);
+  grid_.resize(static_cast<size_t>(rows_) * static_cast<size_t>(buckets_));
+}
+
+size_t IndexedBuffer::ColOf(const Value& v) const {
+  return static_cast<size_t>(HashValue(v) %
+                             static_cast<uint64_t>(buckets_));
+}
+
+void IndexedBuffer::Insert(const Tuple& t) {
+  UPA_DCHECK(!t.negative);
+  UPA_DCHECK(t.LiveAt(now_));
+  UPA_DCHECK(static_cast<size_t>(key_col_) < t.fields.size());
+  std::list<Tuple>& cell =
+      Cell(RowOf(t.exp), ColOf(t.fields[static_cast<size_t>(key_col_)]));
+  // Cells are sorted by expiration time (mostly-append workloads).
+  auto it = cell.end();
+  while (it != cell.begin()) {
+    auto prev = std::prev(it);
+    if (prev->exp <= t.exp) break;
+    it = prev;
+  }
+  cell.insert(it, t);
+  ++count_;
+  bytes_ += EstimateTupleBytes(t);
+}
+
+void IndexedBuffer::Advance(Time now, const ExpireFn& on_expire) {
+  const Time prev_now = now_;
+  BumpClock(now);
+  if (lazy_) {
+    UPA_CHECK(on_expire == nullptr);
+    if (!LazyPurgeDue(now_)) return;
+    if (count_ == 0) return;
+    for (size_t row = 0; row < static_cast<size_t>(rows_); ++row) {
+      PurgeRow(row, nullptr);
+    }
+    return;
+  }
+  if (count_ == 0) return;
+  const int64_t first_block = BlockOf(prev_now);
+  const int64_t last_block = BlockOf(now_);
+  const int64_t nrows = rows_;
+  const int64_t nblocks = std::min<int64_t>(last_block - first_block + 1,
+                                            nrows);
+  for (int64_t b = 0; b < nblocks; ++b) {
+    PurgeRow(static_cast<size_t>((first_block + b) % nrows), on_expire);
+  }
+}
+
+void IndexedBuffer::PurgeRow(size_t row, const ExpireFn& on_expire) {
+  for (int col = 0; col < buckets_; ++col) {
+    std::list<Tuple>& cell = Cell(row, static_cast<size_t>(col));
+    while (!cell.empty() && !cell.front().LiveAt(now_)) {
+      bytes_ -= EstimateTupleBytes(cell.front());
+      --count_;
+      if (on_expire != nullptr) on_expire(cell.front());
+      cell.pop_front();
+    }
+  }
+}
+
+bool IndexedBuffer::EraseOneMatch(const Tuple& t) {
+  UPA_DCHECK(static_cast<size_t>(key_col_) < t.fields.size());
+  const size_t col = ColOf(t.fields[static_cast<size_t>(key_col_)]);
+  std::list<Tuple>& cell = Cell(RowOf(t.exp), col);
+  for (auto it = cell.begin(); it != cell.end(); ++it) {
+    if (it->exp == t.exp && it->FieldsEqual(t)) {
+      bytes_ -= EstimateTupleBytes(*it);
+      --count_;
+      cell.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void IndexedBuffer::ForEachLive(const TupleFn& fn) const {
+  for (const std::list<Tuple>& cell : grid_) {
+    for (const Tuple& t : cell) {
+      if (t.LiveAt(now_)) fn(t);
+    }
+  }
+}
+
+void IndexedBuffer::ForEachMatch(int col, const Value& v,
+                                 const TupleFn& fn) const {
+  if (col != key_col_) {
+    for (const std::list<Tuple>& cell : grid_) {
+      for (const Tuple& t : cell) {
+        if (t.LiveAt(now_) && t.fields[static_cast<size_t>(col)] == v) fn(t);
+      }
+    }
+    return;
+  }
+  // One column of the grid: P short lists instead of the whole buffer.
+  const size_t bucket = ColOf(v);
+  for (size_t row = 0; row < static_cast<size_t>(rows_); ++row) {
+    for (const Tuple& t : Cell(row, bucket)) {
+      if (t.LiveAt(now_) && t.fields[static_cast<size_t>(col)] == v) fn(t);
+    }
+  }
+}
+
+size_t IndexedBuffer::LiveCount() const {
+  if (!lazy_) return count_;
+  size_t live = 0;
+  for (const std::list<Tuple>& cell : grid_) {
+    for (const Tuple& t : cell) {
+      if (t.LiveAt(now_)) ++live;
+    }
+  }
+  return live;
+}
+
+size_t IndexedBuffer::StateBytes() const {
+  return bytes_ + grid_.size() * kCellOverheadBytes;
+}
+
+void IndexedBuffer::Clear() {
+  for (std::list<Tuple>& cell : grid_) cell.clear();
+  count_ = 0;
+  bytes_ = 0;
+}
+
+}  // namespace upa

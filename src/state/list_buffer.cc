@@ -1,0 +1,136 @@
+#include "state/list_buffer.h"
+
+#include "common/macros.h"
+
+namespace upa {
+
+void ListBuffer::Insert(const Tuple& t) {
+  UPA_DCHECK(!t.negative);
+  UPA_DCHECK(t.LiveAt(now_));
+  tuples_.push_back(t);
+  bytes_ += EstimateTupleBytes(t);
+}
+
+void ListBuffer::Advance(Time now, const ExpireFn& on_expire) {
+  BumpClock(now);
+  if (!lazy_) {
+    PurgeExpired(on_expire);
+    return;
+  }
+  UPA_CHECK(on_expire == nullptr);
+  if (LazyPurgeDue(now_)) PurgeExpired(nullptr);
+}
+
+void ListBuffer::PurgeExpired(const ExpireFn& on_expire) {
+  for (auto it = tuples_.begin(); it != tuples_.end();) {
+    if (!it->LiveAt(now_)) {
+      bytes_ -= EstimateTupleBytes(*it);
+      if (on_expire != nullptr) on_expire(*it);
+      it = tuples_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t ListBuffer::LiveCount() const {
+  // In lazy mode, expired tuples linger until the next purge, so the live
+  // count is computed on demand (it is only read by metrics and tests).
+  if (!lazy_) return tuples_.size();
+  size_t live = 0;
+  for (const Tuple& t : tuples_) {
+    if (t.LiveAt(now_)) ++live;
+  }
+  return live;
+}
+
+bool ListBuffer::EraseOneMatch(const Tuple& t) {
+  for (auto it = tuples_.begin(); it != tuples_.end(); ++it) {
+    if (it->exp == t.exp && it->FieldsEqual(t)) {
+      bytes_ -= EstimateTupleBytes(*it);
+      tuples_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ListBuffer::ForEachLive(const TupleFn& fn) const {
+  for (const Tuple& t : tuples_) {
+    if (t.LiveAt(now_)) fn(t);
+  }
+}
+
+void ListBuffer::ForEachMatch(int col, const Value& v,
+                              const TupleFn& fn) const {
+  for (const Tuple& t : tuples_) {
+    if (t.LiveAt(now_) && t.fields[static_cast<size_t>(col)] == v) fn(t);
+  }
+}
+
+void ListBuffer::Clear() {
+  tuples_.clear();
+  bytes_ = 0;
+}
+
+void FifoBuffer::Insert(const Tuple& t) {
+  UPA_DCHECK(!t.negative);
+  UPA_DCHECK(t.LiveAt(now_));
+  // The caller asserts a WKS input: expiration order equals arrival order.
+  UPA_DCHECK(tuples_.empty() || tuples_.back().exp <= t.exp);
+  tuples_.push_back(t);
+  bytes_ += EstimateTupleBytes(t);
+}
+
+void FifoBuffer::Advance(Time now, const ExpireFn& on_expire) {
+  BumpClock(now);
+  if (lazy_) {
+    UPA_CHECK(on_expire == nullptr);
+    if (!LazyPurgeDue(now_)) return;
+  }
+  while (!tuples_.empty() && !tuples_.front().LiveAt(now_)) {
+    bytes_ -= EstimateTupleBytes(tuples_.front());
+    if (!lazy_ && on_expire != nullptr) on_expire(tuples_.front());
+    tuples_.pop_front();
+  }
+}
+
+bool FifoBuffer::EraseOneMatch(const Tuple& t) {
+  for (auto it = tuples_.begin(); it != tuples_.end(); ++it) {
+    if (it->exp == t.exp && it->FieldsEqual(t)) {
+      bytes_ -= EstimateTupleBytes(*it);
+      tuples_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FifoBuffer::ForEachLive(const TupleFn& fn) const {
+  // Expired-but-unpurged tuples (lazy mode) form a prefix.
+  for (const Tuple& t : tuples_) {
+    if (t.LiveAt(now_)) fn(t);
+  }
+}
+
+void FifoBuffer::ForEachMatch(int col, const Value& v,
+                              const TupleFn& fn) const {
+  for (const Tuple& t : tuples_) {
+    if (t.LiveAt(now_) && t.fields[static_cast<size_t>(col)] == v) fn(t);
+  }
+}
+
+size_t FifoBuffer::LiveCount() const {
+  size_t live = 0;
+  for (const Tuple& t : tuples_) {
+    if (t.LiveAt(now_)) ++live;
+  }
+  return live;
+}
+
+void FifoBuffer::Clear() {
+  tuples_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace upa

@@ -1,0 +1,64 @@
+#ifndef UPA_STATE_LIST_BUFFER_H_
+#define UPA_STATE_LIST_BUFFER_H_
+
+#include <list>
+#include <string>
+
+#include "state/buffer.h"
+
+namespace upa {
+
+/// The straightforward state buffer of the DIRECT baseline (Section 2.3.3):
+/// a linked list kept in insertion (arrival-time) order. Insertions are
+/// O(1), but because the expiration order of weak non-monotonic inputs
+/// differs from the insertion order, finding expired tuples requires a
+/// sequential scan of the whole buffer -- exactly the inefficiency that
+/// motivates the update-pattern-aware PartitionedBuffer.
+class ListBuffer : public StateBuffer {
+ public:
+  ListBuffer() = default;
+
+  void Insert(const Tuple& t) override;
+  void Advance(Time now, const ExpireFn& on_expire) override;
+  bool EraseOneMatch(const Tuple& t) override;
+  void ForEachLive(const TupleFn& fn) const override;
+  void ForEachMatch(int col, const Value& v, const TupleFn& fn) const override;
+  size_t LiveCount() const override;
+  size_t PhysicalCount() const override { return tuples_.size(); }
+  size_t StateBytes() const override { return bytes_; }
+  void Clear() override;
+  std::string Name() const override { return "list"; }
+
+ private:
+  void PurgeExpired(const ExpireFn& on_expire);
+
+  std::list<Tuple> tuples_;
+  size_t bytes_ = 0;
+};
+
+/// The WKS structure (Section 5.3.2): results expire in the order they were
+/// generated, so insertions append at the tail and expirations pop from the
+/// head -- both O(1). Insert() UPA_DCHECKs the FIFO property.
+class FifoBuffer : public StateBuffer {
+ public:
+  FifoBuffer() = default;
+
+  void Insert(const Tuple& t) override;
+  void Advance(Time now, const ExpireFn& on_expire) override;
+  bool EraseOneMatch(const Tuple& t) override;
+  void ForEachLive(const TupleFn& fn) const override;
+  void ForEachMatch(int col, const Value& v, const TupleFn& fn) const override;
+  size_t LiveCount() const override;
+  size_t PhysicalCount() const override { return tuples_.size(); }
+  size_t StateBytes() const override { return bytes_; }
+  void Clear() override;
+  std::string Name() const override { return "fifo"; }
+
+ private:
+  std::list<Tuple> tuples_;  // Ordered by exp (== insertion order).
+  size_t bytes_ = 0;
+};
+
+}  // namespace upa
+
+#endif  // UPA_STATE_LIST_BUFFER_H_

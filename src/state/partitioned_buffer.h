@@ -1,0 +1,67 @@
+#ifndef UPA_STATE_PARTITIONED_BUFFER_H_
+#define UPA_STATE_PARTITIONED_BUFFER_H_
+
+#include <list>
+#include <string>
+#include <vector>
+
+#include "state/buffer.h"
+
+namespace upa {
+
+/// The update-pattern-aware state structure for weak non-monotonic inputs
+/// (paper, Section 5.3.2 and Figure 7): a circular array of partitions that
+/// bucket tuples by expiration time.
+///
+/// With insertion order different from expiration order (WK patterns),
+/// keeping one list ordered by insertion makes deletions scan the whole
+/// buffer, while keeping it ordered by expiration makes insertions scan the
+/// whole buffer. Partitioning by expiration time bounds both costs to one
+/// partition: a tuple with expiration time `exp` lives in partition
+/// `(exp / span) % P`, where `span` covers 1/P of the window range. The
+/// structure behaves like a calendar queue whose events are expirations.
+///
+/// In eager mode each partition is kept sorted by expiration time, so
+/// Advance() pops an expired prefix of the due partition(s); insertions
+/// sort into a single partition (~N/P tuples). In lazy mode partitions are
+/// kept in insertion order (O(1) insert) and purged by scanning only the
+/// due partitions.
+///
+/// More partitions means less state to scan per operation but more
+/// per-partition overhead -- the tradeoff of experiment E6.
+class PartitionedBuffer : public StateBuffer {
+ public:
+  /// `num_partitions` P >= 1; `window_span` is the width of the expiration
+  /// range the circle must cover, normally the (largest) window size
+  /// feeding this state.
+  PartitionedBuffer(int num_partitions, Time window_span);
+
+  void Insert(const Tuple& t) override;
+  void Advance(Time now, const ExpireFn& on_expire) override;
+  bool EraseOneMatch(const Tuple& t) override;
+  void ForEachLive(const TupleFn& fn) const override;
+  void ForEachMatch(int col, const Value& v, const TupleFn& fn) const override;
+  size_t LiveCount() const override;
+  size_t PhysicalCount() const override { return count_; }
+  size_t StateBytes() const override;
+  void Clear() override;
+  std::string Name() const override { return "partitioned"; }
+
+  int num_partitions() const { return static_cast<int>(parts_.size()); }
+
+ private:
+  int64_t BlockOf(Time exp) const { return exp / span_; }
+  std::list<Tuple>& PartitionOf(Time exp);
+
+  /// Removes tuples with exp <= now_ from partition `p`.
+  void PurgePartition(size_t p, const ExpireFn& on_expire);
+
+  Time span_;
+  std::vector<std::list<Tuple>> parts_;
+  size_t count_ = 0;
+  size_t bytes_ = 0;
+};
+
+}  // namespace upa
+
+#endif  // UPA_STATE_PARTITIONED_BUFFER_H_

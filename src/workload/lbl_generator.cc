@@ -1,0 +1,76 @@
+#include "workload/lbl_generator.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace upa {
+
+Schema LblSchema() {
+  return Schema({
+      Field{"duration", ValueType::kInt},
+      Field{"protocol", ValueType::kInt},
+      Field{"payload", ValueType::kInt},
+      Field{"src_ip", ValueType::kInt},
+      Field{"dst_ip", ValueType::kInt},
+  });
+}
+
+namespace {
+
+int64_t SampleProtocol(const LblTraceConfig& cfg, Rng& rng) {
+  const double u = rng.NextDouble();
+  double acc = cfg.frac_ftp;
+  if (u < acc) return kProtoFtp;
+  acc += cfg.frac_telnet;
+  if (u < acc) return kProtoTelnet;
+  acc += cfg.frac_smtp;
+  if (u < acc) return kProtoSmtp;
+  acc += cfg.frac_http;
+  if (u < acc) return kProtoHttp;
+  return kProtoOther;
+}
+
+}  // namespace
+
+Trace GenerateLblTrace(const LblTraceConfig& cfg) {
+  UPA_CHECK(cfg.num_links >= 1);
+  UPA_CHECK(cfg.duration >= 1);
+  UPA_CHECK(cfg.num_sources >= 1);
+  UPA_CHECK(cfg.frac_ftp + cfg.frac_telnet + cfg.frac_smtp + cfg.frac_http <=
+            1.0);
+  Rng rng(cfg.seed);
+  const ZipfSampler sources(static_cast<size_t>(cfg.num_sources),
+                            cfg.source_zipf);
+
+  Trace trace;
+  trace.schema = LblSchema();
+  trace.num_streams = cfg.num_links;
+  trace.events.reserve(static_cast<size_t>(cfg.duration) *
+                       static_cast<size_t>(cfg.num_links));
+  for (Time ts = 1; ts <= cfg.duration; ++ts) {
+    for (int link = 0; link < cfg.num_links; ++link) {
+      TraceEvent e;
+      e.stream = link;
+      e.tuple.ts = ts;
+      const int64_t src =
+          static_cast<int64_t>(sources.Sample(rng));
+      // Destination hosts live behind the outgoing link: stable per-link
+      // prefix plus a small host part.
+      const int64_t dst =
+          (static_cast<int64_t>(link) << 16) + rng.NextInRange(0, 255);
+      e.tuple.fields = {
+          Value{rng.NextInRange(1, 600)},          // duration (s)
+          Value{SampleProtocol(cfg, rng)},         // protocol
+          Value{rng.NextInRange(64, 1 << 20)},     // payload (bytes)
+          Value{src},                              // src_ip
+          Value{dst},                              // dst_ip
+      };
+      trace.events.push_back(std::move(e));
+    }
+  }
+  return trace;
+}
+
+}  // namespace upa

@@ -1,0 +1,113 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace upa {
+
+bool WriteTraceCsv(const Trace& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "ts,stream");
+  for (const Field& field : trace.schema.fields()) {
+    std::fprintf(f, ",%s", field.name.c_str());
+  }
+  std::fprintf(f, "\n");
+  for (const TraceEvent& e : trace.events) {
+    std::fprintf(f, "%lld,%d", static_cast<long long>(e.tuple.ts), e.stream);
+    for (const Value& v : e.tuple.fields) {
+      std::fprintf(f, ",%s", ToString(v).c_str());
+    }
+    std::fprintf(f, "\n");
+  }
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+namespace {
+
+/// Splits one CSV line (no quoting; the trace format is plain) in place.
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> cells;
+  size_t start = 0;
+  for (;;) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      return cells;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+bool ParseValue(const std::string& cell, ValueType type, Value* out) {
+  char* end = nullptr;
+  switch (type) {
+    case ValueType::kInt: {
+      const long long v = std::strtoll(cell.c_str(), &end, 10);
+      if (end == cell.c_str()) return false;
+      *out = static_cast<int64_t>(v);
+      return true;
+    }
+    case ValueType::kDouble: {
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) return false;
+      *out = v;
+      return true;
+    }
+    case ValueType::kString:
+      *out = cell;
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ReadTraceCsv(const std::string& path, const Schema& schema, Trace* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  out->schema = schema;
+  out->num_streams = 1;
+  out->events.clear();
+  char buf[4096];
+  bool header = true;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    std::string line(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (header) {
+      header = false;
+      continue;
+    }
+    const std::vector<std::string> cells = SplitCsv(line);
+    if (cells.size() != static_cast<size_t>(schema.num_fields()) + 2) {
+      std::fclose(f);
+      return false;
+    }
+    TraceEvent e;
+    e.tuple.ts = std::atoll(cells[0].c_str());
+    e.stream = std::atoi(cells[1].c_str());
+    out->num_streams = std::max(out->num_streams, e.stream + 1);
+    e.tuple.fields.resize(static_cast<size_t>(schema.num_fields()));
+    for (int i = 0; i < schema.num_fields(); ++i) {
+      if (!ParseValue(cells[static_cast<size_t>(i) + 2], schema.field(i).type,
+                      &e.tuple.fields[static_cast<size_t>(i)])) {
+        std::fclose(f);
+        return false;
+      }
+    }
+    out->events.push_back(std::move(e));
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace upa

@@ -1,0 +1,41 @@
+#ifndef UPA_WORKLOAD_TRACE_H_
+#define UPA_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+
+namespace upa {
+
+/// One trace record: a base tuple arriving on a logical stream.
+struct TraceEvent {
+  int stream = 0;
+  Tuple tuple;
+};
+
+/// A replayable multi-stream trace: events in non-decreasing timestamp
+/// order, one shared schema (all logical streams of the experimental setup
+/// are substreams of one packet trace, split by outgoing link).
+struct Trace {
+  Schema schema;
+  int num_streams = 1;
+  std::vector<TraceEvent> events;
+
+  Time FirstTs() const { return events.empty() ? 0 : events.front().tuple.ts; }
+  Time LastTs() const { return events.empty() ? 0 : events.back().tuple.ts; }
+};
+
+/// Writes `trace` as CSV: header `ts,stream,<field>...`, one row per event.
+/// Returns false on I/O failure.
+bool WriteTraceCsv(const Trace& trace, const std::string& path);
+
+/// Reads a CSV trace written by WriteTraceCsv (or an externally converted
+/// packet log with the same layout). Field types come from `schema`.
+/// Returns false on I/O or parse failure.
+bool ReadTraceCsv(const std::string& path, const Schema& schema, Trace* out);
+
+}  // namespace upa
+
+#endif  // UPA_WORKLOAD_TRACE_H_

@@ -1,0 +1,149 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/key.h"
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/tuple.h"
+#include "common/value.h"
+#include "tests/test_util.h"
+
+namespace upa {
+namespace {
+
+using testing_util::T;
+
+TEST(ValueTest, TypeOf) {
+  EXPECT_EQ(TypeOf(Value{int64_t{3}}), ValueType::kInt);
+  EXPECT_EQ(TypeOf(Value{2.5}), ValueType::kDouble);
+  EXPECT_EQ(TypeOf(Value{std::string("x")}), ValueType::kString);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(AsInt(Value{int64_t{42}}), 42);
+  EXPECT_DOUBLE_EQ(AsDouble(Value{1.5}), 1.5);
+  EXPECT_EQ(AsString(Value{std::string("abc")}), "abc");
+  EXPECT_DOUBLE_EQ(AsNumeric(Value{int64_t{7}}), 7.0);
+  EXPECT_DOUBLE_EQ(AsNumeric(Value{7.5}), 7.5);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(ToString(Value{int64_t{5}}), "5");
+  EXPECT_EQ(ToString(Value{std::string("ip")}), "ip");
+}
+
+TEST(ValueTest, HashDistributes) {
+  std::set<uint64_t> hashes;
+  for (int64_t i = 0; i < 1000; ++i) hashes.insert(HashValue(Value{i}));
+  EXPECT_EQ(hashes.size(), 1000u);  // No collisions on small ints.
+}
+
+TEST(ValueTest, HashStringsAndDoubles) {
+  EXPECT_NE(HashValue(Value{std::string("a")}),
+            HashValue(Value{std::string("b")}));
+  EXPECT_NE(HashValue(Value{1.0}), HashValue(Value{2.0}));
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s({{"a", ValueType::kInt}, {"b", ValueType::kString}});
+  EXPECT_EQ(s.num_fields(), 2);
+  EXPECT_EQ(s.IndexOf("b"), 1);
+  EXPECT_EQ(s.IndexOf("zz"), -1);
+  EXPECT_EQ(s.MustIndexOf("a"), 0);
+}
+
+TEST(SchemaTest, ConcatRenamesCollisions) {
+  Schema l({{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+  Schema r({{"b", ValueType::kInt}, {"c", ValueType::kInt}});
+  Schema j = Schema::Concat(l, r);
+  EXPECT_EQ(j.num_fields(), 4);
+  EXPECT_EQ(j.field(2).name, "b_r");
+  EXPECT_EQ(j.field(3).name, "c");
+}
+
+TEST(SchemaTest, Project) {
+  Schema s({{"a", ValueType::kInt}, {"b", ValueType::kInt},
+            {"c", ValueType::kInt}});
+  Schema p = s.Project({2, 0});
+  EXPECT_EQ(p.num_fields(), 2);
+  EXPECT_EQ(p.field(0).name, "c");
+  EXPECT_EQ(p.field(1).name, "a");
+}
+
+TEST(TupleTest, Liveness) {
+  Tuple t = T({1}, /*ts=*/10, /*exp=*/20);
+  EXPECT_TRUE(t.LiveAt(19));
+  EXPECT_FALSE(t.LiveAt(20));  // Expires exactly at exp.
+  EXPECT_TRUE(T({1}).LiveAt(1'000'000'000));  // Never expires.
+}
+
+TEST(TupleTest, AsNegativePreservesIdentity) {
+  Tuple t = T({1, 2}, 5, 15);
+  Tuple n = t.AsNegative();
+  EXPECT_TRUE(n.negative);
+  EXPECT_TRUE(n.FieldsEqual(t));
+  EXPECT_EQ(n.exp, t.exp);
+}
+
+TEST(TupleTest, FieldsEqualIgnoresTimestamps) {
+  EXPECT_TRUE(T({1, 2}, 1, 5).FieldsEqual(T({1, 2}, 9, 99)));
+  EXPECT_FALSE(T({1, 2}).FieldsEqual(T({1, 3})));
+}
+
+TEST(KeyTest, ExtractAndEquals) {
+  Tuple t = T({10, 20, 30});
+  Key k = ExtractKey(t, {2, 0});
+  ASSERT_EQ(k.size(), 2u);
+  EXPECT_EQ(AsInt(k[0]), 30);
+  EXPECT_TRUE(KeyEquals(t, {2, 0}, k));
+  EXPECT_FALSE(KeyEquals(T({10, 20, 31}), {2, 0}, k));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    const int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, UniformWhenSZero) {
+  Rng rng(3);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 1500);
+    EXPECT_LT(c, 2500);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(4);
+  ZipfSampler zipf(1000, 1.2);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 50000 / 100);  // Head rank dominates.
+}
+
+}  // namespace
+}  // namespace upa

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/logical_plan.h"
+#include "tests/test_util.h"
+
+namespace upa {
+namespace {
+
+using testing_util::IntSchema;
+
+Catalog TwoLinkCatalog(double rate = 1.0, double distinct_src = 100) {
+  Catalog cat;
+  for (int s = 0; s < 3; ++s) {
+    StreamStats stats;
+    stats.rate = rate;
+    stats.columns[0].distinct = distinct_src;  // src-like key column.
+    stats.columns[1].distinct = 5;             // protocol-like column.
+    stats.columns[1].value_freq[Value{int64_t{1}}] = 0.03;  // "ftp"
+    stats.columns[1].value_freq[Value{int64_t{2}}] = 0.30;  // "telnet"
+    cat.streams[s] = stats;
+  }
+  return cat;
+}
+
+PlanPtr Win(int stream, Time size) {
+  return MakeWindow(MakeStream(stream, IntSchema(2)), size);
+}
+
+TEST(EstimateTest, WindowSizeIsRateTimesSpan) {
+  Catalog cat = TwoLinkCatalog(2.0);
+  PlanPtr p = Win(0, 500);
+  AnnotatePatterns(p.get());
+  const NodeEstimate e = EstimateNode(*p, cat);
+  EXPECT_DOUBLE_EQ(e.rate, 2.0);
+  EXPECT_DOUBLE_EQ(e.size, 1000.0);
+}
+
+TEST(EstimateTest, SelectUsesValueFrequencies) {
+  Catalog cat = TwoLinkCatalog();
+  PlanPtr ftp = MakeSelect(Win(0, 1000),
+                           {Predicate{1, CmpOp::kEq, Value{int64_t{1}}}});
+  PlanPtr telnet = MakeSelect(Win(0, 1000),
+                              {Predicate{1, CmpOp::kEq, Value{int64_t{2}}}});
+  AnnotatePatterns(ftp.get());
+  AnnotatePatterns(telnet.get());
+  const NodeEstimate ef = EstimateNode(*ftp, cat);
+  const NodeEstimate et = EstimateNode(*telnet, cat);
+  EXPECT_NEAR(ef.rate, 0.03, 1e-9);
+  EXPECT_NEAR(et.rate, 0.30, 1e-9);
+  EXPECT_NEAR(et.size / ef.size, 10.0, 1e-6);  // telnet ~10x ftp.
+}
+
+TEST(EstimateTest, JoinCardinality) {
+  Catalog cat = TwoLinkCatalog(1.0, 100);
+  PlanPtr p = MakeJoin(Win(0, 100), Win(1, 100), 0, 0);
+  AnnotatePatterns(p.get());
+  const NodeEstimate e = EstimateNode(*p, cat);
+  // |W1 join W2| = N1*N2/d = 100*100/100.
+  EXPECT_DOUBLE_EQ(e.size, 100.0);
+  EXPECT_DOUBLE_EQ(e.rate, 2.0);  // (1*100 + 1*100)/100.
+}
+
+TEST(EstimateTest, DistinctCapsAtKeyDomain) {
+  Catalog cat = TwoLinkCatalog(1.0, 50);
+  PlanPtr p = MakeDistinct(Win(0, 1000), {0});
+  AnnotatePatterns(p.get());
+  const NodeEstimate e = EstimateNode(*p, cat);
+  EXPECT_DOUBLE_EQ(e.size, 50.0);
+}
+
+TEST(EstimateTest, NegationPrematureRateDependsOnOverlap) {
+  Catalog overlap_full = TwoLinkCatalog(1.0, 100);
+  Catalog overlap_none = TwoLinkCatalog(1.0, 100);
+  overlap_none.value_overlap[{{0, 0}, {1, 0}}] = 0.0;
+  PlanPtr p = MakeNegate(Win(0, 100), Win(1, 100), 0, 0);
+  AnnotatePatterns(p.get());
+  const NodeEstimate full = EstimateNode(*p, overlap_full);
+  const NodeEstimate none = EstimateNode(*p, overlap_none);
+  EXPECT_GT(full.premature_rate, 0.0);
+  EXPECT_DOUBLE_EQ(none.premature_rate, 0.0);
+  EXPECT_GT(EstimatePrematureFrequency(*p, overlap_full),
+            EstimatePrematureFrequency(*p, overlap_none));
+  // With disjoint domains nothing is ever covered: full-size output.
+  EXPECT_GT(none.size, full.size);
+}
+
+TEST(CostTest, DirectDegradesWithWindowSize) {
+  Catalog cat = TwoLinkCatalog();
+  PlanPtr small = MakeJoin(Win(0, 100), Win(1, 100), 0, 0);
+  PlanPtr large = MakeJoin(Win(0, 10000), Win(1, 10000), 0, 0);
+  AnnotatePatterns(small.get());
+  AnnotatePatterns(large.get());
+  const double cs = EstimatePlanCost(*small, cat, ExecMode::kDirect, {}).total;
+  const double cl = EstimatePlanCost(*large, cat, ExecMode::kDirect, {}).total;
+  // DIRECT's sequential scans scale with state size.
+  EXPECT_GT(cl / cs, 20.0);
+}
+
+TEST(CostTest, UpaBeatsDirectAndNtOnJoinQuery) {
+  // Moderate join fan-out (the Query 1 regime): the result view is about
+  // the size of the inputs.
+  Catalog cat = TwoLinkCatalog(1.0, 5000);
+  PlanPtr p = MakeJoin(Win(0, 5000), Win(1, 5000), 0, 0);
+  AnnotatePatterns(p.get());
+  const double upa = EstimatePlanCost(*p, cat, ExecMode::kUpa, {}).total;
+  const double direct = EstimatePlanCost(*p, cat, ExecMode::kDirect, {}).total;
+  const double nt =
+      EstimatePlanCost(*p, cat, ExecMode::kNegativeTuple, {}).total;
+  EXPECT_LT(upa, direct);
+  EXPECT_LT(upa, nt);
+}
+
+TEST(CostTest, MorePartitionsCheaperMaintenance) {
+  Catalog cat = TwoLinkCatalog();
+  PlanPtr p = MakeJoin(Win(0, 5000), Win(1, 5000), 0, 0);
+  AnnotatePatterns(p.get());
+  PlannerOptions p1;
+  p1.num_partitions = 1;
+  PlannerOptions p100;
+  p100.num_partitions = 100;
+  EXPECT_GT(EstimatePlanCost(*p, cat, ExecMode::kUpa, p1).total,
+            EstimatePlanCost(*p, cat, ExecMode::kUpa, p100).total);
+}
+
+TEST(CostTest, GroupByCostIndependentOfNegatives) {
+  // Rule 4's flip side: group-by absorbs expirations at 2*lambda*C in
+  // either strategy; the cost model reflects the 2x factor.
+  Catalog cat = TwoLinkCatalog();
+  PlanPtr p = MakeGroupBy(Win(0, 1000), 0, AggKind::kSum, 1);
+  AnnotatePatterns(p.get());
+  const double upa = EstimatePlanCost(*p, cat, ExecMode::kUpa, {}).total;
+  EXPECT_GT(upa, 0.0);
+}
+
+TEST(CostTest, PrematureFrequencyFeedsStrategyChoice) {
+  // A fast W2 relative to the value domain: most answer deletions are
+  // caused by W2 arrivals (Section 5.4.3's "majority of deletions occur
+  // via negative tuples" regime).
+  Catalog cat = TwoLinkCatalog(1.0, 1000);
+  cat.streams[1].rate = 5.0;
+  PlanPtr p = MakeNegate(Win(0, 1000), Win(1, 1000), 0, 0);
+  AnnotatePatterns(p.get());
+  const double freq = EstimatePrematureFrequency(*p, cat);
+  EXPECT_GT(freq, 0.5);
+
+  Catalog disjoint = TwoLinkCatalog(1.0, 1000);
+  disjoint.value_overlap[{{0, 0}, {1, 0}}] = 0.0;
+  EXPECT_DOUBLE_EQ(EstimatePrematureFrequency(*p, disjoint), 0.0);
+}
+
+}  // namespace
+}  // namespace upa

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "exec/pipeline.h"
+#include "exec/replay.h"
+#include "exec/view.h"
+#include "ops/join.h"
+#include "ops/stateless.h"
+#include "ops/window.h"
+#include "state/hash_buffer.h"
+#include "state/list_buffer.h"
+#include "tests/test_util.h"
+#include "workload/trace.h"
+
+namespace upa {
+namespace {
+
+using testing_util::IntSchema;
+using testing_util::T;
+
+TEST(BufferViewTest, TimeExpirationRemovesResults) {
+  BufferView view(std::make_unique<ListBuffer>(), /*time_expiration=*/true);
+  view.Apply(T({1}, 1, 10));
+  view.Apply(T({2}, 2, 20));
+  EXPECT_EQ(view.Size(), 2u);
+  view.AdvanceTime(10);
+  EXPECT_EQ(view.Size(), 1u);
+  EXPECT_EQ(AsInt(view.Snapshot()[0].fields[0]), 2);
+}
+
+TEST(BufferViewTest, NegativeTuplesRemoveWithoutClock) {
+  BufferView view(std::make_unique<HashBuffer>(0, 8),
+                  /*time_expiration=*/false);
+  view.Apply(T({1}, 1, 10));
+  view.AdvanceTime(50);  // Clock moves, but nothing expires by time.
+  EXPECT_EQ(view.Size(), 1u);
+  Tuple neg = T({1}, 1, 10);
+  neg.negative = true;
+  view.Apply(neg);
+  EXPECT_EQ(view.Size(), 0u);
+}
+
+TEST(GroupArrayViewTest, ReplaceSemanticsAndDrop) {
+  GroupArrayView view;
+  Tuple t;
+  t.fields = {Value{int64_t{1}}, Value{5.0}, Value{int64_t{2}}};
+  view.Apply(t);
+  ASSERT_NE(view.Lookup(Value{int64_t{1}}), nullptr);
+  EXPECT_DOUBLE_EQ(*view.Lookup(Value{int64_t{1}}), 5.0);
+  t.fields = {Value{int64_t{1}}, Value{9.0}, Value{int64_t{1}}};
+  view.Apply(t);  // Replaces, no growth.
+  EXPECT_EQ(view.Size(), 1u);
+  EXPECT_DOUBLE_EQ(*view.Lookup(Value{int64_t{1}}), 9.0);
+  t.fields = {Value{int64_t{1}}, Value{0.0}, Value{int64_t{0}}};
+  view.Apply(t);  // Count 0: group vanishes.
+  EXPECT_EQ(view.Size(), 0u);
+  EXPECT_EQ(view.Lookup(Value{int64_t{1}}), nullptr);
+}
+
+std::unique_ptr<Pipeline> MakeJoinPipeline(bool nt) {
+  auto pp = std::make_unique<Pipeline>();
+  Pipeline& p = *pp;
+  const int w0 = p.AddOperator(
+      std::make_unique<TimeWindowOp>(IntSchema(2), 10, nt), {});
+  const int w1 = p.AddOperator(
+      std::make_unique<TimeWindowOp>(IntSchema(2), 10, nt), {});
+  p.AddOperator(std::make_unique<JoinOp>(
+                    IntSchema(2), IntSchema(2), 0, 0,
+                    std::make_unique<ListBuffer>(),
+                    std::make_unique<ListBuffer>(), !nt),
+                {w0, w1});
+  p.BindStream(0, w0, 0);
+  p.BindStream(1, w1, 0);
+  p.SetView(std::make_unique<BufferView>(
+      nt ? std::unique_ptr<StateBuffer>(std::make_unique<HashBuffer>(0, 8))
+         : std::unique_ptr<StateBuffer>(std::make_unique<ListBuffer>()),
+      !nt));
+  return pp;
+}
+
+TEST(PipelineTest, RoutesAndCounts) {
+  auto pipeline = MakeJoinPipeline(/*nt=*/false);
+  Pipeline& p = *pipeline;
+  p.Tick(1);
+  p.Ingest(0, T({1, 10}, 1));
+  p.Tick(2);
+  p.Ingest(1, T({1, 20}, 2));
+  EXPECT_EQ(p.view().Size(), 1u);
+  EXPECT_EQ(p.stats().ingested, 2u);
+  EXPECT_EQ(p.stats().results_pos, 1u);
+  EXPECT_EQ(p.stats().results_neg, 0u);
+  // Result expires with the older constituent at t=11.
+  p.Tick(11);
+  EXPECT_EQ(p.view().Size(), 0u);
+}
+
+TEST(PipelineTest, NtModeCountsNegatives) {
+  auto pipeline = MakeJoinPipeline(/*nt=*/true);
+  Pipeline& p = *pipeline;
+  p.Tick(1);
+  p.Ingest(0, T({1, 10}, 1));
+  p.Tick(2);
+  p.Ingest(1, T({1, 20}, 2));
+  EXPECT_EQ(p.view().Size(), 1u);
+  p.Tick(50);  // Windows emit negatives; the join relays one result death.
+  EXPECT_EQ(p.view().Size(), 0u);
+  EXPECT_GT(p.stats().negatives_delivered, 0u);
+  EXPECT_EQ(p.stats().results_neg, 1u);
+}
+
+TEST(PipelineTest, TickIsIdempotentPerTimestamp) {
+  auto pipeline = MakeJoinPipeline(/*nt=*/true);
+  Pipeline& p = *pipeline;
+  p.Tick(1);
+  p.Ingest(0, T({1, 10}, 1));
+  p.Tick(50);
+  const auto negs = p.stats().negatives_delivered;
+  p.Tick(50);  // No double emission.
+  EXPECT_EQ(p.stats().negatives_delivered, negs);
+}
+
+TEST(PipelineTest, StateAccounting) {
+  auto pipeline = MakeJoinPipeline(false);
+  Pipeline& p = *pipeline;
+  p.Tick(1);
+  p.Ingest(0, T({1, 10}, 1));
+  EXPECT_GT(p.StateBytes(), 0u);
+  EXPECT_EQ(p.StateTuples(), 1u);  // One join-state tuple, empty view.
+}
+
+TEST(PipelineTest, DebugStringShowsWiring) {
+  auto pipeline = MakeJoinPipeline(false);
+  Pipeline& p = *pipeline;
+  const std::string s = p.DebugString();
+  EXPECT_NE(s.find("join"), std::string::npos);
+  EXPECT_NE(s.find("-> view"), std::string::npos);
+}
+
+TEST(PipelineDeathTest, RejectsUnknownStream) {
+  auto pipeline = MakeJoinPipeline(false);
+  Pipeline& p = *pipeline;
+  p.Tick(1);
+  EXPECT_DEATH(p.Ingest(7, T({1, 1}, 1)), "UPA_CHECK");
+}
+
+TEST(PipelineDeathTest, RejectsTupleAheadOfClock) {
+  auto pipeline = MakeJoinPipeline(false);
+  Pipeline& p = *pipeline;
+  p.Tick(1);
+  EXPECT_DEATH(p.Ingest(0, T({1, 1}, 5)), "UPA_CHECK");
+}
+
+TEST(ReplayTest, MetricsPopulated) {
+  Trace trace;
+  trace.schema = IntSchema(2);
+  trace.num_streams = 2;
+  for (Time ts = 1; ts <= 50; ++ts) {
+    for (int s = 0; s < 2; ++s) {
+      TraceEvent e;
+      e.stream = s;
+      e.tuple = T({ts % 5, ts}, ts);
+      trace.events.push_back(e);
+    }
+  }
+  auto pipeline = MakeJoinPipeline(false);
+  Pipeline& p = *pipeline;
+  ReplayOptions opts;
+  opts.state_poll_interval = 10;
+  const ReplayMetrics m = ReplayTrace(trace, &p, opts);
+  EXPECT_EQ(m.tuples, 100u);
+  EXPECT_GT(m.ms_per_1000_tuples, 0.0);
+  EXPECT_GT(m.max_state_bytes, 0u);
+  EXPECT_EQ(m.stats.ingested, 100u);
+}
+
+TEST(ReplayTest, DrainExpiresRemainingState) {
+  Trace trace;
+  trace.schema = IntSchema(2);
+  trace.num_streams = 2;
+  TraceEvent e;
+  e.stream = 0;
+  e.tuple = T({1, 1}, 1);
+  trace.events.push_back(e);
+  auto pipeline = MakeJoinPipeline(false);
+  Pipeline& p = *pipeline;
+  ReplayOptions opts;
+  opts.drain = 100;
+  ReplayTrace(trace, &p, opts);
+  EXPECT_EQ(p.StateTuples(), 0u);
+}
+
+}  // namespace
+}  // namespace upa

@@ -1,0 +1,412 @@
+// End-to-end semantic tests: every plan shape is executed under every
+// execution strategy (NT / DIRECT / UPA, plus UPA's hybrid negative-tuple
+// strategy) and its materialized view is compared, at frequent
+// checkpoints, against the from-scratch reference evaluator implementing
+// Definitions 1 and 2. This is the repository's core correctness
+// property: all three strategies must compute identical answers.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/logical_plan.h"
+#include "core/physical_planner.h"
+#include "tests/test_util.h"
+
+namespace upa {
+namespace {
+
+using testing_util::CheckAgainstReference;
+using testing_util::IntSchema;
+
+/// A mode under test: execution strategy plus planner options.
+struct ModeCase {
+  std::string name;
+  ExecMode mode;
+  PlannerOptions options;
+};
+
+std::vector<ModeCase> AllModes() {
+  PlannerOptions few_partitions;
+  few_partitions.num_partitions = 1;
+  PlannerOptions hybrid;
+  hybrid.str_strategy = StrStrategy::kNegativeTuples;
+  PlannerOptions indexed;
+  indexed.index_probed_state = true;
+  indexed.index_buckets = 4;
+  return {
+      {"NT", ExecMode::kNegativeTuple, {}},
+      {"DIRECT", ExecMode::kDirect, {}},
+      {"UPA", ExecMode::kUpa, {}},
+      {"UPA_P1", ExecMode::kUpa, few_partitions},
+      {"UPA_HYBRID", ExecMode::kUpa, hybrid},
+      {"UPA_INDEXED", ExecMode::kUpa, indexed},
+  };
+}
+
+class ModeTest : public ::testing::TestWithParam<ModeCase> {
+ protected:
+  ExecMode mode() const { return GetParam().mode; }
+  const PlannerOptions& options() const { return GetParam().options; }
+  bool nt() const { return mode() == ExecMode::kNegativeTuple; }
+};
+
+/// Random multi-stream trace: one tuple per stream per time unit, integer
+/// fields (key in column 0 drawn from [0, key_range), payload in column 1).
+Trace RandomTrace(int num_streams, Time duration, int64_t key_range,
+                  uint64_t seed, int width = 2) {
+  Rng rng(seed);
+  Trace trace;
+  trace.schema = IntSchema(width);
+  trace.num_streams = num_streams;
+  for (Time ts = 1; ts <= duration; ++ts) {
+    for (int s = 0; s < num_streams; ++s) {
+      TraceEvent e;
+      e.stream = s;
+      e.tuple.ts = ts;
+      e.tuple.fields.emplace_back(rng.NextInRange(0, key_range - 1));
+      for (int c = 1; c < width; ++c) {
+        e.tuple.fields.emplace_back(rng.NextInRange(0, 999));
+      }
+      trace.events.push_back(std::move(e));
+    }
+  }
+  return trace;
+}
+
+TEST_P(ModeTest, SelectProjectOverWindow) {
+  PlanPtr plan = MakeProject(
+      MakeSelect(MakeWindow(MakeStream(0, IntSchema(2)), 30),
+                 {Predicate{0, CmpOp::kLt, Value{int64_t{5}}}}),
+      {1, 0});
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(1, 300, 10, 101);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 20, {},
+                                  /*drain=*/60),
+            0);
+}
+
+TEST_P(ModeTest, UnionOfWindows) {
+  PlanPtr plan = MakeUnion(MakeWindow(MakeStream(0, IntSchema(2)), 25),
+                           MakeWindow(MakeStream(1, IntSchema(2)), 40));
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(2, 200, 8, 102);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 20, {},
+                                  /*drain=*/80),
+            0);
+}
+
+TEST_P(ModeTest, SelfUnionTwoWindowSizes) {
+  // One base stream referenced twice with different window sizes: both
+  // ingress bindings receive each arrival (and, per the Rule 2
+  // refinement, the union is weak non-monotonic).
+  PlanPtr plan = MakeUnion(MakeWindow(MakeStream(0, IntSchema(2)), 15),
+                           MakeWindow(MakeStream(0, IntSchema(2)), 35));
+  AnnotatePatterns(plan.get());
+  EXPECT_EQ(plan->pattern, UpdatePattern::kWeak);
+  const Trace trace = RandomTrace(1, 200, 6, 131);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 20, {},
+                                  /*drain=*/50),
+            0);
+}
+
+TEST_P(ModeTest, SelfJoinSameStream) {
+  PlanPtr plan = MakeJoin(MakeWindow(MakeStream(0, IntSchema(2)), 20),
+                          MakeWindow(MakeStream(0, IntSchema(2)), 20), 0, 0);
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(1, 200, 4, 132);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 20, {},
+                                  /*drain=*/50),
+            0);
+}
+
+TEST_P(ModeTest, JoinWindowsOfDifferentSizes) {
+  PlanPtr plan = MakeJoin(MakeWindow(MakeStream(0, IntSchema(2)), 20),
+                          MakeWindow(MakeStream(1, IntSchema(2)), 45), 0, 0);
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(2, 250, 6, 103);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 15, {},
+                                  /*drain=*/90),
+            0);
+}
+
+TEST_P(ModeTest, Query1JoinOfSelections) {
+  // The paper's Query 1 shape: selections over two windows, then a join.
+  auto side = [](int stream) {
+    return MakeSelect(MakeWindow(MakeStream(stream, IntSchema(3)), 30),
+                      {Predicate{2, CmpOp::kLt, Value{int64_t{300}}}});
+  };
+  PlanPtr plan = MakeJoin(side(0), side(1), 0, 0);
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(2, 250, 5, 104, /*width=*/3);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 15, {},
+                                  /*drain=*/60),
+            0);
+}
+
+TEST_P(ModeTest, DistinctSingleKey) {
+  // The paper's Query 2 shape: distinct source addresses on one link.
+  PlanPtr plan = MakeDistinct(
+      MakeProject(MakeWindow(MakeStream(0, IntSchema(2)), 35), {0}), {0});
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(1, 300, 7, 105);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 10, {},
+                                  /*drain=*/70),
+            0);
+}
+
+TEST_P(ModeTest, DistinctPairKey) {
+  PlanPtr plan = MakeDistinct(
+      MakeProject(MakeWindow(MakeStream(0, IntSchema(3)), 30), {0, 1}),
+      {0, 1});
+  AnnotatePatterns(plan.get());
+  Trace trace = RandomTrace(1, 250, 4, 106, /*width=*/3);
+  // Shrink payload range so pairs repeat.
+  for (TraceEvent& e : trace.events) {
+    e.tuple.fields[1] = Value{AsInt(e.tuple.fields[1]) % 3};
+  }
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 10, {},
+                                  /*drain=*/60),
+            0);
+}
+
+TEST_P(ModeTest, DistinctOverJoin) {
+  // Weak non-monotonic input to duplicate elimination: exercises the
+  // delta operator's latest-expiring auxiliary state under UPA.
+  PlanPtr plan = MakeDistinct(
+      MakeProject(MakeJoin(MakeWindow(MakeStream(0, IntSchema(2)), 25),
+                           MakeWindow(MakeStream(1, IntSchema(2)), 40), 0, 0),
+                  {0}),
+      {0});
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(2, 220, 5, 107);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 10, {},
+                                  /*drain=*/80),
+            0);
+}
+
+class GroupByModeTest
+    : public ::testing::TestWithParam<std::tuple<ModeCase, AggKind>> {};
+
+TEST_P(GroupByModeTest, AgainstReference) {
+  const ModeCase& mc = std::get<0>(GetParam());
+  const AggKind agg = std::get<1>(GetParam());
+  PlanPtr plan = MakeGroupBy(MakeWindow(MakeStream(0, IntSchema(2)), 30), 0,
+                             agg, 1);
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(1, 300, 6, 108);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mc.mode, mc.options, 20, {},
+                                  /*drain=*/60),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Aggregates, GroupByModeTest,
+    ::testing::Combine(::testing::ValuesIn(AllModes()),
+                       ::testing::Values(AggKind::kCount, AggKind::kSum,
+                                         AggKind::kAvg, AggKind::kMin,
+                                         AggKind::kMax)),
+    [](const ::testing::TestParamInfo<std::tuple<ModeCase, AggKind>>& info)
+        -> std::string {
+      return std::get<0>(info.param).name + "_" +
+             AggName(std::get<1>(info.param));
+    });
+
+TEST_P(ModeTest, GroupByOverJoin) {
+  PlanPtr plan = MakeGroupBy(
+      MakeJoin(MakeWindow(MakeStream(0, IntSchema(2)), 20),
+               MakeWindow(MakeStream(1, IntSchema(2)), 30), 0, 0),
+      0, AggKind::kCount, -1);
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(2, 200, 5, 109);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 15, {},
+                                  /*drain=*/60),
+            0);
+}
+
+TEST_P(ModeTest, NegationQuery3) {
+  // The paper's Query 3: negation of two links on the source address.
+  // Inputs are projected to the negation attribute so that multiset
+  // comparison is exact (which duplicate the engine keeps is free).
+  PlanPtr plan =
+      MakeNegate(MakeProject(MakeWindow(MakeStream(0, IntSchema(2)), 30), {0}),
+                 MakeProject(MakeWindow(MakeStream(1, IntSchema(2)), 30), {0}),
+                 0, 0);
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(2, 300, 6, 110);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 10, {},
+                                  /*drain=*/70),
+            0);
+}
+
+TEST_P(ModeTest, NegationDisjointDomains) {
+  // Disjoint negation domains: no premature expirations at all
+  // (Section 5.3.2's boundary case).
+  PlanPtr plan =
+      MakeNegate(MakeProject(MakeWindow(MakeStream(0, IntSchema(2)), 25), {0}),
+                 MakeProject(MakeWindow(MakeStream(1, IntSchema(2)), 25), {0}),
+                 0, 0);
+  AnnotatePatterns(plan.get());
+  Trace trace = RandomTrace(2, 200, 5, 111);
+  for (TraceEvent& e : trace.events) {
+    if (e.stream == 1) {
+      e.tuple.fields[0] = Value{AsInt(e.tuple.fields[0]) + 1000};
+    }
+  }
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 10, {},
+                                  /*drain=*/50),
+            0);
+}
+
+TEST_P(ModeTest, NegationDifferentSchemas) {
+  // Left attribute in column 1 of a 3-wide schema, right in column 0 of a
+  // 1-wide schema; compared projected onto the negation attribute.
+  PlanPtr plan = MakeNegate(
+      MakeWindow(MakeStream(0, IntSchema(3)), 30),
+      MakeProject(MakeWindow(MakeStream(1, IntSchema(2)), 20), {0}), 1, 0);
+  AnnotatePatterns(plan.get());
+  Trace trace = RandomTrace(2, 220, 5, 112, /*width=*/3);
+  // Make column 1 of stream 0 the key-like attribute.
+  for (TraceEvent& e : trace.events) {
+    if (e.stream == 0) {
+      e.tuple.fields[1] = Value{AsInt(e.tuple.fields[1]) % 5};
+    }
+  }
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 10, {1},
+                                  /*drain=*/60),
+            0);
+}
+
+TEST_P(ModeTest, Query5PullUpRewriting) {
+  // Figure 6 left: negation above the join.
+  PlanPtr plan = MakeNegate(
+      MakeJoin(MakeProject(MakeWindow(MakeStream(0, IntSchema(2)), 25), {0}),
+               MakeSelect(MakeWindow(MakeStream(2, IntSchema(2)), 25),
+                          {Predicate{1, CmpOp::kLt, Value{int64_t{500}}}}),
+               0, 0),
+      MakeProject(MakeWindow(MakeStream(1, IntSchema(2)), 25), {0}), 0, 0);
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(3, 220, 6, 113);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 10, {0},
+                                  /*drain=*/50),
+            0);
+}
+
+TEST_P(ModeTest, Query5PushDownRewriting) {
+  // Figure 6 right: negation below the join (join consumes STR input).
+  PlanPtr plan = MakeJoin(
+      MakeNegate(MakeProject(MakeWindow(MakeStream(0, IntSchema(2)), 25), {0}),
+                 MakeProject(MakeWindow(MakeStream(1, IntSchema(2)), 25), {0}),
+                 0, 0),
+      MakeSelect(MakeWindow(MakeStream(2, IntSchema(2)), 25),
+                 {Predicate{1, CmpOp::kLt, Value{int64_t{500}}}}),
+      0, 0);
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(3, 220, 6, 114);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 10, {0},
+                                  /*drain=*/50),
+            0);
+}
+
+TEST_P(ModeTest, IntersectionPairSemantics) {
+  PlanPtr plan = MakeIntersect(
+      MakeProject(MakeWindow(MakeStream(0, IntSchema(2)), 20), {0}),
+      MakeProject(MakeWindow(MakeStream(1, IntSchema(2)), 30), {0}));
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(2, 200, 4, 115);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 15, {},
+                                  /*drain=*/60),
+            0);
+}
+
+// --- Relations (Section 4.1). The relation's update stream is id 9. ---
+
+Trace WithRelationUpdates(Trace trace, int rel_stream, int64_t key_range,
+                          uint64_t seed) {
+  // Interleave relation inserts/deletes: roughly one update per 4 time
+  // units; deletes always target a currently live row.
+  Rng rng(seed);
+  std::vector<Tuple> live;
+  Trace out;
+  out.schema = trace.schema;
+  out.num_streams = trace.num_streams + 1;
+  Time last_ts = 0;
+  for (TraceEvent& e : trace.events) {
+    if (e.tuple.ts != last_ts) {
+      last_ts = e.tuple.ts;
+      if (rng.NextBool(0.25)) {
+        TraceEvent u;
+        u.stream = rel_stream;
+        u.tuple.ts = last_ts;
+        if (!live.empty() && rng.NextBool(0.4)) {
+          const size_t idx = rng.NextBelow(live.size());
+          u.tuple = live[idx].AsNegative();
+          u.tuple.ts = last_ts;
+          live.erase(live.begin() + static_cast<long>(idx));
+        } else {
+          u.tuple.fields = {Value{rng.NextInRange(0, key_range - 1)},
+                            Value{rng.NextInRange(100, 199)}};
+          live.push_back(u.tuple);
+        }
+        out.events.push_back(std::move(u));
+      }
+    }
+    out.events.push_back(std::move(e));
+  }
+  return out;
+}
+
+TEST_P(ModeTest, NrrJoin) {
+  if (nt()) GTEST_SKIP() << "NRR joins cannot run under NT (Section 5.4.2)";
+  PlanPtr plan =
+      MakeJoin(MakeWindow(MakeStream(0, IntSchema(2)), 30),
+               MakeRelation(9, IntSchema(2), /*retroactive=*/false), 0, 0);
+  AnnotatePatterns(plan.get());
+  const Trace trace =
+      WithRelationUpdates(RandomTrace(1, 250, 5, 116), 9, 5, 117);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 15, {},
+                                  /*drain=*/60),
+            0);
+}
+
+TEST_P(ModeTest, RetroactiveRelationJoin) {
+  PlanPtr plan =
+      MakeJoin(MakeWindow(MakeStream(0, IntSchema(2)), 30),
+               MakeRelation(9, IntSchema(2), /*retroactive=*/true), 0, 0);
+  AnnotatePatterns(plan.get());
+  const Trace trace =
+      WithRelationUpdates(RandomTrace(1, 250, 5, 118), 9, 5, 119);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 15, {},
+                                  /*drain=*/60),
+            0);
+}
+
+// --- Count-based windows (Section 7 extension). ---
+
+TEST_P(ModeTest, JoinOverCountWindows) {
+  PlanPtr plan = MakeJoin(MakeCountWindow(MakeStream(0, IntSchema(2)), 15),
+                          MakeCountWindow(MakeStream(1, IntSchema(2)), 25),
+                          0, 0);
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(2, 200, 5, 120);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 15, {}),
+            0);
+}
+
+TEST_P(ModeTest, DistinctOverCountWindow) {
+  PlanPtr plan = MakeDistinct(
+      MakeProject(MakeCountWindow(MakeStream(0, IntSchema(2)), 20), {0}),
+      {0});
+  AnnotatePatterns(plan.get());
+  const Trace trace = RandomTrace(1, 200, 6, 121);
+  EXPECT_GT(CheckAgainstReference(*plan, trace, mode(), options(), 10, {}),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ModeTest, ::testing::ValuesIn(AllModes()),
+    [](const ::testing::TestParamInfo<ModeCase>& info) -> std::string {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace upa

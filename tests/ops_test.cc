@@ -1,0 +1,409 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ops/distinct.h"
+#include "ops/groupby.h"
+#include "ops/intersect.h"
+#include "ops/join.h"
+#include "ops/negation.h"
+#include "ops/predicate.h"
+#include "ops/relation_join.h"
+#include "ops/stateless.h"
+#include "ops/window.h"
+#include "state/list_buffer.h"
+#include "tests/test_util.h"
+
+namespace upa {
+namespace {
+
+using testing_util::IntSchema;
+using testing_util::T;
+
+std::unique_ptr<StateBuffer> List() { return std::make_unique<ListBuffer>(); }
+
+std::vector<Tuple> Drain(Operator& op, int port, const Tuple& t) {
+  std::vector<Tuple> out;
+  VectorEmitter e(&out);
+  op.Process(port, t, e);
+  return out;
+}
+
+std::vector<Tuple> Advance(Operator& op, Time now) {
+  std::vector<Tuple> out;
+  VectorEmitter e(&out);
+  op.AdvanceTime(now, e);
+  return out;
+}
+
+// --- Predicates / selection / projection / union. ---
+
+TEST(PredicateTest, AllComparators) {
+  const Tuple t = T({5});
+  EXPECT_TRUE((Predicate{0, CmpOp::kEq, Value{int64_t{5}}}).Eval(t));
+  EXPECT_TRUE((Predicate{0, CmpOp::kNe, Value{int64_t{4}}}).Eval(t));
+  EXPECT_TRUE((Predicate{0, CmpOp::kLt, Value{int64_t{6}}}).Eval(t));
+  EXPECT_TRUE((Predicate{0, CmpOp::kLe, Value{int64_t{5}}}).Eval(t));
+  EXPECT_TRUE((Predicate{0, CmpOp::kGt, Value{int64_t{4}}}).Eval(t));
+  EXPECT_TRUE((Predicate{0, CmpOp::kGe, Value{int64_t{5}}}).Eval(t));
+  EXPECT_FALSE((Predicate{0, CmpOp::kLt, Value{int64_t{5}}}).Eval(t));
+}
+
+TEST(SelectOpTest, FiltersPositivesAndNegatives) {
+  SelectOp op(IntSchema(2), {Predicate{0, CmpOp::kEq, Value{int64_t{1}}}});
+  EXPECT_EQ(Drain(op, 0, T({1, 7})).size(), 1u);
+  EXPECT_EQ(Drain(op, 0, T({2, 7})).size(), 0u);
+  Tuple neg = T({1, 7});
+  neg.negative = true;
+  auto out = Drain(op, 0, neg);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].negative);
+}
+
+TEST(ProjectOpTest, ReordersColumns) {
+  ProjectOp op(IntSchema(3), {2, 0});
+  auto out = Drain(op, 0, T({10, 20, 30}, 5, 9));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(AsInt(out[0].fields[0]), 30);
+  EXPECT_EQ(AsInt(out[0].fields[1]), 10);
+  EXPECT_EQ(out[0].ts, 5);
+  EXPECT_EQ(out[0].exp, 9);
+}
+
+TEST(UnionOpTest, ForwardsBothPorts) {
+  UnionOp op(IntSchema(1));
+  EXPECT_EQ(Drain(op, 0, T({1})).size(), 1u);
+  EXPECT_EQ(Drain(op, 1, T({2})).size(), 1u);
+}
+
+// --- Windows. ---
+
+TEST(TimeWindowOpTest, StampsExpiration) {
+  TimeWindowOp op(IntSchema(1), 100, /*materialize=*/false);
+  auto out = Drain(op, 0, T({1}, 42));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].exp, 142);
+  EXPECT_EQ(Advance(op, 200).size(), 0u);  // Direct: no negatives.
+}
+
+TEST(TimeWindowOpTest, MaterializedEmitsNegatives) {
+  TimeWindowOp op(IntSchema(1), 10, /*materialize=*/true);
+  Drain(op, 0, T({1}, 1));
+  Drain(op, 0, T({2}, 5));
+  auto out = Advance(op, 11);  // Tuple 1 expires at 11.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].negative);
+  EXPECT_EQ(AsInt(out[0].fields[0]), 1);
+  EXPECT_EQ(out[0].exp, 11);
+  EXPECT_EQ(op.StateTuples(), 1u);
+}
+
+TEST(CountWindowOpTest, EvictsOldestWithNegative) {
+  CountWindowOp op(IntSchema(1), 2);
+  EXPECT_EQ(Drain(op, 0, T({1}, 1)).size(), 1u);
+  EXPECT_EQ(Drain(op, 0, T({2}, 2)).size(), 1u);
+  auto out = Drain(op, 0, T({3}, 3));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].negative);
+  EXPECT_EQ(AsInt(out[0].fields[0]), 1);
+  EXPECT_FALSE(out[1].negative);
+}
+
+// --- Join. ---
+
+TEST(JoinOpTest, ProbesOtherSide) {
+  JoinOp op(IntSchema(2), IntSchema(2), 0, 0, List(), List(), true);
+  EXPECT_EQ(Drain(op, 0, T({1, 10}, 1, 50)).size(), 0u);
+  auto out = Drain(op, 1, T({1, 20}, 2, 60));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].fields.size(), 4u);
+  EXPECT_EQ(AsInt(out[0].fields[1]), 10);
+  EXPECT_EQ(AsInt(out[0].fields[3]), 20);
+  EXPECT_EQ(out[0].exp, 50);  // min of the constituents.
+  EXPECT_EQ(out[0].ts, 2);    // Generation time.
+}
+
+TEST(JoinOpTest, ExpiredTuplesDoNotJoin) {
+  JoinOp op(IntSchema(1), IntSchema(1), 0, 0, List(), List(), true);
+  Drain(op, 0, T({1}, 1, 10));
+  Advance(op, 10);
+  EXPECT_EQ(Drain(op, 1, T({1}, 10, 30)).size(), 0u);
+}
+
+TEST(JoinOpTest, NegativeInputUndoesResults) {
+  JoinOp op(IntSchema(1), IntSchema(1), 0, 0, List(), List(), false);
+  Drain(op, 0, T({1}, 1, 50));
+  Drain(op, 1, T({1}, 2, 60));
+  Drain(op, 1, T({1}, 3, 70));
+  Tuple neg = T({1}, 1, 50);
+  neg.negative = true;
+  auto out = Drain(op, 0, neg);
+  ASSERT_EQ(out.size(), 2u);  // One negative per prior result.
+  EXPECT_TRUE(out[0].negative && out[1].negative);
+  EXPECT_EQ(out[0].exp, 50);  // Matches the original result's exp.
+  // The tuple is gone: a new right arrival finds nothing on the left.
+  EXPECT_EQ(Drain(op, 1, T({1}, 4, 80)).size(), 0u);
+}
+
+TEST(JoinOpTest, LazyBuffersSkipExpiredDuringProbe) {
+  auto l = List();
+  auto r = List();
+  l->SetLazy(100);
+  r->SetLazy(100);
+  JoinOp op(IntSchema(1), IntSchema(1), 0, 0, std::move(l), std::move(r),
+            true);
+  Drain(op, 0, T({1}, 1, 10));
+  Advance(op, 20);  // Logically expired, physically retained.
+  EXPECT_EQ(Drain(op, 1, T({1}, 20, 40)).size(), 0u);
+}
+
+// --- Intersection. ---
+
+TEST(IntersectOpTest, PairSemantics) {
+  IntersectOp op(IntSchema(1), List(), List(), true);
+  Drain(op, 0, T({1}, 1, 50));
+  Drain(op, 0, T({1}, 2, 60));
+  auto out = Drain(op, 1, T({1}, 3, 70));
+  EXPECT_EQ(out.size(), 2u);  // Matches both left copies.
+  EXPECT_EQ(Drain(op, 1, T({2}, 4, 70)).size(), 0u);
+}
+
+// --- Duplicate elimination. ---
+
+TEST(DistinctOpTest, EmitsFirstOccurrenceOnly) {
+  DistinctOp op(IntSchema(2), {0}, List(), List(), true);
+  EXPECT_EQ(Drain(op, 0, T({1, 10}, 1, 100)).size(), 1u);
+  EXPECT_EQ(Drain(op, 0, T({1, 20}, 2, 101)).size(), 0u);
+  EXPECT_EQ(Drain(op, 0, T({2, 30}, 3, 102)).size(), 1u);
+}
+
+TEST(DistinctOpTest, PromotesReplacementOnExpiry) {
+  DistinctOp op(IntSchema(2), {0}, List(), List(), true);
+  Drain(op, 0, T({7, 1}, 1, 10));
+  Drain(op, 0, T({7, 2}, 5, 15));  // Duplicate, survives longer.
+  auto out = Advance(op, 10);      // First tuple expires.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].negative);
+  EXPECT_EQ(AsInt(out[0].fields[1]), 2);
+  EXPECT_EQ(out[0].exp, 15);
+  // After the replacement also expires, nothing is re-emitted.
+  EXPECT_EQ(Advance(op, 15).size(), 0u);
+}
+
+TEST(DistinctOpTest, NegativeModeEmitsDeletionAndReplacement) {
+  DistinctOp op(IntSchema(2), {0}, List(), List(), false);
+  Drain(op, 0, T({7, 1}, 1, 10));
+  Drain(op, 0, T({7, 2}, 5, 15));
+  Tuple neg = T({7, 1}, 1, 10);
+  neg.negative = true;
+  auto out = Drain(op, 0, neg);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].negative);   // Old representative deleted...
+  EXPECT_FALSE(out[1].negative);  // ...replacement appended.
+  EXPECT_EQ(AsInt(out[1].fields[1]), 2);
+}
+
+TEST(DeltaDistinctOpTest, Figure2Behaviour) {
+  // Reproduces the paper's Figure 2: when the x-result expires, a newer
+  // x-tuple replaces it on the output stream.
+  DeltaDistinctOp op(IntSchema(2), {0}, List());
+  EXPECT_EQ(Drain(op, 0, T({7, 1}, 1, 10)).size(), 1u);   // x enters.
+  EXPECT_EQ(Drain(op, 0, T({8, 5}, 2, 11)).size(), 1u);   // y enters.
+  EXPECT_EQ(Drain(op, 0, T({7, 2}, 5, 15)).size(), 0u);   // x dup -> aux.
+  auto out = Advance(op, 10);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(AsInt(out[0].fields[0]), 7);
+  EXPECT_EQ(AsInt(out[0].fields[1]), 2);
+}
+
+TEST(DeltaDistinctOpTest, AuxKeepsLatestExpiring) {
+  DeltaDistinctOp op(IntSchema(2), {0}, List());
+  Drain(op, 0, T({7, 1}, 1, 10));
+  Drain(op, 0, T({7, 2}, 2, 30));  // Later exp -> kept.
+  Drain(op, 0, T({7, 3}, 3, 20));  // Earlier exp -> ignored.
+  auto out = Advance(op, 10);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(AsInt(out[0].fields[1]), 2);
+}
+
+TEST(DeltaDistinctOpTest, ExpiredAuxNotPromoted) {
+  DeltaDistinctOp op(IntSchema(2), {0}, List());
+  Drain(op, 0, T({7, 1}, 1, 20));
+  Drain(op, 0, T({7, 2}, 2, 10));  // Earlier exp than the output tuple.
+  EXPECT_EQ(Advance(op, 20).size(), 0u);
+}
+
+TEST(DeltaDistinctOpTest, StateIsBoundedByOutput) {
+  DeltaDistinctOp op(IntSchema(1), {0}, List());
+  for (int i = 0; i < 100; ++i) {
+    Drain(op, 0, T({i % 5}, i, i + 1000));
+  }
+  // 5 distinct keys: at most 5 output + 5 aux tuples.
+  EXPECT_LE(op.StateTuples(), 10u);
+}
+
+TEST(DeltaDistinctDeathTest, RejectsNegatives) {
+  DeltaDistinctOp op(IntSchema(1), {0}, List());
+  Tuple neg = T({1});
+  neg.negative = true;
+  std::vector<Tuple> out;
+  VectorEmitter e(&out);
+  EXPECT_DEATH(op.Process(0, neg, e), "UPA_CHECK");
+}
+
+// --- Group-by. ---
+
+TEST(GroupByOpTest, IncrementalSumWithExpiration) {
+  GroupByOp op(IntSchema(2), 0, AggKind::kSum, 1, List(), true);
+  auto out = Drain(op, 0, T({1, 10}, 1, 5));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].fields[1]), 10.0);
+  out = Drain(op, 0, T({1, 7}, 2, 8));
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].fields[1]), 17.0);
+  out = Advance(op, 5);  // First tuple expires.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].fields[1]), 7.0);
+  EXPECT_EQ(AsInt(out[0].fields[2]), 1);
+  out = Advance(op, 8);  // Group empties.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(AsInt(out[0].fields[2]), 0);
+}
+
+TEST(GroupByOpTest, MinMaxSupportDeletion) {
+  GroupByOp op(IntSchema(2), 0, AggKind::kMax, 1, List(), true);
+  Drain(op, 0, T({1, 50}, 1, 5));
+  auto out = Drain(op, 0, T({1, 20}, 2, 9));
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].fields[1]), 50.0);
+  out = Advance(op, 5);  // The max leaves the window.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].fields[1]), 20.0);
+}
+
+TEST(GroupByOpTest, SingleGroupAggregation) {
+  GroupByOp op(IntSchema(1), -1, AggKind::kCount, -1, List(), true);
+  Drain(op, 0, T({5}, 1, 10));
+  auto out = Drain(op, 0, T({6}, 2, 11));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].fields[1]), 2.0);
+}
+
+TEST(GroupByOpTest, NegativeTupleDecrements) {
+  GroupByOp op(IntSchema(2), 0, AggKind::kAvg, 1, List(), false);
+  Drain(op, 0, T({1, 10}, 1, 50));
+  Drain(op, 0, T({1, 20}, 2, 60));
+  Tuple neg = T({1, 10}, 1, 50);
+  neg.negative = true;
+  auto out = Drain(op, 0, neg);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].fields[1]), 20.0);
+}
+
+// --- Negation. ---
+
+TEST(NegationOpTest, Equation1Counts) {
+  NegationOp op(IntSchema(1), 0, 0, List(), List(), true, false);
+  // Two left tuples with value 1 -> both in the answer.
+  EXPECT_EQ(Drain(op, 0, T({1}, 1, 100)).size(), 1u);
+  EXPECT_EQ(Drain(op, 0, T({1}, 2, 101)).size(), 1u);
+  // Right arrival with value 1 -> one result evicted via negative tuple.
+  auto out = Drain(op, 1, T({1}, 3, 102));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].negative);
+  EXPECT_EQ(out[0].exp, 100);  // The oldest left tuple leaves first.
+  EXPECT_EQ(op.premature_negatives(), 1u);
+}
+
+TEST(NegationOpTest, RightExpiryReadmits) {
+  NegationOp op(IntSchema(1), 0, 0, List(), List(), true, false);
+  Drain(op, 0, T({1}, 1, 100));
+  Drain(op, 1, T({1}, 2, 10));  // Evicts the answer tuple.
+  auto out = Advance(op, 10);   // Right tuple expires -> readmit.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].negative);
+  EXPECT_EQ(out[0].exp, 100);
+}
+
+TEST(NegationOpTest, LeftExpirySilentUnderDirect) {
+  NegationOp op(IntSchema(1), 0, 0, List(), List(), true, false);
+  Drain(op, 0, T({1}, 1, 10));
+  EXPECT_EQ(Advance(op, 10).size(), 0u);  // exp timestamps handle it.
+}
+
+TEST(NegationOpTest, LeftExpiryEmitsNegativeUnderNt) {
+  NegationOp op(IntSchema(1), 0, 0, List(), List(), true, true);
+  Drain(op, 0, T({1}, 1, 10));
+  auto out = Advance(op, 10);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].negative);
+  EXPECT_EQ(op.premature_negatives(), 0u);  // Natural, not premature.
+}
+
+TEST(NegationOpTest, DifferentAttributePositions) {
+  // Left value in column 1, right value in column 0.
+  NegationOp op(IntSchema(2), 1, 0, List(), List(), true, false);
+  EXPECT_EQ(Drain(op, 0, T({9, 5}, 1, 100)).size(), 1u);
+  auto out = Drain(op, 1, T({5}, 2, 100));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].negative);
+}
+
+TEST(NegationOpTest, NonAnswerExpiryCanShrinkAnswer) {
+  // The Section 2.1 case analysis composes: an expiration of a left tuple
+  // that is NOT in the answer can still force an answer member out, when
+  // the multiplicity drop makes the answer over-full.
+  NegationOp op(IntSchema(2), 0, 0, List(), List(), true, false);
+  Drain(op, 0, T({1, 100}, 1, 50));   // a enters the answer.
+  Drain(op, 1, T({1, 0}, 2, 200));    // v2=1 evicts a (negative tuple).
+  auto out = Drain(op, 0, T({1, 101}, 3, 10));  // b: v1=2 > v2=1.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].negative);
+  // The readmitted tuple is the latest-expiring live candidate: a (exp 50
+  // beats b's exp 10); the paper's tie-breaking here is a free choice.
+  EXPECT_EQ(AsInt(out[0].fields[1]), 100);
+  // b (not in the answer) expires -> v1=1, v2=1 -> target 0, so a must
+  // leave the answer prematurely even though a itself is still live.
+  out = Advance(op, 10);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].negative);
+  EXPECT_EQ(AsInt(out[0].fields[1]), 100);
+  // Right expires at 200, but by then a (exp 50) is gone: no readmission.
+  EXPECT_EQ(Advance(op, 200).size(), 0u);
+}
+
+// --- Relation joins. ---
+
+TEST(NrrJoinOpTest, NonRetroactiveUpdates) {
+  NrrJoinOp op(IntSchema(2), IntSchema(2), 0, 0, List());
+  // Insert a table row (port 1): silent.
+  EXPECT_EQ(Drain(op, 1, T({1, 111})).size(), 0u);
+  // Stream arrival joins against current table.
+  auto out = Drain(op, 0, T({1, 5}, 10, 60));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(AsInt(out[0].fields[3]), 111);
+  EXPECT_EQ(out[0].exp, 60);  // Stream-side expiration only.
+  // Delete the row: silent, affects only future arrivals.
+  Tuple del = T({1, 111});
+  del.negative = true;
+  EXPECT_EQ(Drain(op, 1, del).size(), 0u);
+  EXPECT_EQ(Drain(op, 0, T({1, 6}, 11, 61)).size(), 0u);
+}
+
+TEST(RelJoinOpTest, RetroactiveInsertAndDelete) {
+  RelJoinOp op(IntSchema(2), IntSchema(2), 0, 0, List(), List(), true);
+  Drain(op, 0, T({1, 5}, 10, 60));  // No matches yet.
+  // Retroactive insert probes the stored window.
+  auto out = Drain(op, 1, T({1, 111}, 20));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].negative);
+  EXPECT_EQ(AsInt(out[0].fields[1]), 5);
+  // Retroactive delete undoes prior results with negatives.
+  Tuple del = T({1, 111}, 30);
+  del.negative = true;
+  out = Drain(op, 1, del);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].negative);
+}
+
+}  // namespace
+}  // namespace upa

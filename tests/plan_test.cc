@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "core/logical_plan.h"
+#include "core/physical_planner.h"
+#include "tests/test_util.h"
+
+namespace upa {
+namespace {
+
+using testing_util::IntSchema;
+
+PlanPtr Win(int stream, Time size, int width = 2) {
+  return MakeWindow(MakeStream(stream, IntSchema(width)), size);
+}
+
+// --- Pattern propagation: the five rules of Section 5.2. ---
+
+TEST(PatternTest, LeafWindowIsWeakest) {
+  PlanPtr p = Win(0, 100);
+  AnnotatePatterns(p.get());
+  EXPECT_EQ(p->pattern, UpdatePattern::kWeakest);
+  EXPECT_EQ(p->child(0).pattern, UpdatePattern::kMonotonic);
+}
+
+TEST(PatternTest, Rule1UnaryPreservesPattern) {
+  PlanPtr p = MakeSelect(Win(0, 100),
+                         {Predicate{0, CmpOp::kEq, Value{int64_t{1}}}});
+  AnnotatePatterns(p.get());
+  EXPECT_EQ(p->pattern, UpdatePattern::kWeakest);
+
+  PlanPtr q = MakeProject(MakeJoin(Win(0, 100), Win(1, 100), 0, 0), {0, 2});
+  AnnotatePatterns(q.get());
+  EXPECT_EQ(q->pattern, UpdatePattern::kWeak);
+}
+
+TEST(PatternTest, StatelessOverInfiniteStreamIsMonotonic) {
+  PlanPtr p = MakeSelect(MakeStream(0, IntSchema(2)),
+                         {Predicate{0, CmpOp::kEq, Value{int64_t{1}}}});
+  AnnotatePatterns(p.get());
+  EXPECT_EQ(p->pattern, UpdatePattern::kMonotonic);
+}
+
+TEST(PatternTest, Rule2UnionTakesMoreComplexInput) {
+  PlanPtr wks = MakeUnion(Win(0, 100), Win(1, 100));
+  AnnotatePatterns(wks.get());
+  EXPECT_EQ(wks->pattern, UpdatePattern::kWeakest);
+
+  PlanPtr wk = MakeUnion(
+      MakeProject(MakeJoin(Win(0, 100), Win(1, 100), 0, 0), {0, 1}),
+      MakeProject(Win(2, 100), {0, 1}));
+  AnnotatePatterns(wk.get());
+  EXPECT_EQ(wk->pattern, UpdatePattern::kWeak);
+
+  PlanPtr str = MakeUnion(MakeNegate(Win(0, 100), Win(1, 100), 0, 0),
+                          Win(2, 100));
+  AnnotatePatterns(str.get());
+  EXPECT_EQ(str->pattern, UpdatePattern::kStrict);
+}
+
+TEST(PatternTest, Rule3JoinAndDistinct) {
+  PlanPtr join = MakeJoin(Win(0, 100), Win(1, 100), 0, 0);
+  AnnotatePatterns(join.get());
+  EXPECT_EQ(join->pattern, UpdatePattern::kWeak);
+
+  PlanPtr distinct = MakeDistinct(Win(0, 100), {0});
+  AnnotatePatterns(distinct.get());
+  EXPECT_EQ(distinct->pattern, UpdatePattern::kWeak);
+
+  // STR input forces STR output.
+  PlanPtr join_str =
+      MakeJoin(MakeNegate(Win(0, 100), Win(1, 100), 0, 0), Win(2, 100), 0, 0);
+  AnnotatePatterns(join_str.get());
+  EXPECT_EQ(join_str->pattern, UpdatePattern::kStrict);
+
+  // A join of two unwindowed streams stays monotonic (Section 3.1).
+  PlanPtr join_mono = MakeJoin(MakeStream(0, IntSchema(2)),
+                               MakeStream(1, IntSchema(2)), 0, 0);
+  AnnotatePatterns(join_mono.get());
+  EXPECT_EQ(join_mono->pattern, UpdatePattern::kMonotonic);
+}
+
+TEST(PatternTest, Rule4GroupByAlwaysWeak) {
+  PlanPtr over_window =
+      MakeGroupBy(Win(0, 100), 0, AggKind::kSum, 1);
+  AnnotatePatterns(over_window.get());
+  EXPECT_EQ(over_window->pattern, UpdatePattern::kWeak);
+
+  PlanPtr over_negation = MakeGroupBy(
+      MakeNegate(Win(0, 100), Win(1, 100), 0, 0), 0, AggKind::kCount, -1);
+  AnnotatePatterns(over_negation.get());
+  EXPECT_EQ(over_negation->pattern, UpdatePattern::kWeak);
+}
+
+TEST(PatternTest, Rule5NegationAndRetroactiveRelation) {
+  PlanPtr neg = MakeNegate(Win(0, 100), Win(1, 100), 0, 0);
+  AnnotatePatterns(neg.get());
+  EXPECT_EQ(neg->pattern, UpdatePattern::kStrict);
+
+  PlanPtr rjoin = MakeJoin(Win(0, 100),
+                           MakeRelation(5, IntSchema(2), /*retroactive=*/true),
+                           0, 0);
+  AnnotatePatterns(rjoin.get());
+  EXPECT_EQ(rjoin->pattern, UpdatePattern::kStrict);
+}
+
+TEST(PatternTest, NrrJoinPreservesStreamPattern) {
+  PlanPtr over_window =
+      MakeJoin(Win(0, 100), MakeRelation(5, IntSchema(2), false), 0, 0);
+  AnnotatePatterns(over_window.get());
+  EXPECT_EQ(over_window->pattern, UpdatePattern::kWeakest);
+
+  PlanPtr over_stream =
+      MakeJoin(MakeStream(0, IntSchema(2)),
+               MakeRelation(5, IntSchema(2), false), 0, 0);
+  AnnotatePatterns(over_stream.get());
+  EXPECT_EQ(over_stream->pattern, UpdatePattern::kMonotonic);
+}
+
+TEST(PatternTest, UnionOfUnequalWindowsIsWeak) {
+  // Refinement of Rule 2 (see logical_plan.cc): generation order equals
+  // expiration order across a merge-union only when both inputs expire
+  // on the same schedule. With different window sizes, a tuple of the
+  // shorter window expires before an earlier tuple of the longer one.
+  PlanPtr p = MakeUnion(Win(0, 100), Win(1, 50));
+  AnnotatePatterns(p.get());
+  EXPECT_EQ(p->pattern, UpdatePattern::kWeak);
+
+  // A stream (never expires) unioned with a window is equally non-FIFO.
+  PlanPtr q = MakeUnion(MakeStream(0, IntSchema(2)), Win(1, 50));
+  AnnotatePatterns(q.get());
+  EXPECT_EQ(q->pattern, UpdatePattern::kWeak);
+
+  // Selections do not disturb the expiration profile.
+  PlanPtr r = MakeUnion(
+      MakeSelect(Win(0, 100), {Predicate{0, CmpOp::kEq, Value{int64_t{1}}}}),
+      Win(1, 100));
+  AnnotatePatterns(r.get());
+  EXPECT_EQ(r->pattern, UpdatePattern::kWeakest);
+}
+
+TEST(PatternTest, CountWindowIsStrict) {
+  PlanPtr p = MakeCountWindow(MakeStream(0, IntSchema(2)), 50);
+  AnnotatePatterns(p.get());
+  EXPECT_EQ(p->pattern, UpdatePattern::kStrict);
+}
+
+// --- Figure 6: the two Query 5 rewritings annotate differently. ---
+
+TEST(PatternTest, Figure6Annotations) {
+  // Pull-up: negate(join(W1, sigma(W3)), W2): join edge is WK.
+  PlanPtr pull_up = MakeNegate(
+      MakeJoin(Win(0, 100), MakeSelect(Win(2, 100),
+                                       {Predicate{1, CmpOp::kEq,
+                                                  Value{int64_t{1}}}}),
+               0, 0),
+      Win(1, 100), 0, 0);
+  AnnotatePatterns(pull_up.get());
+  EXPECT_EQ(pull_up->pattern, UpdatePattern::kStrict);
+  EXPECT_EQ(pull_up->child(0).pattern, UpdatePattern::kWeak);
+
+  // Push-down: join(negate(W1, W2), sigma(W3)): the join sees STR input.
+  PlanPtr push_down = MakeJoin(
+      MakeNegate(Win(0, 100), Win(1, 100), 0, 0),
+      MakeSelect(Win(2, 100), {Predicate{1, CmpOp::kEq, Value{int64_t{1}}}}),
+      0, 0);
+  AnnotatePatterns(push_down.get());
+  EXPECT_EQ(push_down->pattern, UpdatePattern::kStrict);
+  EXPECT_EQ(push_down->child(0).pattern, UpdatePattern::kStrict);
+}
+
+// --- Validation. ---
+
+TEST(ValidateTest, GroupByMustBeRoot) {
+  PlanPtr p = MakeSelect(MakeGroupBy(Win(0, 100), 0, AggKind::kSum, 1),
+                         {Predicate{1, CmpOp::kGt, Value{2.0}}});
+  AnnotatePatterns(p.get());
+  EXPECT_FALSE(IsValidPlan(*p));
+}
+
+TEST(ValidateTest, RelationJoinRejectsStrictInput) {
+  PlanPtr p = MakeJoin(MakeNegate(Win(0, 100), Win(1, 100), 0, 0),
+                       MakeRelation(5, IntSchema(2), false), 0, 0);
+  AnnotatePatterns(p.get());
+  EXPECT_FALSE(IsValidPlan(*p));
+}
+
+TEST(ValidateTest, GoodPlansPass) {
+  PlanPtr p = MakeJoin(Win(0, 100), Win(1, 50), 0, 1);
+  AnnotatePatterns(p.get());
+  EXPECT_TRUE(IsValidPlan(*p));
+}
+
+// --- Clone / ToString. ---
+
+TEST(PlanNodeTest, CloneIsDeepAndEqualText) {
+  PlanPtr p = MakeDistinct(
+      MakeJoin(Win(0, 100), Win(1, 200), 0, 1), {0, 2});
+  AnnotatePatterns(p.get());
+  PlanPtr q = p->Clone();
+  EXPECT_EQ(p->ToString(), q->ToString());
+  q->cols = {0};
+  EXPECT_NE(p->cols.size(), q->cols.size());  // Deep copy: p unaffected.
+}
+
+TEST(PlanNodeTest, ToStringShowsPatternAnnotations) {
+  PlanPtr p = MakeNegate(Win(0, 100), Win(1, 100), 0, 0);
+  AnnotatePatterns(p.get());
+  const std::string s = p->ToString();
+  EXPECT_NE(s.find("<STR>"), std::string::npos);
+  EXPECT_NE(s.find("<WKS>"), std::string::npos);
+}
+
+// --- Planner structure choices. ---
+
+TEST(PlannerTest, HelperQueries) {
+  PlanPtr p = MakeJoin(Win(0, 100), Win(1, 500), 0, 1);
+  AnnotatePatterns(p.get());
+  EXPECT_EQ(MaxWindowSpan(*p), 500);
+  EXPECT_EQ(RootKeyColumn(*p), 0);
+  EXPECT_FALSE(ContainsNegation(*p));
+  PlanPtr n = MakeNegate(Win(0, 100), Win(1, 100), 0, 0);
+  EXPECT_TRUE(ContainsNegation(*n));
+}
+
+TEST(PlannerTest, BuildsAllModes) {
+  PlanPtr p = MakeJoin(Win(0, 100), Win(1, 100), 0, 0);
+  AnnotatePatterns(p.get());
+  for (ExecMode mode :
+       {ExecMode::kNegativeTuple, ExecMode::kDirect, ExecMode::kUpa}) {
+    auto pipeline = BuildPipeline(*p, mode);
+    ASSERT_NE(pipeline, nullptr);
+    EXPECT_EQ(pipeline->num_operators(), 3);  // Two windows + join.
+  }
+}
+
+TEST(PlannerDeathTest, NrrJoinRejectedUnderNt) {
+  PlanPtr p = MakeJoin(Win(0, 100), MakeRelation(5, IntSchema(2), false),
+                       0, 0);
+  AnnotatePatterns(p.get());
+  EXPECT_DEATH(BuildPipeline(*p, ExecMode::kNegativeTuple), "UPA_CHECK");
+}
+
+}  // namespace
+}  // namespace upa

@@ -1,0 +1,166 @@
+// Hand-computed cases for the reference evaluator itself: the oracle must
+// be independently trustworthy before it can anchor the integration tests.
+
+#include <gtest/gtest.h>
+
+#include "ref/reference.h"
+#include "tests/test_util.h"
+
+namespace upa {
+namespace {
+
+using testing_util::Canonical;
+using testing_util::IntSchema;
+using testing_util::T;
+
+TEST(ReferenceTest, WindowContents) {
+  PlanPtr plan = MakeWindow(MakeStream(0, IntSchema(1)), 10);
+  AnnotatePatterns(plan.get());
+  ReferenceEvaluator ref(plan.get());
+  ref.Observe(0, T({1}, 1));
+  ref.Observe(0, T({2}, 5));
+  ref.Observe(0, T({3}, 12));
+  // At t=11: tuple ts=1 expired (1 + 10 <= 11); ts=5, 12 not arrived? 12>11.
+  EXPECT_EQ(ref.EvalAt(11).size(), 1u);
+  EXPECT_EQ(ref.EvalAt(12).size(), 2u);
+  EXPECT_EQ(ref.EvalAt(100).size(), 0u);
+}
+
+TEST(ReferenceTest, CountWindowKeepsNewest) {
+  PlanPtr plan = MakeCountWindow(MakeStream(0, IntSchema(1)), 2);
+  AnnotatePatterns(plan.get());
+  ReferenceEvaluator ref(plan.get());
+  for (int i = 1; i <= 5; ++i) ref.Observe(0, T({i}, i));
+  const auto rows = Canonical(ref.EvalAt(5));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(AsInt(rows[0][0]), 4);
+  EXPECT_EQ(AsInt(rows[1][0]), 5);
+}
+
+TEST(ReferenceTest, JoinPairs) {
+  PlanPtr plan = MakeJoin(MakeWindow(MakeStream(0, IntSchema(2)), 10),
+                          MakeWindow(MakeStream(1, IntSchema(2)), 10), 0, 0);
+  AnnotatePatterns(plan.get());
+  ReferenceEvaluator ref(plan.get());
+  ref.Observe(0, T({1, 10}, 1));
+  ref.Observe(1, T({1, 20}, 2));
+  ref.Observe(1, T({1, 30}, 3));
+  ref.Observe(1, T({2, 40}, 3));
+  const auto rows = Canonical(ref.EvalAt(5));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(AsInt(rows[0][3]), 20);
+  EXPECT_EQ(AsInt(rows[1][3]), 30);
+}
+
+TEST(ReferenceTest, NegationEquation1) {
+  PlanPtr plan = MakeNegate(MakeWindow(MakeStream(0, IntSchema(1)), 10),
+                            MakeWindow(MakeStream(1, IntSchema(1)), 10), 0,
+                            0);
+  AnnotatePatterns(plan.get());
+  ReferenceEvaluator ref(plan.get());
+  ref.Observe(0, T({7}, 1));
+  ref.Observe(0, T({7}, 2));
+  ref.Observe(0, T({7}, 3));
+  ref.Observe(1, T({7}, 4));
+  // v1=3, v2=1 -> 2 results.
+  EXPECT_EQ(ref.EvalAt(5).size(), 2u);
+  // After the W2 tuple expires (4+10=14): v2=0, but W1 ts=1..3 expire at
+  // 11..13, so at t=13 only ts=3 remains -> 0 results (v2 still 1 at 13).
+  EXPECT_EQ(ref.EvalAt(13).size(), 0u);
+}
+
+TEST(ReferenceTest, GroupByAggregates) {
+  PlanPtr plan = MakeGroupBy(MakeWindow(MakeStream(0, IntSchema(2)), 10), 0,
+                             AggKind::kAvg, 1);
+  AnnotatePatterns(plan.get());
+  ReferenceEvaluator ref(plan.get());
+  ref.Observe(0, T({1, 10}, 1));
+  ref.Observe(0, T({1, 20}, 2));
+  ref.Observe(0, T({2, 99}, 2));
+  const auto rows = Canonical(ref.EvalAt(3));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(AsDouble(rows[0][1]), 15.0);
+  EXPECT_DOUBLE_EQ(AsDouble(rows[1][1]), 99.0);
+  // Empty groups vanish.
+  EXPECT_EQ(ref.EvalAt(50).size(), 0u);
+}
+
+TEST(ReferenceTest, DistinctOneRowPerKey) {
+  PlanPtr plan =
+      MakeDistinct(MakeWindow(MakeStream(0, IntSchema(2)), 10), {0});
+  AnnotatePatterns(plan.get());
+  ReferenceEvaluator ref(plan.get());
+  ref.Observe(0, T({1, 10}, 1));
+  ref.Observe(0, T({1, 20}, 2));
+  ref.Observe(0, T({2, 30}, 2));
+  EXPECT_EQ(ref.EvalAt(3).size(), 2u);
+}
+
+TEST(ReferenceTest, NrrJoinReflectsStateAtGenerationTime) {
+  // The Section 4.1 litmus test: deleting a symbol must not delete
+  // previously generated results; adding one must not join old arrivals.
+  PlanPtr plan =
+      MakeJoin(MakeWindow(MakeStream(0, IntSchema(1)), 100),
+               MakeRelation(9, IntSchema(2), /*retroactive=*/false), 0, 0);
+  AnnotatePatterns(plan.get());
+  ReferenceEvaluator ref(plan.get());
+  ref.Observe(9, T({1, 100}, 0));   // Row (1, 100) present from t=0.
+  ref.Observe(0, T({1}, 5));        // Joins with (1, 100).
+  Tuple del = T({1, 100}, 10);
+  del.negative = true;
+  ref.Observe(9, del);              // Row deleted at t=10.
+  ref.Observe(9, T({2, 200}, 12));  // New row (2, 200) at t=12.
+  ref.Observe(0, T({2}, 15));       // Joins with (2, 200).
+  ref.Observe(0, T({1}, 20));       // No longer joins with anything.
+
+  const auto rows = Canonical(ref.EvalAt(25));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(AsInt(rows[0][2]), 100);  // Old result survives the delete.
+  EXPECT_EQ(AsInt(rows[1][2]), 200);
+}
+
+TEST(ReferenceTest, RetroactiveJoinReflectsCurrentState) {
+  PlanPtr plan =
+      MakeJoin(MakeWindow(MakeStream(0, IntSchema(1)), 100),
+               MakeRelation(9, IntSchema(2), /*retroactive=*/true), 0, 0);
+  AnnotatePatterns(plan.get());
+  ReferenceEvaluator ref(plan.get());
+  ref.Observe(9, T({1, 100}, 0));
+  ref.Observe(0, T({1}, 5));
+  Tuple del = T({1, 100}, 10);
+  del.negative = true;
+  ref.Observe(9, del);
+  // Retroactive: after the delete the old result is gone too.
+  EXPECT_EQ(ref.EvalAt(9).size(), 1u);
+  EXPECT_EQ(ref.EvalAt(11).size(), 0u);
+}
+
+TEST(ReferenceTest, ProjectAndSelectCompose) {
+  PlanPtr plan = MakeProject(
+      MakeSelect(MakeWindow(MakeStream(0, IntSchema(3)), 10),
+                 {Predicate{2, CmpOp::kGt, Value{int64_t{5}}}}),
+      {1});
+  AnnotatePatterns(plan.get());
+  ReferenceEvaluator ref(plan.get());
+  ref.Observe(0, T({1, 10, 9}, 1));
+  ref.Observe(0, T({2, 20, 3}, 1));
+  const auto rows = Canonical(ref.EvalAt(2));
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 1u);
+  EXPECT_EQ(AsInt(rows[0][0]), 10);
+}
+
+TEST(ReferenceTest, IntersectPairCount) {
+  PlanPtr plan = MakeIntersect(MakeWindow(MakeStream(0, IntSchema(1)), 10),
+                               MakeWindow(MakeStream(1, IntSchema(1)), 10));
+  AnnotatePatterns(plan.get());
+  ReferenceEvaluator ref(plan.get());
+  ref.Observe(0, T({5}, 1));
+  ref.Observe(0, T({5}, 2));
+  ref.Observe(1, T({5}, 3));
+  ref.Observe(1, T({6}, 3));
+  EXPECT_EQ(ref.EvalAt(4).size(), 2u);  // 2 left copies x 1 right copy.
+}
+
+}  // namespace
+}  // namespace upa

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+#include "workload/lbl_generator.h"
+
+namespace upa {
+namespace {
+
+using testing_util::CheckAgainstReference;
+using testing_util::IntSchema;
+
+std::map<std::string, SourceDecl> TrafficSources() {
+  std::map<std::string, SourceDecl> sources;
+  sources["link0"] = SourceDecl{0, LblSchema(), SourceKind::kStream};
+  sources["link1"] = SourceDecl{1, LblSchema(), SourceKind::kStream};
+  Schema names({Field{"sym", ValueType::kInt},
+                Field{"company", ValueType::kString}});
+  sources["symbols"] = SourceDecl{9, names, SourceKind::kNrr};
+  sources["symbols_retro"] = SourceDecl{9, names, SourceKind::kRelation};
+  return sources;
+}
+
+PlanPtr MustParse(const std::string& text) {
+  ParseResult r = ParseQuery(text, TrafficSources());
+  EXPECT_TRUE(r.ok()) << text << "\nerror: " << r.error;
+  return std::move(r.plan);
+}
+
+std::string MustFail(const std::string& text) {
+  ParseResult r = ParseQuery(text, TrafficSources());
+  EXPECT_FALSE(r.ok()) << text << "\nparsed:\n"
+                       << (r.plan ? r.plan->ToString() : "");
+  return r.error;
+}
+
+// --- Happy paths: plan shapes. ---
+
+TEST(SqlTest, SelectStarOverWindow) {
+  PlanPtr p = MustParse("SELECT * FROM link0 [RANGE 100]");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, PlanOpKind::kWindow);
+  EXPECT_EQ(p->pattern, UpdatePattern::kWeakest);
+}
+
+TEST(SqlTest, SelectColumnsWithPredicate) {
+  PlanPtr p = MustParse(
+      "SELECT src_ip, payload FROM link0 [RANGE 100] WHERE protocol = 1 AND "
+      "payload >= 1000");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, PlanOpKind::kProject);
+  EXPECT_EQ(p->schema.num_fields(), 2);
+  EXPECT_EQ(p->child(0).kind, PlanOpKind::kSelect);
+  EXPECT_EQ(p->child(0).preds.size(), 2u);
+}
+
+TEST(SqlTest, DistinctProjection) {
+  PlanPtr p = MustParse("SELECT DISTINCT src_ip FROM link0 [RANGE 500]");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, PlanOpKind::kDistinct);
+  EXPECT_EQ(p->schema.num_fields(), 1);
+  EXPECT_EQ(p->pattern, UpdatePattern::kWeak);
+}
+
+TEST(SqlTest, JoinFromTwoWindows) {
+  PlanPtr p = MustParse(
+      "SELECT link0.src_ip FROM link0 [RANGE 100], link1 [RANGE 200] "
+      "WHERE link0.src_ip = link1.src_ip AND link0.protocol = 1");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, PlanOpKind::kProject);
+  const PlanNode& join = p->child(0);
+  EXPECT_EQ(join.kind, PlanOpKind::kJoin);
+  // The single-source predicate was pushed below the join.
+  EXPECT_EQ(join.child(0).kind, PlanOpKind::kSelect);
+  EXPECT_EQ(join.child(1).kind, PlanOpKind::kWindow);
+}
+
+TEST(SqlTest, CountWindow) {
+  PlanPtr p = MustParse("SELECT * FROM link0 [ROWS 50]");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, PlanOpKind::kCountWindow);
+  EXPECT_EQ(p->count, 50u);
+  EXPECT_EQ(p->pattern, UpdatePattern::kStrict);
+}
+
+TEST(SqlTest, GroupByAggregate) {
+  PlanPtr p = MustParse(
+      "SELECT protocol, SUM(payload) FROM link0 [RANGE 100] GROUP BY "
+      "protocol");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, PlanOpKind::kGroupBy);
+  EXPECT_EQ(p->agg, AggKind::kSum);
+  EXPECT_EQ(p->group_col, kColProtocol);
+  EXPECT_EQ(p->agg_col, kColPayload);
+}
+
+TEST(SqlTest, AggregateWithoutGroupBy) {
+  PlanPtr p = MustParse("SELECT COUNT(*) FROM link0 [RANGE 100]");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, PlanOpKind::kGroupBy);
+  EXPECT_EQ(p->group_col, -1);
+}
+
+TEST(SqlTest, UnionExceptIntersect) {
+  PlanPtr u = MustParse(
+      "SELECT src_ip FROM link0 [RANGE 100] UNION SELECT src_ip FROM link1 "
+      "[RANGE 100]");
+  EXPECT_EQ(u->kind, PlanOpKind::kUnion);
+
+  PlanPtr e = MustParse(
+      "SELECT src_ip FROM link0 [RANGE 100] EXCEPT SELECT src_ip FROM link1 "
+      "[RANGE 100]");
+  EXPECT_EQ(e->kind, PlanOpKind::kNegate);
+  EXPECT_EQ(e->pattern, UpdatePattern::kStrict);
+
+  PlanPtr i = MustParse(
+      "SELECT src_ip FROM link0 [RANGE 100] INTERSECT SELECT src_ip FROM "
+      "link1 [RANGE 100]");
+  EXPECT_EQ(i->kind, PlanOpKind::kIntersect);
+}
+
+TEST(SqlTest, NrrJoin) {
+  PlanPtr p = MustParse(
+      "SELECT * FROM link0 [RANGE 100], symbols WHERE src_ip = sym");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, PlanOpKind::kJoin);
+  EXPECT_EQ(p->child(1).kind, PlanOpKind::kRelation);
+  EXPECT_FALSE(p->child(1).retroactive);
+  EXPECT_EQ(p->pattern, UpdatePattern::kWeakest);  // Rule 1 for NRR joins.
+}
+
+TEST(SqlTest, RetroactiveRelationJoinIsStrict) {
+  PlanPtr p = MustParse(
+      "SELECT * FROM link0 [RANGE 100], symbols_retro WHERE src_ip = sym");
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->child(1).retroactive);
+  EXPECT_EQ(p->pattern, UpdatePattern::kStrict);
+}
+
+TEST(SqlTest, StringLiteralPredicate) {
+  PlanPtr p = MustParse(
+      "SELECT * FROM link0 [RANGE 10], symbols WHERE src_ip = sym AND "
+      "company = 'Acme'");
+  ASSERT_NE(p, nullptr);
+  // Table-side predicate stays above the join.
+  EXPECT_EQ(p->kind, PlanOpKind::kSelect);
+}
+
+TEST(SqlTest, CaseInsensitiveKeywords) {
+  PlanPtr p = MustParse("select distinct src_ip from link0 [range 100]");
+  EXPECT_EQ(p->kind, PlanOpKind::kDistinct);
+}
+
+// --- Errors (each must be caught, never aborted on). ---
+
+TEST(SqlTest, Errors) {
+  EXPECT_NE(MustFail("SELECT").find("column or aggregate"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT * FROM nope [RANGE 10]").find("unknown source"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT zap FROM link0 [RANGE 10]")
+                .find("unknown column"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT src_ip FROM link0 [RANGE 10], link1 [RANGE 10] "
+                     "WHERE link0.src_ip = link1.src_ip")
+                .find("ambiguous"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT * FROM link0 [RANGE 10], link1 [RANGE 10]")
+                .find("join equality"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT * FROM symbols").find("relation"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT * FROM symbols [RANGE 5], link0 [RANGE 5] "
+                     "WHERE sym = src_ip")
+                .find("window"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT * FROM link0 [RANGE 10] WHERE protocol = 'x'")
+                .find("string literal"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT src_ip FROM link0 [RANGE 10] GROUP BY src_ip")
+                .find("aggregate"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT * FROM link0 [RANGE 10] EXCEPT SELECT * FROM "
+                     "link1 [RANGE 10]")
+                .find("single-column"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT * FROM link0 [RANGE 0]").find("positive"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT * FROM link0 [RANGE 10] trailing")
+                .find("trailing"),
+            std::string::npos);
+  EXPECT_NE(MustFail("SELECT * FROM link0 [RANGE 10] WHERE protocol ~ 3")
+                .find("unexpected character"),
+            std::string::npos);
+}
+
+// --- Parsed queries execute correctly end to end. ---
+
+TEST(SqlTest, ParsedQueryMatchesReference) {
+  std::map<std::string, SourceDecl> sources;
+  sources["a"] = SourceDecl{0, IntSchema(2), SourceKind::kStream};
+  sources["b"] = SourceDecl{1, IntSchema(2), SourceKind::kStream};
+  ParseResult r = ParseQuery(
+      "SELECT a.c0 FROM a [RANGE 25], b [RANGE 40] WHERE a.c0 = b.c0 AND "
+      "a.c1 < 500",
+      sources);
+  ASSERT_TRUE(r.ok()) << r.error;
+
+  Rng rng(99);
+  Trace trace;
+  trace.schema = IntSchema(2);
+  trace.num_streams = 2;
+  for (Time ts = 1; ts <= 200; ++ts) {
+    for (int s = 0; s < 2; ++s) {
+      TraceEvent e;
+      e.stream = s;
+      e.tuple.ts = ts;
+      e.tuple.fields = {Value{rng.NextInRange(0, 5)},
+                        Value{rng.NextInRange(0, 999)}};
+      trace.events.push_back(std::move(e));
+    }
+  }
+  for (ExecMode mode :
+       {ExecMode::kNegativeTuple, ExecMode::kDirect, ExecMode::kUpa}) {
+    EXPECT_GT(CheckAgainstReference(*r.plan, trace, mode, {}, 20, {}, 50), 0);
+  }
+}
+
+// --- Robustness: no input may crash or abort the parser. ---
+
+TEST(SqlFuzzTest, RandomTokenSoupNeverAborts) {
+  const std::vector<std::string> vocab = {
+      "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",      "DISTINCT",
+      "UNION",  "EXCEPT", "RANGE",  "ROWS",   "AND",     "SUM",
+      "COUNT",  "link0",  "link1",  "symbols", "src_ip", "protocol",
+      "(",      ")",      "[",      "]",      ",",       ".",
+      "*",      "=",      "<",      ">=",     "7",       "3.5",
+      "'x'",    "zzz"};
+  const auto sources = TrafficSources();
+  Rng rng(2025);
+  int parsed_ok = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string text;
+    const size_t len = 1 + rng.NextBelow(14);
+    for (size_t i = 0; i < len; ++i) {
+      text += vocab[rng.NextBelow(vocab.size())];
+      text += " ";
+    }
+    const ParseResult r = ParseQuery(text, sources);
+    if (r.ok()) {
+      ++parsed_ok;
+      // Whatever parses must be a valid, annotated plan.
+      EXPECT_TRUE(IsValidPlan(*r.plan)) << text;
+    } else {
+      EXPECT_FALSE(r.error.empty()) << text;
+    }
+  }
+  // The soup occasionally forms a valid query; mostly it must not.
+  EXPECT_LT(parsed_ok, 3000);
+}
+
+TEST(SqlFuzzTest, MutatedValidQueriesNeverAbort) {
+  const std::string base =
+      "SELECT link0.src_ip FROM link0 [RANGE 100], link1 [RANGE 200] "
+      "WHERE link0.src_ip = link1.src_ip AND link0.protocol = 1";
+  const auto sources = TrafficSources();
+  Rng rng(7);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string text = base;
+    // Random single-character deletions, duplications, substitutions.
+    const int edits = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int e = 0; e < edits && !text.empty(); ++e) {
+      const size_t pos = rng.NextBelow(text.size());
+      switch (rng.NextBelow(3)) {
+        case 0:
+          text.erase(pos, 1);
+          break;
+        case 1:
+          text.insert(pos, 1, text[pos]);
+          break;
+        default:
+          text[pos] = static_cast<char>('!' + rng.NextBelow(90));
+          break;
+      }
+    }
+    const ParseResult r = ParseQuery(text, sources);
+    if (!r.ok()) EXPECT_FALSE(r.error.empty());
+  }
+}
+
+}  // namespace
+}  // namespace upa

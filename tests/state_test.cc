@@ -1,0 +1,322 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "state/hash_buffer.h"
+#include "state/indexed_buffer.h"
+#include "state/list_buffer.h"
+#include "state/partitioned_buffer.h"
+#include "tests/test_util.h"
+
+namespace upa {
+namespace {
+
+using testing_util::T;
+
+// Parameterized over all buffer implementations: the StateBuffer contract
+// must hold regardless of structure.
+enum class BufKind { kList, kFifo, kPartitioned, kPartitionedMany, kHash, kIndexed };
+
+std::unique_ptr<StateBuffer> MakeBuf(BufKind kind) {
+  switch (kind) {
+    case BufKind::kList:
+      return std::make_unique<ListBuffer>();
+    case BufKind::kFifo:
+      return std::make_unique<FifoBuffer>();
+    case BufKind::kPartitioned:
+      return std::make_unique<PartitionedBuffer>(5, 100);
+    case BufKind::kPartitionedMany:
+      return std::make_unique<PartitionedBuffer>(64, 100);
+    case BufKind::kHash:
+      return std::make_unique<HashBuffer>(0, 16);
+    case BufKind::kIndexed:
+      return std::make_unique<IndexedBuffer>(0, 5, 100, 8);
+  }
+  return nullptr;
+}
+
+class BufferContractTest : public ::testing::TestWithParam<BufKind> {};
+
+TEST_P(BufferContractTest, InsertExpireFifoOrder) {
+  auto buf = MakeBuf(GetParam());
+  for (int i = 1; i <= 50; ++i) {
+    buf->Advance(i, nullptr);
+    buf->Insert(T({i}, i, i + 100));
+  }
+  EXPECT_EQ(buf->LiveCount(), 50u);
+  std::vector<Tuple> expired;
+  buf->Advance(120, [&](const Tuple& t) { expired.push_back(t); });
+  // Tuples 1..20 have exp 101..120 <= 120.
+  EXPECT_EQ(expired.size(), 20u);
+  EXPECT_EQ(buf->LiveCount(), 30u);
+  for (const Tuple& t : expired) EXPECT_LE(t.exp, 120);
+  buf->ForEachLive([](const Tuple& t) { EXPECT_GT(t.exp, 120); });
+}
+
+TEST_P(BufferContractTest, ExpireAllAtOnce) {
+  auto buf = MakeBuf(GetParam());
+  for (int i = 1; i <= 10; ++i) buf->Insert(T({i}, 0, i * 7));
+  size_t count = 0;
+  buf->Advance(1000, [&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 10u);
+  EXPECT_EQ(buf->LiveCount(), 0u);
+  EXPECT_EQ(buf->PhysicalCount(), 0u);
+}
+
+TEST_P(BufferContractTest, EraseOneMatchByFieldsAndExp) {
+  auto buf = MakeBuf(GetParam());
+  buf->Insert(T({7, 1}, 0, 50));
+  buf->Insert(T({7, 1}, 0, 60));  // Same fields, later exp.
+  EXPECT_FALSE(buf->EraseOneMatch(T({7, 1}, 0, 55)));  // No exp match.
+  EXPECT_TRUE(buf->EraseOneMatch(T({7, 1}, 0, 60)));
+  EXPECT_EQ(buf->LiveCount(), 1u);
+  buf->ForEachLive([](const Tuple& t) { EXPECT_EQ(t.exp, 50); });
+  EXPECT_FALSE(buf->EraseOneMatch(T({7, 1}, 0, 60)));  // Already gone.
+}
+
+TEST_P(BufferContractTest, ForEachMatchFiltersByColumn) {
+  auto buf = MakeBuf(GetParam());
+  buf->Insert(T({1, 100}, 0, 50));
+  buf->Insert(T({2, 200}, 0, 50));
+  buf->Insert(T({1, 300}, 0, 60));
+  int hits = 0;
+  buf->ForEachMatch(0, Value{int64_t{1}}, [&](const Tuple& t) {
+    ++hits;
+    EXPECT_EQ(AsInt(t.fields[0]), 1);
+  });
+  EXPECT_EQ(hits, 2);
+  // Non-key column probes must work on every structure.
+  hits = 0;
+  buf->ForEachMatch(1, Value{int64_t{200}}, [&](const Tuple&) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST_P(BufferContractTest, MatchSkipsExpired) {
+  auto buf = MakeBuf(GetParam());
+  buf->Insert(T({5}, 0, 10));
+  buf->Insert(T({5}, 0, 99));
+  buf->Advance(10, nullptr);
+  int hits = 0;
+  buf->ForEachMatch(0, Value{int64_t{5}}, [&](const Tuple&) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST_P(BufferContractTest, StateBytesTracksContent) {
+  auto buf = MakeBuf(GetParam());
+  const size_t empty = buf->StateBytes();
+  buf->Insert(T({1, 2, 3}, 0, 10));
+  EXPECT_GT(buf->StateBytes(), empty);
+  buf->Advance(50, nullptr);
+  EXPECT_EQ(buf->StateBytes(), empty);
+}
+
+TEST_P(BufferContractTest, Clear) {
+  auto buf = MakeBuf(GetParam());
+  for (int i = 0; i < 5; ++i) buf->Insert(T({i}, 0, 100));
+  buf->Clear();
+  EXPECT_EQ(buf->PhysicalCount(), 0u);
+  size_t seen = 0;
+  buf->ForEachLive([&](const Tuple&) { ++seen; });
+  EXPECT_EQ(seen, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuffers, BufferContractTest,
+                         ::testing::Values(BufKind::kList, BufKind::kFifo,
+                                           BufKind::kPartitioned,
+                                           BufKind::kPartitionedMany,
+                                           BufKind::kHash, BufKind::kIndexed),
+                         [](const ::testing::TestParamInfo<BufKind>& info) -> std::string {
+                           switch (info.param) {
+                             case BufKind::kList:
+                               return "List";
+                             case BufKind::kFifo:
+                               return "Fifo";
+                             case BufKind::kPartitioned:
+                               return "Part5";
+                             case BufKind::kPartitionedMany:
+                               return "Part64";
+                             case BufKind::kHash:
+                               return "Hash";
+                             case BufKind::kIndexed:
+                               return "Indexed";
+                           }
+                           return "?";
+                         });
+
+// --- Lazy maintenance semantics (Section 2.3): expired tuples are hidden
+// immediately but purged physically only at intervals. ---
+
+class LazyBufferTest : public ::testing::TestWithParam<BufKind> {};
+
+TEST_P(LazyBufferTest, LogicallyHiddenPhysicallyRetained) {
+  auto buf = MakeBuf(GetParam());
+  buf->SetLazy(50);
+  for (int i = 1; i <= 10; ++i) buf->Insert(T({i}, 0, i + 10));
+  buf->Advance(15, nullptr);  // Tuples 1..5 expired; purge not yet due.
+  EXPECT_EQ(buf->LiveCount(), 5u);
+  EXPECT_EQ(buf->PhysicalCount(), 10u);
+  size_t live = 0;
+  buf->ForEachLive([&](const Tuple& t) {
+    ++live;
+    EXPECT_TRUE(t.LiveAt(15));
+  });
+  EXPECT_EQ(live, 5u);
+  buf->Advance(60, nullptr);  // Purge due; everything expired by now.
+  EXPECT_EQ(buf->PhysicalCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LazyBuffers, LazyBufferTest,
+                         ::testing::Values(BufKind::kList, BufKind::kFifo,
+                                           BufKind::kPartitioned,
+                                           BufKind::kHash, BufKind::kIndexed),
+                         [](const ::testing::TestParamInfo<BufKind>& info) -> std::string {
+                           switch (info.param) {
+                             case BufKind::kList:
+                               return "List";
+                             case BufKind::kFifo:
+                               return "Fifo";
+                             case BufKind::kPartitioned:
+                               return "Part";
+                             case BufKind::kHash:
+                               return "Hash";
+                             case BufKind::kIndexed:
+                               return "Indexed";
+                             default:
+                               return "?";
+                           }
+                         });
+
+// --- Structure-specific behaviour. ---
+
+TEST(PartitionedBufferTest, ExpirationOrderWithinAdvance) {
+  PartitionedBuffer buf(10, 100);
+  // Insert out of expiration order.
+  buf.Insert(T({1}, 0, 30));
+  buf.Insert(T({2}, 0, 10));
+  buf.Insert(T({3}, 0, 20));
+  std::vector<int64_t> order;
+  buf.Advance(25, [&](const Tuple& t) { order.push_back(AsInt(t.fields[0])); });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // exp 10 before exp 20 (same partition span).
+  EXPECT_EQ(order[1], 3);
+  EXPECT_EQ(buf.LiveCount(), 1u);
+}
+
+TEST(PartitionedBufferTest, WrapAroundLongRun) {
+  PartitionedBuffer buf(4, 40);
+  size_t expired = 0;
+  for (Time t = 1; t <= 1000; ++t) {
+    buf.Advance(t, [&](const Tuple&) { ++expired; });
+    buf.Insert(T({t}, t, t + 40));
+  }
+  // At t=1000 the live tuples are those with exp > 1000, i.e. ts > 960.
+  EXPECT_EQ(buf.LiveCount(), 40u);
+  EXPECT_EQ(expired, 960u);
+}
+
+TEST(PartitionedBufferTest, CollidingDistantExpirations) {
+  // span covers 100/2 = 50; exps 10 and 110 share partition block parity.
+  PartitionedBuffer buf(2, 100);
+  buf.Insert(T({1}, 0, 10));
+  buf.Insert(T({2}, 0, 110));
+  std::vector<int64_t> gone;
+  buf.Advance(10, [&](const Tuple& t) { gone.push_back(AsInt(t.fields[0])); });
+  ASSERT_EQ(gone.size(), 1u);
+  EXPECT_EQ(gone[0], 1);
+  EXPECT_EQ(buf.LiveCount(), 1u);
+}
+
+TEST(PartitionedBufferTest, MorePartitionsMoreOverheadBytes) {
+  PartitionedBuffer small(1, 100);
+  PartitionedBuffer big(100, 100);
+  EXPECT_GT(big.StateBytes(), small.StateBytes());
+}
+
+TEST(PartitionedBufferTest, LazyPurgeSweepsAllPartitions) {
+  // Regression: a lazy purge must reclaim tuples that expired in blocks
+  // older than the most recent clock step, not just the blocks touched
+  // since the previous Advance call.
+  PartitionedBuffer buf(8, 80);
+  buf.SetLazy(40);
+  for (Time t = 1; t <= 30; ++t) {
+    buf.Advance(t, nullptr);
+    buf.Insert(T({t}, t, t + 5));  // Expire quickly, across many blocks.
+  }
+  buf.Advance(100, nullptr);  // Purge due: everything has expired.
+  EXPECT_EQ(buf.PhysicalCount(), 0u);
+}
+
+TEST(FifoBufferTest, PopsOnlyFromFront) {
+  FifoBuffer buf;
+  for (int i = 1; i <= 5; ++i) buf.Insert(T({i}, i, i + 10));
+  std::vector<int64_t> gone;
+  buf.Advance(13, [&](const Tuple& t) { gone.push_back(AsInt(t.fields[0])); });
+  EXPECT_EQ(gone, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(HashBufferTest, KeyProbeTouchesOneBucket) {
+  HashBuffer buf(0, 4);
+  for (int i = 0; i < 100; ++i) buf.Insert(T({i % 10, i}, 0, 1000));
+  int hits = 0;
+  buf.ForEachMatch(0, Value{int64_t{3}}, [&](const Tuple&) { ++hits; });
+  EXPECT_EQ(hits, 10);
+}
+
+TEST(IndexedBufferTest, KeyProbeVisitsOneGridColumn) {
+  IndexedBuffer buf(0, 4, 100, 8);
+  for (int i = 0; i < 200; ++i) buf.Insert(T({i % 10, i}, 0, 50 + i % 40));
+  int hits = 0;
+  buf.ForEachMatch(0, Value{int64_t{3}}, [&](const Tuple& t) {
+    ++hits;
+    EXPECT_EQ(AsInt(t.fields[0]), 3);
+  });
+  EXPECT_EQ(hits, 20);
+}
+
+TEST(IndexedBufferTest, ExpirationAcrossGridRows) {
+  IndexedBuffer buf(0, 4, 40, 8);
+  size_t expired = 0;
+  for (Time t = 1; t <= 500; ++t) {
+    buf.Advance(t, [&](const Tuple&) { ++expired; });
+    buf.Insert(T({t % 7}, t, t + 40));
+  }
+  EXPECT_EQ(buf.LiveCount(), 40u);
+  EXPECT_EQ(expired, 460u);
+}
+
+TEST(IndexedBufferTest, EraseOneMatchUsesKeyAndExpiration) {
+  IndexedBuffer buf(0, 4, 100, 8);
+  buf.Insert(T({5, 1}, 0, 30));
+  buf.Insert(T({5, 1}, 0, 60));
+  EXPECT_TRUE(buf.EraseOneMatch(T({5, 1}, 0, 30)));
+  EXPECT_FALSE(buf.EraseOneMatch(T({5, 1}, 0, 30)));
+  EXPECT_EQ(buf.LiveCount(), 1u);
+}
+
+TEST(BufferHelperTest, ForEachMatchKeyMultiColumn) {
+  ListBuffer buf;
+  buf.Insert(T({1, 2, 9}, 0, 100));
+  buf.Insert(T({1, 3, 9}, 0, 100));
+  buf.Insert(T({1, 2, 7}, 0, 100));
+  int hits = 0;
+  ForEachMatchKey(buf, {0, 1}, {Value{int64_t{1}}, Value{int64_t{2}}},
+                  [&](const Tuple&) { ++hits; });
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(BufferDeathTest, LazyRequiresEmptyBuffer) {
+  ListBuffer buf;
+  buf.Insert(T({1}, 0, 10));
+  EXPECT_DEATH(buf.SetLazy(5), "UPA_CHECK");
+}
+
+TEST(BufferDeathTest, LazyAdvanceRejectsCallback) {
+  ListBuffer buf;
+  buf.SetLazy(5);
+  buf.Insert(T({1}, 0, 2));
+  EXPECT_DEATH(buf.Advance(10, [](const Tuple&) {}), "UPA_CHECK");
+}
+
+}  // namespace
+}  // namespace upa

@@ -1,0 +1,139 @@
+#ifndef UPA_TESTS_TEST_UTIL_H_
+#define UPA_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+#include "core/logical_plan.h"
+#include "core/physical_planner.h"
+#include "exec/replay.h"
+#include "ref/reference.h"
+#include "workload/trace.h"
+
+namespace upa {
+namespace testing_util {
+
+/// Simple integer schema ("c0", "c1", ...) with `width` columns.
+inline Schema IntSchema(int width) {
+  std::vector<Field> fields;
+  for (int i = 0; i < width; ++i) {
+    fields.push_back(Field{"c" + std::to_string(i), ValueType::kInt});
+  }
+  return Schema(std::move(fields));
+}
+
+/// Tuple literal helper.
+inline Tuple T(std::vector<int64_t> vals, Time ts = 0,
+               Time exp = kNeverExpires) {
+  Tuple t;
+  t.ts = ts;
+  t.exp = exp;
+  t.fields.reserve(vals.size());
+  for (int64_t v : vals) t.fields.emplace_back(v);
+  return t;
+}
+
+/// Projects each tuple onto `cols` (empty = all columns) and returns the
+/// sorted multiset of field vectors -- the canonical form used to compare
+/// engine views against the reference evaluator.
+inline std::vector<std::vector<Value>> Canonical(
+    const std::vector<Tuple>& tuples, const std::vector<int>& cols = {}) {
+  std::vector<std::vector<Value>> out;
+  out.reserve(tuples.size());
+  for (const Tuple& t : tuples) {
+    std::vector<Value> row;
+    if (cols.empty()) {
+      row = t.fields;
+    } else {
+      row.reserve(cols.size());
+      for (int c : cols) row.push_back(t.fields[static_cast<size_t>(c)]);
+    }
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+inline std::string RowsToString(const std::vector<std::vector<Value>>& rows) {
+  std::string s;
+  size_t limit = std::min<size_t>(rows.size(), 25);
+  for (size_t i = 0; i < limit; ++i) {
+    s += "  (";
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      if (j > 0) s += ", ";
+      s += ToString(rows[i][j]);
+    }
+    s += ")\n";
+  }
+  if (rows.size() > limit) s += "  ... " + std::to_string(rows.size()) + " rows total\n";
+  return s;
+}
+
+/// Runs `plan` under `mode`, replaying `trace`, and checks the
+/// materialized view against the reference evaluator (projected onto
+/// `compare_cols`; empty = all columns) at tick boundaries, roughly every
+/// `checkpoint_interval` tuples. Comparisons happen only once *all*
+/// events of a timestamp have been ingested -- Definition 1 constrains
+/// Q(tau) after the inputs at tau have been fully processed. Returns the
+/// number of checkpoints compared.
+inline int CheckAgainstReference(const PlanNode& plan, const Trace& trace,
+                                 ExecMode mode,
+                                 const PlannerOptions& options = {},
+                                 uint64_t checkpoint_interval = 25,
+                                 std::vector<int> compare_cols = {},
+                                 Time drain = 0) {
+  std::unique_ptr<Pipeline> pipeline = BuildPipeline(plan, mode, options);
+  ReferenceEvaluator ref(&plan);
+  int checkpoints = 0;
+  const auto compare = [&](Time now) {
+    ++checkpoints;
+    const auto got = Canonical(pipeline->view().Snapshot(), compare_cols);
+    const auto want = Canonical(ref.EvalAt(now), compare_cols);
+    ASSERT_EQ(got, want) << "mode=" << ExecModeName(mode) << " at t=" << now
+                         << "\nengine:\n"
+                         << RowsToString(got) << "oracle:\n"
+                         << RowsToString(want);
+  };
+  uint64_t since_checkpoint = 0;
+  size_t i = 0;
+  const size_t n = trace.events.size();
+  while (i < n) {
+    const Time ts = trace.events[i].tuple.ts;
+    pipeline->Tick(ts);
+    while (i < n && trace.events[i].tuple.ts == ts) {
+      // Traces may carry streams the plan does not reference.
+      if (pipeline->HasStream(trace.events[i].stream)) {
+        ref.Observe(trace.events[i].stream, trace.events[i].tuple);
+        pipeline->Ingest(trace.events[i].stream, trace.events[i].tuple);
+        ++since_checkpoint;
+      }
+      ++i;
+    }
+    if (since_checkpoint >= checkpoint_interval) {
+      since_checkpoint = 0;
+      compare(ts);
+      if (::testing::Test::HasFatalFailure()) return checkpoints;
+    }
+  }
+  // Idle drain: operators keep expiring state without arrivals.
+  if (drain > 0 && n > 0) {
+    const Time last = trace.LastTs();
+    const Time step = std::max<Time>(1, drain / 8);
+    for (Time t = last + step; t <= last + drain; t += step) {
+      pipeline->Tick(t);
+      compare(t);
+      if (::testing::Test::HasFatalFailure()) return checkpoints;
+    }
+  }
+  return checkpoints;
+}
+
+}  // namespace testing_util
+}  // namespace upa
+
+#endif  // UPA_TESTS_TEST_UTIL_H_

@@ -1,0 +1,123 @@
+#include <cstdio>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/lbl_generator.h"
+#include "workload/trace.h"
+
+namespace upa {
+namespace {
+
+TEST(LblGeneratorTest, OneTuplePerLinkPerTimeUnit) {
+  LblTraceConfig cfg;
+  cfg.num_links = 3;
+  cfg.duration = 100;
+  const Trace trace = GenerateLblTrace(cfg);
+  EXPECT_EQ(trace.events.size(), 300u);
+  EXPECT_EQ(trace.num_streams, 3);
+  // Timestamps are non-decreasing and each unit carries one tuple/link.
+  std::map<Time, std::map<int, int>> per_unit;
+  Time prev = 0;
+  for (const TraceEvent& e : trace.events) {
+    EXPECT_GE(e.tuple.ts, prev);
+    prev = e.tuple.ts;
+    ++per_unit[e.tuple.ts][e.stream];
+  }
+  for (const auto& [ts, links] : per_unit) {
+    EXPECT_EQ(links.size(), 3u);
+    for (const auto& [link, count] : links) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(LblGeneratorTest, ProtocolMixMakesTelnetTenTimesFtp) {
+  LblTraceConfig cfg;
+  cfg.num_links = 1;
+  cfg.duration = 50000;
+  const Trace trace = GenerateLblTrace(cfg);
+  int ftp = 0;
+  int telnet = 0;
+  for (const TraceEvent& e : trace.events) {
+    const int64_t proto = AsInt(e.tuple.fields[kColProtocol]);
+    ftp += proto == kProtoFtp ? 1 : 0;
+    telnet += proto == kProtoTelnet ? 1 : 0;
+  }
+  const double ratio = static_cast<double>(telnet) / ftp;
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 12.0);
+}
+
+TEST(LblGeneratorTest, SourcesAreZipfSkewed) {
+  LblTraceConfig cfg;
+  cfg.num_links = 1;
+  cfg.duration = 20000;
+  cfg.num_sources = 500;
+  cfg.source_zipf = 1.0;
+  const Trace trace = GenerateLblTrace(cfg);
+  std::map<int64_t, int> counts;
+  for (const TraceEvent& e : trace.events) {
+    ++counts[AsInt(e.tuple.fields[kColSrcIp])];
+  }
+  // Source 0 (most popular Zipf rank) dominates any mid-rank source.
+  EXPECT_GT(counts[0], 10 * std::max(counts[250], 1));
+}
+
+TEST(LblGeneratorTest, DestinationsEncodeLink) {
+  LblTraceConfig cfg;
+  cfg.num_links = 2;
+  cfg.duration = 100;
+  const Trace trace = GenerateLblTrace(cfg);
+  for (const TraceEvent& e : trace.events) {
+    EXPECT_EQ(AsInt(e.tuple.fields[kColDstIp]) >> 16, e.stream);
+  }
+}
+
+TEST(LblGeneratorTest, DeterministicForSeed) {
+  LblTraceConfig cfg;
+  cfg.duration = 200;
+  const Trace a = GenerateLblTrace(cfg);
+  const Trace b = GenerateLblTrace(cfg);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_TRUE(a.events[i].tuple.FieldsEqual(b.events[i].tuple));
+  }
+}
+
+TEST(TraceCsvTest, RoundTrip) {
+  LblTraceConfig cfg;
+  cfg.duration = 50;
+  cfg.num_links = 2;
+  const Trace trace = GenerateLblTrace(cfg);
+  const std::string path = ::testing::TempDir() + "/upa_trace_test.csv";
+  ASSERT_TRUE(WriteTraceCsv(trace, path));
+  Trace loaded;
+  ASSERT_TRUE(ReadTraceCsv(path, LblSchema(), &loaded));
+  ASSERT_EQ(loaded.events.size(), trace.events.size());
+  EXPECT_EQ(loaded.num_streams, trace.num_streams);
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(loaded.events[i].stream, trace.events[i].stream);
+    EXPECT_EQ(loaded.events[i].tuple.ts, trace.events[i].tuple.ts);
+    EXPECT_TRUE(loaded.events[i].tuple.FieldsEqual(trace.events[i].tuple));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsvTest, ReadRejectsMalformedRows) {
+  const std::string path = ::testing::TempDir() + "/upa_trace_bad.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "ts,stream,duration\n1,0\n");  // Too few cells.
+  std::fclose(f);
+  Trace out;
+  EXPECT_FALSE(ReadTraceCsv(
+      path, Schema({Field{"duration", ValueType::kInt}}), &out));
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsvTest, MissingFileFails) {
+  Trace out;
+  EXPECT_FALSE(ReadTraceCsv("/nonexistent/nope.csv", LblSchema(), &out));
+}
+
+}  // namespace
+}  // namespace upa
