@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_dupelim_memory.cc" "bench/CMakeFiles/bench_dupelim_memory.dir/bench_dupelim_memory.cc.o" "gcc" "bench/CMakeFiles/bench_dupelim_memory.dir/bench_dupelim_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/upa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/upa_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/upa_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/upa_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/upa_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/upa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/upa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

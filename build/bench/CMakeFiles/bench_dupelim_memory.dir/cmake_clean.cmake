@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dupelim_memory.dir/bench_dupelim_memory.cc.o"
+  "CMakeFiles/bench_dupelim_memory.dir/bench_dupelim_memory.cc.o.d"
+  "bench_dupelim_memory"
+  "bench_dupelim_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dupelim_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_indexed_state.dir/bench_indexed_state.cc.o"
+  "CMakeFiles/bench_indexed_state.dir/bench_indexed_state.cc.o.d"
+  "bench_indexed_state"
+  "bench_indexed_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indexed_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lazy_interval.dir/bench_lazy_interval.cc.o"
+  "CMakeFiles/bench_lazy_interval.dir/bench_lazy_interval.cc.o.d"
+  "bench_lazy_interval"
+  "bench_lazy_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lazy_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

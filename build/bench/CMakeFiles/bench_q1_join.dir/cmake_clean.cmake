@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q1_join.dir/bench_q1_join.cc.o"
+  "CMakeFiles/bench_q1_join.dir/bench_q1_join.cc.o.d"
+  "bench_q1_join"
+  "bench_q1_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q1_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

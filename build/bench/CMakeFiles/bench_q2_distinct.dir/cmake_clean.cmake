@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q2_distinct.dir/bench_q2_distinct.cc.o"
+  "CMakeFiles/bench_q2_distinct.dir/bench_q2_distinct.cc.o.d"
+  "bench_q2_distinct"
+  "bench_q2_distinct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q2_distinct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

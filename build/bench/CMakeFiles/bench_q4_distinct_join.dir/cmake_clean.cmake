@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q4_distinct_join.dir/bench_q4_distinct_join.cc.o"
+  "CMakeFiles/bench_q4_distinct_join.dir/bench_q4_distinct_join.cc.o.d"
+  "bench_q4_distinct_join"
+  "bench_q4_distinct_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q4_distinct_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

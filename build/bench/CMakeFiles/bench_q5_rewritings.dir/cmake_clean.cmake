@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q5_rewritings.dir/bench_q5_rewritings.cc.o"
+  "CMakeFiles/bench_q5_rewritings.dir/bench_q5_rewritings.cc.o.d"
+  "bench_q5_rewritings"
+  "bench_q5_rewritings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q5_rewritings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

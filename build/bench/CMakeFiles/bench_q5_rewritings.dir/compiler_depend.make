@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_q5_rewritings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/financial_ticker.dir/financial_ticker.cpp.o"
+  "CMakeFiles/financial_ticker.dir/financial_ticker.cpp.o.d"
+  "financial_ticker"
+  "financial_ticker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/financial_ticker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negation_alerts.dir/negation_alerts.cpp.o"
+  "CMakeFiles/negation_alerts.dir/negation_alerts.cpp.o.d"
+  "negation_alerts"
+  "negation_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negation_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

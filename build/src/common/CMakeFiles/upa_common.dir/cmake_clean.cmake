@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_common.dir/key.cc.o"
+  "CMakeFiles/upa_common.dir/key.cc.o.d"
+  "CMakeFiles/upa_common.dir/rng.cc.o"
+  "CMakeFiles/upa_common.dir/rng.cc.o.d"
+  "CMakeFiles/upa_common.dir/schema.cc.o"
+  "CMakeFiles/upa_common.dir/schema.cc.o.d"
+  "CMakeFiles/upa_common.dir/tuple.cc.o"
+  "CMakeFiles/upa_common.dir/tuple.cc.o.d"
+  "CMakeFiles/upa_common.dir/value.cc.o"
+  "CMakeFiles/upa_common.dir/value.cc.o.d"
+  "libupa_common.a"
+  "libupa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/upa_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/upa_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/logical_plan.cc" "src/core/CMakeFiles/upa_core.dir/logical_plan.cc.o" "gcc" "src/core/CMakeFiles/upa_core.dir/logical_plan.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/upa_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/upa_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/physical_planner.cc" "src/core/CMakeFiles/upa_core.dir/physical_planner.cc.o" "gcc" "src/core/CMakeFiles/upa_core.dir/physical_planner.cc.o.d"
+  "/root/repo/src/core/update_pattern.cc" "src/core/CMakeFiles/upa_core.dir/update_pattern.cc.o" "gcc" "src/core/CMakeFiles/upa_core.dir/update_pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/upa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/upa_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/upa_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/upa_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/upa_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

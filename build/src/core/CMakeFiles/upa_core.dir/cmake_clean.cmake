@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_core.dir/cost_model.cc.o"
+  "CMakeFiles/upa_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/upa_core.dir/logical_plan.cc.o"
+  "CMakeFiles/upa_core.dir/logical_plan.cc.o.d"
+  "CMakeFiles/upa_core.dir/optimizer.cc.o"
+  "CMakeFiles/upa_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/upa_core.dir/physical_planner.cc.o"
+  "CMakeFiles/upa_core.dir/physical_planner.cc.o.d"
+  "CMakeFiles/upa_core.dir/update_pattern.cc.o"
+  "CMakeFiles/upa_core.dir/update_pattern.cc.o.d"
+  "libupa_core.a"
+  "libupa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

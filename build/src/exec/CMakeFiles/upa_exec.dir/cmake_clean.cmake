@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_exec.dir/pipeline.cc.o"
+  "CMakeFiles/upa_exec.dir/pipeline.cc.o.d"
+  "CMakeFiles/upa_exec.dir/replay.cc.o"
+  "CMakeFiles/upa_exec.dir/replay.cc.o.d"
+  "CMakeFiles/upa_exec.dir/view.cc.o"
+  "CMakeFiles/upa_exec.dir/view.cc.o.d"
+  "libupa_exec.a"
+  "libupa_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/distinct.cc" "src/ops/CMakeFiles/upa_ops.dir/distinct.cc.o" "gcc" "src/ops/CMakeFiles/upa_ops.dir/distinct.cc.o.d"
+  "/root/repo/src/ops/groupby.cc" "src/ops/CMakeFiles/upa_ops.dir/groupby.cc.o" "gcc" "src/ops/CMakeFiles/upa_ops.dir/groupby.cc.o.d"
+  "/root/repo/src/ops/intersect.cc" "src/ops/CMakeFiles/upa_ops.dir/intersect.cc.o" "gcc" "src/ops/CMakeFiles/upa_ops.dir/intersect.cc.o.d"
+  "/root/repo/src/ops/join.cc" "src/ops/CMakeFiles/upa_ops.dir/join.cc.o" "gcc" "src/ops/CMakeFiles/upa_ops.dir/join.cc.o.d"
+  "/root/repo/src/ops/negation.cc" "src/ops/CMakeFiles/upa_ops.dir/negation.cc.o" "gcc" "src/ops/CMakeFiles/upa_ops.dir/negation.cc.o.d"
+  "/root/repo/src/ops/predicate.cc" "src/ops/CMakeFiles/upa_ops.dir/predicate.cc.o" "gcc" "src/ops/CMakeFiles/upa_ops.dir/predicate.cc.o.d"
+  "/root/repo/src/ops/relation_join.cc" "src/ops/CMakeFiles/upa_ops.dir/relation_join.cc.o" "gcc" "src/ops/CMakeFiles/upa_ops.dir/relation_join.cc.o.d"
+  "/root/repo/src/ops/stateless.cc" "src/ops/CMakeFiles/upa_ops.dir/stateless.cc.o" "gcc" "src/ops/CMakeFiles/upa_ops.dir/stateless.cc.o.d"
+  "/root/repo/src/ops/window.cc" "src/ops/CMakeFiles/upa_ops.dir/window.cc.o" "gcc" "src/ops/CMakeFiles/upa_ops.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/upa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/upa_state.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_ops.dir/distinct.cc.o"
+  "CMakeFiles/upa_ops.dir/distinct.cc.o.d"
+  "CMakeFiles/upa_ops.dir/groupby.cc.o"
+  "CMakeFiles/upa_ops.dir/groupby.cc.o.d"
+  "CMakeFiles/upa_ops.dir/intersect.cc.o"
+  "CMakeFiles/upa_ops.dir/intersect.cc.o.d"
+  "CMakeFiles/upa_ops.dir/join.cc.o"
+  "CMakeFiles/upa_ops.dir/join.cc.o.d"
+  "CMakeFiles/upa_ops.dir/negation.cc.o"
+  "CMakeFiles/upa_ops.dir/negation.cc.o.d"
+  "CMakeFiles/upa_ops.dir/predicate.cc.o"
+  "CMakeFiles/upa_ops.dir/predicate.cc.o.d"
+  "CMakeFiles/upa_ops.dir/relation_join.cc.o"
+  "CMakeFiles/upa_ops.dir/relation_join.cc.o.d"
+  "CMakeFiles/upa_ops.dir/stateless.cc.o"
+  "CMakeFiles/upa_ops.dir/stateless.cc.o.d"
+  "CMakeFiles/upa_ops.dir/window.cc.o"
+  "CMakeFiles/upa_ops.dir/window.cc.o.d"
+  "libupa_ops.a"
+  "libupa_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

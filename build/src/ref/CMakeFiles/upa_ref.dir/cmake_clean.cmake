@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_ref.dir/reference.cc.o"
+  "CMakeFiles/upa_ref.dir/reference.cc.o.d"
+  "libupa_ref.a"
+  "libupa_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

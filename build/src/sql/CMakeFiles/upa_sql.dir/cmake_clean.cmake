@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_sql.dir/parser.cc.o"
+  "CMakeFiles/upa_sql.dir/parser.cc.o.d"
+  "libupa_sql.a"
+  "libupa_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/state/buffer.cc" "src/state/CMakeFiles/upa_state.dir/buffer.cc.o" "gcc" "src/state/CMakeFiles/upa_state.dir/buffer.cc.o.d"
+  "/root/repo/src/state/hash_buffer.cc" "src/state/CMakeFiles/upa_state.dir/hash_buffer.cc.o" "gcc" "src/state/CMakeFiles/upa_state.dir/hash_buffer.cc.o.d"
+  "/root/repo/src/state/indexed_buffer.cc" "src/state/CMakeFiles/upa_state.dir/indexed_buffer.cc.o" "gcc" "src/state/CMakeFiles/upa_state.dir/indexed_buffer.cc.o.d"
+  "/root/repo/src/state/list_buffer.cc" "src/state/CMakeFiles/upa_state.dir/list_buffer.cc.o" "gcc" "src/state/CMakeFiles/upa_state.dir/list_buffer.cc.o.d"
+  "/root/repo/src/state/partitioned_buffer.cc" "src/state/CMakeFiles/upa_state.dir/partitioned_buffer.cc.o" "gcc" "src/state/CMakeFiles/upa_state.dir/partitioned_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/upa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_state.dir/buffer.cc.o"
+  "CMakeFiles/upa_state.dir/buffer.cc.o.d"
+  "CMakeFiles/upa_state.dir/hash_buffer.cc.o"
+  "CMakeFiles/upa_state.dir/hash_buffer.cc.o.d"
+  "CMakeFiles/upa_state.dir/indexed_buffer.cc.o"
+  "CMakeFiles/upa_state.dir/indexed_buffer.cc.o.d"
+  "CMakeFiles/upa_state.dir/list_buffer.cc.o"
+  "CMakeFiles/upa_state.dir/list_buffer.cc.o.d"
+  "CMakeFiles/upa_state.dir/partitioned_buffer.cc.o"
+  "CMakeFiles/upa_state.dir/partitioned_buffer.cc.o.d"
+  "libupa_state.a"
+  "libupa_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upa_workload.dir/lbl_generator.cc.o"
+  "CMakeFiles/upa_workload.dir/lbl_generator.cc.o.d"
+  "CMakeFiles/upa_workload.dir/trace.cc.o"
+  "CMakeFiles/upa_workload.dir/trace.cc.o.d"
+  "libupa_workload.a"
+  "libupa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
