@@ -1,0 +1,97 @@
+// Engine scaling experiment: throughput of the multi-query runtime as the
+// shard count grows, on the paper's workload. A hash-partitionable query
+// (Query 1: window join of two links on the source address) should scale
+// superlinearly at first — each shard holds 1/S of the window state, so
+// probes scan less — while a non-partitionable plan (single-group
+// aggregate) is pinned to one shard and shows flat throughput regardless
+// of the requested shard count (the documented fallback).
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "engine/engine.h"
+
+namespace upa {
+namespace {
+
+using bench_util::LblTrace;
+
+PlanPtr JoinQuery(Time window, int64_t protocol) {
+  auto side = [&](int link) {
+    return MakeSelect(MakeWindow(MakeStream(link, LblSchema()), window),
+                      {Predicate{kColProtocol, CmpOp::kEq, Value{protocol}}});
+  };
+  PlanPtr plan = MakeJoin(side(0), side(1), kColSrcIp, kColSrcIp);
+  AnnotatePatterns(plan.get());
+  return plan;
+}
+
+PlanPtr SingleGroupQuery(Time window) {
+  PlanPtr plan = MakeGroupBy(MakeWindow(MakeStream(0, LblSchema()), window),
+                             -1, AggKind::kCount, -1);
+  AnnotatePatterns(plan.get());
+  return plan;
+}
+
+void RunEngineBench(benchmark::State& state, PlanPtr plan, int shards,
+                    const Trace& trace) {
+  for (auto _ : state) {
+    EngineOptions opts;
+    opts.default_shards = shards;
+    opts.queue_capacity = 8192;
+    opts.max_batch = 256;
+    Engine engine(opts);
+    const RegisterResult reg =
+        engine.RegisterPlan("bench", plan->Clone());
+    const auto start = std::chrono::steady_clock::now();
+    engine.IngestTrace(trace);
+    engine.Flush();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    engine.Stop();
+    state.SetIterationTime(secs);
+    const double tuples = static_cast<double>(trace.events.size());
+    state.counters["ktuples_per_s"] = tuples / secs / 1000.0;
+    state.counters["shards"] = static_cast<double>(reg.shards);
+    PipelineStats stats;
+    engine.Stats("bench", &stats);
+    state.counters["ingested"] = static_cast<double>(stats.ingested);
+    state.counters["results"] = static_cast<double>(stats.results_pos);
+  }
+}
+
+void BM_EngineJoinScaling(benchmark::State& state) {
+  const Time window = 2000;
+  PlanPtr plan = JoinQuery(window, kProtoTelnet);
+  const Trace& trace = LblTrace(2, 20000);
+  RunEngineBench(state, std::move(plan), static_cast<int>(state.range(0)),
+                 trace);
+}
+
+void BM_EngineFallbackScaling(benchmark::State& state) {
+  const Time window = 2000;
+  PlanPtr plan = SingleGroupQuery(window);
+  const Trace& trace = LblTrace(1, 20000);
+  RunEngineBench(state, std::move(plan), static_cast<int>(state.range(0)),
+                 trace);
+}
+
+BENCHMARK(BM_EngineJoinScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_EngineFallbackScaling)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseManualTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace upa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Engine server: the multi-query runtime end to end. Four continuous
+// queries are registered from SQL text against a shared two-link LBL
+// connection trace; the engine fans every arrival out to the queries
+// bound to that link and executes each query on hash-partitioned shard
+// workers (single-shard fallback when the plan is not partitionable).
+//
+//   telnet-pairs : sources with concurrent telnet sessions on both links
+//                  (paper Query 1 shape) — partitioned on src_ip;
+//   sources      : DISTINCT src_ip on link 0 (paper Query 2) —
+//                  partitioned on src_ip;
+//   proto-bytes  : SUM(payload) GROUP BY protocol — partitioned on the
+//                  group column;
+//   total        : COUNT(*) over link 0's window — a single-group
+//                  aggregate, so the partitionability analysis reports
+//                  the fallback and the query runs on one shard.
+//
+// Run from the build tree:  ./examples/engine_server
+
+#include <cstdio>
+#include <vector>
+
+#include "engine/engine.h"
+#include "workload/lbl_generator.h"
+
+int main() {
+  using namespace upa;
+
+  EngineOptions opts;
+  opts.default_shards = 4;
+  Engine engine(opts);
+
+  engine.catalog()->DeclareStream("link0", LblSchema());
+  engine.catalog()->DeclareStream("link1", LblSchema());
+
+  struct Spec {
+    const char* name;
+    const char* sql;
+  };
+  const std::vector<Spec> specs = {
+      {"telnet-pairs",
+       "SELECT link0.src_ip FROM link0 [RANGE 800], link1 [RANGE 800] "
+       "WHERE link0.src_ip = link1.src_ip AND link0.protocol = 2 AND "
+       "link1.protocol = 2"},
+      {"sources", "SELECT DISTINCT src_ip FROM link0 [RANGE 800]"},
+      {"proto-bytes",
+       "SELECT protocol, SUM(payload) FROM link1 [RANGE 800] "
+       "GROUP BY protocol"},
+      {"total", "SELECT COUNT(*) FROM link0 [RANGE 800]"},
+  };
+  for (const Spec& spec : specs) {
+    const RegisterResult r = engine.RegisterSql(spec.name, spec.sql);
+    if (!r.ok) {
+      std::fprintf(stderr, "register %s failed: %s\n", spec.name,
+                   r.error.c_str());
+      return 1;
+    }
+    std::printf("registered %-13s shards=%d  %s\n", r.name.c_str(), r.shards,
+                r.partition_note.c_str());
+  }
+
+  LblTraceConfig cfg;
+  cfg.num_links = 2;
+  cfg.duration = 6000;
+  cfg.num_sources = 200;
+  cfg.source_zipf = 1.1;
+  const Trace trace = GenerateLblTrace(cfg);
+  std::printf("\ningesting %zu events over %lld time units...\n",
+              trace.events.size(), static_cast<long long>(cfg.duration));
+
+  // One shared input feed: every event is routed to all queries reading
+  // its link. Report periodically through consistent view snapshots.
+  const Time report_every = 2000;
+  Time next_report = report_every;
+  std::vector<Tuple> rows;
+  for (const TraceEvent& e : trace.events) {
+    engine.Ingest(e.stream, e.tuple);
+    if (e.tuple.ts >= next_report) {
+      next_report += report_every;
+      std::printf("t=%-6lld", static_cast<long long>(engine.clock()));
+      for (const Spec& spec : specs) {
+        engine.Snapshot(spec.name, &rows);
+        std::printf("  %s=%zu", spec.name, rows.size());
+      }
+      std::printf("\n");
+    }
+  }
+  engine.Flush();
+
+  std::printf("\n%s", engine.Metrics().ToString().c_str());
+
+  std::printf("\nFinal proto-bytes window:\n");
+  engine.Snapshot("proto-bytes", &rows);
+  for (const Tuple& row : rows) {
+    std::printf("  protocol %lld: %.0f bytes\n",
+                static_cast<long long>(AsInt(row.fields[0])),
+                AsDouble(row.fields[1]));
+  }
+  engine.Stop();
+  return 0;
+}

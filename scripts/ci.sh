@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, run the full test suite. This is the
+# exact sequence CI runs; keep it green before merging.
+#
+# Usage:
+#   scripts/ci.sh                 # release-with-asserts build + ctest
+#   UPA_TSAN=1 scripts/ci.sh     # same, under ThreadSanitizer (catches
+#                                 # engine races; slower)
+#
+# The build directory is build/ (or build-tsan/ under UPA_TSAN=1) so a
+# sanitizer run does not clobber the regular build cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_ARGS=()
+if [[ "${UPA_TSAN:-0}" == "1" ]]; then
+  BUILD_DIR=build-tsan
+  CMAKE_ARGS+=(-DUPA_TSAN=ON)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

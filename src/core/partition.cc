@@ -1,0 +1,169 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+namespace {
+
+/// Records that `stream_id`'s base tuples must hash on `col`. Fails on a
+/// conflict with an earlier constraint (one hash per stream: the engine
+/// routes each arrival exactly once, so two bindings of one stream must
+/// agree on the partition column).
+bool Constrain(int stream_id, int col, std::map<int, int>* cols,
+               std::string* reason) {
+  auto [it, inserted] = cols->emplace(stream_id, col);
+  if (!inserted && it->second != col) {
+    *reason = "stream " + std::to_string(stream_id) +
+              " would need partitioning on both column " +
+              std::to_string(it->second) + " and column " +
+              std::to_string(col);
+    return false;
+  }
+  return true;
+}
+
+/// Walks `n` requiring its output to be partitioned on output column
+/// `req` (-1 = unconstrained), translating the requirement through the
+/// operator and imposing the keys of combining operators on the way down.
+/// On success the per-stream base columns accumulate in `cols`.
+bool Assign(const PlanNode& n, int req, std::map<int, int>* cols,
+            std::string* reason) {
+  switch (n.kind) {
+    case PlanOpKind::kStream:
+    case PlanOpKind::kRelation:
+      return req < 0 || Constrain(n.stream_id, req, cols, reason);
+    case PlanOpKind::kWindow:
+    case PlanOpKind::kSelect:
+      // Schema-preserving, per-tuple: the requirement passes through.
+      return Assign(n.child(0), req, cols, reason);
+    case PlanOpKind::kCountWindow:
+      *reason = "count-based window keeps the N globally most recent "
+                "tuples; a per-shard replica would keep N per partition";
+      return false;
+    case PlanOpKind::kProject:
+      return Assign(n.child(0),
+                    req < 0 ? -1 : n.cols[static_cast<size_t>(req)], cols,
+                    reason);
+    case PlanOpKind::kUnion:
+      // Positional: union requires identical schemas, so a key constraint
+      // applies to the same column of both inputs.
+      return Assign(n.child(0), req, cols, reason) &&
+             Assign(n.child(1), req, cols, reason);
+    case PlanOpKind::kJoin: {
+      const int lw = n.child(0).schema.num_fields();
+      // The only output columns co-partitioned with the join's state are
+      // the two (equal-valued) join attributes.
+      if (req >= 0 && req != n.left_col && req != lw + n.right_col) {
+        *reason = "operator above a join requires a partition key (column " +
+                  std::to_string(req) + ") other than the join attribute";
+        return false;
+      }
+      return Assign(n.child(0), n.left_col, cols, reason) &&
+             Assign(n.child(1), n.right_col, cols, reason);
+    }
+    case PlanOpKind::kIntersect: {
+      // Pair-based intersection matches field-identical tuples, so any
+      // common positional column co-locates matches; try them all when
+      // unconstrained (a column choice may conflict deeper down).
+      if (req >= 0) {
+        return Assign(n.child(0), req, cols, reason) &&
+               Assign(n.child(1), req, cols, reason);
+      }
+      std::string last_reason = "intersection over zero-column schema";
+      for (int c = 0; c < n.schema.num_fields(); ++c) {
+        std::map<int, int> attempt = *cols;
+        if (Assign(n.child(0), c, &attempt, &last_reason) &&
+            Assign(n.child(1), c, &attempt, &last_reason)) {
+          *cols = std::move(attempt);
+          return true;
+        }
+      }
+      *reason = last_reason;
+      return false;
+    }
+    case PlanOpKind::kDistinct: {
+      // Tuples sharing the full key vector share every key column, so
+      // partitioning on any one key column keeps duplicates together.
+      if (req >= 0) {
+        if (std::find(n.cols.begin(), n.cols.end(), req) == n.cols.end()) {
+          *reason = "operator above duplicate elimination requires a "
+                    "partition key (column " +
+                    std::to_string(req) + ") outside the distinct key";
+          return false;
+        }
+        return Assign(n.child(0), req, cols, reason);
+      }
+      std::string last_reason;
+      for (int c : n.cols) {
+        std::map<int, int> attempt = *cols;
+        if (Assign(n.child(0), c, &attempt, &last_reason)) {
+          *cols = std::move(attempt);
+          return true;
+        }
+      }
+      *reason = last_reason;
+      return false;
+    }
+    case PlanOpKind::kGroupBy:
+      if (n.group_col < 0) {
+        *reason = "single-group aggregate spans every input tuple";
+        return false;
+      }
+      // Group-by is a root operator (IsValidPlan); its output is keyed by
+      // the group label in column 0.
+      if (req > 0) {
+        *reason = "operator above group-by requires a non-group column";
+        return false;
+      }
+      return Assign(n.child(0), n.group_col, cols, reason);
+    case PlanOpKind::kNegate:
+      // Output schema is the left input's; only the negation attribute is
+      // co-partitioned with the operator's per-value state.
+      if (req >= 0 && req != n.left_col) {
+        *reason = "operator above negation requires a partition key "
+                  "(column " +
+                  std::to_string(req) + ") other than the negation attribute";
+        return false;
+      }
+      return Assign(n.child(0), n.left_col, cols, reason) &&
+             Assign(n.child(1), n.right_col, cols, reason);
+  }
+  UPA_FATAL("unhandled plan kind");
+}
+
+void CollectStreams(const PlanNode& n, std::map<int, int>* cols) {
+  if (n.kind == PlanOpKind::kStream || n.kind == PlanOpKind::kRelation) {
+    // Unconstrained streams may hash on any attribute; fix column 0 so
+    // every shard assignment is deterministic.
+    cols->emplace(n.stream_id, 0);
+  }
+  for (const auto& c : n.children) CollectStreams(*c, cols);
+}
+
+}  // namespace
+
+PartitionScheme AnalyzePartitionability(const PlanNode& root) {
+  PartitionScheme scheme;
+  std::map<int, int> cols;
+  if (!Assign(root, -1, &cols, &scheme.reason)) {
+    return scheme;  // partitionable == false, reason set.
+  }
+  CollectStreams(root, &cols);  // Default unconstrained streams to col 0.
+  scheme.partitionable = true;
+  scheme.stream_key_cols = std::move(cols);
+  return scheme;
+}
+
+std::string PartitionScheme::ToString() const {
+  if (!partitionable) return "single-shard (" + reason + ")";
+  std::string out = "hash-partitioned on";
+  for (const auto& [stream, col] : stream_key_cols) {
+    out += " s" + std::to_string(stream) + ":c" + std::to_string(col);
+  }
+  return out;
+}
+
+}  // namespace upa

@@ -1,0 +1,61 @@
+#ifndef UPA_CORE_PARTITION_H_
+#define UPA_CORE_PARTITION_H_
+
+#include <map>
+#include <string>
+
+#include "core/logical_plan.h"
+
+namespace upa {
+
+/// Result of the partitionability analysis: whether an annotated plan can
+/// be executed on several hash-partitioned shards, and if so which base
+/// column of each input stream carries the partition key.
+///
+/// A plan is *partitionable* when splitting every input stream by a hash
+/// of one attribute and running an independent pipeline replica per
+/// partition yields shard views whose multiset union equals the
+/// single-pipeline view at every time. The analysis mirrors the
+/// key-based partitioning arguments of incremental view maintenance under
+/// updates (see PAPERS.md: theta-joins under updates partition input
+/// relations by join key): every stateful operator that *combines or
+/// deduplicates tuples across arrivals by key* — join, negation,
+/// intersection, duplicate elimination, group-by — forces its inputs to be
+/// partitioned on that key, and the constraints must be satisfiable
+/// simultaneously down to the stream leaves.
+///
+/// Tuples of streams left unconstrained (plans whose state is purely
+/// per-tuple: selections, projections, time windows, unions of them) may
+/// be split on any attribute; the analysis assigns column 0 so the
+/// assignment is deterministic.
+///
+/// Non-partitionable shapes (the engine falls back to one shard and
+/// records `reason`):
+///  - count-based windows: the "N most recent tuples" is a global
+///    property; a per-shard count window keeps N tuples of its partition;
+///  - single-group aggregates (GROUP BY absent): one group spans all keys;
+///  - conflicting key constraints: e.g. duplicate elimination above a join
+///    where no distinct key column coincides with the join key, or one
+///    stream feeding two combining operators that disagree on the column.
+struct PartitionScheme {
+  /// True when the plan admits a multi-shard execution.
+  bool partitionable = false;
+
+  /// For every input stream (and relation update stream) of the plan: the
+  /// column of the *base* tuple whose hash selects the shard. Populated
+  /// only when `partitionable`.
+  std::map<int, int> stream_key_cols;
+
+  /// When !partitionable: why the plan fell back to a single shard.
+  std::string reason;
+
+  std::string ToString() const;
+};
+
+/// Analyzes `root` (annotated, validated) for shardability. Never fails:
+/// a non-partitionable plan is reported with `partitionable == false`.
+PartitionScheme AnalyzePartitionability(const PlanNode& root);
+
+}  // namespace upa
+
+#endif  // UPA_CORE_PARTITION_H_

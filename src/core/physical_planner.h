@@ -85,6 +85,31 @@ struct PlannerOptions {
 std::unique_ptr<Pipeline> BuildPipeline(const PlanNode& plan, ExecMode mode,
                                         const PlannerOptions& options = {});
 
+/// Replication hook: a (plan, mode, options) triple from which any number
+/// of identical Pipeline instances can be stamped out. The engine runtime
+/// builds one replica per shard; each replica owns private operator state
+/// and a private view, so replicas are safe to drive from distinct
+/// threads. `plan` must outlive the factory.
+class PipelineFactory {
+ public:
+  PipelineFactory(const PlanNode* plan, ExecMode mode,
+                  const PlannerOptions& options)
+      : plan_(plan), mode_(mode), options_(options) {}
+
+  std::unique_ptr<Pipeline> Replicate() const {
+    return BuildPipeline(*plan_, mode_, options_);
+  }
+
+  const PlanNode& plan() const { return *plan_; }
+  ExecMode mode() const { return mode_; }
+  const PlannerOptions& options() const { return options_; }
+
+ private:
+  const PlanNode* plan_;
+  ExecMode mode_;
+  PlannerOptions options_;
+};
+
 /// Returns the attribute (column of the root output schema) that serves as
 /// the key of hash-maintained result views: the join/negation/distinct key
 /// of the root-most keyed operator, or column 0.

@@ -1,0 +1,124 @@
+#ifndef UPA_ENGINE_BOUNDED_QUEUE_H_
+#define UPA_ENGINE_BOUNDED_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace upa {
+
+/// What a producer does when a shard's ingest queue is full.
+enum class BackpressurePolicy {
+  /// Block the producer until the shard drains (lossless; the default —
+  /// the determinism guarantees assume no tuple is ever lost).
+  kBlock,
+  /// Drop the new tuple and count it (load-shedding for best-effort
+  /// deployments; the drop counter makes the loss observable).
+  kDropNewest,
+};
+
+/// Bounded multi-producer single-consumer queue with batched consumption.
+///
+/// Producers (the engine's ingest threads) push single items under a
+/// mutex; the shard worker drains up to a whole batch per wakeup, which
+/// amortizes the lock and the condition-variable traffic over many
+/// tuples. Capacity is a soft bound: normal pushes respect it via the
+/// configured backpressure policy, while `PushUnbounded` (control
+/// messages: barriers, snapshots) always succeeds so that draining and
+/// shutdown can never deadlock behind a full queue.
+template <typename T>
+class BoundedQueue {
+ public:
+  BoundedQueue(size_t capacity, BackpressurePolicy policy)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Pushes one item, applying the backpressure policy when full.
+  /// Returns false iff the item was not enqueued (dropped, or the queue
+  /// is closed).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (policy_ == BackpressurePolicy::kBlock) {
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+    }
+    if (closed_) return false;
+    if (items_.size() >= capacity_) {  // kDropNewest only.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pushes ignoring the capacity bound; only fails once closed.
+  bool PushUnbounded(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until items are available (or the queue is closed), then
+  /// moves up to `max_items` of them into `out` (cleared first).
+  /// Returns the number moved; 0 means closed-and-drained.
+  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    const size_t n = std::min(max_items, items_.size());
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    // Several producers may be blocked; a batch frees many slots.
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  /// Closes the queue: producers are released (Push returns false), and
+  /// the consumer keeps draining what was enqueued before the close.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Tuples rejected under kDropNewest since construction.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  const BackpressurePolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace upa
+
+#endif  // UPA_ENGINE_BOUNDED_QUEUE_H_

@@ -1,0 +1,208 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <future>
+#include <mutex>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+Engine::Engine(const EngineOptions& options) : options_(options) {}
+
+Engine::~Engine() { Stop(); }
+
+RegisterResult Engine::RegisterSql(const std::string& name,
+                                   const std::string& sql,
+                                   const QueryOptions& options) {
+  ParseResult parsed = catalog_.Compile(sql);
+  if (!parsed.ok()) {
+    RegisterResult r;
+    r.name = name;
+    r.error = parsed.error;
+    return r;
+  }
+  return DoRegister(name, std::move(parsed.plan), options);
+}
+
+RegisterResult Engine::RegisterPlan(const std::string& name, PlanPtr plan,
+                                    const QueryOptions& options) {
+  RegisterResult r;
+  r.name = name;
+  if (plan == nullptr) {
+    r.error = "null plan";
+    return r;
+  }
+  if (!IsValidPlan(*plan)) {
+    r.error = "plan violates planner constraints (Section 5.4.2)";
+    return r;
+  }
+  return DoRegister(name, std::move(plan), options);
+}
+
+RegisterResult Engine::DoRegister(const std::string& name, PlanPtr plan,
+                                  const QueryOptions& options) {
+  RegisterResult r;
+  r.name = name;
+  if (stopped_.load()) {
+    r.error = "engine is stopped";
+    return r;
+  }
+  auto query = std::make_unique<RegisteredQuery>(
+      name, std::move(plan), options, options_.default_shards,
+      options_.queue_capacity, options_.max_batch, options_.backpressure);
+  RegisteredQuery* q = nullptr;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    q = registry_.Add(std::move(query));
+  }
+  if (q == nullptr) {
+    r.error = "a query named '" + name + "' is already registered";
+    return r;
+  }
+  for (int i = 0; i < q->num_shards(); ++i) q->shard(i).Start();
+  r.ok = true;
+  r.shards = q->num_shards();
+  r.partitioned = q->scheme().partitionable;
+  r.partition_note = q->scheme().ToString();
+  return r;
+}
+
+void Engine::Ingest(int stream_id, const Tuple& t) {
+  if (stopped_.load(std::memory_order_relaxed)) return;
+  // Advance the engine clock (max: concurrent producers may race, keep
+  // the highest).
+  Time seen = clock_.load(std::memory_order_relaxed);
+  while (t.ts > seen &&
+         !clock_.compare_exchange_weak(seen, t.ts, std::memory_order_relaxed)) {
+  }
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& q : registry_.queries()) {
+    if (!q->HasStream(stream_id)) continue;
+    q->enqueued.fetch_add(1, std::memory_order_relaxed);
+    q->shard(q->ShardOf(stream_id, t)).Enqueue(stream_id, t);
+  }
+}
+
+void Engine::IngestTrace(const Trace& trace) {
+  for (const TraceEvent& e : trace.events) Ingest(e.stream, e.tuple);
+}
+
+void Engine::AdvanceTo(Time now) {
+  Time seen = clock_.load(std::memory_order_relaxed);
+  while (now > seen &&
+         !clock_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+/// Barriers every shard of `q`: each worker ticks to `ts`, runs `action`
+/// with its replica, and the call returns once all shards acked.
+void BarrierQuery(RegisteredQuery* q, Time ts,
+                  const std::function<void(int, Pipeline&)>& action) {
+  std::vector<std::future<void>> acks;
+  acks.reserve(static_cast<size_t>(q->num_shards()));
+  for (int i = 0; i < q->num_shards(); ++i) {
+    std::function<void(Pipeline&)> fn;
+    if (action) {
+      const int shard = i;
+      fn = [shard, &action](Pipeline& p) { action(shard, p); };
+    }
+    acks.push_back(q->shard(i).EnqueueControl(ts, std::move(fn)));
+  }
+  for (auto& ack : acks) ack.wait();
+}
+
+}  // namespace
+
+void Engine::Flush() {
+  const Time ts = clock();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& q : registry_.queries()) BarrierQuery(q.get(), ts, {});
+}
+
+bool Engine::FlushQuery(const std::string& name) {
+  const Time ts = clock();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  RegisteredQuery* q = registry_.Find(name);
+  if (q == nullptr) return false;
+  BarrierQuery(q, ts, {});
+  return true;
+}
+
+bool Engine::Snapshot(const std::string& name, std::vector<Tuple>* out,
+                      Time at) {
+  UPA_CHECK(out != nullptr);
+  out->clear();
+  const Time ts = std::max(at, clock());
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  RegisteredQuery* q = registry_.Find(name);
+  if (q == nullptr) return false;
+  std::vector<std::vector<Tuple>> parts(
+      static_cast<size_t>(q->num_shards()));
+  BarrierQuery(q, ts, [&parts](int shard, Pipeline& p) {
+    parts[static_cast<size_t>(shard)] = p.view().Snapshot();
+  });
+  for (auto& part : parts) {
+    out->insert(out->end(), std::make_move_iterator(part.begin()),
+                std::make_move_iterator(part.end()));
+  }
+  return true;
+}
+
+bool Engine::Stats(const std::string& name, PipelineStats* out) const {
+  UPA_CHECK(out != nullptr);
+  *out = PipelineStats{};
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const RegisteredQuery* q = registry_.Find(name);
+  if (q == nullptr) return false;
+  for (int i = 0; i < q->num_shards(); ++i) {
+    *out += q->shard(i).Metrics(i).stats;
+  }
+  return true;
+}
+
+EngineMetrics Engine::Metrics() const {
+  EngineMetrics m;
+  m.clock = clock();
+  const auto now = std::chrono::steady_clock::now();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& q : registry_.queries()) {
+    QueryMetrics qm;
+    qm.name = q->name();
+    qm.shards = q->num_shards();
+    qm.partitioned = q->scheme().partitionable;
+    qm.partition_note = q->scheme().ToString();
+    qm.enqueued = q->enqueued.load(std::memory_order_relaxed);
+    for (int i = 0; i < q->num_shards(); ++i) {
+      ShardMetrics sm = q->shard(i).Metrics(i);
+      qm.processed += sm.processed;
+      qm.dropped += sm.dropped;
+      qm.queue_depth += sm.queue_depth;
+      qm.state_bytes += sm.state_bytes;
+      qm.view_size += sm.view_size;
+      qm.stats += sm.stats;
+      qm.per_shard.push_back(std::move(sm));
+    }
+    qm.wall_seconds =
+        std::chrono::duration<double>(now - q->registered_at()).count();
+    qm.tuples_per_second = qm.wall_seconds > 0.0
+                               ? static_cast<double>(qm.processed) /
+                                     qm.wall_seconds
+                               : 0.0;
+    m.queries.push_back(std::move(qm));
+  }
+  return m;
+}
+
+void Engine::Stop() {
+  if (stopped_.exchange(true)) return;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& q : registry_.queries()) {
+    for (int i = 0; i < q->num_shards(); ++i) q->shard(i).Stop();
+  }
+}
+
+}  // namespace upa

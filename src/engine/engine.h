@@ -1,0 +1,137 @@
+#ifndef UPA_ENGINE_ENGINE_H_
+#define UPA_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "engine/registry.h"
+#include "sql/catalog.h"
+#include "workload/trace.h"
+
+namespace upa {
+
+/// Engine-wide defaults (per-query values override via QueryOptions).
+struct EngineOptions {
+  /// Shards per partitionable query.
+  int default_shards = 1;
+  /// Capacity of each shard's ingest queue, in tuples.
+  size_t queue_capacity = 4096;
+  /// Max tuples a shard worker drains per wakeup.
+  size_t max_batch = 128;
+  /// What producers do when a shard queue is full.
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+};
+
+/// Outcome of registering a query.
+struct RegisterResult {
+  bool ok = false;
+  std::string error;          ///< Parse/validation failure, duplicate name.
+  std::string name;
+  int shards = 0;             ///< Shards the query actually runs on.
+  bool partitioned = false;   ///< False: single-shard fallback.
+  std::string partition_note; ///< Key summary, or the fallback reason.
+};
+
+/// The multi-query runtime: owns registered continuous queries, fans
+/// shared input streams out to every query that binds them, and executes
+/// each query on hash-partitioned shard workers.
+///
+/// Processing model. The caller ingests one merged, timestamp-ordered
+/// event sequence (the Section 2 discipline). For each event the engine
+/// routes a copy to every registered query reading that stream; within a
+/// query the tuple goes to the shard selected by hashing the plan's
+/// partition column (see AnalyzePartitionability), so all tuples that any
+/// stateful operator must ever combine meet in the same replica, and each
+/// replica observes a timestamp-monotone subsequence of the input. The
+/// multiset union of the shard views therefore equals the view of a
+/// single-threaded run at every barrier — the determinism property
+/// engine_test checks against the reference oracle.
+///
+/// Thread safety: Ingest may be called from several producer threads, but
+/// per-shard timestamp monotonicity is then the callers' contract (e.g.
+/// partition the producers by stream). Registration, snapshots, and
+/// metrics may be called concurrently with ingest.
+class Engine {
+ public:
+  explicit Engine(const EngineOptions& options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Named-source registry backing SQL registration. Declare sources
+  /// before registering queries that reference them.
+  SourceCatalog* catalog() { return &catalog_; }
+
+  /// Compiles `sql` against the catalog and registers the plan under
+  /// `name`. The query starts consuming immediately.
+  RegisterResult RegisterSql(const std::string& name, const std::string& sql,
+                             const QueryOptions& options = {});
+
+  /// Registers an already-built logical plan (annotated + validated).
+  RegisterResult RegisterPlan(const std::string& name, PlanPtr plan,
+                              const QueryOptions& options = {});
+
+  /// Routes one event to every query bound to `stream_id`. Timestamps
+  /// must be non-decreasing across calls.
+  void Ingest(int stream_id, const Tuple& t);
+
+  /// Convenience: Ingest every event of `trace` in order.
+  void IngestTrace(const Trace& trace);
+
+  /// Advances the engine clock without an arrival (idle input, paper
+  /// Section 2.3.2: operators expire state even without new tuples). The
+  /// new time reaches the shard replicas at the next barrier/snapshot.
+  void AdvanceTo(Time now);
+
+  /// Barrier: waits until every shard of every query (or of `name` only)
+  /// has processed everything enqueued so far and ticked to the engine
+  /// clock. Queue depths are zero afterwards (absent concurrent ingest).
+  void Flush();
+  bool FlushQuery(const std::string& name);
+
+  /// Consistent view snapshot of a query at the engine clock (or at
+  /// `at`, if later): barriers every shard, ticks replicas to the target
+  /// time, and returns the multiset union of the shard views. Returns
+  /// false if `name` is unknown.
+  bool Snapshot(const std::string& name, std::vector<Tuple>* out,
+                Time at = -1);
+
+  /// Merged PipelineStats of a query's shards (barrier-free, may trail
+  /// by one batch; call Flush first for exact totals).
+  bool Stats(const std::string& name, PipelineStats* out) const;
+
+  /// Barrier-free metrics snapshot of every query.
+  EngineMetrics Metrics() const;
+
+  /// Engine clock: the highest timestamp ingested or advanced to.
+  Time clock() const { return clock_.load(std::memory_order_relaxed); }
+
+  /// Stops every shard worker after draining enqueued work. Idempotent;
+  /// also run by the destructor. Further Ingest calls are no-ops.
+  void Stop();
+
+ private:
+  RegisterResult DoRegister(const std::string& name, PlanPtr plan,
+                            const QueryOptions& options);
+
+  const EngineOptions options_;
+  SourceCatalog catalog_;
+
+  /// Guards the registry structure (adding queries) against readers
+  /// (ingest fan-out, snapshots, metrics). Shard queues do their own
+  /// locking, so ingest only needs shared access here.
+  mutable std::shared_mutex mu_;
+  QueryRegistry registry_;
+
+  std::atomic<Time> clock_{-1};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace upa
+
+#endif  // UPA_ENGINE_ENGINE_H_

@@ -1,0 +1,26 @@
+#include "engine/metrics.h"
+
+#include <cstdio>
+
+namespace upa {
+
+std::string EngineMetrics::ToString() const {
+  std::string out = "engine clock=" + std::to_string(clock) + "\n";
+  char line[256];
+  for (const QueryMetrics& q : queries) {
+    std::snprintf(line, sizeof(line),
+                  "  %-16s shards=%d%s in=%llu done=%llu drop=%llu "
+                  "queue=%zu results=%zu state=%zuB neg=%llu %.0f tup/s\n",
+                  q.name.c_str(), q.shards, q.partitioned ? "" : " (fallback)",
+                  static_cast<unsigned long long>(q.enqueued),
+                  static_cast<unsigned long long>(q.processed),
+                  static_cast<unsigned long long>(q.dropped), q.queue_depth,
+                  q.view_size, q.state_bytes,
+                  static_cast<unsigned long long>(q.stats.negatives_delivered),
+                  q.tuples_per_second);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace upa

@@ -1,0 +1,59 @@
+#ifndef UPA_ENGINE_METRICS_H_
+#define UPA_ENGINE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+#include "exec/pipeline.h"
+
+namespace upa {
+
+/// Point-in-time counters of one shard of one registered query. Counters
+/// are published by the shard worker after every batch, so a snapshot is
+/// cheap (no barrier) but may trail the live state by one batch.
+struct ShardMetrics {
+  int shard = 0;
+  uint64_t processed = 0;     ///< Tuples pulled off the queue and executed.
+  uint64_t dropped = 0;       ///< Tuples shed under kDropNewest.
+  size_t queue_depth = 0;     ///< Tuples currently waiting.
+  size_t state_bytes = 0;     ///< Operator + view state of the replica.
+  size_t view_size = 0;       ///< Live result tuples of the shard view.
+  PipelineStats stats;        ///< The replica's execution counters.
+};
+
+/// Rolled-up counters of one registered query.
+struct QueryMetrics {
+  std::string name;
+  int shards = 1;
+  bool partitioned = false;   ///< False => single-shard fallback.
+  std::string partition_note; ///< Key summary or fallback reason.
+
+  uint64_t enqueued = 0;      ///< Tuples the engine routed to this query.
+  uint64_t processed = 0;     ///< Sum of shard `processed`.
+  uint64_t dropped = 0;       ///< Sum of shard `dropped`.
+  size_t queue_depth = 0;     ///< Sum of shard queue depths.
+  size_t state_bytes = 0;     ///< Sum of shard state.
+  size_t view_size = 0;       ///< Live results across shard views.
+  PipelineStats stats;        ///< Merged shard PipelineStats.
+
+  double wall_seconds = 0.0;  ///< Since the query was registered.
+  /// Processed tuples per wall second since registration.
+  double tuples_per_second = 0.0;
+
+  std::vector<ShardMetrics> per_shard;
+};
+
+/// Snapshot of the whole engine (Engine::Metrics()).
+struct EngineMetrics {
+  Time clock = 0;  ///< Highest timestamp ingested so far.
+  std::vector<QueryMetrics> queries;
+
+  /// Human-readable multi-line rendering (one line per query).
+  std::string ToString() const;
+};
+
+}  // namespace upa
+
+#endif  // UPA_ENGINE_METRICS_H_

@@ -1,0 +1,68 @@
+#include "engine/registry.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "common/value.h"
+
+namespace upa {
+namespace {
+
+void CollectStreamIds(const PlanNode& n, std::set<int>* out) {
+  if (n.kind == PlanOpKind::kStream || n.kind == PlanOpKind::kRelation) {
+    out->insert(n.stream_id);
+  }
+  for (const auto& c : n.children) CollectStreamIds(*c, out);
+}
+
+}  // namespace
+
+RegisteredQuery::RegisteredQuery(std::string name, PlanPtr plan,
+                                 const QueryOptions& options,
+                                 int default_shards, size_t queue_capacity,
+                                 size_t max_batch, BackpressurePolicy policy)
+    : name_(std::move(name)),
+      plan_(std::move(plan)),
+      scheme_(AnalyzePartitionability(*plan_)),
+      factory_(plan_.get(), options.mode, options.planner),
+      registered_at_(std::chrono::steady_clock::now()) {
+  CollectStreamIds(*plan_, &streams_);
+  int shards = options.shards > 0 ? options.shards : default_shards;
+  if (shards < 1) shards = 1;
+  if (!scheme_.partitionable) shards = 1;  // Documented fallback.
+  if (scheme_.partitionable) key_cols_ = scheme_.stream_key_cols;
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<ShardExecutor>(
+        i, factory_.Replicate(), queue_capacity, max_batch, policy));
+  }
+}
+
+int RegisteredQuery::ShardOf(int stream_id, const Tuple& t) const {
+  if (shards_.size() == 1) return 0;
+  auto it = key_cols_.find(stream_id);
+  UPA_DCHECK(it != key_cols_.end());
+  const size_t col = static_cast<size_t>(it->second);
+  UPA_DCHECK(col < t.fields.size());
+  return static_cast<int>(HashValue(t.fields[col]) % shards_.size());
+}
+
+RegisteredQuery* QueryRegistry::Add(std::unique_ptr<RegisteredQuery> query) {
+  UPA_CHECK(query != nullptr);
+  if (by_name_.count(query->name()) > 0) return nullptr;
+  by_name_.emplace(query->name(), queries_.size());
+  queries_.push_back(std::move(query));
+  return queries_.back().get();
+}
+
+RegisteredQuery* QueryRegistry::Find(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : queries_[it->second].get();
+}
+
+const RegisteredQuery* QueryRegistry::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : queries_[it->second].get();
+}
+
+}  // namespace upa

@@ -1,0 +1,100 @@
+#ifndef UPA_ENGINE_REGISTRY_H_
+#define UPA_ENGINE_REGISTRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/physical_planner.h"
+#include "engine/shard.h"
+
+namespace upa {
+
+/// Per-query execution knobs supplied at registration.
+struct QueryOptions {
+  /// Worker shards to run the query on; 0 = the engine default. Plans the
+  /// partitionability analysis rejects always run on one shard.
+  int shards = 0;
+  /// Execution strategy of every shard replica.
+  ExecMode mode = ExecMode::kUpa;
+  PlannerOptions planner;
+};
+
+/// A registered continuous query: the owned logical plan, its partition
+/// scheme, the replication factory, and the shard executors running it.
+/// Shards are created by the registry (so the partition decision and the
+/// executor layout stay in one place); threads are started by the engine.
+class RegisteredQuery {
+ public:
+  RegisteredQuery(std::string name, PlanPtr plan, const QueryOptions& options,
+                  int default_shards, size_t queue_capacity, size_t max_batch,
+                  BackpressurePolicy policy);
+
+  const std::string& name() const { return name_; }
+  const PlanNode& plan() const { return *plan_; }
+  const PartitionScheme& scheme() const { return scheme_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  ExecMode mode() const { return factory_.mode(); }
+
+  /// True if the plan reads `stream_id` (as a stream or relation leaf).
+  bool HasStream(int stream_id) const { return streams_.count(stream_id) > 0; }
+  const std::set<int>& streams() const { return streams_; }
+
+  /// Shard index for a tuple of `stream_id` (hash of the partition
+  /// column, or 0 when running single-shard).
+  int ShardOf(int stream_id, const Tuple& t) const;
+
+  ShardExecutor& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+  const ShardExecutor& shard(int i) const {
+    return *shards_[static_cast<size_t>(i)];
+  }
+
+  std::chrono::steady_clock::time_point registered_at() const {
+    return registered_at_;
+  }
+
+  /// Tuples the engine has routed to this query (bumped by the engine's
+  /// fan-out; includes tuples later shed under kDropNewest).
+  std::atomic<uint64_t> enqueued{0};
+
+ private:
+  std::string name_;
+  PlanPtr plan_;
+  PartitionScheme scheme_;
+  PipelineFactory factory_;
+  std::set<int> streams_;
+  std::map<int, int> key_cols_;  // stream id -> base partition column.
+  std::vector<std::unique_ptr<ShardExecutor>> shards_;
+  std::chrono::steady_clock::time_point registered_at_;
+};
+
+/// Name-keyed collection of registered queries. Not thread-safe by
+/// itself; the engine guards it with its registration lock.
+class QueryRegistry {
+ public:
+  QueryRegistry() = default;
+
+  /// Adds a query; fails (returns null) if the name is taken.
+  RegisteredQuery* Add(std::unique_ptr<RegisteredQuery> query);
+
+  RegisteredQuery* Find(const std::string& name);
+  const RegisteredQuery* Find(const std::string& name) const;
+
+  /// Registration order (stable for fan-out and metrics).
+  const std::vector<std::unique_ptr<RegisteredQuery>>& queries() const {
+    return queries_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<RegisteredQuery>> queries_;
+  std::map<std::string, size_t> by_name_;
+};
+
+}  // namespace upa
+
+#endif  // UPA_ENGINE_REGISTRY_H_

@@ -1,0 +1,112 @@
+#include "engine/shard.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+ShardExecutor::ShardExecutor(int index, std::unique_ptr<Pipeline> pipeline,
+                             size_t queue_capacity, size_t max_batch,
+                             BackpressurePolicy policy)
+    : index_(index),
+      max_batch_(max_batch == 0 ? 1 : max_batch),
+      pipeline_(std::move(pipeline)),
+      queue_(queue_capacity, policy) {
+  UPA_CHECK(pipeline_ != nullptr);
+}
+
+ShardExecutor::~ShardExecutor() { Stop(); }
+
+void ShardExecutor::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_ || stopped_) return;
+  started_ = true;
+  worker_ = std::thread([this] { Run(); });
+}
+
+void ShardExecutor::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  queue_.Close();
+  if (worker_.joinable()) worker_.join();
+  PublishCounters();  // Final state, now that the worker is quiescent.
+}
+
+bool ShardExecutor::Enqueue(int stream, const Tuple& t) {
+  ShardItem item;
+  item.stream = stream;
+  item.tuple = t;
+  return queue_.Push(std::move(item));
+}
+
+std::future<void> ShardExecutor::EnqueueControl(
+    Time ts, std::function<void(Pipeline&)> action) {
+  ShardItem item;
+  item.control_ts = ts;
+  item.action = std::move(action);
+  item.done = std::make_shared<std::promise<void>>();
+  std::future<void> fut = item.done->get_future();
+  if (!queue_.PushUnbounded(std::move(item))) {
+    // Stopped: the worker will never see it; complete here. The action is
+    // intentionally not run — the caller observes a ready future and can
+    // query final state through Metrics().
+    std::promise<void> done;
+    done.set_value();
+    return done.get_future();
+  }
+  return fut;
+}
+
+void ShardExecutor::Run() {
+  std::vector<ShardItem> batch;
+  batch.reserve(max_batch_);
+  while (queue_.PopBatch(&batch, max_batch_) > 0) {
+    for (ShardItem& item : batch) {
+      if (item.stream >= 0) {
+        if (item.tuple.ts > clock_) {
+          clock_ = item.tuple.ts;
+          pipeline_->Tick(clock_);
+        }
+        pipeline_->Ingest(item.stream, item.tuple);
+        processed_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        if (item.control_ts > clock_) {
+          clock_ = item.control_ts;
+          pipeline_->Tick(clock_);
+        }
+        if (item.action) item.action(*pipeline_);
+        // Publish before acking so a caller that sequenced a barrier sees
+        // counters covering everything up to it (Flush => exact stats).
+        PublishCounters();
+        item.done->set_value();
+      }
+    }
+    PublishCounters();
+  }
+}
+
+void ShardExecutor::PublishCounters() {
+  state_bytes_.store(pipeline_->StateBytes(), std::memory_order_relaxed);
+  view_size_.store(pipeline_->view().Size(), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  published_stats_ = pipeline_->stats();
+}
+
+ShardMetrics ShardExecutor::Metrics(int shard_index) const {
+  ShardMetrics m;
+  m.shard = shard_index;
+  m.processed = processed_.load(std::memory_order_relaxed);
+  m.dropped = queue_.dropped();
+  m.queue_depth = queue_.size();
+  m.state_bytes = state_bytes_.load(std::memory_order_relaxed);
+  m.view_size = view_size_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    m.stats = published_stats_;
+  }
+  return m;
+}
+
+}  // namespace upa

@@ -1,0 +1,104 @@
+#ifndef UPA_ENGINE_SHARD_H_
+#define UPA_ENGINE_SHARD_H_
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/tuple.h"
+#include "engine/bounded_queue.h"
+#include "engine/metrics.h"
+#include "exec/pipeline.h"
+
+namespace upa {
+
+/// One unit of work routed to a shard: either a stream tuple or a control
+/// message. Controls carry a target time to tick to and an optional
+/// action run on the shard thread with exclusive access to the replica —
+/// the mechanism behind consistent view snapshots and drain barriers.
+struct ShardItem {
+  int stream = -1;  ///< >= 0: tuple item; -1: control.
+  Tuple tuple;
+
+  Time control_ts = -1;  ///< Control: advance the replica clock to here.
+  std::function<void(Pipeline&)> action;  ///< Control: run on shard thread.
+  std::shared_ptr<std::promise<void>> done;  ///< Control: completion signal.
+};
+
+/// A worker thread owning one private Pipeline replica of a registered
+/// query and the bounded queue feeding it.
+///
+/// The worker preserves the paper's Section 2 processing model locally:
+/// queue order is the producer's ingest order, tuples of one shard carry
+/// non-decreasing timestamps (the engine routes a monotone input stream),
+/// and the worker calls Tick(ts) before Ingest for every timestamp
+/// advance — so each replica observes the same local-clock discipline as
+/// a single-threaded pipeline. Shards never share mutable state: cross-
+/// thread communication is only the queue and the published counters.
+class ShardExecutor {
+ public:
+  ShardExecutor(int index, std::unique_ptr<Pipeline> pipeline,
+                size_t queue_capacity, size_t max_batch,
+                BackpressurePolicy policy);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  /// Launches the worker thread. Idempotent.
+  void Start();
+
+  /// Closes the queue, drains what was already enqueued, joins. Idempotent.
+  void Stop();
+
+  /// Routes one tuple to this shard (applies the backpressure policy).
+  /// Returns false if the tuple was dropped or the shard is stopped.
+  bool Enqueue(int stream, const Tuple& t);
+
+  /// Enqueues a control message: the worker ticks the replica to `ts`
+  /// (monotone; earlier times are ignored), then runs `action` (may be
+  /// null) with exclusive access, then fulfills the returned future.
+  /// Controls bypass the capacity bound so barriers cannot deadlock
+  /// behind a full queue. If the shard is already stopped the future is
+  /// ready immediately and `action` does not run.
+  std::future<void> EnqueueControl(Time ts,
+                                   std::function<void(Pipeline&)> action);
+
+  /// Cheap, possibly one-batch-stale metrics snapshot.
+  ShardMetrics Metrics(int shard_index) const;
+
+  uint64_t processed() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const { return queue_.dropped(); }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void Run();
+  void PublishCounters();
+
+  const int index_;
+  const size_t max_batch_;
+  std::unique_ptr<Pipeline> pipeline_;  // Touched only by the worker thread
+                                        // (and pre-Start/post-Stop).
+  BoundedQueue<ShardItem> queue_;
+  std::mutex lifecycle_mu_;  // Serializes Start/Stop.
+  std::thread worker_;       // Guarded by lifecycle_mu_.
+  bool started_ = false;     // Guarded by lifecycle_mu_.
+  bool stopped_ = false;     // Guarded by lifecycle_mu_.
+  Time clock_ = -1;          // Worker thread only.
+
+  std::atomic<uint64_t> processed_{0};
+  std::atomic<size_t> state_bytes_{0};
+  std::atomic<size_t> view_size_{0};
+  mutable std::mutex stats_mu_;
+  PipelineStats published_stats_;  // Guarded by stats_mu_.
+};
+
+}  // namespace upa
+
+#endif  // UPA_ENGINE_SHARD_H_

@@ -13,12 +13,36 @@
 namespace upa {
 
 /// Execution counters for one pipeline run.
+///
+/// Counting discipline (pinned by exec_test): every counter is bumped at
+/// exactly one program point, so re-entrant Deliver chains (an operator
+/// emitting during Process/AdvanceTime) never double-count. `ingested`
+/// counts Ingest() calls — a stream bound to several ingress nodes still
+/// counts once; `delivered` counts *deliveries to an operator input port*,
+/// so the same base tuple fanned out to two bindings counts twice there,
+/// and each derived emission counts once per hop it travels.
+///
+/// The counters are plain sums, so stats of pipeline replicas running
+/// disjoint partitions of a stream merge with `operator+=` (the engine's
+/// per-query rollup).
 struct PipelineStats {
   uint64_t ingested = 0;           ///< Base tuples pushed in.
   uint64_t delivered = 0;          ///< Tuples delivered to any operator.
   uint64_t negatives_delivered = 0;///< Negative tuples among `delivered`.
   uint64_t results_pos = 0;        ///< Positive tuples applied to the view.
   uint64_t results_neg = 0;        ///< Negative tuples applied to the view.
+
+  PipelineStats& operator+=(const PipelineStats& o) {
+    ingested += o.ingested;
+    delivered += o.delivered;
+    negatives_delivered += o.negatives_delivered;
+    results_pos += o.results_pos;
+    results_neg += o.results_neg;
+    return *this;
+  }
+  friend PipelineStats operator+(PipelineStats a, const PipelineStats& b) {
+    return a += b;
+  }
 };
 
 /// A physical query plan wired for push-based execution.

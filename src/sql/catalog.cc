@@ -1,0 +1,46 @@
+#include "sql/catalog.h"
+
+#include <utility>
+
+namespace upa {
+
+int SourceCatalog::Declare(const std::string& name, const SourceDecl& decl) {
+  for (const auto& [existing_name, existing] : sources_) {
+    if (existing_name == name || existing.stream_id == decl.stream_id) {
+      return -1;
+    }
+  }
+  sources_.emplace(name, decl);
+  next_id_ = std::max(next_id_, decl.stream_id + 1);
+  return decl.stream_id;
+}
+
+int SourceCatalog::DeclareStream(const std::string& name, Schema schema) {
+  SourceDecl decl;
+  decl.stream_id = next_id_;
+  decl.schema = std::move(schema);
+  decl.kind = SourceKind::kStream;
+  return Declare(name, decl);
+}
+
+int SourceCatalog::DeclareRelation(const std::string& name, Schema schema,
+                                   bool retroactive) {
+  SourceDecl decl;
+  decl.stream_id = next_id_;
+  decl.schema = std::move(schema);
+  decl.kind = retroactive ? SourceKind::kRelation : SourceKind::kNrr;
+  return Declare(name, decl);
+}
+
+const SourceDecl* SourceCatalog::Find(const std::string& name) const {
+  auto it = sources_.find(name);
+  return it == sources_.end() ? nullptr : &it->second;
+}
+
+ParseResult SourceCatalog::Compile(const std::string& text) const {
+  // ParseQuery annotates update patterns and validates the plan itself;
+  // the catalog's job is only to supply the name->source resolution.
+  return ParseQuery(text, sources_);
+}
+
+}  // namespace upa

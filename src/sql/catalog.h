@@ -1,0 +1,57 @@
+#ifndef UPA_SQL_CATALOG_H_
+#define UPA_SQL_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "sql/parser.h"
+
+namespace upa {
+
+/// The engine-facing registry of named query inputs: the bridge between
+/// "CREATE STREAM"-style declarations and the integer stream ids the
+/// executor routes on. Declaring a source assigns it the next free stream
+/// id (or the caller's explicit id); ParseQuery() then resolves FROM
+/// clauses against the catalog's map.
+///
+/// Names follow Section 4.2's trichotomy: base streams, non-retroactive
+/// relations, and (retroactive) relations.
+class SourceCatalog {
+ public:
+  SourceCatalog() = default;
+
+  /// Declares a base stream. Returns its stream id, or -1 if the name is
+  /// already taken (declarations never overwrite).
+  int DeclareStream(const std::string& name, Schema schema);
+
+  /// Declares a relation; `retroactive` selects R vs NRR semantics.
+  /// Updates arrive on the returned stream id as positive/negative tuples.
+  int DeclareRelation(const std::string& name, Schema schema,
+                      bool retroactive);
+
+  /// Declares a source with an explicit id (trace replay wants the ids to
+  /// match the trace's stream numbering). Returns `stream_id`, or -1 if
+  /// the name or the id is already in use.
+  int Declare(const std::string& name, const SourceDecl& decl);
+
+  /// Looks a source up by name; nullptr if absent.
+  const SourceDecl* Find(const std::string& name) const;
+
+  /// Parser-ready view of all declarations.
+  const std::map<std::string, SourceDecl>& sources() const {
+    return sources_;
+  }
+
+  /// Compiles `text` against this catalog into an annotated, validated
+  /// plan (ParseQuery performs annotation and validation); on error the
+  /// result carries a message instead of a plan.
+  ParseResult Compile(const std::string& text) const;
+
+ private:
+  std::map<std::string, SourceDecl> sources_;
+  int next_id_ = 0;
+};
+
+}  // namespace upa
+
+#endif  // UPA_SQL_CATALOG_H_

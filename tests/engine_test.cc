@@ -1,0 +1,399 @@
+// Engine runtime tests. The core property is determinism: for each of the
+// five paper queries, a multi-shard concurrent run must produce a final
+// (and per-checkpoint) view identical as a multiset to a 1-shard run and
+// to the reference oracle. Plus: multi-query fan-out over one shared
+// trace, bounded-queue backpressure (block = lossless, drop = counted),
+// SQL registration, and the per-query metrics snapshot.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "engine/engine.h"
+#include "ref/reference.h"
+#include "tests/test_util.h"
+#include "workload/lbl_generator.h"
+
+namespace upa {
+namespace {
+
+using testing_util::Canonical;
+using testing_util::RowsToString;
+
+Trace TestTrace(int links, Time duration) {
+  LblTraceConfig cfg;
+  cfg.num_links = links;
+  cfg.duration = duration;
+  cfg.num_sources = 40;  // Dense keys: joins and negations stay busy.
+  return GenerateLblTrace(cfg);
+}
+
+void CollectStreams(const PlanNode& n, std::set<int>* out) {
+  if (n.kind == PlanOpKind::kStream || n.kind == PlanOpKind::kRelation) {
+    out->insert(n.stream_id);
+  }
+  for (const auto& c : n.children) CollectStreams(*c, out);
+}
+
+// --- The five paper queries over the LBL schema. ---
+
+constexpr Time kWindow = 60;
+
+PlanPtr Query1() {  // Join of selections on the source address.
+  auto side = [](int link) {
+    return MakeSelect(MakeWindow(MakeStream(link, LblSchema()), kWindow),
+                      {Predicate{kColProtocol, CmpOp::kEq,
+                                 Value{int64_t{kProtoTelnet}}}});
+  };
+  return MakeJoin(side(0), side(1), kColSrcIp, kColSrcIp);
+}
+
+PlanPtr Query2() {  // Distinct source addresses on one link.
+  return MakeDistinct(
+      MakeProject(MakeWindow(MakeStream(0, LblSchema()), kWindow),
+                  {kColSrcIp}),
+      {0});
+}
+
+PlanPtr Query3() {  // Negation of two links on the source address.
+  auto src = [](int link) {
+    return MakeProject(MakeWindow(MakeStream(link, LblSchema()), kWindow),
+                       {kColSrcIp});
+  };
+  return MakeNegate(src(0), src(1), 0, 0);
+}
+
+PlanPtr Query4() {  // Join of per-link distinct source addresses.
+  auto side = [](int link) {
+    return MakeDistinct(
+        MakeProject(MakeWindow(MakeStream(link, LblSchema()), kWindow),
+                    {kColSrcIp}),
+        {0});
+  };
+  return MakeJoin(side(0), side(1), 0, 0);
+}
+
+PlanPtr Query5() {  // Negation above a join (Figure 6 pull-up shape).
+  return MakeNegate(
+      MakeJoin(MakeProject(MakeWindow(MakeStream(0, LblSchema()), kWindow),
+                           {kColSrcIp}),
+               MakeSelect(MakeWindow(MakeStream(2, LblSchema()), kWindow),
+                          {Predicate{kColProtocol, CmpOp::kEq,
+                                     Value{int64_t{kProtoTelnet}}}}),
+               0, kColSrcIp),
+      MakeProject(MakeWindow(MakeStream(1, LblSchema()), kWindow), {0}), 0,
+      0);
+}
+
+struct PaperQuery {
+  std::string name;
+  PlanPtr (*make)();
+  /// Columns to compare on (empty = all): negation which-duplicate
+  /// tie-breaking is unspecified, so STR plans with payload columns
+  /// compare projected onto the negation attribute.
+  std::vector<int> compare_cols;
+  int links;
+};
+
+std::vector<PaperQuery> PaperQueries() {
+  std::vector<PaperQuery> qs;
+  qs.push_back({"q1", &Query1, {}, 2});
+  qs.push_back({"q2", &Query2, {}, 1});
+  qs.push_back({"q3", &Query3, {}, 2});
+  qs.push_back({"q4", &Query4, {}, 2});
+  qs.push_back({"q5", &Query5, {0}, 3});
+  return qs;
+}
+
+/// Replays `trace` through an engine running `plan` on `shards` shards,
+/// comparing the merged view against `oracle` rows at every checkpoint.
+/// Returns the final (post-drain) canonical view.
+std::vector<std::vector<Value>> RunEngine(
+    const PaperQuery& pq, const Trace& trace, int shards,
+    const ReferenceEvaluator* oracle = nullptr) {
+  PlanPtr plan = pq.make();
+  AnnotatePatterns(plan.get());
+  std::set<int> streams;
+  CollectStreams(*plan, &streams);
+
+  EngineOptions opts;
+  opts.default_shards = shards;
+  opts.queue_capacity = 256;
+  opts.max_batch = 32;
+  Engine engine(opts);
+  const RegisterResult reg = engine.RegisterPlan(pq.name, std::move(plan));
+  EXPECT_TRUE(reg.ok) << reg.error;
+  if (shards > 1) {
+    EXPECT_TRUE(reg.partitioned) << pq.name << ": " << reg.partition_note;
+    EXPECT_EQ(reg.shards, shards);
+  }
+
+  const Time checkpoint_every = 75;
+  Time next_checkpoint = checkpoint_every;
+  std::vector<Tuple> view;
+  size_t i = 0;
+  const size_t n = trace.events.size();
+  while (i < n) {
+    const Time ts = trace.events[i].tuple.ts;
+    while (i < n && trace.events[i].tuple.ts == ts) {
+      engine.Ingest(trace.events[i].stream, trace.events[i].tuple);
+      ++i;
+    }
+    if (oracle != nullptr && ts >= next_checkpoint) {
+      next_checkpoint = ts + checkpoint_every;
+      EXPECT_TRUE(engine.Snapshot(pq.name, &view, ts));
+      const auto got = Canonical(view, pq.compare_cols);
+      const auto want = Canonical(oracle->EvalAt(ts), pq.compare_cols);
+      EXPECT_EQ(got, want) << pq.name << " shards=" << shards
+                           << " at t=" << ts << "\nengine:\n"
+                           << RowsToString(got) << "oracle:\n"
+                           << RowsToString(want);
+    }
+  }
+  // Drain: tick well past the last expiration and take the final view.
+  const Time final_ts = trace.LastTs() + 2 * kWindow;
+  EXPECT_TRUE(engine.Snapshot(pq.name, &view, final_ts));
+  // The merged per-shard stats must account for every routed tuple.
+  engine.Stop();
+  PipelineStats stats;
+  EXPECT_TRUE(engine.Stats(pq.name, &stats));
+  uint64_t expected = 0;
+  for (const TraceEvent& e : trace.events) {
+    expected += streams.count(e.stream) > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(stats.ingested, expected) << pq.name << " shards=" << shards;
+  return Canonical(view, pq.compare_cols);
+}
+
+class EngineDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineDeterminismTest, PaperQueryMatchesOneShardAndOracle) {
+  const int index = GetParam();
+  const PaperQuery pq = std::move(PaperQueries()[static_cast<size_t>(index)]);
+  const Trace trace = TestTrace(pq.links, 400);
+
+  PlanPtr oracle_plan = pq.make();
+  AnnotatePatterns(oracle_plan.get());
+  std::set<int> streams;
+  CollectStreams(*oracle_plan, &streams);
+  ReferenceEvaluator oracle(oracle_plan.get());
+  for (const TraceEvent& e : trace.events) {
+    if (streams.count(e.stream) > 0) oracle.Observe(e.stream, e.tuple);
+  }
+
+  const auto sharded = RunEngine(pq, trace, 4, &oracle);
+  const auto single = RunEngine(pq, trace, 1, &oracle);
+  EXPECT_EQ(sharded, single) << pq.name << ": 4-shard vs 1-shard";
+  const Time final_ts = trace.LastTs() + 2 * kWindow;
+  const auto want = Canonical(oracle.EvalAt(final_ts), pq.compare_cols);
+  EXPECT_EQ(sharded, want) << pq.name << ": 4-shard vs oracle at drain";
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperQueries, EngineDeterminismTest,
+                         ::testing::Range(0, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return PaperQueries()[static_cast<size_t>(
+                                                     info.param)]
+                               .name;
+                         });
+
+TEST(EngineTest, ThreeQueriesShareOneTrace) {
+  // One engine, one shared LBL trace, three concurrent queries (the
+  // acceptance scenario). Each query's merged view must match its own
+  // reference oracle.
+  const Trace trace = TestTrace(3, 300);
+  EngineOptions opts;
+  opts.default_shards = 4;
+  Engine engine(opts);
+
+  std::vector<PaperQuery> qs = PaperQueries();
+  std::vector<std::unique_ptr<PlanNode>> oracle_plans;
+  std::vector<std::unique_ptr<ReferenceEvaluator>> oracles;
+  std::vector<std::set<int>> streams;
+  const int picks[] = {0, 1, 2};  // Q1, Q2, Q3.
+  for (int p : picks) {
+    PlanPtr plan = qs[static_cast<size_t>(p)].make();
+    AnnotatePatterns(plan.get());
+    const RegisterResult reg =
+        engine.RegisterPlan(qs[static_cast<size_t>(p)].name, std::move(plan));
+    ASSERT_TRUE(reg.ok) << reg.error;
+    PlanPtr oplan = qs[static_cast<size_t>(p)].make();
+    AnnotatePatterns(oplan.get());
+    streams.emplace_back();
+    CollectStreams(*oplan, &streams.back());
+    oracles.push_back(std::make_unique<ReferenceEvaluator>(oplan.get()));
+    oracle_plans.push_back(std::move(oplan));
+  }
+
+  for (const TraceEvent& e : trace.events) {
+    engine.Ingest(e.stream, e.tuple);
+    for (size_t q = 0; q < oracles.size(); ++q) {
+      if (streams[q].count(e.stream) > 0) {
+        oracles[q]->Observe(e.stream, e.tuple);
+      }
+    }
+  }
+  const Time final_ts = trace.LastTs() + 2 * kWindow;
+  for (size_t q = 0; q < oracles.size(); ++q) {
+    const PaperQuery& pq = qs[static_cast<size_t>(picks[q])];
+    std::vector<Tuple> view;
+    ASSERT_TRUE(engine.Snapshot(pq.name, &view, final_ts));
+    EXPECT_EQ(Canonical(view, pq.compare_cols),
+              Canonical(oracles[q]->EvalAt(final_ts), pq.compare_cols))
+        << pq.name;
+  }
+
+  const EngineMetrics m = engine.Metrics();
+  ASSERT_EQ(m.queries.size(), 3u);
+  for (const QueryMetrics& qm : m.queries) {
+    EXPECT_EQ(qm.shards, 4);
+    EXPECT_TRUE(qm.partitioned);
+    EXPECT_GT(qm.enqueued, 0u);
+    EXPECT_EQ(qm.processed, qm.enqueued);  // Post-barrier: all drained.
+    EXPECT_EQ(qm.dropped, 0u);
+    EXPECT_EQ(qm.queue_depth, 0u);
+    EXPECT_EQ(qm.stats.ingested, qm.enqueued);
+    EXPECT_EQ(qm.per_shard.size(), 4u);
+  }
+  EXPECT_FALSE(m.ToString().empty());
+}
+
+TEST(EngineTest, RegisterSqlThroughCatalog) {
+  Engine engine;
+  ASSERT_EQ(engine.catalog()->DeclareStream("link0", LblSchema()), 0);
+  ASSERT_EQ(engine.catalog()->DeclareStream("link1", LblSchema()), 1);
+
+  const RegisterResult bad =
+      engine.RegisterSql("broken", "SELECT nope FROM nowhere");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+
+  QueryOptions qopts;
+  qopts.shards = 2;
+  const RegisterResult reg = engine.RegisterSql(
+      "telnet_join",
+      "SELECT * FROM link0 [RANGE 60], link1 [RANGE 60] "
+      "WHERE link0.src_ip = link1.src_ip AND link0.protocol = 2 AND "
+      "link1.protocol = 2",
+      qopts);
+  ASSERT_TRUE(reg.ok) << reg.error;
+  EXPECT_EQ(reg.shards, 2);
+  EXPECT_TRUE(reg.partitioned) << reg.partition_note;
+
+  const RegisterResult dup = engine.RegisterSql(
+      "telnet_join", "SELECT src_ip FROM link0 [RANGE 10]");
+  EXPECT_FALSE(dup.ok);
+
+  const Trace trace = TestTrace(2, 200);
+  engine.IngestTrace(trace);
+  engine.Flush();
+  PipelineStats stats;
+  ASSERT_TRUE(engine.Stats("telnet_join", &stats));
+  EXPECT_EQ(stats.ingested, trace.events.size());
+}
+
+TEST(EngineTest, SingleShardFallbackForUnpartitionablePlan) {
+  // Count windows cannot shard; the engine must fall back to one shard
+  // even when four were requested, and say why.
+  Engine engine(EngineOptions{.default_shards = 4});
+  PlanPtr plan = MakeDistinct(
+      MakeProject(MakeCountWindow(MakeStream(0, LblSchema()), 20),
+                  {kColSrcIp}),
+      {0});
+  AnnotatePatterns(plan.get());
+  const RegisterResult reg = engine.RegisterPlan("rows", std::move(plan));
+  ASSERT_TRUE(reg.ok) << reg.error;
+  EXPECT_EQ(reg.shards, 1);
+  EXPECT_FALSE(reg.partitioned);
+  EXPECT_NE(reg.partition_note.find("count-based"), std::string::npos)
+      << reg.partition_note;
+}
+
+// --- Backpressure. ---
+
+std::unique_ptr<Pipeline> TinyPipeline() {
+  PlanPtr plan = MakeWindow(MakeStream(0, testing_util::IntSchema(2)), 50);
+  AnnotatePatterns(plan.get());
+  return BuildPipeline(*plan, ExecMode::kUpa, {});
+}
+
+TEST(BackpressureTest, BlockPolicyLosesNothing) {
+  // A full bounded queue must *block* the producer, not shed tuples: with
+  // the worker gated, exactly `capacity` pushes land and the producer
+  // stalls; after release every tuple is processed.
+  constexpr size_t kCapacity = 4;
+  constexpr int kTuples = 50;
+  ShardExecutor shard(0, TinyPipeline(), kCapacity, /*max_batch=*/8,
+                      BackpressurePolicy::kBlock);
+  shard.Start();
+
+  std::promise<void> entered_promise;
+  std::promise<void> gate_promise;
+  std::shared_future<void> gate(gate_promise.get_future());
+  shard.EnqueueControl(0, [&entered_promise, gate](Pipeline&) {
+    entered_promise.set_value();
+    gate.wait();
+  });
+  entered_promise.get_future().wait();  // Worker is now gated, queue empty.
+
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    for (int i = 0; i < kTuples; ++i) {
+      Tuple t;
+      t.ts = i + 1;
+      t.fields = {Value{int64_t{i}}, Value{int64_t{0}}};
+      shard.Enqueue(0, t);
+      pushed.fetch_add(1);
+    }
+  });
+
+  // The producer fills the queue and must then stall at exactly capacity.
+  for (int spin = 0; spin < 500 && pushed.load() < int(kCapacity); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(pushed.load(), int(kCapacity));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(pushed.load(), int(kCapacity)) << "producer was not blocked";
+  EXPECT_EQ(shard.queue_depth(), kCapacity);
+
+  gate_promise.set_value();
+  producer.join();
+  shard.Stop();
+  EXPECT_EQ(shard.processed(), uint64_t{kTuples}) << "tuples were lost";
+  EXPECT_EQ(shard.dropped(), 0u);
+}
+
+TEST(BackpressureTest, DropPolicyCountsSheddedTuples) {
+  constexpr size_t kCapacity = 4;
+  constexpr int kTuples = 50;
+  ShardExecutor shard(0, TinyPipeline(), kCapacity, /*max_batch=*/8,
+                      BackpressurePolicy::kDropNewest);
+  shard.Start();
+
+  std::promise<void> entered_promise;
+  std::promise<void> gate_promise;
+  std::shared_future<void> gate(gate_promise.get_future());
+  shard.EnqueueControl(0, [&entered_promise, gate](Pipeline&) {
+    entered_promise.set_value();
+    gate.wait();
+  });
+  entered_promise.get_future().wait();
+
+  int accepted = 0;
+  for (int i = 0; i < kTuples; ++i) {
+    Tuple t;
+    t.ts = i + 1;
+    t.fields = {Value{int64_t{i}}, Value{int64_t{0}}};
+    accepted += shard.Enqueue(0, t) ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, int(kCapacity));
+  EXPECT_EQ(shard.dropped(), uint64_t{kTuples - kCapacity});
+
+  gate_promise.set_value();
+  shard.Stop();
+  EXPECT_EQ(shard.processed(), uint64_t{kCapacity});
+}
+
+}  // namespace
+}  // namespace upa

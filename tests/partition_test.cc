@@ -1,0 +1,186 @@
+// Unit tests of the partitionability analysis: which plans may be sharded,
+// on which base columns, and why the rest fall back to a single shard.
+
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "tests/test_util.h"
+
+namespace upa {
+namespace {
+
+using testing_util::IntSchema;
+
+PartitionScheme Analyze(const PlanPtr& plan) {
+  AnnotatePatterns(plan.get());
+  return AnalyzePartitionability(*plan);
+}
+
+TEST(PartitionTest, StatelessPlanPartitionsOnDefaultColumn) {
+  PlanPtr plan = MakeProject(
+      MakeSelect(MakeWindow(MakeStream(0, IntSchema(2)), 30),
+                 {Predicate{0, CmpOp::kLt, Value{int64_t{5}}}}),
+      {1, 0});
+  const PartitionScheme s = Analyze(plan);
+  ASSERT_TRUE(s.partitionable) << s.reason;
+  EXPECT_EQ(s.stream_key_cols.at(0), 0);  // Unconstrained: column 0.
+}
+
+TEST(PartitionTest, JoinConstrainsBothStreamsToJoinKey) {
+  PlanPtr plan = MakeJoin(MakeWindow(MakeStream(0, IntSchema(3)), 20),
+                          MakeWindow(MakeStream(1, IntSchema(3)), 45), 2, 1);
+  const PartitionScheme s = Analyze(plan);
+  ASSERT_TRUE(s.partitionable) << s.reason;
+  EXPECT_EQ(s.stream_key_cols.at(0), 2);
+  EXPECT_EQ(s.stream_key_cols.at(1), 1);
+}
+
+TEST(PartitionTest, JoinKeyTracedThroughProjection) {
+  // Projection reorders columns; the join key must be traced through it.
+  PlanPtr plan = MakeJoin(
+      MakeProject(MakeWindow(MakeStream(0, IntSchema(3)), 20), {2, 0}),
+      MakeWindow(MakeStream(1, IntSchema(2)), 20), 0, 0);
+  const PartitionScheme s = Analyze(plan);
+  ASSERT_TRUE(s.partitionable) << s.reason;
+  EXPECT_EQ(s.stream_key_cols.at(0), 2);  // Output col 0 = base col 2.
+  EXPECT_EQ(s.stream_key_cols.at(1), 0);
+}
+
+TEST(PartitionTest, SelfJoinSharesOneConstraint) {
+  PlanPtr plan = MakeJoin(MakeWindow(MakeStream(0, IntSchema(2)), 20),
+                          MakeWindow(MakeStream(0, IntSchema(2)), 20), 0, 0);
+  const PartitionScheme s = Analyze(plan);
+  ASSERT_TRUE(s.partitionable) << s.reason;
+  EXPECT_EQ(s.stream_key_cols.at(0), 0);
+}
+
+TEST(PartitionTest, SelfJoinOnDifferentColumnsFallsBack) {
+  // The same stream would need two partition columns at once.
+  PlanPtr plan = MakeJoin(MakeWindow(MakeStream(0, IntSchema(2)), 20),
+                          MakeWindow(MakeStream(0, IntSchema(2)), 20), 0, 1);
+  const PartitionScheme s = Analyze(plan);
+  EXPECT_FALSE(s.partitionable);
+  EXPECT_NE(s.reason.find("stream 0"), std::string::npos) << s.reason;
+}
+
+TEST(PartitionTest, DistinctOverJoinAgreesOnJoinKey) {
+  // Distinct key {0} coincides with the join attribute: partitionable.
+  PlanPtr plan = MakeDistinct(
+      MakeProject(MakeJoin(MakeWindow(MakeStream(0, IntSchema(2)), 25),
+                           MakeWindow(MakeStream(1, IntSchema(2)), 40), 0, 0),
+                  {0}),
+      {0});
+  const PartitionScheme s = Analyze(plan);
+  ASSERT_TRUE(s.partitionable) << s.reason;
+  EXPECT_EQ(s.stream_key_cols.at(0), 0);
+  EXPECT_EQ(s.stream_key_cols.at(1), 0);
+}
+
+TEST(PartitionTest, DistinctKeyDisjointFromJoinKeyFallsBack) {
+  // Distinct on the payload column (1), join on column 0: the distinct
+  // state would need co-location by a non-join column.
+  PlanPtr plan = MakeDistinct(
+      MakeProject(MakeJoin(MakeWindow(MakeStream(0, IntSchema(2)), 25),
+                           MakeWindow(MakeStream(1, IntSchema(2)), 40), 0, 0),
+                  {1}),
+      {0});
+  const PartitionScheme s = Analyze(plan);
+  EXPECT_FALSE(s.partitionable);
+}
+
+TEST(PartitionTest, DistinctBacktracksAcrossKeyColumns) {
+  // Key {1, 0}: column 1 of the join output is a left payload column (not
+  // the join key) but column 0 is; the analysis must try both.
+  PlanPtr plan = MakeDistinct(
+      MakeJoin(MakeWindow(MakeStream(0, IntSchema(2)), 25),
+               MakeWindow(MakeStream(1, IntSchema(2)), 40), 0, 0),
+      {1, 0});
+  const PartitionScheme s = Analyze(plan);
+  ASSERT_TRUE(s.partitionable) << s.reason;
+  EXPECT_EQ(s.stream_key_cols.at(0), 0);
+  EXPECT_EQ(s.stream_key_cols.at(1), 0);
+}
+
+TEST(PartitionTest, NegationConstrainsBothSides) {
+  PlanPtr plan = MakeNegate(
+      MakeWindow(MakeStream(0, IntSchema(3)), 30),
+      MakeProject(MakeWindow(MakeStream(1, IntSchema(2)), 20), {0}), 1, 0);
+  const PartitionScheme s = Analyze(plan);
+  ASSERT_TRUE(s.partitionable) << s.reason;
+  EXPECT_EQ(s.stream_key_cols.at(0), 1);
+  EXPECT_EQ(s.stream_key_cols.at(1), 0);
+}
+
+TEST(PartitionTest, GroupByPartitionsOnGroupColumn) {
+  PlanPtr plan = MakeGroupBy(MakeWindow(MakeStream(0, IntSchema(2)), 30), 1,
+                             AggKind::kSum, 0);
+  const PartitionScheme s = Analyze(plan);
+  ASSERT_TRUE(s.partitionable) << s.reason;
+  EXPECT_EQ(s.stream_key_cols.at(0), 1);
+}
+
+TEST(PartitionTest, SingleGroupAggregateFallsBack) {
+  PlanPtr plan = MakeGroupBy(MakeWindow(MakeStream(0, IntSchema(2)), 30), -1,
+                             AggKind::kCount, -1);
+  const PartitionScheme s = Analyze(plan);
+  EXPECT_FALSE(s.partitionable);
+  EXPECT_NE(s.reason.find("single-group"), std::string::npos) << s.reason;
+}
+
+TEST(PartitionTest, CountWindowFallsBack) {
+  PlanPtr plan = MakeDistinct(
+      MakeProject(MakeCountWindow(MakeStream(0, IntSchema(2)), 20), {0}),
+      {0});
+  const PartitionScheme s = Analyze(plan);
+  EXPECT_FALSE(s.partitionable);
+  EXPECT_NE(s.reason.find("count-based"), std::string::npos) << s.reason;
+}
+
+TEST(PartitionTest, UnionPassesConstraintPositionally) {
+  PlanPtr plan = MakeDistinct(
+      MakeUnion(MakeWindow(MakeStream(0, IntSchema(2)), 15),
+                MakeWindow(MakeStream(1, IntSchema(2)), 35)),
+      {1});
+  const PartitionScheme s = Analyze(plan);
+  ASSERT_TRUE(s.partitionable) << s.reason;
+  EXPECT_EQ(s.stream_key_cols.at(0), 1);
+  EXPECT_EQ(s.stream_key_cols.at(1), 1);
+}
+
+TEST(PartitionTest, IntersectionPicksCommonColumn) {
+  PlanPtr plan = MakeIntersect(
+      MakeProject(MakeWindow(MakeStream(0, IntSchema(2)), 20), {0}),
+      MakeProject(MakeWindow(MakeStream(1, IntSchema(2)), 30), {0}));
+  const PartitionScheme s = Analyze(plan);
+  ASSERT_TRUE(s.partitionable) << s.reason;
+  EXPECT_EQ(s.stream_key_cols.at(0), 0);
+  EXPECT_EQ(s.stream_key_cols.at(1), 0);
+}
+
+TEST(PartitionTest, RelationJoinPartitionsUpdateStream) {
+  PlanPtr plan =
+      MakeJoin(MakeWindow(MakeStream(0, IntSchema(2)), 30),
+               MakeRelation(9, IntSchema(2), /*retroactive=*/false), 0, 1);
+  const PartitionScheme s = Analyze(plan);
+  ASSERT_TRUE(s.partitionable) << s.reason;
+  EXPECT_EQ(s.stream_key_cols.at(0), 0);
+  EXPECT_EQ(s.stream_key_cols.at(9), 1);
+}
+
+TEST(PartitionTest, NegationAboveJoinTracksNegationAttribute) {
+  // Query 5 (pull-up) shape: negation above a join, all on column 0.
+  PlanPtr plan = MakeNegate(
+      MakeJoin(MakeProject(MakeWindow(MakeStream(0, IntSchema(2)), 25), {0}),
+               MakeSelect(MakeWindow(MakeStream(2, IntSchema(2)), 25),
+                          {Predicate{1, CmpOp::kLt, Value{int64_t{500}}}}),
+               0, 0),
+      MakeProject(MakeWindow(MakeStream(1, IntSchema(2)), 25), {0}), 0, 0);
+  const PartitionScheme s = Analyze(plan);
+  ASSERT_TRUE(s.partitionable) << s.reason;
+  EXPECT_EQ(s.stream_key_cols.at(0), 0);
+  EXPECT_EQ(s.stream_key_cols.at(1), 0);
+  EXPECT_EQ(s.stream_key_cols.at(2), 0);
+}
+
+}  // namespace
+}  // namespace upa
