@@ -33,7 +33,8 @@ double Measure(const PlanNode& plan, ExecMode mode,
   return ReplayTrace(trace, pipeline.get()).ms_per_1000_tuples;
 }
 
-void Report(const std::string& decision, std::vector<Alternative> alts) {
+void Report(const std::string& decision, const std::string& slug,
+            std::vector<Alternative> alts) {
   size_t best_est = 0;
   size_t best_meas = 0;
   for (size_t i = 1; i < alts.size(); ++i) {
@@ -45,9 +46,20 @@ void Report(const std::string& decision, std::vector<Alternative> alts) {
     std::printf("  %-28s est. cost %12.1f   measured %8.3f ms/1k\n",
                 a.name.c_str(), a.estimated, a.measured_ms);
   }
+  const bool agree = best_est == best_meas;
   std::printf("  model argmin = %s, measured argmin = %s  -> %s\n",
               alts[best_est].name.c_str(), alts[best_meas].name.c_str(),
-              best_est == best_meas ? "AGREE" : "DISAGREE");
+              agree ? "AGREE" : "DISAGREE");
+  for (const Alternative& a : alts) {
+    bench_json::Run run;
+    run.family = slug;
+    run.name = slug + "/" + a.name;
+    run.label = a.name;
+    run.counters["estimated_cost"] = a.estimated;
+    run.counters["ms_per_1k"] = a.measured_ms;
+    run.counters["agree"] = agree ? 1.0 : 0.0;
+    bench_json::Collector::Global().Add(std::move(run));
+  }
 }
 
 PlanPtr Q1(Time window) {
@@ -75,7 +87,8 @@ void ValidateStrategyChoice() {
     a.measured_ms = Measure(*plan, mode, {}, trace);
     alts.push_back(std::move(a));
   }
-  Report("Query 1 (ftp, W=20000): execution strategy", std::move(alts));
+  Report("Query 1 (ftp, W=20000): execution strategy", "q1_strategy",
+         std::move(alts));
 }
 
 void ValidateQ5Rewriting() {
@@ -103,7 +116,8 @@ void ValidateQ5Rewriting() {
   alts.push_back({"pull-up",
                   EstimatePlanCost(*pull_up, catalog, ExecMode::kUpa, {}).total,
                   Measure(*pull_up, ExecMode::kUpa, {}, trace)});
-  Report("Query 5 (W=5000, UPA): negation placement", std::move(alts));
+  Report("Query 5 (W=5000, UPA): negation placement", "q5_negation_placement",
+         std::move(alts));
 }
 
 void ValidateStrStorage(double overlap) {
@@ -148,18 +162,25 @@ void ValidateStrStorage(double overlap) {
   std::snprintf(title, sizeof(title),
                 "Query 3 STR storage at overlap %.2f (premature freq %.2f)",
                 overlap, premature);
-  Report(title, std::move(alts));
+  char slug[64];
+  std::snprintf(slug, sizeof(slug), "q3_str_storage_overlap_%.0f",
+                overlap * 100.0);
+  Report(title, slug, std::move(alts));
 }
 
 }  // namespace
 }  // namespace upa
 
 int main() {
+  // No google-benchmark run loop here: this binary drives the JSON
+  // collector directly, emitting one run per (decision, alternative).
+  upa::bench_json::Collector::Global().Begin("cost_model");
   std::printf("Cost-model validation: does the Section 5.4.1 model rank "
               "alternatives the way measurements do?\n");
   upa::ValidateStrategyChoice();
   upa::ValidateQ5Rewriting();
   upa::ValidateStrStorage(0.0);
   upa::ValidateStrStorage(1.0);
+  upa::bench_json::Collector::Global().Flush();
   return 0;
 }

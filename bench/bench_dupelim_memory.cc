@@ -29,7 +29,8 @@ void BM_DupelimMemory(benchmark::State& state) {
       {0});
   AnnotatePatterns(plan.get());
   const Trace& trace = LblTrace(1, TraceDurationFor(window), sources);
-  RunQuery(state, *plan, mode, {}, trace);
+  RunQuery(state, "BM_DupelimMemory", {state.range(0), state.range(1)}, *plan,
+           mode, {}, trace);
   state.counters["sources"] = sources;
 }
 
@@ -44,4 +45,4 @@ BENCHMARK(BM_DupelimMemory)->Apply(Args)->UseManualTime()->Iterations(1);
 }  // namespace
 }  // namespace upa
 
-BENCHMARK_MAIN();
+UPA_BENCH_MAIN("dupelim_memory");

@@ -33,13 +33,15 @@ PlanPtr SingleGroupQuery(Time window) {
   return plan;
 }
 
-void RunEngineBench(benchmark::State& state, PlanPtr plan, int shards,
-                    const Trace& trace) {
+void RunEngineBench(benchmark::State& state, const std::string& family,
+                    PlanPtr plan, int shards, const Trace& trace) {
+  auto& collector = bench_json::Collector::Global();
   for (auto _ : state) {
     EngineOptions opts;
     opts.default_shards = shards;
     opts.queue_capacity = 8192;
     opts.max_batch = 256;
+    opts.profile_queries = collector.profile_enabled();
     Engine engine(opts);
     const RegisterResult reg =
         engine.RegisterPlan("bench", plan->Clone());
@@ -59,6 +61,26 @@ void RunEngineBench(benchmark::State& state, PlanPtr plan, int shards,
     engine.Stats("bench", &stats);
     state.counters["ingested"] = static_cast<double>(stats.ingested);
     state.counters["results"] = static_cast<double>(stats.results_pos);
+
+    bench_json::Run run;
+    run.family = family;
+    run.name = family + "/" + std::to_string(shards);
+    run.args = {shards};
+    run.wall_seconds = secs;
+    run.counters["ktuples_per_s"] = state.counters["ktuples_per_s"];
+    run.counters["shards"] = static_cast<double>(reg.shards);
+    run.counters["ingested"] = static_cast<double>(stats.ingested);
+    run.counters["results"] = static_cast<double>(stats.results_pos);
+    // The engine aggregates per-shard phase breakdowns; fold the rollup
+    // for this (only) query into the run the same way RunQuery does for
+    // single-pipeline benches.
+    const EngineMetrics em = engine.Metrics();
+    for (const QueryMetrics& qm : em.queries) {
+      if (qm.name != "bench" || !qm.profiled) continue;
+      run.profiled = true;
+      run.phases = qm.phases;
+    }
+    collector.Add(std::move(run));
   }
 }
 
@@ -66,16 +88,16 @@ void BM_EngineJoinScaling(benchmark::State& state) {
   const Time window = 2000;
   PlanPtr plan = JoinQuery(window, kProtoTelnet);
   const Trace& trace = LblTrace(2, 20000);
-  RunEngineBench(state, std::move(plan), static_cast<int>(state.range(0)),
-                 trace);
+  RunEngineBench(state, "BM_EngineJoinScaling", std::move(plan),
+                 static_cast<int>(state.range(0)), trace);
 }
 
 void BM_EngineFallbackScaling(benchmark::State& state) {
   const Time window = 2000;
   PlanPtr plan = SingleGroupQuery(window);
   const Trace& trace = LblTrace(1, 20000);
-  RunEngineBench(state, std::move(plan), static_cast<int>(state.range(0)),
-                 trace);
+  RunEngineBench(state, "BM_EngineFallbackScaling", std::move(plan),
+                 static_cast<int>(state.range(0)), trace);
 }
 
 BENCHMARK(BM_EngineJoinScaling)
@@ -94,4 +116,4 @@ BENCHMARK(BM_EngineFallbackScaling)
 }  // namespace
 }  // namespace upa
 
-BENCHMARK_MAIN();
+UPA_BENCH_MAIN("engine_scaling");

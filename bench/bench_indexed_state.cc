@@ -32,8 +32,9 @@ void BM_IndexedState(benchmark::State& state) {
   PlannerOptions options;
   options.index_probed_state = indexed;
   const Trace& trace = LblTrace(2, TraceDurationFor(window));
-  RunQuery(state, *plan, ExecMode::kUpa, options, trace);
-  state.SetLabel(indexed ? "UPA-indexed" : "UPA-scan");
+  RunQuery(state, "BM_IndexedState", {window, state.range(1)}, *plan,
+           ExecMode::kUpa, options, trace,
+           indexed ? "UPA-indexed" : "UPA-scan");
 }
 
 void Args(benchmark::internal::Benchmark* b) {
@@ -47,4 +48,4 @@ BENCHMARK(BM_IndexedState)->Apply(Args)->UseManualTime()->Iterations(1);
 }  // namespace
 }  // namespace upa
 
-BENCHMARK_MAIN();
+UPA_BENCH_MAIN("indexed_state");

@@ -1,0 +1,250 @@
+#include "bench/bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace upa {
+namespace bench_json {
+namespace {
+
+std::string EnvOr(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::string(v) : fallback;
+}
+
+/// Best-effort short revision of the checkout the binary was built from.
+std::string GitSha() {
+  std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (p == nullptr) return "unknown";
+  char buf[64] = {};
+  const bool ok = std::fgets(buf, sizeof(buf), p) != nullptr;
+  ::pclose(p);
+  if (!ok) return "unknown";
+  std::string sha(buf);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+std::string IsoTimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+}
+
+void AppendKv(const char* key, const std::string& value, std::string* out) {
+  *out += '"';
+  *out += key;
+  *out += "\":\"";
+  AppendEscaped(value, out);
+  *out += '"';
+}
+
+void AppendNum(const char* key, double v, std::string* out) {
+  char buf[64];
+  // %.9g round-trips the magnitudes we emit (ns sums, ms ratios) without
+  // printing noise digits.
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.9g", key, v);
+  *out += buf;
+}
+
+void AppendInt(const char* key, uint64_t v, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu", key,
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+void Run::FillFromReplay(const ReplayMetrics& m) {
+  wall_seconds = m.wall_seconds;
+  counters["ms_per_1k"] = m.ms_per_1000_tuples;
+  counters["tuples"] = static_cast<double>(m.tuples);
+  counters["state_KB"] = static_cast<double>(m.max_state_bytes) / 1024.0;
+  counters["state_tuples"] = static_cast<double>(m.max_state_tuples);
+  counters["neg_tuples"] = static_cast<double>(m.stats.negatives_delivered);
+  if (!m.profiled) return;
+  profiled = true;
+  phases = m.profile.phases;
+  ops.clear();
+  ops.reserve(m.profile.ops.size());
+  for (const obs::OpSnapshot& o : m.profile.ops) {
+    OpRow row;
+    row.op = o.name;
+    row.processing_ms = o.processing_ns / 1e6;
+    row.insertion_ms = o.insertion_ns / 1e6;
+    row.expiration_ms = o.expiration_ns / 1e6;
+    row.process_calls = o.c.process_calls;
+    row.emitted = o.c.emitted;
+    row.state_bytes = o.c.state_bytes;
+    row.p50_ns = o.process_ns_hist.Percentile(50);
+    row.p95_ns = o.process_ns_hist.Percentile(95);
+    row.p99_ns = o.process_ns_hist.Percentile(99);
+    ops.push_back(std::move(row));
+  }
+}
+
+Collector::Collector() {
+  json_dir_ = EnvOr("UPA_BENCH_JSON_DIR", ".");
+  json_enabled_ = EnvOr("UPA_BENCH_JSON", "1") != "0";
+  profile_enabled_ = EnvOr("UPA_BENCH_PROFILE", "1") != "0";
+  trace_out_ = EnvOr("UPA_TRACE_OUT", "");
+  const std::string interval = EnvOr("UPA_BENCH_SAMPLE_INTERVAL", "251");
+  const long parsed = std::strtol(interval.c_str(), nullptr, 10);
+  sample_interval_ = parsed >= 1 ? static_cast<uint32_t>(parsed) : 251;
+  if (!trace_out_.empty()) {
+    // A useful trace needs every event, not one in every stride.
+    sample_interval_ = 1;
+    profile_enabled_ = true;
+  }
+}
+
+Collector& Collector::Global() {
+  static Collector* g = new Collector();
+  return *g;
+}
+
+void Collector::Begin(const std::string& bench_name) {
+  bench_name_ = bench_name;
+  if (!trace_out_.empty()) obs::Tracer::Global().Enable();
+}
+
+void Collector::Add(Run run) { runs_.push_back(std::move(run)); }
+
+std::string Collector::Flush() {
+  if (flushed_) return "";
+  flushed_ = true;
+  if (!trace_out_.empty()) {
+    if (obs::Tracer::Global().ExportChromeTrace(trace_out_)) {
+      std::fprintf(stderr, "wrote Chrome trace to %s (%zu events)\n",
+                   trace_out_.c_str(), obs::Tracer::Global().size());
+    }
+    obs::Tracer::Global().Disable();
+  }
+  // An empty collection means the binary was invoked for metadata only
+  // (--benchmark_list_tests, a non-matching filter): don't clobber a
+  // previously written result file with a runless shell.
+  if (!json_enabled_ || bench_name_.empty() || runs_.empty()) return "";
+
+  std::string out = "{\n  ";
+  AppendKv("schema", kSchema, &out);
+  out += ",\n  ";
+  AppendKv("bench", bench_name_, &out);
+  out += ",\n  ";
+  AppendKv("git_sha", GitSha(), &out);
+  out += ",\n  ";
+  AppendKv("timestamp", IsoTimestampUtc(), &out);
+  out += ",\n  \"config\":{";
+  AppendInt("profile", profile_enabled_ ? 1 : 0, &out);
+  out += ",";
+  AppendInt("sample_interval", sample_interval_, &out);
+  out += "},\n  \"runs\":[";
+  bool first_run = true;
+  for (const Run& r : runs_) {
+    out += first_run ? "\n    {" : ",\n    {";
+    first_run = false;
+    AppendKv("family", r.family, &out);
+    out += ",";
+    AppendKv("name", r.name, &out);
+    out += ",";
+    AppendKv("label", r.label, &out);
+    out += ",\"args\":[";
+    for (size_t i = 0; i < r.args.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(r.args[i]);
+    }
+    out += "],";
+    AppendNum("wall_seconds", r.wall_seconds, &out);
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [key, value] : r.counters) {
+      if (!first) out += ",";
+      first = false;
+      AppendNum(key.c_str(), value, &out);
+    }
+    out += "}";
+    if (r.profiled) {
+      out += ",\"profiled\":true,\"phases\":{";
+      AppendNum("processing_ms", r.phases.processing_ns / 1e6, &out);
+      out += ",";
+      AppendNum("insertion_ms", r.phases.insertion_ns / 1e6, &out);
+      out += ",";
+      AppendNum("expiration_ms", r.phases.expiration_ns / 1e6, &out);
+      out += ",";
+      AppendInt("ingests", r.phases.ingests, &out);
+      out += ",";
+      AppendInt("sampled_ingests", r.phases.sampled_ingests, &out);
+      out += ",";
+      AppendInt("ticks", r.phases.ticks, &out);
+      out += ",";
+      AppendInt("sampled_ticks", r.phases.sampled_ticks, &out);
+      out += "},\"ops\":[";
+      for (size_t i = 0; i < r.ops.size(); ++i) {
+        const Run::OpRow& op = r.ops[i];
+        if (i > 0) out += ",";
+        out += "{";
+        AppendKv("op", op.op, &out);
+        out += ",";
+        AppendNum("processing_ms", op.processing_ms, &out);
+        out += ",";
+        AppendNum("insertion_ms", op.insertion_ms, &out);
+        out += ",";
+        AppendNum("expiration_ms", op.expiration_ms, &out);
+        out += ",";
+        AppendInt("process_calls", op.process_calls, &out);
+        out += ",";
+        AppendInt("emitted", op.emitted, &out);
+        out += ",";
+        AppendInt("state_bytes", op.state_bytes, &out);
+        out += ",";
+        AppendNum("p50_ns", op.p50_ns, &out);
+        out += ",";
+        AppendNum("p95_ns", op.p95_ns, &out);
+        out += ",";
+        AppendNum("p99_ns", op.p99_ns, &out);
+        out += "}";
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+
+  const std::string path = json_dir_ + "/BENCH_" + bench_name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (%zu runs)\n", path.c_str(), runs_.size());
+  return path;
+}
+
+}  // namespace bench_json
+}  // namespace upa

@@ -1,0 +1,115 @@
+// Schema-versioned JSON emission for the benchmark binaries.
+//
+// Every bench built with UPA_BENCH_MAIN("<name>") writes
+// BENCH_<name>.json on exit (into $UPA_BENCH_JSON_DIR, default the
+// working directory): run configuration, git revision, one row per
+// benchmark run with its counters, and -- when the pipeline profiler is
+// on -- the paper's Section 6.1 phase breakdown plus per-operator cost
+// rows. scripts/bench_report.py validates, renders, and diffs the files.
+//
+// Environment knobs (read once at startup):
+//   UPA_BENCH_JSON_DIR        output directory (default ".")
+//   UPA_BENCH_JSON=0          disable the JSON file
+//   UPA_BENCH_PROFILE=0       run without the pipeline profiler
+//   UPA_BENCH_SAMPLE_INTERVAL profiler sampling stride (default 251)
+//   UPA_TRACE_OUT=<path>      capture a Chrome trace of the run; implies
+//                             sample interval 1 (trace every event)
+
+#ifndef UPA_BENCH_BENCH_JSON_H_
+#define UPA_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/replay.h"
+
+namespace upa {
+namespace bench_json {
+
+/// Schema identifier embedded in every file; bump when the layout of the
+/// JSON changes incompatibly.
+inline constexpr const char* kSchema = "upa.bench.v1";
+
+/// One benchmark run (one Args() combination of one family).
+struct Run {
+  std::string family;          ///< e.g. "BM_Q1_Ftp".
+  std::string name;            ///< family + "/" + args, mirrors console.
+  std::string label;           ///< Mode label (NT/DIRECT/UPA) or custom.
+  std::vector<int64_t> args;
+  double wall_seconds = 0.0;
+  std::map<std::string, double> counters;  ///< ms_per_1k, state_KB, ...
+
+  bool profiled = false;
+  obs::PhaseBreakdown phases;  ///< Whole-run phase estimate.
+  struct OpRow {
+    std::string op;
+    double processing_ms = 0.0;
+    double insertion_ms = 0.0;
+    double expiration_ms = 0.0;
+    uint64_t process_calls = 0;
+    uint64_t emitted = 0;
+    size_t state_bytes = 0;
+    double p50_ns = 0.0;  ///< Per-Process-call self time percentiles.
+    double p95_ns = 0.0;
+    double p99_ns = 0.0;
+  };
+  std::vector<OpRow> ops;
+
+  /// Copies replay timing, counters, and (when present) the profile.
+  void FillFromReplay(const ReplayMetrics& m);
+};
+
+/// Process-wide run collector behind UPA_BENCH_MAIN.
+class Collector {
+ public:
+  static Collector& Global();
+
+  /// Declares the bench name ("q1_join" => BENCH_q1_join.json) and, when
+  /// UPA_TRACE_OUT is set, starts the global tracer.
+  void Begin(const std::string& bench_name);
+  void Add(Run run);
+
+  /// True unless UPA_BENCH_JSON=0.
+  bool json_enabled() const { return json_enabled_; }
+  /// True unless UPA_BENCH_PROFILE=0; RunQuery attaches the pipeline
+  /// profiler iff this is set.
+  bool profile_enabled() const { return profile_enabled_; }
+  /// UPA_BENCH_SAMPLE_INTERVAL (default 251; forced to 1 when tracing).
+  uint32_t sample_interval() const { return sample_interval_; }
+
+  /// Writes BENCH_<name>.json (and the Chrome trace, when requested);
+  /// returns the JSON path or "" when disabled/failed. Idempotent.
+  std::string Flush();
+
+ private:
+  Collector();
+
+  std::string bench_name_;
+  std::string json_dir_;
+  std::string trace_out_;
+  bool json_enabled_ = true;
+  bool profile_enabled_ = true;
+  uint32_t sample_interval_ = 251;
+  bool flushed_ = false;
+  std::vector<Run> runs_;
+};
+
+}  // namespace bench_json
+}  // namespace upa
+
+/// Replaces BENCHMARK_MAIN() in the bench binaries: same google-benchmark
+/// behavior plus the BENCH_<name>.json emission on exit.
+#define UPA_BENCH_MAIN(bench_name)                                        \
+  int main(int argc, char** argv) {                                       \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::upa::bench_json::Collector::Global().Begin(bench_name);             \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    ::upa::bench_json::Collector::Global().Flush();                       \
+    return 0;                                                             \
+  }
+
+#endif  // UPA_BENCH_BENCH_JSON_H_

@@ -28,7 +28,8 @@ void BM_LazyInterval(benchmark::State& state) {
   PlannerOptions options;
   options.lazy_fraction = static_cast<double>(state.range(0)) / 100.0;
   const Trace& trace = LblTrace(2, TraceDurationFor(window));
-  RunQuery(state, *plan, ExecMode::kUpa, options, trace);
+  RunQuery(state, "BM_LazyInterval", {state.range(0)}, *plan, ExecMode::kUpa,
+           options, trace);
   state.counters["lazy_pct"] = static_cast<double>(state.range(0));
 }
 
@@ -45,4 +46,4 @@ BENCHMARK(BM_LazyInterval)
 }  // namespace
 }  // namespace upa
 
-BENCHMARK_MAIN();
+UPA_BENCH_MAIN("lazy_interval");

@@ -30,7 +30,8 @@ void BM_Partitions(benchmark::State& state) {
   PlannerOptions options;
   options.num_partitions = static_cast<int>(state.range(0));
   const Trace& trace = LblTrace(2, TraceDurationFor(window));
-  RunQuery(state, *plan, ExecMode::kUpa, options, trace);
+  RunQuery(state, "BM_Partitions", {state.range(0)}, *plan, ExecMode::kUpa,
+           options, trace);
   state.counters["partitions"] = static_cast<double>(state.range(0));
 }
 
@@ -49,4 +50,4 @@ BENCHMARK(BM_Partitions)
 }  // namespace
 }  // namespace upa
 
-BENCHMARK_MAIN();
+UPA_BENCH_MAIN("partitions");

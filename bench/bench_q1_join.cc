@@ -30,16 +30,20 @@ PlanPtr Query1(Time window, int64_t protocol) {
   return plan;
 }
 
-void BM_Q1(benchmark::State& state, int64_t protocol) {
+void BM_Q1(benchmark::State& state, const char* family, int64_t protocol) {
   const Time window = state.range(0);
   const ExecMode mode = ModeOf(state.range(1));
   PlanPtr plan = Query1(window, protocol);
   const Trace& trace = LblTrace(2, TraceDurationFor(window));
-  RunQuery(state, *plan, mode, {}, trace);
+  RunQuery(state, family, {window, state.range(1)}, *plan, mode, {}, trace);
 }
 
-void BM_Q1_Ftp(benchmark::State& state) { BM_Q1(state, kProtoFtp); }
-void BM_Q1_Telnet(benchmark::State& state) { BM_Q1(state, kProtoTelnet); }
+void BM_Q1_Ftp(benchmark::State& state) {
+  BM_Q1(state, "BM_Q1_Ftp", kProtoFtp);
+}
+void BM_Q1_Telnet(benchmark::State& state) {
+  BM_Q1(state, "BM_Q1_Telnet", kProtoTelnet);
+}
 
 void FtpArgs(benchmark::internal::Benchmark* b) {
   for (Time w : bench_util::WindowSweep()) {
@@ -62,4 +66,4 @@ BENCHMARK(BM_Q1_Telnet)->Apply(TelnetArgs)->UseManualTime()->Iterations(1);
 }  // namespace
 }  // namespace upa
 
-BENCHMARK_MAIN();
+UPA_BENCH_MAIN("q1_join");

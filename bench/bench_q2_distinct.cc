@@ -28,16 +28,20 @@ PlanPtr Query2(Time window, bool pairs) {
   return plan;
 }
 
-void BM_Q2(benchmark::State& state, bool pairs) {
+void BM_Q2(benchmark::State& state, const char* family, bool pairs) {
   const Time window = state.range(0);
   const ExecMode mode = ModeOf(state.range(1));
   PlanPtr plan = Query2(window, pairs);
   const Trace& trace = LblTrace(1, TraceDurationFor(window));
-  RunQuery(state, *plan, mode, {}, trace);
+  RunQuery(state, family, {window, state.range(1)}, *plan, mode, {}, trace);
 }
 
-void BM_Q2_DistinctSources(benchmark::State& state) { BM_Q2(state, false); }
-void BM_Q2_DistinctPairs(benchmark::State& state) { BM_Q2(state, true); }
+void BM_Q2_DistinctSources(benchmark::State& state) {
+  BM_Q2(state, "BM_Q2_DistinctSources", false);
+}
+void BM_Q2_DistinctPairs(benchmark::State& state) {
+  BM_Q2(state, "BM_Q2_DistinctPairs", true);
+}
 
 void SourceArgs(benchmark::internal::Benchmark* b) {
   for (Time w : bench_util::WindowSweep()) {
@@ -60,4 +64,4 @@ BENCHMARK(BM_Q2_DistinctPairs)->Apply(PairArgs)->UseManualTime()->Iterations(1);
 }  // namespace
 }  // namespace upa
 
-BENCHMARK_MAIN();
+UPA_BENCH_MAIN("q2_distinct");

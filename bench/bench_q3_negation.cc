@@ -53,7 +53,8 @@ void BM_Q3_ModeSweep(benchmark::State& state) {
   const ExecMode mode = ModeOf(state.range(1));
   PlanPtr plan = Query3(window);
   const Trace& trace = LblTrace(2, TraceDurationFor(window));
-  RunQuery(state, *plan, mode, {}, trace);
+  RunQuery(state, "BM_Q3_ModeSweep", {window, state.range(1)}, *plan, mode, {},
+           trace);
 }
 
 void BM_Q3_StrStrategy(benchmark::State& state) {
@@ -66,8 +67,9 @@ void BM_Q3_StrStrategy(benchmark::State& state) {
   PlannerOptions options;
   options.str_strategy = state.range(1) == 0 ? StrStrategy::kPartitioned
                                              : StrStrategy::kNegativeTuples;
-  RunQuery(state, *plan, ExecMode::kUpa, options, trace);
-  state.SetLabel(state.range(1) == 0 ? "UPA-partitioned" : "UPA-negative");
+  RunQuery(state, "BM_Q3_StrStrategy", {state.range(0), state.range(1)}, *plan,
+           ExecMode::kUpa, options, trace,
+           state.range(1) == 0 ? "UPA-partitioned" : "UPA-negative");
   state.counters["overlap"] = overlap;
 }
 
@@ -91,4 +93,4 @@ BENCHMARK(BM_Q3_StrStrategy)->Apply(OverlapArgs)->UseManualTime()->Iterations(1)
 }  // namespace
 }  // namespace upa
 
-BENCHMARK_MAIN();
+UPA_BENCH_MAIN("q3_negation");

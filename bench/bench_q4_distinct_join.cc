@@ -37,7 +37,7 @@ void BM_Q4(benchmark::State& state) {
   const ExecMode mode = ModeOf(state.range(1));
   PlanPtr plan = Query4(window);
   const Trace& trace = LblTrace(2, TraceDurationFor(window));
-  RunQuery(state, *plan, mode, {}, trace);
+  RunQuery(state, "BM_Q4", {window, state.range(1)}, *plan, mode, {}, trace);
 }
 
 void SweepArgs(benchmark::internal::Benchmark* b) {
@@ -51,4 +51,4 @@ BENCHMARK(BM_Q4)->Apply(SweepArgs)->UseManualTime()->Iterations(1);
 }  // namespace
 }  // namespace upa
 
-BENCHMARK_MAIN();
+UPA_BENCH_MAIN("q4_distinct_join");

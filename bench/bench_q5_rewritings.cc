@@ -88,8 +88,8 @@ void BM_Q5(benchmark::State& state) {
       break;
   }
   const Trace& trace = LblTrace(3, TraceDurationFor(window));
-  RunQuery(state, *plan, mode, options, trace);
-  state.SetLabel(label);
+  RunQuery(state, "BM_Q5", {window, state.range(1)}, *plan, mode, options,
+           trace, label);
 }
 
 void Args(benchmark::internal::Benchmark* b) {
@@ -106,4 +106,4 @@ BENCHMARK(BM_Q5)->Apply(Args)->UseManualTime()->Iterations(1);
 }  // namespace
 }  // namespace upa
 
-BENCHMARK_MAIN();
+UPA_BENCH_MAIN("q5_rewritings");

@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "core/cost_model.h"
 #include "core/logical_plan.h"
 #include "core/physical_planner.h"
@@ -68,13 +69,25 @@ inline Catalog LblCatalog(int links, int sources) {
 
 /// Replays `trace` through a fresh pipeline for `plan` and reports the
 /// paper's metric (execution time per 1000 tuples) plus state/result
-/// counters through the google-benchmark counter mechanism. Call from a
-/// benchmark body with ->UseManualTime()->Iterations(1).
-inline void RunQuery(benchmark::State& state, const PlanNode& plan,
+/// counters through the google-benchmark counter mechanism, and records
+/// the run (with the profiler's Section 6.1 phase split, unless
+/// UPA_BENCH_PROFILE=0) into BENCH_<name>.json. `family` and `args` name
+/// the run in the JSON the same way google-benchmark names it on the
+/// console ("family/arg0/arg1"). Call from a benchmark body with
+/// ->UseManualTime()->Iterations(1).
+inline void RunQuery(benchmark::State& state, const std::string& family,
+                     std::vector<int64_t> args, const PlanNode& plan,
                      ExecMode mode, const PlannerOptions& options,
-                     const Trace& trace) {
+                     const Trace& trace, const std::string& label = {}) {
+  const std::string run_label = label.empty() ? ExecModeName(mode) : label;
   for (auto _ : state) {
     auto pipeline = BuildPipeline(plan, mode, options);
+    bench_json::Collector& collector = bench_json::Collector::Global();
+    if (collector.profile_enabled()) {
+      obs::ProfilerOptions popts;
+      popts.sample_interval = collector.sample_interval();
+      pipeline->EnableProfiling(popts);
+    }
     const ReplayMetrics m = ReplayTrace(trace, pipeline.get());
     state.SetIterationTime(m.wall_seconds);
     state.counters["ms_per_1k"] = m.ms_per_1000_tuples;
@@ -86,8 +99,23 @@ inline void RunQuery(benchmark::State& state, const PlanNode& plan,
         static_cast<double>(m.max_state_bytes) / 1024.0;
     state.counters["state_tuples"] =
         static_cast<double>(m.max_state_tuples);
+    if (m.profiled) {
+      state.counters["proc_ms"] = m.profile.phases.processing_ns / 1e6;
+      state.counters["ins_ms"] = m.profile.phases.insertion_ns / 1e6;
+      state.counters["exp_ms"] = m.profile.phases.expiration_ns / 1e6;
+    }
+
+    bench_json::Run run;
+    run.family = family;
+    run.name = family;
+    for (int64_t a : args) run.name += "/" + std::to_string(a);
+    run.label = run_label;
+    run.args = args;
+    run.FillFromReplay(m);
+    run.counters["results"] = static_cast<double>(pipeline->view().Size());
+    collector.Add(std::move(run));
   }
-  state.SetLabel(ExecModeName(mode));
+  state.SetLabel(run_label);
 }
 
 /// Window-size sweep used across the experiments (Section 6.1: windows of

@@ -14,19 +14,102 @@
 //                  aggregate, so the partitionability analysis reports
 //                  the fallback and the query runs on one shard.
 //
+// Every query runs with the sampling profiler attached, so the final
+// report includes the paper's Section 6.1 phase split, and the same
+// numbers are rendered in Prometheus text exposition format.
+//
 // Run from the build tree:  ./examples/engine_server
+// With a metrics endpoint:  ./examples/engine_server --listen 9090
+// then                      curl http://localhost:9090/metrics
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "engine/engine.h"
+#include "obs/metrics.h"
 #include "workload/lbl_generator.h"
 
-int main() {
+#include <netinet/in.h>
+#include <sys/select.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace {
+
+// Minimal single-threaded HTTP responder: serves `render()` to every
+// connection for `seconds`, then returns. Good enough to demonstrate the
+// exposition format against a real scraper; not a production server.
+void ServeMetrics(int port, double seconds,
+                  const std::function<std::string()>& render) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 8) < 0) {
+    std::perror("bind/listen");
+    ::close(fd);
+    return;
+  }
+  timeval tv{};
+  tv.tv_sec = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::printf("serving /metrics on http://localhost:%d for %.0f s\n", port,
+              seconds);
+  const auto deadline = upa::obs::NowNs() + static_cast<uint64_t>(seconds * 1e9);
+  while (upa::obs::NowNs() < deadline) {
+    // Accept with a timeout so the deadline is honored while idle.
+    fd_set rfds;
+    FD_ZERO(&rfds);
+    FD_SET(fd, &rfds);
+    timeval wait{};
+    wait.tv_sec = 1;
+    if (::select(fd + 1, &rfds, nullptr, nullptr, &wait) <= 0) continue;
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    char req[1024];
+    const ssize_t n = ::recv(conn, req, sizeof(req) - 1, 0);
+    (void)n;
+    const std::string body = render();
+    std::string resp =
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+    (void)!::send(conn, resp.data(), resp.size(), 0);
+    ::close(conn);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace upa;
+
+  int listen_port = 0;
+  double listen_seconds = 30.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      listen_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--listen-seconds") == 0 && i + 1 < argc) {
+      listen_seconds = std::atof(argv[++i]);
+    }
+  }
 
   EngineOptions opts;
   opts.default_shards = 4;
+  opts.profile_queries = true;  // Section 6.1 phase split in the report.
   Engine engine(opts);
 
   engine.catalog()->DeclareStream("link0", LblSchema());
@@ -94,6 +177,20 @@ int main() {
     std::printf("  protocol %lld: %.0f bytes\n",
                 static_cast<long long>(AsInt(row.fields[0])),
                 AsDouble(row.fields[1]));
+  }
+
+  // Prometheus text exposition: engine metrics plus whatever the process
+  // registered in the global registry.
+  auto render = [&engine] {
+    return engine.Metrics().ToPrometheus() +
+           obs::MetricsRegistry::Global().RenderPrometheus();
+  };
+  if (listen_port > 0) {
+    ServeMetrics(listen_port, listen_seconds, render);
+  } else {
+    std::printf("\n--- /metrics exposition (run with --listen <port> to "
+                "serve over HTTP) ---\n%s",
+                render().c_str());
   }
   engine.Stop();
   return 0;

@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""Consume BENCH_*.json files emitted by the bench harness (bench/bench_json.h).
+
+Subcommands:
+
+  validate FILE...
+      Structurally check each file against the upa.bench.v1 schema.
+      Exit 1 on the first violation, printing what and where.
+
+  render [--json-dir DIR] [--doc EXPERIMENTS.md] [--check]
+      Regenerate every marked table in the doc from the BENCH_*.json
+      files in DIR. Tables are delimited by marker comments:
+
+        <!-- BENCH_TABLE bench=q1_join family=BM_Q1_Ftp cols=ms_per_1k,results,state_KB -->
+        ```
+        ... replaced ...
+        ```
+        <!-- /BENCH_TABLE -->
+
+      `bench` names the BENCH_<bench>.json file, `family` filters its
+      runs, `cols` picks counter/phase columns. With --check, exit 1 if
+      the doc would change (CI drift detection) instead of rewriting.
+
+  diff BASELINE CURRENT [--threshold 2.0] [--metric ms_per_1k]
+      Compare two result files run-by-run (matched on name+label) and
+      exit 1 if any run regressed by more than the threshold ratio.
+      Runs missing from either side are reported but not fatal.
+
+No third-party dependencies; stdlib only.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+SCHEMA = "upa.bench.v1"
+
+# Display name and formatting per known column. Unknown counters fall
+# back to their raw key and %g formatting.
+COLUMNS = {
+    "ms_per_1k": ("ms/1k", "{:.3f}"),
+    "results": ("results", "{:.0f}"),
+    "state_KB": ("state_KB", "{:.0f}"),
+    "state_tuples": ("state_tuples", "{:.0f}"),
+    "neg_tuples": ("neg_tuples", "{:.0f}"),
+    "tuples": ("tuples", "{:.0f}"),
+    "estimated_cost": ("est_cost", "{:.1f}"),
+    "agree": ("agree", "{:.0f}"),
+    "ktuples_per_s": ("ktuples/s", "{:.1f}"),
+    "shards": ("shards", "{:.0f}"),
+    "ingested": ("ingested", "{:.0f}"),
+    "wall_seconds": ("wall_s", "{:.3f}"),
+    # Phase columns come from run["phases"] (paper Section 6.1 split).
+    "proc_ms": ("proc_ms", "{:.3f}"),
+    "ins_ms": ("ins_ms", "{:.3f}"),
+    "exp_ms": ("exp_ms", "{:.3f}"),
+}
+PHASE_KEYS = {
+    "proc_ms": "processing_ms",
+    "ins_ms": "insertion_ms",
+    "exp_ms": "expiration_ms",
+}
+
+
+def fail(msg):
+    print(f"bench_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+# ---------------------------------------------------------------- validate
+
+
+def check(cond, path, msg):
+    if not cond:
+        fail(f"{path}: schema violation: {msg}")
+
+
+def validate_file(path):
+    with open(path) as f:
+        doc = json.load(f)
+    check(doc.get("schema") == SCHEMA, path,
+          f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    for key in ("bench", "git_sha", "timestamp"):
+        check(isinstance(doc.get(key), str) and doc[key], path,
+              f"missing string field {key!r}")
+    cfg = doc.get("config")
+    check(isinstance(cfg, dict), path, "missing config object")
+    check(isinstance(cfg.get("profile"), int), path, "config.profile")
+    check(isinstance(cfg.get("sample_interval"), int), path,
+          "config.sample_interval")
+    runs = doc.get("runs")
+    check(isinstance(runs, list) and runs, path, "runs must be non-empty")
+    for i, r in enumerate(runs):
+        where = f"{path} runs[{i}]"
+        check(isinstance(r.get("name"), str) and r["name"], where, "name")
+        check(isinstance(r.get("family"), str) and r["family"], where,
+              "family")
+        check(isinstance(r.get("label"), str), where, "label")
+        check(isinstance(r.get("args"), list), where, "args")
+        check(isinstance(r.get("wall_seconds"), (int, float)), where,
+              "wall_seconds")
+        counters = r.get("counters")
+        check(isinstance(counters, dict), where, "counters")
+        for k, v in counters.items():
+            check(isinstance(v, (int, float)), where,
+                  f"counter {k!r} not numeric")
+        if r.get("profiled"):
+            phases = r.get("phases")
+            check(isinstance(phases, dict), where, "profiled without phases")
+            for k in ("processing_ms", "insertion_ms", "expiration_ms",
+                      "ingests", "sampled_ingests", "ticks", "sampled_ticks"):
+                check(isinstance(phases.get(k), (int, float)), where,
+                      f"phases.{k}")
+            for j, op in enumerate(r.get("ops", [])):
+                opw = f"{where} ops[{j}]"
+                check(isinstance(op.get("op"), str) and op["op"], opw, "op")
+                for k in ("processing_ms", "insertion_ms", "expiration_ms",
+                          "process_calls", "emitted", "state_bytes",
+                          "p50_ns", "p95_ns", "p99_ns"):
+                    check(isinstance(op.get(k), (int, float)), opw, k)
+    return doc
+
+
+def cmd_validate(args):
+    for path in args.files:
+        validate_file(path)
+        print(f"{path}: OK")
+
+
+# ------------------------------------------------------------------ render
+
+MARKER = re.compile(
+    r"<!--\s*BENCH_TABLE\s+(?P<attrs>[^>]*?)\s*-->\n"
+    r"(?P<body>.*?)"
+    r"<!--\s*/BENCH_TABLE\s*-->",
+    re.DOTALL)
+
+
+def parse_attrs(text):
+    attrs = {}
+    for m in re.finditer(r"(\w+)=([^\s]+)", text):
+        attrs[m.group(1)] = m.group(2)
+    return attrs
+
+
+def cell_value(run, col):
+    if col in PHASE_KEYS:
+        return run.get("phases", {}).get(PHASE_KEYS[col])
+    if col == "wall_seconds":
+        return run.get("wall_seconds")
+    return run.get("counters", {}).get(col)
+
+
+def format_table(runs, cols):
+    header = ["args", "label"] + [COLUMNS.get(c, (c,))[0] for c in cols]
+    rows = []
+    for r in runs:
+        args = "/".join(str(a) for a in r.get("args", []))
+        if not args:
+            args = "-"
+        row = [args, r.get("label") or "-"]
+        for c in cols:
+            v = cell_value(r, c)
+            if v is None:
+                row.append("-")
+            else:
+                fmt = COLUMNS.get(c, (c, "{:g}"))[1]
+                row.append(fmt.format(v))
+        rows.append(row)
+    widths = [max(len(header[i]), *(len(row[i]) for row in rows))
+              for i in range(len(header))]
+    # Match the repo's historical table style: args and label wide and
+    # right-aligned, numeric columns right-aligned.
+    widths[0] = max(widths[0], 12)
+    widths[1] = max(widths[1], 26)
+    lines = ["  ".join(h.rjust(widths[i]) for i, h in enumerate(header))]
+    for row in rows:
+        lines.append("  ".join(c.rjust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def cmd_render(args):
+    docs = {}
+
+    def load(bench):
+        if bench not in docs:
+            path = os.path.join(args.json_dir, f"BENCH_{bench}.json")
+            if not os.path.exists(path):
+                fail(f"{path} not found (run the bench first, or pass "
+                     f"--json-dir)")
+            docs[bench] = validate_file(path)
+        return docs[bench]
+
+    with open(args.doc) as f:
+        text = f.read()
+
+    def replace(m):
+        attrs = parse_attrs(m.group("attrs"))
+        bench = attrs.get("bench")
+        family = attrs.get("family")
+        cols = (attrs.get("cols") or "ms_per_1k,results,state_KB").split(",")
+        if not bench:
+            fail(f"{args.doc}: BENCH_TABLE marker missing bench=")
+        doc = load(bench)
+        runs = [r for r in doc["runs"]
+                if not family or r.get("family") == family]
+        if not runs:
+            fail(f"{args.doc}: no runs for bench={bench} family={family}")
+        table = format_table(runs, cols)
+        return (f"<!-- BENCH_TABLE {m.group('attrs')} -->\n"
+                f"```\n{table}\n```\n"
+                f"<!-- /BENCH_TABLE -->")
+
+    new_text, n = MARKER.subn(replace, text)
+    if n == 0:
+        fail(f"{args.doc}: no BENCH_TABLE markers found")
+    if args.check:
+        if new_text != text:
+            fail(f"{args.doc}: out of date with {args.json_dir}/BENCH_*.json "
+                 f"(re-run: scripts/bench_report.py render)")
+        print(f"{args.doc}: {n} tables up to date")
+        return
+    if new_text != text:
+        with open(args.doc, "w") as f:
+            f.write(new_text)
+        print(f"{args.doc}: rewrote {n} tables from {args.json_dir}")
+    else:
+        print(f"{args.doc}: {n} tables already up to date")
+
+
+# -------------------------------------------------------------------- diff
+
+
+def run_key(r):
+    return (r["name"], r.get("label", ""))
+
+
+def cmd_diff(args):
+    base = validate_file(args.baseline)
+    cur = validate_file(args.current)
+    base_runs = {run_key(r): r for r in base["runs"]}
+    cur_runs = {run_key(r): r for r in cur["runs"]}
+    regressions = []
+    compared = 0
+    for key, br in sorted(base_runs.items()):
+        cr = cur_runs.get(key)
+        name = f"{key[0]} [{key[1]}]"
+        if cr is None:
+            print(f"  MISSING in current: {name}")
+            continue
+        bv = cell_value(br, args.metric)
+        cv = cell_value(cr, args.metric)
+        if bv is None or cv is None:
+            print(f"  SKIP (no {args.metric}): {name}")
+            continue
+        compared += 1
+        ratio = cv / bv if bv > 0 else float("inf") if cv > 0 else 1.0
+        status = "ok"
+        if ratio > args.threshold:
+            status = "REGRESSION"
+            regressions.append((name, bv, cv, ratio))
+        print(f"  {status:>10}  {name}: {args.metric} {bv:.4g} -> {cv:.4g} "
+              f"(x{ratio:.2f})")
+    for key in sorted(set(cur_runs) - set(base_runs)):
+        print(f"  NEW in current: {key[0]} [{key[1]}]")
+    if compared == 0:
+        fail("no comparable runs between the two files")
+    if regressions:
+        fail(f"{len(regressions)} run(s) regressed beyond "
+             f"x{args.threshold} on {args.metric}")
+    print(f"diff: {compared} runs compared, none beyond x{args.threshold}")
+
+
+# -------------------------------------------------------------------- main
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    v = sub.add_parser("validate", help="check files against the schema")
+    v.add_argument("files", nargs="+")
+    v.set_defaults(func=cmd_validate)
+
+    r = sub.add_parser("render", help="regenerate marked tables in the doc")
+    r.add_argument("--json-dir", default=".")
+    r.add_argument("--doc", default="EXPERIMENTS.md")
+    r.add_argument("--check", action="store_true",
+                   help="exit 1 if the doc would change; don't rewrite")
+    r.set_defaults(func=cmd_render)
+
+    d = sub.add_parser("diff", help="compare two result files")
+    d.add_argument("baseline")
+    d.add_argument("current")
+    d.add_argument("--threshold", type=float, default=2.0,
+                   help="fail when current/baseline exceeds this ratio")
+    d.add_argument("--metric", default="ms_per_1k")
+    d.set_defaults(func=cmd_diff)
+
+    args = p.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure, build, run the full test suite. This is the
-# exact sequence CI runs; keep it green before merging.
+# Tier-1 gate: configure, build, run the full test suite, then a smoke
+# benchmark whose JSON output is schema-validated and diffed against the
+# committed baseline. This is the exact sequence CI runs; keep it green
+# before merging.
 #
 # Usage:
 #   scripts/ci.sh                 # release-with-asserts build + ctest
 #   UPA_TSAN=1 scripts/ci.sh     # same, under ThreadSanitizer (catches
-#                                 # engine races; slower)
+#                                 # engine races; slower; skips the
+#                                 # smoke bench -- its timings would be
+#                                 # meaningless under the sanitizer)
 #
 # The build directory is build/ (or build-tsan/ under UPA_TSAN=1) so a
 # sanitizer run does not clobber the regular build cache.
@@ -22,3 +26,22 @@ fi
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Smoke bench: one small Query 1 run through the JSON harness. Validates
+# the upa.bench.v1 schema and fails on a >2x regression of ms_per_1k
+# against the committed baseline (bench/baselines/BENCH_q1_smoke.json).
+# The 2x threshold is deliberately loose: it tolerates machine-to-machine
+# variance while still catching an accidental O(n) -> O(n^2).
+if [[ "${UPA_TSAN:-0}" == "1" ]]; then
+  echo "ci.sh: TSan build -- skipping the smoke bench (timings unusable)"
+  exit 0
+fi
+
+SMOKE_DIR="$BUILD_DIR/bench_smoke"
+rm -rf "$SMOKE_DIR" && mkdir -p "$SMOKE_DIR"
+UPA_BENCH_JSON_DIR="$SMOKE_DIR" \
+  "$BUILD_DIR/bench/bench_q1_join" --benchmark_filter='BM_Q1_Ftp/5000/'
+python3 scripts/bench_report.py validate "$SMOKE_DIR/BENCH_q1_join.json"
+python3 scripts/bench_report.py diff \
+  bench/baselines/BENCH_q1_smoke.json "$SMOKE_DIR/BENCH_q1_join.json" \
+  --threshold 2.0

@@ -1,11 +1,26 @@
 #!/usr/bin/env bash
-# Regenerates every experiment of EXPERIMENTS.md (one benchmark binary per
-# paper table/figure) and captures the raw rows into bench_output.txt.
-set -u
+# Regenerates every experiment of EXPERIMENTS.md through the JSON bench
+# harness: each benchmark binary writes bench/results/BENCH_<name>.json
+# (schema upa.bench.v1, per-run counters plus the Section 6.1 phase
+# breakdown), then bench_report.py validates the files and rewrites the
+# marked tables in EXPERIMENTS.md from them.
+#
+# Environment knobs (see bench/bench_json.h):
+#   UPA_BENCH_PROFILE=0          disable the sampling profiler
+#   UPA_BENCH_SAMPLE_INTERVAL=N  profiler sampling stride (default 251)
+#   UPA_TRACE_OUT=trace.json     also capture a Chrome trace
+set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja && cmake --build build || exit 1
-: > bench_output.txt
+
+cmake -B build -S . && cmake --build build -j "$(nproc)"
+
+OUT=bench/results
+mkdir -p "$OUT"
 for b in build/bench/bench_*; do
-  echo "=== $(basename "$b") ===" | tee -a bench_output.txt
-  "$b" 2>&1 | tee -a bench_output.txt
+  [[ -f "$b" && -x "$b" ]] || continue
+  echo "=== $(basename "$b") ==="
+  UPA_BENCH_JSON_DIR="$OUT" "$b"
 done
+
+python3 scripts/bench_report.py validate "$OUT"/BENCH_*.json
+python3 scripts/bench_report.py render --json-dir "$OUT"

@@ -29,6 +29,12 @@ bool Constrain(int stream_id, int col, std::map<int, int>* cols,
 /// `req` (-1 = unconstrained), translating the requirement through the
 /// operator and imposing the keys of combining operators on the way down.
 /// On success the per-stream base columns accumulate in `cols`.
+///
+/// The per-operator cases mirror which attribute keys each operator's
+/// state (the same state the paper's §5.3 structures hold): join and
+/// negation key on their comparison attribute, duplicate elimination on
+/// its key vector, group-by on the group column; windows and selections
+/// are per-tuple (any split works) and projections translate columns.
 bool Assign(const PlanNode& n, int req, std::map<int, int>* cols,
             std::string* reason) {
   switch (n.kind) {

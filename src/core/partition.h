@@ -29,6 +29,17 @@ namespace upa {
 /// be split on any attribute; the analysis assigns column 0 so the
 /// assignment is deterministic.
 ///
+/// This analysis is an engine-level extension beyond the paper: the
+/// paper's §5.3.2 partitioned data structures split *one* operator's
+/// state by expiration time inside a single pipeline, whereas this
+/// scheme shards the *whole pipeline* by key hash across threads
+/// (DESIGN.md §9). The two compose — each shard replica still uses the
+/// §5.3.2 structures internally. Update patterns interact with
+/// shardability only through state: all four §3.1 patterns (MONO, WKS,
+/// WK, STR) shard fine as long as every keyed combining operator sees
+/// all tuples of a key in one shard; negative tuples (STR) route by the
+/// same key as the positives they cancel.
+///
 /// Non-partitionable shapes (the engine falls back to one shard and
 /// records `reason`):
 ///  - count-based windows: the "N most recent tuples" is a global

@@ -4,6 +4,8 @@
 
 namespace upa {
 
+// The four abbreviations are the paper's own (§3.1); plan dumps print
+// them in angle brackets after the operator, e.g. "join   <WK>".
 std::string PatternName(UpdatePattern p) {
   switch (p) {
     case UpdatePattern::kMonotonic:

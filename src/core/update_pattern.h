@@ -6,8 +6,32 @@
 namespace upa {
 
 /// The paper's classification of continuous-query update patterns
-/// (Section 3.1). Ordered by increasing complexity, which is what the
-/// propagation rules of Section 5.2 combine over.
+/// (§3.1 of PAPER.md's source; see PAPER.md "What the paper
+/// contributes", item 1). Ordered by increasing complexity, which is
+/// what the §5.2 propagation rules combine over: every operator's
+/// output pattern is derived bottom-up from its inputs' patterns, and
+/// the derived pattern decides the physical machinery downstream
+/// operators need (exp timestamps for WK, negative tuples for STR).
+///
+/// The five propagation rules, as implemented in AnnotatePatterns()
+/// (core/logical_plan.cc):
+///
+///  - Rule 1 — unary pattern-preserving operators (selection,
+///    projection without duplicate elimination, non-retroactive
+///    relation join): output pattern = input pattern.
+///  - Rule 2 — merge-union: arrival order is preserved per input, so
+///    the output pattern is the more complex of the two inputs
+///    (MaxPattern); two WKS inputs merge into WKS only because FIFO
+///    expiration survives an order-preserving merge.
+///  - Rule 3 — sliding window over a monotonic source yields WKS;
+///    binary combining operators (join, intersection) over windowed
+///    inputs yield at least WK, because a result's expiration is the
+///    min of its constituents' — known at generation time but not FIFO.
+///  - Rule 4 — group-by/aggregation always yields WK: a new aggregate
+///    value replaces the group's previous one at a predictable point.
+///  - Rule 5 — negation and retroactive-relation joins yield STR:
+///    results can be invalidated by later arrivals at unpredictable
+///    times, so deletions must be signalled with negative tuples.
 enum class UpdatePattern {
   /// Append-only output; no deletions ever (stateless operators over
   /// infinite streams).
@@ -30,8 +54,10 @@ enum class UpdatePattern {
 /// Short label: "MONO", "WKS", "WK", "STR" (the paper's abbreviations).
 std::string PatternName(UpdatePattern p);
 
-/// The more complex of two patterns (Rule 2's combination for binary
-/// weakest non-monotonic operators).
+/// The more complex of two patterns — the lattice join used by Rules 2
+/// and 3 for binary operators. Well-defined because the enum is ordered
+/// MONO < WKS < WK < STR (§3.1's complexity ordering): a downstream
+/// operator able to handle pattern P handles every pattern below it.
 UpdatePattern MaxPattern(UpdatePattern a, UpdatePattern b);
 
 }  // namespace upa

@@ -49,8 +49,10 @@ RegisterResult Engine::DoRegister(const std::string& name, PlanPtr plan,
     r.error = "engine is stopped";
     return r;
   }
+  QueryOptions effective = options;
+  if (options_.profile_queries) effective.profile = true;
   auto query = std::make_unique<RegisteredQuery>(
-      name, std::move(plan), options, options_.default_shards,
+      name, std::move(plan), effective, options_.default_shards,
       options_.queue_capacity, options_.max_batch, options_.backpressure);
   RegisteredQuery* q = nullptr;
   {
@@ -184,6 +186,10 @@ EngineMetrics Engine::Metrics() const {
       qm.state_bytes += sm.state_bytes;
       qm.view_size += sm.view_size;
       qm.stats += sm.stats;
+      if (sm.profiled) {
+        qm.profiled = true;
+        qm.phases += sm.phases;
+      }
       qm.per_shard.push_back(std::move(sm));
     }
     qm.wall_seconds =

@@ -24,6 +24,10 @@ struct EngineOptions {
   size_t max_batch = 128;
   /// What producers do when a shard queue is full.
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Profile every registered query (per-query QueryOptions::profile
+  /// still wins when set). Phase breakdowns then show up in Metrics()
+  /// and the Prometheus exposition.
+  bool profile_queries = false;
 };
 
 /// Outcome of registering a query.

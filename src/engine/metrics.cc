@@ -19,6 +19,70 @@ std::string EngineMetrics::ToString() const {
                   static_cast<unsigned long long>(q.stats.negatives_delivered),
                   q.tuples_per_second);
     out += line;
+    if (q.profiled) {
+      const double total = q.phases.total_ns();
+      std::snprintf(line, sizeof(line),
+                    "    phases: processing %.1f ms, insertion %.1f ms, "
+                    "expiration %.1f ms (%.0f%%/%.0f%%/%.0f%%)\n",
+                    q.phases.processing_ns / 1e6, q.phases.insertion_ns / 1e6,
+                    q.phases.expiration_ns / 1e6,
+                    total > 0 ? 100.0 * q.phases.processing_ns / total : 0.0,
+                    total > 0 ? 100.0 * q.phases.insertion_ns / total : 0.0,
+                    total > 0 ? 100.0 * q.phases.expiration_ns / total : 0.0);
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string EngineMetrics::ToPrometheus() const {
+  std::string out;
+  char line[256];
+  auto series = [&](const char* name, const char* type,
+                    const std::string& labels, double v) {
+    // One TYPE line per family, emitted the first time the family shows up.
+    if (out.find(std::string("# TYPE ") + name + " ") == std::string::npos) {
+      out += std::string("# TYPE ") + name + " " + type + "\n";
+    }
+    std::snprintf(line, sizeof(line), "%s{%s} %.6g\n", name, labels.c_str(), v);
+    out += line;
+  };
+  std::snprintf(line, sizeof(line),
+                "# TYPE upa_engine_clock gauge\nupa_engine_clock %lld\n",
+                static_cast<long long>(clock));
+  out += line;
+  for (const QueryMetrics& q : queries) {
+    const std::string l = "query=\"" + q.name + "\"";
+    series("upa_query_shards", "gauge", l, q.shards);
+    series("upa_query_enqueued_total", "counter", l,
+           static_cast<double>(q.enqueued));
+    series("upa_query_processed_total", "counter", l,
+           static_cast<double>(q.processed));
+    series("upa_query_dropped_total", "counter", l,
+           static_cast<double>(q.dropped));
+    series("upa_query_queue_depth", "gauge", l,
+           static_cast<double>(q.queue_depth));
+    series("upa_query_state_bytes", "gauge", l,
+           static_cast<double>(q.state_bytes));
+    series("upa_query_view_size", "gauge", l,
+           static_cast<double>(q.view_size));
+    series("upa_query_tuples_per_second", "gauge", l, q.tuples_per_second);
+    series("upa_query_delivered_total", "counter", l,
+           static_cast<double>(q.stats.delivered));
+    series("upa_query_negatives_total", "counter", l,
+           static_cast<double>(q.stats.negatives_delivered));
+    series("upa_query_results_total", "counter", l + ",sign=\"positive\"",
+           static_cast<double>(q.stats.results_pos));
+    series("upa_query_results_total", "counter", l + ",sign=\"negative\"",
+           static_cast<double>(q.stats.results_neg));
+    if (q.profiled) {
+      series("upa_query_phase_seconds", "counter", l + ",phase=\"processing\"",
+             q.phases.processing_ns / 1e9);
+      series("upa_query_phase_seconds", "counter", l + ",phase=\"insertion\"",
+             q.phases.insertion_ns / 1e9);
+      series("upa_query_phase_seconds", "counter", l + ",phase=\"expiration\"",
+             q.phases.expiration_ns / 1e9);
+    }
   }
   return out;
 }

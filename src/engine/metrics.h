@@ -21,6 +21,8 @@ struct ShardMetrics {
   size_t state_bytes = 0;     ///< Operator + view state of the replica.
   size_t view_size = 0;       ///< Live result tuples of the shard view.
   PipelineStats stats;        ///< The replica's execution counters.
+  bool profiled = false;      ///< Replica runs with a profiler attached.
+  obs::PhaseBreakdown phases; ///< Section 6.1 split (when profiled).
 };
 
 /// Rolled-up counters of one registered query.
@@ -37,6 +39,8 @@ struct QueryMetrics {
   size_t state_bytes = 0;     ///< Sum of shard state.
   size_t view_size = 0;       ///< Live results across shard views.
   PipelineStats stats;        ///< Merged shard PipelineStats.
+  bool profiled = false;      ///< Any shard published a phase breakdown.
+  obs::PhaseBreakdown phases; ///< Merged shard phase breakdowns.
 
   double wall_seconds = 0.0;  ///< Since the query was registered.
   /// Processed tuples per wall second since registration.
@@ -52,6 +56,13 @@ struct EngineMetrics {
 
   /// Human-readable multi-line rendering (one line per query).
   std::string ToString() const;
+
+  /// Prometheus text exposition (format 0.0.4) of every counter and
+  /// gauge, one series per query labeled {query="name"}; profiled
+  /// queries additionally expose the Section 6.1 phase split as
+  /// upa_query_phase_seconds{query=...,phase=...}. Served by
+  /// examples/engine_server.cpp's /metrics endpoint.
+  std::string ToPrometheus() const;
 };
 
 }  // namespace upa

@@ -33,8 +33,10 @@ RegisteredQuery::RegisteredQuery(std::string name, PlanPtr plan,
   if (scheme_.partitionable) key_cols_ = scheme_.stream_key_cols;
   shards_.reserve(static_cast<size_t>(shards));
   for (int i = 0; i < shards; ++i) {
+    std::unique_ptr<Pipeline> replica = factory_.Replicate();
+    if (options.profile) replica->EnableProfiling(options.profiler);
     shards_.push_back(std::make_unique<ShardExecutor>(
-        i, factory_.Replicate(), queue_capacity, max_batch, policy));
+        i, std::move(replica), queue_capacity, max_batch, policy));
   }
 }
 

@@ -23,6 +23,11 @@ struct QueryOptions {
   /// Execution strategy of every shard replica.
   ExecMode mode = ExecMode::kUpa;
   PlannerOptions planner;
+  /// Attach a sampling profiler to every shard replica; per-shard phase
+  /// breakdowns (processing/insertion/expiration) then appear in
+  /// ShardMetrics/QueryMetrics. See obs::ProfilerOptions for the cost.
+  bool profile = false;
+  obs::ProfilerOptions profiler;
 };
 
 /// A registered continuous query: the owned logical plan, its partition

@@ -92,6 +92,9 @@ void ShardExecutor::PublishCounters() {
   view_size_.store(pipeline_->view().Size(), std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(stats_mu_);
   published_stats_ = pipeline_->stats();
+  if (pipeline_->profiling()) {
+    published_phases_ = pipeline_->profiler()->Snapshot().phases;
+  }
 }
 
 ShardMetrics ShardExecutor::Metrics(int shard_index) const {
@@ -105,7 +108,9 @@ ShardMetrics ShardExecutor::Metrics(int shard_index) const {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     m.stats = published_stats_;
+    m.phases = published_phases_;
   }
+  m.profiled = m.phases.sampled_ingests > 0 || m.phases.sampled_ticks > 0;
   return m;
 }
 

@@ -96,7 +96,8 @@ class ShardExecutor {
   std::atomic<size_t> state_bytes_{0};
   std::atomic<size_t> view_size_{0};
   mutable std::mutex stats_mu_;
-  PipelineStats published_stats_;  // Guarded by stats_mu_.
+  PipelineStats published_stats_;        // Guarded by stats_mu_.
+  obs::PhaseBreakdown published_phases_; // Guarded by stats_mu_.
 };
 
 }  // namespace upa

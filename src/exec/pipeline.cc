@@ -41,9 +41,25 @@ void Pipeline::BindStream(int stream_id, int node, int port) {
   stream_bindings_.emplace(stream_id, std::make_pair(node, port));
 }
 
+void Pipeline::EnableProfiling(const obs::ProfilerOptions& options) {
+  UPA_CHECK(view_ != nullptr);  // Topology must be complete.
+  profiler_ = std::make_unique<obs::PipelineProfiler>(options);
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const Node& n : nodes_) names.push_back(n.op->Name());
+  profiler_->SetTopology(std::move(names));
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].op->set_profile(&profiler_->op(static_cast<int>(i)));
+  }
+}
+
 void Pipeline::Tick(Time now) {
   if (now <= last_tick_) return;
   last_tick_ = now;
+  if (profiler_ != nullptr && profiler_->SampleTick()) {
+    TickSampled(now);
+    return;
+  }
   // Children first: materialized windows at the leaves emit expiration
   // negatives into parents that have not advanced yet.
   class TickEmitter : public Emitter {
@@ -70,6 +86,15 @@ void Pipeline::Ingest(int stream_id, const Tuple& t) {
   UPA_CHECK(begin != end);
   UPA_CHECK(t.ts <= last_tick_);
   ++stats_.ingested;
+  if (profiler_ != nullptr && profiler_->SampleIngest()) {
+    profiler_->BeginRoot(obs::Root::kIngest);
+    const uint64_t start = obs::NowNs();
+    for (auto it = begin; it != end; ++it) {
+      DeliverSampled(it->second.first, it->second.second, t);
+    }
+    profiler_->AddRootGrossNs(obs::Root::kIngest, obs::NowNs() - start);
+    return;
+  }
   for (auto it = begin; it != end; ++it) {
     Deliver(it->second.first, it->second.second, t);
   }
@@ -106,6 +131,98 @@ void Pipeline::DeliverToView(const Tuple& t) {
     ++stats_.results_pos;
   }
   if (view_ != nullptr) view_->Apply(t);
+}
+
+void Pipeline::TickSampled(Time now) {
+  obs::PipelineProfiler& prof = *profiler_;
+  prof.BeginRoot(obs::Root::kTick);
+  const uint64_t start = obs::NowNs();
+  class SampledTickEmitter : public Emitter {
+   public:
+    SampledTickEmitter(Pipeline* p, int node) : p_(p), node_(node) {}
+    void Emit(const Tuple& t) override {
+      ++p_->profiler_->op(node_).c.emitted;
+      const Node& n = p_->nodes_[static_cast<size_t>(node_)];
+      p_->DeliverSampled(n.parent, n.parent_port, t);
+    }
+
+   private:
+    Pipeline* p_;
+    int node_;
+  };
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const int node = static_cast<int>(i);
+    SampledTickEmitter e(this, node);
+    prof.BeginOp(node, obs::Phase::kExpiration);
+    nodes_[i].op->AdvanceTime(now, e);
+    prof.EndOp(node, obs::Phase::kExpiration);
+  }
+  if (view_ != nullptr) {
+    prof.BeginOp(prof.view_index(), obs::Phase::kExpiration);
+    view_->AdvanceTime(now);
+    prof.EndOp(prof.view_index(), obs::Phase::kExpiration);
+  }
+  prof.AddRootGrossNs(obs::Root::kTick, obs::NowNs() - start);
+  if (prof.ShouldPollState()) {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      obs::OpCounters& c = prof.op(static_cast<int>(i)).c;
+      c.state_bytes = nodes_[i].op->StateBytes();
+      c.state_tuples = nodes_[i].op->StateTuples();
+    }
+    if (view_ != nullptr) {
+      obs::OpCounters& c = prof.op(prof.view_index()).c;
+      c.state_bytes = view_->StateBytes();
+      c.state_tuples = view_->Size();
+    }
+  }
+}
+
+void Pipeline::DeliverSampled(int node, int port, const Tuple& t) {
+  if (node < 0) {
+    DeliverToViewSampled(t);
+    return;
+  }
+  ++stats_.delivered;
+  if (t.negative) ++stats_.negatives_delivered;
+  obs::PipelineProfiler& prof = *profiler_;
+  obs::OpCounters& c = prof.op(node).c;
+  ++c.tuples_in;
+  if (t.negative) ++c.negatives_in;
+  Node& n = nodes_[static_cast<size_t>(node)];
+  class SampledForwardEmitter : public Emitter {
+   public:
+    SampledForwardEmitter(Pipeline* p, int node) : p_(p), node_(node) {}
+    void Emit(const Tuple& t) override {
+      ++p_->profiler_->op(node_).c.emitted;
+      const Node& n = p_->nodes_[static_cast<size_t>(node_)];
+      p_->DeliverSampled(n.parent, n.parent_port, t);
+    }
+
+   private:
+    Pipeline* p_;
+    int node_;
+  };
+  SampledForwardEmitter e(this, node);
+  prof.BeginOp(node, obs::Phase::kProcessing);
+  n.op->Process(port, t, e);
+  prof.EndOp(node, obs::Phase::kProcessing);
+}
+
+void Pipeline::DeliverToViewSampled(const Tuple& t) {
+  if (t.negative) {
+    ++stats_.results_neg;
+  } else {
+    ++stats_.results_pos;
+  }
+  obs::PipelineProfiler& prof = *profiler_;
+  obs::OpCounters& c = prof.op(prof.view_index()).c;
+  ++c.tuples_in;
+  if (t.negative) ++c.negatives_in;
+  if (view_ != nullptr) {
+    prof.BeginOp(prof.view_index(), obs::Phase::kInsertion);
+    view_->Apply(t);
+    prof.EndOp(prof.view_index(), obs::Phase::kInsertion);
+  }
 }
 
 const ResultView& Pipeline::view() const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exec/view.h"
+#include "obs/op_profile.h"
 #include "ops/operator.h"
 
 namespace upa {
@@ -98,6 +99,18 @@ class Pipeline {
 
   const PipelineStats& stats() const { return stats_; }
 
+  /// Attaches a sampling profiler that splits every operator's time into
+  /// the paper's Section 6.1 cost components (processing / insertion /
+  /// expiration). Call after SetView(). Overhead design: unprofiled
+  /// pipelines pay one null check per Tick/Ingest; profiled pipelines pay
+  /// a counter decrement per event and full timing only on every
+  /// `options.sample_interval`-th event, off the unsampled code path.
+  void EnableProfiling(const obs::ProfilerOptions& options = {});
+
+  bool profiling() const { return profiler_ != nullptr; }
+  obs::PipelineProfiler* profiler() { return profiler_.get(); }
+  const obs::PipelineProfiler* profiler() const { return profiler_.get(); }
+
   /// Total operator + view state, for the memory experiments.
   size_t StateBytes() const;
   size_t StateTuples() const;
@@ -117,11 +130,20 @@ class Pipeline {
   void Deliver(int node, int port, const Tuple& t);
   void DeliverToView(const Tuple& t);
 
+  // Cold mirror of the Tick/Deliver paths taken only on sampled events:
+  // operator calls are bracketed with profiler frames, emissions counted,
+  // and state sizes polled. Kept separate so the unsampled path stays as
+  // fast as an unprofiled pipeline.
+  void TickSampled(Time now);
+  void DeliverSampled(int node, int port, const Tuple& t);
+  void DeliverToViewSampled(const Tuple& t);
+
   std::vector<Node> nodes_;
   std::unique_ptr<ResultView> view_;
   std::multimap<int, std::pair<int, int>> stream_bindings_;  // id->(node,port)
   Time last_tick_ = -1;
   PipelineStats stats_;
+  std::unique_ptr<obs::PipelineProfiler> profiler_;
 };
 
 }  // namespace upa

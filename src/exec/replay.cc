@@ -50,6 +50,10 @@ ReplayMetrics ReplayTrace(const Trace& trace, Pipeline* pipeline,
         m.wall_seconds * 1000.0 / (static_cast<double>(m.tuples) / 1000.0);
   }
   m.stats = pipeline->stats();
+  if (pipeline->profiling()) {
+    m.profiled = true;
+    m.profile = pipeline->profiler()->Snapshot();
+  }
   if (options.state_poll_interval > 0) {
     m.max_state_bytes = std::max(m.max_state_bytes, pipeline->StateBytes());
     m.max_state_tuples = std::max(m.max_state_tuples, pipeline->StateTuples());

@@ -20,6 +20,11 @@ struct ReplayMetrics {
   size_t max_state_bytes = 0;
   size_t max_state_tuples = 0;
   PipelineStats stats;
+  /// Filled when the pipeline had a profiler attached (see
+  /// Pipeline::EnableProfiling): the Section 6.1 phase breakdown and
+  /// per-operator cost estimates for this replay.
+  bool profiled = false;
+  obs::ProfileSnapshot profile;
 };
 
 /// Options for ReplayTrace.

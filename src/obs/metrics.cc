@@ -1,0 +1,201 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace upa {
+namespace obs {
+namespace {
+
+/// Lower bound of histogram bucket `b` (see Histogram doc comment).
+uint64_t BucketLo(int b) {
+  return b == 0 ? 0 : (b == 1 ? 1 : uint64_t{1} << (b - 1));
+}
+
+/// Exclusive upper bound of bucket `b`, saturating at UINT64_MAX.
+uint64_t BucketHi(int b) {
+  return b >= 64 ? UINT64_MAX : uint64_t{1} << b;
+}
+
+void AtomicMin(std::atomic<uint64_t>* a, uint64_t v) {
+  uint64_t cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* a, uint64_t v) {
+  uint64_t cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Keeps alphanumerics, '_' and ':' of a metric name; everything after
+/// a '{' (a label set) passes through verbatim.
+std::string SanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  bool in_labels = false;
+  for (char c : name) {
+    if (c == '{') in_labels = true;
+    if (in_labels || std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+        c == ':') {
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  return out;
+}
+
+/// "name{labels}" -> "name" (the TYPE line must not carry labels).
+std::string BareName(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  AtomicMin(&min_, v);
+  AtomicMax(&max_, v);
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const uint64_t mn = min_.load(std::memory_order_relaxed);
+  s.min = mn == UINT64_MAX ? 0 : mn;
+  s.max = max_.load(std::memory_order_relaxed);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the requested quantile, 1-based (nearest-rank definition).
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p / 100.0 * static_cast<double>(count) + 0.5));
+  uint64_t cum = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (cum + buckets[b] >= target) {
+      const double lo = static_cast<double>(BucketLo(b));
+      const double hi = static_cast<double>(BucketHi(b));
+      const double frac = static_cast<double>(target - cum) /
+                          static_cast<double>(buckets[b]);
+      const double v = lo + (hi - lo) * frac;
+      // The exact extremes tighten the one-octave bucket estimate.
+      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+    }
+    cum += buckets[b];
+  }
+  return static_cast<double>(max);
+}
+
+Histogram::Snapshot& Histogram::Snapshot::Merge(const Snapshot& o) {
+  if (o.count == 0) return *this;
+  if (count == 0) {
+    min = o.min;
+    max = o.max;
+  } else {
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+  count += o.count;
+  sum += o.sum;
+  for (int b = 0; b < kNumBuckets; ++b) buckets[b] += o.buckets[b];
+  return *this;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[SanitizeName(name)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[SanitizeName(name)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[SanitizeName(name)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[192];
+  std::string last_type_for;
+  auto type_line = [&](const std::string& name, const char* type) {
+    const std::string bare = BareName(name);
+    if (bare == last_type_for) return;  // One TYPE line per metric family.
+    last_type_for = bare;
+    out += "# TYPE " + bare + " " + type + "\n";
+  };
+  for (const auto& [name, c] : counters_) {
+    type_line(name, "counter");
+    std::snprintf(line, sizeof(line), "%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += line;
+  }
+  last_type_for.clear();
+  for (const auto& [name, g] : gauges_) {
+    type_line(name, "gauge");
+    std::snprintf(line, sizeof(line), "%s %lld\n", name.c_str(),
+                  static_cast<long long>(g->value()));
+    out += line;
+  }
+  last_type_for.clear();
+  for (const auto& [name, h] : histograms_) {
+    type_line(name, "histogram");
+    const Histogram::Snapshot s = h->Snap();
+    const std::string bare = BareName(name);
+    const size_t brace = name.find('{');
+    // Splice `le` into an existing label set or start a fresh one.
+    const std::string labels =
+        brace == std::string::npos ? "" : name.substr(brace + 1);
+    auto bucket_line = [&](const std::string& le, uint64_t cum) {
+      out += bare + "_bucket{";
+      if (!labels.empty()) {
+        out += labels.substr(0, labels.size() - 1) + ",";  // Drop '}'.
+      }
+      out += "le=\"" + le + "\"} " + std::to_string(cum) + "\n";
+    };
+    uint64_t cum = 0;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (s.buckets[b] == 0) continue;
+      cum += s.buckets[b];
+      bucket_line(std::to_string(BucketHi(b)), cum);
+    }
+    bucket_line("+Inf", s.count);
+    const std::string suffix =
+        brace == std::string::npos ? "" : name.substr(brace);
+    out += bare + "_sum" + suffix + " " + std::to_string(s.sum) + "\n";
+    out += bare + "_count" + suffix + " " + std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+}  // namespace obs
+}  // namespace upa

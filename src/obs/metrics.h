@@ -1,0 +1,129 @@
+#ifndef UPA_OBS_METRICS_H_
+#define UPA_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace upa {
+namespace obs {
+
+/// Monotonic nanosecond clock used by all observability timing.
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonically increasing event count. Updates are single relaxed
+/// atomic adds -- lock-free and safe from any thread.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Point-in-time signed value (queue depths, state bytes). Lock-free.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Log-scale (power-of-two) latency/size histogram.
+///
+/// Bucket `b` holds values whose bit width is `b`, i.e. the range
+/// [2^(b-1), 2^b); bucket 0 holds exact zeros and bucket 64 is the
+/// overflow bucket [2^63, 2^64). Recording is a handful of relaxed
+/// atomic operations -- lock-free on the hot path, exact counts under
+/// concurrency. Quantiles are estimated by interpolating inside the
+/// bucket containing the target rank, then clamped to the exact
+/// observed [min, max], so the relative error is bounded by one octave
+/// (factor-of-two bucket width) and single-sample histograms report the
+/// sample exactly.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;
+
+  void Record(uint64_t v);
+
+  /// A consistent-enough copy for reporting (individual loads are
+  /// relaxed; concurrent recording may skew count vs. sum by a few
+  /// in-flight samples, never corrupt them).
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    uint64_t buckets[kNumBuckets] = {};
+
+    double Mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+    /// Quantile estimate for `p` in [0, 100]; 0 when empty.
+    double Percentile(double p) const;
+    /// Pointwise sum (shard/replica roll-ups).
+    Snapshot& Merge(const Snapshot& o);
+  };
+
+  Snapshot Snap() const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Name-keyed metric registry. Registration (get-or-create) takes a
+/// mutex; the returned references are stable for the registry's
+/// lifetime, so hot paths resolve a metric once and then update it
+/// lock-free. Prometheus-style plaintext exposition via
+/// RenderPrometheus().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Prometheus text exposition format, version 0.0.4: counters and
+  /// gauges as single samples, histograms as cumulative `_bucket{le=}`
+  /// series with `_sum`/`_count`. Metric names are sanitized to
+  /// [a-zA-Z0-9_:]; a `{label="value"}` suffix in the registered name is
+  /// preserved verbatim.
+  std::string RenderPrometheus() const;
+
+  /// Process-wide registry (bench harness, engine exposition).
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace upa
+
+#endif  // UPA_OBS_METRICS_H_

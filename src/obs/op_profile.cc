@@ -1,0 +1,191 @@
+#include "obs/op_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace upa {
+namespace obs {
+namespace {
+
+/// Subtraction that treats timer skew (an inner timer measuring slightly
+/// more than its enclosing window) as zero rather than wrapping.
+uint64_t SubSat(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+
+const char* PhaseCategory(Phase phase) {
+  switch (phase) {
+    case Phase::kProcessing:
+      return "process";
+    case Phase::kInsertion:
+      return "insert";
+    case Phase::kExpiration:
+      return "expire";
+  }
+  return "upa";
+}
+
+}  // namespace
+
+OpCounters& OpCounters::operator+=(const OpCounters& o) {
+  tuples_in += o.tuples_in;
+  negatives_in += o.negatives_in;
+  emitted += o.emitted;
+  process_calls += o.process_calls;
+  expire_calls += o.expire_calls;
+  insert_calls += o.insert_calls;
+  for (int r = 0; r < 2; ++r) {
+    process_self_ns[r] += o.process_self_ns[r];
+    insert_process_ns[r] += o.insert_process_ns[r];
+  }
+  insert_expire_ns += o.insert_expire_ns;
+  expire_self_ns += o.expire_self_ns;
+  state_bytes += o.state_bytes;
+  state_tuples += o.state_tuples;
+  return *this;
+}
+
+PhaseBreakdown& PhaseBreakdown::operator+=(const PhaseBreakdown& o) {
+  processing_ns += o.processing_ns;
+  insertion_ns += o.insertion_ns;
+  expiration_ns += o.expiration_ns;
+  ingests += o.ingests;
+  ticks += o.ticks;
+  sampled_ingests += o.sampled_ingests;
+  sampled_ticks += o.sampled_ticks;
+  return *this;
+}
+
+PipelineProfiler::PipelineProfiler(const ProfilerOptions& options)
+    : options_(options),
+      ingest_countdown_(std::max<uint32_t>(1, options.sample_interval)),
+      tick_countdown_(std::max<uint32_t>(1, options.sample_interval)) {}
+
+void PipelineProfiler::SetTopology(std::vector<std::string> op_names) {
+  ops_.clear();
+  names_ = std::move(op_names);
+  names_.push_back("view");
+  ops_.reserve(names_.size());
+  for (size_t i = 0; i < names_.size(); ++i) {
+    ops_.push_back(std::make_unique<OpProfile>());
+  }
+  frames_.reserve(names_.size() + 4);
+}
+
+void PipelineProfiler::BeginOp(int op_index, Phase phase) {
+  OpProfile& p = *ops_[static_cast<size_t>(op_index)];
+  p.active = true;
+  p.context = phase;
+  p.root = root_;
+  frames_.push_back(Frame{op_index, phase, NowNs(), 0});
+}
+
+void PipelineProfiler::EndOp(int op_index, Phase phase) {
+  const uint64_t end = NowNs();
+  const Frame frame = frames_.back();
+  frames_.pop_back();
+  const uint64_t total = end - frame.start;
+  const uint64_t self = SubSat(total, frame.child_ns);
+  if (!frames_.empty()) frames_.back().child_ns += total;
+
+  OpProfile& p = *ops_[static_cast<size_t>(op_index)];
+  p.active = false;
+  const int r = static_cast<int>(root_);
+  switch (phase) {
+    case Phase::kProcessing:
+      ++p.c.process_calls;
+      p.c.process_self_ns[r] += self;
+      if (options_.histograms) p.process_hist.Record(self);
+      break;
+    case Phase::kInsertion:  // The view's Apply.
+      ++p.c.insert_calls;
+      p.c.insert_process_ns[r] += self;
+      break;
+    case Phase::kExpiration:
+      ++p.c.expire_calls;
+      p.c.expire_self_ns += self;
+      if (options_.histograms) p.expire_hist.Record(self);
+      break;
+  }
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled()) {
+    tracer.RecordComplete(names_[static_cast<size_t>(op_index)],
+                          PhaseCategory(phase), frame.start, total);
+  }
+}
+
+ProfileSnapshot PipelineProfiler::Snapshot() const {
+  ProfileSnapshot snap;
+  // Each root's sampled time extrapolates by its own total/sampled ratio.
+  const double si = sampled_ingests_ > 0 ? static_cast<double>(ingests_) /
+                                               static_cast<double>(sampled_ingests_)
+                                         : 0.0;
+  const double st = sampled_ticks_ > 0 ? static_cast<double>(ticks_) /
+                                             static_cast<double>(sampled_ticks_)
+                                       : 0.0;
+  snap.phases.ingests = ingests_;
+  snap.phases.ticks = ticks_;
+  snap.phases.sampled_ingests = sampled_ingests_;
+  snap.phases.sampled_ticks = sampled_ticks_;
+  snap.ops.reserve(ops_.size());
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const OpCounters& c = ops_[i]->c;
+    OpSnapshot op;
+    op.name = names_[i];
+    op.c = c;
+    op.processing_ns =
+        static_cast<double>(SubSat(c.process_self_ns[0], c.insert_process_ns[0])) * si +
+        static_cast<double>(SubSat(c.process_self_ns[1], c.insert_process_ns[1])) * st;
+    op.insertion_ns = static_cast<double>(c.insert_process_ns[0]) * si +
+                      static_cast<double>(c.insert_process_ns[1] +
+                                          c.insert_expire_ns) *
+                          st;
+    op.expiration_ns =
+        static_cast<double>(SubSat(c.expire_self_ns, c.insert_expire_ns)) * st;
+    op.process_ns_hist = ops_[i]->process_hist.Snap();
+    op.expire_ns_hist = ops_[i]->expire_hist.Snap();
+    snap.phases.processing_ns += op.processing_ns;
+    snap.phases.insertion_ns += op.insertion_ns;
+    snap.phases.expiration_ns += op.expiration_ns;
+    snap.ops.push_back(std::move(op));
+  }
+  return snap;
+}
+
+std::string ProfileSnapshot::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "phase totals (est.): processing %.3f ms, insertion %.3f ms, "
+                "expiration %.3f ms  [%llu ingests / %llu sampled, %llu ticks "
+                "/ %llu sampled]\n",
+                phases.processing_ns / 1e6, phases.insertion_ns / 1e6,
+                phases.expiration_ns / 1e6,
+                static_cast<unsigned long long>(phases.ingests),
+                static_cast<unsigned long long>(phases.sampled_ingests),
+                static_cast<unsigned long long>(phases.ticks),
+                static_cast<unsigned long long>(phases.sampled_ticks));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "%-22s %10s %10s %10s %9s %9s %10s %8s %8s %8s\n", "operator",
+                "proc_ms", "ins_ms", "exp_ms", "calls", "emitted", "state_KB",
+                "p50_ns", "p95_ns", "p99_ns");
+  out += line;
+  for (const OpSnapshot& op : ops) {
+    std::snprintf(
+        line, sizeof(line),
+        "%-22s %10.3f %10.3f %10.3f %9llu %9llu %10.1f %8.0f %8.0f %8.0f\n",
+        op.name.c_str(), op.processing_ns / 1e6, op.insertion_ns / 1e6,
+        op.expiration_ns / 1e6,
+        static_cast<unsigned long long>(op.c.process_calls),
+        static_cast<unsigned long long>(op.c.emitted),
+        static_cast<double>(op.c.state_bytes) / 1024.0,
+        op.process_ns_hist.Percentile(50), op.process_ns_hist.Percentile(95),
+        op.process_ns_hist.Percentile(99));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace upa

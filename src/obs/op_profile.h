@@ -1,0 +1,258 @@
+#ifndef UPA_OBS_OP_PROFILE_H_
+#define UPA_OBS_OP_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace upa {
+namespace obs {
+
+/// The paper's Section 6.1 cost decomposition: overall execution time
+/// consists of tuple *processing* (probing/combining on arrival),
+/// *insertion* (adding tuples to operator state and the materialized
+/// result), and *expiration* (removing tuples whose lifetime ended).
+/// Every profiled operator reports its time split along exactly these
+/// axes.
+enum class Phase { kProcessing = 0, kInsertion = 1, kExpiration = 2 };
+
+/// Whether the current sampled event was initiated by an arrival
+/// (Pipeline::Ingest) or a clock advance (Pipeline::Tick). Sampled time
+/// is extrapolated separately per root, because the two event streams
+/// are sampled independently.
+enum class Root { kIngest = 0, kTick = 1 };
+
+/// Raw per-operator accumulators. Single-writer: only the thread
+/// executing the owning pipeline updates them (sampled events only);
+/// cross-thread readers must snapshot behind a barrier, the way
+/// ShardExecutor publishes its counters.
+struct OpCounters {
+  uint64_t tuples_in = 0;      ///< Tuples delivered on sampled events.
+  uint64_t negatives_in = 0;   ///< Negative tuples among `tuples_in`.
+  uint64_t emitted = 0;        ///< Tuples this operator emitted (sampled).
+  uint64_t process_calls = 0;  ///< Sampled Process() invocations.
+  uint64_t expire_calls = 0;   ///< Sampled AdvanceTime() invocations.
+  uint64_t insert_calls = 0;   ///< Sampled state/view insertions.
+  /// Self nanoseconds in Process(), excluding downstream operators the
+  /// emissions flowed into, indexed by Root.
+  uint64_t process_self_ns[2] = {0, 0};
+  /// Nanoseconds inside state-buffer insertions during Process().
+  uint64_t insert_process_ns[2] = {0, 0};
+  /// Nanoseconds inside state-buffer insertions during AdvanceTime()
+  /// (e.g. the delta-distinct auxiliary promotion). Always tick-rooted.
+  uint64_t insert_expire_ns = 0;
+  /// Self nanoseconds in AdvanceTime() (tick-rooted by construction).
+  uint64_t expire_self_ns = 0;
+  size_t state_bytes = 0;   ///< Last poll of Operator::StateBytes().
+  size_t state_tuples = 0;  ///< Last poll of Operator::StateTuples().
+
+  OpCounters& operator+=(const OpCounters& o);
+};
+
+/// Live profile of one operator (or the result view), attached to the
+/// operator via Operator::set_profile so state-buffer insertions inside
+/// Process/AdvanceTime can be timed at the source (see InsertTimer).
+/// `active` is raised by the pipeline only for the duration of a timed
+/// call on a sampled event, which is what keeps the common
+/// (profiler-attached, event-not-sampled) path at a couple of branches.
+class OpProfile {
+ public:
+  bool active = false;            ///< Inside a timed call, sampled event.
+  Phase context = Phase::kProcessing;  ///< Gross phase of the timed call.
+  Root root = Root::kIngest;      ///< Root of the current sampled event.
+  OpCounters c;
+  Histogram process_hist;  ///< ns per sampled Process() call (self time).
+  Histogram expire_hist;   ///< ns per sampled AdvanceTime() call.
+
+  /// Attributes one timed state insertion (called by InsertTimer).
+  void RecordInsert(uint64_t ns) {
+    ++c.insert_calls;
+    if (context == Phase::kExpiration) {
+      c.insert_expire_ns += ns;
+    } else {
+      c.insert_process_ns[static_cast<int>(root)] += ns;
+    }
+  }
+};
+
+/// RAII timer operators wrap around their state-buffer insertions.
+/// Cost when the pipeline is not profiled, or the event not sampled:
+/// one pointer test plus one bool test.
+class InsertTimer {
+ public:
+  explicit InsertTimer(OpProfile* p)
+      : p_(p != nullptr && p->active ? p : nullptr),
+        start_(p_ != nullptr ? NowNs() : 0) {}
+  ~InsertTimer() {
+    if (p_ != nullptr) p_->RecordInsert(NowNs() - start_);
+  }
+  InsertTimer(const InsertTimer&) = delete;
+  InsertTimer& operator=(const InsertTimer&) = delete;
+
+ private:
+  OpProfile* p_;
+  uint64_t start_;
+};
+
+/// Knobs for PipelineProfiler.
+struct ProfilerOptions {
+  /// Full per-operator timing happens on every Nth ingest (and,
+  /// independently, every Nth effective tick); totals are extrapolated
+  /// by the sampling ratio. A prime stride keeps the sample from
+  /// phase-locking with periodic traces (e.g. strict link round-robin).
+  /// 1 = measure everything (use for tracing or short runs).
+  uint32_t sample_interval = 251;
+  /// Poll operator state sizes every Nth *sampled* tick.
+  uint32_t state_poll_every = 16;
+  /// Record per-call latency histograms (p50/p95/p99).
+  bool histograms = true;
+};
+
+/// Scaled whole-run estimate of the paper's three cost components.
+struct PhaseBreakdown {
+  double processing_ns = 0;
+  double insertion_ns = 0;
+  double expiration_ns = 0;
+  uint64_t ingests = 0;          ///< Total arrivals the pipeline saw.
+  uint64_t ticks = 0;            ///< Total effective clock advances.
+  uint64_t sampled_ingests = 0;
+  uint64_t sampled_ticks = 0;
+
+  double total_ns() const {
+    return processing_ns + insertion_ns + expiration_ns;
+  }
+  PhaseBreakdown& operator+=(const PhaseBreakdown& o);
+};
+
+/// Reporting copy of one operator's profile with scaled estimates.
+struct OpSnapshot {
+  std::string name;
+  OpCounters c;  ///< Raw sampled accumulators.
+  double processing_ns = 0;  ///< Scaled whole-run estimates.
+  double insertion_ns = 0;
+  double expiration_ns = 0;
+  Histogram::Snapshot process_ns_hist;
+  Histogram::Snapshot expire_ns_hist;
+};
+
+/// Reporting copy of a whole pipeline profile. The last entry of `ops`
+/// is the materialized result view ("view"): its Apply time counts as
+/// insertion, its AdvanceTime as expiration.
+struct ProfileSnapshot {
+  PhaseBreakdown phases;
+  std::vector<OpSnapshot> ops;
+
+  /// Aligned per-operator table (name, phase ms, call stats, p50/95/99).
+  std::string ToString() const;
+};
+
+/// Sampling profiler owned by a Pipeline (see Pipeline::EnableProfiling).
+///
+/// The pipeline drives it: Sample*() decide whether the current event is
+/// measured; BeginOp/EndOp bracket operator calls on sampled events and
+/// attribute *self time* -- a frame stack subtracts the time spent in
+/// downstream operators that re-entrant emissions flowed into, so
+/// per-operator numbers sum without double counting.
+class PipelineProfiler {
+ public:
+  explicit PipelineProfiler(const ProfilerOptions& options = {});
+
+  PipelineProfiler(const PipelineProfiler&) = delete;
+  PipelineProfiler& operator=(const PipelineProfiler&) = delete;
+
+  /// Declares the operator list; a trailing "view" pseudo-operator is
+  /// appended automatically. Must be called before any sampling.
+  void SetTopology(std::vector<std::string> op_names);
+
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+  int view_index() const { return num_ops() - 1; }
+  OpProfile& op(int i) { return *ops_[static_cast<size_t>(i)]; }
+  const std::string& op_name(int i) const {
+    return names_[static_cast<size_t>(i)];
+  }
+  const ProfilerOptions& options() const { return options_; }
+
+  /// Counts an ingest; true when this event should be fully measured.
+  bool SampleIngest() {
+    ++ingests_;
+    if (--ingest_countdown_ == 0) {
+      ingest_countdown_ = options_.sample_interval;
+      ++sampled_ingests_;
+      return true;
+    }
+    return false;
+  }
+  /// Counts an effective tick; true when it should be fully measured.
+  bool SampleTick() {
+    ++ticks_;
+    if (--tick_countdown_ == 0) {
+      tick_countdown_ = options_.sample_interval;
+      ++sampled_ticks_;
+      return true;
+    }
+    return false;
+  }
+  /// True when this sampled tick should also poll state sizes.
+  bool ShouldPollState() {
+    if (++sampled_ticks_since_poll_ < options_.state_poll_every) return false;
+    sampled_ticks_since_poll_ = 0;
+    return true;
+  }
+
+  void BeginRoot(Root root) {
+    root_ = root;
+    frames_.clear();
+  }
+  void AddRootGrossNs(Root root, uint64_t ns) {
+    (root == Root::kIngest ? ingest_gross_ns_ : tick_gross_ns_) += ns;
+  }
+  Root root() const { return root_; }
+
+  /// Brackets a timed operator (or view) call on a sampled event.
+  /// `phase` is the gross phase: kProcessing for Process, kExpiration
+  /// for AdvanceTime, kInsertion for the view's Apply.
+  void BeginOp(int op_index, Phase phase);
+  /// Closes the bracket; attributes self time, records the histogram,
+  /// and emits a Chrome trace event when tracing is enabled.
+  void EndOp(int op_index, Phase phase);
+
+  /// Credits one emission to the operator whose frame is on top (the
+  /// emitter of a tuple being delivered); no-op at the ingress.
+  void NoteEmissionFromTop() {
+    if (!frames_.empty()) ++ops_[static_cast<size_t>(frames_.back().op)]->c.emitted;
+  }
+
+  ProfileSnapshot Snapshot() const;
+
+ private:
+  struct Frame {
+    int op;
+    Phase phase;
+    uint64_t start;
+    uint64_t child_ns = 0;
+  };
+
+  const ProfilerOptions options_;
+  std::vector<std::unique_ptr<OpProfile>> ops_;  // Operators + view.
+  std::vector<std::string> names_;
+  std::vector<Frame> frames_;
+  Root root_ = Root::kIngest;
+
+  uint64_t ingests_ = 0;
+  uint64_t ticks_ = 0;
+  uint64_t sampled_ingests_ = 0;
+  uint64_t sampled_ticks_ = 0;
+  uint64_t ingest_gross_ns_ = 0;  ///< Gross wall ns of sampled ingests.
+  uint64_t tick_gross_ns_ = 0;    ///< Gross wall ns of sampled ticks.
+  uint32_t ingest_countdown_;
+  uint32_t tick_countdown_;
+  uint32_t sampled_ticks_since_poll_ = 0;
+};
+
+}  // namespace obs
+}  // namespace upa
+
+#endif  // UPA_OBS_OP_PROFILE_H_

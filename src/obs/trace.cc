@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <utility>
+
+namespace upa {
+namespace obs {
+namespace {
+
+uint32_t ThisThreadId() {
+  return static_cast<uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* g = new Tracer();
+  return *g;
+}
+
+void Tracer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_ = 0;
+  wrapped_ = false;
+  overwritten_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Record(TraceEvent e) {
+  e.tid = ThisThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    return;
+  }
+  ring_[next_] = std::move(e);
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+  ++overwritten_;
+}
+
+void Tracer::RecordComplete(const std::string& name, const char* category,
+                            uint64_t ts_ns, uint64_t dur_ns) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = 'X';
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  Record(std::move(e));
+}
+
+void Tracer::RecordInstant(const std::string& name, const char* category) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = 'i';
+  e.ts_ns = NowNs();
+  Record(std::move(e));
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t Tracer::overwritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overwritten_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  overwritten_ = 0;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  const size_t n = ring_.size();
+  // Oldest first: after a wrap, the oldest retained event sits at next_.
+  const size_t start = wrapped_ ? next_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = ring_[(start + i) % n];
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(e.name, &out);
+    out += "\",\"cat\":\"";
+    out += e.category;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                    "\"pid\":0,\"tid\":%u}",
+                    static_cast<double>(e.ts_ns) / 1e3,
+                    static_cast<double>(e.dur_ns) / 1e3, e.tid);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
+                    "\"pid\":0,\"tid\":%u}",
+                    static_cast<double>(e.ts_ns) / 1e3, e.tid);
+    }
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool Tracer::ExportChromeTrace(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace upa

@@ -1,0 +1,106 @@
+#ifndef UPA_OBS_TRACE_H_
+#define UPA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace upa {
+namespace obs {
+
+/// One recorded trace event (Chrome trace_event "complete" or "instant"
+/// semantics).
+struct TraceEvent {
+  std::string name;
+  const char* category = "upa";  ///< Static string.
+  char phase = 'X';              ///< 'X' complete, 'i' instant.
+  uint64_t ts_ns = 0;            ///< Start, NowNs() domain.
+  uint64_t dur_ns = 0;           ///< Complete events only.
+  uint32_t tid = 0;              ///< Stable hash of the recording thread.
+};
+
+/// Bounded ring-buffer event tracer with Chrome `trace_event` JSON
+/// export (load the file in chrome://tracing or https://ui.perfetto.dev).
+///
+/// Overhead contract: when disabled -- the default -- the only cost at a
+/// trace point is one relaxed atomic load (the `enabled()` check), so
+/// instrumented hot paths stay at production speed. When enabled,
+/// recording takes a mutex and copies the event name; the ring keeps the
+/// most recent `capacity` events and counts what it overwrote. Toggling
+/// is a runtime operation (Enable/Disable), no rebuild involved.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  /// Process-wide tracer used by the pipeline instrumentation.
+  static Tracer& Global();
+
+  /// Starts capturing into a fresh ring of `capacity` events.
+  void Enable(size_t capacity = kDefaultCapacity);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records a complete ('X') event. No-op when disabled.
+  void RecordComplete(const std::string& name, const char* category,
+                      uint64_t ts_ns, uint64_t dur_ns);
+  /// Records an instant ('i') event at NowNs(). No-op when disabled.
+  void RecordInstant(const std::string& name, const char* category);
+
+  /// Events currently held (<= capacity).
+  size_t size() const;
+  /// Events overwritten since Enable() because the ring was full.
+  uint64_t overwritten() const;
+  void Clear();
+
+  /// Chrome trace JSON of the retained events, oldest first:
+  /// {"traceEvents":[...]}, timestamps in microseconds.
+  std::string ToChromeJson() const;
+  /// Writes ToChromeJson() to `path`; false on I/O failure.
+  bool ExportChromeTrace(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+  void Record(TraceEvent e);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // Guarded by mu_.
+  size_t capacity_ = kDefaultCapacity;
+  size_t next_ = 0;         // Guarded by mu_; wraps at capacity_.
+  bool wrapped_ = false;    // Guarded by mu_.
+  uint64_t overwritten_ = 0;  // Guarded by mu_.
+};
+
+/// RAII complete-event scope. Costs one atomic load when tracing is
+/// disabled; records name/start/duration when enabled.
+class TraceScope {
+ public:
+  TraceScope(std::string name, const char* category = "upa")
+      : active_(Tracer::Global().enabled()),
+        name_(active_ ? std::move(name) : std::string()),
+        category_(category),
+        start_(active_ ? NowNs() : 0) {}
+  ~TraceScope() {
+    if (active_) {
+      Tracer::Global().RecordComplete(name_, category_, start_,
+                                      NowNs() - start_);
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool active_;
+  std::string name_;
+  const char* category_;
+  uint64_t start_;
+};
+
+}  // namespace obs
+}  // namespace upa
+
+#endif  // UPA_OBS_TRACE_H_

@@ -37,7 +37,10 @@ void DistinctOp::Replace(const Tuple& gone, Emitter& out) {
   const Tuple* repl = nullptr;
   if (FindReplacement(ExtractKey(gone, key_cols_), &repl)) {
     Tuple r = *repl;
-    output_->Insert(r);
+    {
+      obs::InsertTimer insert_timer(profile_);
+      output_->Insert(r);
+    }
     out.Emit(r);
   }
 }
@@ -55,12 +58,18 @@ void DistinctOp::Process(int port, const Tuple& t, Emitter& out) {
     }
     return;
   }
-  input_->Insert(t);
+  {
+    obs::InsertTimer insert_timer(profile_);
+    input_->Insert(t);
+  }
   bool duplicate = false;
   ForEachMatchKey(*output_, key_cols_, ExtractKey(t, key_cols_),
                   [&duplicate](const Tuple&) { duplicate = true; });
   if (!duplicate) {
-    output_->Insert(t);
+    {
+      obs::InsertTimer insert_timer(profile_);
+      output_->Insert(t);
+    }
     out.Emit(t);
   }
 }
@@ -110,7 +119,10 @@ void DeltaDistinctOp::Process(int port, const Tuple& t, Emitter& out) {
   ForEachMatchKey(*output_, key_cols_, key,
                   [&duplicate](const Tuple&) { duplicate = true; });
   if (!duplicate) {
-    output_->Insert(t);
+    {
+      obs::InsertTimer insert_timer(profile_);
+      output_->Insert(t);
+    }
     out.Emit(t);
     return;
   }
@@ -138,7 +150,10 @@ void DeltaDistinctOp::AdvanceTime(Time now, Emitter& out) {
     aux_bytes_ -= EstimateTupleBytes(promoted);
     aux_.erase(it);
     if (promoted.LiveAt(now)) {
-      output_->Insert(promoted);
+      {
+        obs::InsertTimer insert_timer(profile_);
+        output_->Insert(promoted);
+      }
       out.Emit(promoted);
     }
   }

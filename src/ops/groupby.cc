@@ -133,7 +133,10 @@ void GroupByOp::Process(int port, const Tuple& t, Emitter& out) {
     ApplyDelta(t, -1, out);
     return;
   }
-  input_->Insert(t);
+  {
+    obs::InsertTimer insert_timer(profile_);
+    input_->Insert(t);
+  }
   ApplyDelta(t, +1, out);
 }
 

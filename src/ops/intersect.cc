@@ -32,7 +32,10 @@ void IntersectOp::Process(int port, const Tuple& t, Emitter& out) {
     });
     return;
   }
-  state_[port]->Insert(t);
+  {
+    obs::InsertTimer insert_timer(profile_);
+    state_[port]->Insert(t);
+  }
   state_[other]->ForEachLive([&](const Tuple& match) {
     if (match.FieldsEqual(t)) emit_match(match);
   });

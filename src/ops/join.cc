@@ -48,7 +48,10 @@ void JoinOp::Process(int port, const Tuple& t, Emitter& out) {
                                 });
     return;
   }
-  state_[port]->Insert(t);
+  {
+    obs::InsertTimer insert_timer(profile_);
+    state_[port]->Insert(t);
+  }
   state_[other]->ForEachMatch(col_[other],
                               t.fields[static_cast<size_t>(col_[port])],
                               [&](const Tuple& match) {

@@ -120,7 +120,10 @@ void NegationOp::Process(int port, const Tuple& t, Emitter& out) {
       OnLeftGone(t, natural, out);
       return;
     }
-    state_[0]->Insert(t);
+    {
+      obs::InsertTimer insert_timer(profile_);
+      state_[0]->Insert(t);
+    }
     values_[v].w1.push_back(Entry{t, false});
     Reconcile(v, out);
     return;
@@ -130,7 +133,10 @@ void NegationOp::Process(int port, const Tuple& t, Emitter& out) {
     OnRightGone(t, out);
     return;
   }
-  state_[1]->Insert(t);
+  {
+    obs::InsertTimer insert_timer(profile_);
+    state_[1]->Insert(t);
+  }
   ++values_[v].v2;
   Reconcile(v, out);
 }

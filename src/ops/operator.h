@@ -6,6 +6,7 @@
 
 #include "common/schema.h"
 #include "common/tuple.h"
+#include "obs/op_profile.h"
 
 namespace upa {
 
@@ -74,8 +75,19 @@ class Operator {
   /// Short display name, e.g. "join", "delta-distinct".
   virtual std::string Name() const = 0;
 
+  /// Attaches the per-operator profile this operator reports into (set by
+  /// Pipeline::EnableProfiling; null when the pipeline is unprofiled).
+  /// Operators wrap their state-buffer insertions in
+  /// `obs::InsertTimer timer(profile_);` so insertion cost is measured at
+  /// the source and separable from processing (the paper's Section 6.1
+  /// decomposition). The timer is inert unless the profiler marked the
+  /// current event as sampled.
+  void set_profile(obs::OpProfile* p) { profile_ = p; }
+
  protected:
   Operator() = default;
+
+  obs::OpProfile* profile_ = nullptr;  ///< Borrowed; may be null.
 };
 
 }  // namespace upa

@@ -27,6 +27,7 @@ void NrrJoinOp::Process(int port, const Tuple& t, Emitter& out) {
     if (t.negative) {
       table_->EraseOneMatch(t);
     } else {
+      obs::InsertTimer insert_timer(profile_);
       table_->Insert(t);
     }
     return;
@@ -98,7 +99,10 @@ void RelJoinOp::Process(int port, const Tuple& t, Emitter& out) {
           [&](const Tuple& w) { out.Emit(Combine(w, t, true, t.ts)); });
     } else {
       // Retroactive insertion: join with everything already in the window.
-      table_->Insert(t);
+      {
+        obs::InsertTimer insert_timer(profile_);
+        table_->Insert(t);
+      }
       window_->ForEachMatch(
           stream_col_, t.fields[static_cast<size_t>(table_col_)],
           [&](const Tuple& w) { out.Emit(Combine(w, t, false, t.ts)); });
@@ -115,7 +119,10 @@ void RelJoinOp::Process(int port, const Tuple& t, Emitter& out) {
                          });
     return;
   }
-  window_->Insert(t);
+  {
+    obs::InsertTimer insert_timer(profile_);
+    window_->Insert(t);
+  }
   table_->ForEachMatch(table_col_, t.fields[static_cast<size_t>(stream_col_)],
                        [&](const Tuple& row) {
                          out.Emit(Combine(t, row, false, t.ts));

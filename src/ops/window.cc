@@ -25,7 +25,10 @@ void TimeWindowOp::Process(int port, const Tuple& t, Emitter& out) {
   Tuple stamped = t;
   stamped.exp = window_size_ == kNeverExpires ? kNeverExpires
                                               : t.ts + window_size_;
-  if (materialize_) state_->Insert(stamped);
+  if (materialize_) {
+    obs::InsertTimer insert_timer(profile_);
+    state_->Insert(stamped);
+  }
   out.Emit(stamped);
 }
 

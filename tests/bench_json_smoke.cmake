@@ -1,0 +1,26 @@
+# Driven by ctest (see tests/CMakeLists.txt): run one small filtered
+# benchmark with JSON output directed at a scratch dir, then validate
+# the emitted file against the upa.bench.v1 schema.
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+    UPA_BENCH_JSON_DIR=${WORK_DIR}
+    UPA_BENCH_SAMPLE_INTERVAL=1
+    ${BENCH_BIN} --benchmark_filter=BM_Q1_Ftp/2000/
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_q1_join failed with ${bench_rc}")
+endif()
+
+if(NOT EXISTS "${WORK_DIR}/BENCH_q1_join.json")
+  message(FATAL_ERROR "bench run did not write BENCH_q1_join.json")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${REPORT} validate ${WORK_DIR}/BENCH_q1_join.json
+  RESULT_VARIABLE validate_rc)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR "schema validation failed with ${validate_rc}")
+endif()

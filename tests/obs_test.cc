@@ -1,0 +1,321 @@
+// Tests for the observability subsystem (src/obs): histogram percentile
+// math, metric registry concurrency, Prometheus rendering, the trace
+// ring buffer, and end-to-end pipeline phase attribution with the
+// sampling profiler forced to measure every event.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/pipeline.h"
+#include "exec/view.h"
+#include "obs/metrics.h"
+#include "obs/op_profile.h"
+#include "obs/trace.h"
+#include "ops/join.h"
+#include "ops/window.h"
+#include "state/list_buffer.h"
+#include "tests/test_util.h"
+
+namespace upa {
+namespace {
+
+using testing_util::IntSchema;
+using testing_util::T;
+
+TEST(HistogramTest, EmptySnapshot) {
+  obs::Histogram h;
+  const auto s = h.Snap();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleIsExact) {
+  obs::Histogram h;
+  h.Record(1234);
+  const auto s = h.Snap();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 1234u);
+  EXPECT_EQ(s.max, 1234u);
+  // Clamping to [min, max] makes single-sample quantiles exact.
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1234.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 1234.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 1234.0);
+}
+
+TEST(HistogramTest, ZeroLandsInBucketZero) {
+  obs::Histogram h;
+  h.Record(0);
+  const auto s = h.Snap();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, OverflowBucketClampsToMax) {
+  obs::Histogram h;
+  h.Record(UINT64_MAX);  // Bit width 64: the overflow bucket.
+  const auto s = h.Snap();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.buckets[64], 1u);
+  EXPECT_EQ(s.max, UINT64_MAX);
+  EXPECT_DOUBLE_EQ(s.Percentile(99),
+                   static_cast<double>(UINT64_MAX));
+}
+
+TEST(HistogramTest, UniformQuantilesWithinOneOctaveAndMonotone) {
+  obs::Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const auto s = h.Snap();
+  EXPECT_EQ(s.count, 1000u);
+  const double p50 = s.Percentile(50);
+  const double p95 = s.Percentile(95);
+  const double p99 = s.Percentile(99);
+  // Log-scale buckets bound the relative error by a factor of two.
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_GE(p95, 475.0);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_DOUBLE_EQ(s.Mean(), 500.5);
+}
+
+TEST(HistogramTest, MergeSumsAndCombinesExtremes) {
+  obs::Histogram a, b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(5);
+  b.Record(4000);
+  auto sa = a.Snap();
+  const auto sb = b.Snap();
+  sa.Merge(sb);
+  EXPECT_EQ(sa.count, 4u);
+  EXPECT_EQ(sa.sum, 4035u);
+  EXPECT_EQ(sa.min, 5u);
+  EXPECT_EQ(sa.max, 4000u);
+
+  obs::Histogram empty;
+  auto se = empty.Snap();
+  se.Merge(sb);  // Merging into empty adopts the other's extremes.
+  EXPECT_EQ(se.min, 5u);
+  EXPECT_EQ(se.max, 4000u);
+  auto sb2 = b.Snap();
+  sb2.Merge(empty.Snap());  // Merging an empty is a no-op.
+  EXPECT_EQ(sb2.count, 2u);
+  EXPECT_EQ(sb2.min, 5u);
+}
+
+TEST(MetricsRegistryTest, CounterGaugeBasics) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.GetCounter("events_total");
+  c.Add();
+  c.Add(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(&reg.GetCounter("events_total"), &c);  // Stable reference.
+
+  obs::Gauge& g = reg.GetGauge("depth");
+  g.Set(7);
+  g.Add(-2);
+  EXPECT_EQ(g.value(), 5);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndUpdates) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Get-or-create races on the same names on purpose; updates are
+      // lock-free afterwards.
+      obs::Counter& c = reg.GetCounter("shared_total");
+      obs::Histogram& h = reg.GetHistogram("shared_ns");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Add();
+        h.Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("shared_total").value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(reg.GetHistogram("shared_ns").Snap().count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, PrometheusRendering) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("upa_events_total").Add(3);
+  reg.GetGauge("upa_depth{query=\"q1\"}").Set(9);
+  reg.GetHistogram("upa_latency_ns").Record(100);
+  const std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE upa_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("upa_events_total 3"), std::string::npos);
+  EXPECT_NE(text.find("upa_depth{query=\"q1\"} 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE upa_latency_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("upa_latency_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("upa_latency_ns_count 1"), std::string::npos);
+}
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  obs::Tracer& tr = obs::Tracer::Global();
+  tr.Disable();
+  tr.Clear();
+  EXPECT_FALSE(tr.enabled());
+  tr.RecordComplete("ignored", "upa", 0, 10);
+  tr.RecordInstant("ignored", "upa");
+  EXPECT_EQ(tr.size(), 0u);
+}
+
+TEST(TracerTest, RingKeepsMostRecentAndCountsOverwrites) {
+  obs::Tracer& tr = obs::Tracer::Global();
+  tr.Enable(/*capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    tr.RecordComplete("ev" + std::to_string(i), "upa",
+                      static_cast<uint64_t>(i) * 1000, 10);
+  }
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.overwritten(), 2u);
+  const std::string json = tr.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ev0\""), std::string::npos);  // Overwritten.
+  EXPECT_EQ(json.find("\"ev1\""), std::string::npos);  // Overwritten.
+  // Oldest retained event first.
+  EXPECT_LT(json.find("\"ev2\""), json.find("\"ev5\""));
+  tr.Disable();
+}
+
+TEST(TracerTest, ExportWritesFile) {
+  obs::Tracer& tr = obs::Tracer::Global();
+  tr.Enable(16);
+  { obs::TraceScope scope("scoped_work"); }
+  const std::string path = ::testing::TempDir() + "/upa_trace_test.json";
+  ASSERT_TRUE(tr.ExportChromeTrace(path));
+  tr.Disable();
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("scoped_work"), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+}
+
+std::unique_ptr<Pipeline> ProfiledJoinPipeline() {
+  auto pp = std::make_unique<Pipeline>();
+  Pipeline& p = *pp;
+  const int w0 = p.AddOperator(
+      std::make_unique<TimeWindowOp>(IntSchema(2), 10, /*nt=*/false), {});
+  const int w1 = p.AddOperator(
+      std::make_unique<TimeWindowOp>(IntSchema(2), 10, /*nt=*/false), {});
+  p.AddOperator(std::make_unique<JoinOp>(
+                    IntSchema(2), IntSchema(2), 0, 0,
+                    std::make_unique<ListBuffer>(),
+                    std::make_unique<ListBuffer>(), /*time_expiration=*/true),
+                {w0, w1});
+  p.BindStream(0, w0, 0);
+  p.BindStream(1, w1, 0);
+  p.SetView(std::make_unique<BufferView>(std::make_unique<ListBuffer>(),
+                                         /*time_expiration=*/true));
+  obs::ProfilerOptions popts;
+  popts.sample_interval = 1;  // Measure every event: exact counts below.
+  popts.state_poll_every = 1;
+  p.EnableProfiling(popts);
+  return pp;
+}
+
+TEST(PipelineProfilerTest, EndToEndPhaseAttribution) {
+  auto pipeline = ProfiledJoinPipeline();
+  Pipeline& p = *pipeline;
+  const int kArrivals = 200;
+  Time now = 0;
+  for (int i = 0; i < kArrivals; ++i) {
+    ++now;
+    p.Tick(now);
+    // Same key both links: every arrival pair joins.
+    p.Ingest(i % 2, T({1, i}, now));
+  }
+  ASSERT_TRUE(p.profiling());
+  const obs::ProfileSnapshot snap = p.profiler()->Snapshot();
+
+  // Topology: two windows, the join, plus the implicit view.
+  ASSERT_EQ(snap.ops.size(), 4u);
+  EXPECT_EQ(snap.ops[2].name, "join");
+  EXPECT_EQ(snap.ops.back().name, "view");
+
+  // With sample_interval=1 the sampled counts are the exact totals.
+  EXPECT_EQ(snap.phases.ingests, static_cast<uint64_t>(kArrivals));
+  EXPECT_EQ(snap.phases.sampled_ingests, static_cast<uint64_t>(kArrivals));
+  EXPECT_EQ(snap.phases.ticks, snap.phases.sampled_ticks);
+  EXPECT_GT(snap.phases.ticks, 0u);
+
+  // Every arrival reaches exactly one window, which forwards it to the
+  // join; the join emits result tuples into the view.
+  EXPECT_EQ(snap.ops[0].c.tuples_in + snap.ops[1].c.tuples_in,
+            static_cast<uint64_t>(kArrivals));
+  EXPECT_EQ(snap.ops[2].c.tuples_in, static_cast<uint64_t>(kArrivals));
+  EXPECT_GT(snap.ops[2].c.emitted, 0u);
+  EXPECT_EQ(snap.ops[3].c.tuples_in, snap.ops[2].c.emitted);
+
+  // All three paper phases saw time: processing on arrivals, insertion
+  // in the join state and view, expiration in windows/join/view.
+  EXPECT_GT(snap.phases.processing_ns, 0.0);
+  EXPECT_GT(snap.phases.insertion_ns, 0.0);
+  EXPECT_GT(snap.phases.expiration_ns, 0.0);
+  EXPECT_GT(snap.ops[2].c.insert_calls, 0u);
+
+  // Per-op phase estimates sum to the pipeline-level breakdown.
+  double proc = 0, ins = 0, exp = 0;
+  for (const obs::OpSnapshot& o : snap.ops) {
+    proc += o.processing_ns;
+    ins += o.insertion_ns;
+    exp += o.expiration_ns;
+  }
+  EXPECT_DOUBLE_EQ(proc, snap.phases.processing_ns);
+  EXPECT_DOUBLE_EQ(ins, snap.phases.insertion_ns);
+  EXPECT_DOUBLE_EQ(exp, snap.phases.expiration_ns);
+
+  // State polling ran (poll_every=1): the join reported bytes.
+  EXPECT_GT(snap.ops[2].c.state_bytes, 0u);
+
+  // Histograms recorded per-call latencies.
+  EXPECT_GT(snap.ops[2].process_ns_hist.count, 0u);
+  EXPECT_GE(snap.ops[2].process_ns_hist.Percentile(99),
+            snap.ops[2].process_ns_hist.Percentile(50));
+
+  // The rendered table mentions every operator.
+  const std::string table = snap.ToString();
+  EXPECT_NE(table.find("join"), std::string::npos);
+  EXPECT_NE(table.find("view"), std::string::npos);
+}
+
+TEST(PipelineProfilerTest, UnprofiledPipelineReportsNothing) {
+  auto pp = std::make_unique<Pipeline>();
+  Pipeline& p = *pp;
+  const int w0 = p.AddOperator(
+      std::make_unique<TimeWindowOp>(IntSchema(1), 10, false), {});
+  p.BindStream(0, w0, 0);
+  p.SetView(std::make_unique<BufferView>(std::make_unique<ListBuffer>(),
+                                         true));
+  EXPECT_FALSE(p.profiling());
+  EXPECT_EQ(p.profiler(), nullptr);
+  p.Tick(1);
+  p.Ingest(0, T({1}, 1));
+  EXPECT_EQ(p.view().Size(), 1u);
+}
+
+}  // namespace
+}  // namespace upa
