@@ -80,12 +80,10 @@ void ServeMetrics(int port, double seconds,
     if (conn < 0) continue;
     char req[1024];
     const ssize_t n = ::recv(conn, req, sizeof(req) - 1, 0);
-    (void)n;
-    const std::string body = render();
-    std::string resp =
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n"
-        "Content-Length: " +
-        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+    const std::string request(req, n > 0 ? static_cast<size_t>(n) : 0);
+    // Malformed or hostile request lines get an error response (400/404/
+    // 405), never a crash — see HandleMetricsRequest and its tests.
+    const std::string resp = upa::HandleMetricsRequest(request, render);
     (void)!::send(conn, resp.data(), resp.size(), 0);
     ::close(conn);
   }

@@ -10,17 +10,33 @@
 #                                 # engine races; slower; skips the
 #                                 # smoke bench -- its timings would be
 #                                 # meaningless under the sanitizer)
+#   UPA_ASAN=1 scripts/ci.sh     # same, under AddressSanitizer + UBSan
+#                                 # (catches the memory bugs the chaos
+#                                 # and fuzz suites are built to shake
+#                                 # out; also skips the smoke bench)
 #
-# The build directory is build/ (or build-tsan/ under UPA_TSAN=1) so a
-# sanitizer run does not clobber the regular build cache.
+# The build directory is build/ (build-tsan/ under UPA_TSAN=1, build-asan/
+# under UPA_ASAN=1) so a sanitizer run does not clobber the regular build
+# cache.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
+SANITIZED=0
 CMAKE_ARGS=()
+if [[ "${UPA_TSAN:-0}" == "1" && "${UPA_ASAN:-0}" == "1" ]]; then
+  echo "ci.sh: UPA_TSAN and UPA_ASAN are mutually exclusive" >&2
+  exit 1
+fi
 if [[ "${UPA_TSAN:-0}" == "1" ]]; then
   BUILD_DIR=build-tsan
+  SANITIZED=1
   CMAKE_ARGS+=(-DUPA_TSAN=ON)
+fi
+if [[ "${UPA_ASAN:-0}" == "1" ]]; then
+  BUILD_DIR=build-asan
+  SANITIZED=1
+  CMAKE_ARGS+=(-DUPA_ASAN=ON)
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
@@ -32,8 +48,8 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # against the committed baseline (bench/baselines/BENCH_q1_smoke.json).
 # The 2x threshold is deliberately loose: it tolerates machine-to-machine
 # variance while still catching an accidental O(n) -> O(n^2).
-if [[ "${UPA_TSAN:-0}" == "1" ]]; then
-  echo "ci.sh: TSan build -- skipping the smoke bench (timings unusable)"
+if [[ "$SANITIZED" == "1" ]]; then
+  echo "ci.sh: sanitizer build -- skipping the smoke bench (timings unusable)"
   exit 0
 fi
 

@@ -67,6 +67,36 @@ bool ContainsNegation(const PlanNode& plan) {
 
 namespace {
 
+/// True if the subtree keeps state whose age a time horizon cannot bound:
+/// relation leaves (never expire), count windows (retain the last N
+/// regardless of age), and stream leaves not consumed through a window.
+bool HasUnboundedLineage(const PlanNode& plan) {
+  switch (plan.kind) {
+    case PlanOpKind::kRelation:
+    case PlanOpKind::kCountWindow:
+      return true;
+    case PlanOpKind::kWindow:
+      return false;  // Bounds its stream child to window_size.
+    case PlanOpKind::kStream:
+      return true;  // Reached only when not consumed through a window.
+    default:
+      for (const auto& c : plan.children) {
+        if (HasUnboundedLineage(*c)) return true;
+      }
+      return false;
+  }
+}
+
+}  // namespace
+
+Time RecoveryHorizon(const PlanNode& plan) {
+  if (HasUnboundedLineage(plan)) return kNeverExpires;
+  const Time span = MaxWindowSpan(plan);
+  return span > 0 ? span : kNeverExpires;
+}
+
+namespace {
+
 /// Per-subtree build style. Under UPA's hybrid strategy different regions
 /// of one plan use different styles (Section 5.4.3: direct below the
 /// negation, negative tuples above it).

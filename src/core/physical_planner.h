@@ -119,6 +119,15 @@ int RootKeyColumn(const PlanNode& plan);
 /// spread that partitioned buffers above it must cover.
 Time MaxWindowSpan(const PlanNode& plan);
 
+/// How far back a shard's ingest log must reach so that replaying it into
+/// a fresh replica reproduces the lost operator state exactly. For purely
+/// time-windowed plans this is the largest window span: anything older
+/// has expired out of every buffer (the paper's expiration semantics) and
+/// cannot influence results. Plans with relations, count windows, or
+/// streams consumed without a window keep state of unbounded age, so the
+/// horizon is kNeverExpires (the log is never pruned).
+Time RecoveryHorizon(const PlanNode& plan);
+
 /// True if the subtree contains a negation (used by the hybrid strategy
 /// and by the optimizer's heuristics).
 bool ContainsNegation(const PlanNode& plan);

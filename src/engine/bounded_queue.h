@@ -47,7 +47,13 @@ class BoundedQueue {
       not_full_.wait(lock,
                      [&] { return closed_ || items_.size() < capacity_; });
     }
-    if (closed_) return false;
+    if (closed_) {
+      // Shutdown race: a producer lost against Close(). The tuple is just
+      // as lost as a capacity shed, so it must count -- otherwise the
+      // enqueued/processed/dropped ledger silently leaks during shutdown.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     if (items_.size() >= capacity_) {  // kDropNewest only.
       dropped_.fetch_add(1, std::memory_order_relaxed);
       return false;
@@ -103,7 +109,9 @@ class BoundedQueue {
     return items_.size();
   }
 
-  /// Tuples rejected under kDropNewest since construction.
+  /// Tuples rejected since construction: capacity sheds under
+  /// kDropNewest, plus pushes (either policy) that lost the shutdown race
+  /// against Close(). Every rejected Push increments this exactly once.
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
   size_t capacity() const { return capacity_; }

@@ -9,7 +9,11 @@
 
 namespace upa {
 
-Engine::Engine(const EngineOptions& options) : options_(options) {}
+Engine::Engine(const EngineOptions& options) : options_(options) {
+  if (options_.supervise) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
+}
 
 Engine::~Engine() { Stop(); }
 
@@ -51,9 +55,12 @@ RegisterResult Engine::DoRegister(const std::string& name, PlanPtr plan,
   }
   QueryOptions effective = options;
   if (options_.profile_queries) effective.profile = true;
+  if (options_.check_invariants) effective.check_invariants = true;
+  const bool recovery = options_.supervise && options_.recover;
   auto query = std::make_unique<RegisteredQuery>(
       name, std::move(plan), effective, options_.default_shards,
-      options_.queue_capacity, options_.max_batch, options_.backpressure);
+      options_.queue_capacity, options_.max_batch, options_.backpressure,
+      recovery, options_.fault_injector);
   RegisteredQuery* q = nullptr;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
@@ -73,6 +80,72 @@ RegisterResult Engine::DoRegister(const std::string& name, PlanPtr plan,
 
 void Engine::Ingest(int stream_id, const Tuple& t) {
   if (stopped_.load(std::memory_order_relaxed)) return;
+  if (options_.fault_injector != nullptr) {
+    switch (options_.fault_injector->OnIngest()) {
+      case FaultInjector::IngestAction::kDrop:
+        return;  // Lost in "transport"; a held tuple stays held.
+      case FaultInjector::IngestAction::kDuplicate:
+        DeliverOne(stream_id, t);
+        DeliverOne(stream_id, t);
+        return;
+      case FaultInjector::IngestAction::kReorder: {
+        std::lock_guard<std::mutex> lock(hold_mu_);
+        if (!has_held_) {
+          // Park this tuple; it is released around the next delivery —
+          // swapped behind an equal-timestamp successor, in front of any
+          // later one (equal-ts tuples are unordered in the paper's
+          // model, so only the equal-ts swap is a legal perturbation).
+          has_held_ = true;
+          held_stream_ = stream_id;
+          held_ = t;
+          return;
+        }
+        break;  // Already holding one: deliver normally.
+      }
+      case FaultInjector::IngestAction::kDeliver:
+        break;
+    }
+  }
+  DeliverOne(stream_id, t);
+}
+
+void Engine::DeliverOne(int stream_id, const Tuple& t) {
+  bool have = false;
+  bool after = false;
+  int held_stream = -1;
+  Tuple held;
+  {
+    std::lock_guard<std::mutex> lock(hold_mu_);
+    if (has_held_) {
+      have = true;
+      held_stream = held_stream_;
+      held = held_;
+      has_held_ = false;
+      after = held_.ts == t.ts;  // Equal ts: the swap. Older: keep order.
+    }
+  }
+  if (have && !after) IngestImpl(held_stream, held);
+  IngestImpl(stream_id, t);
+  if (have && after) IngestImpl(held_stream, held);
+}
+
+void Engine::FlushHeld() {
+  bool have = false;
+  int held_stream = -1;
+  Tuple held;
+  {
+    std::lock_guard<std::mutex> lock(hold_mu_);
+    if (has_held_) {
+      have = true;
+      held_stream = held_stream_;
+      held = held_;
+      has_held_ = false;
+    }
+  }
+  if (have) IngestImpl(held_stream, held);
+}
+
+void Engine::IngestImpl(int stream_id, const Tuple& t) {
   // Advance the engine clock (max: concurrent producers may race, keep
   // the highest).
   Time seen = clock_.load(std::memory_order_relaxed);
@@ -120,12 +193,14 @@ void BarrierQuery(RegisteredQuery* q, Time ts,
 }  // namespace
 
 void Engine::Flush() {
+  FlushHeld();
   const Time ts = clock();
   std::shared_lock<std::shared_mutex> lock(mu_);
   for (const auto& q : registry_.queries()) BarrierQuery(q.get(), ts, {});
 }
 
 bool Engine::FlushQuery(const std::string& name) {
+  FlushHeld();
   const Time ts = clock();
   std::shared_lock<std::shared_mutex> lock(mu_);
   RegisteredQuery* q = registry_.Find(name);
@@ -138,6 +213,7 @@ bool Engine::Snapshot(const std::string& name, std::vector<Tuple>* out,
                       Time at) {
   UPA_CHECK(out != nullptr);
   out->clear();
+  FlushHeld();
   const Time ts = std::max(at, clock());
   std::shared_lock<std::shared_mutex> lock(mu_);
   RegisteredQuery* q = registry_.Find(name);
@@ -178,6 +254,9 @@ EngineMetrics Engine::Metrics() const {
     qm.partitioned = q->scheme().partitionable;
     qm.partition_note = q->scheme().ToString();
     qm.enqueued = q->enqueued.load(std::memory_order_relaxed);
+    qm.degraded = q->degraded.load(std::memory_order_relaxed);
+    qm.degrade_events = q->degrade_events.load(std::memory_order_relaxed);
+    qm.stall_events = q->stall_events.load(std::memory_order_relaxed);
     for (int i = 0; i < q->num_shards(); ++i) {
       ShardMetrics sm = q->shard(i).Metrics(i);
       qm.processed += sm.processed;
@@ -185,6 +264,7 @@ EngineMetrics Engine::Metrics() const {
       qm.queue_depth += sm.queue_depth;
       qm.state_bytes += sm.state_bytes;
       qm.view_size += sm.view_size;
+      qm.restarts += sm.restarts;
       qm.stats += sm.stats;
       if (sm.profiled) {
         qm.profiled = true;
@@ -204,10 +284,74 @@ EngineMetrics Engine::Metrics() const {
 }
 
 void Engine::Stop() {
+  if (stopped_.load(std::memory_order_relaxed)) return;
+  FlushHeld();  // Before stopping ingest: the held tuple must not vanish.
   if (stopped_.exchange(true)) return;
+  // The watchdog goes first so no restart races shard shutdown.
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   std::shared_lock<std::shared_mutex> lock(mu_);
   for (const auto& q : registry_.queries()) {
     for (int i = 0; i < q->num_shards(); ++i) q->shard(i).Stop();
+  }
+}
+
+void Engine::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.watchdog_interval_ms),
+        [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    lock.unlock();
+    PollSupervisor();
+    lock.lock();
+  }
+}
+
+void Engine::PollSupervisor() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto stall_after = std::chrono::milliseconds(options_.stall_timeout_ms);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> watch_lock(watch_mu_);
+  for (const auto& q : registry_.queries()) {
+    size_t worst_depth = 0;
+    size_t capacity = 0;
+    for (int i = 0; i < q->num_shards(); ++i) {
+      ShardExecutor& sh = q->shard(i);
+      if (sh.crashed()) sh.Restart();
+      worst_depth = std::max(worst_depth, sh.queue_depth());
+      capacity = sh.queue_capacity();
+      auto [it, inserted] = watch_.try_emplace(&sh);
+      StallWatch& w = it->second;
+      const uint64_t p = sh.processed();
+      if (inserted || p != w.processed || sh.queue_depth() == 0 ||
+          sh.crashed()) {
+        w.processed = p;
+        w.since = now;
+        w.flagged = false;
+      } else if (!w.flagged && now - w.since >= stall_after) {
+        w.flagged = true;
+        q->stall_events.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (capacity == 0) continue;
+    const double frac =
+        static_cast<double>(worst_depth) / static_cast<double>(capacity);
+    if (!q->degraded.load(std::memory_order_relaxed) &&
+        frac >= options_.degrade_high_watermark) {
+      q->degraded.store(true, std::memory_order_relaxed);
+      q->degrade_events.fetch_add(1, std::memory_order_relaxed);
+      for (int i = 0; i < q->num_shards(); ++i) q->shard(i).SetDegraded(true);
+    } else if (q->degraded.load(std::memory_order_relaxed) &&
+               frac <= options_.degrade_low_watermark) {
+      q->degraded.store(false, std::memory_order_relaxed);
+      for (int i = 0; i < q->num_shards(); ++i) q->shard(i).SetDegraded(false);
+    }
   }
 }
 

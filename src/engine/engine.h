@@ -2,11 +2,17 @@
 #define UPA_ENGINE_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "engine/fault.h"
 #include "engine/metrics.h"
 #include "engine/registry.h"
 #include "sql/catalog.h"
@@ -28,6 +34,34 @@ struct EngineOptions {
   /// still wins when set). Phase breakdowns then show up in Metrics()
   /// and the Prometheus exposition.
   bool profile_queries = false;
+
+  // --- Robustness layer (supervision, recovery, overload handling) ---
+
+  /// Run a watchdog thread that restarts crashed shard workers, flags
+  /// stalled ones, and drives overload degradation. Off by default: a
+  /// plain engine has no background threads beyond its workers.
+  bool supervise = false;
+  /// Watchdog poll period.
+  int watchdog_interval_ms = 20;
+  /// When any shard queue of a query fills past this fraction of its
+  /// capacity, the watchdog switches the query's replicas to degraded
+  /// (wider lazy-expiration intervals: the Section 6.1 trade of memory
+  /// for per-tuple CPU, results unchanged)...
+  double degrade_high_watermark = 0.75;
+  /// ...and back to normal once every queue drains below this fraction.
+  double degrade_low_watermark = 0.25;
+  /// A shard with a non-empty queue and no progress for this long is
+  /// counted as stalled (visible in metrics; restart only fires on
+  /// crashes, a slow shard is left alone).
+  int stall_timeout_ms = 500;
+  /// With supervise: keep per-shard window-bounded ingest logs so a
+  /// crashed shard's replica can be rebuilt by replay.
+  bool recover = true;
+  /// Chaos-test fault injector (borrowed; must outlive the engine). Null
+  /// in production.
+  FaultInjector* fault_injector = nullptr;
+  /// Force QueryOptions::check_invariants for every registered query.
+  bool check_invariants = false;
 };
 
 /// Outcome of registering a query.
@@ -119,9 +153,27 @@ class Engine {
   /// also run by the destructor. Further Ingest calls are no-ops.
   void Stop();
 
+  /// Runs one supervision pass inline: restarts crashed shards, updates
+  /// stall flags, applies the overload watermarks. The watchdog thread
+  /// calls this every watchdog_interval_ms; tests may call it directly
+  /// for deterministic assertions (works even with supervise off).
+  void PollSupervisor();
+
  private:
   RegisterResult DoRegister(const std::string& name, PlanPtr plan,
                             const QueryOptions& options);
+  /// The fan-out path shared by Ingest and the fault hooks: advances the
+  /// engine clock and routes the tuple to every bound query.
+  void IngestImpl(int stream_id, const Tuple& t);
+  /// Delivers `t`, flushing a held (reorder-fault) tuple around it in the
+  /// right order: before `t` when strictly older, after when equal-ts
+  /// (the swap the fault asks for).
+  void DeliverOne(int stream_id, const Tuple& t);
+  /// Delivers a held reorder-fault tuple, if any. Called by every
+  /// barrier/snapshot entry point so a held tuple is never outstanding
+  /// when results are observed.
+  void FlushHeld();
+  void WatchdogLoop();
 
   const EngineOptions options_;
   SourceCatalog catalog_;
@@ -134,6 +186,28 @@ class Engine {
 
   std::atomic<Time> clock_{-1};
   std::atomic<bool> stopped_{false};
+
+  // Watchdog (supervise mode).
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // Guarded by watchdog_mu_.
+  std::thread watchdog_;
+
+  // Per-shard progress tracking for the stall detector. Shard executor
+  // addresses are stable (queries are never removed).
+  struct StallWatch {
+    uint64_t processed = 0;
+    std::chrono::steady_clock::time_point since;
+    bool flagged = false;
+  };
+  std::mutex watch_mu_;
+  std::map<const ShardExecutor*, StallWatch> watch_;  // Guarded by watch_mu_.
+
+  // One-tuple hold slot for the kReorderIngest fault.
+  std::mutex hold_mu_;
+  bool has_held_ = false;   // Guarded by hold_mu_.
+  int held_stream_ = -1;    // Guarded by hold_mu_.
+  Tuple held_;              // Guarded by hold_mu_.
 };
 
 }  // namespace upa

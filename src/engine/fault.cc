@@ -1,0 +1,173 @@
+#include "engine/fault.h"
+
+#include <utility>
+
+#include "common/rng.h"
+
+namespace upa {
+
+std::string FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKillShard:
+      return "kill-shard";
+    case FaultKind::kAllocFail:
+      return "alloc-fail";
+    case FaultKind::kDelayBatch:
+      return "delay-batch";
+    case FaultKind::kDropIngest:
+      return "drop-ingest";
+    case FaultKind::kDuplicateIngest:
+      return "duplicate-ingest";
+    case FaultKind::kReorderIngest:
+      return "reorder-ingest";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(std::vector<FaultEvent> schedule) {
+  schedule_.reserve(schedule.size());
+  for (FaultEvent& e : schedule) schedule_.push_back({std::move(e), false});
+}
+
+namespace {
+
+bool Matches(const FaultEvent& e, const std::string& query, int shard) {
+  if (!e.query.empty() && e.query != query) return false;
+  if (e.shard >= 0 && e.shard != shard) return false;
+  return true;
+}
+
+}  // namespace
+
+bool FaultInjector::ShouldCrash(const std::string& query, int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t count = ++tuple_counts_[{query, shard}];
+  for (PendingEvent& p : schedule_) {
+    if (p.fired) continue;
+    if (p.event.kind != FaultKind::kKillShard &&
+        p.event.kind != FaultKind::kAllocFail) {
+      continue;
+    }
+    if (!Matches(p.event, query, shard)) continue;
+    if (count < p.event.at_count) continue;
+    p.fired = true;
+    ++fired_[p.event.kind];
+    return true;
+  }
+  return false;
+}
+
+int FaultInjector::NextBatchDelayMs(const std::string& query, int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t count = ++batch_counts_[{query, shard}];
+  for (PendingEvent& p : schedule_) {
+    if (p.event.kind != FaultKind::kDelayBatch) continue;
+    if (!Matches(p.event, query, shard)) continue;
+    if (p.event.repeat) {
+      if (p.event.at_count == 0 || count % p.event.at_count != 0) continue;
+    } else {
+      if (p.fired || count < p.event.at_count) continue;
+      p.fired = true;
+    }
+    ++fired_[FaultKind::kDelayBatch];
+    return p.event.param;
+  }
+  return 0;
+}
+
+FaultInjector::IngestAction FaultInjector::OnIngest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t count = ++ingest_count_;
+  for (PendingEvent& p : schedule_) {
+    if (p.fired) continue;
+    IngestAction action;
+    switch (p.event.kind) {
+      case FaultKind::kDropIngest:
+        action = IngestAction::kDrop;
+        break;
+      case FaultKind::kDuplicateIngest:
+        action = IngestAction::kDuplicate;
+        break;
+      case FaultKind::kReorderIngest:
+        action = IngestAction::kReorder;
+        break;
+      default:
+        continue;
+    }
+    if (count < p.event.at_count) continue;
+    p.fired = true;
+    ++fired_[p.event.kind];
+    return action;
+  }
+  return IngestAction::kDeliver;
+}
+
+uint64_t FaultInjector::fired(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fired_.find(kind);
+  return it == fired_.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjector::total_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [kind, n] : fired_) total += n;
+  return total;
+}
+
+std::vector<FaultEvent> FaultInjector::RandomSchedule(
+    uint64_t seed, const std::vector<std::string>& queries, int shards,
+    uint64_t expected_events, bool ingest_faults) {
+  Rng rng(seed);
+  std::vector<FaultEvent> schedule;
+  const uint64_t span = expected_events > 2 ? expected_events : 2;
+  const auto random_query = [&]() -> std::string {
+    if (queries.empty()) return "";
+    return queries[static_cast<size_t>(rng.NextBelow(queries.size()))];
+  };
+  // One or two mid-run kills: the core recovery scenario.
+  const int kills = 1 + static_cast<int>(rng.NextBelow(2));
+  for (int i = 0; i < kills; ++i) {
+    FaultEvent e;
+    e.kind = rng.NextBool(0.25) ? FaultKind::kAllocFail : FaultKind::kKillShard;
+    e.query = random_query();
+    e.shard = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(
+        shards > 0 ? shards : 1)));
+    e.at_count = 1 + rng.NextBelow(span);
+    schedule.push_back(e);
+  }
+  // A recurring batch delay on one shard: builds queue depth, which is
+  // what exercises the overload watermark and the stall detector.
+  if (rng.NextBool(0.7)) {
+    FaultEvent e;
+    e.kind = FaultKind::kDelayBatch;
+    e.query = random_query();
+    e.shard = -1;
+    e.at_count = 2 + rng.NextBelow(6);
+    e.param = 1 + static_cast<int>(rng.NextBelow(3));
+    e.repeat = true;
+    schedule.push_back(e);
+  }
+  if (ingest_faults) {
+    const int n = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int i = 0; i < n; ++i) {
+      FaultEvent e;
+      switch (rng.NextBelow(3)) {
+        case 0:
+          e.kind = FaultKind::kDropIngest;
+          break;
+        case 1:
+          e.kind = FaultKind::kDuplicateIngest;
+          break;
+        default:
+          e.kind = FaultKind::kReorderIngest;
+          break;
+      }
+      e.at_count = 1 + rng.NextBelow(span);
+      schedule.push_back(e);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace upa

@@ -1,0 +1,112 @@
+#ifndef UPA_ENGINE_FAULT_H_
+#define UPA_ENGINE_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace upa {
+
+/// The fault classes the chaos harness can inject. Every fault is
+/// deterministic: it fires when a per-(query, shard) event counter
+/// reaches the scheduled count, so a (seed, schedule) pair reproduces a
+/// run exactly -- the property the differential chaos tests rely on.
+enum class FaultKind {
+  /// The shard worker thread exits mid-batch, as if the thread died. The
+  /// queue stays open; the engine watchdog must restart the shard and
+  /// rebuild its replica from the recovery log.
+  kKillShard,
+  /// An allocation fails at an operator boundary. The replica is treated
+  /// as poisoned and the worker takes the crash path -- recovery is the
+  /// same replica rebuild as kKillShard, but counted separately.
+  kAllocFail,
+  /// The worker sleeps before draining its next batch, simulating a slow
+  /// shard. Queue depth builds up, which is what drives the overload
+  /// watermark and the stall detector.
+  kDelayBatch,
+  /// The engine drops one ingest event before fan-out (lossy transport).
+  kDropIngest,
+  /// The engine delivers one ingest event twice (at-least-once
+  /// transport).
+  kDuplicateIngest,
+  /// The engine swaps this ingest event with the next one carrying the
+  /// same timestamp (reordered transport). Tuples of equal timestamp are
+  /// unordered in the paper's model, so this perturbs execution without
+  /// changing the defined result.
+  kReorderIngest,
+};
+
+std::string FaultKindName(FaultKind kind);
+
+/// One scheduled fault. Worker-side faults (kill/alloc/delay) count data
+/// tuples processed by the matching shard; ingest-side faults count
+/// Engine::Ingest calls. `query`/`shard` narrow the target; an empty
+/// query or shard -1 matches any.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kKillShard;
+  std::string query;      ///< Target query name; empty = any.
+  int shard = -1;         ///< Target shard index; -1 = any.
+  uint64_t at_count = 0;  ///< Fire when the target's counter reaches this.
+  int param = 0;          ///< kDelayBatch: sleep milliseconds.
+  bool repeat = false;    ///< Re-fire every `at_count` events (delay only).
+};
+
+/// Deterministic fault injector shared by the engine (ingest hooks) and
+/// the shard workers (crash/delay hooks). Thread-safe; hooks are cheap
+/// enough for test traffic but this is chaos-testing machinery, not a
+/// production code path -- engines run without one unless
+/// EngineOptions::fault_injector is set.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::vector<FaultEvent> schedule);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// What Engine::Ingest should do with the current event.
+  enum class IngestAction { kDeliver, kDrop, kDuplicate, kReorder };
+
+  /// Worker hook, called once per data tuple before it is processed.
+  /// Returns true when a kKillShard/kAllocFail fault fires for
+  /// (query, shard); the worker then abandons the batch and exits.
+  bool ShouldCrash(const std::string& query, int shard);
+
+  /// Worker hook, called before each PopBatch: milliseconds to stall, or
+  /// 0. The sleep happens before the pop so queued items stay visible to
+  /// the overload watermark while the shard lags.
+  int NextBatchDelayMs(const std::string& query, int shard);
+
+  /// Engine hook, called once per Ingest call (before fan-out).
+  IngestAction OnIngest();
+
+  /// Faults of `kind` that have fired so far.
+  uint64_t fired(FaultKind kind) const;
+  uint64_t total_fired() const;
+
+  /// Seeded random schedule over `queries` x `shards`: a few shard kills
+  /// and batch delays at random points of a run expected to process about
+  /// `expected_events` tuples per shard, plus (optionally) ingest
+  /// drop/duplicate/reorder faults. Deterministic in `seed`.
+  static std::vector<FaultEvent> RandomSchedule(
+      uint64_t seed, const std::vector<std::string>& queries, int shards,
+      uint64_t expected_events, bool ingest_faults);
+
+ private:
+  struct PendingEvent {
+    FaultEvent event;
+    bool fired = false;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<PendingEvent> schedule_;
+  std::map<std::pair<std::string, int>, uint64_t> tuple_counts_;
+  std::map<std::pair<std::string, int>, uint64_t> batch_counts_;
+  uint64_t ingest_count_ = 0;
+  std::map<FaultKind, uint64_t> fired_;
+};
+
+}  // namespace upa
+
+#endif  // UPA_ENGINE_FAULT_H_

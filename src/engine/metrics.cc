@@ -31,6 +31,17 @@ std::string EngineMetrics::ToString() const {
                     total > 0 ? 100.0 * q.phases.expiration_ns / total : 0.0);
       out += line;
     }
+    if (q.restarts > 0 || q.degraded || q.degrade_events > 0 ||
+        q.stall_events > 0) {
+      std::snprintf(line, sizeof(line),
+                    "    robustness: restarts=%llu degraded=%s "
+                    "degrade_events=%llu stall_events=%llu\n",
+                    static_cast<unsigned long long>(q.restarts),
+                    q.degraded ? "yes" : "no",
+                    static_cast<unsigned long long>(q.degrade_events),
+                    static_cast<unsigned long long>(q.stall_events));
+      out += line;
+    }
   }
   return out;
 }
@@ -67,6 +78,13 @@ std::string EngineMetrics::ToPrometheus() const {
     series("upa_query_view_size", "gauge", l,
            static_cast<double>(q.view_size));
     series("upa_query_tuples_per_second", "gauge", l, q.tuples_per_second);
+    series("upa_query_restarts_total", "counter", l,
+           static_cast<double>(q.restarts));
+    series("upa_query_degraded", "gauge", l, q.degraded ? 1.0 : 0.0);
+    series("upa_query_degrade_events_total", "counter", l,
+           static_cast<double>(q.degrade_events));
+    series("upa_query_stall_events_total", "counter", l,
+           static_cast<double>(q.stall_events));
     series("upa_query_delivered_total", "counter", l,
            static_cast<double>(q.stats.delivered));
     series("upa_query_negatives_total", "counter", l,
@@ -85,6 +103,64 @@ std::string EngineMetrics::ToPrometheus() const {
     }
   }
   return out;
+}
+
+namespace {
+
+std::string HttpResponse(const char* status, const std::string& body,
+                         bool include_body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: text/plain; version=0.0.4\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (include_body) out += body;
+  return out;
+}
+
+}  // namespace
+
+std::string HandleMetricsRequest(
+    const std::string& request, const std::function<std::string()>& render) {
+  // Parse only the request line: METHOD SP TARGET SP VERSION. Anything
+  // that does not fit — binary garbage, missing tokens, embedded NUL,
+  // oversized lines — is a client error, answered, never fatal.
+  const size_t eol = request.find_first_of("\r\n");
+  const std::string line =
+      eol == std::string::npos ? request : request.substr(0, eol);
+  if (line.empty() || line.size() > 8192 ||
+      line.find('\0') != std::string::npos) {
+    return HttpResponse("400 Bad Request", "bad request\n", true);
+  }
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) {
+    return HttpResponse("400 Bad Request", "bad request\n", true);
+  }
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) {
+    return HttpResponse("400 Bad Request", "bad request\n", true);
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/", 0) != 0) {
+    return HttpResponse("400 Bad Request", "bad request\n", true);
+  }
+  for (char c : method) {
+    if (c < 'A' || c > 'Z') {
+      return HttpResponse("400 Bad Request", "bad request\n", true);
+    }
+  }
+  if (method != "GET" && method != "HEAD") {
+    return HttpResponse("405 Method Not Allowed", "method not allowed\n",
+                        true);
+  }
+  const size_t query_start = target.find('?');
+  if (query_start != std::string::npos) target = target.substr(0, query_start);
+  if (target != "/metrics" && target != "/") {
+    return HttpResponse("404 Not Found", "not found\n", true);
+  }
+  return HttpResponse("200 OK", render(), method == "GET");
 }
 
 }  // namespace upa

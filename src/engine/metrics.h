@@ -2,6 +2,7 @@
 #define UPA_ENGINE_METRICS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -20,7 +21,12 @@ struct ShardMetrics {
   size_t queue_depth = 0;     ///< Tuples currently waiting.
   size_t state_bytes = 0;     ///< Operator + view state of the replica.
   size_t view_size = 0;       ///< Live result tuples of the shard view.
-  PipelineStats stats;        ///< The replica's execution counters.
+  uint64_t restarts = 0;      ///< Crash recoveries (replica rebuilds).
+  bool crashed = false;       ///< Worker dead, restart pending.
+  bool degraded = false;      ///< Replica in lazy-degraded overload mode.
+  PipelineStats stats;        ///< The replica's execution counters. After a
+                              ///< restart these cover the current replica
+                              ///< only (replay re-counts retained tuples).
   bool profiled = false;      ///< Replica runs with a profiler attached.
   obs::PhaseBreakdown phases; ///< Section 6.1 split (when profiled).
 };
@@ -38,6 +44,11 @@ struct QueryMetrics {
   size_t queue_depth = 0;     ///< Sum of shard queue depths.
   size_t state_bytes = 0;     ///< Sum of shard state.
   size_t view_size = 0;       ///< Live results across shard views.
+  uint64_t restarts = 0;      ///< Sum of shard crash recoveries.
+  bool degraded = false;      ///< Query currently in degraded mode.
+  uint64_t degrade_events = 0;  ///< Times the overload watermark tripped.
+  uint64_t stall_events = 0;    ///< Times the watchdog flagged a stalled
+                                ///< shard (queue backed up, no progress).
   PipelineStats stats;        ///< Merged shard PipelineStats.
   bool profiled = false;      ///< Any shard published a phase breakdown.
   obs::PhaseBreakdown phases; ///< Merged shard phase breakdowns.
@@ -64,6 +75,15 @@ struct EngineMetrics {
   /// examples/engine_server.cpp's /metrics endpoint.
   std::string ToPrometheus() const;
 };
+
+/// Builds the full HTTP/1.x response for one request to the metrics
+/// endpoint. `request` is the raw request text (at least the request
+/// line); `render` produces the exposition body and is only invoked for
+/// well-formed GET/HEAD requests of /metrics (or /). Malformed request
+/// lines get 400, unsupported methods 405, other paths 404 — the server
+/// must answer garbage with an error response, never crash or hang.
+std::string HandleMetricsRequest(const std::string& request,
+                                 const std::function<std::string()>& render);
 
 }  // namespace upa
 

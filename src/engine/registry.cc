@@ -15,29 +15,83 @@ void CollectStreamIds(const PlanNode& n, std::set<int>* out) {
   for (const auto& c : n.children) CollectStreamIds(*c, out);
 }
 
+bool ContainsKind(const PlanNode& n, PlanOpKind kind) {
+  if (n.kind == kind) return true;
+  for (const auto& c : n.children) {
+    if (ContainsKind(*c, kind)) return true;
+  }
+  return false;
+}
+
+/// Maps a plan's Section 5.2 update pattern onto the check the result
+/// view can enforce. Group-by is excluded from the expiration checks
+/// (its outputs replace each other: a deletion is an update, not an
+/// expiration), as are count windows (eviction is count-driven, not
+/// clock-driven) and relations (updates delete tuples that never expire).
+PatternInvariant InvariantFor(const PlanNode& plan) {
+  if (ContainsKind(plan, PlanOpKind::kGroupBy) ||
+      ContainsKind(plan, PlanOpKind::kCountWindow) ||
+      ContainsKind(plan, PlanOpKind::kRelation)) {
+    return PatternInvariant::kLiveOnly;
+  }
+  switch (plan.pattern) {
+    case UpdatePattern::kWeakest:
+      return PatternInvariant::kFifo;
+    case UpdatePattern::kWeak:
+      return PatternInvariant::kPredictable;
+    case UpdatePattern::kMonotonic:
+    case UpdatePattern::kStrict:
+      return PatternInvariant::kLiveOnly;
+  }
+  return PatternInvariant::kLiveOnly;
+}
+
 }  // namespace
 
 RegisteredQuery::RegisteredQuery(std::string name, PlanPtr plan,
                                  const QueryOptions& options,
                                  int default_shards, size_t queue_capacity,
-                                 size_t max_batch, BackpressurePolicy policy)
+                                 size_t max_batch, BackpressurePolicy policy,
+                                 bool enable_recovery, FaultInjector* faults)
     : name_(std::move(name)),
       plan_(std::move(plan)),
       scheme_(AnalyzePartitionability(*plan_)),
       factory_(plan_.get(), options.mode, options.planner),
+      options_(options),
       registered_at_(std::chrono::steady_clock::now()) {
   CollectStreamIds(*plan_, &streams_);
   int shards = options.shards > 0 ? options.shards : default_shards;
   if (shards < 1) shards = 1;
   if (!scheme_.partitionable) shards = 1;  // Documented fallback.
   if (scheme_.partitionable) key_cols_ = scheme_.stream_key_cols;
+  const Time horizon = enable_recovery ? RecoveryHorizon(*plan_) : 0;
   shards_.reserve(static_cast<size_t>(shards));
   for (int i = 0; i < shards; ++i) {
-    std::unique_ptr<Pipeline> replica = factory_.Replicate();
-    if (options.profile) replica->EnableProfiling(options.profiler);
-    shards_.push_back(std::make_unique<ShardExecutor>(
-        i, std::move(replica), queue_capacity, max_batch, policy));
+    auto shard = std::make_unique<ShardExecutor>(
+        i, MakeReplica(), queue_capacity, max_batch, policy);
+    if (enable_recovery) {
+      // The factory outlives the shard (both live in this object), so the
+      // rebuild closure can safely capture `this`.
+      shard->EnableRecovery([this] { return MakeReplica(); }, horizon);
+    }
+    if (faults != nullptr) shard->SetFaultContext(faults, name_);
+    shards_.push_back(std::move(shard));
   }
+}
+
+std::unique_ptr<Pipeline> RegisteredQuery::MakeReplica() const {
+  std::unique_ptr<Pipeline> replica = factory_.Replicate();
+  if (options_.profile) replica->EnableProfiling(options_.profiler);
+  if (options_.check_invariants) {
+    replica->EnableInvariantChecks(InvariantFor(*plan_));
+  }
+  return replica;
+}
+
+uint64_t RegisteredQuery::TotalRestarts() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->restarts();
+  return total;
 }
 
 int RegisteredQuery::ShardOf(int stream_id, const Tuple& t) const {

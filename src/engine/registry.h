@@ -28,6 +28,10 @@ struct QueryOptions {
   /// ShardMetrics/QueryMetrics. See obs::ProfilerOptions for the cost.
   bool profile = false;
   obs::ProfilerOptions profiler;
+  /// Assert the Section 5.2 update-pattern contract on every result the
+  /// replicas deliver (WKS outputs expire FIFO, WK expirations are never
+  /// signalled early or late). Aborts on violation — a test-harness knob.
+  bool check_invariants = false;
 };
 
 /// A registered continuous query: the owned logical plan, its partition
@@ -36,9 +40,14 @@ struct QueryOptions {
 /// executor layout stay in one place); threads are started by the engine.
 class RegisteredQuery {
  public:
+  /// `enable_recovery` turns on per-shard ingest logs and replica-rebuild
+  /// factories (the horizon comes from RecoveryHorizon on the plan);
+  /// `faults` (borrowed, may be null) attaches the chaos-test injector to
+  /// every shard.
   RegisteredQuery(std::string name, PlanPtr plan, const QueryOptions& options,
                   int default_shards, size_t queue_capacity, size_t max_batch,
-                  BackpressurePolicy policy);
+                  BackpressurePolicy policy, bool enable_recovery = false,
+                  FaultInjector* faults = nullptr);
 
   const std::string& name() const { return name_; }
   const PlanNode& plan() const { return *plan_; }
@@ -67,11 +76,24 @@ class RegisteredQuery {
   /// fan-out; includes tuples later shed under kDropNewest).
   std::atomic<uint64_t> enqueued{0};
 
+  /// Overload state, driven by the engine watchdog: whether the query's
+  /// replicas currently run in lazy-degraded mode, how often the high
+  /// watermark tripped, and how often a shard was flagged as stalled.
+  std::atomic<bool> degraded{false};
+  std::atomic<uint64_t> degrade_events{0};
+  std::atomic<uint64_t> stall_events{0};
+
+  /// Sum of shard restarts (crash recoveries).
+  uint64_t TotalRestarts() const;
+
  private:
+  std::unique_ptr<Pipeline> MakeReplica() const;
+
   std::string name_;
   PlanPtr plan_;
   PartitionScheme scheme_;
   PipelineFactory factory_;
+  QueryOptions options_;
   std::set<int> streams_;
   std::map<int, int> key_cols_;  // stream id -> base partition column.
   std::vector<std::unique_ptr<ShardExecutor>> shards_;

@@ -1,5 +1,6 @@
 #include "engine/shard.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/macros.h"
@@ -18,6 +19,22 @@ ShardExecutor::ShardExecutor(int index, std::unique_ptr<Pipeline> pipeline,
 
 ShardExecutor::~ShardExecutor() { Stop(); }
 
+void ShardExecutor::EnableRecovery(
+    std::function<std::unique_ptr<Pipeline>()> rebuild, Time horizon) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  UPA_CHECK(!started_);
+  UPA_CHECK(rebuild != nullptr);
+  rebuild_ = std::move(rebuild);
+  horizon_ = horizon > 0 ? horizon : 1;
+}
+
+void ShardExecutor::SetFaultContext(FaultInjector* faults, std::string query) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  UPA_CHECK(!started_);
+  faults_ = faults;
+  query_name_ = std::move(query);
+}
+
 void ShardExecutor::Start() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (started_ || stopped_) return;
@@ -31,7 +48,61 @@ void ShardExecutor::Stop() {
   stopped_ = true;
   queue_.Close();
   if (worker_.joinable()) worker_.join();
+  // If the worker crashed (and no watchdog restarted it) there may still
+  // be callers parked on control futures, both in the queue and in the
+  // unprocessed tail of the log. Unblock them; their actions do not run.
+  ReleasePendingControls();
   PublishCounters();  // Final state, now that the worker is quiescent.
+}
+
+bool ShardExecutor::Restart() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!started_ || stopped_) return false;
+  if (!crashed_.load(std::memory_order_acquire)) return false;
+  if (!rebuild_) return false;
+  if (worker_.joinable()) worker_.join();
+
+  std::unique_ptr<Pipeline> fresh = rebuild_();
+  UPA_CHECK(fresh != nullptr);
+  pipeline_ = std::move(fresh);
+  const bool degrade = degrade_request_.load(std::memory_order_relaxed);
+  if (degrade) pipeline_->SetDegraded(true);
+  degraded_.store(degrade, std::memory_order_relaxed);
+  clock_ = -1;
+  {
+    std::lock_guard<std::mutex> log_lock(log_mu_);
+    for (LogEntry& e : log_) {
+      const ShardItem& item = e.item;
+      if (item.stream >= 0) {
+        if (item.tuple.ts > clock_) {
+          clock_ = item.tuple.ts;
+          pipeline_->Tick(clock_);
+        }
+        // processed_ was counted when the entry was logged; replay
+        // rebuilds state without touching the ledger.
+        pipeline_->Ingest(item.stream, item.tuple);
+      } else {
+        if (item.control_ts > clock_) {
+          clock_ = item.control_ts;
+          pipeline_->Tick(clock_);
+        }
+        if (e.acked) continue;  // Caller already unblocked; its action may
+                                // reference a stack frame that no longer
+                                // exists. The tick above is all it still
+                                // owes the replica.
+        if (item.action) item.action(*pipeline_);
+        PublishCounters();
+        e.acked = true;
+        item.done->set_value();
+      }
+    }
+    PruneLogLocked();
+  }
+  crashed_.store(false, std::memory_order_release);
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  PublishCounters();
+  worker_ = std::thread([this] { Run(); });
+  return true;
 }
 
 bool ShardExecutor::Enqueue(int stream, const Tuple& t) {
@@ -60,17 +131,41 @@ std::future<void> ShardExecutor::EnqueueControl(
 }
 
 void ShardExecutor::Run() {
+  const bool recovery = rebuild_ != nullptr;
   std::vector<ShardItem> batch;
   batch.reserve(max_batch_);
-  while (queue_.PopBatch(&batch, max_batch_) > 0) {
-    for (ShardItem& item : batch) {
+  for (;;) {
+    if (faults_ != nullptr) {
+      const int delay_ms = faults_->NextBatchDelayMs(query_name_, index_);
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+    }
+    if (queue_.PopBatch(&batch, max_batch_) == 0) break;
+    // Batch boundaries are the only place degradation flips, so the
+    // request never contends with a replica that is mid-tuple.
+    ApplyDegradeRequest();
+    uint64_t base_seq = 0;
+    // Log the whole batch before touching any of it: a crash between two
+    // items of a batch then loses nothing — the tail is replayed.
+    if (recovery) AppendBatchToLog(batch, &base_seq);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ShardItem& item = batch[i];
       if (item.stream >= 0) {
+        if (faults_ != nullptr && faults_->ShouldCrash(query_name_, index_)) {
+          // Injected death: abandon the batch and exit the thread, leaving
+          // the queue open. The watchdog observes crashed() and restarts.
+          crashed_.store(true, std::memory_order_release);
+          return;
+        }
         if (item.tuple.ts > clock_) {
           clock_ = item.tuple.ts;
           pipeline_->Tick(clock_);
         }
         pipeline_->Ingest(item.stream, item.tuple);
-        processed_.fetch_add(1, std::memory_order_relaxed);
+        // With recovery on, the ledger counts at log-append time (the
+        // entry survives a crash); without a log, count per item here.
+        if (!recovery) processed_.fetch_add(1, std::memory_order_relaxed);
       } else {
         if (item.control_ts > clock_) {
           clock_ = item.control_ts;
@@ -81,9 +176,81 @@ void ShardExecutor::Run() {
         // counters covering everything up to it (Flush => exact stats).
         PublishCounters();
         item.done->set_value();
+        if (recovery) AckLogged(base_seq + i);
       }
     }
     PublishCounters();
+  }
+}
+
+void ShardExecutor::ApplyDegradeRequest() {
+  const bool want = degrade_request_.load(std::memory_order_relaxed);
+  if (want == degraded_.load(std::memory_order_relaxed)) return;
+  pipeline_->SetDegraded(want);
+  degraded_.store(want, std::memory_order_relaxed);
+}
+
+void ShardExecutor::AppendBatchToLog(const std::vector<ShardItem>& batch,
+                                     uint64_t* base_seq) {
+  uint64_t data_items = 0;
+  std::lock_guard<std::mutex> lock(log_mu_);
+  *base_seq = log_end_seq_;
+  for (const ShardItem& item : batch) {
+    log_.push_back({item, false});
+    ++log_end_seq_;
+    if (item.stream >= 0) {
+      ++data_items;
+      if (item.tuple.ts > log_newest_) log_newest_ = item.tuple.ts;
+    }
+  }
+  if (data_items > 0) {
+    processed_.fetch_add(data_items, std::memory_order_relaxed);
+  }
+  PruneLogLocked();
+}
+
+void ShardExecutor::AckLogged(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  if (seq < log_begin_seq_) return;  // Pruned already — cannot happen for
+                                     // controls, but stay defensive.
+  const uint64_t idx = seq - log_begin_seq_;
+  if (idx < log_.size()) log_[idx].acked = true;
+}
+
+void ShardExecutor::PruneLogLocked() {
+  while (!log_.empty()) {
+    const LogEntry& e = log_.front();
+    bool prunable;
+    if (e.item.stream >= 0) {
+      // A data tuple leaves the log once it falls outside the largest
+      // registered window: by the paper's expiration semantics it can no
+      // longer contribute to any operator state, so replay never needs
+      // it. A kNeverExpires horizon (relations, count windows, unwindowed
+      // streams) retains everything.
+      prunable = horizon_ != kNeverExpires &&
+                 log_newest_ - e.item.tuple.ts >= horizon_;
+    } else {
+      prunable = e.acked;
+    }
+    if (!prunable) break;
+    log_.pop_front();
+    ++log_begin_seq_;
+  }
+}
+
+void ShardExecutor::ReleasePendingControls() {
+  std::vector<ShardItem> batch;
+  while (queue_.PopBatch(&batch, max_batch_) > 0) {
+    for (ShardItem& item : batch) {
+      if (item.stream < 0 && item.done) item.done->set_value();
+    }
+  }
+  std::lock_guard<std::mutex> lock(log_mu_);
+  for (LogEntry& e : log_) {
+    if (e.item.stream < 0 && !e.acked && e.item.done) {
+      e.acked = true;
+      e.item.done->set_value();
+    }
   }
 }
 
@@ -105,6 +272,9 @@ ShardMetrics ShardExecutor::Metrics(int shard_index) const {
   m.queue_depth = queue_.size();
   m.state_bytes = state_bytes_.load(std::memory_order_relaxed);
   m.view_size = view_size_.load(std::memory_order_relaxed);
+  m.restarts = restarts_.load(std::memory_order_relaxed);
+  m.crashed = crashed_.load(std::memory_order_acquire);
+  m.degraded = degraded_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     m.stats = published_stats_;

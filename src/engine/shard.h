@@ -2,15 +2,18 @@
 #define UPA_ENGINE_SHARD_H_
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/tuple.h"
 #include "engine/bounded_queue.h"
+#include "engine/fault.h"
 #include "engine/metrics.h"
 #include "exec/pipeline.h"
 
@@ -39,6 +42,22 @@ struct ShardItem {
 /// advance — so each replica observes the same local-clock discipline as
 /// a single-threaded pipeline. Shards never share mutable state: cross-
 /// thread communication is only the queue and the published counters.
+///
+/// Fault tolerance (EnableRecovery). A recovery-enabled shard keeps a
+/// window-bounded log of everything it pops from the queue: the worker
+/// appends the whole batch to the log *before* processing any item of it,
+/// so a crash mid-batch loses nothing, and prunes entries older than the
+/// recovery horizon (the largest registered window — per the paper's
+/// expiration semantics, older tuples can no longer influence any
+/// operator state). When the worker dies (an injected fault, or any
+/// future real crash path that marks the shard crashed), Restart()
+/// rebuilds a fresh replica from the factory and replays the log through
+/// it — re-ticking and re-ingesting every retained tuple and re-running
+/// any control whose caller is still waiting — then resumes consuming the
+/// same queue. Because replay covers exactly the tuples still inside the
+/// largest window, the rebuilt state is equal (as a multiset of live
+/// tuples per buffer) to the lost replica's, and downstream results are
+/// unchanged — the chaos tests' differential guarantee.
 class ShardExecutor {
  public:
   ShardExecutor(int index, std::unique_ptr<Pipeline> pipeline,
@@ -49,11 +68,35 @@ class ShardExecutor {
   ShardExecutor(const ShardExecutor&) = delete;
   ShardExecutor& operator=(const ShardExecutor&) = delete;
 
+  /// Enables the recovery log. `rebuild` must produce a fresh replica
+  /// configured like the original (profiling, invariant checks);
+  /// `horizon` is the replay window — log entries with `ts <= newest -
+  /// horizon` are pruned (kNeverExpires retains everything, required for
+  /// plans with relations, count windows, or unwindowed streams). Call
+  /// before Start().
+  void EnableRecovery(std::function<std::unique_ptr<Pipeline>()> rebuild,
+                      Time horizon);
+
+  /// Attaches the chaos-test fault injector (worker-side kill/delay
+  /// hooks). Call before Start(). `query` names this shard's query in the
+  /// injector's schedule.
+  void SetFaultContext(FaultInjector* faults, std::string query);
+
   /// Launches the worker thread. Idempotent.
   void Start();
 
-  /// Closes the queue, drains what was already enqueued, joins. Idempotent.
+  /// Closes the queue, drains what was already enqueued, joins. If the
+  /// worker had crashed, pending control promises (queued or logged) are
+  /// fulfilled without running their actions so no caller hangs.
+  /// Idempotent.
   void Stop();
+
+  /// Restarts a crashed shard: joins the dead worker, rebuilds the
+  /// replica via the recovery factory, replays the log, and relaunches
+  /// the worker on the same queue (items enqueued since the crash are
+  /// then consumed normally). Returns false if the shard is not crashed,
+  /// not started, already stopped, or has no recovery factory.
+  bool Restart();
 
   /// Routes one tuple to this shard (applies the backpressure policy).
   /// Returns false if the tuple was dropped or the shard is stopped.
@@ -68,6 +111,14 @@ class ShardExecutor {
   std::future<void> EnqueueControl(Time ts,
                                    std::function<void(Pipeline&)> action);
 
+  /// Overload degradation request (engine watchdog). The worker applies
+  /// it to the replica at the next batch boundary — requests never
+  /// contend with a busy pipeline, and a restarted replica re-applies the
+  /// current request after replay.
+  void SetDegraded(bool on) {
+    degrade_request_.store(on, std::memory_order_relaxed);
+  }
+
   /// Cheap, possibly one-batch-stale metrics snapshot.
   ShardMetrics Metrics(int shard_index) const;
 
@@ -76,21 +127,60 @@ class ShardExecutor {
   }
   uint64_t dropped() const { return queue_.dropped(); }
   size_t queue_depth() const { return queue_.size(); }
+  size_t queue_capacity() const { return queue_.capacity(); }
+
+  /// True when the worker thread exited on a crash path and has not been
+  /// restarted — what the engine watchdog polls.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  uint64_t restarts() const { return restarts_.load(std::memory_order_relaxed); }
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
  private:
+  struct LogEntry {
+    ShardItem item;
+    bool acked = false;  ///< Controls: completion signalled; data: unused.
+  };
+
   void Run();
   void PublishCounters();
+  void AppendBatchToLog(const std::vector<ShardItem>& batch,
+                        uint64_t* base_seq);
+  void AckLogged(uint64_t seq);
+  void PruneLogLocked();
+  void ApplyDegradeRequest();
+  /// Fulfills promises of pending controls (queued and logged) without
+  /// running their actions; used by Stop() after a crash.
+  void ReleasePendingControls();
 
   const int index_;
   const size_t max_batch_;
   std::unique_ptr<Pipeline> pipeline_;  // Touched only by the worker thread
-                                        // (and pre-Start/post-Stop).
+                                        // (and pre-Start/post-Stop/during
+                                        // Restart, when no worker runs).
   BoundedQueue<ShardItem> queue_;
-  std::mutex lifecycle_mu_;  // Serializes Start/Stop.
+  std::mutex lifecycle_mu_;  // Serializes Start/Stop/Restart.
   std::thread worker_;       // Guarded by lifecycle_mu_.
   bool started_ = false;     // Guarded by lifecycle_mu_.
   bool stopped_ = false;     // Guarded by lifecycle_mu_.
   Time clock_ = -1;          // Worker thread only.
+
+  // Recovery state.
+  std::function<std::unique_ptr<Pipeline>()> rebuild_;  // Pre-Start only.
+  Time horizon_ = kNeverExpires;
+  std::mutex log_mu_;
+  std::deque<LogEntry> log_;     // Guarded by log_mu_.
+  uint64_t log_begin_seq_ = 0;   // Seq of log_.front(). Guarded by log_mu_.
+  uint64_t log_end_seq_ = 0;     // Guarded by log_mu_.
+  Time log_newest_ = -1;         // Newest data ts logged. Guarded by log_mu_.
+
+  // Fault injection (chaos tests only; null in production).
+  FaultInjector* faults_ = nullptr;  // Borrowed. Pre-Start only.
+  std::string query_name_;           // Pre-Start only.
+
+  std::atomic<bool> crashed_{false};
+  std::atomic<uint64_t> restarts_{0};
+  std::atomic<bool> degrade_request_{false};
+  std::atomic<bool> degraded_{false};
 
   std::atomic<uint64_t> processed_{0};
   std::atomic<size_t> state_bytes_{0};

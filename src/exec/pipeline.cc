@@ -53,8 +53,43 @@ void Pipeline::EnableProfiling(const obs::ProfilerOptions& options) {
   }
 }
 
+void Pipeline::SetDegraded(bool on) {
+  if (on == degraded_) return;
+  degraded_ = on;
+  for (Node& n : nodes_) n.op->SetDegraded(on);
+}
+
+void Pipeline::EnableInvariantChecks(PatternInvariant invariant) {
+  check_invariants_ = true;
+  invariant_ = invariant;
+}
+
+void Pipeline::CheckViewInvariant(const Tuple& t) const {
+  if (t.negative) {
+    if (invariant_ == PatternInvariant::kLiveOnly) return;  // STR: premature
+                                                            // deletions allowed.
+    // WKS/WK: every deletion is an expiration, signalled exactly when the
+    // clock passes the tuple's exp -- within the tick that crossed it.
+    UPA_CHECK(t.exp <= last_tick_);
+    UPA_CHECK(t.exp > tick_floor_);
+    return;
+  }
+  // Positive results must be live as of the previous tick: a result may
+  // legally be generated in the very tick that also expires it (e.g. a
+  // negation re-exposing a left tuple whose window ends at this instant —
+  // the view's own expiration sweep removes it again within the tick),
+  // but never later than that.
+  UPA_CHECK(t.exp > tick_floor_);
+  if (invariant_ == PatternInvariant::kFifo) {
+    // WKS: FIFO expiration == generation order carries non-decreasing exp.
+    UPA_CHECK(t.exp >= max_pos_exp_);
+    max_pos_exp_ = t.exp;
+  }
+}
+
 void Pipeline::Tick(Time now) {
   if (now <= last_tick_) return;
+  tick_floor_ = last_tick_;
   last_tick_ = now;
   if (profiler_ != nullptr && profiler_->SampleTick()) {
     TickSampled(now);
@@ -125,6 +160,7 @@ void Pipeline::Deliver(int node, int port, const Tuple& t) {
 }
 
 void Pipeline::DeliverToView(const Tuple& t) {
+  if (check_invariants_) CheckViewInvariant(t);
   if (t.negative) {
     ++stats_.results_neg;
   } else {
@@ -209,6 +245,7 @@ void Pipeline::DeliverSampled(int node, int port, const Tuple& t) {
 }
 
 void Pipeline::DeliverToViewSampled(const Tuple& t) {
+  if (check_invariants_) CheckViewInvariant(t);
   if (t.negative) {
     ++stats_.results_neg;
   } else {

@@ -46,6 +46,25 @@ struct PipelineStats {
   }
 };
 
+/// What the update-pattern invariant checker asserts about tuples reaching
+/// the materialized view, derived from the root's update pattern (the
+/// Section 5.2 propagation rules). Defined here rather than reusing
+/// core/update_pattern.h because exec sits below core in the layering.
+enum class PatternInvariant {
+  /// MONO/STR roots (and group-by replace semantics): positive results
+  /// must merely be live on arrival; deletions may be premature, so
+  /// negatives are unconstrained.
+  kLiveOnly,
+  /// WKS roots: results expire in FIFO order, so positive results carry
+  /// non-decreasing exp timestamps, and every negative (an expiration
+  /// signalled under the NT approach) arrives exactly when the clock
+  /// passes its exp -- never prematurely, never late.
+  kFifo,
+  /// WK roots: expirations are predictable from exp timestamps but not
+  /// FIFO; positives must be live, negatives on schedule as for kFifo.
+  kPredictable,
+};
+
 /// A physical query plan wired for push-based execution.
 ///
 /// Operators form a tree; each operator's emissions are routed to its
@@ -111,6 +130,22 @@ class Pipeline {
   obs::PipelineProfiler* profiler() { return profiler_.get(); }
   const obs::PipelineProfiler* profiler() const { return profiler_.get(); }
 
+  /// Overload degradation: forwards the flag to every operator (lazy
+  /// state buffers widen their purge interval; everything else ignores
+  /// it). Results are unaffected -- liveness checks already skip
+  /// logically expired tuples -- so the engine may flip this at any batch
+  /// boundary. Idempotent.
+  void SetDegraded(bool on);
+
+  bool degraded() const { return degraded_; }
+
+  /// Debug-mode update-pattern invariant checker: every tuple delivered
+  /// to the view is asserted (UPA_CHECK, i.e. abort on violation) to obey
+  /// `invariant` -- see PatternInvariant. Callers map the plan root's
+  /// annotated UpdatePattern: WKS -> kFifo, WK -> kPredictable,
+  /// MONO/STR/group-by -> kLiveOnly.
+  void EnableInvariantChecks(PatternInvariant invariant);
+
   /// Total operator + view state, for the memory experiments.
   size_t StateBytes() const;
   size_t StateTuples() const;
@@ -129,6 +164,7 @@ class Pipeline {
 
   void Deliver(int node, int port, const Tuple& t);
   void DeliverToView(const Tuple& t);
+  void CheckViewInvariant(const Tuple& t) const;
 
   // Cold mirror of the Tick/Deliver paths taken only on sampled events:
   // operator calls are bracketed with profiler frames, emissions counted,
@@ -144,6 +180,13 @@ class Pipeline {
   Time last_tick_ = -1;
   PipelineStats stats_;
   std::unique_ptr<obs::PipelineProfiler> profiler_;
+  bool degraded_ = false;
+
+  // Invariant checker state (EnableInvariantChecks).
+  bool check_invariants_ = false;
+  PatternInvariant invariant_ = PatternInvariant::kLiveOnly;
+  Time tick_floor_ = -1;           ///< last_tick_ before the current tick.
+  mutable Time max_pos_exp_ = 0;   ///< kFifo: largest positive exp seen.
 };
 
 }  // namespace upa

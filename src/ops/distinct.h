@@ -38,6 +38,10 @@ class DistinctOp : public Operator {
   size_t StateTuples() const override;
   std::string Name() const override { return "distinct"; }
 
+  /// Only the input buffer may be lazy (the output must expire eagerly to
+  /// drive replacement), so only it participates in degradation.
+  void SetDegraded(bool on) override { input_->SetDegraded(on); }
+
   const std::vector<int>& key_cols() const { return key_cols_; }
 
  private:

@@ -34,6 +34,11 @@ class IntersectOp : public Operator {
   size_t StateTuples() const override;
   std::string Name() const override { return "intersect"; }
 
+  void SetDegraded(bool on) override {
+    state_[0]->SetDegraded(on);
+    state_[1]->SetDegraded(on);
+  }
+
  private:
   Schema schema_;
   std::unique_ptr<StateBuffer> state_[2];

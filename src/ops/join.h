@@ -41,6 +41,14 @@ class JoinOp : public Operator {
   size_t StateTuples() const override;
   std::string Name() const override { return "join"; }
 
+  /// Join inputs are the buffers the planner is allowed to keep lazy
+  /// (probes skip expired tuples), so they are the ones that can shed
+  /// expiration work under overload.
+  void SetDegraded(bool on) override {
+    state_[0]->SetDegraded(on);
+    state_[1]->SetDegraded(on);
+  }
+
   int left_col() const { return col_[0]; }
   int right_col() const { return col_[1]; }
 

@@ -75,6 +75,13 @@ class Operator {
   /// Short display name, e.g. "join", "delta-distinct".
   virtual std::string Name() const = 0;
 
+  /// Overload degradation toggle (see StateBuffer::SetDegraded). Operators
+  /// holding lazily maintained state forward the flag to those buffers;
+  /// the default is a no-op because most operators must stay eager to
+  /// observe expirations. Called on the shard worker thread at batch
+  /// boundaries, never concurrently with Process/AdvanceTime.
+  virtual void SetDegraded(bool on) { (void)on; }
+
   /// Attaches the per-operator profile this operator reports into (set by
   /// Pipeline::EnableProfiling; null when the pipeline is unprofiled).
   /// Operators wrap their state-buffer insertions in

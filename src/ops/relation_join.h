@@ -72,6 +72,8 @@ class RelJoinOp : public Operator {
   size_t StateTuples() const override;
   std::string Name() const override { return "rel-join"; }
 
+  void SetDegraded(bool on) override { window_->SetDegraded(on); }
+
  private:
   Tuple Combine(const Tuple& stream_t, const Tuple& table_t,
                 bool negative, Time ts) const;

@@ -13,6 +13,19 @@ void StateBuffer::SetLazy(Time purge_interval) {
   last_purge_ = now_;
 }
 
+void StateBuffer::SetDegraded(bool on) {
+  if (on == degraded_ || !lazy_) return;
+  degraded_ = on;
+  if (on) {
+    normal_interval_ = purge_interval_;
+    purge_interval_ = purge_interval_ * kDegradeFactor;
+  } else {
+    purge_interval_ = normal_interval_;
+    // Leave last_purge_ alone: if the widened interval deferred a purge
+    // past the normal schedule, the next Advance() is immediately due.
+  }
+}
+
 bool StateBuffer::LazyPurgeDue(Time now) {
   if (now - last_purge_ < purge_interval_) return false;
   last_purge_ = now;

@@ -54,6 +54,23 @@ class StateBuffer {
 
   bool lazy() const { return lazy_; }
 
+  /// Overload degradation (engine watchdog): temporarily widens the lazy
+  /// purge interval by `kDegradeFactor` so overloaded shards spend less
+  /// time on physical expiration (the Section 6.1 lazy knob, opened
+  /// further). Only lazy buffers react -- eager buffers back operators
+  /// that must observe every expiration (duplicate elimination, group-by,
+  /// negation) and keep their discipline. Liveness checks still skip
+  /// logically expired tuples, so degradation trades memory for CPU
+  /// without changing results. Idempotent; `SetDegraded(false)` restores
+  /// the configured interval and lets the next Advance() catch up.
+  void SetDegraded(bool on);
+
+  bool degraded() const { return degraded_; }
+
+  /// Widening applied to the lazy purge interval while degraded (40% of
+  /// the window at the default 5% lazy fraction).
+  static constexpr Time kDegradeFactor = 8;
+
   /// Current logical clock (the operator's local clock, Section 2.3.2).
   Time now() const { return now_; }
 
@@ -110,7 +127,9 @@ class StateBuffer {
 
   Time now_ = 0;
   bool lazy_ = false;
+  bool degraded_ = false;
   Time purge_interval_ = 0;
+  Time normal_interval_ = 0;  ///< Saved across a degraded episode.
   Time last_purge_ = 0;
 };
 

@@ -1,0 +1,286 @@
+// Property-based differential chaos testing of the engine's robustness
+// layer. Each seed deterministically derives a random plan, a random
+// trace, and a random fault schedule (shard kills, allocation failures,
+// batch delays). The engine runs the trace three ways:
+//
+//   1. under the fault schedule, with supervision + recovery on,
+//   2. fault-free, same configuration,
+//   3. through the reference evaluator (the from-scratch oracle).
+//
+// All three final result sets must be identical: a mid-run shard kill is
+// recovered by rebuilding the replica from the window-bounded ingest log,
+// and neither delays nor degradation may change what a query answers.
+// Restart and degradation events must additionally be visible through
+// EngineMetrics and its Prometheus exposition.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/logical_plan.h"
+#include "engine/engine.h"
+#include "engine/fault.h"
+#include "ref/reference.h"
+#include "tests/random_plan_util.h"
+#include "tests/test_util.h"
+
+namespace upa {
+namespace {
+
+using testing_util::Canonical;
+using testing_util::RandomPlan;
+using testing_util::RandomTrace;
+using testing_util::RowsToString;
+
+constexpr int kShards = 2;
+constexpr Time kDrain = 40;
+
+/// One seed's world: plan, trace, and which trace events the plan reads.
+/// Plan and trace are pure functions of the Rng stream, so rebuilding the
+/// scenario from the seed reproduces it exactly for every run.
+struct Scenario {
+  PlanPtr plan;
+  Trace trace;
+  std::set<int> streams;     ///< Stream leaves of the plan.
+  uint64_t plan_events = 0;  ///< Trace events on those streams.
+};
+
+Scenario BuildScenario(uint64_t seed) {
+  Rng rng(seed);
+  Scenario s;
+  s.plan = RandomPlan(rng, static_cast<int>(1 + rng.NextBelow(2)));
+  AnnotatePatterns(s.plan.get());
+  s.trace = RandomTrace(rng, 120);
+  const std::function<void(const PlanNode&)> collect = [&](const PlanNode& n) {
+    if (n.kind == PlanOpKind::kStream) s.streams.insert(n.stream_id);
+    for (const auto& c : n.children) collect(*c);
+  };
+  collect(*s.plan);
+  for (const TraceEvent& e : s.trace.events) {
+    if (s.streams.count(e.stream) > 0) ++s.plan_events;
+  }
+  return s;
+}
+
+EngineOptions ChaosOptions(FaultInjector* faults) {
+  EngineOptions opts;
+  opts.default_shards = kShards;
+  opts.queue_capacity = 64;
+  opts.max_batch = 8;
+  opts.supervise = true;
+  opts.watchdog_interval_ms = 2;
+  opts.stall_timeout_ms = 50;
+  opts.check_invariants = true;
+  opts.fault_injector = faults;
+  return opts;
+}
+
+struct RunResult {
+  std::vector<std::vector<Value>> rows;
+  EngineMetrics metrics;
+};
+
+/// Runs the seed's scenario through an engine (optionally faulted) and
+/// returns the final view at trace-end + drain plus the metrics then.
+RunResult RunChaosEngine(uint64_t seed, FaultInjector* faults) {
+  Scenario s = BuildScenario(seed);
+  Engine engine(ChaosOptions(faults));
+  const RegisterResult r = engine.RegisterPlan("q", std::move(s.plan));
+  EXPECT_TRUE(r.ok) << r.error;
+  engine.IngestTrace(s.trace);
+  engine.AdvanceTo(s.trace.LastTs() + kDrain);
+  std::vector<Tuple> view;
+  EXPECT_TRUE(engine.Snapshot("q", &view));
+  RunResult out;
+  out.rows = Canonical(view);
+  out.metrics = engine.Metrics();  // After the snapshot barrier: every
+                                   // scheduled crash has been recovered.
+  engine.Stop();
+  return out;
+}
+
+std::vector<std::vector<Value>> OracleRows(uint64_t seed) {
+  const Scenario s = BuildScenario(seed);
+  ReferenceEvaluator ref(s.plan.get());
+  for (const TraceEvent& e : s.trace.events) {
+    if (s.streams.count(e.stream) > 0) ref.Observe(e.stream, e.tuple);
+  }
+  return Canonical(ref.EvalAt(s.trace.LastTs() + kDrain));
+}
+
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosTest, FaultedRunMatchesFaultFreeRunAndOracle) {
+  const uint64_t seed = GetParam();
+  const Scenario s = BuildScenario(seed);
+  ASSERT_TRUE(IsValidPlan(*s.plan)) << s.plan->ToString();
+  SCOPED_TRACE("seed=" + std::to_string(seed) + "\n" + s.plan->ToString());
+
+  // Worker-side faults only (kill/alloc/delay): these must be invisible
+  // in the results. Ingest-side faults (drop/duplicate) change the
+  // delivered input by design and are covered by ChaosIngestFaultTest.
+  FaultInjector faults(FaultInjector::RandomSchedule(
+      seed, {"q"}, kShards, s.plan_events / (kShards * 2) + 2,
+      /*ingest_faults=*/false));
+
+  const RunResult faulty = RunChaosEngine(seed, &faults);
+  if (::testing::Test::HasFailure()) return;
+  const RunResult clean = RunChaosEngine(seed, nullptr);
+  const auto oracle = OracleRows(seed);
+
+  EXPECT_EQ(faulty.rows, clean.rows)
+      << "faulted:\n"
+      << RowsToString(faulty.rows) << "fault-free:\n"
+      << RowsToString(clean.rows);
+  EXPECT_EQ(clean.rows, oracle) << "fault-free:\n"
+                                << RowsToString(clean.rows) << "oracle:\n"
+                                << RowsToString(oracle);
+
+  // Every kill that fired was recovered before the final snapshot could
+  // complete (a dead worker cannot ack the snapshot barrier), so the
+  // restart counter must match the injector exactly.
+  const uint64_t kills = faults.fired(FaultKind::kKillShard) +
+                         faults.fired(FaultKind::kAllocFail);
+  ASSERT_EQ(faulty.metrics.queries.size(), 1u);
+  EXPECT_EQ(faulty.metrics.queries[0].restarts, kills);
+
+  // Robustness counters are part of the exposition surface.
+  const std::string prom = faulty.metrics.ToPrometheus();
+  EXPECT_NE(prom.find("upa_query_restarts_total"), std::string::npos);
+  EXPECT_NE(prom.find("upa_query_degraded"), std::string::npos);
+  EXPECT_NE(prom.find("upa_query_degrade_events_total"), std::string::npos);
+  EXPECT_NE(prom.find("upa_query_stall_events_total"), std::string::npos);
+  if (kills > 0) {
+    EXPECT_NE(prom.find("upa_query_restarts_total{query=\"q\"} " +
+                        std::to_string(kills)),
+              std::string::npos)
+        << prom;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Range<uint64_t>(1, 101));
+
+// Equal-timestamp reordering is a legal perturbation of the paper's model
+// (tuples of one instant are unordered), so a reorder-only schedule must
+// leave results identical too.
+TEST(ChaosIngestFaultTest, ReorderPreservesResults) {
+  const uint64_t seed = 4242;
+  const Scenario s = BuildScenario(seed);
+  std::vector<FaultEvent> schedule;
+  for (uint64_t at = 3; at < s.trace.events.size(); at += 17) {
+    FaultEvent e;
+    e.kind = FaultKind::kReorderIngest;
+    e.at_count = at;
+    schedule.push_back(e);
+  }
+  FaultInjector faults(std::move(schedule));
+  const RunResult reordered = RunChaosEngine(seed, &faults);
+  const RunResult clean = RunChaosEngine(seed, nullptr);
+  EXPECT_GT(faults.fired(FaultKind::kReorderIngest), 0u);
+  EXPECT_EQ(reordered.rows, clean.rows)
+      << "reordered:\n"
+      << RowsToString(reordered.rows) << "clean:\n"
+      << RowsToString(clean.rows);
+}
+
+// Drop/duplicate faults change the delivered input on purpose; the
+// contract is that the engine survives them and the loss/duplication is
+// bounded by what the injector reports.
+TEST(ChaosIngestFaultTest, DropAndDuplicateAreCountedNotFatal) {
+  const uint64_t seed = 777;
+  const Scenario s = BuildScenario(seed);
+  std::vector<FaultEvent> schedule;
+  for (uint64_t at = 5; at < s.trace.events.size(); at += 13) {
+    FaultEvent e;
+    e.kind = at % 2 == 0 ? FaultKind::kDropIngest : FaultKind::kDuplicateIngest;
+    e.at_count = at;
+    schedule.push_back(e);
+  }
+  FaultInjector faults(std::move(schedule));
+  const RunResult run = RunChaosEngine(seed, &faults);
+  const uint64_t drops = faults.fired(FaultKind::kDropIngest);
+  const uint64_t dups = faults.fired(FaultKind::kDuplicateIngest);
+  EXPECT_GT(drops + dups, 0u);
+  ASSERT_EQ(run.metrics.queries.size(), 1u);
+  const QueryMetrics& q = run.metrics.queries[0];
+  // Drop/duplicate faults hit Ingest calls for *any* stream, so the
+  // per-query delta is bounded by (not necessarily equal to) the
+  // injector's totals.
+  EXPECT_GE(q.enqueued + drops, s.plan_events);
+  EXPECT_LE(q.enqueued, s.plan_events + dups);
+}
+
+// Overload degradation, deterministically: a one-shot kDelayBatch fault
+// parks the worker for its second batch, so the queue can be filled past
+// the high watermark with no race (the worker cannot pop while inside its
+// scheduled sleep). PollSupervisor must then degrade the query, and
+// revert it once the queue drains -- without losing a single result.
+TEST(ChaosDegradeTest, WatermarkDegradesAndRecoversWithoutLoss) {
+  FaultEvent park;
+  park.kind = FaultKind::kDelayBatch;
+  park.at_count = 2;      // Second PopBatch: after the priming tuple.
+  park.param = 1500;      // ms; the fill + poll below take well under this.
+  FaultInjector faults({park});
+
+  EngineOptions opts;
+  opts.default_shards = 1;
+  opts.queue_capacity = 16;
+  opts.max_batch = 4;
+  opts.supervise = false;  // Drive PollSupervisor by hand.
+  opts.check_invariants = true;
+  opts.fault_injector = &faults;
+  Engine engine(opts);
+
+  PlanPtr plan = MakeWindow(MakeStream(0, testing_util::IntSchema(2)), 50);
+  AnnotatePatterns(plan.get());
+  const RegisterResult r = engine.RegisterPlan("q", std::move(plan));
+  ASSERT_TRUE(r.ok) << r.error;
+
+  // Prime one tuple and wait until the worker has processed it -- its
+  // next loop iteration then sleeps in the injected delay.
+  engine.Ingest(0, testing_util::T({0, 0}, /*ts=*/1));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (engine.Metrics().queries[0].processed < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "worker never processed the priming tuple";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Fill past the high watermark (14/16 > 0.75) while the worker sleeps.
+  for (int i = 0; i < 14; ++i) {
+    engine.Ingest(0, testing_util::T({i % 5, i}, /*ts=*/2));
+  }
+  engine.PollSupervisor();
+  EngineMetrics m = engine.Metrics();
+  ASSERT_EQ(m.queries.size(), 1u);
+  EXPECT_TRUE(m.queries[0].degraded);
+  EXPECT_GE(m.queries[0].degrade_events, 1u);
+  EXPECT_NE(m.ToPrometheus().find("upa_query_degraded{query=\"q\"} 1"),
+            std::string::npos)
+      << m.ToPrometheus();
+
+  // Drain (the barrier waits out the injected sleep); the supervisor must
+  // revert the query, and every tuple must have made it into the view.
+  engine.Flush();
+  engine.PollSupervisor();
+  m = engine.Metrics();
+  EXPECT_FALSE(m.queries[0].degraded);
+  EXPECT_NE(m.ToPrometheus().find("upa_query_degraded{query=\"q\"} 0"),
+            std::string::npos);
+  std::vector<Tuple> view;
+  ASSERT_TRUE(engine.Snapshot("q", &view));
+  EXPECT_EQ(view.size(), 15u);  // Window 50 >> clock 2: nothing expired.
+  engine.Stop();
+}
+
+}  // namespace
+}  // namespace upa

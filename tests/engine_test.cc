@@ -10,6 +10,7 @@
 #include <future>
 #include <thread>
 
+#include "engine/bounded_queue.h"
 #include "engine/engine.h"
 #include "ref/reference.h"
 #include "tests/test_util.h"
@@ -393,6 +394,121 @@ TEST(BackpressureTest, DropPolicyCountsSheddedTuples) {
   gate_promise.set_value();
   shard.Stop();
   EXPECT_EQ(shard.processed(), uint64_t{kCapacity});
+}
+
+// --- BoundedQueue drop accounting. ---
+
+TEST(BoundedQueueTest, PushAfterCloseCountsAsDropped) {
+  // Pin the shutdown-race accounting: a Push that loses against Close()
+  // rejects the tuple just like a capacity shed, so it must increment the
+  // drop counter -- under either policy. (This was once uncounted, which
+  // made the enqueued/processed/dropped ledger leak during shutdown.)
+  for (BackpressurePolicy policy :
+       {BackpressurePolicy::kBlock, BackpressurePolicy::kDropNewest}) {
+    BoundedQueue<int> q(4, policy);
+    ASSERT_TRUE(q.Push(1));
+    q.Close();
+    EXPECT_FALSE(q.Push(2));
+    EXPECT_FALSE(q.Push(3));
+    EXPECT_EQ(q.dropped(), 2u);
+    // The pre-close item is still drainable; the post-close ones are not.
+    std::vector<int> batch;
+    EXPECT_EQ(q.PopBatch(&batch, 16), 1u);
+    EXPECT_EQ(batch[0], 1);
+    EXPECT_EQ(q.PopBatch(&batch, 16), 0u);
+  }
+}
+
+TEST(BoundedQueueTest, ConcurrentCloseNeverLosesARejectionSilently) {
+  // Every Push outcome must be accounted for: accepted pushes are
+  // drainable, rejected pushes are counted. Race many producers against
+  // Close() and check the ledger balances exactly.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<int> q(8, BackpressurePolicy::kDropNewest);
+  std::atomic<int> accepted{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> producers;
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    while (q.PopBatch(&batch, 16) > 0) {
+    }
+  });
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.Push(i)) accepted.fetch_add(1);
+      }
+    });
+  }
+  go.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  q.Close();
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(accepted.load() + static_cast<int>(q.dropped()),
+            kProducers * kPerProducer);
+}
+
+// --- The /metrics endpoint answers garbage with errors, not crashes. ---
+
+std::string Render() { return "upa_build_info 1\n"; }
+
+TEST(MetricsHttpTest, WellFormedGetIsServed) {
+  const std::string resp =
+      HandleMetricsRequest("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n", Render);
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("upa_build_info 1"), std::string::npos) << resp;
+  // Root path and query strings are accepted too.
+  EXPECT_NE(HandleMetricsRequest("GET / HTTP/1.0\r\n\r\n", Render)
+                .find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(HandleMetricsRequest("GET /metrics?debug=1 HTTP/1.1\r\n\r\n",
+                                 Render)
+                .find("200 OK"),
+            std::string::npos);
+}
+
+TEST(MetricsHttpTest, HeadOmitsTheBody) {
+  const std::string resp =
+      HandleMetricsRequest("HEAD /metrics HTTP/1.1\r\n\r\n", Render);
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_EQ(resp.find("upa_build_info"), std::string::npos) << resp;
+}
+
+TEST(MetricsHttpTest, MalformedRequestsGet400) {
+  const std::vector<std::string> malformed = {
+      "",
+      "\r\n",
+      "GET",
+      "GET /metrics",                    // No HTTP version.
+      "GET  HTTP/1.1",                   // No target.
+      "get /metrics HTTP/1.1",           // Lowercase method token.
+      "GET /metrics SPDY/3",             // Not an HTTP version.
+      "\x16\x03\x01\x02stray TLS bytes",  // TLS handshake on a plain port.
+      std::string("GET /\0metrics HTTP/1.1", 22),  // Embedded NUL.
+      std::string(10000, 'A'),           // Oversized request line.
+  };
+  for (const std::string& req : malformed) {
+    const std::string resp = HandleMetricsRequest(req, Render);
+    EXPECT_NE(resp.find("HTTP/1.1 400"), std::string::npos)
+        << "request: " << req.substr(0, 60) << "\nresponse: " << resp;
+    EXPECT_EQ(resp.find("upa_build_info"), std::string::npos);
+  }
+}
+
+TEST(MetricsHttpTest, WrongMethodAndPathGetProperErrors) {
+  EXPECT_NE(HandleMetricsRequest("POST /metrics HTTP/1.1\r\n\r\n", Render)
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  EXPECT_NE(HandleMetricsRequest("DELETE / HTTP/1.1\r\n\r\n", Render)
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  EXPECT_NE(HandleMetricsRequest("GET /favicon.ico HTTP/1.1\r\n\r\n", Render)
+                .find("HTTP/1.1 404"),
+            std::string::npos);
 }
 
 }  // namespace

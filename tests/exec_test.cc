@@ -74,6 +74,11 @@ std::unique_ptr<Pipeline> MakeJoinPipeline(bool nt) {
       nt ? std::unique_ptr<StateBuffer>(std::make_unique<HashBuffer>(0, 8))
          : std::unique_ptr<StateBuffer>(std::make_unique<ListBuffer>()),
       !nt));
+  // A window join is WK, not WKS: results expire at min(constituent exp),
+  // which does not follow emission order -- but every deletion is still
+  // signalled exactly when the clock crosses it. Every pipeline test
+  // below runs with the matching checker armed.
+  p.EnableInvariantChecks(PatternInvariant::kPredictable);
   return pp;
 }
 
@@ -242,6 +247,94 @@ TEST(ReplayTest, MetricsPopulated) {
   EXPECT_GT(m.ms_per_1000_tuples, 0.0);
   EXPECT_GT(m.max_state_bytes, 0u);
   EXPECT_EQ(m.stats.ingested, 100u);
+}
+
+// --- The Section 5.2 update-pattern invariant checker must actually
+// --- catch violations, not just ride along silently.
+
+std::unique_ptr<Pipeline> PassThroughPipeline(PatternInvariant invariant) {
+  auto pp = std::make_unique<Pipeline>();
+  const int sel = pp->AddOperator(
+      std::make_unique<SelectOp>(IntSchema(1), std::vector<Predicate>{}), {});
+  pp->BindStream(0, sel, 0);
+  pp->SetView(std::make_unique<BufferView>(std::make_unique<ListBuffer>(),
+                                           /*time_expiration=*/true));
+  pp->EnableInvariantChecks(invariant);
+  return pp;
+}
+
+TEST(PipelineInvariantDeathTest, OutOfOrderExpirationAbortsUnderFifo) {
+  // WKS output expires FIFO: a later result with an *earlier* exp means
+  // the operator tree broke the weakest update pattern.
+  auto p = PassThroughPipeline(PatternInvariant::kFifo);
+  p->Tick(10);
+  p->Ingest(0, T({1}, 10, 30));
+  EXPECT_DEATH(p->Ingest(0, T({2}, 10, 20)), "UPA_CHECK failed");
+}
+
+TEST(PipelineInvariantDeathTest, PrematureDeletionAbortsUnderPredictable) {
+  // WK deletions are expirations: signalling one before the clock reaches
+  // the tuple's exp is an STR behaviour the pattern forbids.
+  auto p = PassThroughPipeline(PatternInvariant::kPredictable);
+  p->Tick(10);
+  p->Ingest(0, T({1}, 10, 30));
+  Tuple neg = T({1}, 10, 30);
+  neg.negative = true;
+  EXPECT_DEATH(p->Ingest(0, neg), "UPA_CHECK failed");
+}
+
+TEST(PipelineInvariantDeathTest, StaleDeletionAbortsUnderPredictable) {
+  // ...and signalling it *after* the tick that crossed exp is just as
+  // wrong: the expiration must land exactly when the clock passes it.
+  auto p = PassThroughPipeline(PatternInvariant::kPredictable);
+  p->Tick(10);
+  p->Ingest(0, T({1}, 10, 12));
+  p->Tick(20);
+  p->Tick(30);
+  Tuple neg = T({1}, 10, 12);
+  neg.negative = true;
+  EXPECT_DEATH(p->Ingest(0, neg), "UPA_CHECK failed");
+}
+
+TEST(PipelineInvariantDeathTest, DeadPositiveAbortsUnderEveryInvariant) {
+  // No pattern may emit a result that was already expired before the
+  // previous tick -- even STR's premature deletions only go one way.
+  auto p = PassThroughPipeline(PatternInvariant::kLiveOnly);
+  p->Tick(10);
+  p->Tick(20);
+  EXPECT_DEATH(p->Ingest(0, T({1}, 15, 5)), "UPA_CHECK failed");
+}
+
+TEST(PipelineInvariantTest, LiveOnlyAllowsPrematureDeletions) {
+  // STR plans delete at will; kLiveOnly only checks result liveness.
+  auto p = PassThroughPipeline(PatternInvariant::kLiveOnly);
+  p->Tick(10);
+  p->Ingest(0, T({1}, 10, 30));
+  Tuple neg = T({1}, 10, 30);
+  neg.negative = true;
+  p->Ingest(0, neg);  // Premature, but legal under STR.
+  EXPECT_EQ(p->view().Size(), 0u);
+}
+
+TEST(PipelineInvariantTest, FifoCheckerAcceptsAWellBehavedWindow) {
+  // A materialized time window is the canonical WKS operator: insertion
+  // order == expiration order. The checker must stay silent across
+  // arrivals and expirations alike.
+  auto pp = std::make_unique<Pipeline>();
+  const int w = pp->AddOperator(
+      std::make_unique<TimeWindowOp>(IntSchema(1), 10, /*materialize=*/true),
+      {});
+  pp->BindStream(0, w, 0);
+  pp->SetView(std::make_unique<BufferView>(std::make_unique<ListBuffer>(),
+                                           /*time_expiration=*/false));
+  pp->EnableInvariantChecks(PatternInvariant::kFifo);
+  for (Time ts = 1; ts <= 40; ++ts) {
+    pp->Tick(ts);
+    pp->Ingest(0, T({static_cast<int>(ts % 7)}, ts));
+  }
+  pp->Tick(100);
+  EXPECT_GT(pp->stats().results_neg, 0u);
+  EXPECT_EQ(pp->view().Size(), 0u);
 }
 
 TEST(ReplayTest, DrainExpiresRemainingState) {

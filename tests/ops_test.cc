@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "exec/pipeline.h"
+#include "exec/view.h"
 #include "ops/distinct.h"
 #include "ops/groupby.h"
 #include "ops/intersect.h"
@@ -387,6 +390,38 @@ TEST(NrrJoinOpTest, NonRetroactiveUpdates) {
   del.negative = true;
   EXPECT_EQ(Drain(op, 1, del).size(), 0u);
   EXPECT_EQ(Drain(op, 0, T({1, 6}, 11, 61)).size(), 0u);
+}
+
+// --- Operators composed into a pipeline satisfy their Section 5.2
+// --- update-pattern contract (checker aborts on violation).
+
+TEST(OpPipelineInvariantTest, WindowedDistinctSignalsDeletionsExactlyAtExp) {
+  // window -> distinct is WK (Section 5.2's Figure 2 example): replacement
+  // promotions may carry *earlier* expirations than results already
+  // emitted, so the output is not FIFO -- but every deletion must still be
+  // signalled exactly in the tick that crosses the tuple's exp. The armed
+  // kPredictable checker aborts the test otherwise.
+  Pipeline p;
+  const int w = p.AddOperator(
+      std::make_unique<TimeWindowOp>(IntSchema(2), 15, /*materialize=*/true),
+      {});
+  p.AddOperator(
+      std::make_unique<DistinctOp>(IntSchema(2), std::vector<int>{0}, List(),
+                                   List(), /*time_expiration=*/false),
+      {w});
+  p.BindStream(0, w, 0);
+  p.SetView(std::make_unique<BufferView>(List(), /*time_expiration=*/false));
+  p.EnableInvariantChecks(PatternInvariant::kPredictable);
+  Rng rng(5);
+  for (Time ts = 1; ts <= 60; ++ts) {
+    p.Tick(ts);
+    p.Ingest(0, T({static_cast<int64_t>(rng.NextBelow(4)),
+                   static_cast<int64_t>(ts)},
+                  ts));
+  }
+  p.Tick(100);  // Drain: every remaining result is deleted on time.
+  EXPECT_GT(p.stats().results_neg, 0u);
+  EXPECT_EQ(p.view().Size(), 0u);
 }
 
 TEST(RelJoinOpTest, RetroactiveInsertAndDelete) {

@@ -2,86 +2,23 @@
 // random traces and check, for every execution strategy, that the
 // materialized view equals the reference evaluator's from-scratch answer
 // at many checkpoints. This sweeps operator compositions that the
-// hand-written integration tests do not enumerate.
+// hand-written integration tests do not enumerate. The generators live in
+// random_plan_util.h, shared with the chaos differential suite.
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "core/logical_plan.h"
 #include "core/physical_planner.h"
+#include "tests/random_plan_util.h"
 #include "tests/test_util.h"
 
 namespace upa {
 namespace {
 
 using testing_util::CheckAgainstReference;
-using testing_util::IntSchema;
-
-constexpr int kNumStreams = 3;
-
-/// A single-column windowed source: project(window(stream)) down to the
-/// key column, so that distinct/negation compositions compare exactly.
-PlanPtr Source(Rng& rng) {
-  const int stream = static_cast<int>(rng.NextBelow(kNumStreams));
-  const Time window = rng.NextInRange(10, 60);
-  PlanPtr p = MakeWindow(MakeStream(stream, IntSchema(2)), window);
-  if (rng.NextBool(0.3)) {
-    p = MakeSelect(std::move(p),
-                   {Predicate{0, CmpOp::kLt,
-                              Value{rng.NextInRange(2, 9)}}});
-  }
-  return MakeProject(std::move(p), {0});
-}
-
-/// Builds a random plan of bounded depth over single-column inputs.
-PlanPtr RandomPlan(Rng& rng, int depth) {
-  if (depth == 0) return Source(rng);
-  switch (rng.NextBelow(6)) {
-    case 0: {  // Union.
-      return MakeUnion(RandomPlan(rng, depth - 1),
-                       RandomPlan(rng, depth - 1));
-    }
-    case 1: {  // Join, projected back to one column.
-      PlanPtr j = MakeJoin(RandomPlan(rng, depth - 1),
-                           RandomPlan(rng, depth - 1), 0, 0);
-      return MakeProject(std::move(j), {0});
-    }
-    case 2: {  // Distinct.
-      return MakeDistinct(RandomPlan(rng, depth - 1), {0});
-    }
-    case 3: {  // Negation.
-      return MakeNegate(RandomPlan(rng, depth - 1),
-                        RandomPlan(rng, depth - 1), 0, 0);
-    }
-    case 4: {  // Selection.
-      return MakeSelect(RandomPlan(rng, depth - 1),
-                        {Predicate{0, CmpOp::kGe,
-                                   Value{rng.NextInRange(0, 4)}}});
-    }
-    default: {  // Intersection.
-      return MakeIntersect(RandomPlan(rng, depth - 1),
-                           RandomPlan(rng, depth - 1));
-    }
-  }
-}
-
-Trace RandomTrace(Rng& rng, Time duration) {
-  Trace trace;
-  trace.schema = IntSchema(2);
-  trace.num_streams = kNumStreams;
-  for (Time ts = 1; ts <= duration; ++ts) {
-    for (int s = 0; s < kNumStreams; ++s) {
-      if (rng.NextBool(0.2)) continue;  // Irregular arrivals.
-      TraceEvent e;
-      e.stream = s;
-      e.tuple.ts = ts;
-      e.tuple.fields = {Value{rng.NextInRange(0, 9)},
-                        Value{rng.NextInRange(0, 99)}};
-      trace.events.push_back(std::move(e));
-    }
-  }
-  return trace;
-}
+using testing_util::RandomPlan;
+using testing_util::RandomTrace;
 
 class RandomPlanTest : public ::testing::TestWithParam<uint64_t> {};
 

@@ -1,0 +1,89 @@
+#ifndef UPA_TESTS_RANDOM_PLAN_UTIL_H_
+#define UPA_TESTS_RANDOM_PLAN_UTIL_H_
+
+// Random plan/trace generators shared by the property-based suites
+// (random_plan_test and the chaos differential tests). Both the plan and
+// the trace are deterministic functions of an Rng, so a seed identifies a
+// scenario exactly — the chaos tests rebuild the same plan for their
+// faulty run, their fault-free run, and the oracle.
+
+#include <utility>
+
+#include "common/rng.h"
+#include "core/logical_plan.h"
+#include "tests/test_util.h"
+#include "workload/trace.h"
+
+namespace upa {
+namespace testing_util {
+
+inline constexpr int kRandomPlanStreams = 3;
+
+/// A single-column windowed source: project(window(stream)) down to the
+/// key column, so that distinct/negation compositions compare exactly.
+/// Keeping every edge single-column also makes equal-timestamp arrivals
+/// interchangeable (full-tuple distinct keys), which the chaos reorder
+/// fault relies on.
+inline PlanPtr RandomSource(Rng& rng) {
+  const int stream = static_cast<int>(rng.NextBelow(kRandomPlanStreams));
+  const Time window = rng.NextInRange(10, 60);
+  PlanPtr p = MakeWindow(MakeStream(stream, IntSchema(2)), window);
+  if (rng.NextBool(0.3)) {
+    p = MakeSelect(std::move(p),
+                   {Predicate{0, CmpOp::kLt, Value{rng.NextInRange(2, 9)}}});
+  }
+  return MakeProject(std::move(p), {0});
+}
+
+/// Builds a random plan of bounded depth over single-column inputs.
+inline PlanPtr RandomPlan(Rng& rng, int depth) {
+  if (depth == 0) return RandomSource(rng);
+  switch (rng.NextBelow(6)) {
+    case 0: {  // Union.
+      return MakeUnion(RandomPlan(rng, depth - 1), RandomPlan(rng, depth - 1));
+    }
+    case 1: {  // Join, projected back to one column.
+      PlanPtr j = MakeJoin(RandomPlan(rng, depth - 1),
+                           RandomPlan(rng, depth - 1), 0, 0);
+      return MakeProject(std::move(j), {0});
+    }
+    case 2: {  // Distinct.
+      return MakeDistinct(RandomPlan(rng, depth - 1), {0});
+    }
+    case 3: {  // Negation.
+      return MakeNegate(RandomPlan(rng, depth - 1), RandomPlan(rng, depth - 1),
+                        0, 0);
+    }
+    case 4: {  // Selection.
+      return MakeSelect(RandomPlan(rng, depth - 1),
+                        {Predicate{0, CmpOp::kGe, Value{rng.NextInRange(0, 4)}}});
+    }
+    default: {  // Intersection.
+      return MakeIntersect(RandomPlan(rng, depth - 1),
+                           RandomPlan(rng, depth - 1));
+    }
+  }
+}
+
+inline Trace RandomTrace(Rng& rng, Time duration) {
+  Trace trace;
+  trace.schema = IntSchema(2);
+  trace.num_streams = kRandomPlanStreams;
+  for (Time ts = 1; ts <= duration; ++ts) {
+    for (int s = 0; s < kRandomPlanStreams; ++s) {
+      if (rng.NextBool(0.2)) continue;  // Irregular arrivals.
+      TraceEvent e;
+      e.stream = s;
+      e.tuple.ts = ts;
+      e.tuple.fields = {Value{rng.NextInRange(0, 9)},
+                        Value{rng.NextInRange(0, 99)}};
+      trace.events.push_back(std::move(e));
+    }
+  }
+  return trace;
+}
+
+}  // namespace testing_util
+}  // namespace upa
+
+#endif  // UPA_TESTS_RANDOM_PLAN_UTIL_H_

@@ -2,6 +2,7 @@
 #define UPA_TESTS_TEST_UTIL_H_
 
 #include <algorithm>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -74,13 +75,46 @@ inline std::string RowsToString(const std::vector<std::vector<Value>>& rows) {
   return s;
 }
 
+/// The update-pattern invariant a plan's result stream can be held to
+/// (Section 5.2): WKS plans expire FIFO, WK plans only ever signal a
+/// deletion exactly when the clock crosses the tuple's exp. Group-by
+/// (replacement deletions), count windows (count-driven eviction), and
+/// relations (updates delete never-expiring tuples) fall back to the
+/// liveness-only check.
+inline PatternInvariant InvariantForPlan(const PlanNode& plan) {
+  const std::function<bool(const PlanNode&, PlanOpKind)> contains =
+      [&](const PlanNode& n, PlanOpKind kind) {
+        if (n.kind == kind) return true;
+        for (const auto& c : n.children) {
+          if (contains(*c, kind)) return true;
+        }
+        return false;
+      };
+  if (contains(plan, PlanOpKind::kGroupBy) ||
+      contains(plan, PlanOpKind::kCountWindow) ||
+      contains(plan, PlanOpKind::kRelation)) {
+    return PatternInvariant::kLiveOnly;
+  }
+  switch (plan.pattern) {
+    case UpdatePattern::kWeakest:
+      return PatternInvariant::kFifo;
+    case UpdatePattern::kWeak:
+      return PatternInvariant::kPredictable;
+    default:
+      return PatternInvariant::kLiveOnly;
+  }
+}
+
 /// Runs `plan` under `mode`, replaying `trace`, and checks the
 /// materialized view against the reference evaluator (projected onto
 /// `compare_cols`; empty = all columns) at tick boundaries, roughly every
 /// `checkpoint_interval` tuples. Comparisons happen only once *all*
 /// events of a timestamp have been ingested -- Definition 1 constrains
-/// Q(tau) after the inputs at tau have been fully processed. Returns the
-/// number of checkpoints compared.
+/// Q(tau) after the inputs at tau have been fully processed. The
+/// pipeline additionally runs with the Section 5.2 update-pattern
+/// invariant checker enabled (see InvariantForPlan), so a WKS/WK plan
+/// that expires results out of order aborts the test. Returns the number
+/// of checkpoints compared.
 inline int CheckAgainstReference(const PlanNode& plan, const Trace& trace,
                                  ExecMode mode,
                                  const PlannerOptions& options = {},
@@ -88,6 +122,7 @@ inline int CheckAgainstReference(const PlanNode& plan, const Trace& trace,
                                  std::vector<int> compare_cols = {},
                                  Time drain = 0) {
   std::unique_ptr<Pipeline> pipeline = BuildPipeline(plan, mode, options);
+  pipeline->EnableInvariantChecks(InvariantForPlan(plan));
   ReferenceEvaluator ref(&plan);
   int checkpoints = 0;
   const auto compare = [&](Time now) {
