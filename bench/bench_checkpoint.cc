@@ -1,0 +1,222 @@
+// Durability experiment: what the WAL and pattern-aware checkpoints cost.
+//
+//   BM_WalAppendOverhead : ingest throughput with durability off vs on —
+//                          the WAL sits on the ingest path (every tuple is
+//                          framed, CRC'd and written before it is routed),
+//                          so the delta is the per-tuple durability tax.
+//   BM_CheckpointWrite   : wall time and size of one checkpoint as the
+//                          query window grows. Retained state is truncated
+//                          to the recovery horizon, so the checkpoint
+//                          scales with the window, not with the trace.
+//   BM_Recovery          : Engine::StartFromCheckpoint wall time for the
+//                          same windows — manifest load plus WAL-suffix
+//                          replay into fresh replicas.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+#include "bench/bench_util.h"
+#include "engine/engine.h"
+
+namespace upa {
+namespace {
+
+using bench_util::LblTrace;
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per benchmark run; removed on destruction so
+/// repeated runs never recover each other's state.
+struct ScratchDir {
+  explicit ScratchDir(const char* tag) {
+    path = fs::temp_directory_path() /
+           ("upa_bench_ckpt_" + std::string(tag) + "_" +
+            std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+};
+
+/// The durable workload: a duplicate-eliminating query (weakest pattern,
+/// FIFO state) over one LBL link. The window is the experiment knob — it
+/// sets the recovery horizon and therefore how much ingest a checkpoint
+/// retains.
+std::string SourcesSql(Time window) {
+  return "SELECT DISTINCT src_ip FROM link0 [RANGE " +
+         std::to_string(window) + "]";
+}
+
+EngineOptions DurableOptions(const fs::path& dir) {
+  EngineOptions opts;
+  opts.default_shards = 2;
+  opts.durability.dir = dir.string();
+  return opts;
+}
+
+void BM_WalAppendOverhead(benchmark::State& state) {
+  const bool durable = state.range(0) != 0;
+  const Trace& trace = LblTrace(1, 4000);
+  auto& collector = bench_json::Collector::Global();
+  for (auto _ : state) {
+    ScratchDir scratch("wal");
+    EngineOptions opts;
+    opts.default_shards = 2;
+    if (durable) opts.durability.dir = scratch.path.string();
+    Engine engine(opts);
+    engine.DeclareStream("link0", LblSchema());
+    benchmark::DoNotOptimize(
+        engine.RegisterSql("sources", SourcesSql(800)));
+    const auto start = std::chrono::steady_clock::now();
+    engine.IngestTrace(trace);
+    engine.Flush();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const EngineMetrics m = engine.Metrics();
+    engine.Stop();
+    state.SetIterationTime(secs);
+    const double tuples = static_cast<double>(trace.events.size());
+    state.counters["ktuples_per_s"] = tuples / secs / 1000.0;
+    state.counters["wal_records"] =
+        static_cast<double>(m.durability.wal_records);
+    state.counters["wal_mb"] =
+        static_cast<double>(m.durability.wal_bytes) / (1024.0 * 1024.0);
+
+    bench_json::Run run;
+    run.family = "BM_WalAppendOverhead";
+    run.name = std::string("BM_WalAppendOverhead/") +
+               (durable ? "durable" : "volatile");
+    run.args = {durable ? 1 : 0};
+    run.wall_seconds = secs;
+    run.counters["ktuples_per_s"] = state.counters["ktuples_per_s"];
+    run.counters["wal_records"] = state.counters["wal_records"];
+    run.counters["wal_mb"] = state.counters["wal_mb"];
+    collector.Add(std::move(run));
+  }
+}
+
+void BM_CheckpointWrite(benchmark::State& state) {
+  const Time window = state.range(0);
+  const Trace& trace = LblTrace(1, 4000);
+  auto& collector = bench_json::Collector::Global();
+  for (auto _ : state) {
+    ScratchDir scratch("write");
+    Engine engine(DurableOptions(scratch.path));
+    engine.DeclareStream("link0", LblSchema());
+    benchmark::DoNotOptimize(
+        engine.RegisterSql("sources", SourcesSql(window)));
+    engine.IngestTrace(trace);
+    engine.Flush();
+    const auto start = std::chrono::steady_clock::now();
+    std::string error;
+    if (!engine.Checkpoint(&error)) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", error.c_str());
+      state.SkipWithError("checkpoint failed");
+      return;
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const EngineMetrics m = engine.Metrics();
+    engine.Stop();
+    state.SetIterationTime(secs);
+    state.counters["checkpoint_kb"] =
+        static_cast<double>(m.durability.last_checkpoint_bytes) / 1024.0;
+    state.counters["retained_tuples"] =
+        static_cast<double>(m.durability.last_retained_tuples);
+    state.counters["truncated_tuples"] =
+        static_cast<double>(m.durability.last_truncated_tuples);
+
+    bench_json::Run run;
+    run.family = "BM_CheckpointWrite";
+    run.name = "BM_CheckpointWrite/" + std::to_string(window);
+    run.args = {window};
+    run.wall_seconds = secs;
+    run.counters["checkpoint_kb"] = state.counters["checkpoint_kb"];
+    run.counters["retained_tuples"] = state.counters["retained_tuples"];
+    run.counters["truncated_tuples"] = state.counters["truncated_tuples"];
+    collector.Add(std::move(run));
+  }
+}
+
+void BM_Recovery(benchmark::State& state) {
+  const Time window = state.range(0);
+  const Trace& trace = LblTrace(1, 4000);
+  auto& collector = bench_json::Collector::Global();
+  for (auto _ : state) {
+    ScratchDir scratch("recover");
+    {
+      Engine engine(DurableOptions(scratch.path));
+      engine.DeclareStream("link0", LblSchema());
+      benchmark::DoNotOptimize(
+          engine.RegisterSql("sources", SourcesSql(window)));
+      engine.IngestTrace(trace);
+      engine.Flush();
+      std::string error;
+      if (!engine.Checkpoint(&error)) {
+        std::fprintf(stderr, "checkpoint failed: %s\n", error.c_str());
+        state.SkipWithError("checkpoint failed");
+        return;
+      }
+      engine.Stop();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::unique_ptr<Engine> recovered =
+        Engine::StartFromCheckpoint(scratch.path.string());
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const EngineMetrics m = recovered->Metrics();
+    recovered->Stop();
+    state.SetIterationTime(secs);
+    state.counters["retained_replayed"] =
+        static_cast<double>(m.durability.recovery_retained_replayed);
+    state.counters["wal_records_replayed"] =
+        static_cast<double>(m.durability.recovery_wal_records_replayed);
+
+    bench_json::Run run;
+    run.family = "BM_Recovery";
+    run.name = "BM_Recovery/" + std::to_string(window);
+    run.args = {window};
+    run.wall_seconds = secs;
+    run.counters["retained_replayed"] = state.counters["retained_replayed"];
+    run.counters["wal_records_replayed"] =
+        state.counters["wal_records_replayed"];
+    collector.Add(std::move(run));
+  }
+}
+
+BENCHMARK(BM_WalAppendOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_CheckpointWrite)
+    ->Arg(200)
+    ->Arg(800)
+    ->Arg(3200)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_Recovery)
+    ->Arg(200)
+    ->Arg(800)
+    ->Arg(3200)
+    ->UseManualTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace upa
+
+UPA_BENCH_MAIN("checkpoint");

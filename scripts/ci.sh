@@ -43,6 +43,17 @@ cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# Recovery suite: the kill-restart differential and the WAL/checkpoint
+# corruption tests get a dedicated serial pass under the ASan config --
+# they hammer the filesystem (truncations, bit-flips, torn writes), and
+# running them alone under ASan+UBSan is the gate that recovery never
+# reads freed or uninitialized state while degrading to a valid prefix.
+if [[ "${UPA_ASAN:-0}" == "1" ]]; then
+  echo "ci.sh: ASan build -- re-running the recovery suite serially"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R 'KillRecoverTest|CorruptionTest' -j 1
+fi
+
 # Smoke bench: one small Query 1 run through the JSON harness. Validates
 # the upa.bench.v1 schema and fails on a >2x regression of ms_per_1k
 # against the committed baseline (bench/baselines/BENCH_q1_smoke.json).

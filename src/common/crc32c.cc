@@ -1,0 +1,36 @@
+#include "common/crc32c.h"
+
+namespace upa {
+namespace {
+
+/// Builds the reflected-polynomial lookup table once, at first use. A
+/// 256-entry table is the classic byte-at-a-time construction; good
+/// enough for WAL append rates, and it keeps the library free of
+/// ISA-specific intrinsics.
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected.
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  static const Crc32cTable table;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ table.t[(crc ^ p[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace upa

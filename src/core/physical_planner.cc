@@ -97,6 +97,54 @@ Time RecoveryHorizon(const PlanNode& plan) {
 
 namespace {
 
+/// `enclosing` is the largest time window on the path above (0 = none);
+/// `unbounded` is set below a count window, whose eviction is arrival-
+/// count based and therefore unbounded in time.
+void CollectStreamHorizons(const PlanNode& plan, Time enclosing,
+                           bool unbounded, std::map<int, Time>* out) {
+  switch (plan.kind) {
+    case PlanOpKind::kStream:
+    case PlanOpKind::kRelation: {
+      // Relations never expire; a stream leaf with no window above keeps
+      // unbounded state too (same cases as HasUnboundedLineage).
+      const bool bounded = plan.kind == PlanOpKind::kStream && !unbounded &&
+                           enclosing > 0;
+      const Time h = bounded ? enclosing : kNeverExpires;
+      auto [it, inserted] = out->emplace(plan.stream_id, h);
+      // The same source consumed on several paths (self-join) must honor
+      // its loosest requirement.
+      if (!inserted) it->second = std::max(it->second, h);
+      return;
+    }
+    case PlanOpKind::kWindow:
+      for (const auto& c : plan.children) {
+        CollectStreamHorizons(*c, std::max(enclosing, plan.window_size),
+                              unbounded, out);
+      }
+      return;
+    case PlanOpKind::kCountWindow:
+      for (const auto& c : plan.children) {
+        CollectStreamHorizons(*c, enclosing, /*unbounded=*/true, out);
+      }
+      return;
+    default:
+      for (const auto& c : plan.children) {
+        CollectStreamHorizons(*c, enclosing, unbounded, out);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+std::map<int, Time> StreamRecoveryHorizons(const PlanNode& plan) {
+  std::map<int, Time> out;
+  CollectStreamHorizons(plan, /*enclosing=*/0, /*unbounded=*/false, &out);
+  return out;
+}
+
+namespace {
+
 /// Per-subtree build style. Under UPA's hybrid strategy different regions
 /// of one plan use different styles (Section 5.4.3: direct below the
 /// negation, negative tuples above it).

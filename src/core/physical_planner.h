@@ -1,6 +1,7 @@
 #ifndef UPA_CORE_PHYSICAL_PLANNER_H_
 #define UPA_CORE_PHYSICAL_PLANNER_H_
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -127,6 +128,19 @@ Time MaxWindowSpan(const PlanNode& plan);
 /// streams consumed without a window keep state of unbounded age, so the
 /// horizon is kNeverExpires (the log is never pruned).
 Time RecoveryHorizon(const PlanNode& plan);
+
+/// Per-source refinement of RecoveryHorizon(): for every stream/relation
+/// id appearing as a leaf of `plan`, the oldest ingest age (relative to
+/// the current clock) that can still influence the plan's state. A stream
+/// consumed through time windows is bounded by the largest such window on
+/// any of its consumption paths -- older tuples have expired out of every
+/// buffer fed by that leaf (the paper's update-pattern expiration
+/// semantics, Sections 4-5). Relations, count-window inputs, and streams
+/// consumed without a window get kNeverExpires. The durability layer uses
+/// this map to truncate per-shard checkpoint state per source, which is
+/// strictly tighter than the plan-wide maximum when windows differ across
+/// sources (e.g. a 4000-unit join input next to a 250-unit one).
+std::map<int, Time> StreamRecoveryHorizons(const PlanNode& plan);
 
 /// True if the subtree contains a negation (used by the hybrid strategy
 /// and by the optimizer's heuristics).

@@ -1,0 +1,321 @@
+#include "engine/durability/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "engine/durability/wal.h"
+#include "state/serde.h"
+
+namespace upa {
+namespace durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kCheckpointMagic[8] = {'U', 'P', 'A', 'C', 'K', 'P', 'T', '1'};
+
+/// Record kinds inside a checkpoint file.
+enum class CkptRecord : uint8_t {
+  kHeader = 0,
+  kSource = 1,
+  kQuery = 2,
+  kEnd = 3,
+};
+
+std::string CheckpointName(uint64_t id) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "ckpt-%020llu.upac",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+/// Parses the id out of a checkpoint file name; 0 = not a checkpoint.
+uint64_t CheckpointId(const std::string& name) {
+  if (name.rfind("ckpt-", 0) != 0) return 0;
+  if (name.size() < 6 + 5 ||
+      name.compare(name.size() - 5, 5, ".upac") != 0) {
+    return 0;
+  }
+  uint64_t id = 0;
+  for (size_t i = 5; i < name.size() - 5; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    id = id * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return id;
+}
+
+void EncodeSource(std::string* out, const SourceEntry& s) {
+  serde::PutU8(out, static_cast<uint8_t>(CkptRecord::kSource));
+  serde::PutString(out, s.name);
+  serde::PutU32(out, static_cast<uint32_t>(s.decl.stream_id));
+  serde::PutU8(out, static_cast<uint8_t>(s.decl.kind));
+  serde::PutU32(out, static_cast<uint32_t>(s.decl.schema.fields().size()));
+  for (const Field& f : s.decl.schema.fields()) {
+    serde::PutString(out, f.name);
+    serde::PutU8(out, static_cast<uint8_t>(f.type));
+  }
+}
+
+bool DecodeSource(serde::Reader* r, SourceEntry* s) {
+  uint32_t id, nfields;
+  uint8_t kind;
+  if (!r->GetString(&s->name) || !r->GetU32(&id) || !r->GetU8(&kind) ||
+      !r->GetU32(&nfields)) {
+    return false;
+  }
+  if (kind > static_cast<uint8_t>(SourceKind::kRelation)) return false;
+  if (nfields > r->remaining()) return false;
+  s->decl.stream_id = static_cast<int>(id);
+  s->decl.kind = static_cast<SourceKind>(kind);
+  std::vector<Field> fields;
+  fields.reserve(nfields);
+  for (uint32_t i = 0; i < nfields; ++i) {
+    Field f;
+    uint8_t type;
+    if (!r->GetString(&f.name) || !r->GetU8(&type)) return false;
+    if (type > static_cast<uint8_t>(ValueType::kString)) return false;
+    f.type = static_cast<ValueType>(type);
+    fields.push_back(std::move(f));
+  }
+  s->decl.schema = Schema(std::move(fields));
+  return true;
+}
+
+void EncodeQuery(std::string* out, const QueryEntry& q) {
+  serde::PutU8(out, static_cast<uint8_t>(CkptRecord::kQuery));
+  serde::PutString(out, q.name);
+  serde::PutString(out, q.sql);
+  serde::PutU32(out, static_cast<uint32_t>(q.shards));
+  serde::PutU8(out, q.mode);
+  serde::PutU64(out, q.retained_total);
+  serde::PutU64(out, q.truncated_total);
+  serde::PutU32(out, static_cast<uint32_t>(q.shard_states.size()));
+  for (const ShardState& s : q.shard_states) {
+    serde::PutI64(out, s.clock);
+    serde::PutU64(out, s.view_digest);
+    serde::PutU64(out, static_cast<uint64_t>(s.retained.size()));
+    for (const RetainedEvent& e : s.retained) {
+      serde::PutU32(out, static_cast<uint32_t>(e.stream));
+      serde::PutU64(out, e.wal_seq);
+      serde::PutTuple(out, e.tuple);
+    }
+  }
+}
+
+bool DecodeQuery(serde::Reader* r, QueryEntry* q) {
+  uint32_t shards, nstates;
+  if (!r->GetString(&q->name) || !r->GetString(&q->sql) ||
+      !r->GetU32(&shards) || !r->GetU8(&q->mode) ||
+      !r->GetU64(&q->retained_total) || !r->GetU64(&q->truncated_total) ||
+      !r->GetU32(&nstates)) {
+    return false;
+  }
+  q->shards = static_cast<int>(shards);
+  // The manifest records one state per shard; a mismatch is corruption.
+  if (nstates != shards || nstates > r->remaining()) return false;
+  q->shard_states.clear();
+  q->shard_states.reserve(nstates);
+  for (uint32_t i = 0; i < nstates; ++i) {
+    ShardState s;
+    uint64_t nretained;
+    if (!r->GetI64(&s.clock) || !r->GetU64(&s.view_digest) ||
+        !r->GetU64(&nretained)) {
+      return false;
+    }
+    if (nretained > r->remaining()) return false;
+    s.retained.reserve(nretained);
+    for (uint64_t j = 0; j < nretained; ++j) {
+      RetainedEvent e;
+      uint32_t stream;
+      if (!r->GetU32(&stream) || !r->GetU64(&e.wal_seq) ||
+          !r->GetTuple(&e.tuple)) {
+        return false;
+      }
+      e.stream = static_cast<int>(stream);
+      s.retained.push_back(std::move(e));
+    }
+    q->shard_states.push_back(std::move(s));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WriteCheckpoint(const std::string& dir, const Manifest& m, bool fsync,
+                     size_t* bytes_out, std::string* error) {
+  std::string data(kCheckpointMagic, sizeof(kCheckpointMagic));
+  std::string payload;
+
+  payload.push_back(static_cast<char>(CkptRecord::kHeader));
+  serde::PutU64(&payload, m.id);
+  serde::PutI64(&payload, m.clock);
+  serde::PutU64(&payload, m.wal_seq);
+  serde::PutU32(&payload, static_cast<uint32_t>(m.sources.size()));
+  serde::PutU32(&payload, static_cast<uint32_t>(m.queries.size()));
+  AppendFrame(&data, payload);
+  uint32_t frames = 1;
+
+  for (const SourceEntry& s : m.sources) {
+    payload.clear();
+    EncodeSource(&payload, s);
+    AppendFrame(&data, payload);
+    ++frames;
+  }
+  for (const QueryEntry& q : m.queries) {
+    payload.clear();
+    EncodeQuery(&payload, q);
+    AppendFrame(&data, payload);
+    ++frames;
+  }
+  // End record: its presence is the commit marker (a truncated file has
+  // no way to present both a valid frame chain and the right count).
+  payload.clear();
+  serde::PutU8(&payload, static_cast<uint8_t>(CkptRecord::kEnd));
+  serde::PutU32(&payload, frames);
+  AppendFrame(&data, payload);
+
+  const fs::path final_path = fs::path(dir) / CheckpointName(m.id);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  const int fd =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error) *error = "open failed: " + tmp_path.string();
+    return false;
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      if (error) *error = "write failed: " + tmp_path.string();
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (fsync) ::fsync(fd);
+  ::close(fd);
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    if (error) *error = "rename failed: " + final_path.string();
+    return false;
+  }
+  if (fsync) {
+    const int dirfd = ::open(dir.c_str(), O_RDONLY);
+    if (dirfd >= 0) {
+      ::fsync(dirfd);
+      ::close(dirfd);
+    }
+  }
+  if (bytes_out) *bytes_out = data.size();
+  return true;
+}
+
+bool LoadCheckpoint(const std::string& path, Manifest* out) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+  if (!in.good() && !in.eof()) return false;
+  if (data.size() < sizeof(kCheckpointMagic) ||
+      std::memcmp(data.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0) {
+    return false;
+  }
+  FrameCursor cursor(data.data() + sizeof(kCheckpointMagic),
+                     data.size() - sizeof(kCheckpointMagic));
+  std::string payload;
+  *out = Manifest{};
+  uint32_t frames = 0;
+  bool have_header = false;
+  bool have_end = false;
+  uint32_t end_count = 0;
+  uint32_t nsources = 0;
+  uint32_t nqueries = 0;
+  while (cursor.Next(&payload)) {
+    if (have_end) return false;  // Frames after the end marker: corrupt.
+    serde::Reader r(payload);
+    uint8_t kind;
+    if (!r.GetU8(&kind)) return false;
+    switch (static_cast<CkptRecord>(kind)) {
+      case CkptRecord::kHeader: {
+        if (have_header) return false;
+        have_header = true;
+        if (!r.GetU64(&out->id) || !r.GetI64(&out->clock) ||
+            !r.GetU64(&out->wal_seq) || !r.GetU32(&nsources) ||
+            !r.GetU32(&nqueries) || !r.AtEnd()) {
+          return false;
+        }
+        out->sources.reserve(std::min<uint32_t>(nsources, 1024));
+        out->queries.reserve(std::min<uint32_t>(nqueries, 1024));
+        break;
+      }
+      case CkptRecord::kSource: {
+        if (!have_header) return false;
+        SourceEntry s;
+        if (!DecodeSource(&r, &s) || !r.AtEnd()) return false;
+        out->sources.push_back(std::move(s));
+        break;
+      }
+      case CkptRecord::kQuery: {
+        if (!have_header) return false;
+        QueryEntry q;
+        if (!DecodeQuery(&r, &q) || !r.AtEnd()) return false;
+        out->queries.push_back(std::move(q));
+        break;
+      }
+      case CkptRecord::kEnd: {
+        if (!have_header) return false;
+        have_end = true;
+        if (!r.GetU32(&end_count) || !r.AtEnd()) return false;
+        break;
+      }
+      default:
+        return false;
+    }
+    ++frames;
+  }
+  if (!cursor.clean_end() || !have_header || !have_end) return false;
+  // The end record counts every frame before it, and the header's section
+  // counts must match what was actually decoded.
+  if (end_count != frames - 1) return false;
+  if (out->sources.size() != nsources || out->queries.size() != nqueries) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<uint64_t, std::string>> ListCheckpoints(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const uint64_t id = CheckpointId(entry.path().filename().string());
+    if (id > 0) out.emplace_back(id, entry.path().string());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return out;
+}
+
+void RemoveObsoleteCheckpoints(const std::string& dir, int keep) {
+  if (keep < 1) keep = 1;
+  auto checkpoints = ListCheckpoints(dir);
+  std::error_code ec;
+  for (size_t i = static_cast<size_t>(keep); i < checkpoints.size(); ++i) {
+    fs::remove(checkpoints[i].second, ec);
+  }
+}
+
+}  // namespace durability
+}  // namespace upa

@@ -1,0 +1,105 @@
+#ifndef UPA_ENGINE_DURABILITY_CHECKPOINT_H_
+#define UPA_ENGINE_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/tuple.h"
+#include "sql/parser.h"
+
+namespace upa {
+namespace durability {
+
+/// Pattern-aware checkpoints.
+///
+/// A checkpoint does NOT persist operator state. It persists, per query
+/// and per shard, the *retained ingest tuples*: the suffix of the shard's
+/// input that is still inside the plan's recovery horizons. By the
+/// paper's update-pattern expiration semantics (Sections 4-5) anything
+/// older has expired out of every buffer and cannot influence results, so
+/// replaying the retained tuples into a fresh replica reproduces the lost
+/// state exactly -- the same argument that backs the watchdog's in-memory
+/// shard Restart(). Horizons are per source (StreamRecoveryHorizons): a
+/// WKS/WK stream consumed through a 250-unit window contributes 250 units
+/// of tuples regardless of how large its neighbour's window is; relations,
+/// count-window inputs and unwindowed streams are never truncated.
+///
+/// Consistency: the manifest is captured at a snapshot barrier. The engine
+/// reads the WAL position S under its registration lock (no ingest can
+/// interleave), enqueues a control on every shard, and each shard records
+/// its retained tuples with WAL sequence <= S plus a digest of its view.
+/// Recovery replays retained tuples (state <= S) and then the WAL suffix
+/// (records > S); the sequence filter is what makes the two phases meet
+/// exactly once.
+///
+/// File format: `ckpt-<id>.upac`, an 8-byte magic followed by the same
+/// CRC32C frames as WAL segments: one header record, one record per
+/// source, one per query (with all shard states inline), and a trailing
+/// end record carrying the record count. A file missing its end record,
+/// failing any CRC, or failing any body decode is rejected as a whole --
+/// checkpoints are all-or-nothing, torn checkpoint writes are discarded
+/// by validation and recovery falls back to the previous checkpoint.
+/// Files are written to a temporary name and atomically renamed.
+
+/// One retained ingest event of one shard.
+struct RetainedEvent {
+  int stream = -1;
+  uint64_t wal_seq = 0;  ///< 0: predates the current WAL attachment.
+  Tuple tuple;
+};
+
+/// State of one shard of one query at the checkpoint barrier.
+struct ShardState {
+  Time clock = -1;            ///< Barrier time the replica was ticked to.
+  uint64_t view_digest = 0;   ///< ResultView::Digest() at the barrier.
+  std::vector<RetainedEvent> retained;
+};
+
+struct QueryEntry {
+  std::string name;
+  std::string sql;
+  int shards = 1;
+  uint8_t mode = 0;  ///< static_cast of ExecMode.
+  uint64_t retained_total = 0;   ///< Sum of shard retained counts.
+  uint64_t truncated_total = 0;  ///< Tuples dropped by horizon truncation.
+  std::vector<ShardState> shard_states;
+};
+
+struct SourceEntry {
+  std::string name;
+  SourceDecl decl;
+};
+
+struct Manifest {
+  uint64_t id = 0;       ///< Monotone checkpoint number (file name).
+  Time clock = -1;       ///< Engine clock at the barrier.
+  uint64_t wal_seq = 0;  ///< S: WAL records <= S are covered by this state.
+  std::vector<SourceEntry> sources;
+  std::vector<QueryEntry> queries;
+};
+
+/// Serializes and atomically publishes `m` as `<dir>/ckpt-<id>.upac`.
+/// On success *bytes_out (optional) receives the file size. `fsync`
+/// extends durability to OS crashes.
+bool WriteCheckpoint(const std::string& dir, const Manifest& m, bool fsync,
+                     size_t* bytes_out, std::string* error);
+
+/// Fully validates and decodes one checkpoint file; false on any
+/// corruption (magic, CRC, body decode, missing end record, count
+/// mismatch).
+bool LoadCheckpoint(const std::string& path, Manifest* out);
+
+/// Checkpoint files of `dir`, newest id first. Only names are parsed; a
+/// listed file may still fail LoadCheckpoint.
+std::vector<std::pair<uint64_t, std::string>> ListCheckpoints(
+    const std::string& dir);
+
+/// Deletes all but the newest `keep` checkpoint files.
+void RemoveObsoleteCheckpoints(const std::string& dir, int keep);
+
+}  // namespace durability
+}  // namespace upa
+
+#endif  // UPA_ENGINE_DURABILITY_CHECKPOINT_H_

@@ -1,0 +1,42 @@
+#include "engine/durability/recovery.h"
+
+#include <algorithm>
+
+namespace upa {
+namespace durability {
+
+RecoveryContext LoadRecoveryContext(const std::string& dir) {
+  RecoveryContext ctx;
+  const auto listed = ListCheckpoints(dir);
+  ctx.checkpoint_files = listed.size();
+  for (const auto& [id, path] : listed) {
+    ctx.max_checkpoint_id = std::max(ctx.max_checkpoint_id, id);
+    Manifest m;
+    if (LoadCheckpoint(path, &m) && m.id == id) {
+      ctx.manifests.push_back(std::move(m));
+    } else {
+      ++ctx.corrupt_checkpoints;
+    }
+  }
+  // ListCheckpoints returns newest first; keep that order for candidates.
+  ctx.wal = ScanWal(dir);
+  return ctx;
+}
+
+std::vector<const WalRecord*> WalSuffix(const RecoveryContext& ctx,
+                                        uint64_t after_seq, bool* gap) {
+  std::vector<const WalRecord*> out;
+  uint64_t seq = after_seq + 1;
+  for (auto it = ctx.wal.records.find(seq); it != ctx.wal.records.end();
+       it = ctx.wal.records.find(++seq)) {
+    out.push_back(&it->second);
+  }
+  // Anything valid past the stopping point sits behind a hole that
+  // corruption (or GC of an intermediate segment) punched into the
+  // sequence; applying it would fabricate a history that never ran.
+  *gap = !ctx.wal.records.empty() && ctx.wal.max_seq >= seq;
+  return out;
+}
+
+}  // namespace durability
+}  // namespace upa

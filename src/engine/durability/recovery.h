@@ -1,0 +1,71 @@
+#ifndef UPA_ENGINE_DURABILITY_RECOVERY_H_
+#define UPA_ENGINE_DURABILITY_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+#include "engine/durability/checkpoint.h"
+#include "engine/durability/wal.h"
+
+namespace upa {
+namespace durability {
+
+/// What Engine::StartFromCheckpoint did and found. Every counter here is
+/// also exported as a `upa_recovery_*` Prometheus series.
+struct RecoveryReport {
+  bool attempted = false;   ///< StartFromCheckpoint ran on this engine.
+  bool recovered_from_checkpoint = false;
+  uint64_t checkpoint_id = 0;  ///< Manifest used (0: WAL-only or fresh).
+  /// Checkpoint files skipped because they failed validation (magic, CRC,
+  /// body decode, missing commit marker).
+  uint64_t corrupt_checkpoints_skipped = 0;
+  /// Candidates rejected because a replayed replica's view digest did not
+  /// match the manifest (defense in depth past the CRCs).
+  uint64_t digest_mismatches = 0;
+  uint64_t wal_records_replayed = 0;  ///< Suffix records applied, any type.
+  uint64_t wal_ingest_replayed = 0;   ///< Of those, ingest records.
+  uint64_t wal_corrupt_frames = 0;    ///< Invalid frames seen by the scan.
+  uint64_t wal_corrupt_segments = 0;  ///< Segment files with a bad magic.
+  /// Valid WAL records existed beyond a sequence hole; they were NOT
+  /// applied (the recovered state is a strict prefix of the original
+  /// run, never a gapped one).
+  bool wal_gap = false;
+  /// No usable checkpoint and the WAL does not reach back to sequence 1
+  /// (e.g. every checkpoint corrupted after segments were GC'd): the
+  /// engine starts empty rather than guessing.
+  bool data_loss = false;
+  uint64_t retained_replayed = 0;  ///< Checkpoint tuples re-injected.
+  uint64_t queries_restored = 0;
+  uint64_t sources_restored = 0;
+  Time clock = -1;       ///< Engine clock after recovery.
+  double seconds = 0.0;  ///< Wall time of the whole recovery.
+  std::string note;      ///< Human-readable outcome summary.
+};
+
+/// Everything recovery needs, loaded from disk in one pass: all valid
+/// checkpoint manifests (newest first) and every valid WAL frame. The
+/// engine walks candidates through this context instead of re-reading
+/// files per attempt.
+struct RecoveryContext {
+  std::vector<Manifest> manifests;  ///< Valid only, newest id first.
+  WalScanResult wal;
+  uint64_t corrupt_checkpoints = 0;  ///< Listed files failing validation.
+  size_t checkpoint_files = 0;       ///< Listed files, valid or not.
+  uint64_t max_checkpoint_id = 0;    ///< Across all listed files.
+};
+
+RecoveryContext LoadRecoveryContext(const std::string& dir);
+
+/// The longest consecutive run of WAL records with seq > after_seq,
+/// starting at after_seq + 1 (pointers into `ctx.wal`; valid while `ctx`
+/// lives). Sets *gap when valid records exist beyond the run's end --
+/// those are unreachable across the hole and must be treated as lost.
+std::vector<const WalRecord*> WalSuffix(const RecoveryContext& ctx,
+                                        uint64_t after_seq, bool* gap);
+
+}  // namespace durability
+}  // namespace upa
+
+#endif  // UPA_ENGINE_DURABILITY_RECOVERY_H_

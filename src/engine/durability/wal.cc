@@ -1,0 +1,394 @@
+#include "engine/durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "state/serde.h"
+
+namespace upa {
+namespace durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kSegmentMagic[8] = {'U', 'P', 'A', 'W', 'A', 'L', '1', '\n'};
+constexpr size_t kFrameHeaderBytes = 8;  // u32 length + u32 masked CRC.
+/// Upper bound on one payload; a corrupted length field larger than this
+/// is rejected without looking at the rest of the file.
+constexpr size_t kMaxPayloadBytes = 1 << 24;
+
+std::string SegmentName(uint64_t first_seq, bool sealed) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.%s",
+                static_cast<unsigned long long>(first_seq),
+                sealed ? "log" : "open");
+  return buf;
+}
+
+/// Parses the first-seq component out of a segment file name; 0 = not a
+/// segment file.
+uint64_t SegmentFirstSeq(const std::string& name) {
+  if (name.rfind("wal-", 0) != 0) return 0;
+  const bool log = name.size() > 4 && name.compare(name.size() - 4, 4, ".log") == 0;
+  const bool open =
+      name.size() > 5 && name.compare(name.size() - 5, 5, ".open") == 0;
+  if (!log && !open) return 0;
+  const size_t begin = 4;
+  const size_t end = name.size() - (log ? 4 : 5);
+  uint64_t seq = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+void EncodeSchema(std::string* out, const Schema& schema) {
+  serde::PutU32(out, static_cast<uint32_t>(schema.fields().size()));
+  for (const Field& f : schema.fields()) {
+    serde::PutString(out, f.name);
+    serde::PutU8(out, static_cast<uint8_t>(f.type));
+  }
+}
+
+bool DecodeSchema(serde::Reader* r, Schema* out) {
+  uint32_t n;
+  if (!r->GetU32(&n)) return false;
+  if (n > r->remaining()) return false;  // >= 2 bytes per field.
+  std::vector<Field> fields;
+  fields.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Field f;
+    uint8_t type;
+    if (!r->GetString(&f.name) || !r->GetU8(&type)) return false;
+    if (type > static_cast<uint8_t>(ValueType::kString)) return false;
+    f.type = static_cast<ValueType>(type);
+    fields.push_back(std::move(f));
+  }
+  *out = Schema(std::move(fields));
+  return true;
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, const std::string& payload) {
+  serde::PutU32(out, static_cast<uint32_t>(payload.size()));
+  serde::PutU32(out, MaskCrc32c(Crc32c(payload.data(), payload.size())));
+  out->append(payload);
+}
+
+bool FrameCursor::Next(std::string* payload) {
+  clean_end_ = false;
+  if (p_ == end_) {
+    clean_end_ = true;
+    return false;
+  }
+  if (static_cast<size_t>(end_ - p_) < kFrameHeaderBytes) return false;
+  serde::Reader header(p_, kFrameHeaderBytes);
+  uint32_t len = 0;
+  uint32_t stored_crc = 0;
+  header.GetU32(&len);
+  header.GetU32(&stored_crc);
+  if (len > kMaxPayloadBytes) return false;
+  if (static_cast<size_t>(end_ - p_) < kFrameHeaderBytes + len) return false;
+  const char* body = p_ + kFrameHeaderBytes;
+  if (MaskCrc32c(Crc32c(body, len)) != stored_crc) return false;
+  payload->assign(body, len);
+  p_ = body + len;
+  return true;
+}
+
+std::string EncodeRecord(const WalRecord& rec) {
+  std::string out;
+  serde::PutU64(&out, rec.seq);
+  serde::PutU8(&out, static_cast<uint8_t>(rec.type));
+  switch (rec.type) {
+    case WalRecordType::kIngest:
+      serde::PutU32(&out, static_cast<uint32_t>(rec.stream));
+      serde::PutTuple(&out, rec.tuple);
+      break;
+    case WalRecordType::kAdvance:
+      serde::PutI64(&out, rec.advance_to);
+      break;
+    case WalRecordType::kDeclareSource:
+      serde::PutString(&out, rec.source_name);
+      serde::PutU32(&out, static_cast<uint32_t>(rec.source.stream_id));
+      serde::PutU8(&out, static_cast<uint8_t>(rec.source.kind));
+      EncodeSchema(&out, rec.source.schema);
+      break;
+    case WalRecordType::kRegisterQuery:
+      serde::PutString(&out, rec.query_name);
+      serde::PutString(&out, rec.sql);
+      serde::PutU32(&out, static_cast<uint32_t>(rec.shards));
+      serde::PutU8(&out, rec.mode);
+      break;
+  }
+  return out;
+}
+
+bool DecodeRecord(const std::string& payload, WalRecord* out) {
+  serde::Reader r(payload);
+  uint8_t type;
+  if (!r.GetU64(&out->seq) || !r.GetU8(&type)) return false;
+  if (out->seq == 0) return false;
+  if (type > static_cast<uint8_t>(WalRecordType::kRegisterQuery)) return false;
+  out->type = static_cast<WalRecordType>(type);
+  switch (out->type) {
+    case WalRecordType::kIngest: {
+      uint32_t stream;
+      if (!r.GetU32(&stream) || !r.GetTuple(&out->tuple)) return false;
+      out->stream = static_cast<int>(stream);
+      break;
+    }
+    case WalRecordType::kAdvance:
+      if (!r.GetI64(&out->advance_to)) return false;
+      break;
+    case WalRecordType::kDeclareSource: {
+      uint32_t id;
+      uint8_t kind;
+      if (!r.GetString(&out->source_name) || !r.GetU32(&id) ||
+          !r.GetU8(&kind) || !DecodeSchema(&r, &out->source.schema)) {
+        return false;
+      }
+      if (kind > static_cast<uint8_t>(SourceKind::kRelation)) return false;
+      out->source.stream_id = static_cast<int>(id);
+      out->source.kind = static_cast<SourceKind>(kind);
+      break;
+    }
+    case WalRecordType::kRegisterQuery: {
+      uint32_t shards;
+      if (!r.GetString(&out->query_name) || !r.GetString(&out->sql) ||
+          !r.GetU32(&shards) || !r.GetU8(&out->mode)) {
+        return false;
+      }
+      out->shards = static_cast<int>(shards);
+      break;
+    }
+  }
+  return r.AtEnd();
+}
+
+WalWriter::WalWriter(std::string dir, WalWriterOptions options,
+                     FaultInjector* faults)
+    : wal_dir_((fs::path(dir) / "wal").string()),
+      options_(options),
+      faults_(faults) {}
+
+WalWriter::~WalWriter() { Close(); }
+
+bool WalWriter::Start(uint64_t next_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return !failed_;
+  started_ = true;
+  std::error_code ec;
+  fs::create_directories(wal_dir_, ec);
+  if (ec) {
+    failed_ = true;
+    return false;
+  }
+  last_seq_ = next_seq == 0 ? 0 : next_seq - 1;
+  if (!OpenSegmentLocked(last_seq_ + 1)) {
+    FailLocked();
+    return false;
+  }
+  return true;
+}
+
+bool WalWriter::OpenSegmentLocked(uint64_t first_seq) {
+  open_path_ = (fs::path(wal_dir_) / SegmentName(first_seq, false)).string();
+  fd_ = ::open(open_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return false;
+  if (::write(fd_, kSegmentMagic, sizeof(kSegmentMagic)) !=
+      static_cast<ssize_t>(sizeof(kSegmentMagic))) {
+    return false;
+  }
+  open_first_seq_ = first_seq;
+  open_bytes_ = sizeof(kSegmentMagic);
+  bytes_ += sizeof(kSegmentMagic);
+  ++segments_;
+  return true;
+}
+
+void WalWriter::SealLocked() {
+  if (fd_ < 0) return;
+  if (options_.fsync) ::fsync(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  const std::string sealed =
+      (fs::path(wal_dir_) / SegmentName(open_first_seq_, true)).string();
+  std::error_code ec;
+  fs::rename(open_path_, sealed, ec);  // Atomic within the directory.
+  if (options_.fsync && !ec) {
+    const int dirfd = ::open(wal_dir_.c_str(), O_RDONLY);
+    if (dirfd >= 0) {
+      ::fsync(dirfd);
+      ::close(dirfd);
+    }
+  }
+}
+
+void WalWriter::FailLocked() {
+  failed_ = true;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+uint64_t WalWriter::Append(WalRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_ || failed_ || fd_ < 0) return 0;
+  rec.seq = last_seq_ + 1;
+  std::string frame;
+  AppendFrame(&frame, EncodeRecord(rec));
+  size_t keep = frame.size();
+  if (faults_ != nullptr && faults_->TearWalWrite(frame.size(), &keep)) {
+    // Simulated crash mid-write: persist only a prefix of the frame and
+    // enter the terminal failed state -- from here on the process "has
+    // crashed" as far as the log is concerned, so nothing later may be
+    // appended behind the tear (it would be unreachable garbage anyway:
+    // scans stop at the first invalid frame of a segment).
+    ++torn_writes_;
+    if (keep > 0) {
+      (void)!::write(fd_, frame.data(), keep);
+    }
+    FailLocked();
+    return 0;
+  }
+  // One write() per frame: after the syscall returns, the bytes survive
+  // any process death (the OS owns them), which is the durability class
+  // the recovery tests simulate.
+  const ssize_t n = ::write(fd_, frame.data(), frame.size());
+  if (n != static_cast<ssize_t>(frame.size())) {
+    FailLocked();
+    return 0;
+  }
+  last_seq_ = rec.seq;
+  ++records_;
+  bytes_ += frame.size();
+  open_bytes_ += frame.size();
+  if (open_bytes_ >= options_.segment_bytes) {
+    SealLocked();
+    if (!OpenSegmentLocked(last_seq_ + 1)) FailLocked();
+  }
+  return rec.seq;
+}
+
+void WalWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SealLocked();
+}
+
+void WalWriter::Abandon() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void WalWriter::RemoveObsoleteSegments(uint64_t min_needed_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<uint64_t, fs::path>> sealed;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(wal_dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    const uint64_t first = SegmentFirstSeq(name);
+    if (first == 0) continue;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".log") == 0) {
+      sealed.emplace_back(first, entry.path());
+    }
+  }
+  std::sort(sealed.begin(), sealed.end());
+  for (size_t i = 0; i < sealed.size(); ++i) {
+    // A segment is obsolete when replay from min_needed_seq + 1 starts at
+    // or after the *next* segment; the active segment bounds the last
+    // sealed one.
+    const uint64_t next_first =
+        i + 1 < sealed.size() ? sealed[i + 1].first : open_first_seq_;
+    if (next_first != 0 && next_first <= min_needed_seq + 1) {
+      fs::remove(sealed[i].second, ec);
+    }
+  }
+}
+
+uint64_t WalWriter::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_seq_;
+}
+uint64_t WalWriter::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+uint64_t WalWriter::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+uint64_t WalWriter::segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_;
+}
+uint64_t WalWriter::torn_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return torn_writes_;
+}
+bool WalWriter::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+WalScanResult ScanWal(const std::string& dir) {
+  WalScanResult result;
+  const fs::path wal_dir = fs::path(dir) / "wal";
+  std::vector<std::pair<uint64_t, fs::path>> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(wal_dir, ec)) {
+    const uint64_t first = SegmentFirstSeq(entry.path().filename().string());
+    if (first > 0) segments.emplace_back(first, entry.path());
+  }
+  std::sort(segments.begin(), segments.end());
+  for (const auto& [first_seq, path] : segments) {
+    ++result.segments;
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string data = buf.str();
+    result.bytes += data.size();
+    if (!in || data.size() < sizeof(kSegmentMagic) ||
+        std::memcmp(data.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+      ++result.corrupt_segments;
+      continue;
+    }
+    FrameCursor cursor(data.data() + sizeof(kSegmentMagic),
+                       data.size() - sizeof(kSegmentMagic));
+    std::string payload;
+    bool decode_failed = false;
+    while (cursor.Next(&payload)) {
+      WalRecord rec;
+      if (!DecodeRecord(payload, &rec)) {
+        // A frame whose checksum validated but whose body does not decode
+        // is corruption the CRC missed (or a foreign format); stop this
+        // segment like any other invalid frame.
+        decode_failed = true;
+        break;
+      }
+      result.max_seq = std::max(result.max_seq, rec.seq);
+      result.records.emplace(rec.seq, std::move(rec));
+    }
+    if (decode_failed || !cursor.clean_end()) ++result.corrupt_frames;
+  }
+  return result;
+}
+
+}  // namespace durability
+}  // namespace upa

@@ -1,0 +1,204 @@
+#ifndef UPA_ENGINE_DURABILITY_WAL_H_
+#define UPA_ENGINE_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+#include "engine/fault.h"
+#include "sql/parser.h"
+
+namespace upa {
+namespace durability {
+
+/// On-disk write-ahead log of everything that drives engine state: source
+/// declarations, SQL query registrations, ingested tuples, and clock
+/// advances. Replaying a WAL prefix into a fresh engine reproduces the
+/// engine state at the corresponding point of the original run, which is
+/// the whole recovery story: checkpoints merely let replay start from a
+/// recent cut (they persist the window-bounded retained tuples the
+/// pattern horizons say are still live) instead of from sequence 1.
+///
+/// Layout: `<dir>/wal/wal-<first-seq>.log` (sealed) and `.open` (active).
+/// Each segment starts with an 8-byte magic, followed by CRC32C-framed
+/// records:
+///
+///   u32 payload-length | u32 masked-crc32c(payload) | payload
+///
+/// and each payload is `u64 seq | u8 type | body` (see serde.h for the
+/// primitive encodings). Records carry globally contiguous sequence
+/// numbers starting at 1. Segments are named by the first sequence number
+/// they contain, appended with one write() per record (a process crash
+/// can therefore tear at most the final frame), and sealed by an
+/// atomic rename from `.open` to `.log`; a recovering writer never
+/// appends to an existing file, it starts a fresh segment at the next
+/// sequence number, so torn tails stay inert on disk and are skipped by
+/// the frame validation on every later scan.
+enum class WalRecordType : uint8_t {
+  kIngest = 0,
+  kAdvance = 1,
+  kDeclareSource = 2,
+  kRegisterQuery = 3,
+};
+
+/// One decoded WAL record. Which fields are meaningful depends on `type`.
+struct WalRecord {
+  uint64_t seq = 0;
+  WalRecordType type = WalRecordType::kIngest;
+
+  // kIngest.
+  int stream = -1;
+  Tuple tuple;
+
+  // kAdvance.
+  Time advance_to = -1;
+
+  // kDeclareSource.
+  std::string source_name;
+  SourceDecl source;
+
+  // kRegisterQuery.
+  std::string query_name;
+  std::string sql;
+  int shards = 0;
+  uint8_t mode = 0;  ///< static_cast of ExecMode.
+};
+
+/// Serializes `payload` as one CRC32C frame appended to `out`.
+void AppendFrame(std::string* out, const std::string& payload);
+
+/// Encodes/decodes the seq|type|body payload (no framing). DecodeRecord
+/// returns false on any malformed body, including trailing garbage.
+std::string EncodeRecord(const WalRecord& rec);
+bool DecodeRecord(const std::string& payload, WalRecord* out);
+
+/// Iterates frames of an in-memory buffer (used for both WAL segments and
+/// checkpoint files, which share the frame format). Next() returns false
+/// at the end of the buffer *or* at the first frame whose length or
+/// checksum does not validate; `clean_end()` distinguishes the two.
+class FrameCursor {
+ public:
+  FrameCursor(const char* data, size_t size) : p_(data), end_(data + size) {}
+  explicit FrameCursor(const std::string& buf)
+      : FrameCursor(buf.data(), buf.size()) {}
+
+  /// Advances to the next frame; on success *payload points into the
+  /// buffer (valid until the buffer dies).
+  bool Next(std::string* payload);
+
+  /// True when iteration stopped exactly at the end of the buffer rather
+  /// than at a torn or corrupt frame.
+  bool clean_end() const { return clean_end_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+  bool clean_end_ = false;
+};
+
+struct WalWriterOptions {
+  /// Rotate to a new segment once the active one exceeds this size.
+  size_t segment_bytes = 1 << 20;
+  /// fsync segments on seal/close and the directory on renames. Off by
+  /// default: the durability target is process crashes (every record is
+  /// down a write() syscall before the engine acts on it); turning this
+  /// on extends the guarantee to OS crashes at a per-seal cost.
+  bool fsync = false;
+};
+
+/// Append side. Thread-safe (the engine appends from concurrent producer
+/// threads under its shared registration lock). After any I/O failure or
+/// an injected torn write the writer goes into a terminal failed state:
+/// further appends return 0 and the engine keeps running undurably, which
+/// the metrics surface as `upa_checkpoint_wal_failed`.
+class WalWriter {
+ public:
+  /// `faults` (borrowed, may be null) provides the kTornWalWrite hook.
+  WalWriter(std::string dir, WalWriterOptions options, FaultInjector* faults);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Creates `<dir>/wal/` if needed and opens a fresh segment whose first
+  /// record will carry `next_seq`. Returns false (failed state) on I/O
+  /// error.
+  bool Start(uint64_t next_seq);
+
+  /// Appends one record, assigning it the next sequence number. Returns
+  /// the assigned number, or 0 when the writer is failed (the record was
+  /// not durably logged).
+  uint64_t Append(WalRecord rec);
+
+  /// Seals the active segment (rename to .log). Idempotent.
+  void Close();
+
+  /// Closes the active segment WITHOUT sealing it: the `.open` file stays
+  /// behind exactly as a process crash would leave it. Test hook backing
+  /// DurabilityOptions::seal_on_close = false; further appends return 0.
+  void Abandon();
+
+  /// Deletes sealed segments that a replay starting at `min_needed_seq +
+  /// 1` can never need, i.e. segments entirely covered by retained
+  /// checkpoints. The active segment is never deleted.
+  void RemoveObsoleteSegments(uint64_t min_needed_seq);
+
+  uint64_t last_seq() const;
+  uint64_t records() const;
+  uint64_t bytes() const;        ///< Payload + framing bytes appended.
+  uint64_t segments() const;     ///< Segments created by this writer.
+  uint64_t torn_writes() const;  ///< Injected kTornWalWrite faults fired.
+  bool failed() const;
+
+ private:
+  bool OpenSegmentLocked(uint64_t first_seq);
+  void SealLocked();
+  void FailLocked();
+
+  const std::string wal_dir_;
+  const WalWriterOptions options_;
+  FaultInjector* const faults_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;                 // Active segment, -1 when none.
+  std::string open_path_;       // Path of the active .open file.
+  uint64_t open_first_seq_ = 0;
+  size_t open_bytes_ = 0;
+  uint64_t last_seq_ = 0;
+  uint64_t records_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t segments_ = 0;
+  uint64_t torn_writes_ = 0;
+  bool started_ = false;
+  bool failed_ = false;
+};
+
+/// Result of scanning a WAL directory. `records` holds every frame that
+/// validated, keyed by sequence number; contiguity is the *caller's*
+/// judgement (recovery replays the longest consecutive run after its
+/// checkpoint cut and treats anything beyond a hole as lost — the
+/// prefix-not-garbage contract).
+struct WalScanResult {
+  std::map<uint64_t, WalRecord> records;
+  uint64_t max_seq = 0;          ///< Highest seq seen in any valid frame.
+  uint64_t corrupt_frames = 0;   ///< Frames dropped by length/CRC checks.
+  uint64_t corrupt_segments = 0; ///< Files with a bad magic/unreadable.
+  size_t segments = 0;           ///< Segment files visited.
+  uint64_t bytes = 0;            ///< Bytes read.
+};
+
+/// Reads every segment of `<dir>/wal/` in sequence order. Within one
+/// segment, reading stops at the first invalid frame (torn tail or bit
+/// flip) and continues with the next segment -- a torn tail in a sealed-
+/// by-recovery segment is a normal crash artifact, and later segments may
+/// carry the continuation. Never throws; a missing directory scans empty.
+WalScanResult ScanWal(const std::string& dir);
+
+}  // namespace durability
+}  // namespace upa
+
+#endif  // UPA_ENGINE_DURABILITY_WAL_H_

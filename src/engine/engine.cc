@@ -6,16 +6,83 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "engine/durability/checkpoint.h"
 
 namespace upa {
 
-Engine::Engine(const EngineOptions& options) : options_(options) {
+Engine::Engine(const EngineOptions& options)
+    : Engine(options, DeferDurabilityTag{}) {
+  if (!options_.durability.dir.empty()) InitDurability();
+}
+
+Engine::Engine(const EngineOptions& options, DeferDurabilityTag)
+    : options_(options) {
   if (options_.supervise) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
 Engine::~Engine() { Stop(); }
+
+void Engine::InitDurability() {
+  // A plainly-constructed engine on a non-empty directory resumes
+  // appending after whatever is already there (it does not restore state;
+  // that is StartFromCheckpoint). Scanning finds the highest sequence so
+  // the fresh segment never collides with surviving records.
+  const durability::WalScanResult scan =
+      durability::ScanWal(options_.durability.dir);
+  uint64_t max_id = 0;
+  for (const auto& [id, path] :
+       durability::ListCheckpoints(options_.durability.dir)) {
+    max_id = std::max(max_id, id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(durability_mu_);
+    next_checkpoint_id_ = max_id + 1;
+  }
+  AttachWal(scan.max_seq + 1);
+}
+
+void Engine::AttachWal(uint64_t next_seq) {
+  durability::WalWriterOptions wopts;
+  wopts.segment_bytes = options_.durability.wal_segment_bytes;
+  wopts.fsync = options_.durability.fsync;
+  wal_ = std::make_unique<durability::WalWriter>(
+      options_.durability.dir, wopts, options_.fault_injector);
+  wal_->Start(next_seq);
+  if (options_.durability.checkpoint_interval_ms > 0) {
+    checkpointer_ = std::thread([this] { CheckpointLoop(); });
+  }
+}
+
+int Engine::DeclareStream(const std::string& name, Schema schema) {
+  // The unique lock orders the declaration record against concurrent
+  // ingest appends (which hold the lock shared across append + enqueue).
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const int id = catalog_.DeclareStream(name, std::move(schema));
+  if (id >= 0 && wal_ != nullptr) {
+    durability::WalRecord rec;
+    rec.type = durability::WalRecordType::kDeclareSource;
+    rec.source_name = name;
+    rec.source = *catalog_.Find(name);
+    wal_->Append(std::move(rec));
+  }
+  return id;
+}
+
+int Engine::DeclareRelation(const std::string& name, Schema schema,
+                            bool retroactive) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const int id = catalog_.DeclareRelation(name, std::move(schema), retroactive);
+  if (id >= 0 && wal_ != nullptr) {
+    durability::WalRecord rec;
+    rec.type = durability::WalRecordType::kDeclareSource;
+    rec.source_name = name;
+    rec.source = *catalog_.Find(name);
+    wal_->Append(std::move(rec));
+  }
+  return id;
+}
 
 RegisterResult Engine::RegisterSql(const std::string& name,
                                    const std::string& sql,
@@ -27,7 +94,7 @@ RegisterResult Engine::RegisterSql(const std::string& name,
     r.error = parsed.error;
     return r;
   }
-  return DoRegister(name, std::move(parsed.plan), options);
+  return DoRegister(name, std::move(parsed.plan), options, sql);
 }
 
 RegisterResult Engine::RegisterPlan(const std::string& name, PlanPtr plan,
@@ -42,11 +109,15 @@ RegisterResult Engine::RegisterPlan(const std::string& name, PlanPtr plan,
     r.error = "plan violates planner constraints (Section 5.4.2)";
     return r;
   }
-  return DoRegister(name, std::move(plan), options);
+  // No SQL text: the query runs but is not durable (checkpoints persist
+  // SQL so recovery can re-register through the catalog; a bare plan has
+  // no such handle). Metrics expose the count.
+  return DoRegister(name, std::move(plan), options, "");
 }
 
 RegisterResult Engine::DoRegister(const std::string& name, PlanPtr plan,
-                                  const QueryOptions& options) {
+                                  const QueryOptions& options,
+                                  const std::string& sql) {
   RegisterResult r;
   r.name = name;
   if (stopped_.load()) {
@@ -56,15 +127,31 @@ RegisterResult Engine::DoRegister(const std::string& name, PlanPtr plan,
   QueryOptions effective = options;
   if (options_.profile_queries) effective.profile = true;
   if (options_.check_invariants) effective.check_invariants = true;
-  const bool recovery = options_.supervise && options_.recover;
+  // Durability implies per-shard ingest logs: they are the retained-state
+  // source of checkpoints, and they make every shard restartable, so a
+  // snapshot/checkpoint barrier can always recover a crashed shard.
+  const bool recovery = (options_.supervise && options_.recover) ||
+                        !options_.durability.dir.empty();
   auto query = std::make_unique<RegisteredQuery>(
       name, std::move(plan), effective, options_.default_shards,
       options_.queue_capacity, options_.max_batch, options_.backpressure,
       recovery, options_.fault_injector);
+  query->set_sql(sql);
   RegisteredQuery* q = nullptr;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     q = registry_.Add(std::move(query));
+    if (q != nullptr && wal_ != nullptr && !sql.empty()) {
+      // Logged under the same lock that admitted the query, so the WAL
+      // orders the registration before every tuple routed to it.
+      durability::WalRecord rec;
+      rec.type = durability::WalRecordType::kRegisterQuery;
+      rec.query_name = name;
+      rec.sql = sql;
+      rec.shards = q->num_shards();  // Pin the effective count for replay.
+      rec.mode = static_cast<uint8_t>(q->mode());
+      wal_->Append(std::move(rec));
+    }
   }
   if (q == nullptr) {
     r.error = "a query named '" + name + "' is already registered";
@@ -153,10 +240,22 @@ void Engine::IngestImpl(int stream_id, const Tuple& t) {
          !clock_.compare_exchange_weak(seen, t.ts, std::memory_order_relaxed)) {
   }
   std::shared_lock<std::shared_mutex> lock(mu_);
+  // Log before routing, and under the same (shared) lock: a checkpoint
+  // reads its WAL cut under the unique lock, which cannot interleave
+  // here, so every record at or below the cut has also reached its shard
+  // queue before the checkpoint's barrier control.
+  uint64_t seq = 0;
+  if (wal_ != nullptr) {
+    durability::WalRecord rec;
+    rec.type = durability::WalRecordType::kIngest;
+    rec.stream = stream_id;
+    rec.tuple = t;
+    seq = wal_->Append(std::move(rec));
+  }
   for (const auto& q : registry_.queries()) {
     if (!q->HasStream(stream_id)) continue;
     q->enqueued.fetch_add(1, std::memory_order_relaxed);
-    q->shard(q->ShardOf(stream_id, t)).Enqueue(stream_id, t);
+    q->shard(q->ShardOf(stream_id, t)).Enqueue(stream_id, t, seq);
   }
 }
 
@@ -166,16 +265,68 @@ void Engine::IngestTrace(const Trace& trace) {
 
 void Engine::AdvanceTo(Time now) {
   Time seen = clock_.load(std::memory_order_relaxed);
-  while (now > seen &&
-         !clock_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+  bool advanced = false;
+  while (now > seen) {
+    if (clock_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+      advanced = true;
+      break;
+    }
+  }
+  if (!advanced || stopped_.load(std::memory_order_relaxed)) return;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (wal_ != nullptr) {
+    durability::WalRecord rec;
+    rec.type = durability::WalRecordType::kAdvance;
+    rec.advance_to = now;
+    wal_->Append(std::move(rec));
   }
 }
 
 namespace {
 
+/// Waits for every shard's barrier ack, restarting crashed shards inline
+/// (racing the watchdog is safe: ShardExecutor::Restart is serialized per
+/// shard and replaying the log acks the parked control). Returns false —
+/// promptly, instead of hanging — when a shard crashed without a recovery
+/// factory and can therefore never ack.
+bool AwaitBarrier(RegisteredQuery* q, std::vector<std::future<void>>* acks) {
+  bool ok = true;
+  for (int i = 0; i < q->num_shards(); ++i) {
+    std::future<void>& ack = (*acks)[static_cast<size_t>(i)];
+    for (;;) {
+      if (ack.wait_for(std::chrono::milliseconds(2)) ==
+          std::future_status::ready) {
+        // A ready future is not yet an ack: a worker that crashes mid-batch
+        // abandons the batch, and destroying the un-run control's promise
+        // makes the future ready with broken_promise. Without a recovery
+        // log nothing else holds the promise alive (with one, the log's
+        // shared_ptr keeps it pending until replay acks it), so broken
+        // means the barrier died with the shard — fail, don't report a
+        // view with that shard's part silently empty.
+        try {
+          ack.get();
+        } catch (const std::future_error&) {
+          ok = false;
+        }
+        break;
+      }
+      ShardExecutor& sh = q->shard(i);
+      if (sh.crashed()) {
+        if (!sh.recoverable()) {
+          ok = false;
+          break;
+        }
+        sh.Restart();
+      }
+    }
+  }
+  return ok;
+}
+
 /// Barriers every shard of `q`: each worker ticks to `ts`, runs `action`
-/// with its replica, and the call returns once all shards acked.
-void BarrierQuery(RegisteredQuery* q, Time ts,
+/// with its replica, and the call returns once all shards acked (or a
+/// shard is unrecoverably dead, see AwaitBarrier).
+bool BarrierQuery(RegisteredQuery* q, Time ts,
                   const std::function<void(int, Pipeline&)>& action) {
   std::vector<std::future<void>> acks;
   acks.reserve(static_cast<size_t>(q->num_shards()));
@@ -187,16 +338,20 @@ void BarrierQuery(RegisteredQuery* q, Time ts,
     }
     acks.push_back(q->shard(i).EnqueueControl(ts, std::move(fn)));
   }
-  for (auto& ack : acks) ack.wait();
+  return AwaitBarrier(q, &acks);
 }
 
 }  // namespace
 
-void Engine::Flush() {
+bool Engine::Flush() {
   FlushHeld();
   const Time ts = clock();
   std::shared_lock<std::shared_mutex> lock(mu_);
-  for (const auto& q : registry_.queries()) BarrierQuery(q.get(), ts, {});
+  bool ok = true;
+  for (const auto& q : registry_.queries()) {
+    ok = BarrierQuery(q.get(), ts, {}) && ok;
+  }
+  return ok;
 }
 
 bool Engine::FlushQuery(const std::string& name) {
@@ -205,8 +360,7 @@ bool Engine::FlushQuery(const std::string& name) {
   std::shared_lock<std::shared_mutex> lock(mu_);
   RegisteredQuery* q = registry_.Find(name);
   if (q == nullptr) return false;
-  BarrierQuery(q, ts, {});
-  return true;
+  return BarrierQuery(q, ts, {});
 }
 
 bool Engine::Snapshot(const std::string& name, std::vector<Tuple>* out,
@@ -220,14 +374,369 @@ bool Engine::Snapshot(const std::string& name, std::vector<Tuple>* out,
   if (q == nullptr) return false;
   std::vector<std::vector<Tuple>> parts(
       static_cast<size_t>(q->num_shards()));
-  BarrierQuery(q, ts, [&parts](int shard, Pipeline& p) {
-    parts[static_cast<size_t>(shard)] = p.view().Snapshot();
-  });
+  if (!BarrierQuery(q, ts, [&parts](int shard, Pipeline& p) {
+        parts[static_cast<size_t>(shard)] = p.view().Snapshot();
+      })) {
+    return false;
+  }
   for (auto& part : parts) {
     out->insert(out->end(), std::make_move_iterator(part.begin()),
                 std::make_move_iterator(part.end()));
   }
   return true;
+}
+
+bool Engine::Checkpoint(std::string* error) {
+  auto fail = [this, error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    std::lock_guard<std::mutex> lock(durability_mu_);
+    ++checkpoint_failures_;
+    return false;
+  };
+  if (options_.durability.dir.empty() || wal_ == nullptr) {
+    if (error != nullptr) *error = "durability is not enabled";
+    return false;
+  }
+  if (stopped_.load(std::memory_order_relaxed)) {
+    return fail("engine is stopped");
+  }
+  std::lock_guard<std::mutex> ckpt_lock(checkpoint_mu_);
+  const auto t0 = std::chrono::steady_clock::now();
+  FlushHeld();
+
+  // Phase 1 (under the unique lock, so no ingest can interleave): read
+  // the barrier time and the WAL cut S, copy the catalog, and enqueue one
+  // capture control per shard of every durable query. Every WAL record
+  // <= S is already in its shard queue ahead of the control; records > S
+  // do not exist yet.
+  durability::Manifest m;
+  struct Capture {
+    RegisteredQuery* q = nullptr;
+    std::vector<durability::ShardState> states;
+    std::vector<std::future<void>> acks;
+    std::atomic<int> done{0};
+  };
+  std::vector<std::unique_ptr<Capture>> captures;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    m.clock = clock();
+    m.wal_seq = wal_->last_seq();
+    for (const auto& [name, decl] : catalog_.sources()) {
+      m.sources.push_back({name, decl});
+    }
+    const uint64_t cut = m.wal_seq;
+    const Time ts = m.clock;
+    for (const auto& q : registry_.queries()) {
+      if (q->sql().empty()) continue;  // Plan-registered: not durable.
+      auto cap = std::make_unique<Capture>();
+      cap->q = q.get();
+      cap->states.resize(static_cast<size_t>(q->num_shards()));
+      cap->acks.reserve(cap->states.size());
+      for (int i = 0; i < q->num_shards(); ++i) {
+        durability::ShardState* slot = &cap->states[static_cast<size_t>(i)];
+        ShardExecutor* sh = &q->shard(i);
+        std::atomic<int>* done = &cap->done;
+        cap->acks.push_back(q->shard(i).EnqueueControl(
+            ts, [slot, sh, cut, ts, done](Pipeline& p) {
+              slot->clock = ts;
+              slot->view_digest = p.view().Digest();
+              for (const auto& e : sh->RetainedData(cut)) {
+                slot->retained.push_back({e.stream, e.wal_seq, e.tuple});
+              }
+              done->fetch_add(1, std::memory_order_release);
+            }));
+      }
+      captures.push_back(std::move(cap));
+    }
+  }
+
+  // Phase 2: wait outside the lock (ingest proceeds meanwhile; crashed
+  // shards are restarted inline by AwaitBarrier).
+  for (auto& cap : captures) {
+    if (!AwaitBarrier(cap->q, &cap->acks)) {
+      return fail("query '" + cap->q->name() +
+                  "' has an unrecoverably crashed shard");
+    }
+    if (cap->done.load(std::memory_order_acquire) !=
+        static_cast<int>(cap->states.size())) {
+      // Futures resolved without the actions running: the engine stopped
+      // under us and the slots are unpopulated. Never persist them.
+      return fail("engine stopped during checkpoint");
+    }
+  }
+
+  // Phase 3: pattern-aware truncation. A retained tuple older than its
+  // source's recovery horizon has expired out of every buffer fed by that
+  // leaf (paper Sections 4-5) and is dead weight; dropping it here is
+  // what makes checkpoint size track window size, not stream length.
+  uint64_t retained_total = 0;
+  uint64_t truncated_total = 0;
+  for (auto& cap : captures) {
+    durability::QueryEntry e;
+    e.name = cap->q->name();
+    e.sql = cap->q->sql();
+    e.shards = cap->q->num_shards();
+    e.mode = static_cast<uint8_t>(cap->q->mode());
+    const std::map<int, Time> horizons =
+        StreamRecoveryHorizons(cap->q->plan());
+    for (auto& st : cap->states) {
+      std::vector<durability::RetainedEvent> kept;
+      kept.reserve(st.retained.size());
+      for (auto& ev : st.retained) {
+        const auto it = horizons.find(ev.stream);
+        const Time h = it != horizons.end() ? it->second : kNeverExpires;
+        if (h == kNeverExpires || m.clock - ev.tuple.ts < h) {
+          kept.push_back(std::move(ev));
+        } else {
+          ++e.truncated_total;
+        }
+      }
+      st.retained = std::move(kept);
+      e.retained_total += st.retained.size();
+    }
+    e.shard_states = std::move(cap->states);
+    retained_total += e.retained_total;
+    truncated_total += e.truncated_total;
+    m.queries.push_back(std::move(e));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(durability_mu_);
+    m.id = next_checkpoint_id_++;
+  }
+  size_t bytes = 0;
+  std::string werr;
+  if (!durability::WriteCheckpoint(options_.durability.dir, m,
+                                   options_.durability.fsync, &bytes,
+                                   &werr)) {
+    return fail("checkpoint write failed: " + werr);
+  }
+
+  // Phase 4: bookkeeping and garbage collection. WAL segments are only
+  // dropped once no retained checkpoint could need them for its suffix.
+  const int keep = std::max(1, options_.durability.keep_checkpoints);
+  uint64_t min_seq = m.wal_seq;
+  {
+    std::lock_guard<std::mutex> lock(durability_mu_);
+    ++checkpoints_written_;
+    last_checkpoint_id_ = m.id;
+    last_checkpoint_bytes_ = bytes;
+    last_checkpoint_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    last_retained_tuples_ = retained_total;
+    last_truncated_tuples_ = truncated_total;
+    checkpoint_history_.emplace_back(m.id, m.wal_seq);
+    while (checkpoint_history_.size() > static_cast<size_t>(keep)) {
+      checkpoint_history_.erase(checkpoint_history_.begin());
+    }
+    for (const auto& [id, s] : checkpoint_history_) {
+      min_seq = std::min(min_seq, s);
+    }
+  }
+  durability::RemoveObsoleteCheckpoints(options_.durability.dir, keep);
+  wal_->RemoveObsoleteSegments(min_seq);
+  return true;
+}
+
+void Engine::ApplyWalRecord(const durability::WalRecord& rec,
+                            durability::RecoveryReport* report) {
+  switch (rec.type) {
+    case durability::WalRecordType::kIngest:
+      ++report->wal_ingest_replayed;
+      IngestImpl(rec.stream, rec.tuple);
+      break;
+    case durability::WalRecordType::kAdvance:
+      AdvanceTo(rec.advance_to);
+      break;
+    case durability::WalRecordType::kDeclareSource: {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      if (catalog_.Declare(rec.source_name, rec.source) >= 0) {
+        ++report->sources_restored;
+      } else if (report->note.empty()) {
+        report->note =
+            "replayed declaration of '" + rec.source_name + "' failed";
+      }
+      break;
+    }
+    case durability::WalRecordType::kRegisterQuery: {
+      QueryOptions qo;
+      qo.shards = rec.shards;
+      qo.mode = rec.mode <= static_cast<uint8_t>(ExecMode::kUpa)
+                    ? static_cast<ExecMode>(rec.mode)
+                    : ExecMode::kUpa;
+      const RegisterResult r = RegisterSql(rec.query_name, rec.sql, qo);
+      if (r.ok) {
+        ++report->queries_restored;
+      } else if (report->note.empty()) {
+        report->note = "replayed registration of '" + rec.query_name +
+                       "' failed: " + r.error;
+      }
+      break;
+    }
+  }
+}
+
+std::unique_ptr<Engine> Engine::StartFromCheckpoint(
+    const std::string& dir, EngineOptions options,
+    durability::RecoveryReport* report) {
+  const auto t0 = std::chrono::steady_clock::now();
+  options.durability.dir = dir;
+  const durability::RecoveryContext ctx = durability::LoadRecoveryContext(dir);
+
+  durability::RecoveryReport base;
+  base.attempted = true;
+  base.corrupt_checkpoints_skipped = ctx.corrupt_checkpoints;
+  base.wal_corrupt_frames = ctx.wal.corrupt_frames;
+  base.wal_corrupt_segments = ctx.wal.corrupt_segments;
+
+  std::unique_ptr<Engine> engine;
+  durability::RecoveryReport rep = base;
+  uint64_t digest_mismatches = 0;
+
+  // Candidate loop: newest valid checkpoint, then older ones, finally a
+  // bare WAL replay. A candidate that fails any integrity check is torn
+  // down whole and the next one tried — corruption shortens the recovered
+  // prefix, it never aborts recovery or mixes states.
+  for (size_t ci = 0; ci <= ctx.manifests.size() && engine == nullptr; ++ci) {
+    const bool wal_only = ci == ctx.manifests.size();
+    const durability::Manifest* m = wal_only ? nullptr : &ctx.manifests[ci];
+    std::unique_ptr<Engine> cand(new Engine(options, DeferDurabilityTag{}));
+    rep = base;
+    rep.digest_mismatches = digest_mismatches;
+
+    bool ok = true;
+    if (!wal_only) {
+      for (const auto& s : m->sources) {
+        if (cand->catalog_.Declare(s.name, s.decl) < 0) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (const auto& qe : m->queries) {
+          QueryOptions qo;
+          qo.shards = qe.shards;
+          qo.mode = qe.mode <= static_cast<uint8_t>(ExecMode::kUpa)
+                        ? static_cast<ExecMode>(qe.mode)
+                        : ExecMode::kUpa;
+          const RegisterResult r = cand->RegisterSql(qe.name, qe.sql, qo);
+          if (!r.ok || r.shards != qe.shards) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        // Re-inject the retained tuples into the exact shards that held
+        // them (same shard count => same hashing, but the manifest layout
+        // is authoritative). They carry wal_seq 0: their original
+        // sequence numbers are at or below any future cut, so the next
+        // checkpoint must capture them unconditionally.
+        uint64_t retained = 0;
+        std::shared_lock<std::shared_mutex> lock(cand->mu_);
+        for (const auto& qe : m->queries) {
+          RegisteredQuery* q = cand->registry_.Find(qe.name);
+          for (int s = 0; s < qe.shards && q != nullptr; ++s) {
+            for (const auto& ev :
+                 qe.shard_states[static_cast<size_t>(s)].retained) {
+              q->enqueued.fetch_add(1, std::memory_order_relaxed);
+              q->shard(s).Enqueue(ev.stream, ev.tuple);
+              ++retained;
+            }
+          }
+        }
+        rep.retained_replayed = retained;
+      }
+      if (ok) {
+        cand->AdvanceTo(m->clock);
+        // Digest verification: every rebuilt shard view must hash to what
+        // the original engine recorded at the barrier — defense in depth
+        // past the per-frame CRCs.
+        std::shared_lock<std::shared_mutex> lock(cand->mu_);
+        for (const auto& qe : m->queries) {
+          RegisteredQuery* q = cand->registry_.Find(qe.name);
+          std::vector<uint64_t> digests(static_cast<size_t>(qe.shards), 0);
+          if (q == nullptr ||
+              !BarrierQuery(q, m->clock, [&digests](int s, Pipeline& p) {
+                digests[static_cast<size_t>(s)] = p.view().Digest();
+              })) {
+            ok = false;
+            break;
+          }
+          for (int s = 0; s < qe.shards; ++s) {
+            if (digests[static_cast<size_t>(s)] !=
+                qe.shard_states[static_cast<size_t>(s)].view_digest) {
+              ++digest_mismatches;
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) break;
+        }
+      }
+      if (!ok) continue;  // Tear the candidate down, try the next one.
+      rep.recovered_from_checkpoint = true;
+      rep.checkpoint_id = m->id;
+      rep.queries_restored = m->queries.size();
+      rep.sources_restored = m->sources.size();
+    } else {
+      // WAL-only fallback: replay everything from sequence 1. If
+      // checkpoints existed but none validated, or the log no longer
+      // reaches back to the beginning (segments GC'd behind a checkpoint
+      // that is now unreadable), state has been lost; say so rather than
+      // replaying a gapped history.
+      const bool wal_has = !ctx.wal.records.empty();
+      const bool reaches_start = wal_has && ctx.wal.records.begin()->first == 1;
+      rep.data_loss =
+          ctx.checkpoint_files > 0 || (wal_has && !reaches_start);
+    }
+
+    bool gap = false;
+    const std::vector<const durability::WalRecord*> suffix =
+        durability::WalSuffix(ctx, wal_only ? 0 : m->wal_seq, &gap);
+    for (const durability::WalRecord* rec : suffix) {
+      cand->ApplyWalRecord(*rec, &rep);
+    }
+    rep.wal_records_replayed = suffix.size();
+    rep.wal_gap = gap;
+    engine = std::move(cand);
+  }
+  rep.digest_mismatches = digest_mismatches;
+
+  // Seed the checkpoint bookkeeping from what survived on disk, then
+  // resume the log past everything ever written (valid or torn) so new
+  // records never collide with old files.
+  {
+    std::lock_guard<std::mutex> lock(engine->durability_mu_);
+    engine->next_checkpoint_id_ = ctx.max_checkpoint_id + 1;
+    for (auto it = ctx.manifests.rbegin(); it != ctx.manifests.rend(); ++it) {
+      engine->checkpoint_history_.emplace_back(it->id, it->wal_seq);
+    }
+  }
+  engine->AttachWal(ctx.wal.max_seq + 1);
+
+  rep.clock = engine->clock();
+  rep.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (rep.note.empty()) {
+    if (rep.recovered_from_checkpoint) {
+      rep.note = "recovered from checkpoint " +
+                 std::to_string(rep.checkpoint_id) + " + " +
+                 std::to_string(rep.wal_records_replayed) + " WAL records";
+    } else if (rep.wal_records_replayed > 0) {
+      rep.note = "WAL-only replay of " +
+                 std::to_string(rep.wal_records_replayed) + " records";
+    } else if (rep.data_loss) {
+      rep.note = "no recoverable state (data loss); started empty";
+    } else {
+      rep.note = "fresh start (empty durability directory)";
+    }
+  }
+  engine->recovery_report_ = rep;
+  if (report != nullptr) *report = rep;
+  return engine;
 }
 
 bool Engine::Stats(const std::string& name, PipelineStats* out) const {
@@ -245,9 +754,44 @@ bool Engine::Stats(const std::string& name, PipelineStats* out) const {
 EngineMetrics Engine::Metrics() const {
   EngineMetrics m;
   m.clock = clock();
+  m.durability.enabled = !options_.durability.dir.empty();
+  if (m.durability.enabled) {
+    DurabilityMetrics& d = m.durability;
+    if (wal_ != nullptr) {
+      d.wal_records = wal_->records();
+      d.wal_bytes = wal_->bytes();
+      d.wal_segments = wal_->segments();
+      d.wal_torn_writes = wal_->torn_writes();
+      d.wal_failed = wal_->failed();
+    }
+    {
+      std::lock_guard<std::mutex> lock(durability_mu_);
+      d.checkpoints = checkpoints_written_;
+      d.checkpoint_failures = checkpoint_failures_;
+      d.last_checkpoint_id = last_checkpoint_id_;
+      d.last_checkpoint_bytes = last_checkpoint_bytes_;
+      d.last_checkpoint_seconds = last_checkpoint_seconds_;
+      d.last_retained_tuples = last_retained_tuples_;
+      d.last_truncated_tuples = last_truncated_tuples_;
+    }
+    const durability::RecoveryReport& r = recovery_report_;
+    d.recovered = r.attempted;
+    d.recovery_checkpoint_id = r.checkpoint_id;
+    d.recovery_wal_records_replayed = r.wal_records_replayed;
+    d.recovery_retained_replayed = r.retained_replayed;
+    d.recovery_corrupt_checkpoints_skipped = r.corrupt_checkpoints_skipped;
+    d.recovery_digest_mismatches = r.digest_mismatches;
+    d.recovery_wal_corrupt_frames = r.wal_corrupt_frames;
+    d.recovery_wal_gap = r.wal_gap;
+    d.recovery_data_loss = r.data_loss;
+    d.recovery_seconds = r.seconds;
+  }
   const auto now = std::chrono::steady_clock::now();
   std::shared_lock<std::shared_mutex> lock(mu_);
   for (const auto& q : registry_.queries()) {
+    if (m.durability.enabled && q->sql().empty()) {
+      ++m.durability.non_durable_queries;
+    }
     QueryMetrics qm;
     qm.name = q->name();
     qm.shards = q->num_shards();
@@ -287,16 +831,46 @@ void Engine::Stop() {
   if (stopped_.load(std::memory_order_relaxed)) return;
   FlushHeld();  // Before stopping ingest: the held tuple must not vanish.
   if (stopped_.exchange(true)) return;
-  // The watchdog goes first so no restart races shard shutdown.
+  // The checkpointer goes first (it barriers shards), then the watchdog
+  // (so no restart races shard shutdown).
+  {
+    std::lock_guard<std::mutex> lock(checkpointer_mu_);
+    checkpointer_stop_ = true;
+  }
+  checkpointer_cv_.notify_all();
+  if (checkpointer_.joinable()) checkpointer_.join();
   {
     std::lock_guard<std::mutex> lock(watchdog_mu_);
     watchdog_stop_ = true;
   }
   watchdog_cv_.notify_all();
   if (watchdog_.joinable()) watchdog_.join();
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  for (const auto& q : registry_.queries()) {
-    for (int i = 0; i < q->num_shards(); ++i) q->shard(i).Stop();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& q : registry_.queries()) {
+      for (int i = 0; i < q->num_shards(); ++i) q->shard(i).Stop();
+    }
+  }
+  if (wal_ != nullptr) {
+    if (options_.durability.seal_on_close) {
+      wal_->Close();
+    } else {
+      wal_->Abandon();  // Leave the .open tail as a crash would.
+    }
+  }
+}
+
+void Engine::CheckpointLoop() {
+  std::unique_lock<std::mutex> lock(checkpointer_mu_);
+  while (!checkpointer_stop_) {
+    checkpointer_cv_.wait_for(
+        lock,
+        std::chrono::milliseconds(options_.durability.checkpoint_interval_ms),
+        [this] { return checkpointer_stop_; });
+    if (checkpointer_stop_) return;
+    lock.unlock();
+    Checkpoint();
+    lock.lock();
   }
 }
 

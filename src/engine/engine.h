@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/durability/recovery.h"
 #include "engine/fault.h"
 #include "engine/metrics.h"
 #include "engine/registry.h"
@@ -19,6 +20,33 @@
 #include "workload/trace.h"
 
 namespace upa {
+
+/// Durability knobs (see src/engine/durability/). With a directory set,
+/// the engine write-ahead-logs every state-driving call (source
+/// declarations, SQL registrations, ingest, clock advances) before acting
+/// on it, and Checkpoint() persists pattern-aware snapshots that bound
+/// how much WAL a recovery must replay. Durability implies per-shard
+/// ingest logs (the retained-state source for checkpoints), so every
+/// shard also becomes watchdog-restartable.
+struct DurabilityOptions {
+  /// Root directory of the WAL and checkpoints. Empty: durability off.
+  /// Use Engine::StartFromCheckpoint to recover from a non-empty one; a
+  /// plainly-constructed engine resumes appending without restoring.
+  std::string dir;
+  /// WAL segment rotation size.
+  size_t wal_segment_bytes = 1 << 20;
+  /// fsync WAL seals and checkpoint publishes (OS-crash durability; the
+  /// default covers process crashes only -- every record is down a
+  /// write() before the engine acts on it).
+  bool fsync = false;
+  /// Checkpoints retained on disk; WAL segments needed by them are kept.
+  int keep_checkpoints = 2;
+  /// > 0: run a background thread checkpointing at this period.
+  int checkpoint_interval_ms = 0;
+  /// Seal (rename) the active WAL segment on Stop(). Tests disable this
+  /// to leave the exact on-disk state of an abrupt process death.
+  bool seal_on_close = true;
+};
 
 /// Engine-wide defaults (per-query values override via QueryOptions).
 struct EngineOptions {
@@ -62,6 +90,9 @@ struct EngineOptions {
   FaultInjector* fault_injector = nullptr;
   /// Force QueryOptions::check_invariants for every registered query.
   bool check_invariants = false;
+
+  // --- Durability layer (WAL, checkpoints, crash recovery) ---
+  DurabilityOptions durability;
 };
 
 /// Outcome of registering a query.
@@ -101,9 +132,33 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Recovery entry point: brings up an engine from the durability
+  /// directory `dir`. Loads the newest checkpoint that passes checksum
+  /// validation, re-registers its queries through the normal
+  /// catalog/registry path, re-injects the retained per-shard tuples,
+  /// verifies every shard view against the manifest digests, and replays
+  /// the WAL suffix. Candidates that fail any check fall back to the next
+  /// older checkpoint, and finally to a full WAL replay; corruption never
+  /// aborts recovery, it only shortens the recovered prefix (see
+  /// durability::RecoveryReport, also available via recovery_report()).
+  /// `options.durability.dir` is overwritten with `dir`. Never returns
+  /// null.
+  static std::unique_ptr<Engine> StartFromCheckpoint(
+      const std::string& dir, EngineOptions options = {},
+      durability::RecoveryReport* report = nullptr);
+
   /// Named-source registry backing SQL registration. Declare sources
-  /// before registering queries that reference them.
+  /// before registering queries that reference them. Mutating the catalog
+  /// directly bypasses the WAL; durable engines should declare through
+  /// DeclareStream/DeclareRelation below.
   SourceCatalog* catalog() { return &catalog_; }
+
+  /// WAL-logged source declaration (same semantics as the catalog call of
+  /// the same name; returns the stream id or -1). On a non-durable engine
+  /// these are plain catalog calls.
+  int DeclareStream(const std::string& name, Schema schema);
+  int DeclareRelation(const std::string& name, Schema schema,
+                      bool retroactive);
 
   /// Compiles `sql` against the catalog and registers the plan under
   /// `name`. The query starts consuming immediately.
@@ -129,15 +184,38 @@ class Engine {
   /// Barrier: waits until every shard of every query (or of `name` only)
   /// has processed everything enqueued so far and ticked to the engine
   /// clock. Queue depths are zero afterwards (absent concurrent ingest).
-  void Flush();
+  ///
+  /// Failure mode (documented contract, pinned by engine_test): when a
+  /// shard has crashed, the barrier first tries to restart it inline
+  /// (racing the watchdog is safe -- restarts are serialized per shard).
+  /// Only a shard that crashed *without* a recovery factory (supervise or
+  /// recover off, durability off) can never ack its barrier control; the
+  /// call then returns false promptly instead of hanging.
+  bool Flush();
   bool FlushQuery(const std::string& name);
 
   /// Consistent view snapshot of a query at the engine clock (or at
   /// `at`, if later): barriers every shard, ticks replicas to the target
   /// time, and returns the multiset union of the shard views. Returns
-  /// false if `name` is unknown.
+  /// false if `name` is unknown or the barrier failed on an
+  /// unrecoverable crashed shard (see Flush).
   bool Snapshot(const std::string& name, std::vector<Tuple>* out,
                 Time at = -1);
+
+  /// Durable, cross-shard-consistent checkpoint (see
+  /// durability/checkpoint.h): barriers every durable query at one WAL
+  /// cut, persists the horizon-truncated retained tuples and view
+  /// digests, then prunes old checkpoints and obsolete WAL segments.
+  /// Returns false (with `error`, if given) when durability is off, the
+  /// engine is stopped, a shard is crashed and unrecoverable, or the
+  /// write fails. Serialized against itself; safe with concurrent ingest.
+  bool Checkpoint(std::string* error = nullptr);
+
+  /// Report of the recovery that created this engine (attempted == false
+  /// for plainly-constructed engines).
+  const durability::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
 
   /// Merged PipelineStats of a query's shards (barrier-free, may trail
   /// by one batch; call Flush first for exact totals).
@@ -160,8 +238,25 @@ class Engine {
   void PollSupervisor();
 
  private:
+  /// Tag for the recovery path: construct without opening the WAL (it is
+  /// attached by StartFromCheckpoint once replay is done, so replayed
+  /// events are not re-logged).
+  struct DeferDurabilityTag {};
+  Engine(const EngineOptions& options, DeferDurabilityTag);
+
   RegisterResult DoRegister(const std::string& name, PlanPtr plan,
-                            const QueryOptions& options);
+                            const QueryOptions& options,
+                            const std::string& sql);
+  /// Opens the WAL for appending with `next_seq` as the next sequence
+  /// number and starts the background checkpointer (if configured).
+  void AttachWal(uint64_t next_seq);
+  /// Scans an existing durability dir and attaches the WAL after its
+  /// highest sequence number (fresh-start path of the public ctor).
+  void InitDurability();
+  void CheckpointLoop();
+  /// Applies one replayed WAL record (recovery only; WAL not attached).
+  void ApplyWalRecord(const durability::WalRecord& rec,
+                      durability::RecoveryReport* report);
   /// The fan-out path shared by Ingest and the fault hooks: advances the
   /// engine clock and routes the tuple to every bound query.
   void IngestImpl(int stream_id, const Tuple& t);
@@ -208,6 +303,39 @@ class Engine {
   bool has_held_ = false;   // Guarded by hold_mu_.
   int held_stream_ = -1;    // Guarded by hold_mu_.
   Tuple held_;              // Guarded by hold_mu_.
+
+  // --- Durability (empty dir: all of this stays inert) ---
+
+  /// The WAL writer. Created at construction (or by AttachWal on the
+  /// recovery path) and never replaced; internally synchronized, so
+  /// appenders only need shared registry access.
+  std::unique_ptr<durability::WalWriter> wal_;
+
+  /// Serializes whole checkpoints against each other (the barrier +
+  /// capture + write sequence must not interleave).
+  std::mutex checkpoint_mu_;
+
+  /// Guards the checkpoint bookkeeping below.
+  mutable std::mutex durability_mu_;
+  uint64_t next_checkpoint_id_ = 1;       // Guarded by durability_mu_.
+  uint64_t checkpoints_written_ = 0;      // Guarded by durability_mu_.
+  uint64_t checkpoint_failures_ = 0;      // Guarded by durability_mu_.
+  uint64_t last_checkpoint_id_ = 0;       // Guarded by durability_mu_.
+  size_t last_checkpoint_bytes_ = 0;      // Guarded by durability_mu_.
+  double last_checkpoint_seconds_ = 0.0;  // Guarded by durability_mu_.
+  uint64_t last_retained_tuples_ = 0;     // Guarded by durability_mu_.
+  uint64_t last_truncated_tuples_ = 0;    // Guarded by durability_mu_.
+  /// (checkpoint id, WAL cut) of the checkpoints still on disk, oldest
+  /// first; bounds which WAL segments GC may drop.
+  std::vector<std::pair<uint64_t, uint64_t>> checkpoint_history_;
+
+  durability::RecoveryReport recovery_report_;
+
+  // Background checkpointer (checkpoint_interval_ms > 0).
+  std::mutex checkpointer_mu_;
+  std::condition_variable checkpointer_cv_;
+  bool checkpointer_stop_ = false;  // Guarded by checkpointer_mu_.
+  std::thread checkpointer_;
 };
 
 }  // namespace upa

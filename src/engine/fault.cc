@@ -20,6 +20,8 @@ std::string FaultKindName(FaultKind kind) {
       return "duplicate-ingest";
     case FaultKind::kReorderIngest:
       return "reorder-ingest";
+    case FaultKind::kTornWalWrite:
+      return "torn-wal-write";
   }
   return "?";
 }
@@ -100,6 +102,23 @@ FaultInjector::IngestAction FaultInjector::OnIngest() {
     return action;
   }
   return IngestAction::kDeliver;
+}
+
+bool FaultInjector::TearWalWrite(size_t frame_bytes, size_t* keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t count = ++wal_count_;
+  for (PendingEvent& p : schedule_) {
+    if (p.fired) continue;
+    if (p.event.kind != FaultKind::kTornWalWrite) continue;
+    if (count < p.event.at_count) continue;
+    p.fired = true;
+    ++fired_[FaultKind::kTornWalWrite];
+    size_t keep = p.event.param >= 0 ? static_cast<size_t>(p.event.param) : 0;
+    if (keep >= frame_bytes) keep = frame_bytes - 1;  // Must actually tear.
+    *keep_bytes = keep;
+    return true;
+  }
+  return false;
 }
 
 uint64_t FaultInjector::fired(FaultKind kind) const {

@@ -36,6 +36,13 @@ enum class FaultKind {
   /// unordered in the paper's model, so this perturbs execution without
   /// changing the defined result.
   kReorderIngest,
+  /// The durability WAL writer persists only a prefix of one record's
+  /// frame, as if the process died mid-write, and then stops appending
+  /// (the writer enters its terminal failed state). `param` is the number
+  /// of frame bytes that reach disk (clamped to the frame size; 0 tears
+  /// the whole frame away). Recovery must detect the torn frame and
+  /// replay exactly the records before it.
+  kTornWalWrite,
 };
 
 std::string FaultKindName(FaultKind kind);
@@ -81,6 +88,12 @@ class FaultInjector {
   /// Engine hook, called once per Ingest call (before fan-out).
   IngestAction OnIngest();
 
+  /// WAL hook, called once per record append with the encoded frame size.
+  /// Returns true when a kTornWalWrite fault fires; *keep_bytes is then
+  /// the number of frame bytes the writer should persist before simulating
+  /// the crash (the event's `param`, clamped to [0, frame_bytes)).
+  bool TearWalWrite(size_t frame_bytes, size_t* keep_bytes);
+
   /// Faults of `kind` that have fired so far.
   uint64_t fired(FaultKind kind) const;
   uint64_t total_fired() const;
@@ -104,6 +117,7 @@ class FaultInjector {
   std::map<std::pair<std::string, int>, uint64_t> tuple_counts_;
   std::map<std::pair<std::string, int>, uint64_t> batch_counts_;
   uint64_t ingest_count_ = 0;
+  uint64_t wal_count_ = 0;
   std::map<FaultKind, uint64_t> fired_;
 };
 

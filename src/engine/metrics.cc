@@ -7,6 +7,25 @@ namespace upa {
 std::string EngineMetrics::ToString() const {
   std::string out = "engine clock=" + std::to_string(clock) + "\n";
   char line[256];
+  if (durability.enabled) {
+    std::snprintf(line, sizeof(line),
+                  "  durability: wal records=%llu bytes=%llu segments=%llu%s "
+                  "checkpoints=%llu (last #%llu, %zuB, retained=%llu "
+                  "truncated=%llu)%s\n",
+                  static_cast<unsigned long long>(durability.wal_records),
+                  static_cast<unsigned long long>(durability.wal_bytes),
+                  static_cast<unsigned long long>(durability.wal_segments),
+                  durability.wal_failed ? " FAILED" : "",
+                  static_cast<unsigned long long>(durability.checkpoints),
+                  static_cast<unsigned long long>(durability.last_checkpoint_id),
+                  durability.last_checkpoint_bytes,
+                  static_cast<unsigned long long>(
+                      durability.last_retained_tuples),
+                  static_cast<unsigned long long>(
+                      durability.last_truncated_tuples),
+                  durability.recovered ? " (recovered)" : "");
+    out += line;
+  }
   for (const QueryMetrics& q : queries) {
     std::snprintf(line, sizeof(line),
                   "  %-16s shards=%d%s in=%llu done=%llu drop=%llu "
@@ -55,13 +74,66 @@ std::string EngineMetrics::ToPrometheus() const {
     if (out.find(std::string("# TYPE ") + name + " ") == std::string::npos) {
       out += std::string("# TYPE ") + name + " " + type + "\n";
     }
-    std::snprintf(line, sizeof(line), "%s{%s} %.6g\n", name, labels.c_str(), v);
+    if (labels.empty()) {
+      std::snprintf(line, sizeof(line), "%s %.6g\n", name, v);
+    } else {
+      std::snprintf(line, sizeof(line), "%s{%s} %.6g\n", name, labels.c_str(),
+                    v);
+    }
     out += line;
   };
   std::snprintf(line, sizeof(line),
                 "# TYPE upa_engine_clock gauge\nupa_engine_clock %lld\n",
                 static_cast<long long>(clock));
   out += line;
+  if (durability.enabled) {
+    const DurabilityMetrics& d = durability;
+    series("upa_checkpoint_wal_records_total", "counter", "",
+           static_cast<double>(d.wal_records));
+    series("upa_checkpoint_wal_bytes_total", "counter", "",
+           static_cast<double>(d.wal_bytes));
+    series("upa_checkpoint_wal_segments_total", "counter", "",
+           static_cast<double>(d.wal_segments));
+    series("upa_checkpoint_wal_torn_writes_total", "counter", "",
+           static_cast<double>(d.wal_torn_writes));
+    series("upa_checkpoint_wal_failed", "gauge", "", d.wal_failed ? 1 : 0);
+    series("upa_checkpoint_total", "counter", "",
+           static_cast<double>(d.checkpoints));
+    series("upa_checkpoint_failures_total", "counter", "",
+           static_cast<double>(d.checkpoint_failures));
+    series("upa_checkpoint_last_id", "gauge", "",
+           static_cast<double>(d.last_checkpoint_id));
+    series("upa_checkpoint_last_bytes", "gauge", "",
+           static_cast<double>(d.last_checkpoint_bytes));
+    series("upa_checkpoint_last_seconds", "gauge", "",
+           d.last_checkpoint_seconds);
+    series("upa_checkpoint_retained_tuples", "gauge", "",
+           static_cast<double>(d.last_retained_tuples));
+    series("upa_checkpoint_truncated_tuples", "gauge", "",
+           static_cast<double>(d.last_truncated_tuples));
+    series("upa_checkpoint_non_durable_queries", "gauge", "",
+           static_cast<double>(d.non_durable_queries));
+    series("upa_recovery_recovered", "gauge", "", d.recovered ? 1 : 0);
+    if (d.recovered) {
+      series("upa_recovery_checkpoint_id", "gauge", "",
+             static_cast<double>(d.recovery_checkpoint_id));
+      series("upa_recovery_wal_records_replayed", "gauge", "",
+             static_cast<double>(d.recovery_wal_records_replayed));
+      series("upa_recovery_retained_replayed", "gauge", "",
+             static_cast<double>(d.recovery_retained_replayed));
+      series("upa_recovery_corrupt_checkpoints_skipped", "gauge", "",
+             static_cast<double>(d.recovery_corrupt_checkpoints_skipped));
+      series("upa_recovery_digest_mismatches", "gauge", "",
+             static_cast<double>(d.recovery_digest_mismatches));
+      series("upa_recovery_wal_corrupt_frames", "gauge", "",
+             static_cast<double>(d.recovery_wal_corrupt_frames));
+      series("upa_recovery_wal_gap", "gauge", "",
+             d.recovery_wal_gap ? 1 : 0);
+      series("upa_recovery_data_loss", "gauge", "",
+             d.recovery_data_loss ? 1 : 0);
+      series("upa_recovery_seconds", "gauge", "", d.recovery_seconds);
+    }
+  }
   for (const QueryMetrics& q : queries) {
     const std::string l = "query=\"" + q.name + "\"";
     series("upa_query_shards", "gauge", l, q.shards);

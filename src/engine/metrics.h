@@ -60,9 +60,45 @@ struct QueryMetrics {
   std::vector<ShardMetrics> per_shard;
 };
 
+/// Durability-layer counters (WAL, checkpoints, last recovery). All zero
+/// / disabled when the engine runs without a durability directory.
+struct DurabilityMetrics {
+  bool enabled = false;
+
+  // WAL append side.
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_segments = 0;
+  uint64_t wal_torn_writes = 0;  ///< Injected kTornWalWrite faults fired.
+  bool wal_failed = false;       ///< Writer in its terminal failed state.
+
+  // Checkpoints written by this engine.
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_failures = 0;
+  uint64_t last_checkpoint_id = 0;
+  size_t last_checkpoint_bytes = 0;
+  double last_checkpoint_seconds = 0.0;
+  uint64_t last_retained_tuples = 0;   ///< Persisted by the last checkpoint.
+  uint64_t last_truncated_tuples = 0;  ///< Dropped by horizon truncation.
+  uint64_t non_durable_queries = 0;    ///< RegisterPlan queries (no SQL).
+
+  // Last recovery (StartFromCheckpoint), when this engine was recovered.
+  bool recovered = false;
+  uint64_t recovery_checkpoint_id = 0;
+  uint64_t recovery_wal_records_replayed = 0;
+  uint64_t recovery_retained_replayed = 0;
+  uint64_t recovery_corrupt_checkpoints_skipped = 0;
+  uint64_t recovery_digest_mismatches = 0;
+  uint64_t recovery_wal_corrupt_frames = 0;
+  bool recovery_wal_gap = false;
+  bool recovery_data_loss = false;
+  double recovery_seconds = 0.0;
+};
+
 /// Snapshot of the whole engine (Engine::Metrics()).
 struct EngineMetrics {
   Time clock = 0;  ///< Highest timestamp ingested so far.
+  DurabilityMetrics durability;
   std::vector<QueryMetrics> queries;
 
   /// Human-readable multi-line rendering (one line per query).

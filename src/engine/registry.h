@@ -54,6 +54,15 @@ class RegisteredQuery {
   const PartitionScheme& scheme() const { return scheme_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
   ExecMode mode() const { return factory_.mode(); }
+  const QueryOptions& options() const { return options_; }
+
+  /// SQL text the query was registered from; empty for RegisterPlan
+  /// queries. Durability needs the text: checkpoints persist it so
+  /// recovery can re-register through the same catalog/compile path, so
+  /// plan-registered queries are documented as non-durable (counted in
+  /// the metrics, skipped by checkpoints).
+  const std::string& sql() const { return sql_; }
+  void set_sql(std::string sql) { sql_ = std::move(sql); }
 
   /// True if the plan reads `stream_id` (as a stream or relation leaf).
   bool HasStream(int stream_id) const { return streams_.count(stream_id) > 0; }
@@ -90,6 +99,7 @@ class RegisteredQuery {
   std::unique_ptr<Pipeline> MakeReplica() const;
 
   std::string name_;
+  std::string sql_;  ///< Set by the engine right after construction.
   PlanPtr plan_;
   PartitionScheme scheme_;
   PipelineFactory factory_;

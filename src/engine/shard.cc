@@ -105,11 +105,24 @@ bool ShardExecutor::Restart() {
   return true;
 }
 
-bool ShardExecutor::Enqueue(int stream, const Tuple& t) {
+bool ShardExecutor::Enqueue(int stream, const Tuple& t, uint64_t wal_seq) {
   ShardItem item;
   item.stream = stream;
   item.tuple = t;
+  item.wal_seq = wal_seq;
   return queue_.Push(std::move(item));
+}
+
+std::vector<ShardExecutor::RetainedEntry> ShardExecutor::RetainedData(
+    uint64_t max_seq) const {
+  std::vector<RetainedEntry> out;
+  std::lock_guard<std::mutex> lock(log_mu_);
+  for (const LogEntry& e : log_) {
+    if (e.item.stream < 0) continue;  // Controls are barrier-local.
+    if (e.item.wal_seq > max_seq) continue;
+    out.push_back({e.item.stream, e.item.wal_seq, e.item.tuple});
+  }
+  return out;
 }
 
 std::future<void> ShardExecutor::EnqueueControl(

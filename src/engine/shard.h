@@ -26,6 +26,12 @@ namespace upa {
 struct ShardItem {
   int stream = -1;  ///< >= 0: tuple item; -1: control.
   Tuple tuple;
+  /// WAL sequence number of the ingest record behind this tuple (0: not
+  /// WAL-logged -- durability off, WAL failed, or recovery re-injection).
+  /// Checkpoint capture filters the shard log on it so retained state and
+  /// the replayed WAL suffix partition the input exactly at the barrier's
+  /// WAL cut.
+  uint64_t wal_seq = 0;
 
   Time control_ts = -1;  ///< Control: advance the replica clock to here.
   std::function<void(Pipeline&)> action;  ///< Control: run on shard thread.
@@ -100,7 +106,8 @@ class ShardExecutor {
 
   /// Routes one tuple to this shard (applies the backpressure policy).
   /// Returns false if the tuple was dropped or the shard is stopped.
-  bool Enqueue(int stream, const Tuple& t);
+  /// `wal_seq` tags the item with its WAL record (see ShardItem).
+  bool Enqueue(int stream, const Tuple& t, uint64_t wal_seq = 0);
 
   /// Enqueues a control message: the worker ticks the replica to `ts`
   /// (monotone; earlier times are ignored), then runs `action` (may be
@@ -132,6 +139,27 @@ class ShardExecutor {
   /// True when the worker thread exited on a crash path and has not been
   /// restarted — what the engine watchdog polls.
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  /// True when a crashed worker can be brought back by Restart() (a
+  /// recovery factory was installed before Start). The factory is fixed
+  /// pre-Start, so this is safe to read from any thread.
+  bool recoverable() const { return rebuild_ != nullptr; }
+
+  /// One retained data item of the recovery log (checkpoint capture).
+  struct RetainedEntry {
+    int stream = -1;
+    uint64_t wal_seq = 0;
+    Tuple tuple;
+  };
+
+  /// Copies the data entries of the recovery log whose WAL sequence is
+  /// <= `max_seq` (entries tagged 0 -- recovery re-injections and
+  /// pre-durability tuples -- always qualify: they precede every record
+  /// the WAL suffix can replay). Called from a barrier control action on
+  /// the shard thread, when everything enqueued before the barrier is
+  /// already in the log; the engine persists the result as the shard's
+  /// checkpoint state.
+  std::vector<RetainedEntry> RetainedData(uint64_t max_seq) const;
   uint64_t restarts() const { return restarts_.load(std::memory_order_relaxed); }
   bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
 
@@ -167,7 +195,7 @@ class ShardExecutor {
   // Recovery state.
   std::function<std::unique_ptr<Pipeline>()> rebuild_;  // Pre-Start only.
   Time horizon_ = kNeverExpires;
-  std::mutex log_mu_;
+  mutable std::mutex log_mu_;
   std::deque<LogEntry> log_;     // Guarded by log_mu_.
   uint64_t log_begin_seq_ = 0;   // Seq of log_.front(). Guarded by log_mu_.
   uint64_t log_end_seq_ = 0;     // Guarded by log_mu_.

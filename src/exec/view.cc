@@ -3,8 +3,11 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "state/serde.h"
 
 namespace upa {
+
+uint64_t ResultView::Digest() const { return serde::RowsDigest(Snapshot()); }
 
 BufferView::BufferView(std::unique_ptr<StateBuffer> buffer,
                        bool time_expiration)

@@ -37,6 +37,14 @@ class ResultView {
   /// Copies out the live result tuples (order unspecified).
   virtual std::vector<Tuple> Snapshot() const = 0;
 
+  /// Order-independent digest of the live result rows, used by the
+  /// durability layer to verify that a recovered replica's view matches
+  /// the state recorded at a checkpoint barrier. Defined over the field
+  /// values only (views with equal row multisets digest equally): a
+  /// replica rebuilt by replay reproduces the rows exactly, but which
+  /// arrival's ts a distinct/group-by representative carries may differ.
+  virtual uint64_t Digest() const;
+
   virtual std::string Name() const = 0;
 
  protected:
@@ -59,6 +67,8 @@ class BufferView : public ResultView {
   size_t Size() const override { return buffer_->LiveCount(); }
   size_t StateBytes() const override { return buffer_->StateBytes(); }
   std::vector<Tuple> Snapshot() const override;
+  /// Delegates to the buffer's pattern-aware hook (skips expired state).
+  uint64_t Digest() const override { return buffer_->LiveDigest(); }
   std::string Name() const override { return "view:" + buffer_->Name(); }
 
   const StateBuffer& buffer() const { return *buffer_; }

@@ -2,8 +2,31 @@
 
 #include "common/key.h"
 #include "common/macros.h"
+#include "state/serde.h"
 
 namespace upa {
+
+void StateBuffer::SerializeLive(std::string* out) const {
+  // Count prefix first: reserve the slot, then patch it after iteration
+  // so the encoding stays single-pass over the buffer.
+  const size_t count_pos = out->size();
+  serde::PutU64(out, 0);
+  uint64_t count = 0;
+  ForEachLive([&](const Tuple& t) {
+    serde::PutTuple(out, t);
+    ++count;
+  });
+  std::string prefix;
+  serde::PutU64(&prefix, count);
+  out->replace(count_pos, prefix.size(), prefix);
+}
+
+uint64_t StateBuffer::LiveDigest() const {
+  std::vector<Tuple> live;
+  live.reserve(LiveCount());
+  ForEachLive([&live](const Tuple& t) { live.push_back(t); });
+  return serde::RowsDigest(live);
+}
 
 void StateBuffer::SetLazy(Time purge_interval) {
   UPA_CHECK(purge_interval > 0);

@@ -116,6 +116,22 @@ class StateBuffer {
 
   virtual std::string Name() const = 0;
 
+  /// Serialization hook for the durability layer: appends a count-prefixed
+  /// canonical encoding of every *live* tuple to `out`. Liveness is the
+  /// pattern-aware truncation rule made concrete -- a kFifo (WKS) buffer's
+  /// expired prefix, a kPredictable (WK) buffer's expired partitions, and
+  /// a lazy buffer's logically-dead residents are all skipped, so the
+  /// serialized state is exactly what a recovering replica must contain
+  /// and nothing more.
+  void SerializeLive(std::string* out) const;
+
+  /// Order-independent 64-bit digest of the live *rows* (see
+  /// serde::RowsDigest). Two buffers holding the same live row multiset
+  /// digest equally even if their physical layouts differ, which lets
+  /// recovery compare a replayed replica against the checkpointed
+  /// original without serializing either in full.
+  uint64_t LiveDigest() const;
+
  protected:
   StateBuffer() = default;
 

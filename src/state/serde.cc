@@ -1,0 +1,202 @@
+#include "state/serde.h"
+
+#include <cstring>
+
+namespace upa {
+namespace serde {
+namespace {
+
+/// Value tag bytes. Part of the on-disk format; append-only.
+constexpr uint8_t kTagInt = 0;
+constexpr uint8_t kTagDouble = 1;
+constexpr uint8_t kTagString = 2;
+
+}  // namespace
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 8);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutValue(std::string* out, const Value& v) {
+  if (const int64_t* i = std::get_if<int64_t>(&v)) {
+    PutU8(out, kTagInt);
+    PutI64(out, *i);
+  } else if (const double* d = std::get_if<double>(&v)) {
+    PutU8(out, kTagDouble);
+    PutDouble(out, *d);
+  } else {
+    PutU8(out, kTagString);
+    PutString(out, std::get<std::string>(v));
+  }
+}
+
+void PutTuple(std::string* out, const Tuple& t) {
+  PutI64(out, t.ts);
+  PutI64(out, t.exp);
+  PutU8(out, t.negative ? 1 : 0);
+  PutU32(out, static_cast<uint32_t>(t.fields.size()));
+  for (const Value& v : t.fields) PutValue(out, v);
+}
+
+bool Reader::Need(size_t n) {
+  if (!ok_ || remaining() < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool Reader::GetU8(uint8_t* v) {
+  if (!Need(1)) return false;
+  *v = *p_++;
+  return true;
+}
+
+bool Reader::GetU32(uint32_t* v) {
+  if (!Need(4)) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) out |= static_cast<uint32_t>(p_[i]) << (8 * i);
+  p_ += 4;
+  *v = out;
+  return true;
+}
+
+bool Reader::GetU64(uint64_t* v) {
+  if (!Need(8)) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out |= static_cast<uint64_t>(p_[i]) << (8 * i);
+  p_ += 8;
+  *v = out;
+  return true;
+}
+
+bool Reader::GetI64(int64_t* v) {
+  uint64_t u;
+  if (!GetU64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool Reader::GetDouble(double* v) {
+  uint64_t bits;
+  if (!GetU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool Reader::GetString(std::string* v) {
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  if (!Need(len)) return false;  // Validates before allocating.
+  v->assign(reinterpret_cast<const char*>(p_), len);
+  p_ += len;
+  return true;
+}
+
+bool Reader::GetValue(Value* v) {
+  uint8_t tag;
+  if (!GetU8(&tag)) return false;
+  switch (tag) {
+    case kTagInt: {
+      int64_t i;
+      if (!GetI64(&i)) return false;
+      *v = i;
+      return true;
+    }
+    case kTagDouble: {
+      double d;
+      if (!GetDouble(&d)) return false;
+      *v = d;
+      return true;
+    }
+    case kTagString: {
+      std::string s;
+      if (!GetString(&s)) return false;
+      *v = std::move(s);
+      return true;
+    }
+    default:
+      ok_ = false;
+      return false;
+  }
+}
+
+bool Reader::GetTuple(Tuple* t) {
+  uint8_t neg;
+  uint32_t nfields;
+  if (!GetI64(&t->ts) || !GetI64(&t->exp) || !GetU8(&neg) ||
+      !GetU32(&nfields)) {
+    return false;
+  }
+  if (neg > 1) {  // Must be a boolean; anything else is garbage.
+    ok_ = false;
+    return false;
+  }
+  t->negative = neg != 0;
+  // Every field costs at least one tag byte, so a field count exceeding
+  // the remaining bytes is corrupt; reject before reserving.
+  if (nfields > remaining()) {
+    ok_ = false;
+    return false;
+  }
+  t->fields.clear();
+  t->fields.reserve(nfields);
+  for (uint32_t i = 0; i < nfields; ++i) {
+    Value v;
+    if (!GetValue(&v)) return false;
+    t->fields.push_back(std::move(v));
+  }
+  return true;
+}
+
+uint64_t RowsDigest(const std::vector<Tuple>& tuples) {
+  // FNV-1a over each tuple's row encoding, summed mod 2^64. Addition is
+  // commutative, making the digest order-independent but multiset-exact
+  // (a missing or duplicated row shifts the sum).
+  uint64_t digest = 0;
+  std::string buf;
+  for (const Tuple& t : tuples) {
+    buf.clear();
+    PutU8(&buf, t.negative ? 1 : 0);
+    PutU32(&buf, static_cast<uint32_t>(t.fields.size()));
+    for (const Value& v : t.fields) PutValue(&buf, v);
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : buf) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    digest += h;
+  }
+  return digest;
+}
+
+}  // namespace serde
+}  // namespace upa

@@ -1,0 +1,86 @@
+#ifndef UPA_STATE_SERDE_H_
+#define UPA_STATE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace upa {
+namespace serde {
+
+/// Binary serialization for tuples and values, used by the durability
+/// layer (WAL records and checkpoint manifests). The format is
+/// little-endian, fixed-width integers, length-prefixed strings. It is
+/// deliberately simple: framing, versioning and corruption detection are
+/// the responsibility of the enclosing record format (CRC32C frames, see
+/// src/engine/durability/wal.h); this layer only has to be unambiguous
+/// and, on the decode side, safe against arbitrary byte garbage -- a
+/// decoder fed a corrupted payload must return false, never crash,
+/// over-read, or allocate unbounded memory.
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutDouble(std::string* out, double v);
+/// u32 length prefix + raw bytes.
+void PutString(std::string* out, const std::string& s);
+/// Tag byte (0 = int64, 1 = double, 2 = string) + payload.
+void PutValue(std::string* out, const Value& v);
+/// ts | exp | negative | field count | fields.
+void PutTuple(std::string* out, const Tuple& t);
+
+/// Bounds-checked cursor over an encoded payload. Every getter returns
+/// false (and poisons the reader) instead of reading past the end; string
+/// and vector lengths are validated against the remaining byte count
+/// before any allocation, so a corrupted length cannot trigger a huge
+/// reservation.
+class Reader {
+ public:
+  Reader(const void* data, size_t size)
+      : p_(static_cast<const unsigned char*>(data)), end_(p_ + size) {}
+  explicit Reader(const std::string& s) : Reader(s.data(), s.size()) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetI64(int64_t* v);
+  bool GetDouble(double* v);
+  bool GetString(std::string* v);
+  bool GetValue(Value* v);
+  bool GetTuple(Tuple* t);
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  /// True when the payload was consumed exactly (decoders should demand
+  /// this so trailing garbage is treated as corruption, not ignored).
+  bool AtEnd() const { return ok_ && p_ == end_; }
+
+ private:
+  bool Need(size_t n);
+
+  const unsigned char* p_;
+  const unsigned char* end_;
+  bool ok_ = true;
+};
+
+/// Order-independent 64-bit digest of a tuple multiset's *rows*: the
+/// per-tuple hashes of the field encodings (not ts/exp) are combined
+/// commutatively, so two snapshots of the same logical view contents
+/// digest equally regardless of iteration order. Used by recovery to
+/// verify that replaying a checkpoint's retained tuples reproduced the
+/// view recorded at the checkpoint barrier. Timestamps are deliberately
+/// excluded: replay reproduces the row multiset exactly (the engine's
+/// determinism contract), but the representative metadata of a
+/// distinct/group-by output -- which arrival's ts a surviving duplicate
+/// carries -- may legitimately differ between the original replica and a
+/// rebuilt one.
+uint64_t RowsDigest(const std::vector<Tuple>& tuples);
+
+}  // namespace serde
+}  // namespace upa
+
+#endif  // UPA_STATE_SERDE_H_

@@ -452,6 +452,71 @@ TEST(BoundedQueueTest, ConcurrentCloseNeverLosesARejectionSilently) {
             kProducers * kPerProducer);
 }
 
+// --- Snapshot vs crashed shards: the barrier contract. ---
+
+PlanPtr TinyWindowPlan() {
+  PlanPtr plan = MakeWindow(MakeStream(0, testing_util::IntSchema(1)), 100);
+  AnnotatePatterns(plan.get());
+  return plan;
+}
+
+TEST(EngineCrashBarrierTest, SnapshotOnUnrecoverableCrashFailsPromptly) {
+  // With no watchdog and no recovery log, a crashed shard can never ack a
+  // barrier control. The documented contract is a prompt false -- not a
+  // hang, not a view with silently missing shards.
+  FaultEvent kill;
+  kill.kind = FaultKind::kKillShard;
+  kill.query = "q";
+  kill.at_count = 5;
+  FaultInjector faults({kill});
+  EngineOptions opts;
+  opts.supervise = false;
+  opts.recover = false;
+  opts.fault_injector = &faults;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.RegisterPlan("q", TinyWindowPlan()).ok);
+  for (int i = 1; i <= 10; ++i) {
+    engine.Ingest(0, testing_util::T({i}, i));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Tuple> rows;
+  EXPECT_FALSE(engine.Snapshot("q", &rows));
+  EXPECT_TRUE(rows.empty());
+  EXPECT_FALSE(engine.Flush());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(30));
+  EXPECT_EQ(faults.fired(FaultKind::kKillShard), 1u);
+  EXPECT_TRUE(engine.Metrics().queries[0].per_shard[0].crashed);
+  engine.Stop();
+}
+
+TEST(EngineCrashBarrierTest, SnapshotRestartsRecoverableCrashInline) {
+  // The watchdog is configured so slow it will never run; the snapshot
+  // barrier itself must restart the crashed shard (racing the watchdog is
+  // safe, restarts are serialized per shard) and then answer in full.
+  FaultEvent kill;
+  kill.kind = FaultKind::kKillShard;
+  kill.query = "q";
+  kill.at_count = 5;
+  FaultInjector faults({kill});
+  EngineOptions opts;
+  opts.supervise = true;
+  opts.watchdog_interval_ms = 600000;
+  opts.fault_injector = &faults;
+  Engine engine(opts);
+  ASSERT_TRUE(engine.RegisterPlan("q", TinyWindowPlan()).ok);
+  for (int i = 1; i <= 10; ++i) {
+    engine.Ingest(0, testing_util::T({i}, i));
+  }
+  std::vector<Tuple> rows;
+  ASSERT_TRUE(engine.Snapshot("q", &rows));
+  EXPECT_EQ(rows.size(), 10u);  // Replica rebuilt, nothing lost.
+  EXPECT_EQ(faults.fired(FaultKind::kKillShard), 1u);
+  const EngineMetrics m = engine.Metrics();
+  EXPECT_EQ(m.queries[0].restarts, 1u);
+  EXPECT_FALSE(m.queries[0].per_shard[0].crashed);
+  engine.Stop();
+}
+
 // --- The /metrics endpoint answers garbage with errors, not crashes. ---
 
 std::string Render() { return "upa_build_info 1\n"; }
