@@ -1,0 +1,145 @@
+// Network layer experiment: what the wire costs on the ingest path.
+//
+//   BM_NetIngestThroughput : tuples/sec and MB/sec through a loopback
+//                            Server as a function of ingest batch size
+//                            (framing + CRC + one round trip per batch)
+//                            and client count (1 vs 4 concurrent
+//                            sessions). The engine runs a live
+//                            duplicate-eliminating query with one
+//                            subscriber per client, so every batch also
+//                            pays the subscription fan-out.
+//
+// Small batches are dominated by the per-frame round trip; the batch
+// knob shows where the protocol amortizes away.
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/engine.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace upa {
+namespace {
+
+using bench_util::LblTrace;
+
+void BM_NetIngestThroughput(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  const int num_clients = static_cast<int>(state.range(1));
+  const Trace& trace = LblTrace(1, 4000);
+  auto& collector = bench_json::Collector::Global();
+  for (auto _ : state) {
+    EngineOptions eopts;
+    eopts.default_shards = 2;
+    Engine engine(eopts);
+    net::ServerOptions sopts;
+    sopts.port = 0;
+    net::Server server(&engine, sopts);
+    std::string err;
+    if (!server.Start(&err)) {
+      state.SkipWithError("server start failed");
+      return;
+    }
+
+    // Round-robin the trace across the clients: each session ships an
+    // interleaved, per-session ts-ordered slice.
+    std::vector<net::Client> clients(static_cast<size_t>(num_clients));
+    std::vector<net::SubscriptionMirror*> subs(
+        static_cast<size_t>(num_clients));
+    int64_t link0 = -1;
+    bool setup_ok = true;
+    for (int c = 0; c < num_clients; ++c) {
+      if (!clients[c].Connect("127.0.0.1", server.port(), &err)) {
+        setup_ok = false;
+        break;
+      }
+      link0 = clients[c].DeclareStream("link0", LblSchema(), &err);
+      if (link0 < 0) {
+        setup_ok = false;
+        break;
+      }
+      if (c == 0 &&
+          !clients[c].RegisterQuery(
+              "sources", "SELECT DISTINCT src_ip FROM link0 [RANGE 800]",
+              0, nullptr, &err)) {
+        setup_ok = false;
+        break;
+      }
+      subs[c] = clients[c].Subscribe("sources", &err);
+      if (subs[c] == nullptr) {
+        setup_ok = false;
+        break;
+      }
+    }
+    if (!setup_ok) {
+      state.SkipWithError("client setup failed");
+      return;
+    }
+
+    const uint64_t bytes_before = server.Stats().bytes_in;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < num_clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::string terr;
+        std::vector<std::pair<uint32_t, Tuple>> batch;
+        batch.reserve(batch_size);
+        for (size_t i = static_cast<size_t>(c); i < trace.events.size();
+             i += static_cast<size_t>(num_clients)) {
+          batch.emplace_back(static_cast<uint32_t>(link0),
+                             trace.events[i].tuple);
+          if (batch.size() >= batch_size) {
+            if (!clients[c].IngestBatch(batch, &terr)) return;
+            batch.clear();
+          }
+        }
+        if (!batch.empty()) clients[c].IngestBatch(batch, &terr);
+        clients[c].Flush(&terr);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const uint64_t wire_bytes = server.Stats().bytes_in - bytes_before;
+    for (int c = 0; c < num_clients; ++c) clients[c].Close();
+    server.Stop();
+    engine.Stop();
+
+    state.SetIterationTime(secs);
+    const double tuples = static_cast<double>(trace.events.size());
+    state.counters["ktuples_per_s"] = tuples / secs / 1000.0;
+    state.counters["wire_mb_per_s"] =
+        static_cast<double>(wire_bytes) / secs / (1024.0 * 1024.0);
+    state.counters["bytes_per_tuple"] =
+        static_cast<double>(wire_bytes) / tuples;
+
+    bench_json::Run run;
+    run.family = "BM_NetIngestThroughput";
+    run.name = "BM_NetIngestThroughput/batch:" +
+               std::to_string(batch_size) + "/clients:" +
+               std::to_string(num_clients);
+    run.args = {static_cast<int64_t>(batch_size), num_clients};
+    run.wall_seconds = secs;
+    run.counters["ktuples_per_s"] = state.counters["ktuples_per_s"];
+    run.counters["wire_mb_per_s"] = state.counters["wire_mb_per_s"];
+    run.counters["bytes_per_tuple"] = state.counters["bytes_per_tuple"];
+    collector.Add(std::move(run));
+  }
+}
+
+BENCHMARK(BM_NetIngestThroughput)
+    ->ArgsProduct({{16, 128, 1024}, {1, 4}})
+    ->UseManualTime()
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace upa
+
+UPA_BENCH_MAIN("net_throughput");

@@ -1,0 +1,330 @@
+// Engine client: drives the LBL connection-trace workload against a
+// running engine_server over the binary wire protocol (src/net). It
+// declares the two link streams, registers the demo queries, subscribes
+// to each (pattern-aware result subscriptions), ships the trace in
+// ingest batches, and periodically barriers the engine.
+//
+// Because the server publishes subscription watermarks before acking a
+// Flush, each client-side SubscriptionMirror equals the server-side
+// materialized view at every barrier. With --check this is verified
+// three ways at each report boundary:
+//
+//   mirror rows  ==  Snapshot RPC rows  ==  reference-evaluator oracle
+//
+// (the oracle recomputes the answer from scratch per Definition 1, so a
+// mismatch is a real correctness bug, not drift). The client exits
+// nonzero on any mismatch -- scripts/ci.sh runs this as the loopback
+// smoke stage.
+//
+//   ./examples/engine_server --port 0          # prints the bound port
+//   ./examples/engine_client --port <p> --check
+//
+// Unknown or malformed flags are rejected with usage and exit 1.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/logical_plan.h"
+#include "net/client.h"
+#include "ref/reference.h"
+#include "sql/catalog.h"
+#include "workload/lbl_generator.h"
+
+namespace {
+
+using namespace upa;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port <p> [options]\n"
+               "  --port <p>      engine_server wire-protocol port\n"
+               "  --host <h>      server host (default 127.0.0.1)\n"
+               "  --duration <t>  trace length in time units (default 4000)\n"
+               "  --check         differentially verify each barrier\n"
+               "                  (mirror == snapshot RPC == oracle)\n"
+               "  --help          this message\n",
+               argv0);
+  return 1;
+}
+
+bool ParseInt(const char* s, long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+/// Sorted multiset of field vectors -- the canonical comparison form
+/// (mirrors testing_util::Canonical).
+std::vector<std::vector<Value>> Canonical(const std::vector<Tuple>& tuples) {
+  std::vector<std::vector<Value>> out;
+  out.reserve(tuples.size());
+  for (const Tuple& t : tuples) out.push_back(t.fields);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct Spec {
+  const char* name;
+  const char* sql;
+};
+
+const std::vector<Spec>& Specs() {
+  static const std::vector<Spec> specs = {
+      {"telnet-pairs",
+       "SELECT link0.src_ip FROM link0 [RANGE 800], link1 [RANGE 800] "
+       "WHERE link0.src_ip = link1.src_ip AND link0.protocol = 2 AND "
+       "link1.protocol = 2"},
+      {"sources", "SELECT DISTINCT src_ip FROM link0 [RANGE 800]"},
+      {"proto-bytes",
+       "SELECT protocol, SUM(payload) FROM link1 [RANGE 800] "
+       "GROUP BY protocol"},
+      {"total", "SELECT COUNT(*) FROM link0 [RANGE 800]"},
+  };
+  return specs;
+}
+
+/// Local oracle for one query: an identical catalog + plan, replaying
+/// the same trace events the client ships over the wire.
+struct Oracle {
+  PlanPtr plan;
+  std::unique_ptr<ReferenceEvaluator> ref;
+  std::set<int> streams;  ///< Local stream ids the plan reads.
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = -1;
+  std::string host = "127.0.0.1";
+  long duration = 4000;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(arg, "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else if (std::strcmp(arg, "--port") == 0) {
+      if (!has_value || !ParseInt(argv[++i], &port) || port < 1 ||
+          port > 65535) {
+        std::fprintf(stderr, "--port requires a port number\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--host") == 0) {
+      if (!has_value) {
+        std::fprintf(stderr, "--host requires a value\n");
+        return Usage(argv[0]);
+      }
+      host = argv[++i];
+    } else if (std::strcmp(arg, "--duration") == 0) {
+      if (!has_value || !ParseInt(argv[++i], &duration) || duration < 1) {
+        std::fprintf(stderr, "--duration requires a positive length\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--check") == 0) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+  if (port < 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return Usage(argv[0]);
+  }
+
+  net::Client client;
+  std::string err;
+  if (!client.Connect(host, static_cast<int>(port), &err)) {
+    std::fprintf(stderr, "connect failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("connected to %s (%s:%ld)\n", client.server_name().c_str(),
+              host.c_str(), port);
+
+  // Remote declarations (idempotent against a recovered server).
+  const int64_t link0 = client.DeclareStream("link0", LblSchema(), &err);
+  const int64_t link1 = client.DeclareStream("link1", LblSchema(), &err);
+  if (link0 < 0 || link1 < 0) {
+    std::fprintf(stderr, "declare failed: %s\n", err.c_str());
+    return 1;
+  }
+  const int64_t remote_id[2] = {link0, link1};
+
+  // Register + subscribe. The ack's update pattern decides the delivery
+  // contract the mirror replays (and what we can pin: monotonic/WKS
+  // subscriptions must never carry a negative tuple).
+  std::vector<net::SubscriptionMirror*> mirrors;
+  for (const Spec& spec : Specs()) {
+    net::ClientQueryInfo info;
+    if (!client.RegisterQuery(spec.name, spec.sql, 0, &info, &err)) {
+      std::fprintf(stderr, "register %s failed: %s\n", spec.name,
+                   err.c_str());
+      return 1;
+    }
+    net::SubscriptionMirror* sub = client.Subscribe(spec.name, &err);
+    if (sub == nullptr) {
+      std::fprintf(stderr, "subscribe %s failed: %s\n", spec.name,
+                   err.c_str());
+      return 1;
+    }
+    mirrors.push_back(sub);
+    std::printf("registered %-13s shards=%d pattern=%s  %s\n",
+                info.name.c_str(), info.shards,
+                PatternName(info.pattern).c_str(),
+                info.partition_note.c_str());
+  }
+
+  // Local oracles (only with --check: EvalAt is intentionally O(history)).
+  std::vector<Oracle> oracles;
+  int local_id[2] = {0, 1};
+  SourceCatalog catalog;
+  if (check) {
+    local_id[0] = catalog.DeclareStream("link0", LblSchema());
+    local_id[1] = catalog.DeclareStream("link1", LblSchema());
+    for (const Spec& spec : Specs()) {
+      ParseResult p = catalog.Compile(spec.sql);
+      if (!p.ok()) {
+        std::fprintf(stderr, "oracle compile %s failed: %s\n", spec.name,
+                     p.error.c_str());
+        return 1;
+      }
+      Oracle o;
+      o.plan = std::move(p.plan);
+      const std::function<void(const PlanNode&)> collect =
+          [&o, &collect](const PlanNode& n) {
+            if (n.kind == PlanOpKind::kStream) o.streams.insert(n.stream_id);
+            for (const auto& c : n.children) collect(*c);
+          };
+      collect(*o.plan);
+      o.ref = std::make_unique<ReferenceEvaluator>(o.plan.get());
+      oracles.push_back(std::move(o));
+    }
+  }
+
+  LblTraceConfig cfg;
+  cfg.num_links = 2;
+  cfg.duration = duration;
+  cfg.num_sources = 200;
+  cfg.source_zipf = 1.1;
+  const Trace trace = GenerateLblTrace(cfg);
+  std::printf("ingesting %zu events over %ld time units...\n",
+              trace.events.size(), duration);
+
+  const Time report_every = 1000;
+  Time next_report = report_every;
+  int failures = 0;
+
+  const auto compare_all = [&]() {
+    for (size_t qi = 0; qi < Specs().size(); ++qi) {
+      const Spec& spec = Specs()[qi];
+      std::vector<Tuple> snap;
+      Time at = 0;
+      if (!client.Snapshot(spec.name, &snap, &at, &err)) {
+        std::fprintf(stderr, "snapshot %s failed: %s\n", spec.name,
+                     err.c_str());
+        ++failures;
+        continue;
+      }
+      const auto mirror_rows = Canonical(mirrors[qi]->Rows());
+      const auto snap_rows = Canonical(snap);
+      if (mirror_rows != snap_rows) {
+        std::fprintf(stderr,
+                     "MISMATCH %s at t=%lld: mirror %zu rows != snapshot "
+                     "%zu rows\n",
+                     spec.name, static_cast<long long>(at),
+                     mirror_rows.size(), snap_rows.size());
+        ++failures;
+      }
+      if (check) {
+        const auto want = Canonical(oracles[qi].ref->EvalAt(at));
+        if (snap_rows != want) {
+          std::fprintf(stderr,
+                       "MISMATCH %s at t=%lld: engine %zu rows != oracle "
+                       "%zu rows\n",
+                       spec.name, static_cast<long long>(at),
+                       snap_rows.size(), want.size());
+          ++failures;
+        }
+      }
+      // Section 5.2 pin: only STR result streams may carry deletions.
+      const UpdatePattern p = mirrors[qi]->pattern();
+      if ((p == UpdatePattern::kMonotonic || p == UpdatePattern::kWeakest) &&
+          mirrors[qi]->negatives_applied() != 0) {
+        std::fprintf(stderr, "VIOLATION %s: %s subscription carried %llu "
+                             "negative tuples\n",
+                     spec.name, PatternName(p).c_str(),
+                     static_cast<unsigned long long>(
+                         mirrors[qi]->negatives_applied()));
+        ++failures;
+      }
+    }
+  };
+
+  std::vector<std::pair<uint32_t, Tuple>> batch;
+  size_t i = 0;
+  const size_t n = trace.events.size();
+  while (i < n) {
+    // Ship whole timestamp groups: Definition 1 constrains the answer at
+    // tau only once all inputs at tau are processed, so barriers (and
+    // comparisons) happen at group boundaries.
+    const Time ts = trace.events[i].tuple.ts;
+    while (i < n && trace.events[i].tuple.ts == ts) {
+      const TraceEvent& e = trace.events[i];
+      batch.emplace_back(static_cast<uint32_t>(remote_id[e.stream]),
+                         e.tuple);
+      if (check) {
+        for (Oracle& o : oracles) {
+          if (o.streams.count(local_id[e.stream]) > 0) {
+            o.ref->Observe(local_id[e.stream], e.tuple);
+          }
+        }
+      }
+      ++i;
+    }
+    if (batch.size() >= 512 || ts >= next_report || i == n) {
+      if (!client.IngestBatch(batch, &err)) {
+        std::fprintf(stderr, "ingest failed: %s\n", err.c_str());
+        return 1;
+      }
+      batch.clear();
+    }
+    if (ts >= next_report || i == n) {
+      while (next_report <= ts) next_report += report_every;
+      if (!client.Flush(&err)) {
+        std::fprintf(stderr, "flush failed: %s\n", err.c_str());
+        return 1;
+      }
+      std::printf("t=%-6lld", static_cast<long long>(ts));
+      for (size_t qi = 0; qi < mirrors.size(); ++qi) {
+        std::printf("  %s=%zu", Specs()[qi].name, mirrors[qi]->Rows().size());
+      }
+      std::printf("\n");
+      compare_all();
+    }
+  }
+
+  for (net::SubscriptionMirror* sub : mirrors) {
+    client.Unsubscribe(sub, &err);
+  }
+  client.Close();
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf(check ? "all differential checks passed\n" : "done\n");
+  return 0;
+}

@@ -1,50 +1,57 @@
-// Engine server: the multi-query runtime end to end. Four continuous
-// queries are registered from SQL text against a shared two-link LBL
-// connection trace; the engine fans every arrival out to the queries
-// bound to that link and executes each query on hash-partitioned shard
-// workers (single-shard fallback when the plan is not partitionable).
+// Engine server: the multi-query runtime end to end, now fronted by the
+// src/net network service layer.
 //
-//   telnet-pairs : sources with concurrent telnet sessions on both links
-//                  (paper Query 1 shape) — partitioned on src_ip;
-//   sources      : DISTINCT src_ip on link 0 (paper Query 2) —
-//                  partitioned on src_ip;
-//   proto-bytes  : SUM(payload) GROUP BY protocol — partitioned on the
-//                  group column;
-//   total        : COUNT(*) over link 0's window — a single-group
-//                  aggregate, so the partitionability analysis reports
-//                  the fallback and the query runs on one shard.
+// Two modes:
 //
-// Every query runs with the sampling profiler attached, so the final
-// report includes the paper's Section 6.1 phase split, and the same
-// numbers are rendered in Prometheus text exposition format.
+//  - Demo mode (default): four continuous queries are registered from
+//    SQL text against a shared two-link LBL connection trace; the engine
+//    fans every arrival out to the queries bound to that link and
+//    executes each query on hash-partitioned shard workers. The final
+//    report includes the Section 6.1 phase split, and the same numbers
+//    are rendered in Prometheus exposition format (serve them with
+//    --listen <port>).
 //
-// Run from the build tree:  ./examples/engine_server
-// With a metrics endpoint:  ./examples/engine_server --listen 9090
-// then                      curl http://localhost:9090/metrics
-// Durable:                  ./examples/engine_server --durable-dir /tmp/upa
-// ...and after a crash, add --recover to resume from the last checkpoint.
+//  - Serve mode (--port <p>): the engine accepts remote clients speaking
+//    the binary wire protocol (see src/net/protocol.h): declarations,
+//    SQL registration, ingest, barriers, snapshots and pattern-aware
+//    result subscriptions. Pass --port 0 for an ephemeral port; the
+//    bound address is printed as "listening on 127.0.0.1:<port>". Pair
+//    with examples/engine_client, which drives the LBL workload over
+//    TCP and can differentially check the server against the reference
+//    evaluator.
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the ingest loop stops, the
-// shard queues drain through a flush barrier, a final checkpoint is
-// written (when durable), and the engine stops cleanly.
+// Both modes serve HTTP /metrics through the same net::Server poll loop
+// as the binary protocol -- there is exactly one socket implementation
+// in the tree.
+//
+//   ./examples/engine_server
+//   ./examples/engine_server --listen 9090          # then curl /metrics
+//   ./examples/engine_server --port 0               # wire-protocol server
+//   ./examples/engine_server --durable-dir /tmp/upa # WAL + checkpoints
+//   ...after a crash, add --recover to resume from the last checkpoint.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the ingest loop (or serve
+// loop) stops, the shard queues drain through a flush barrier, a final
+// checkpoint is written (when durable), and the engine stops cleanly.
+//
+// Unknown or malformed flags are rejected with a usage message and a
+// nonzero exit -- a typo must not silently run the wrong experiment.
 
+#include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/engine.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "workload/lbl_generator.h"
-
-#include <netinet/in.h>
-#include <sys/select.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 namespace {
 
@@ -54,54 +61,41 @@ volatile std::sig_atomic_t g_shutdown = 0;
 
 void OnSignal(int /*signum*/) { g_shutdown = 1; }
 
-// Minimal single-threaded HTTP responder: serves `render()` to every
-// connection for `seconds`, then returns. Good enough to demonstrate the
-// exposition format against a real scraper; not a production server.
-void ServeMetrics(int port, double seconds,
-                  const std::function<std::string()>& render) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("socket");
-    return;
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(fd, 8) < 0) {
-    std::perror("bind/listen");
-    ::close(fd);
-    return;
-  }
-  timeval tv{};
-  tv.tv_sec = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  std::printf("serving /metrics on http://localhost:%d for %.0f s\n", port,
-              seconds);
-  const auto deadline = upa::obs::NowNs() + static_cast<uint64_t>(seconds * 1e9);
-  while (upa::obs::NowNs() < deadline && g_shutdown == 0) {
-    // Accept with a timeout so the deadline is honored while idle.
-    fd_set rfds;
-    FD_ZERO(&rfds);
-    FD_SET(fd, &rfds);
-    timeval wait{};
-    wait.tv_sec = 1;
-    if (::select(fd + 1, &rfds, nullptr, nullptr, &wait) <= 0) continue;
-    const int conn = ::accept(fd, nullptr, nullptr);
-    if (conn < 0) continue;
-    char req[1024];
-    const ssize_t n = ::recv(conn, req, sizeof(req) - 1, 0);
-    const std::string request(req, n > 0 ? static_cast<size_t>(n) : 0);
-    // Malformed or hostile request lines get an error response (400/404/
-    // 405), never a crash — see HandleMetricsRequest and its tests.
-    const std::string resp = upa::HandleMetricsRequest(request, render);
-    (void)!::send(conn, resp.data(), resp.size(), 0);
-    ::close(conn);
-  }
-  ::close(fd);
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --port <p>            serve the binary wire protocol on port p\n"
+      "                        (0 = ephemeral; bound port is printed)\n"
+      "  --listen <p>          serve HTTP /metrics on port p\n"
+      "  --listen-seconds <s>  demo mode: keep /metrics up for s seconds\n"
+      "                        after the run (default 30)\n"
+      "  --serve-seconds <s>   serve mode: exit after s seconds\n"
+      "                        (default: run until SIGINT/SIGTERM)\n"
+      "  --durable-dir <dir>   enable WAL + checkpoints under dir\n"
+      "  --recover             resume from the last checkpoint in\n"
+      "                        --durable-dir instead of starting fresh\n"
+      "  --help                this message\n",
+      argv0);
+  return 1;
+}
+
+bool ParseInt(const char* s, long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const char* s, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace
@@ -109,49 +103,68 @@ void ServeMetrics(int port, double seconds,
 int main(int argc, char** argv) {
   using namespace upa;
 
-  int listen_port = 0;
+  long serve_port = -1;     // --port; -1 = demo mode.
+  long metrics_port = -1;   // --listen; -1 = disabled.
   double listen_seconds = 30.0;
+  double serve_seconds = 0.0;  // 0 = until signal.
   std::string durable_dir;
   bool recover = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
-      listen_port = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--listen-seconds") == 0 && i + 1 < argc) {
-      listen_seconds = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--durable-dir") == 0 && i + 1 < argc) {
+    const char* arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(arg, "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else if (std::strcmp(arg, "--port") == 0) {
+      if (!has_value || !ParseInt(argv[++i], &serve_port) || serve_port < 0 ||
+          serve_port > 65535) {
+        std::fprintf(stderr, "--port requires a port number (0-65535)\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--listen") == 0) {
+      if (!has_value || !ParseInt(argv[++i], &metrics_port) ||
+          metrics_port < 0 || metrics_port > 65535) {
+        std::fprintf(stderr, "--listen requires a port number (0-65535)\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--listen-seconds") == 0) {
+      if (!has_value || !ParseDouble(argv[++i], &listen_seconds) ||
+          listen_seconds < 0) {
+        std::fprintf(stderr, "--listen-seconds requires a duration\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--serve-seconds") == 0) {
+      if (!has_value || !ParseDouble(argv[++i], &serve_seconds) ||
+          serve_seconds < 0) {
+        std::fprintf(stderr, "--serve-seconds requires a duration\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--durable-dir") == 0) {
+      if (!has_value) {
+        std::fprintf(stderr, "--durable-dir requires a directory\n");
+        return Usage(argv[0]);
+      }
       durable_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--recover") == 0) {
+    } else if (std::strcmp(arg, "--recover") == 0) {
       recover = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage(argv[0]);
     }
   }
   if (recover && durable_dir.empty()) {
     std::fprintf(stderr, "--recover requires --durable-dir <dir>\n");
-    return 1;
+    return Usage(argv[0]);
   }
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
 
   EngineOptions opts;
   opts.default_shards = 4;
   opts.profile_queries = true;  // Section 6.1 phase split in the report.
   opts.durability.dir = durable_dir;
-
-  struct Spec {
-    const char* name;
-    const char* sql;
-  };
-  const std::vector<Spec> specs = {
-      {"telnet-pairs",
-       "SELECT link0.src_ip FROM link0 [RANGE 800], link1 [RANGE 800] "
-       "WHERE link0.src_ip = link1.src_ip AND link0.protocol = 2 AND "
-       "link1.protocol = 2"},
-      {"sources", "SELECT DISTINCT src_ip FROM link0 [RANGE 800]"},
-      {"proto-bytes",
-       "SELECT protocol, SUM(payload) FROM link1 [RANGE 800] "
-       "GROUP BY protocol"},
-      {"total", "SELECT COUNT(*) FROM link0 [RANGE 800]"},
-  };
 
   std::unique_ptr<Engine> engine_ptr;
   if (recover) {
@@ -168,6 +181,65 @@ int main(int argc, char** argv) {
     engine_ptr = std::make_unique<Engine>(opts);
   }
   Engine& engine = *engine_ptr;
+
+  // --- Serve mode: remote clients drive the engine over the wire. ---
+  if (serve_port >= 0) {
+    net::ServerOptions sopts;
+    sopts.port = static_cast<int>(serve_port);
+    sopts.metrics_port = static_cast<int>(metrics_port);
+    net::Server server(&engine, sopts);
+    std::string err;
+    if (!server.Start(&err)) {
+      std::fprintf(stderr, "server start failed: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("listening on 127.0.0.1:%d\n", server.port());
+    if (server.metrics_port() >= 0) {
+      std::printf("serving /metrics on http://127.0.0.1:%d/metrics\n",
+                  server.metrics_port());
+    }
+    std::fflush(stdout);  // Launchers parse the bound port from stdout.
+    const auto started = obs::NowNs();
+    while (g_shutdown == 0) {
+      if (serve_seconds > 0 &&
+          obs::NowNs() - started >
+              static_cast<uint64_t>(serve_seconds * 1e9)) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("shutting down...\n");
+    server.Stop();
+    engine.Flush();
+    if (!durable_dir.empty()) {
+      std::string cerr;
+      if (engine.Checkpoint(&cerr)) {
+        std::printf("final checkpoint written to %s\n", durable_dir.c_str());
+      } else {
+        std::fprintf(stderr, "final checkpoint failed: %s\n", cerr.c_str());
+      }
+    }
+    engine.Stop();
+    std::printf("graceful shutdown complete\n");
+    return 0;
+  }
+
+  // --- Demo mode: built-in LBL workload. ---
+  struct Spec {
+    const char* name;
+    const char* sql;
+  };
+  const std::vector<Spec> specs = {
+      {"telnet-pairs",
+       "SELECT link0.src_ip FROM link0 [RANGE 800], link1 [RANGE 800] "
+       "WHERE link0.src_ip = link1.src_ip AND link0.protocol = 2 AND "
+       "link1.protocol = 2"},
+      {"sources", "SELECT DISTINCT src_ip FROM link0 [RANGE 800]"},
+      {"proto-bytes",
+       "SELECT protocol, SUM(payload) FROM link1 [RANGE 800] "
+       "GROUP BY protocol"},
+      {"total", "SELECT COUNT(*) FROM link0 [RANGE 800]"},
+  };
 
   if (engine.catalog()->Find("link0") == nullptr) {
     // WAL-logged declarations (plain catalog calls when not durable).
@@ -238,18 +310,35 @@ int main(int argc, char** argv) {
   }
 
   // Prometheus text exposition: engine metrics plus whatever the process
-  // registered in the global registry.
-  auto render = [&engine] {
-    return engine.Metrics().ToPrometheus() +
-           obs::MetricsRegistry::Global().RenderPrometheus();
-  };
+  // registered in the global registry. Served through the same net
+  // machinery as the wire protocol (net::Server's default renderer).
   if (g_shutdown == 0) {
-    if (listen_port > 0) {
-      ServeMetrics(listen_port, listen_seconds, render);
+    if (metrics_port >= 0) {
+      net::ServerOptions sopts;
+      sopts.port = -1;  // /metrics only.
+      sopts.metrics_port = static_cast<int>(metrics_port);
+      net::Server server(&engine, sopts);
+      std::string err;
+      if (!server.Start(&err)) {
+        std::fprintf(stderr, "metrics server failed: %s\n", err.c_str());
+        return 1;
+      }
+      std::printf("serving /metrics on http://127.0.0.1:%d/metrics for "
+                  "%.0f s\n",
+                  server.metrics_port(), listen_seconds);
+      std::fflush(stdout);
+      const auto deadline =
+          obs::NowNs() + static_cast<uint64_t>(listen_seconds * 1e9);
+      while (obs::NowNs() < deadline && g_shutdown == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      server.Stop();
     } else {
       std::printf("\n--- /metrics exposition (run with --listen <port> to "
                   "serve over HTTP) ---\n%s",
-                  render().c_str());
+                  (engine.Metrics().ToPrometheus() +
+                   obs::MetricsRegistry::Global().RenderPrometheus())
+                      .c_str());
     }
   }
   // Graceful exit: the queues are drained (Flush above barriers every

@@ -54,6 +54,48 @@ if [[ "${UPA_ASAN:-0}" == "1" ]]; then
     -R 'KillRecoverTest|CorruptionTest' -j 1
 fi
 
+# Loopback smoke: a real engine_server process on an ephemeral port, a
+# real engine_client driving the LBL workload over TCP with --check (the
+# client exits nonzero if any barrier's subscriber mirror, Snapshot RPC,
+# or reference-oracle state disagree, or if a monotonic/WKS subscription
+# ever carries a negative tuple). Also pins the strict flag parsing:
+# unknown flags must be rejected with a nonzero exit.
+echo "ci.sh: loopback smoke"
+if "$BUILD_DIR/examples/engine_server" --bogus-flag >/dev/null 2>&1; then
+  echo "ci.sh: engine_server accepted an unknown flag" >&2
+  exit 1
+fi
+if "$BUILD_DIR/examples/engine_client" --port >/dev/null 2>&1; then
+  echo "ci.sh: engine_client accepted a malformed flag" >&2
+  exit 1
+fi
+SMOKE_LOG="$BUILD_DIR/net_smoke_server.log"
+"$BUILD_DIR/examples/engine_server" --port 0 --serve-seconds 120 \
+  >"$SMOKE_LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill -TERM "$SERVER_PID" 2>/dev/null || true' EXIT
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$SMOKE_LOG" | head -n1)
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "ci.sh: engine_server never reported its port" >&2
+  cat "$SMOKE_LOG" >&2
+  exit 1
+fi
+"$BUILD_DIR/examples/engine_client" --port "$PORT" --duration 2000 --check
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || true
+trap - EXIT
+grep -q "graceful shutdown complete" "$SMOKE_LOG" || {
+  echo "ci.sh: engine_server did not shut down gracefully" >&2
+  cat "$SMOKE_LOG" >&2
+  exit 1
+}
+
 # Smoke bench: one small Query 1 run through the JSON harness. Validates
 # the upa.bench.v1 schema and fails on a >2x regression of ms_per_1k
 # against the committed baseline (bench/baselines/BENCH_q1_smoke.json).

@@ -346,21 +346,35 @@ bool BarrierQuery(RegisteredQuery* q, Time ts,
 bool Engine::Flush() {
   FlushHeld();
   const Time ts = clock();
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> need_reset;
   bool ok = true;
-  for (const auto& q : registry_.queries()) {
-    ok = BarrierQuery(q.get(), ts, {}) && ok;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& q : registry_.queries()) {
+      if (BarrierQuery(q.get(), ts, {})) {
+        PublishBarrier(q.get(), ts, &need_reset);
+      } else {
+        ok = false;
+      }
+    }
   }
+  ResetSubscriptions(need_reset, ts);
   return ok;
 }
 
 bool Engine::FlushQuery(const std::string& name) {
   FlushHeld();
   const Time ts = clock();
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  RegisteredQuery* q = registry_.Find(name);
-  if (q == nullptr) return false;
-  return BarrierQuery(q, ts, {});
+  std::vector<std::string> need_reset;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    RegisteredQuery* q = registry_.Find(name);
+    if (q == nullptr) return false;
+    if (!BarrierQuery(q, ts, {})) return false;
+    PublishBarrier(q, ts, &need_reset);
+  }
+  ResetSubscriptions(need_reset, ts);
+  return true;
 }
 
 bool Engine::Snapshot(const std::string& name, std::vector<Tuple>* out,
@@ -369,21 +383,122 @@ bool Engine::Snapshot(const std::string& name, std::vector<Tuple>* out,
   out->clear();
   FlushHeld();
   const Time ts = std::max(at, clock());
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> need_reset;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    RegisteredQuery* q = registry_.Find(name);
+    if (q == nullptr) return false;
+    std::vector<std::vector<Tuple>> parts(
+        static_cast<size_t>(q->num_shards()));
+    if (!BarrierQuery(q, ts, [&parts](int shard, Pipeline& p) {
+          parts[static_cast<size_t>(shard)] = p.view().Snapshot();
+        })) {
+      return false;
+    }
+    PublishBarrier(q, ts, &need_reset);
+    for (auto& part : parts) {
+      out->insert(out->end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+    }
+  }
+  ResetSubscriptions(need_reset, ts);
+  return true;
+}
+
+void Engine::PublishBarrier(RegisteredQuery* q, Time ts,
+                            std::vector<std::string>* need_reset) {
+  SubscriptionHub& hub = q->hub();
+  if (!hub.active()) return;
+  if (hub.attached_restarts != q->TotalRestarts()) {
+    // Some replica was rebuilt by replay since the sinks were attached:
+    // the rebuilt pipeline carries no sink, so its subscribers have a
+    // delta gap. Schedule a snapshot reset (under the unique lock, after
+    // the shared section ends) instead of a watermark.
+    need_reset->push_back(q->name());
+  } else {
+    hub.EmitWatermark(ts);
+  }
+}
+
+void Engine::ResetSubscriptions(const std::vector<std::string>& names,
+                                Time ts) {
+  if (names.empty()) return;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const std::string& name : names) {
+    RegisteredQuery* q = registry_.Find(name);
+    if (q == nullptr) continue;
+    SubscriptionHub* hub = &q->hub();
+    if (!hub->active()) continue;
+    std::vector<std::vector<Tuple>> parts(
+        static_cast<size_t>(q->num_shards()));
+    if (!BarrierQuery(q, ts, [hub, &parts](int shard, Pipeline& p) {
+          p.SetDeltaSink([hub](const Tuple& t) {
+            if (hub->active()) hub->EmitDelta(t);
+          });
+          parts[static_cast<size_t>(shard)] = p.view().Snapshot();
+        })) {
+      continue;  // Unrecoverable shard: the next barrier will retry.
+    }
+    hub->attached_restarts = q->TotalRestarts();
+    std::vector<Tuple> snapshot;
+    for (auto& part : parts) {
+      snapshot.insert(snapshot.end(), std::make_move_iterator(part.begin()),
+                      std::make_move_iterator(part.end()));
+    }
+    hub->EmitReset(snapshot);
+  }
+}
+
+bool Engine::Subscribe(const std::string& name, SubscriptionCallback callback,
+                       SubscriptionInfo* info) {
+  FlushHeld();
+  const Time ts = clock();
+  // The unique lock blocks producers for the whole attach: after the
+  // barrier drains the shard queues nothing can emit, so there is no
+  // window between the snapshot capture and the callback attach in which
+  // a delta could be lost or duplicated.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   RegisteredQuery* q = registry_.Find(name);
   if (q == nullptr) return false;
-  std::vector<std::vector<Tuple>> parts(
-      static_cast<size_t>(q->num_shards()));
-  if (!BarrierQuery(q, ts, [&parts](int shard, Pipeline& p) {
+  SubscriptionHub* hub = &q->hub();
+  std::vector<std::vector<Tuple>> parts(static_cast<size_t>(q->num_shards()));
+  if (!BarrierQuery(q, ts, [hub, &parts](int shard, Pipeline& p) {
+        p.SetDeltaSink([hub](const Tuple& t) {
+          if (hub->active()) hub->EmitDelta(t);
+        });
         parts[static_cast<size_t>(shard)] = p.view().Snapshot();
       })) {
     return false;
   }
-  for (auto& part : parts) {
-    out->insert(out->end(), std::make_move_iterator(part.begin()),
-                std::make_move_iterator(part.end()));
+  hub->attached_restarts = q->TotalRestarts();
+  const uint64_t id =
+      next_subscription_id_.fetch_add(1, std::memory_order_relaxed);
+  if (info != nullptr) {
+    info->id = id;
+    info->query = name;
+    info->pattern = q->plan().pattern;
+    info->view_kind = q->view_delta_kind();
+    info->snapshot.clear();
+    for (auto& part : parts) {
+      info->snapshot.insert(info->snapshot.end(),
+                            std::make_move_iterator(part.begin()),
+                            std::make_move_iterator(part.end()));
+    }
   }
+  hub->Add(id, std::move(callback));
   return true;
+}
+
+const RegisteredQuery* Engine::FindQuery(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return registry_.Find(name);
+}
+
+bool Engine::Unsubscribe(const std::string& name, uint64_t id) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  RegisteredQuery* q = registry_.Find(name);
+  if (q == nullptr) return false;
+  return q->hub().Remove(id);
 }
 
 bool Engine::Checkpoint(std::string* error) {
@@ -801,6 +916,11 @@ EngineMetrics Engine::Metrics() const {
     qm.degraded = q->degraded.load(std::memory_order_relaxed);
     qm.degrade_events = q->degrade_events.load(std::memory_order_relaxed);
     qm.stall_events = q->stall_events.load(std::memory_order_relaxed);
+    const SubscriptionHub& hub = q->hub();
+    qm.subscribers = hub.Count();
+    qm.sub_deltas = hub.deltas_emitted.load(std::memory_order_relaxed);
+    qm.sub_watermarks = hub.watermarks_emitted.load(std::memory_order_relaxed);
+    qm.sub_resets = hub.resets_emitted.load(std::memory_order_relaxed);
     for (int i = 0; i < q->num_shards(); ++i) {
       ShardMetrics sm = q->shard(i).Metrics(i);
       qm.processed += sm.processed;

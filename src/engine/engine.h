@@ -16,6 +16,7 @@
 #include "engine/fault.h"
 #include "engine/metrics.h"
 #include "engine/registry.h"
+#include "engine/subscription.h"
 #include "sql/catalog.h"
 #include "workload/trace.h"
 
@@ -202,6 +203,32 @@ class Engine {
   bool Snapshot(const std::string& name, std::vector<Tuple>* out,
                 Time at = -1);
 
+  /// Attaches a result subscription to query `name` (the engine side of
+  /// the network layer's pattern-aware subscriptions; see
+  /// SubscriptionEvent for the event contract). The attach is atomic
+  /// with respect to ingest: registration is locked out, every shard is
+  /// barriered at the engine clock, the replica delta sinks are
+  /// installed and the view snapshot captured on the shard threads, and
+  /// only then is the callback added — so the snapshot in `info` plus
+  /// the subsequent delta stream reproduce the view exactly, with no
+  /// gap and no duplicate. Returns false for unknown queries or when
+  /// the barrier failed on an unrecoverably crashed shard.
+  ///
+  /// `callback` runs on engine-internal threads and must not call back
+  /// into the engine. Watermarks arrive at every successful
+  /// Flush/FlushQuery/Snapshot barrier; if a shard was killed and
+  /// recovered between barriers, the next barrier delivers a kReset
+  /// with a fresh snapshot instead (replay rebuilds replicas without
+  /// re-emitting deltas, so a reset is how a recovered shard's
+  /// subscribers are re-synchronized rather than corrupted).
+  bool Subscribe(const std::string& name, SubscriptionCallback callback,
+                 SubscriptionInfo* info);
+
+  /// Detaches subscription `id` from query `name`. On return no
+  /// callback for it is in flight and none will fire again. Returns
+  /// false if the query or id is unknown.
+  bool Unsubscribe(const std::string& name, uint64_t id);
+
   /// Durable, cross-shard-consistent checkpoint (see
   /// durability/checkpoint.h): barriers every durable query at one WAL
   /// cut, persists the horizon-truncated retained tuples and view
@@ -216,6 +243,12 @@ class Engine {
   const durability::RecoveryReport& recovery_report() const {
     return recovery_report_;
   }
+
+  /// Read-only handle to a registered query, or nullptr if unknown.
+  /// Queries are never removed, so the pointer stays valid for the
+  /// engine's lifetime (used by the network layer to report a query's
+  /// update pattern and view kind without copying metrics).
+  const RegisteredQuery* FindQuery(const std::string& name) const;
 
   /// Merged PipelineStats of a query's shards (barrier-free, may trail
   /// by one batch; call Flush first for exact totals).
@@ -269,6 +302,20 @@ class Engine {
   /// when results are observed.
   void FlushHeld();
   void WatchdogLoop();
+  /// Post-barrier subscription publication: emits the watermark to `q`'s
+  /// subscribers, or, when a shard restarted since the sinks were
+  /// attached (`hub.attached_restarts` trails TotalRestarts), records the
+  /// query in `need_reset` for ResetSubscriptions. Call with `mu_` held
+  /// (shared) after a successful barrier at `ts`.
+  void PublishBarrier(RegisteredQuery* q, Time ts,
+                      std::vector<std::string>* need_reset);
+  /// Re-synchronizes subscriptions after shard restarts: under the
+  /// unique registration lock (producers blocked, queues drained by the
+  /// barrier) re-installs the delta sinks, captures a fresh snapshot,
+  /// and emits kReset. No delta can race past the reset because nothing
+  /// can be emitting while the lock is held and the barrier has drained
+  /// every queue.
+  void ResetSubscriptions(const std::vector<std::string>& names, Time ts);
 
   const EngineOptions options_;
   SourceCatalog catalog_;
@@ -281,6 +328,7 @@ class Engine {
 
   std::atomic<Time> clock_{-1};
   std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> next_subscription_id_{1};
 
   // Watchdog (supervise mode).
   std::mutex watchdog_mu_;

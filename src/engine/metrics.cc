@@ -157,6 +157,14 @@ std::string EngineMetrics::ToPrometheus() const {
            static_cast<double>(q.degrade_events));
     series("upa_query_stall_events_total", "counter", l,
            static_cast<double>(q.stall_events));
+    series("upa_query_subscribers", "gauge", l,
+           static_cast<double>(q.subscribers));
+    series("upa_query_sub_events_total", "counter", l + ",kind=\"delta\"",
+           static_cast<double>(q.sub_deltas));
+    series("upa_query_sub_events_total", "counter", l + ",kind=\"watermark\"",
+           static_cast<double>(q.sub_watermarks));
+    series("upa_query_sub_events_total", "counter", l + ",kind=\"reset\"",
+           static_cast<double>(q.sub_resets));
     series("upa_query_delivered_total", "counter", l,
            static_cast<double>(q.stats.delivered));
     series("upa_query_negatives_total", "counter", l,

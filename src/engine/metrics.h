@@ -53,6 +53,12 @@ struct QueryMetrics {
   bool profiled = false;      ///< Any shard published a phase breakdown.
   obs::PhaseBreakdown phases; ///< Merged shard phase breakdowns.
 
+  // Result subscriptions (Engine::Subscribe / the network layer).
+  uint64_t subscribers = 0;     ///< Currently attached subscriptions.
+  uint64_t sub_deltas = 0;      ///< Delta events fanned out (lifetime).
+  uint64_t sub_watermarks = 0;  ///< Watermark events fanned out.
+  uint64_t sub_resets = 0;      ///< Post-recovery snapshot resets.
+
   double wall_seconds = 0.0;  ///< Since the query was registered.
   /// Processed tuples per wall second since registration.
   double tuples_per_second = 0.0;

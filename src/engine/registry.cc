@@ -94,6 +94,14 @@ uint64_t RegisteredQuery::TotalRestarts() const {
   return total;
 }
 
+ViewDeltaKind RegisteredQuery::view_delta_kind() const {
+  // Mirrors the physical planner's view choice: a group-by root gets a
+  // GroupArrayView (replace semantics, Section 5.3.2); everything else
+  // materializes a tuple multiset.
+  return plan_->kind == PlanOpKind::kGroupBy ? ViewDeltaKind::kGroupReplace
+                                             : ViewDeltaKind::kMultiset;
+}
+
 int RegisteredQuery::ShardOf(int stream_id, const Tuple& t) const {
   if (shards_.size() == 1) return 0;
   auto it = key_cols_.find(stream_id);

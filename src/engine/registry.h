@@ -12,6 +12,7 @@
 #include "core/partition.h"
 #include "core/physical_planner.h"
 #include "engine/shard.h"
+#include "engine/subscription.h"
 
 namespace upa {
 
@@ -95,6 +96,17 @@ class RegisteredQuery {
   /// Sum of shard restarts (crash recoveries).
   uint64_t TotalRestarts() const;
 
+  /// Fan-out point for result subscriptions (Engine::Subscribe). Always
+  /// present; inert (one atomic load per delivered result) until a
+  /// subscriber attaches.
+  SubscriptionHub& hub() { return hub_; }
+  const SubscriptionHub& hub() const { return hub_; }
+
+  /// How a subscriber must materialize this query's delta stream: plans
+  /// rooted at a group-by feed a GroupArrayView with (group, agg, count)
+  /// replace records; everything else is a tuple multiset.
+  ViewDeltaKind view_delta_kind() const;
+
  private:
   std::unique_ptr<Pipeline> MakeReplica() const;
 
@@ -108,6 +120,7 @@ class RegisteredQuery {
   std::map<int, int> key_cols_;  // stream id -> base partition column.
   std::vector<std::unique_ptr<ShardExecutor>> shards_;
   std::chrono::steady_clock::time_point registered_at_;
+  SubscriptionHub hub_;
 };
 
 /// Name-keyed collection of registered queries. Not thread-safe by

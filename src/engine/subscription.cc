@@ -1,0 +1,53 @@
+#include "engine/subscription.h"
+
+namespace upa {
+
+void SubscriptionHub::Add(uint64_t id, SubscriptionCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subs_[id] = std::move(callback);
+  active_.store(true, std::memory_order_release);
+}
+
+bool SubscriptionHub::Remove(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool erased = subs_.erase(id) > 0;
+  if (subs_.empty()) active_.store(false, std::memory_order_release);
+  return erased;
+}
+
+size_t SubscriptionHub::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subs_.size();
+}
+
+void SubscriptionHub::EmitDelta(const Tuple& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (subs_.empty()) return;
+  SubscriptionEvent ev;
+  ev.kind = SubscriptionEvent::Kind::kDelta;
+  ev.delta = t;
+  deltas_emitted.fetch_add(1, std::memory_order_relaxed);
+  for (auto& [id, cb] : subs_) cb(ev);
+}
+
+void SubscriptionHub::EmitWatermark(Time now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (subs_.empty()) return;
+  SubscriptionEvent ev;
+  ev.kind = SubscriptionEvent::Kind::kWatermark;
+  ev.time = now;
+  watermarks_emitted.fetch_add(1, std::memory_order_relaxed);
+  for (auto& [id, cb] : subs_) cb(ev);
+}
+
+void SubscriptionHub::EmitReset(const std::vector<Tuple>& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (subs_.empty()) return;
+  SubscriptionEvent ev;
+  ev.kind = SubscriptionEvent::Kind::kReset;
+  ev.snapshot = snapshot;
+  resets_emitted.fetch_add(1, std::memory_order_relaxed);
+  for (auto& [id, cb] : subs_) cb(ev);
+}
+
+}  // namespace upa

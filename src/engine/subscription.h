@@ -1,0 +1,130 @@
+#ifndef UPA_ENGINE_SUBSCRIPTION_H_
+#define UPA_ENGINE_SUBSCRIPTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+#include "core/update_pattern.h"
+#include "exec/view.h"
+
+namespace upa {
+
+/// One event on a subscription stream. The event kinds mirror the paper's
+/// update-pattern contract (Section 5.2): what a subscriber must absorb
+/// depends only on the plan root's pattern, which Engine::Subscribe
+/// reports in SubscriptionInfo.
+///
+///   kDelta      One output-stream tuple, exactly as the server-side view
+///               applied it. Monotonic and WKS roots never produce
+///               negative deltas (pinned by tests); WK roots produce
+///               exp-stamped positives whose expirations are predictable;
+///               only STR roots emit signed (negative) tuples. Group-by
+///               roots emit (group, agg, count) replace records
+///               (ViewDeltaKind::kGroupReplace).
+///   kWatermark  The engine clock advanced to `time` at a barrier. For
+///               WKS subscribers this implies FIFO expiry of every result
+///               with exp <= time; for WK subscribers it expires the
+///               predictable exp-stamped results; monotonic subscribers
+///               may ignore it.
+///   kReset      The subscribed query lost a shard between barriers (the
+///               fault-injection / durability layers restarted it from a
+///               replay, which rebuilds the replica without re-emitting
+///               deltas). `snapshot` is a fresh consistent snapshot of the
+///               whole view; the subscriber must discard its mirror and
+///               reload, after which deltas resume. This is how a killed
+///               and recovered shard is prevented from corrupting or
+///               duplicating a subscription stream.
+struct SubscriptionEvent {
+  enum class Kind : uint8_t { kDelta = 0, kWatermark = 1, kReset = 2 };
+
+  Kind kind = Kind::kDelta;
+  Tuple delta;                  ///< kDelta only.
+  Time time = 0;                ///< kWatermark: the new clock.
+  std::vector<Tuple> snapshot;  ///< kReset only.
+};
+
+/// What a subscriber learns when it attaches (Engine::Subscribe): the
+/// pattern contract of the delta stream, how the deltas must be
+/// materialized, and the consistent starting snapshot that the following
+/// deltas are relative to.
+struct SubscriptionInfo {
+  uint64_t id = 0;                ///< Handle for Engine::Unsubscribe.
+  std::string query;
+  UpdatePattern pattern = UpdatePattern::kMonotonic;
+  ViewDeltaKind view_kind = ViewDeltaKind::kMultiset;
+  std::vector<Tuple> snapshot;    ///< View contents at attach time.
+};
+
+/// Called for every event on a subscription, on an engine-internal thread
+/// (shard workers deliver deltas; the barrier caller delivers watermarks
+/// and resets). Callbacks are invoked under the hub lock, so they must be
+/// fast and must never call back into the Engine (Unsubscribe from
+/// another thread is fine and guarantees no in-flight callback on
+/// return).
+using SubscriptionCallback = std::function<void(const SubscriptionEvent&)>;
+
+/// Per-query fan-out point from the shard replicas' delta sinks to the
+/// attached subscribers. Owned by RegisteredQuery; all engine-side
+/// subscription state lives here so the hot path (EmitDelta from a shard
+/// worker) is one relaxed atomic load when nobody is subscribed.
+class SubscriptionHub {
+ public:
+  SubscriptionHub() = default;
+
+  SubscriptionHub(const SubscriptionHub&) = delete;
+  SubscriptionHub& operator=(const SubscriptionHub&) = delete;
+
+  /// True when at least one subscriber is attached (the shard delta sinks
+  /// check this before taking the lock).
+  bool active() const { return active_.load(std::memory_order_acquire); }
+
+  /// Adds a subscriber under `id`. The caller (Engine::Subscribe) has
+  /// already installed the delta sinks and captured the snapshot under a
+  /// barrier, so the first delta this subscriber observes is the first
+  /// one after its snapshot.
+  void Add(uint64_t id, SubscriptionCallback callback);
+
+  /// Removes a subscriber. On return no callback for `id` is in flight
+  /// and none will fire again. Returns false for unknown ids.
+  bool Remove(uint64_t id);
+
+  size_t Count() const;
+
+  /// Fans one view delta out to every subscriber. Called from shard
+  /// worker threads via Pipeline::SetDeltaSink.
+  void EmitDelta(const Tuple& t);
+
+  /// Fans a barrier watermark out (Engine::Flush family, after the
+  /// barrier succeeded).
+  void EmitWatermark(Time now);
+
+  /// Fans a reset (fresh snapshot) out after a shard restart.
+  void EmitReset(const std::vector<Tuple>& snapshot);
+
+  /// Shard-restart epoch the delta sinks were last attached under
+  /// (compared against RegisteredQuery::TotalRestarts at barriers; a
+  /// mismatch means some replica was rebuilt without a sink and the
+  /// subscribers need a reset). Guarded by the engine's registration
+  /// lock, not the hub mutex.
+  uint64_t attached_restarts = 0;
+
+  /// Lifetime counters, exposed via EngineMetrics.
+  std::atomic<uint64_t> deltas_emitted{0};
+  std::atomic<uint64_t> watermarks_emitted{0};
+  std::atomic<uint64_t> resets_emitted{0};
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, SubscriptionCallback> subs_;  // Guarded by mu_.
+  std::atomic<bool> active_{false};
+};
+
+}  // namespace upa
+
+#endif  // UPA_ENGINE_SUBSCRIPTION_H_

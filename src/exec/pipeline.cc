@@ -167,6 +167,7 @@ void Pipeline::DeliverToView(const Tuple& t) {
     ++stats_.results_pos;
   }
   if (view_ != nullptr) view_->Apply(t);
+  if (delta_sink_) delta_sink_(t);
 }
 
 void Pipeline::TickSampled(Time now) {
@@ -260,6 +261,7 @@ void Pipeline::DeliverToViewSampled(const Tuple& t) {
     view_->Apply(t);
     prof.EndOp(prof.view_index(), obs::Phase::kInsertion);
   }
+  if (delta_sink_) delta_sink_(t);
 }
 
 const ResultView& Pipeline::view() const {

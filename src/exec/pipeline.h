@@ -2,6 +2,7 @@
 #define UPA_EXEC_PIPELINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -146,6 +147,22 @@ class Pipeline {
   /// MONO/STR/group-by -> kLiveOnly.
   void EnableInvariantChecks(PatternInvariant invariant);
 
+  /// Installs (or clears, with an empty function) a delta sink: every
+  /// output-stream tuple the root delivers to the materialized view is
+  /// also handed to `sink`, after the view has applied it. This is the
+  /// subscription tap of the network layer -- the tuples a sink observes
+  /// are exactly the view's update stream, so they obey the same Section
+  /// 5.2 pattern contract the invariant checker asserts (a monotonic or
+  /// WKS root never produces a negative tuple, a group-by root emits
+  /// (group, agg, count) replace records). The sink runs on whatever
+  /// thread drives the pipeline (the shard worker); it must not call back
+  /// into the pipeline.
+  void SetDeltaSink(std::function<void(const Tuple&)> sink) {
+    delta_sink_ = std::move(sink);
+  }
+
+  bool has_delta_sink() const { return static_cast<bool>(delta_sink_); }
+
   /// Total operator + view state, for the memory experiments.
   size_t StateBytes() const;
   size_t StateTuples() const;
@@ -176,6 +193,7 @@ class Pipeline {
 
   std::vector<Node> nodes_;
   std::unique_ptr<ResultView> view_;
+  std::function<void(const Tuple&)> delta_sink_;
   std::multimap<int, std::pair<int, int>> stream_bindings_;  // id->(node,port)
   Time last_tick_ = -1;
   PipelineStats stats_;

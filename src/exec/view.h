@@ -1,6 +1,7 @@
 #ifndef UPA_EXEC_VIEW_H_
 #define UPA_EXEC_VIEW_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -10,6 +11,18 @@
 #include "state/buffer.h"
 
 namespace upa {
+
+/// How a remote mirror must interpret a view's delta stream (the tuples a
+/// Pipeline delta sink observes). Multiset views (BufferView) apply
+/// positive tuples as inserts and negative tuples as one-match deletes;
+/// group-array views (GroupArrayView) receive (group, agg, count)
+/// replace records where count = 0 drops the group. The network layer
+/// ships this tag in every subscription ack so a client materializer can
+/// reproduce the server-side view exactly.
+enum class ViewDeltaKind : uint8_t {
+  kMultiset = 0,      ///< Insert positives, erase one (fields, exp) match.
+  kGroupReplace = 1,  ///< (group, agg, count) replaces; count 0 removes.
+};
 
 /// A materialized view of a continuous query's answer set (Definition 2:
 /// the output of a non-monotonic query is a materialized view reflecting

@@ -1,0 +1,433 @@
+#include "net/client.h"
+
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <algorithm>
+
+namespace upa {
+namespace net {
+namespace {
+
+void SetError(std::string* error, std::string text) {
+  if (error != nullptr) *error = std::move(text);
+}
+
+}  // namespace
+
+// --- SubscriptionMirror ---
+
+SubscriptionMirror::SubscriptionMirror(uint64_t sub_id, std::string query,
+                                       UpdatePattern pattern,
+                                       ViewDeltaKind view_kind)
+    : sub_id_(sub_id),
+      query_(std::move(query)),
+      pattern_(pattern),
+      view_kind_(view_kind) {}
+
+void SubscriptionMirror::ApplySnapshot(const std::vector<Tuple>& rows,
+                                       Time at) {
+  rows_.clear();
+  groups_.clear();
+  if (view_kind_ == ViewDeltaKind::kGroupReplace) {
+    // Snapshot rows render as (group, agg), mirroring
+    // GroupArrayView::Snapshot.
+    for (const Tuple& t : rows) {
+      if (t.fields.size() == 2) groups_[t.fields[0]] = AsDouble(t.fields[1]);
+    }
+  } else {
+    rows_ = rows;
+  }
+  watermark_ = std::max(watermark_, at);
+}
+
+void SubscriptionMirror::ApplyDelta(const Tuple& t) {
+  if (dropped_) return;
+  ++deltas_applied_;
+  if (view_kind_ == ViewDeltaKind::kGroupReplace) {
+    // (group, agg, count) replace record -- GroupArrayView::Apply.
+    if (t.fields.size() != 3) return;
+    if (AsInt(t.fields[2]) == 0) {
+      groups_.erase(t.fields[0]);
+    } else {
+      groups_[t.fields[0]] = AsDouble(t.fields[1]);
+    }
+    return;
+  }
+  if (t.negative) {
+    ++negatives_applied_;
+    // One-match delete on (fields, exp) -- StateBuffer::EraseOneMatch.
+    for (auto it = rows_.begin(); it != rows_.end(); ++it) {
+      if (it->exp == t.exp && it->FieldsEqual(t)) {
+        rows_.erase(it);
+        return;
+      }
+    }
+    return;
+  }
+  rows_.push_back(t);
+}
+
+void SubscriptionMirror::ApplyWatermark(Time t) {
+  if (dropped_) return;
+  watermark_ = std::max(watermark_, t);
+  if (view_kind_ == ViewDeltaKind::kGroupReplace) return;
+  // Time-based maintenance at the barrier: a row is live while now < exp
+  // (Tuple::LiveAt), so everything with exp <= watermark leaves the view.
+  // This applies to STR too -- window expiry is exp-implied even there;
+  // negative deltas encode only the retroactive deletions.
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                             [t](const Tuple& r) { return !r.LiveAt(t); }),
+              rows_.end());
+}
+
+std::vector<Tuple> SubscriptionMirror::Rows() const {
+  if (view_kind_ != ViewDeltaKind::kGroupReplace) return rows_;
+  std::vector<Tuple> out;
+  out.reserve(groups_.size());
+  for (const auto& [group, agg] : groups_) {
+    Tuple t;
+    t.fields = {group, Value{agg}};
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+// --- Client ---
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  inbuf_.clear();
+  subs_.clear();
+}
+
+bool Client::Connect(const std::string& host, int port, std::string* error,
+                     const std::string& client_name) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    SetError(error, "socket: " + std::string(strerror(errno)));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Not a literal address: resolve (numeric service keeps this cheap).
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+        res == nullptr) {
+      SetError(error, "cannot resolve host '" + host + "'");
+      ::close(fd);
+      return false;
+    }
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    SetError(error, "connect " + host + ":" + std::to_string(port) + ": " +
+                        strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+
+  Message hello;
+  hello.type = MsgType::kHello;
+  hello.version = kProtocolVersion;
+  hello.name = client_name;
+  Message ack;
+  if (!Call(&hello, &ack, error)) {
+    Close();
+    return false;
+  }
+  if (ack.type != MsgType::kHelloAck || ack.version != kProtocolVersion) {
+    SetError(error, "handshake failed");
+    Close();
+    return false;
+  }
+  server_name_ = ack.name;
+  return true;
+}
+
+bool Client::SendAll(const std::string& bytes, std::string* error) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    SetError(error, "send: " + std::string(strerror(errno)));
+    return false;
+  }
+  return true;
+}
+
+int Client::ReadFrame(Message* out, int timeout_ms, std::string* error) {
+  for (;;) {
+    size_t consumed = 0;
+    const DecodeStatus st =
+        DecodeFrame(inbuf_.data(), inbuf_.size(), out, &consumed);
+    if (st == DecodeStatus::kOk) {
+      inbuf_.erase(0, consumed);
+      return 1;
+    }
+    if (st != DecodeStatus::kNeedMore) {
+      SetError(error, "corrupt frame from server");
+      return -1;
+    }
+    pollfd p{fd_, POLLIN, 0};
+    const int pr = ::poll(&p, 1, timeout_ms);
+    if (pr == 0) return 0;
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, "poll: " + std::string(strerror(errno)));
+      return -1;
+    }
+    char buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    SetError(error, n == 0 ? "server closed the connection"
+                           : "read: " + std::string(strerror(errno)));
+    return -1;
+  }
+}
+
+void Client::DispatchPush(const Message& m) {
+  auto it = subs_.find(m.sub_id);
+  if (it == subs_.end()) return;  // Already unsubscribed; stale push.
+  SubscriptionMirror* sub = it->second.get();
+  switch (m.type) {
+    case MsgType::kSubData:
+      for (const Tuple& t : m.tuples) sub->ApplyDelta(t);
+      break;
+    case MsgType::kSubWatermark:
+      sub->ApplyWatermark(m.time);
+      break;
+    case MsgType::kSubReset:
+      // Post-recovery resynchronization: the snapshot supersedes
+      // everything applied so far.
+      ++sub->resets_applied_;
+      sub->ApplySnapshot(m.tuples, sub->watermark_);
+      break;
+    case MsgType::kSubDropped:
+      sub->dropped_ = true;
+      break;
+    default:
+      break;
+  }
+}
+
+bool Client::Call(Message* req, Message* resp, std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected");
+    return false;
+  }
+  req->req_id = next_req_id_++;
+  if (!SendAll(EncodeFrame(*req), error)) return false;
+  for (;;) {
+    Message m;
+    const int r = ReadFrame(&m, -1, error);
+    if (r <= 0) return false;
+    if (m.req_id == 0) {
+      DispatchPush(m);
+      continue;
+    }
+    if (m.req_id != req->req_id) {
+      SetError(error, "response for unexpected request id");
+      return false;
+    }
+    if (m.type == MsgType::kError) {
+      SetError(error, m.text);
+      return false;
+    }
+    *resp = std::move(m);
+    return true;
+  }
+}
+
+int64_t Client::DeclareStream(const std::string& name, const Schema& schema,
+                              std::string* error) {
+  Message req;
+  req.type = MsgType::kDeclareStream;
+  req.name = name;
+  req.schema = schema;
+  Message resp;
+  if (!Call(&req, &resp, error) || resp.type != MsgType::kDeclareAck) {
+    return -1;
+  }
+  return resp.id;
+}
+
+int64_t Client::DeclareRelation(const std::string& name, const Schema& schema,
+                                bool retroactive, std::string* error) {
+  Message req;
+  req.type = MsgType::kDeclareRelation;
+  req.name = name;
+  req.schema = schema;
+  req.flag = retroactive;
+  Message resp;
+  if (!Call(&req, &resp, error) || resp.type != MsgType::kDeclareAck) {
+    return -1;
+  }
+  return resp.id;
+}
+
+bool Client::RegisterQuery(const std::string& name, const std::string& sql,
+                           int shards, ClientQueryInfo* info,
+                           std::string* error) {
+  Message req;
+  req.type = MsgType::kRegisterQuery;
+  req.name = name;
+  req.text = sql;
+  req.shards = shards > 0 ? static_cast<uint32_t>(shards) : 0;
+  Message resp;
+  if (!Call(&req, &resp, error) || resp.type != MsgType::kRegisterAck) {
+    return false;
+  }
+  if (info != nullptr) {
+    info->name = resp.name;
+    info->shards = static_cast<int>(resp.shards);
+    info->partitioned = resp.flag;
+    info->partition_note = resp.text;
+    info->pattern = static_cast<UpdatePattern>(resp.pattern);
+  }
+  return true;
+}
+
+bool Client::IngestBatch(
+    const std::vector<std::pair<uint32_t, Tuple>>& batch,
+    std::string* error) {
+  Message req;
+  req.type = MsgType::kIngestBatch;
+  req.batch = batch;
+  Message resp;
+  return Call(&req, &resp, error) && resp.type == MsgType::kIngestAck;
+}
+
+bool Client::Advance(Time now, std::string* error) {
+  Message req;
+  req.type = MsgType::kAdvance;
+  req.time = now;
+  Message resp;
+  return Call(&req, &resp, error) && resp.type == MsgType::kAdvanceAck;
+}
+
+bool Client::Flush(std::string* error) {
+  Message req;
+  req.type = MsgType::kFlush;
+  Message resp;
+  if (!Call(&req, &resp, error) || resp.type != MsgType::kFlushAck) {
+    return false;
+  }
+  if (!resp.flag) {
+    SetError(error, "engine barrier failed");
+    return false;
+  }
+  return true;
+}
+
+bool Client::Snapshot(const std::string& query, std::vector<Tuple>* out,
+                      Time* at, std::string* error) {
+  Message req;
+  req.type = MsgType::kSnapshotReq;
+  req.name = query;
+  Message resp;
+  if (!Call(&req, &resp, error) || resp.type != MsgType::kSnapshotResp) {
+    return false;
+  }
+  if (!resp.flag) {
+    SetError(error, "snapshot failed for query '" + query + "'");
+    return false;
+  }
+  if (out != nullptr) *out = std::move(resp.tuples);
+  if (at != nullptr) *at = resp.time;
+  return true;
+}
+
+SubscriptionMirror* Client::Subscribe(const std::string& query,
+                                      std::string* error) {
+  Message req;
+  req.type = MsgType::kSubscribe;
+  req.name = query;
+  Message resp;
+  if (!Call(&req, &resp, error) || resp.type != MsgType::kSubscribeAck ||
+      !resp.flag) {
+    return nullptr;
+  }
+  auto mirror = std::unique_ptr<SubscriptionMirror>(new SubscriptionMirror(
+      resp.sub_id, query, static_cast<UpdatePattern>(resp.pattern),
+      static_cast<ViewDeltaKind>(resp.view_kind)));
+  mirror->ApplySnapshot(resp.tuples, resp.time);
+  SubscriptionMirror* raw = mirror.get();
+  subs_[resp.sub_id] = std::move(mirror);
+  return raw;
+}
+
+bool Client::Unsubscribe(SubscriptionMirror* sub, std::string* error) {
+  if (sub == nullptr) return false;
+  Message req;
+  req.type = MsgType::kUnsubscribe;
+  req.name = sub->query();
+  req.sub_id = sub->sub_id();
+  Message resp;
+  const bool ok = Call(&req, &resp, error) &&
+                  resp.type == MsgType::kUnsubscribeAck && resp.flag;
+  subs_.erase(sub->sub_id());  // Invalidates `sub` either way.
+  return ok;
+}
+
+bool Client::Ping(std::string* error) {
+  Message req;
+  req.type = MsgType::kPing;
+  Message resp;
+  return Call(&req, &resp, error) && resp.type == MsgType::kPong;
+}
+
+bool Client::PollEvents(int timeout_ms, std::string* error) {
+  if (fd_ < 0) {
+    SetError(error, "not connected");
+    return false;
+  }
+  int wait = timeout_ms;
+  for (;;) {
+    Message m;
+    const int r = ReadFrame(&m, wait, error);
+    if (r < 0) return false;
+    if (r == 0) return true;
+    if (m.req_id == 0) {
+      DispatchPush(m);
+    } else {
+      SetError(error, "unsolicited response frame");
+      return false;
+    }
+    wait = 0;  // Drain whatever else is immediately available.
+  }
+}
+
+}  // namespace net
+}  // namespace upa

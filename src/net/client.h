@@ -1,0 +1,190 @@
+#ifndef UPA_NET_CLIENT_H_
+#define UPA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+#include "common/value.h"
+#include "core/update_pattern.h"
+#include "exec/view.h"
+#include "net/protocol.h"
+
+namespace upa {
+namespace net {
+
+/// What RegisterAck reports about a (possibly pre-existing) query.
+struct ClientQueryInfo {
+  std::string name;
+  int shards = 0;
+  bool partitioned = false;
+  std::string partition_note;
+  UpdatePattern pattern = UpdatePattern::kMonotonic;
+};
+
+/// Client-side materialization of one subscription: replays the server's
+/// pattern-aware event stream (snapshot, deltas, watermarks, resets)
+/// into a local mirror of the query's result view. The mirror equals the
+/// server-side view exactly at every watermark boundary -- that is the
+/// contract pinned by the networked differential tests.
+///
+/// Interpretation is driven by (view_kind, pattern), per Section 5.2:
+///  - kGroupReplace: deltas are (group, agg, count) replace records;
+///    count 0 drops the group; rows render as (group, agg).
+///  - kMultiset + kStrict: deltas are signed tuples; a negative erases
+///    its one (fields, exp) match. Watermarks are recorded but expire
+///    nothing (STR removal is complete via negatives).
+///  - kMultiset + others (MONO/WKS/WK): deltas are positive only (the
+///    server filters expiration negatives); a watermark w expires every
+///    row with exp <= w, reproducing the view's time-based maintenance.
+///
+/// Owned by the Client that created it; methods are only safe from the
+/// thread driving that Client (the client is blocking, not thread-safe).
+class SubscriptionMirror {
+ public:
+  uint64_t sub_id() const { return sub_id_; }
+  const std::string& query() const { return query_; }
+  UpdatePattern pattern() const { return pattern_; }
+  ViewDeltaKind view_kind() const { return view_kind_; }
+
+  /// Highest watermark (engine barrier time) applied so far.
+  Time watermark() const { return watermark_; }
+
+  /// True once the server pushed kSubDropped (slow-consumer policy). The
+  /// mirror stops updating; re-subscribe to resynchronize.
+  bool dropped() const { return dropped_; }
+
+  uint64_t deltas_applied() const { return deltas_applied_; }
+  /// Negative deltas applied (nonzero only for kStrict subscriptions --
+  /// the never-negative invariant for other patterns is pinned by tests
+  /// via this counter).
+  uint64_t negatives_applied() const { return negatives_applied_; }
+  /// kSubReset events applied (post-recovery resynchronizations).
+  uint64_t resets_applied() const { return resets_applied_; }
+
+  /// Copies out the mirrored live rows (order unspecified; group views
+  /// render as (group, agg) like GroupArrayView::Snapshot).
+  std::vector<Tuple> Rows() const;
+
+ private:
+  friend class Client;
+
+  SubscriptionMirror(uint64_t sub_id, std::string query,
+                     UpdatePattern pattern, ViewDeltaKind view_kind);
+
+  void ApplySnapshot(const std::vector<Tuple>& rows, Time at);
+  void ApplyDelta(const Tuple& t);
+  void ApplyWatermark(Time t);
+
+  const uint64_t sub_id_;
+  const std::string query_;
+  const UpdatePattern pattern_;
+  const ViewDeltaKind view_kind_;
+
+  Time watermark_ = -1;
+  bool dropped_ = false;
+  uint64_t deltas_applied_ = 0;
+  uint64_t negatives_applied_ = 0;
+  uint64_t resets_applied_ = 0;
+
+  std::vector<Tuple> rows_;          ///< kMultiset state.
+  std::map<Value, double> groups_;   ///< kGroupReplace state.
+};
+
+/// Blocking client for the engine's binary protocol. One socket, one
+/// driving thread: every request waits for its response, dispatching any
+/// interleaved subscription pushes to the mirrors on the way. Because
+/// the server publishes watermark/reset frames before acking a Flush,
+/// `Flush()` returning true implies every mirror is synchronized to the
+/// new barrier -- no separate wait is needed.
+///
+/// Not thread-safe; drive it from a single thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and performs the version handshake.
+  bool Connect(const std::string& host, int port,
+               std::string* error = nullptr,
+               const std::string& client_name = "upa-client");
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  /// Server name from the handshake.
+  const std::string& server_name() const { return server_name_; }
+
+  /// Declares (or idempotently re-finds) a source; returns its stream id
+  /// or -1.
+  int64_t DeclareStream(const std::string& name, const Schema& schema,
+                        std::string* error = nullptr);
+  int64_t DeclareRelation(const std::string& name, const Schema& schema,
+                          bool retroactive, std::string* error = nullptr);
+
+  /// Registers `sql` under `name` (shards 0 = server default). Safe to
+  /// repeat with identical SQL (reconnect to a recovered server).
+  bool RegisterQuery(const std::string& name, const std::string& sql,
+                     int shards = 0, ClientQueryInfo* info = nullptr,
+                     std::string* error = nullptr);
+
+  /// Ships a batch of (stream_id, tuple) arrivals. The server ingests
+  /// through Engine::Ingest, so durability (WAL) applies when enabled.
+  bool IngestBatch(const std::vector<std::pair<uint32_t, Tuple>>& batch,
+                   std::string* error = nullptr);
+
+  /// Advances the engine clock without an arrival.
+  bool Advance(Time now, std::string* error = nullptr);
+
+  /// Engine-wide barrier. On return every subscription mirror reflects
+  /// the barrier-time view (watermarks arrive before the ack).
+  bool Flush(std::string* error = nullptr);
+
+  /// Server-side barrier + full answer-set snapshot of `query`.
+  bool Snapshot(const std::string& query, std::vector<Tuple>* out,
+                Time* at = nullptr, std::string* error = nullptr);
+
+  /// Subscribes to `query`. The returned mirror is owned by this Client
+  /// (valid until Unsubscribe/Close) and starts synchronized to the
+  /// subscribe-time snapshot.
+  SubscriptionMirror* Subscribe(const std::string& query,
+                                std::string* error = nullptr);
+  bool Unsubscribe(SubscriptionMirror* sub, std::string* error = nullptr);
+
+  bool Ping(std::string* error = nullptr);
+
+  /// Drains subscription pushes the server sent on its own initiative
+  /// (delta batches cut at kDeltaBatchMax, drop notices) without issuing
+  /// a request. Returns false only on connection errors; waits up to
+  /// `timeout_ms` for the first frame (0 = only what is already
+  /// buffered/readable).
+  bool PollEvents(int timeout_ms = 0, std::string* error = nullptr);
+
+ private:
+  /// Sends `req` (stamping a fresh req_id) and blocks for the matching
+  /// response, dispatching req_id-0 pushes to mirrors. A kError response
+  /// fills `*error` and returns false.
+  bool Call(Message* req, Message* resp, std::string* error);
+  bool SendAll(const std::string& bytes, std::string* error);
+  /// Reads one frame. `timeout_ms` < 0 blocks indefinitely. Returns 1 on
+  /// frame, 0 on timeout, -1 on error/EOF.
+  int ReadFrame(Message* out, int timeout_ms, std::string* error);
+  void DispatchPush(const Message& m);
+
+  int fd_ = -1;
+  uint64_t next_req_id_ = 1;
+  std::string inbuf_;
+  std::string server_name_;
+  std::map<uint64_t, std::unique_ptr<SubscriptionMirror>> subs_;
+};
+
+}  // namespace net
+}  // namespace upa
+
+#endif  // UPA_NET_CLIENT_H_

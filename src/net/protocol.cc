@@ -1,0 +1,363 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "state/serde.h"
+
+namespace upa {
+namespace net {
+namespace {
+
+/// Largest tuple vector a decoder will reserve up front. Lengths are
+/// additionally validated against the remaining payload bytes (each
+/// tuple encoding is at least 18 bytes), so a corrupt count cannot
+/// trigger a huge allocation.
+constexpr size_t kMinTupleEncoding = 18;
+
+void PutSchema(std::string* out, const Schema& s) {
+  serde::PutU32(out, static_cast<uint32_t>(s.num_fields()));
+  for (const Field& f : s.fields()) {
+    serde::PutString(out, f.name);
+    serde::PutU8(out, static_cast<uint8_t>(f.type));
+  }
+}
+
+bool GetSchema(serde::Reader* r, Schema* out) {
+  uint32_t n = 0;
+  if (!r->GetU32(&n)) return false;
+  // Each field takes at least a length prefix + type byte.
+  if (n > r->remaining() / 5 + 1) return false;
+  std::vector<Field> fields;
+  fields.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Field f;
+    uint8_t type = 0;
+    if (!r->GetString(&f.name) || !r->GetU8(&type)) return false;
+    if (type > static_cast<uint8_t>(ValueType::kString)) return false;
+    f.type = static_cast<ValueType>(type);
+    fields.push_back(std::move(f));
+  }
+  *out = Schema(std::move(fields));
+  return true;
+}
+
+void PutTuples(std::string* out, const std::vector<Tuple>& tuples) {
+  serde::PutU32(out, static_cast<uint32_t>(tuples.size()));
+  for (const Tuple& t : tuples) serde::PutTuple(out, t);
+}
+
+bool GetTuples(serde::Reader* r, std::vector<Tuple>* out) {
+  uint32_t n = 0;
+  if (!r->GetU32(&n)) return false;
+  if (n > r->remaining() / kMinTupleEncoding + 1) return false;
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Tuple t;
+    if (!r->GetTuple(&t)) return false;
+    out->push_back(std::move(t));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodePayload(const Message& m) {
+  std::string out;
+  serde::PutU8(&out, static_cast<uint8_t>(m.type));
+  serde::PutU64(&out, m.req_id);
+  switch (m.type) {
+    case MsgType::kHello:
+    case MsgType::kHelloAck:
+      serde::PutU32(&out, m.version);
+      serde::PutString(&out, m.name);
+      break;
+    case MsgType::kError:
+      serde::PutString(&out, m.text);
+      break;
+    case MsgType::kDeclareStream:
+      serde::PutString(&out, m.name);
+      PutSchema(&out, m.schema);
+      break;
+    case MsgType::kDeclareRelation:
+      serde::PutString(&out, m.name);
+      PutSchema(&out, m.schema);
+      serde::PutU8(&out, m.flag ? 1 : 0);
+      break;
+    case MsgType::kDeclareAck:
+      serde::PutI64(&out, m.id);
+      break;
+    case MsgType::kRegisterQuery:
+      serde::PutString(&out, m.name);
+      serde::PutString(&out, m.text);
+      serde::PutU32(&out, m.shards);
+      break;
+    case MsgType::kRegisterAck:
+      serde::PutString(&out, m.name);
+      serde::PutU32(&out, m.shards);
+      serde::PutU8(&out, m.flag ? 1 : 0);
+      serde::PutString(&out, m.text);
+      serde::PutU8(&out, m.pattern);
+      break;
+    case MsgType::kIngestBatch:
+      serde::PutU32(&out, static_cast<uint32_t>(m.batch.size()));
+      for (const auto& [stream, tuple] : m.batch) {
+        serde::PutU32(&out, stream);
+        serde::PutTuple(&out, tuple);
+      }
+      break;
+    case MsgType::kIngestAck:
+      serde::PutI64(&out, m.id);
+      break;
+    case MsgType::kAdvance:
+      serde::PutI64(&out, m.time);
+      break;
+    case MsgType::kFlushAck:
+      serde::PutU8(&out, m.flag ? 1 : 0);
+      break;
+    case MsgType::kSnapshotReq:
+      serde::PutString(&out, m.name);
+      break;
+    case MsgType::kSnapshotResp:
+      serde::PutU8(&out, m.flag ? 1 : 0);
+      serde::PutI64(&out, m.time);
+      PutTuples(&out, m.tuples);
+      break;
+    case MsgType::kSubscribe:
+      serde::PutString(&out, m.name);
+      break;
+    case MsgType::kSubscribeAck:
+      serde::PutU8(&out, m.flag ? 1 : 0);
+      serde::PutU64(&out, m.sub_id);
+      serde::PutU8(&out, m.pattern);
+      serde::PutU8(&out, m.view_kind);
+      serde::PutI64(&out, m.time);
+      PutTuples(&out, m.tuples);
+      break;
+    case MsgType::kUnsubscribe:
+      serde::PutString(&out, m.name);
+      serde::PutU64(&out, m.sub_id);
+      break;
+    case MsgType::kUnsubscribeAck:
+      serde::PutU8(&out, m.flag ? 1 : 0);
+      break;
+    case MsgType::kSubData:
+    case MsgType::kSubReset:
+      serde::PutU64(&out, m.sub_id);
+      PutTuples(&out, m.tuples);
+      break;
+    case MsgType::kSubWatermark:
+      serde::PutU64(&out, m.sub_id);
+      serde::PutI64(&out, m.time);
+      break;
+    case MsgType::kSubDropped:
+      serde::PutU64(&out, m.sub_id);
+      break;
+    case MsgType::kAdvanceAck:
+    case MsgType::kFlush:
+    case MsgType::kPing:
+    case MsgType::kPong:
+      break;  // Empty body.
+  }
+  return out;
+}
+
+bool DecodePayload(const void* data, size_t size, Message* out) {
+  serde::Reader r(data, size);
+  uint8_t type = 0;
+  if (!r.GetU8(&type) || !r.GetU64(&out->req_id)) return false;
+  if (type < static_cast<uint8_t>(MsgType::kHello) ||
+      type > static_cast<uint8_t>(MsgType::kPong)) {
+    return false;
+  }
+  out->type = static_cast<MsgType>(type);
+  switch (out->type) {
+    case MsgType::kHello:
+    case MsgType::kHelloAck:
+      if (!r.GetU32(&out->version) || !r.GetString(&out->name)) return false;
+      break;
+    case MsgType::kError:
+      if (!r.GetString(&out->text)) return false;
+      break;
+    case MsgType::kDeclareStream:
+      if (!r.GetString(&out->name) || !GetSchema(&r, &out->schema)) {
+        return false;
+      }
+      break;
+    case MsgType::kDeclareRelation: {
+      uint8_t flag = 0;
+      if (!r.GetString(&out->name) || !GetSchema(&r, &out->schema) ||
+          !r.GetU8(&flag)) {
+        return false;
+      }
+      out->flag = flag != 0;
+      break;
+    }
+    case MsgType::kDeclareAck:
+      if (!r.GetI64(&out->id)) return false;
+      break;
+    case MsgType::kRegisterQuery:
+      if (!r.GetString(&out->name) || !r.GetString(&out->text) ||
+          !r.GetU32(&out->shards)) {
+        return false;
+      }
+      break;
+    case MsgType::kRegisterAck: {
+      uint8_t flag = 0;
+      if (!r.GetString(&out->name) || !r.GetU32(&out->shards) ||
+          !r.GetU8(&flag) || !r.GetString(&out->text) ||
+          !r.GetU8(&out->pattern)) {
+        return false;
+      }
+      out->flag = flag != 0;
+      break;
+    }
+    case MsgType::kIngestBatch: {
+      uint32_t n = 0;
+      if (!r.GetU32(&n)) return false;
+      if (n > r.remaining() / (kMinTupleEncoding + 4) + 1) return false;
+      out->batch.clear();
+      out->batch.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint32_t stream = 0;
+        Tuple t;
+        if (!r.GetU32(&stream) || !r.GetTuple(&t)) return false;
+        out->batch.emplace_back(stream, std::move(t));
+      }
+      break;
+    }
+    case MsgType::kIngestAck:
+      if (!r.GetI64(&out->id)) return false;
+      break;
+    case MsgType::kAdvance:
+      if (!r.GetI64(&out->time)) return false;
+      break;
+    case MsgType::kFlushAck: {
+      uint8_t flag = 0;
+      if (!r.GetU8(&flag)) return false;
+      out->flag = flag != 0;
+      break;
+    }
+    case MsgType::kSnapshotReq:
+      if (!r.GetString(&out->name)) return false;
+      break;
+    case MsgType::kSnapshotResp: {
+      uint8_t flag = 0;
+      if (!r.GetU8(&flag) || !r.GetI64(&out->time) ||
+          !GetTuples(&r, &out->tuples)) {
+        return false;
+      }
+      out->flag = flag != 0;
+      break;
+    }
+    case MsgType::kSubscribe:
+      if (!r.GetString(&out->name)) return false;
+      break;
+    case MsgType::kSubscribeAck: {
+      uint8_t flag = 0;
+      if (!r.GetU8(&flag) || !r.GetU64(&out->sub_id) ||
+          !r.GetU8(&out->pattern) || !r.GetU8(&out->view_kind) ||
+          !r.GetI64(&out->time) || !GetTuples(&r, &out->tuples)) {
+        return false;
+      }
+      out->flag = flag != 0;
+      break;
+    }
+    case MsgType::kUnsubscribe:
+      if (!r.GetString(&out->name) || !r.GetU64(&out->sub_id)) return false;
+      break;
+    case MsgType::kUnsubscribeAck: {
+      uint8_t flag = 0;
+      if (!r.GetU8(&flag)) return false;
+      out->flag = flag != 0;
+      break;
+    }
+    case MsgType::kSubData:
+    case MsgType::kSubReset:
+      if (!r.GetU64(&out->sub_id) || !GetTuples(&r, &out->tuples)) {
+        return false;
+      }
+      break;
+    case MsgType::kSubWatermark:
+      if (!r.GetU64(&out->sub_id) || !r.GetI64(&out->time)) return false;
+      break;
+    case MsgType::kSubDropped:
+      if (!r.GetU64(&out->sub_id)) return false;
+      break;
+    case MsgType::kAdvanceAck:
+    case MsgType::kFlush:
+    case MsgType::kPing:
+    case MsgType::kPong:
+      break;
+  }
+  // Trailing bytes are corruption, not padding.
+  return r.AtEnd();
+}
+
+std::string EncodeFrame(const Message& m) {
+  const std::string payload = EncodePayload(m);
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  serde::PutU32(&out, kMagic);
+  serde::PutU32(&out, static_cast<uint32_t>(payload.size()));
+  serde::PutU32(&out,
+                MaskCrc32c(Crc32c(payload.data(), payload.size())));
+  out += payload;
+  return out;
+}
+
+DecodeStatus DecodeFrame(const void* data, size_t size, Message* out,
+                         size_t* consumed) {
+  if (size < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  serde::Reader header(data, kFrameHeaderBytes);
+  uint32_t magic = 0, length = 0, crc = 0;
+  header.GetU32(&magic);
+  header.GetU32(&length);
+  header.GetU32(&crc);
+  if (magic != kMagic) return DecodeStatus::kCorrupt;
+  if (length > kMaxFrameBytes) return DecodeStatus::kTooLarge;
+  if (size < kFrameHeaderBytes + length) return DecodeStatus::kNeedMore;
+  const char* payload = static_cast<const char*>(data) + kFrameHeaderBytes;
+  if (MaskCrc32c(Crc32c(payload, length)) != crc) {
+    return DecodeStatus::kCorrupt;
+  }
+  if (!DecodePayload(payload, length, out)) return DecodeStatus::kCorrupt;
+  *consumed = kFrameHeaderBytes + length;
+  return DecodeStatus::kOk;
+}
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "Hello";
+    case MsgType::kHelloAck: return "HelloAck";
+    case MsgType::kError: return "Error";
+    case MsgType::kDeclareStream: return "DeclareStream";
+    case MsgType::kDeclareRelation: return "DeclareRelation";
+    case MsgType::kDeclareAck: return "DeclareAck";
+    case MsgType::kRegisterQuery: return "RegisterQuery";
+    case MsgType::kRegisterAck: return "RegisterAck";
+    case MsgType::kIngestBatch: return "IngestBatch";
+    case MsgType::kIngestAck: return "IngestAck";
+    case MsgType::kAdvance: return "Advance";
+    case MsgType::kAdvanceAck: return "AdvanceAck";
+    case MsgType::kFlush: return "Flush";
+    case MsgType::kFlushAck: return "FlushAck";
+    case MsgType::kSnapshotReq: return "SnapshotReq";
+    case MsgType::kSnapshotResp: return "SnapshotResp";
+    case MsgType::kSubscribe: return "Subscribe";
+    case MsgType::kSubscribeAck: return "SubscribeAck";
+    case MsgType::kUnsubscribe: return "Unsubscribe";
+    case MsgType::kUnsubscribeAck: return "UnsubscribeAck";
+    case MsgType::kSubData: return "SubData";
+    case MsgType::kSubWatermark: return "SubWatermark";
+    case MsgType::kSubReset: return "SubReset";
+    case MsgType::kSubDropped: return "SubDropped";
+    case MsgType::kPing: return "Ping";
+    case MsgType::kPong: return "Pong";
+  }
+  return "Unknown";
+}
+
+}  // namespace net
+}  // namespace upa

@@ -1,0 +1,143 @@
+#ifndef UPA_NET_PROTOCOL_H_
+#define UPA_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+
+namespace upa {
+namespace net {
+
+/// The engine's binary wire protocol.
+///
+/// Framing (everything little-endian, mirroring the WAL record format):
+///
+///   frame    := magic:u32 | length:u32 | crc:u32 | payload
+///   magic    := 0x4e415055 ("UPAN")
+///   length   := byte count of `payload` (bounded by kMaxFrameBytes)
+///   crc      := MaskCrc32c(Crc32c(payload))  -- masked like the WAL so a
+///               frame stored and re-framed does not CRC its own CRC
+///   payload  := type:u8 | req_id:u64 | body
+///
+/// The body grammar per message type is the serde encoding of the fields
+/// listed next to each MsgType below (see src/state/serde.h for the
+/// primitive encodings). Decoders must consume the payload exactly
+/// (serde::Reader::AtEnd); trailing bytes are corruption, not padding.
+///
+/// Conversation model: the client opens with kHello and must receive
+/// kHelloAck (version handshake) before anything else. After that the
+/// client sends requests with its own nonzero `req_id`s; the server
+/// answers each with exactly one response frame carrying the same
+/// req_id (kError for failures). Server-initiated subscription pushes
+/// (kSubData, kSubWatermark, kSubReset, kSubDropped) carry req_id 0 and
+/// may be interleaved between a request and its response; the blocking
+/// client dispatches them to subscription handles while waiting.
+
+inline constexpr uint32_t kMagic = 0x4e415055;  // "UPAN"
+inline constexpr uint32_t kProtocolVersion = 1;
+/// Hard frame cap: a length field above this is treated as corruption
+/// before any allocation happens.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+/// Bytes before the payload: magic, length, masked CRC.
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+enum class MsgType : uint8_t {
+  // Session establishment.
+  kHello = 1,         ///< version:u32, name:str (client name, advisory).
+  kHelloAck = 2,      ///< version:u32, name:str (server name).
+  kError = 3,         ///< text:str (response to the failing req_id).
+
+  // Catalog and registration.
+  kDeclareStream = 4,    ///< name:str, schema.
+  kDeclareRelation = 5,  ///< name:str, schema, flag:u8 (retroactive).
+  kDeclareAck = 6,       ///< id:i64 (stream id, -1 on failure).
+  kRegisterQuery = 7,    ///< name:str, text:str (SQL), shards:u32 (0=default).
+  kRegisterAck = 8,      ///< name:str, shards:u32, flag:u8 (partitioned),
+                         ///< text:str (partition note), pattern:u8.
+
+  // Data plane.
+  kIngestBatch = 9,   ///< batch: count:u32, (stream_id:u32, tuple)*.
+  kIngestAck = 10,    ///< id:i64 (tuples accepted).
+  kAdvance = 11,      ///< time:i64 (engine clock advance, no arrival).
+  kAdvanceAck = 12,   ///< (empty body).
+  kFlush = 13,        ///< (empty body) -- engine-wide barrier.
+  kFlushAck = 14,     ///< flag:u8 (barrier ok).
+  kSnapshotReq = 15,  ///< name:str (query).
+  kSnapshotResp = 16, ///< flag:u8 (ok), time:i64 (clock), tuples.
+
+  // Subscriptions (see SubscriptionEvent in src/engine/subscription.h
+  // for the pattern-aware semantics the pushes implement).
+  kSubscribe = 17,      ///< name:str (query).
+  kSubscribeAck = 18,   ///< flag:u8 (ok), sub_id:u64, pattern:u8,
+                        ///< view_kind:u8, time:i64 (snapshot clock),
+                        ///< tuples (starting snapshot).
+  kUnsubscribe = 19,    ///< name:str (query), sub_id:u64.
+  kUnsubscribeAck = 20, ///< flag:u8 (ok).
+  kSubData = 21,        ///< push: sub_id:u64, tuples (deltas, in order).
+  kSubWatermark = 22,   ///< push: sub_id:u64, time:i64.
+  kSubReset = 23,       ///< push: sub_id:u64, tuples (fresh snapshot).
+  kSubDropped = 24,     ///< push: sub_id:u64 (slow-consumer policy fired).
+
+  // Liveness.
+  kPing = 25,  ///< (empty body).
+  kPong = 26,  ///< (empty body).
+};
+
+/// One decoded protocol message: the type plus the union of every body
+/// field, flat (the WalRecord idiom -- only the fields the type's grammar
+/// lists are meaningful).
+struct Message {
+  MsgType type = MsgType::kError;
+  uint64_t req_id = 0;
+
+  uint32_t version = 0;   ///< kHello / kHelloAck.
+  std::string name;       ///< Source / query / peer name.
+  std::string text;       ///< SQL, error message, partition note.
+  Schema schema;          ///< Declarations.
+  bool flag = false;      ///< retroactive / ok / partitioned.
+  int64_t id = -1;        ///< Stream id / accepted count.
+  uint32_t shards = 0;    ///< kRegisterQuery / kRegisterAck.
+  uint8_t pattern = 0;    ///< UpdatePattern of the registered plan.
+  uint8_t view_kind = 0;  ///< ViewDeltaKind for materializing deltas.
+  uint64_t sub_id = 0;    ///< Subscription handle.
+  int64_t time = 0;       ///< Clock advance / watermark.
+  std::vector<std::pair<uint32_t, Tuple>> batch;  ///< kIngestBatch.
+  std::vector<Tuple> tuples;  ///< Snapshots, deltas, resets.
+};
+
+/// Encodes `m` as one complete frame (header + CRC + payload).
+std::string EncodeFrame(const Message& m);
+
+/// Incremental decode outcome. kNeedMore: the buffer holds only a frame
+/// prefix -- read more bytes and retry. kCorrupt / kTooLarge are
+/// unrecoverable for the connection: framing is byte-positional, so a
+/// bad magic, CRC mismatch, malformed body, or oversized length means
+/// the stream can never be resynchronized and must be closed (mirroring
+/// the WAL's treatment of a corrupt record as the end of the readable
+/// prefix).
+enum class DecodeStatus { kOk, kNeedMore, kCorrupt, kTooLarge };
+
+/// Decodes the first complete frame of `data`. On kOk fills `out` and
+/// sets `consumed` to the frame's total byte count (the caller erases
+/// that prefix and calls again -- a buffer may hold several frames). On
+/// any other status `out` and `consumed` are unspecified.
+DecodeStatus DecodeFrame(const void* data, size_t size, Message* out,
+                         size_t* consumed);
+
+/// Body-level codec, exposed for tests: EncodePayload is everything
+/// after the frame header; DecodePayload requires the exact payload
+/// (returns false on truncation, trailing bytes, unknown type, or
+/// malformed body).
+std::string EncodePayload(const Message& m);
+bool DecodePayload(const void* data, size_t size, Message* out);
+
+const char* MsgTypeName(MsgType t);
+
+}  // namespace net
+}  // namespace upa
+
+#endif  // UPA_NET_PROTOCOL_H_

@@ -1,0 +1,703 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+
+namespace upa {
+namespace net {
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Drains a self-pipe (reads and discards whatever is buffered).
+void DrainPipe(int fd) {
+  char buf[256];
+  while (::read(fd, buf, sizeof(buf)) > 0) {
+  }
+}
+
+void Poke(int fd) {
+  const char b = 1;
+  // The pipe is non-blocking; a full pipe already guarantees a wakeup.
+  (void)!::write(fd, &b, 1);
+}
+
+Message MakeError(uint64_t req_id, std::string text) {
+  Message m;
+  m.type = MsgType::kError;
+  m.req_id = req_id;
+  m.text = std::move(text);
+  return m;
+}
+
+}  // namespace
+
+Server::Server(Engine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  UPA_CHECK(engine_ != nullptr);
+}
+
+Server::~Server() { Stop(); }
+
+int Server::OpenListener(int port, std::string* error, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, options_.bind.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad bind address: " + options_.bind;
+    ::close(fd);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    if (error != nullptr) {
+      *error = "bind/listen " + options_.bind + ":" + std::to_string(port) +
+               ": " + strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    *bound_port = ntohs(bound.sin_port);
+  }
+  SetNonBlocking(fd);
+  return fd;
+}
+
+bool Server::Start(std::string* error) {
+  if (running_.load(std::memory_order_acquire)) return true;
+  if (options_.port < 0 && options_.metrics_port < 0) {
+    if (error != nullptr) *error = "both listeners disabled";
+    return false;
+  }
+  if (::pipe(poll_pipe_) != 0 || ::pipe(writer_pipe_) != 0) {
+    if (error != nullptr) *error = "pipe: " + std::string(strerror(errno));
+    return false;
+  }
+  for (int fd : {poll_pipe_[0], poll_pipe_[1], writer_pipe_[0],
+                 writer_pipe_[1]}) {
+    SetNonBlocking(fd);
+  }
+  if (options_.port >= 0) {
+    listen_fd_ = OpenListener(options_.port, error, &port_);
+    if (listen_fd_ < 0) return false;
+  }
+  if (options_.metrics_port >= 0) {
+    metrics_fd_ = OpenListener(options_.metrics_port, error, &metrics_port_);
+    if (metrics_fd_ < 0) {
+      if (listen_fd_ >= 0) ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+  }
+  stopping_.store(false, std::memory_order_release);
+  poll_exited_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  poll_thread_ = std::thread([this] { PollLoop(); });
+  writer_thread_ = std::thread([this] { WriterLoop(); });
+  return true;
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Release any engine thread blocked on a session's send cap before
+  // joining: a poll thread stuck in an engine barrier can only return
+  // once the blocked emitters are freed.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& [id, s] : sessions_) s->MarkClosed();
+  }
+  WakePoll();
+  WakeWriter();
+  if (poll_thread_.joinable()) poll_thread_.join();
+  if (writer_thread_.joinable()) writer_thread_.join();
+  // The threads are gone; tear the sessions down on this thread.
+  std::map<uint64_t, std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (auto& [id, s] : sessions) {
+    s->MarkClosed();
+    for (const auto& [sub_id, query] : s->engine_subs) {
+      engine_->Unsubscribe(query, sub_id);
+    }
+    s->engine_subs.clear();
+    closed_frames_in_.fetch_add(s->frames_in.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+    closed_frames_out_.fetch_add(
+        s->frames_out.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    closed_bytes_in_.fetch_add(s->bytes_in.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+    closed_bytes_out_.fetch_add(s->bytes_out.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+    closed_slow_drops_.fetch_add(
+        s->slow_drops.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  for (int* fd : {&listen_fd_, &metrics_fd_, &poll_pipe_[0], &poll_pipe_[1],
+                  &writer_pipe_[0], &writer_pipe_[1]}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+}
+
+void Server::WakePoll() { Poke(poll_pipe_[1]); }
+void Server::WakeWriter() { Poke(writer_pipe_[1]); }
+
+void Server::AcceptPending(int listen_fd, Session::Kind kind) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or error: nothing more to accept.
+    size_t active = 0;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      active = sessions_.size();
+    }
+    if (active >= static_cast<size_t>(options_.max_sessions)) {
+      ::close(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto session = std::make_shared<Session>(
+        next_session_id_++, fd, kind, options_.slow_consumer,
+        options_.send_cap_bytes, [this] { WakeWriter(); },
+        [this] { WakePoll(); });
+    sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_[session->id()] = session;
+  }
+}
+
+bool Server::ReadSession(const std::shared_ptr<Session>& s) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(s->fd(), buf, sizeof(buf));
+    if (n > 0) {
+      s->in.append(buf, static_cast<size_t>(n));
+      s->bytes_in.fetch_add(static_cast<uint64_t>(n),
+                            std::memory_order_relaxed);
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) return false;  // Peer closed.
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return s->kind() == Session::Kind::kBinary ? HandleBinaryInput(s)
+                                             : HandleHttpInput(s);
+}
+
+bool Server::HandleBinaryInput(const std::shared_ptr<Session>& s) {
+  size_t off = 0;
+  bool ok = true;
+  while (ok) {
+    Message m;
+    size_t consumed = 0;
+    const DecodeStatus status =
+        DecodeFrame(s->in.data() + off, s->in.size() - off, &m, &consumed);
+    if (status == DecodeStatus::kNeedMore) break;
+    if (status != DecodeStatus::kOk) {
+      // Framing is byte-positional: a corrupt frame means the stream can
+      // never be resynchronized. Tell the client why, then drain-close.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      s->QueueResponse(MakeError(0, status == DecodeStatus::kTooLarge
+                                        ? "frame exceeds size limit"
+                                        : "corrupt frame"));
+      s->CloseAfterDrain();
+      ok = false;
+      break;
+    }
+    off += consumed;
+    s->frames_in.fetch_add(1, std::memory_order_relaxed);
+    ok = HandleRequest(s, std::move(m));
+  }
+  if (off > 0) s->in.erase(0, off);
+  return ok;
+}
+
+bool Server::HandleHttpInput(const std::shared_ptr<Session>& s) {
+  // Answer once the header block is complete (or clearly hostile).
+  if (s->in.find("\r\n\r\n") == std::string::npos && s->in.size() < 8192 &&
+      !s->in.empty()) {
+    // Also answer bare "GET /metrics\n"-style probes once a newline is
+    // seen: HandleMetricsRequest only needs the request line.
+    if (s->in.find('\n') == std::string::npos) return true;
+  }
+  if (s->in.empty()) return true;
+  const std::string response = HandleMetricsRequest(
+      s->in, options_.metrics_render ? options_.metrics_render
+                                     : metrics_render_);
+  s->QueueBytes(response);
+  s->CloseAfterDrain();
+  s->in.clear();
+  return true;
+}
+
+bool Server::HandleRequest(const std::shared_ptr<Session>& s, Message&& m) {
+  if (!s->handshaken && m.type != MsgType::kHello) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    s->QueueResponse(MakeError(m.req_id, "handshake required"));
+    s->CloseAfterDrain();
+    return false;
+  }
+  switch (m.type) {
+    case MsgType::kHello: {
+      if (m.version != kProtocolVersion) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        s->QueueResponse(MakeError(
+            m.req_id, "unsupported protocol version " +
+                          std::to_string(m.version) + " (server speaks " +
+                          std::to_string(kProtocolVersion) + ")"));
+        s->CloseAfterDrain();
+        return false;
+      }
+      s->handshaken = true;
+      Message ack;
+      ack.type = MsgType::kHelloAck;
+      ack.req_id = m.req_id;
+      ack.version = kProtocolVersion;
+      ack.name = options_.server_name;
+      s->QueueResponse(ack);
+      return true;
+    }
+    case MsgType::kDeclareStream:
+    case MsgType::kDeclareRelation: {
+      const bool is_stream = m.type == MsgType::kDeclareStream;
+      const SourceDecl* existing = engine_->catalog()->Find(m.name);
+      int64_t id = -1;
+      if (existing != nullptr) {
+        // Idempotent re-declaration (a client reconnecting to a durable
+        // server finds its sources restored): same shape => same id.
+        const SourceKind want =
+            is_stream ? SourceKind::kStream
+                      : (m.flag ? SourceKind::kRelation : SourceKind::kNrr);
+        if (existing->kind == want && existing->schema == m.schema) {
+          id = existing->stream_id;
+        } else {
+          s->QueueResponse(MakeError(
+              m.req_id, "source '" + m.name +
+                            "' already declared with a different shape"));
+          return true;
+        }
+      } else {
+        id = is_stream
+                 ? engine_->DeclareStream(m.name, m.schema)
+                 : engine_->DeclareRelation(m.name, m.schema, m.flag);
+      }
+      if (id < 0) {
+        s->QueueResponse(MakeError(m.req_id, "declaration failed"));
+        return true;
+      }
+      Message ack;
+      ack.type = MsgType::kDeclareAck;
+      ack.req_id = m.req_id;
+      ack.id = id;
+      s->QueueResponse(ack);
+      return true;
+    }
+    case MsgType::kRegisterQuery: {
+      Message ack;
+      ack.type = MsgType::kRegisterAck;
+      ack.req_id = m.req_id;
+      if (const RegisteredQuery* q = engine_->FindQuery(m.name)) {
+        // Idempotent re-registration against a recovered server.
+        if (q->sql() != m.text) {
+          s->QueueResponse(MakeError(
+              m.req_id, "query '" + m.name +
+                            "' already registered with different SQL"));
+          return true;
+        }
+        ack.name = m.name;
+        ack.shards = static_cast<uint32_t>(q->num_shards());
+        ack.flag = q->scheme().partitionable;
+        ack.text = q->scheme().ToString();
+        ack.pattern = static_cast<uint8_t>(q->plan().pattern);
+        s->QueueResponse(ack);
+        return true;
+      }
+      QueryOptions qopts;
+      qopts.shards = static_cast<int>(m.shards);
+      const RegisterResult r = engine_->RegisterSql(m.name, m.text, qopts);
+      if (!r.ok) {
+        s->QueueResponse(MakeError(m.req_id, r.error));
+        return true;
+      }
+      const RegisteredQuery* q = engine_->FindQuery(m.name);
+      ack.name = r.name;
+      ack.shards = static_cast<uint32_t>(r.shards);
+      ack.flag = r.partitioned;
+      ack.text = r.partition_note;
+      ack.pattern =
+          q != nullptr ? static_cast<uint8_t>(q->plan().pattern) : 0;
+      s->QueueResponse(ack);
+      return true;
+    }
+    case MsgType::kIngestBatch: {
+      // Server-side ingest goes through Engine::Ingest, so it is WAL-
+      // logged before routing when durability is on -- a networked
+      // producer gets the same crash guarantees as an in-process one.
+      for (const auto& [stream, tuple] : m.batch) {
+        engine_->Ingest(static_cast<int>(stream), tuple);
+      }
+      Message ack;
+      ack.type = MsgType::kIngestAck;
+      ack.req_id = m.req_id;
+      ack.id = static_cast<int64_t>(m.batch.size());
+      s->QueueResponse(ack);
+      return true;
+    }
+    case MsgType::kAdvance: {
+      engine_->AdvanceTo(m.time);
+      Message ack;
+      ack.type = MsgType::kAdvanceAck;
+      ack.req_id = m.req_id;
+      s->QueueResponse(ack);
+      return true;
+    }
+    case MsgType::kFlush: {
+      Message ack;
+      ack.type = MsgType::kFlushAck;
+      ack.req_id = m.req_id;
+      // Watermarks (and any post-recovery resets) are published to the
+      // session buffers inside Flush, before this ack is queued, so the
+      // client observes them first.
+      ack.flag = engine_->Flush();
+      s->QueueResponse(ack);
+      return true;
+    }
+    case MsgType::kSnapshotReq: {
+      Message resp;
+      resp.type = MsgType::kSnapshotResp;
+      resp.req_id = m.req_id;
+      resp.flag = engine_->Snapshot(m.name, &resp.tuples);
+      resp.time = engine_->clock();
+      s->QueueResponse(resp);
+      return true;
+    }
+    case MsgType::kSubscribe:
+      HandleSubscribe(s, m);
+      return true;
+    case MsgType::kUnsubscribe: {
+      Message ack;
+      ack.type = MsgType::kUnsubscribeAck;
+      ack.req_id = m.req_id;
+      ack.flag = engine_->Unsubscribe(m.name, m.sub_id);
+      s->RemoveSub(m.sub_id);
+      s->engine_subs.erase(m.sub_id);
+      s->QueueResponse(ack);
+      return true;
+    }
+    case MsgType::kPing: {
+      Message pong;
+      pong.type = MsgType::kPong;
+      pong.req_id = m.req_id;
+      s->QueueResponse(pong);
+      return true;
+    }
+    default: {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      s->QueueResponse(MakeError(
+          m.req_id, std::string("unexpected message type ") +
+                        MsgTypeName(m.type)));
+      s->CloseAfterDrain();
+      return false;
+    }
+  }
+}
+
+void Server::HandleSubscribe(const std::shared_ptr<Session>& s,
+                             const Message& m) {
+  // The engine assigns the subscription id inside Subscribe, but deltas
+  // may start flowing the instant Subscribe returns -- before this
+  // thread can register the id with the session. The channel bridges
+  // that window: events arriving before it is armed are buffered, then
+  // replayed in order (the hub serializes emissions, so ordering is
+  // preserved end to end).
+  struct SubChannel {
+    std::mutex mu;
+    bool armed = false;
+    uint64_t sub_id = 0;
+    std::shared_ptr<Session> session;
+    std::vector<SubscriptionEvent> backlog;
+  };
+  auto ch = std::make_shared<SubChannel>();
+  ch->session = s;
+  SubscriptionInfo info;
+  const bool ok = engine_->Subscribe(
+      m.name,
+      [ch](const SubscriptionEvent& ev) {
+        std::unique_lock<std::mutex> lock(ch->mu);
+        if (!ch->armed) {
+          ch->backlog.push_back(ev);
+          return;
+        }
+        const uint64_t id = ch->sub_id;
+        lock.unlock();
+        ch->session->OnSubEvent(id, ev);
+      },
+      &info);
+  if (!ok) {
+    s->QueueResponse(MakeError(m.req_id, "unknown query '" + m.name + "'"));
+    return;
+  }
+  s->AddSub(info.id, info.pattern);
+  s->engine_subs[info.id] = m.name;
+  // Ack (with the starting snapshot) before draining the backlog, so the
+  // client sees the subscription exist before its first delta.
+  Message ack;
+  ack.type = MsgType::kSubscribeAck;
+  ack.req_id = m.req_id;
+  ack.flag = true;
+  ack.sub_id = info.id;
+  ack.pattern = static_cast<uint8_t>(info.pattern);
+  ack.view_kind = static_cast<uint8_t>(info.view_kind);
+  ack.time = engine_->clock();
+  ack.tuples = std::move(info.snapshot);
+  s->QueueResponse(ack);
+  {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    ch->armed = true;
+    ch->sub_id = info.id;
+    for (const SubscriptionEvent& ev : ch->backlog) {
+      s->OnSubEvent(info.id, ev);
+    }
+    ch->backlog.clear();
+  }
+}
+
+void Server::ReapDropped(const std::shared_ptr<Session>& s) {
+  for (uint64_t sub_id : s->TakeDropped()) {
+    auto it = s->engine_subs.find(sub_id);
+    if (it == s->engine_subs.end()) continue;
+    engine_->Unsubscribe(it->second, sub_id);
+    s->engine_subs.erase(it);
+  }
+}
+
+void Server::CloseSession(const std::shared_ptr<Session>& s) {
+  s->MarkClosed();
+  for (const auto& [sub_id, query] : s->engine_subs) {
+    engine_->Unsubscribe(query, sub_id);
+  }
+  s->engine_subs.clear();
+  closed_frames_in_.fetch_add(s->frames_in.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+  closed_frames_out_.fetch_add(s->frames_out.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+  closed_bytes_in_.fetch_add(s->bytes_in.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+  closed_bytes_out_.fetch_add(s->bytes_out.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+  closed_slow_drops_.fetch_add(s->slow_drops.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(s->id());
+}
+
+void Server::PollLoop() {
+  metrics_render_ = [this] {
+    return engine_->Metrics().ToPrometheus() +
+           obs::MetricsRegistry::Global().RenderPrometheus();
+  };
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Session>> polled;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    polled.clear();
+    fds.push_back({poll_pipe_[0], POLLIN, 0});
+    if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+    if (metrics_fd_ >= 0) fds.push_back({metrics_fd_, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (auto& [id, s] : sessions_) {
+        if (s->closed() || s->close_after_drain()) continue;
+        polled.push_back(s);
+        fds.push_back({s->fd(), POLLIN, 0});
+      }
+    }
+    const int n = ::poll(fds.data(), fds.size(), 100);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    size_t idx = 0;
+    if (fds[idx].revents & POLLIN) DrainPipe(poll_pipe_[0]);
+    ++idx;
+    if (listen_fd_ >= 0) {
+      if (fds[idx].revents & POLLIN) {
+        AcceptPending(listen_fd_, Session::Kind::kBinary);
+      }
+      ++idx;
+    }
+    if (metrics_fd_ >= 0) {
+      if (fds[idx].revents & POLLIN) {
+        AcceptPending(metrics_fd_, Session::Kind::kHttp);
+      }
+      ++idx;
+    }
+    if (n > 0) {
+      for (size_t i = 0; i < polled.size(); ++i) {
+        const short re = fds[idx + i].revents;
+        if (re == 0) continue;
+        if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          if (!ReadSession(polled[i])) {
+            if (!polled[i]->close_after_drain()) CloseSession(polled[i]);
+          }
+        }
+      }
+    }
+    // Housekeeping: flush idle delta batches, unsubscribe slow-consumer
+    // drops, reap dead sessions, refresh exported metrics.
+    std::vector<std::shared_ptr<Session>> all;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      all.reserve(sessions_.size());
+      for (auto& [id, s] : sessions_) all.push_back(s);
+    }
+    for (auto& s : all) {
+      if (s->kind() == Session::Kind::kBinary) {
+        s->FlushPending();
+        ReapDropped(s);
+      }
+      if (s->closed()) CloseSession(s);
+    }
+    ExportMetrics();
+  }
+  poll_exited_.store(true, std::memory_order_release);
+  WakeWriter();
+}
+
+void Server::WriterLoop() {
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Session>> writable;
+  while (!(stopping_.load(std::memory_order_acquire) &&
+           poll_exited_.load(std::memory_order_acquire))) {
+    fds.clear();
+    writable.clear();
+    fds.push_back({writer_pipe_[0], POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (auto& [id, s] : sessions_) {
+        if (s->closed()) continue;
+        if (s->HasOutput() || s->close_after_drain()) {
+          writable.push_back(s);
+          fds.push_back({s->fd(), POLLOUT, 0});
+        }
+      }
+    }
+    ::poll(fds.data(), fds.size(), 50);
+    if (fds[0].revents & POLLIN) DrainPipe(writer_pipe_[0]);
+    for (size_t i = 0; i < writable.size(); ++i) {
+      const std::shared_ptr<Session>& s = writable[i];
+      if (s->closed()) continue;
+      if ((fds[1 + i].revents & (POLLERR | POLLHUP)) != 0) {
+        s->MarkClosed();
+        WakePoll();
+        continue;
+      }
+      if ((fds[1 + i].revents & POLLOUT) == 0 && s->HasOutput()) continue;
+      if (s->residual.empty()) s->TakeOutput(&s->residual);
+      while (!s->residual.empty()) {
+        const ssize_t n =
+            ::send(s->fd(), s->residual.data(), s->residual.size(),
+                   MSG_NOSIGNAL);
+        if (n > 0) {
+          s->bytes_out.fetch_add(static_cast<uint64_t>(n),
+                                 std::memory_order_relaxed);
+          s->residual.erase(0, static_cast<size_t>(n));
+          // Refill from the buffer so a blocked emitter is released as
+          // soon as its bytes are in flight.
+          if (s->residual.empty()) s->TakeOutput(&s->residual);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        s->MarkClosed();
+        WakePoll();
+        break;
+      }
+      if (s->residual.empty() && !s->HasOutput() && s->close_after_drain()) {
+        s->MarkClosed();
+        WakePoll();
+      }
+    }
+  }
+}
+
+void Server::ExportMetrics() {
+  const ServerStats now = Stats();
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("upa_net_sessions_total")
+      .Add(now.sessions_opened - exported_.sessions_opened);
+  reg.GetCounter("upa_net_frames_in_total")
+      .Add(now.frames_in - exported_.frames_in);
+  reg.GetCounter("upa_net_frames_out_total")
+      .Add(now.frames_out - exported_.frames_out);
+  reg.GetCounter("upa_net_bytes_in_total")
+      .Add(now.bytes_in - exported_.bytes_in);
+  reg.GetCounter("upa_net_bytes_out_total")
+      .Add(now.bytes_out - exported_.bytes_out);
+  reg.GetCounter("upa_net_protocol_errors_total")
+      .Add(now.protocol_errors - exported_.protocol_errors);
+  reg.GetCounter("upa_net_slow_drops_total")
+      .Add(now.slow_drops - exported_.slow_drops);
+  reg.GetGauge("upa_net_sessions_active")
+      .Set(static_cast<int64_t>(now.sessions_active));
+  reg.GetGauge("upa_net_subscriptions")
+      .Set(static_cast<int64_t>(now.subscriptions));
+  exported_ = now;
+}
+
+ServerStats Server::Stats() const {
+  ServerStats st;
+  st.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  st.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  st.sessions_active = sessions_.size();
+  for (const auto& [id, s] : sessions_) {
+    st.slow_drops += s->slow_drops.load(std::memory_order_relaxed);
+    st.frames_in += s->frames_in.load(std::memory_order_relaxed);
+    st.frames_out += s->frames_out.load(std::memory_order_relaxed);
+    st.bytes_in += s->bytes_in.load(std::memory_order_relaxed);
+    st.bytes_out += s->bytes_out.load(std::memory_order_relaxed);
+    st.subscriptions += s->engine_subs.size();
+  }
+  st.frames_in += closed_frames_in_.load(std::memory_order_relaxed);
+  st.frames_out += closed_frames_out_.load(std::memory_order_relaxed);
+  st.bytes_in += closed_bytes_in_.load(std::memory_order_relaxed);
+  st.bytes_out += closed_bytes_out_.load(std::memory_order_relaxed);
+  st.slow_drops += closed_slow_drops_.load(std::memory_order_relaxed);
+  return st;
+}
+
+}  // namespace net
+}  // namespace upa

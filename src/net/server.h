@@ -1,0 +1,163 @@
+#ifndef UPA_NET_SERVER_H_
+#define UPA_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "net/session.h"
+
+namespace upa {
+namespace net {
+
+struct ServerOptions {
+  /// Address to bind (loopback by default; the protocol has no
+  /// authentication, so binding a public interface is the operator's
+  /// explicit choice).
+  std::string bind = "127.0.0.1";
+  /// Binary-protocol port. 0 = ephemeral (read the bound port back via
+  /// port()); -1 = binary protocol disabled.
+  int port = 0;
+  /// HTTP /metrics port (same hardening as HandleMetricsRequest's
+  /// tests: 400/405/404 on garbage). 0 = ephemeral; -1 = disabled.
+  int metrics_port = -1;
+  /// Renderer for the /metrics body. Defaults to the engine's
+  /// Prometheus exposition plus the global obs registry.
+  std::function<std::string()> metrics_render;
+  /// Accepted connections beyond this are closed immediately.
+  int max_sessions = 64;
+  /// Per-session cap on queued-but-unsent subscription delta bytes;
+  /// crossing it triggers the slow-consumer policy. Control frames are
+  /// exempt (see SlowConsumerPolicy).
+  size_t send_cap_bytes = 4u << 20;
+  SlowConsumerPolicy slow_consumer = SlowConsumerPolicy::kBlock;
+  /// Name reported in kHelloAck.
+  std::string server_name = "upa-engine";
+};
+
+/// Aggregated server counters (also exported to the global obs registry
+/// as upa_net_* series, which the /metrics endpoint serves).
+struct ServerStats {
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_active = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t slow_drops = 0;
+  uint64_t subscriptions = 0;  ///< Currently attached via this server.
+};
+
+/// The engine's network front end: a poll-based multi-client server
+/// speaking the src/net binary protocol (and, optionally, a plain HTTP
+/// /metrics endpoint, so there is exactly one socket implementation in
+/// the tree). Two threads: a poll thread owns accepts, reads and request
+/// dispatch; a writer thread drains session output buffers, so a
+/// request that blocks on an engine barrier can never deadlock against
+/// the subscription bytes that same barrier publishes.
+///
+/// Engine calls run synchronously on the poll thread, which gives each
+/// session's requests the engine's documented single-caller semantics
+/// (responses are sent in request order; subscription pushes interleave
+/// but never overtake the data they were emitted after).
+class Server {
+ public:
+  Server(Engine* engine, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and starts the poll + writer threads. Returns false (with
+  /// `error`) if a socket could not be bound.
+  bool Start(std::string* error = nullptr);
+
+  /// Drains and closes every session, unsubscribes them from the
+  /// engine, and joins the threads. Idempotent; also run by ~Server.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Bound ports (after Start). -1 when the listener is disabled.
+  int port() const { return port_; }
+  int metrics_port() const { return metrics_port_; }
+
+  ServerStats Stats() const;
+
+ private:
+  void PollLoop();
+  void WriterLoop();
+
+  int OpenListener(int port, std::string* error, int* bound_port);
+  void AcceptPending(int listen_fd, Session::Kind kind);
+  /// Reads available bytes; returns false when the session must close.
+  bool ReadSession(const std::shared_ptr<Session>& s);
+  bool HandleBinaryInput(const std::shared_ptr<Session>& s);
+  bool HandleHttpInput(const std::shared_ptr<Session>& s);
+  /// Dispatches one decoded request; returns false on protocol errors
+  /// that must close the session.
+  bool HandleRequest(const std::shared_ptr<Session>& s, Message&& m);
+  void HandleSubscribe(const std::shared_ptr<Session>& s, const Message& m);
+  /// Engine-side unsubscribe + session detach for ids the slow-consumer
+  /// policy dropped.
+  void ReapDropped(const std::shared_ptr<Session>& s);
+  void CloseSession(const std::shared_ptr<Session>& s);
+  void WakePoll();
+  void WakeWriter();
+  /// Publishes Stats() deltas to the global obs registry (upa_net_*).
+  void ExportMetrics();
+
+  Engine* const engine_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int metrics_fd_ = -1;
+  int port_ = -1;
+  int metrics_port_ = -1;
+  int poll_pipe_[2] = {-1, -1};    ///< Wakes the poll thread.
+  int writer_pipe_[2] = {-1, -1};  ///< Wakes the writer thread.
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  /// Set by the poll thread on exit; the writer drains remaining output
+  /// and only then terminates, so Stop() can join both in order.
+  std::atomic<bool> poll_exited_{false};
+  std::thread poll_thread_;
+  std::thread writer_thread_;
+
+  /// Default /metrics renderer (engine + global registry); built on the
+  /// poll thread at startup.
+  std::function<std::string()> metrics_render_;
+
+  /// Sessions keyed by id. The poll thread mutates the map; the writer
+  /// thread snapshots it under the lock each round.
+  mutable std::mutex sessions_mu_;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+
+  /// Totals rolled over from reaped sessions, so Stats() counters are
+  /// monotonic across disconnects.
+  std::atomic<uint64_t> closed_frames_in_{0};
+  std::atomic<uint64_t> closed_frames_out_{0};
+  std::atomic<uint64_t> closed_bytes_in_{0};
+  std::atomic<uint64_t> closed_bytes_out_{0};
+  std::atomic<uint64_t> closed_slow_drops_{0};
+
+  /// Last stats snapshot pushed to the obs registry (poll thread only).
+  ServerStats exported_;
+};
+
+}  // namespace net
+}  // namespace upa
+
+#endif  // UPA_NET_SERVER_H_

@@ -1,0 +1,193 @@
+#include "net/session.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace upa {
+namespace net {
+
+Session::Session(uint64_t id, int fd, Kind kind, SlowConsumerPolicy policy,
+                 size_t send_cap_bytes, std::function<void()> wake_writer,
+                 std::function<void()> wake_poll)
+    : id_(id),
+      fd_(fd),
+      kind_(kind),
+      policy_(policy),
+      cap_bytes_(send_cap_bytes),
+      wake_writer_(std::move(wake_writer)),
+      wake_poll_(std::move(wake_poll)) {}
+
+Session::~Session() {
+  // The fd is closed only when the last reference (server map, in-flight
+  // subscription callbacks, writer snapshot) drops, so no thread can race
+  // a write against a recycled descriptor number.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Session::AddSub(uint64_t sub_id, UpdatePattern pattern) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sub_state_[sub_id].pattern = pattern;
+}
+
+void Session::RemoveSub(uint64_t sub_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sub_state_.erase(sub_id);
+}
+
+void Session::OnSubEvent(uint64_t sub_id, const SubscriptionEvent& ev) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sub_state_.find(sub_id);
+  if (it == sub_state_.end() || closed()) return;
+  SubState& sub = it->second;
+  switch (ev.kind) {
+    case SubscriptionEvent::Kind::kDelta: {
+      // Section 5.2 delivery contract: only STR subscriptions carry
+      // signed tuples. For monotonic roots a negative cannot occur at
+      // all; for WKS/WK roots a negative can only be the NT-mode
+      // expiration signal, which the exp stamp plus the watermark
+      // already imply -- forwarding it would just duplicate information
+      // the pattern guarantees, so it is filtered here (and its absence
+      // is pinned by tests).
+      if (ev.delta.negative && sub.pattern != UpdatePattern::kStrict) return;
+      sub.pending.push_back(ev.delta);
+      if (sub.pending.size() >= kDeltaBatchMax) {
+        // May release the lock under kBlock; the iterator is not reused.
+        FlushPendingLocked(sub_id, &sub, &lock);
+      }
+      break;
+    }
+    case SubscriptionEvent::Kind::kWatermark: {
+      if (!FlushPendingLocked(sub_id, &sub, &lock)) return;
+      Message m;
+      m.type = MsgType::kSubWatermark;
+      m.sub_id = sub_id;
+      m.time = ev.time;
+      AppendLocked(EncodeFrame(m));
+      break;
+    }
+    case SubscriptionEvent::Kind::kReset: {
+      // The snapshot supersedes anything buffered.
+      sub.pending.clear();
+      Message m;
+      m.type = MsgType::kSubReset;
+      m.sub_id = sub_id;
+      m.tuples = ev.snapshot;
+      AppendLocked(EncodeFrame(m));
+      break;
+    }
+  }
+}
+
+bool Session::FlushPendingLocked(uint64_t sub_id, SubState* sub,
+                                 std::unique_lock<std::mutex>* lock) {
+  if (sub->pending.empty()) return true;
+  Message m;
+  m.type = MsgType::kSubData;
+  m.sub_id = sub_id;
+  m.tuples = std::move(sub->pending);
+  sub->pending.clear();
+  const std::string frame = EncodeFrame(m);
+  if (out_.size() + frame.size() > cap_bytes_) {
+    if (policy_ == SlowConsumerPolicy::kBlock) {
+      block_waits.fetch_add(1, std::memory_order_relaxed);
+      wake_writer_();
+      can_send_.wait(*lock, [this, &frame] {
+        return closed() || out_.size() + frame.size() <= cap_bytes_;
+      });
+      if (closed()) return false;
+    } else {
+      // kDropSubscription: discard, notify, and hand the id to the poll
+      // thread for the engine-side unsubscribe (it cannot happen here:
+      // this runs inside the hub callback, under the hub lock).
+      slow_drops.fetch_add(1, std::memory_order_relaxed);
+      sub_state_.erase(sub_id);
+      dropped_.push_back(sub_id);
+      Message notice;
+      notice.type = MsgType::kSubDropped;
+      notice.sub_id = sub_id;
+      AppendLocked(EncodeFrame(notice));
+      wake_poll_();
+      return false;
+    }
+  }
+  AppendLocked(frame);
+  return true;
+}
+
+void Session::AppendLocked(const std::string& bytes) {
+  if (closed()) return;
+  out_ += bytes;
+  frames_out.fetch_add(1, std::memory_order_relaxed);
+  wake_writer_();
+}
+
+void Session::FlushAllPendingLocked(std::unique_lock<std::mutex>* lock) {
+  // FlushPendingLocked may erase the entry (kDropSubscription) or drop
+  // the lock (kBlock), so iterate over a snapshot of the ids and re-find
+  // each one.
+  std::vector<uint64_t> ids;
+  ids.reserve(sub_state_.size());
+  for (const auto& [sub_id, sub] : sub_state_) {
+    if (!sub.pending.empty()) ids.push_back(sub_id);
+  }
+  for (uint64_t sub_id : ids) {
+    auto it = sub_state_.find(sub_id);
+    if (it == sub_state_.end() || it->second.pending.empty()) continue;
+    FlushPendingLocked(sub_id, &it->second, lock);
+  }
+}
+
+void Session::QueueResponse(const Message& m) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // A response must not overtake subscription data produced before it
+  // (e.g. a FlushAck must follow the watermarks that barrier emitted).
+  FlushAllPendingLocked(&lock);
+  AppendLocked(EncodeFrame(m));
+}
+
+void Session::QueueBytes(std::string bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendLocked(bytes);
+}
+
+void Session::FlushPending() {
+  std::unique_lock<std::mutex> lock(mu_);
+  FlushAllPendingLocked(&lock);
+}
+
+std::vector<uint64_t> Session::TakeDropped() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::exchange(dropped_, {});
+}
+
+bool Session::HasOutput() {
+  if (!residual.empty()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  return !out_.empty();
+}
+
+bool Session::TakeOutput(std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_.empty()) return false;
+  out->append(out_);
+  out_.clear();
+  can_send_.notify_all();
+  return true;
+}
+
+void Session::CloseAfterDrain() {
+  close_after_drain_.store(true, std::memory_order_relaxed);
+  wake_writer_();
+}
+
+void Session::MarkClosed() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_.store(true, std::memory_order_release);
+  }
+  can_send_.notify_all();
+}
+
+}  // namespace net
+}  // namespace upa

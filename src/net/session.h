@@ -1,0 +1,185 @@
+#ifndef UPA_NET_SESSION_H_
+#define UPA_NET_SESSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/update_pattern.h"
+#include "engine/subscription.h"
+#include "net/protocol.h"
+
+namespace upa {
+namespace net {
+
+/// What the server does when a subscriber cannot keep up -- i.e. when a
+/// session's queued-but-unsent subscription bytes exceed the configured
+/// cap. Only bulky delta frames are subject to the cap; watermark,
+/// reset, drop-notice and request-response frames always enqueue, so
+/// control traffic cannot deadlock on a full data queue.
+enum class SlowConsumerPolicy {
+  /// The emitting engine thread blocks until the writer drains the
+  /// session below the cap. This is end-to-end backpressure (the engine
+  /// slows to the slowest subscriber, exactly like the engine's own
+  /// kBlock ingest policy) -- a subscriber that never reads can stall
+  /// the pipeline, so use it only for trusted consumers.
+  kBlock,
+  /// The subscription is dropped: its pending deltas are discarded, a
+  /// kSubDropped notice is pushed (bypassing the cap), and the server
+  /// unsubscribes it from the engine. The session stays usable; the
+  /// client may re-subscribe, which re-synchronizes it via a fresh
+  /// snapshot. Counted in upa_net_slow_drops_total.
+  kDropSubscription,
+};
+
+/// One accepted connection. The poll thread owns the read side (`in`,
+/// handshake state, request dispatch) without locking; the send side is
+/// a mutex-guarded output buffer fed by the poll thread (responses),
+/// engine threads (subscription events, via Server's hub callbacks) and
+/// drained by the server's writer thread. Sessions are reference-counted
+/// by the server and by in-flight subscription callbacks.
+class Session {
+ public:
+  enum class Kind {
+    kBinary,  ///< The engine wire protocol.
+    kHttp,    ///< One-shot HTTP /metrics scrape.
+  };
+
+  /// `wake_writer` / `wake_poll` poke the server's threads (self-pipe);
+  /// both must stay callable for the session's lifetime.
+  Session(uint64_t id, int fd, Kind kind, SlowConsumerPolicy policy,
+          size_t send_cap_bytes, std::function<void()> wake_writer,
+          std::function<void()> wake_poll);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
+  int fd() const { return fd_; }
+  Kind kind() const { return kind_; }
+
+  // --- Poll-thread-only state (never touched by other threads) ---
+
+  std::string in;        ///< Unconsumed inbound bytes.
+  bool handshaken = false;
+  /// Engine subscription ids attached to this session -> query name
+  /// (needed to unsubscribe on close).
+  std::map<uint64_t, std::string> engine_subs;
+
+  // --- Output path (any thread) ---
+
+  /// Registers a subscription with the session's event path. `pattern`
+  /// drives the Section 5.2 delivery contract: for kMonotonic, kWeakest
+  /// and kWeak subscriptions negative deltas are filtered out (they can
+  /// only be expiration signals, which the exp timestamps plus
+  /// watermarks already imply); only kStrict subscriptions forward
+  /// signed tuples.
+  void AddSub(uint64_t sub_id, UpdatePattern pattern);
+
+  /// Detaches a subscription from the event path (pending deltas are
+  /// discarded). The caller must separately unsubscribe from the engine.
+  void RemoveSub(uint64_t sub_id);
+
+  /// Delivers one engine subscription event. Called from engine threads
+  /// (under the hub lock). Deltas are batched per subscription and
+  /// flushed as kSubData frames at watermark boundaries, when the batch
+  /// reaches kDeltaBatchMax, or before any response frame; watermarks
+  /// and resets enqueue immediately (after the flush) so a subscriber
+  /// never observes an event ordering the engine did not produce.
+  void OnSubEvent(uint64_t sub_id, const SubscriptionEvent& ev);
+
+  /// Enqueues a response/control frame. Flushes every subscription's
+  /// pending deltas first (a response must never overtake data emitted
+  /// before it) and bypasses the send cap.
+  void QueueResponse(const Message& m);
+
+  /// Enqueues raw bytes (the HTTP path), bypassing the cap.
+  void QueueBytes(std::string bytes);
+
+  /// Flushes all pending delta batches to the output buffer (poll thread
+  /// housekeeping, so deltas never linger while the connection idles).
+  void FlushPending();
+
+  /// Subscriptions dropped by the slow-consumer policy since the last
+  /// call (poll thread: unsubscribe them from the engine).
+  std::vector<uint64_t> TakeDropped();
+
+  // --- Writer-thread interface ---
+
+  /// Writer-thread-only: bytes taken from the buffer but not yet written
+  /// to the socket.
+  std::string residual;
+  /// True when the session has bytes to send (residual or buffered).
+  bool HasOutput();
+  /// Swaps the buffered output into `*out` (appending) and releases any
+  /// blocked emitters. Returns false if there was nothing to take.
+  bool TakeOutput(std::string* out);
+
+  /// Close this session after everything queued so far has been written
+  /// (the HTTP path). Checked by the writer via should_close_after_drain.
+  void CloseAfterDrain();
+  bool close_after_drain() const {
+    return close_after_drain_.load(std::memory_order_relaxed);
+  }
+
+  /// Marks the session dead (IO error, protocol error, server stop):
+  /// wakes any emitter blocked on the send cap and makes every later
+  /// queue/emit call a no-op. Idempotent; does not close the fd (the
+  /// poll thread does, once, when it reaps the session).
+  void MarkClosed();
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  // --- Counters (relaxed; aggregated into ServerStats) ---
+  std::atomic<uint64_t> frames_in{0};
+  std::atomic<uint64_t> frames_out{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> slow_drops{0};
+  std::atomic<uint64_t> block_waits{0};
+
+ private:
+  struct SubState {
+    UpdatePattern pattern = UpdatePattern::kMonotonic;
+    std::vector<Tuple> pending;  ///< Deltas awaiting a kSubData frame.
+  };
+
+  /// Encodes and appends one kSubData frame for `sub`'s pending deltas,
+  /// enforcing the send cap per the slow-consumer policy. Returns false
+  /// if the subscription was dropped (kDropSubscription) or the session
+  /// closed. `lock` is the held session lock (released/reacquired while
+  /// blocking under kBlock).
+  bool FlushPendingLocked(uint64_t sub_id, SubState* sub,
+                          std::unique_lock<std::mutex>* lock);
+  void FlushAllPendingLocked(std::unique_lock<std::mutex>* lock);
+  void AppendLocked(const std::string& bytes);
+
+  const uint64_t id_;
+  const int fd_;
+  const Kind kind_;
+  const SlowConsumerPolicy policy_;
+  const size_t cap_bytes_;
+  const std::function<void()> wake_writer_;
+  const std::function<void()> wake_poll_;
+
+  std::mutex mu_;
+  std::condition_variable can_send_;        // kBlock waiters.
+  std::string out_;                         // Guarded by mu_.
+  std::map<uint64_t, SubState> sub_state_;  // Guarded by mu_.
+  std::vector<uint64_t> dropped_;           // Guarded by mu_.
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> close_after_drain_{false};
+};
+
+/// Deltas buffered per subscription before a kSubData frame is cut.
+inline constexpr size_t kDeltaBatchMax = 256;
+
+}  // namespace net
+}  // namespace upa
+
+#endif  // UPA_NET_SESSION_H_

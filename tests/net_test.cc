@@ -1,0 +1,869 @@
+// Network service layer tests (src/net).
+//
+// Three layers of attack:
+//
+//  1. The wire codec as a property: random messages of every type must
+//     round-trip exactly; every strict prefix of a frame is kNeedMore;
+//     any single bit flip, oversized length, trailing payload byte, or
+//     unknown type must be rejected (CRC32C + exact-consumption
+//     decoding), never decoded as a valid frame.
+//
+//  2. The pattern-aware subscription contract, differentially: for each
+//     paper-shaped query (join, distinct, group-by, windowed select,
+//     monotonic select, retroactive-relation join) a client-side mirror
+//     fed only by the subscription stream must equal the server's
+//     materialized view (Snapshot RPC) and the reference evaluator at
+//     every barrier. Monotonic/WKS subscriptions must never carry a
+//     negative tuple (Section 5.2: only STR result streams signal
+//     deletions); the STR query must carry them.
+//
+//  3. The server runtime: handshake enforcement, protocol-version and
+//     corrupt-frame rejection, HTTP /metrics hardening over a real
+//     socket, slow-consumer policies, multi-client fan-out, idempotent
+//     re-declaration, and subscription resets across an injected shard
+//     kill with durability enabled.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "engine/fault.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "ref/reference.h"
+#include "sql/catalog.h"
+#include "state/serde.h"
+#include "tests/test_util.h"
+#include "workload/lbl_generator.h"
+
+namespace upa {
+namespace net {
+namespace {
+
+using testing_util::Canonical;
+using testing_util::RowsToString;
+
+namespace fs = std::filesystem;
+
+// --- Random payload generators ----------------------------------------
+
+Value RandomValue(Rng& rng) {
+  switch (rng.NextBelow(3)) {
+    case 0:
+      return Value{static_cast<int64_t>(rng.Next())};
+    case 1:
+      return Value{rng.NextDouble() * 1e6 - 5e5};
+    default: {
+      std::string s;
+      const size_t len = rng.NextBelow(13);
+      for (size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng.NextBelow(26)));
+      }
+      return Value{std::move(s)};
+    }
+  }
+}
+
+Tuple RandomTuple(Rng& rng) {
+  Tuple t;
+  t.ts = static_cast<Time>(rng.NextBelow(100000));
+  t.exp = rng.NextBool(0.3) ? kNeverExpires
+                            : t.ts + static_cast<Time>(rng.NextBelow(1000));
+  t.negative = rng.NextBool(0.2);
+  const size_t n = rng.NextBelow(6);
+  for (size_t i = 0; i < n; ++i) t.fields.push_back(RandomValue(rng));
+  return t;
+}
+
+Schema RandomSchema(Rng& rng) {
+  std::vector<Field> fields;
+  const size_t n = rng.NextBelow(7);
+  for (size_t i = 0; i < n; ++i) {
+    fields.push_back(Field{"f" + std::to_string(i),
+                           static_cast<ValueType>(rng.NextBelow(3))});
+  }
+  return Schema(std::move(fields));
+}
+
+std::vector<Tuple> RandomTuples(Rng& rng, size_t max) {
+  std::vector<Tuple> out;
+  const size_t n = rng.NextBelow(max + 1);
+  for (size_t i = 0; i < n; ++i) out.push_back(RandomTuple(rng));
+  return out;
+}
+
+/// A random message whose populated fields match `type`'s body grammar.
+Message RandomMessage(MsgType type, Rng& rng) {
+  Message m;
+  m.type = type;
+  m.req_id = rng.Next();
+  m.version = static_cast<uint32_t>(rng.NextBelow(10));
+  m.name = "n" + std::to_string(rng.NextBelow(1000));
+  m.text = "t" + std::to_string(rng.Next());
+  m.schema = RandomSchema(rng);
+  m.flag = rng.NextBool(0.5);
+  m.id = static_cast<int64_t>(rng.Next());
+  m.shards = static_cast<uint32_t>(rng.NextBelow(16));
+  m.pattern = static_cast<uint8_t>(rng.NextBelow(4));
+  m.view_kind = static_cast<uint8_t>(rng.NextBelow(2));
+  m.sub_id = rng.Next();
+  m.time = static_cast<int64_t>(rng.NextBelow(1000000));
+  const size_t nb = rng.NextBelow(5);
+  for (size_t i = 0; i < nb; ++i) {
+    m.batch.emplace_back(static_cast<uint32_t>(rng.NextBelow(4)),
+                         RandomTuple(rng));
+  }
+  m.tuples = RandomTuples(rng, 6);
+  return m;
+}
+
+const std::vector<MsgType>& AllTypes() {
+  static const std::vector<MsgType> types = {
+      MsgType::kHello,         MsgType::kHelloAck,
+      MsgType::kError,         MsgType::kDeclareStream,
+      MsgType::kDeclareRelation, MsgType::kDeclareAck,
+      MsgType::kRegisterQuery, MsgType::kRegisterAck,
+      MsgType::kIngestBatch,   MsgType::kIngestAck,
+      MsgType::kAdvance,       MsgType::kAdvanceAck,
+      MsgType::kFlush,         MsgType::kFlushAck,
+      MsgType::kSnapshotReq,   MsgType::kSnapshotResp,
+      MsgType::kSubscribe,     MsgType::kSubscribeAck,
+      MsgType::kUnsubscribe,   MsgType::kUnsubscribeAck,
+      MsgType::kSubData,       MsgType::kSubWatermark,
+      MsgType::kSubReset,      MsgType::kSubDropped,
+      MsgType::kPing,          MsgType::kPong,
+  };
+  return types;
+}
+
+// --- 1. Codec properties ----------------------------------------------
+
+TEST(NetProtocolTest, RandomMessagesRoundTripExactly) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    for (MsgType type : AllTypes()) {
+      const Message m = RandomMessage(type, rng);
+      const std::string frame = EncodeFrame(m);
+      Message got;
+      size_t consumed = 0;
+      ASSERT_EQ(DecodeFrame(frame.data(), frame.size(), &got, &consumed),
+                DecodeStatus::kOk)
+          << MsgTypeName(type) << " seed=" << seed;
+      EXPECT_EQ(consumed, frame.size());
+      EXPECT_EQ(got.type, m.type);
+      EXPECT_EQ(got.req_id, m.req_id);
+      // The codec is deterministic, so re-encoding the decoded message
+      // must reproduce the payload byte for byte -- this covers every
+      // field the type's grammar carries.
+      EXPECT_EQ(EncodePayload(got), EncodePayload(m))
+          << MsgTypeName(type) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(NetProtocolTest, EveryStrictPrefixNeedsMore) {
+  Rng rng(7);
+  const Message m = RandomMessage(MsgType::kIngestBatch, rng);
+  const std::string frame = EncodeFrame(m);
+  Message out;
+  size_t consumed = 0;
+  for (size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_EQ(DecodeFrame(frame.data(), len, &out, &consumed),
+              DecodeStatus::kNeedMore)
+        << "prefix " << len << "/" << frame.size();
+  }
+}
+
+TEST(NetProtocolTest, ConcatenatedFramesDecodeSequentially) {
+  Rng rng(11);
+  std::string buf;
+  std::vector<Message> sent;
+  for (int i = 0; i < 8; ++i) {
+    sent.push_back(RandomMessage(
+        AllTypes()[rng.NextBelow(AllTypes().size())], rng));
+    buf += EncodeFrame(sent.back());
+  }
+  size_t off = 0;
+  for (const Message& want : sent) {
+    Message got;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(buf.data() + off, buf.size() - off, &got,
+                          &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(EncodePayload(got), EncodePayload(want));
+    off += consumed;
+  }
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(NetProtocolTest, SingleBitFlipsNeverDecode) {
+  Rng rng(13);
+  for (MsgType type :
+       {MsgType::kIngestBatch, MsgType::kSubscribeAck, MsgType::kHello}) {
+    const Message m = RandomMessage(type, rng);
+    const std::string frame = EncodeFrame(m);
+    for (size_t byte = 0; byte < frame.size(); ++byte) {
+      std::string bad = frame;
+      bad[byte] = static_cast<char>(bad[byte] ^ (1u << (byte % 8)));
+      Message out;
+      size_t consumed = 0;
+      // A flip may land in the length field and turn the status into
+      // kNeedMore or kTooLarge; what it must never do is decode.
+      EXPECT_NE(DecodeFrame(bad.data(), bad.size(), &out, &consumed),
+                DecodeStatus::kOk)
+          << MsgTypeName(type) << " flipped byte " << byte;
+    }
+  }
+}
+
+TEST(NetProtocolTest, OversizedLengthIsRejectedBeforeAllocation) {
+  std::string frame;
+  serde::PutU32(&frame, kMagic);
+  serde::PutU32(&frame, kMaxFrameBytes + 1);
+  serde::PutU32(&frame, 0);
+  Message out;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(frame.data(), frame.size(), &out, &consumed),
+            DecodeStatus::kTooLarge);
+}
+
+TEST(NetProtocolTest, TrailingPayloadBytesAreCorruption) {
+  Message m;
+  m.type = MsgType::kPing;
+  m.req_id = 9;
+  std::string payload = EncodePayload(m);
+  payload.push_back('x');  // One stray byte after a valid body.
+  std::string frame;
+  serde::PutU32(&frame, kMagic);
+  serde::PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  serde::PutU32(&frame,
+                MaskCrc32c(Crc32c(payload.data(), payload.size())));
+  frame += payload;
+  Message out;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(frame.data(), frame.size(), &out, &consumed),
+            DecodeStatus::kCorrupt);
+}
+
+TEST(NetProtocolTest, UnknownMessageTypeIsCorruption) {
+  std::string payload;
+  serde::PutU8(&payload, 200);  // No such MsgType.
+  serde::PutU64(&payload, 1);
+  std::string frame;
+  serde::PutU32(&frame, kMagic);
+  serde::PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  serde::PutU32(&frame,
+                MaskCrc32c(Crc32c(payload.data(), payload.size())));
+  frame += payload;
+  Message out;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(frame.data(), frame.size(), &out, &consumed),
+            DecodeStatus::kCorrupt);
+}
+
+// --- Shared fixtures ---------------------------------------------------
+
+/// Unique scratch directory, removed on scope exit.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::path(::testing::TempDir()) /
+           ("upa_net_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+/// In-process engine + server + one connected client over loopback.
+struct Wire {
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<Server> server;
+  Client client;
+
+  explicit Wire(EngineOptions eopts = {}, ServerOptions sopts = {}) {
+    engine = std::make_unique<Engine>(eopts);
+    sopts.port = 0;
+    server = std::make_unique<Server>(engine.get(), sopts);
+    std::string err;
+    if (!server->Start(&err)) ADD_FAILURE() << "server start: " << err;
+    if (!client.Connect("127.0.0.1", server->port(), &err)) {
+      ADD_FAILURE() << "connect: " << err;
+    }
+  }
+
+  ~Wire() {
+    client.Close();
+    server->Stop();
+    engine->Stop();
+  }
+};
+
+Trace NetTrace(Time duration) {
+  LblTraceConfig cfg;
+  cfg.num_links = 2;
+  cfg.duration = duration;
+  cfg.num_sources = 40;  // Dense keys keep joins and distincts busy.
+  return GenerateLblTrace(cfg);
+}
+
+Schema MetaSchema() {
+  return Schema({Field{"key", ValueType::kInt}});
+}
+
+/// Replays `trace` over `client` in whole-timestamp groups, flushing and
+/// three-way comparing (mirror == Snapshot RPC == oracle) every
+/// `barrier_every` time units. With `relation_updates`, deterministic
+/// inserts/deletes on the retroactive relation "meta" are interleaved,
+/// exercising STR deltas (negative tuples) end to end.
+void ReplayAndCompare(Client& client, const std::string& name,
+                      SubscriptionMirror* sub, ReferenceEvaluator* ref,
+                      const std::set<int>& oracle_streams,
+                      const int64_t remote_id[2], const int local_id[2],
+                      const Trace& trace, Time barrier_every,
+                      int64_t meta_remote = -1, int meta_local = -1) {
+  std::string err;
+  std::vector<std::pair<uint32_t, Tuple>> batch;
+  std::vector<int64_t> meta_keys;
+  Time next_barrier = barrier_every;
+  size_t i = 0;
+  const size_t n = trace.events.size();
+  while (i < n) {
+    const Time ts = trace.events[i].tuple.ts;
+    if (meta_remote >= 0) {
+      // Deterministic relation churn: insert key ts%40 every 3 ticks,
+      // delete the oldest live key every 7 ticks.
+      if (ts % 3 == 0) {
+        Tuple u;
+        u.ts = ts;
+        u.exp = kNeverExpires;
+        u.fields = {Value{static_cast<int64_t>(ts % 40)}};
+        meta_keys.push_back(ts % 40);
+        batch.emplace_back(static_cast<uint32_t>(meta_remote), u);
+        if (ref != nullptr && oracle_streams.count(meta_local) > 0) {
+          ref->Observe(meta_local, u);
+        }
+      }
+      if (ts % 7 == 0 && !meta_keys.empty()) {
+        Tuple u;
+        u.ts = ts;
+        u.exp = kNeverExpires;
+        u.negative = true;
+        u.fields = {Value{meta_keys.front()}};
+        meta_keys.erase(meta_keys.begin());
+        batch.emplace_back(static_cast<uint32_t>(meta_remote), u);
+        if (ref != nullptr && oracle_streams.count(meta_local) > 0) {
+          ref->Observe(meta_local, u);
+        }
+      }
+    }
+    while (i < n && trace.events[i].tuple.ts == ts) {
+      const TraceEvent& e = trace.events[i];
+      batch.emplace_back(static_cast<uint32_t>(remote_id[e.stream]),
+                         e.tuple);
+      if (ref != nullptr && oracle_streams.count(local_id[e.stream]) > 0) {
+        ref->Observe(local_id[e.stream], e.tuple);
+      }
+      ++i;
+    }
+    if (batch.size() >= 256 || ts >= next_barrier || i == n) {
+      ASSERT_TRUE(client.IngestBatch(batch, &err)) << err;
+      batch.clear();
+    }
+    if (ts >= next_barrier || i == n) {
+      while (next_barrier <= ts) next_barrier += barrier_every;
+      ASSERT_TRUE(client.Flush(&err)) << err;
+      std::vector<Tuple> snap;
+      Time at = 0;
+      ASSERT_TRUE(client.Snapshot(name, &snap, &at, &err)) << err;
+      const auto mirror_rows = Canonical(sub->Rows());
+      const auto snap_rows = Canonical(snap);
+      ASSERT_EQ(mirror_rows, snap_rows)
+          << name << " at t=" << at << "\nmirror:\n"
+          << RowsToString(mirror_rows) << "view:\n"
+          << RowsToString(snap_rows);
+      if (ref != nullptr) {
+        const auto want = Canonical(ref->EvalAt(at));
+        ASSERT_EQ(snap_rows, want)
+            << name << " at t=" << at << "\nengine:\n"
+            << RowsToString(snap_rows) << "oracle:\n"
+            << RowsToString(want);
+      }
+    }
+  }
+}
+
+struct DiffCase {
+  const char* name;
+  const char* sql;
+  UpdatePattern pattern;
+  bool relation = false;
+};
+
+/// The paper-shaped query suite: every update pattern and both view
+/// delta kinds are represented.
+const std::vector<DiffCase>& DiffCases() {
+  static const std::vector<DiffCase> cases = {
+      {"q1-join",
+       "SELECT link0.src_ip FROM link0 [RANGE 60], link1 [RANGE 60] "
+       "WHERE link0.src_ip = link1.src_ip AND link0.protocol = 2 AND "
+       "link1.protocol = 2",
+       UpdatePattern::kWeak},
+      {"q2-distinct", "SELECT DISTINCT src_ip FROM link0 [RANGE 60]",
+       UpdatePattern::kWeak},
+      {"q3-group",
+       "SELECT protocol, SUM(payload) FROM link1 [RANGE 60] "
+       "GROUP BY protocol",
+       UpdatePattern::kWeak},
+      {"q4-window", "SELECT src_ip FROM link0 [RANGE 60] WHERE protocol = 2",
+       UpdatePattern::kWeakest},
+      {"q5-mono", "SELECT src_ip FROM link0 WHERE protocol = 2",
+       UpdatePattern::kMonotonic},
+      {"q6-str",
+       "SELECT link0.src_ip FROM link0 [RANGE 60], meta "
+       "WHERE link0.src_ip = meta.key",
+       UpdatePattern::kStrict, /*relation=*/true},
+  };
+  return cases;
+}
+
+class WireDifferentialTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WireDifferentialTest, SubscriberMatchesViewAndOracle) {
+  const DiffCase& c = DiffCases()[GetParam()];
+  EngineOptions eopts;
+  eopts.default_shards = 2;
+  eopts.check_invariants = true;
+  Wire w(eopts);
+  std::string err;
+
+  const int64_t remote_id[2] = {
+      w.client.DeclareStream("link0", LblSchema(), &err),
+      w.client.DeclareStream("link1", LblSchema(), &err)};
+  ASSERT_GE(remote_id[0], 0) << err;
+  ASSERT_GE(remote_id[1], 0) << err;
+  int64_t meta_remote = -1;
+  if (c.relation) {
+    meta_remote = w.client.DeclareRelation("meta", MetaSchema(),
+                                           /*retroactive=*/true, &err);
+    ASSERT_GE(meta_remote, 0) << err;
+  }
+
+  ClientQueryInfo info;
+  ASSERT_TRUE(w.client.RegisterQuery(c.name, c.sql, 0, &info, &err)) << err;
+  EXPECT_EQ(info.pattern, c.pattern) << c.name;
+
+  SubscriptionMirror* sub = w.client.Subscribe(c.name, &err);
+  ASSERT_NE(sub, nullptr) << err;
+  EXPECT_EQ(sub->pattern(), c.pattern);
+
+  // Identical local catalog for the oracle.
+  SourceCatalog catalog;
+  const int local_id[2] = {catalog.DeclareStream("link0", LblSchema()),
+                           catalog.DeclareStream("link1", LblSchema())};
+  int meta_local = -1;
+  if (c.relation) {
+    meta_local = catalog.DeclareRelation("meta", MetaSchema(),
+                                         /*retroactive=*/true);
+  }
+  const ParseResult p = catalog.Compile(c.sql);
+  ASSERT_TRUE(p.ok()) << p.error;
+  std::set<int> streams;
+  const std::function<void(const PlanNode&)> collect =
+      [&streams, &collect](const PlanNode& n) {
+        if (n.kind == PlanOpKind::kStream ||
+            n.kind == PlanOpKind::kRelation) {
+          streams.insert(n.stream_id);
+        }
+        for (const auto& ch : n.children) collect(*ch);
+      };
+  collect(*p.plan);
+  ReferenceEvaluator ref(p.plan.get());
+
+  const Trace trace = NetTrace(300);
+  ReplayAndCompare(w.client, c.name, sub, &ref, streams, remote_id,
+                   local_id, trace, /*barrier_every=*/50, meta_remote,
+                   meta_local);
+
+  // Section 5.2 pins: only STR result streams carry deletions.
+  if (c.pattern == UpdatePattern::kMonotonic ||
+      c.pattern == UpdatePattern::kWeakest) {
+    EXPECT_EQ(sub->negatives_applied(), 0u)
+        << c.name << ": a " << PatternName(c.pattern)
+        << " subscription transmitted negative tuples";
+  }
+  if (c.pattern == UpdatePattern::kStrict) {
+    EXPECT_GT(sub->negatives_applied(), 0u)
+        << c.name << ": the STR differential never exercised a deletion";
+  }
+  EXPECT_GT(sub->deltas_applied(), 0u);
+  EXPECT_TRUE(w.client.Unsubscribe(sub, &err)) << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, WireDifferentialTest,
+                         ::testing::Range<size_t>(0, DiffCases().size()),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           std::string n = DiffCases()[info.param].name;
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+// --- 3. Server runtime -------------------------------------------------
+
+namespace raw {
+
+/// Plain blocking TCP connection for protocol-violation tests.
+struct Conn {
+  int fd = -1;
+  explicit Conn(int port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+  bool Send(const std::string& bytes) const {
+    return fd >= 0 &&
+           ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+               static_cast<ssize_t>(bytes.size());
+  }
+  /// Reads until EOF or `limit` bytes.
+  std::string ReadAll(size_t limit = 1 << 20) const {
+    std::string out;
+    char buf[4096];
+    while (out.size() < limit) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    return out;
+  }
+};
+
+}  // namespace raw
+
+TEST(NetServerTest, HandshakeIsRequiredBeforeAnyRequest) {
+  Wire w;
+  raw::Conn conn(w.server->port());
+  ASSERT_GE(conn.fd, 0);
+  Message ping;
+  ping.type = MsgType::kPing;
+  ping.req_id = 1;
+  ASSERT_TRUE(conn.Send(EncodeFrame(ping)));
+  const std::string reply = conn.ReadAll();  // Server answers then closes.
+  Message m;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(reply.data(), reply.size(), &m, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(m.type, MsgType::kError);
+  EXPECT_NE(m.text.find("handshake"), std::string::npos) << m.text;
+}
+
+TEST(NetServerTest, ProtocolVersionMismatchIsRejected) {
+  Wire w;
+  raw::Conn conn(w.server->port());
+  ASSERT_GE(conn.fd, 0);
+  Message hello;
+  hello.type = MsgType::kHello;
+  hello.req_id = 1;
+  hello.version = kProtocolVersion + 41;
+  ASSERT_TRUE(conn.Send(EncodeFrame(hello)));
+  const std::string reply = conn.ReadAll();
+  Message m;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(reply.data(), reply.size(), &m, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(m.type, MsgType::kError);
+  EXPECT_NE(m.text.find("version"), std::string::npos) << m.text;
+}
+
+TEST(NetServerTest, CorruptFrameClosesTheSession) {
+  Wire w;
+  raw::Conn conn(w.server->port());
+  ASSERT_GE(conn.fd, 0);
+  ASSERT_TRUE(conn.Send("this is definitely not a UPAN frame......"));
+  const std::string reply = conn.ReadAll();
+  Message m;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(reply.data(), reply.size(), &m, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(m.type, MsgType::kError);
+  EXPECT_GE(w.server->Stats().protocol_errors, 1u);
+}
+
+TEST(NetServerTest, MetricsEndpointServesAndHardens) {
+  ServerOptions sopts;
+  sopts.metrics_port = 0;  // Ephemeral HTTP listener alongside binary.
+  Wire w({}, sopts);
+  ASSERT_GE(w.server->metrics_port(), 0);
+
+  const auto http = [&](const std::string& request) {
+    raw::Conn conn(w.server->metrics_port());
+    EXPECT_GE(conn.fd, 0);
+    EXPECT_TRUE(conn.Send(request));
+    return conn.ReadAll();
+  };
+
+  const std::string ok = http("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(ok.find("200"), std::string::npos) << ok.substr(0, 120);
+  EXPECT_NE(ok.find("upa_net_sessions_active"), std::string::npos);
+  EXPECT_NE(http("GET /nope HTTP/1.1\r\n\r\n").find("404"),
+            std::string::npos);
+  EXPECT_NE(http("POST /metrics HTTP/1.1\r\n\r\n").find("405"),
+            std::string::npos);
+  EXPECT_NE(http("garbage\r\n\r\n").find("400"), std::string::npos);
+}
+
+TEST(NetServerTest, DeclarationsAndRegistrationAreIdempotent) {
+  Wire w;
+  std::string err;
+  const int64_t id1 = w.client.DeclareStream("link0", LblSchema(), &err);
+  ASSERT_GE(id1, 0) << err;
+  // Same shape -> same id (a reconnecting client must not error out).
+  EXPECT_EQ(w.client.DeclareStream("link0", LblSchema(), &err), id1);
+  // Different shape -> rejected.
+  EXPECT_LT(w.client.DeclareStream("link0", MetaSchema(), &err), 0);
+  EXPECT_NE(err.find("different shape"), std::string::npos) << err;
+  // Stream redeclared as a relation -> rejected.
+  EXPECT_LT(w.client.DeclareRelation("link0", LblSchema(), true, &err), 0);
+
+  const char* sql = "SELECT DISTINCT src_ip FROM link0 [RANGE 60]";
+  ClientQueryInfo a, b;
+  ASSERT_TRUE(w.client.RegisterQuery("q", sql, 0, &a, &err)) << err;
+  ASSERT_TRUE(w.client.RegisterQuery("q", sql, 0, &b, &err)) << err;
+  EXPECT_EQ(a.shards, b.shards);
+  EXPECT_EQ(a.pattern, b.pattern);
+  EXPECT_FALSE(w.client.RegisterQuery(
+      "q", "SELECT src_ip FROM link0 [RANGE 60]", 0, nullptr, &err));
+  EXPECT_NE(err.find("different SQL"), std::string::npos) << err;
+}
+
+TEST(NetServerTest, UnsubscribeDetachesFromTheEngine) {
+  Wire w;
+  std::string err;
+  ASSERT_GE(w.client.DeclareStream("link0", LblSchema(), &err), 0) << err;
+  ASSERT_TRUE(w.client.RegisterQuery(
+      "q", "SELECT DISTINCT src_ip FROM link0 [RANGE 60]", 0, nullptr,
+      &err))
+      << err;
+  SubscriptionMirror* sub = w.client.Subscribe("q", &err);
+  ASSERT_NE(sub, nullptr) << err;
+  auto subscribers = [&] {
+    for (const QueryMetrics& qm : w.engine->Metrics().queries) {
+      if (qm.name == "q") return qm.subscribers;
+    }
+    return uint64_t{0};
+  };
+  EXPECT_EQ(subscribers(), 1u);
+  ASSERT_TRUE(w.client.Unsubscribe(sub, &err)) << err;
+  EXPECT_EQ(subscribers(), 0u);
+}
+
+TEST(NetServerTest, SlowConsumerDropPolicyDropsAndRecovers) {
+  ServerOptions sopts;
+  sopts.slow_consumer = SlowConsumerPolicy::kDropSubscription;
+  sopts.send_cap_bytes = 512;  // Any real delta batch crosses this.
+  EngineOptions eopts;
+  eopts.default_shards = 1;
+  Wire w(eopts, sopts);
+  std::string err;
+  const int64_t link0 = w.client.DeclareStream("link0", LblSchema(), &err);
+  ASSERT_GE(link0, 0) << err;
+  ASSERT_TRUE(w.client.RegisterQuery(
+      "q", "SELECT src_ip FROM link0", 0, nullptr, &err))
+      << err;
+  SubscriptionMirror* sub = w.client.Subscribe("q", &err);
+  ASSERT_NE(sub, nullptr) << err;
+
+  const Trace trace = NetTrace(400);
+  std::vector<std::pair<uint32_t, Tuple>> batch;
+  for (const TraceEvent& e : trace.events) {
+    if (e.stream != 0) continue;
+    batch.emplace_back(static_cast<uint32_t>(link0), e.tuple);
+  }
+  ASSERT_TRUE(w.client.IngestBatch(batch, &err)) << err;
+  ASSERT_TRUE(w.client.Flush(&err)) << err;
+  // The drop notice is pushed from the emitting thread; give the poll
+  // thread a few rounds to reap and deliver it.
+  for (int i = 0; i < 100 && !sub->dropped(); ++i) {
+    ASSERT_TRUE(w.client.PollEvents(50, &err)) << err;
+  }
+  EXPECT_TRUE(sub->dropped());
+  EXPECT_GE(w.server->Stats().slow_drops, 1u);
+
+  // The session survives the drop: control traffic still works, and a
+  // re-subscribe resynchronizes through a fresh snapshot.
+  ASSERT_TRUE(w.client.Ping(&err)) << err;
+  SubscriptionMirror* again = w.client.Subscribe("q", &err);
+  ASSERT_NE(again, nullptr) << err;
+  std::vector<Tuple> snap;
+  ASSERT_TRUE(w.client.Snapshot("q", &snap, nullptr, &err)) << err;
+  EXPECT_EQ(Canonical(again->Rows()), Canonical(snap));
+}
+
+TEST(NetServerTest, BlockPolicyIsLossless) {
+  ServerOptions sopts;
+  sopts.slow_consumer = SlowConsumerPolicy::kBlock;
+  sopts.send_cap_bytes = 4096;  // Force the emitters to wait on the writer.
+  EngineOptions eopts;
+  eopts.default_shards = 2;
+  Wire w(eopts, sopts);
+  std::string err;
+  const int64_t link0 = w.client.DeclareStream("link0", LblSchema(), &err);
+  ASSERT_GE(link0, 0) << err;
+  ASSERT_TRUE(w.client.RegisterQuery(
+      "q", "SELECT src_ip FROM link0 [RANGE 60]", 0, nullptr, &err))
+      << err;
+  SubscriptionMirror* sub = w.client.Subscribe("q", &err);
+  ASSERT_NE(sub, nullptr) << err;
+  const int64_t remote_id[2] = {link0, link0};
+  const int local_id[2] = {0, 0};
+  Trace trace = NetTrace(300);
+  trace.events.erase(
+      std::remove_if(trace.events.begin(), trace.events.end(),
+                     [](const TraceEvent& e) { return e.stream != 0; }),
+      trace.events.end());
+  // No oracle here -- the property is that backpressure loses nothing:
+  // mirror == view at every barrier despite the tiny send cap.
+  ReplayAndCompare(w.client, "q", sub, nullptr, {}, remote_id, local_id,
+                   trace, /*barrier_every=*/40);
+  EXPECT_FALSE(sub->dropped());
+}
+
+TEST(NetServerTest, MultipleClientsSeeTheSameBarrierState) {
+  EngineOptions eopts;
+  eopts.default_shards = 2;
+  Wire w(eopts);
+  std::string err;
+  const int64_t link0 = w.client.DeclareStream("link0", LblSchema(), &err);
+  ASSERT_GE(link0, 0) << err;
+  ASSERT_TRUE(w.client.RegisterQuery(
+      "q", "SELECT DISTINCT src_ip FROM link0 [RANGE 60]", 0, nullptr,
+      &err))
+      << err;
+  SubscriptionMirror* sub1 = w.client.Subscribe("q", &err);
+  ASSERT_NE(sub1, nullptr) << err;
+
+  Client client2;
+  ASSERT_TRUE(client2.Connect("127.0.0.1", w.server->port(), &err)) << err;
+  SubscriptionMirror* sub2 = client2.Subscribe("q", &err);
+  ASSERT_NE(sub2, nullptr) << err;
+
+  const Trace trace = NetTrace(200);
+  std::vector<std::pair<uint32_t, Tuple>> batch;
+  Time last = 0;
+  for (const TraceEvent& e : trace.events) {
+    if (e.stream != 0) continue;
+    batch.emplace_back(static_cast<uint32_t>(link0), e.tuple);
+    last = e.tuple.ts;
+  }
+  ASSERT_TRUE(w.client.IngestBatch(batch, &err)) << err;
+  ASSERT_TRUE(w.client.Flush(&err)) << err;  // Client 1 is now current.
+
+  // Client 2 never flushed; its watermark arrives as a push. Drain until
+  // it catches up to the same barrier.
+  for (int i = 0; i < 200 && sub2->watermark() < last; ++i) {
+    ASSERT_TRUE(client2.PollEvents(50, &err)) << err;
+  }
+  EXPECT_GE(sub2->watermark(), last);
+  EXPECT_EQ(Canonical(sub1->Rows()), Canonical(sub2->Rows()));
+
+  // Dropping one client's subscription must not disturb the other's.
+  ASSERT_TRUE(client2.Unsubscribe(sub2, &err)) << err;
+  std::vector<Tuple> snap;
+  ASSERT_TRUE(w.client.Snapshot("q", &snap, nullptr, &err)) << err;
+  EXPECT_EQ(Canonical(sub1->Rows()), Canonical(snap));
+  client2.Close();
+}
+
+TEST(NetServerTest, ShardKillWithDurabilityResetsAndResynchronizes) {
+  TempDir dir("killsub");
+  // One scheduled kill: shard 0 of the query dies mid-trace; the barrier
+  // path restarts it from the recovery log, detects that the replica the
+  // subscription sink was attached to is gone, and pushes a kSubReset
+  // with a fresh snapshot. The mirror must resynchronize and the final
+  // three-way differential must still hold -- with the WAL on, so the
+  // networked ingest path and the durability layer compose.
+  std::vector<FaultEvent> schedule;
+  FaultEvent kill;
+  kill.kind = FaultKind::kKillShard;
+  kill.query = "q";
+  kill.shard = 0;
+  kill.at_count = 120;
+  schedule.push_back(kill);
+  FaultInjector faults(std::move(schedule));
+
+  EngineOptions eopts;
+  eopts.default_shards = 2;
+  eopts.check_invariants = true;
+  eopts.durability.dir = dir.str();
+  eopts.fault_injector = &faults;
+  Wire w(eopts);
+  std::string err;
+
+  const int64_t remote_id[2] = {
+      w.client.DeclareStream("link0", LblSchema(), &err),
+      w.client.DeclareStream("link1", LblSchema(), &err)};
+  ASSERT_GE(remote_id[0], 0) << err;
+  ASSERT_GE(remote_id[1], 0) << err;
+  const char* sql =
+      "SELECT link0.src_ip FROM link0 [RANGE 60], link1 [RANGE 60] "
+      "WHERE link0.src_ip = link1.src_ip";
+  ASSERT_TRUE(w.client.RegisterQuery("q", sql, 0, nullptr, &err)) << err;
+  SubscriptionMirror* sub = w.client.Subscribe("q", &err);
+  ASSERT_NE(sub, nullptr) << err;
+
+  SourceCatalog catalog;
+  const int local_id[2] = {catalog.DeclareStream("link0", LblSchema()),
+                           catalog.DeclareStream("link1", LblSchema())};
+  const ParseResult p = catalog.Compile(sql);
+  ASSERT_TRUE(p.ok()) << p.error;
+  ReferenceEvaluator ref(p.plan.get());
+
+  const Trace trace = NetTrace(240);
+  ReplayAndCompare(w.client, "q", sub, &ref, {local_id[0], local_id[1]},
+                   remote_id, local_id, trace, /*barrier_every=*/40);
+
+  EXPECT_GE(sub->resets_applied(), 1u)
+      << "the scheduled shard kill never forced a subscription reset";
+  uint64_t restarts = 0;
+  for (const QueryMetrics& qm : w.engine->Metrics().queries) {
+    if (qm.name == "q") restarts = qm.restarts;
+  }
+  EXPECT_GE(restarts, 1u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace upa
