@@ -72,6 +72,8 @@ int Usage(const char* argv0) {
       "                        after the run (default 30)\n"
       "  --serve-seconds <s>   serve mode: exit after s seconds\n"
       "                        (default: run until SIGINT/SIGTERM)\n"
+      "  --sql                 serve mode: accept text-SQL sessions\n"
+      "                        (kSqlExec; pair with examples/upa_sql)\n"
       "  --durable-dir <dir>   enable WAL + checkpoints under dir\n"
       "  --recover             resume from the last checkpoint in\n"
       "                        --durable-dir instead of starting fresh\n"
@@ -109,6 +111,7 @@ int main(int argc, char** argv) {
   double serve_seconds = 0.0;  // 0 = until signal.
   std::string durable_dir;
   bool recover = false;
+  bool enable_sql = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -147,6 +150,8 @@ int main(int argc, char** argv) {
       durable_dir = argv[++i];
     } else if (std::strcmp(arg, "--recover") == 0) {
       recover = true;
+    } else if (std::strcmp(arg, "--sql") == 0) {
+      enable_sql = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
       return Usage(argv[0]);
@@ -187,6 +192,7 @@ int main(int argc, char** argv) {
     net::ServerOptions sopts;
     sopts.port = static_cast<int>(serve_port);
     sopts.metrics_port = static_cast<int>(metrics_port);
+    sopts.enable_sql = enable_sql;
     net::Server server(&engine, sopts);
     std::string err;
     if (!server.Start(&err)) {

@@ -1,0 +1,268 @@
+// upa_sql: interactive text-SQL session shell over the binary wire
+// protocol (src/net + src/sql/session). Connects to an engine_server
+// started with --sql and executes one statement per input line:
+//
+//   ./examples/engine_server --port 0 --sql     # prints the bound port
+//   ./examples/upa_sql --port <p>
+//
+//   upa> CREATE STREAM link0 (ts INT, src INT, bytes INT)
+//   upa> REGISTER QUERY total AS SELECT COUNT(*) FROM link0 [RANGE 100]
+//   upa> EXPLAIN SELECT COUNT(*) FROM link0 [RANGE 100]
+//   upa> SUBSCRIBE total
+//
+// See src/sql/session/statement.h for the full dialect. Statement
+// errors print the server's message plus its caret context (byte-offset
+// anchored), and leave the session usable.
+//
+// Local meta-commands (handled client-side, never sent):
+//   .rows <query>   print the local subscription mirror of <query>
+//   .poll [ms]      drain pending subscription pushes (default 0 ms)
+//   .quit           exit
+//
+// Non-interactive use: each -e <stmt> executes in order, then the shell
+// exits (nonzero if any statement failed). scripts/ci.sh drives the
+// loopback SQL smoke stage this way and diffs the output.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/tuple.h"
+#include "net/client.h"
+
+namespace {
+
+using namespace upa;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port <p> [options]\n"
+               "  --port <p>   engine_server wire-protocol port (required)\n"
+               "  --host <h>   server host (default 127.0.0.1)\n"
+               "  -e <stmt>    execute one statement and continue; with any\n"
+               "               -e the shell never reads stdin and exits\n"
+               "               nonzero if a statement failed (repeatable)\n"
+               "  --help       this message\n",
+               argv0);
+  return 1;
+}
+
+bool ParseInt(const char* s, long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+/// Renders mirror rows sorted on their field values -- the stable form
+/// the CI smoke stage diffs against.
+void PrintRows(const std::vector<Tuple>& rows) {
+  std::vector<std::string> lines;
+  lines.reserve(rows.size());
+  for (const Tuple& t : rows) {
+    std::string line = "(";
+    for (size_t i = 0; i < t.fields.size(); ++i) {
+      if (i > 0) line += ", ";
+      line += ToString(t.fields[i]);
+    }
+    line += ")";
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  for (const std::string& line : lines) std::printf("  %s\n", line.c_str());
+  std::printf("  [%zu row%s]\n", lines.size(), lines.size() == 1 ? "" : "s");
+}
+
+/// Trims leading/trailing whitespace (statements keep internal offsets
+/// valid because the server parses the text we send verbatim).
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+struct Shell {
+  net::Client* client;
+  /// SUBSCRIBE mirrors by query name, for `.rows`.
+  std::map<std::string, net::SubscriptionMirror*> mirrors;
+
+  /// Executes one line (statement or meta-command). Returns false on
+  /// transport failure (connection unusable); statement-level failures
+  /// print and set *stmt_failed.
+  bool RunLine(const std::string& raw, bool* stmt_failed, bool* quit) {
+    const std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') return true;
+
+    if (line[0] == '.') {
+      return RunMeta(line, stmt_failed, quit);
+    }
+
+    std::string err;
+    net::SqlExecResult r;
+    if (!client->SqlExec(line, &r, &err)) {
+      std::fprintf(stderr, "connection error: %s\n", err.c_str());
+      return false;
+    }
+    if (!r.ok) {
+      *stmt_failed = true;
+      std::printf("error: %s\n", r.error.c_str());
+      if (!r.context.empty()) std::printf("%s\n", r.context.c_str());
+      return true;
+    }
+    if (!r.text.empty()) std::printf("%s\n", r.text.c_str());
+    if (r.mirror != nullptr) {
+      mirrors[r.mirror->query()] = r.mirror;
+      PrintRows(r.mirror->Rows());
+    }
+    return true;
+  }
+
+  bool RunMeta(const std::string& line, bool* stmt_failed, bool* quit) {
+    if (line == ".quit" || line == ".exit") {
+      *quit = true;
+      return true;
+    }
+    if (line.rfind(".poll", 0) == 0) {
+      long ms = 0;
+      const std::string arg = Trim(line.substr(5));
+      if (!arg.empty() && (!ParseInt(arg.c_str(), &ms) || ms < 0)) {
+        std::printf("usage: .poll [milliseconds]\n");
+        *stmt_failed = true;
+        return true;
+      }
+      std::string err;
+      if (!client->PollEvents(static_cast<int>(ms), &err)) {
+        std::fprintf(stderr, "connection error: %s\n", err.c_str());
+        return false;
+      }
+      std::printf("polled\n");
+      return true;
+    }
+    if (line.rfind(".rows", 0) == 0) {
+      const std::string name = Trim(line.substr(5));
+      auto it = mirrors.find(name);
+      if (name.empty() || it == mirrors.end()) {
+        std::printf("no subscription mirror for '%s' (SUBSCRIBE first)\n",
+                    name.c_str());
+        *stmt_failed = true;
+        return true;
+      }
+      // Apply anything the server already pushed before rendering.
+      std::string err;
+      if (!client->PollEvents(0, &err)) {
+        std::fprintf(stderr, "connection error: %s\n", err.c_str());
+        return false;
+      }
+      if (it->second->dropped()) {
+        std::printf("subscription to '%s' was dropped by the server\n",
+                    name.c_str());
+        mirrors.erase(it);
+        *stmt_failed = true;
+        return true;
+      }
+      PrintRows(it->second->Rows());
+      return true;
+    }
+    std::printf("unknown meta-command '%s' (.rows, .poll, .quit)\n",
+                line.c_str());
+    *stmt_failed = true;
+    return true;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = -1;
+  std::string host = "127.0.0.1";
+  std::vector<std::string> scripted;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(arg, "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else if (std::strcmp(arg, "--port") == 0) {
+      if (!has_value || !ParseInt(argv[++i], &port) || port < 1 ||
+          port > 65535) {
+        std::fprintf(stderr, "--port requires a port number\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--host") == 0) {
+      if (!has_value) {
+        std::fprintf(stderr, "--host requires a value\n");
+        return Usage(argv[0]);
+      }
+      host = argv[++i];
+    } else if (std::strcmp(arg, "-e") == 0) {
+      if (!has_value) {
+        std::fprintf(stderr, "-e requires a statement\n");
+        return Usage(argv[0]);
+      }
+      scripted.push_back(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+  if (port < 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return Usage(argv[0]);
+  }
+
+  net::Client client;
+  std::string err;
+  if (!client.Connect(host, static_cast<int>(port), &err, "upa-sql")) {
+    std::fprintf(stderr, "connect failed: %s\n", err.c_str());
+    return 1;
+  }
+
+  Shell shell;
+  shell.client = &client;
+  bool any_failed = false;
+  bool quit = false;
+
+  if (!scripted.empty()) {
+    for (const std::string& stmt : scripted) {
+      std::printf("> %s\n", stmt.c_str());
+      bool failed = false;
+      if (!shell.RunLine(stmt, &failed, &quit)) return 1;
+      any_failed = any_failed || failed;
+      if (quit) break;
+    }
+    client.Close();
+    return any_failed ? 1 : 0;
+  }
+
+  const bool tty = isatty(STDIN_FILENO) != 0;
+  if (tty) {
+    std::printf("connected to %s -- one statement per line, .quit exits\n",
+                client.server_name().c_str());
+  }
+  std::string line;
+  while (!quit) {
+    if (tty) {
+      std::printf("upa> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    bool failed = false;
+    if (!shell.RunLine(line, &failed, &quit)) return 1;
+    any_failed = any_failed || failed;
+  }
+  client.Close();
+  // Interactive sessions exit 0; piped scripts report failures so CI
+  // can assert on them.
+  return (!tty && any_failed) ? 1 : 0;
+}

@@ -96,6 +96,63 @@ grep -q "graceful shutdown complete" "$SMOKE_LOG" || {
   exit 1
 }
 
+# SQL session smoke: a --sql engine_server on an ephemeral port, driven
+# by the upa_sql shell with a scripted DDL + register + introspection +
+# subscribe exchange. The transcript (including the EXPLAIN cost table)
+# is diffed against the committed expected output, so any drift in the
+# session dialect, the EXPLAIN format, or the wire path fails CI. A
+# second invocation pins the error path: a malformed statement must
+# produce a caret diagnostic and a nonzero exit without disturbing the
+# server.
+echo "ci.sh: SQL session smoke"
+SQL_LOG="$BUILD_DIR/sql_smoke_server.log"
+"$BUILD_DIR/examples/engine_server" --port 0 --sql --serve-seconds 120 \
+  >"$SQL_LOG" 2>&1 &
+SQL_PID=$!
+trap 'kill -TERM "$SQL_PID" 2>/dev/null || true' EXIT
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$SQL_LOG" | head -n1)
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "ci.sh: --sql engine_server never reported its port" >&2
+  cat "$SQL_LOG" >&2
+  exit 1
+fi
+SQL_OUT="$BUILD_DIR/sql_smoke_out.txt"
+"$BUILD_DIR/examples/upa_sql" --port "$PORT" \
+  -e "CREATE STREAM link0 (duration INT, protocol INT, payload INT, src_ip INT, dst_ip INT)" \
+  -e "CREATE RELATION meta (key INT) RETROACTIVE" \
+  -e "REGISTER QUERY total AS SELECT COUNT(*) FROM link0 [RANGE 100]" \
+  -e "SHOW STREAMS" \
+  -e "SHOW QUERIES" \
+  -e "EXPLAIN SELECT COUNT(*) FROM link0 [RANGE 100]" \
+  -e "SUBSCRIBE total" \
+  -e "UNSUBSCRIBE total" \
+  -e "UNREGISTER QUERY total" \
+  >"$SQL_OUT"
+diff scripts/sql_smoke_expected.txt "$SQL_OUT" || {
+  echo "ci.sh: SQL session transcript drifted from the expected output" >&2
+  exit 1
+}
+SQL_ERR_OUT="$BUILD_DIR/sql_smoke_err.txt"
+if "$BUILD_DIR/examples/upa_sql" --port "$PORT" -e "SELEC bogus" \
+  >"$SQL_ERR_OUT"; then
+  echo "ci.sh: upa_sql exited 0 on a malformed statement" >&2
+  exit 1
+fi
+grep -q '^\^~~~' "$SQL_ERR_OUT" || {
+  echo "ci.sh: malformed statement produced no caret diagnostic" >&2
+  cat "$SQL_ERR_OUT" >&2
+  exit 1
+}
+kill -TERM "$SQL_PID"
+wait "$SQL_PID" || true
+trap - EXIT
+
 # Smoke bench: one small Query 1 run through the JSON harness. Validates
 # the upa.bench.v1 schema and fails on a >2x regression of ms_per_1k
 # against the committed baseline (bench/baselines/BENCH_q1_smoke.json).

@@ -38,6 +38,7 @@ struct RecoveryReport {
   bool data_loss = false;
   uint64_t retained_replayed = 0;  ///< Checkpoint tuples re-injected.
   uint64_t queries_restored = 0;
+  uint64_t queries_unregistered = 0;  ///< Replayed kUnregisterQuery records.
   uint64_t sources_restored = 0;
   Time clock = -1;       ///< Engine clock after recovery.
   double seconds = 0.0;  ///< Wall time of the whole recovery.

@@ -132,6 +132,9 @@ std::string EncodeRecord(const WalRecord& rec) {
       serde::PutU32(&out, static_cast<uint32_t>(rec.shards));
       serde::PutU8(&out, rec.mode);
       break;
+    case WalRecordType::kUnregisterQuery:
+      serde::PutString(&out, rec.query_name);
+      break;
   }
   return out;
 }
@@ -141,7 +144,9 @@ bool DecodeRecord(const std::string& payload, WalRecord* out) {
   uint8_t type;
   if (!r.GetU64(&out->seq) || !r.GetU8(&type)) return false;
   if (out->seq == 0) return false;
-  if (type > static_cast<uint8_t>(WalRecordType::kRegisterQuery)) return false;
+  if (type > static_cast<uint8_t>(WalRecordType::kUnregisterQuery)) {
+    return false;
+  }
   out->type = static_cast<WalRecordType>(type);
   switch (out->type) {
     case WalRecordType::kIngest: {
@@ -174,6 +179,9 @@ bool DecodeRecord(const std::string& payload, WalRecord* out) {
       out->shards = static_cast<int>(shards);
       break;
     }
+    case WalRecordType::kUnregisterQuery:
+      if (!r.GetString(&out->query_name)) return false;
+      break;
   }
   return r.AtEnd();
 }

@@ -43,6 +43,7 @@ enum class WalRecordType : uint8_t {
   kAdvance = 1,
   kDeclareSource = 2,
   kRegisterQuery = 3,
+  kUnregisterQuery = 4,
 };
 
 /// One decoded WAL record. Which fields are meaningful depends on `type`.
@@ -61,7 +62,7 @@ struct WalRecord {
   std::string source_name;
   SourceDecl source;
 
-  // kRegisterQuery.
+  // kRegisterQuery (kUnregisterQuery uses query_name only).
   std::string query_name;
   std::string sql;
   int shards = 0;

@@ -165,6 +165,53 @@ RegisterResult Engine::DoRegister(const std::string& name, PlanPtr plan,
   return r;
 }
 
+bool Engine::UnregisterQuery(const std::string& name, std::string* error) {
+  if (stopped_.load(std::memory_order_relaxed)) {
+    if (error != nullptr) *error = "engine is stopped";
+    return false;
+  }
+  // Serialize against whole checkpoints: Checkpoint captures raw query
+  // pointers under the registration lock but dereferences them in its
+  // later phases outside it, so a removal must never interleave with a
+  // checkpoint in flight. Same lock order as Checkpoint
+  // (checkpoint_mu_ before mu_).
+  std::lock_guard<std::mutex> ckpt_lock(checkpoint_mu_);
+  std::unique_ptr<RegisteredQuery> q;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    q = registry_.Remove(name);
+    if (q != nullptr && wal_ != nullptr && !q->sql().empty()) {
+      // Logged under the same lock that removed the query, so the WAL
+      // orders the removal after every tuple that was routed to it (a
+      // replay re-registers, replays those tuples, then unregisters).
+      durability::WalRecord rec;
+      rec.type = durability::WalRecordType::kUnregisterQuery;
+      rec.query_name = name;
+      wal_->Append(std::move(rec));
+    }
+  }
+  if (q == nullptr) {
+    if (error != nullptr) {
+      *error = "no query named '" + name + "' is registered";
+    }
+    return false;
+  }
+  // The registry has forgotten the query: no producer can route to it and
+  // no barrier can find it. Drain and join its workers outside the lock
+  // so every other query keeps ingesting during the teardown.
+  for (int i = 0; i < q->num_shards(); ++i) q->shard(i).Stop();
+  {
+    // Purge the stall-watch entries keyed by the dying shard executors so
+    // a later allocation at the same address cannot inherit their state.
+    std::lock_guard<std::mutex> watch_lock(watch_mu_);
+    for (int i = 0; i < q->num_shards(); ++i) watch_.erase(&q->shard(i));
+  }
+  // Destroying the query tears down its subscription hub. Safe: Stop()
+  // joined the shard workers, so no EmitDelta is in flight, and the
+  // barrier paths can no longer reach the hub.
+  return true;
+}
+
 void Engine::Ingest(int stream_id, const Tuple& t) {
   if (stopped_.load(std::memory_order_relaxed)) return;
   if (options_.fault_injector != nullptr) {
@@ -686,6 +733,16 @@ void Engine::ApplyWalRecord(const durability::WalRecord& rec,
       } else if (report->note.empty()) {
         report->note = "replayed registration of '" + rec.query_name +
                        "' failed: " + r.error;
+      }
+      break;
+    }
+    case durability::WalRecordType::kUnregisterQuery: {
+      std::string uerr;
+      if (UnregisterQuery(rec.query_name, &uerr)) {
+        ++report->queries_unregistered;
+      } else if (report->note.empty()) {
+        report->note = "replayed unregistration of '" + rec.query_name +
+                       "' failed: " + uerr;
       }
       break;
     }

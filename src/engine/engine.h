@@ -170,6 +170,18 @@ class Engine {
   RegisterResult RegisterPlan(const std::string& name, PlanPtr plan,
                               const QueryOptions& options = {});
 
+  /// Removes query `name` while the engine keeps running: the registry
+  /// forgets it under the registration lock (no new tuples are routed to
+  /// it afterwards), then its shard workers are drained and joined
+  /// outside that lock, so ingest into every other query proceeds during
+  /// the teardown. Subscriptions to the query cease: on return no
+  /// subscription callback is in flight and none will fire again (the
+  /// network layer translates this into kSubDropped pushes). On a
+  /// durable engine the removal is WAL-logged (and therefore replayed by
+  /// recovery) when the query was SQL-registered. Returns false with
+  /// `error` when no such query exists or the engine is stopped.
+  bool UnregisterQuery(const std::string& name, std::string* error = nullptr);
+
   /// Routes one event to every query bound to `stream_id`. Timestamps
   /// must be non-decreasing across calls.
   void Ingest(int stream_id, const Tuple& t);
@@ -244,10 +256,11 @@ class Engine {
     return recovery_report_;
   }
 
-  /// Read-only handle to a registered query, or nullptr if unknown.
-  /// Queries are never removed, so the pointer stays valid for the
-  /// engine's lifetime (used by the network layer to report a query's
-  /// update pattern and view kind without copying metrics).
+  /// Read-only handle to a registered query, or nullptr if unknown. The
+  /// pointer stays valid until UnregisterQuery removes the query (or for
+  /// the engine's lifetime if it never is); callers that race unregister
+  /// must not cache it across calls. Used by the network layer to report
+  /// a query's update pattern and view kind without copying metrics.
   const RegisteredQuery* FindQuery(const std::string& name) const;
 
   /// Merged PipelineStats of a query's shards (barrier-free, may trail
@@ -337,7 +350,8 @@ class Engine {
   std::thread watchdog_;
 
   // Per-shard progress tracking for the stall detector. Shard executor
-  // addresses are stable (queries are never removed).
+  // addresses are stable while registered; UnregisterQuery purges the
+  // entries of the shards it destroys.
   struct StallWatch {
     uint64_t processed = 0;
     std::chrono::steady_clock::time_point since;

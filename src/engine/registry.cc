@@ -1,5 +1,6 @@
 #include "engine/registry.h"
 
+#include <cstddef>
 #include <utility>
 
 #include "common/macros.h"
@@ -117,6 +118,21 @@ RegisteredQuery* QueryRegistry::Add(std::unique_ptr<RegisteredQuery> query) {
   by_name_.emplace(query->name(), queries_.size());
   queries_.push_back(std::move(query));
   return queries_.back().get();
+}
+
+std::unique_ptr<RegisteredQuery> QueryRegistry::Remove(
+    const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  const size_t index = it->second;
+  std::unique_ptr<RegisteredQuery> out = std::move(queries_[index]);
+  queries_.erase(queries_.begin() + static_cast<ptrdiff_t>(index));
+  by_name_.erase(it);
+  // Every query after the erased slot shifted down by one.
+  for (auto& [unused_name, idx] : by_name_) {
+    if (idx > index) --idx;
+  }
+  return out;
 }
 
 RegisteredQuery* QueryRegistry::Find(const std::string& name) {

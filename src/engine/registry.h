@@ -132,6 +132,12 @@ class QueryRegistry {
   /// Adds a query; fails (returns null) if the name is taken.
   RegisteredQuery* Add(std::unique_ptr<RegisteredQuery> query);
 
+  /// Detaches a query from the registry and hands ownership back to the
+  /// caller (null if the name is unknown). The caller is responsible for
+  /// stopping the shards before destroying the object; the registry only
+  /// forgets it. Later queries keep their registration order.
+  std::unique_ptr<RegisteredQuery> Remove(const std::string& name);
+
   RegisteredQuery* Find(const std::string& name);
   const RegisteredQuery* Find(const std::string& name) const;
 

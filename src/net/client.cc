@@ -401,6 +401,37 @@ bool Client::Unsubscribe(SubscriptionMirror* sub, std::string* error) {
   return ok;
 }
 
+bool Client::SqlExec(const std::string& statement, SqlExecResult* out,
+                     std::string* error) {
+  Message req;
+  req.type = MsgType::kSqlExec;
+  req.text = statement;
+  Message resp;
+  if (!Call(&req, &resp, error) || resp.type != MsgType::kSqlResult) {
+    return false;
+  }
+  *out = SqlExecResult{};
+  out->ok = resp.flag;
+  if (!resp.flag) {
+    out->error = std::move(resp.text);
+    out->context = std::move(resp.name);
+    out->error_offset = resp.id;
+    return true;
+  }
+  out->text = std::move(resp.text);
+  if (resp.sub_id != 0) {
+    // Successful SUBSCRIBE: the result carries the snapshot payload and
+    // the query name (resp.name).
+    auto mirror = std::unique_ptr<SubscriptionMirror>(new SubscriptionMirror(
+        resp.sub_id, resp.name, static_cast<UpdatePattern>(resp.pattern),
+        static_cast<ViewDeltaKind>(resp.view_kind)));
+    mirror->ApplySnapshot(resp.tuples, resp.time);
+    out->mirror = mirror.get();
+    subs_[resp.sub_id] = std::move(mirror);
+  }
+  return true;
+}
+
 bool Client::Ping(std::string* error) {
   Message req;
   req.type = MsgType::kPing;

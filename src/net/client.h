@@ -18,6 +18,24 @@
 namespace upa {
 namespace net {
 
+/// Outcome of one text-SQL statement (Client::SqlExec / kSqlResult).
+/// `ok` distinguishes statement-level failure (bad SQL, unknown name --
+/// the connection stays healthy) from the transport-level failure
+/// SqlExec itself reports by returning false.
+struct SqlExecResult {
+  bool ok = false;
+  std::string text;   ///< Human-readable result (success).
+  std::string error;  ///< Statement error message (failure).
+  /// Byte offset of the error into the statement text, -1 when the
+  /// error has no anchoring position.
+  int64_t error_offset = -1;
+  /// Caret context (`^~~~` under the offending column), "" if none.
+  std::string context;
+  /// Mirror attached by a successful SUBSCRIBE statement (owned by the
+  /// Client, like Client::Subscribe's); null for every other statement.
+  class SubscriptionMirror* mirror = nullptr;
+};
+
 /// What RegisterAck reports about a (possibly pre-existing) query.
 struct ClientQueryInfo {
   std::string name;
@@ -158,6 +176,17 @@ class Client {
   bool Unsubscribe(SubscriptionMirror* sub, std::string* error = nullptr);
 
   bool Ping(std::string* error = nullptr);
+
+  /// Executes one text-SQL session statement (see src/sql/session/
+  /// statement.h for the dialect; requires a --sql server). Returns
+  /// false only on transport errors; statement-level failures come back
+  /// in `out->error` (with byte offset and caret context) with SqlExec
+  /// returning true. A successful SUBSCRIBE statement attaches a
+  /// SubscriptionMirror (returned via `out->mirror`, owned by this
+  /// Client); UNSUBSCRIBE and UNREGISTER mark affected mirrors dropped
+  /// via the server's kSubDropped pushes.
+  bool SqlExec(const std::string& statement, SqlExecResult* out,
+               std::string* error = nullptr);
 
   /// Drains subscription pushes the server sent on its own initiative
   /// (delta batches cut at kDeltaBatchMax, drop notices) without issuing

@@ -154,6 +154,20 @@ std::string EncodePayload(const Message& m) {
     case MsgType::kSubDropped:
       serde::PutU64(&out, m.sub_id);
       break;
+    case MsgType::kSqlExec:
+      serde::PutString(&out, m.text);
+      break;
+    case MsgType::kSqlResult:
+      serde::PutU8(&out, m.flag ? 1 : 0);
+      serde::PutString(&out, m.text);
+      serde::PutString(&out, m.name);
+      serde::PutI64(&out, m.id);
+      serde::PutU64(&out, m.sub_id);
+      serde::PutU8(&out, m.pattern);
+      serde::PutU8(&out, m.view_kind);
+      serde::PutI64(&out, m.time);
+      PutTuples(&out, m.tuples);
+      break;
     case MsgType::kAdvanceAck:
     case MsgType::kFlush:
     case MsgType::kPing:
@@ -168,7 +182,7 @@ bool DecodePayload(const void* data, size_t size, Message* out) {
   uint8_t type = 0;
   if (!r.GetU8(&type) || !r.GetU64(&out->req_id)) return false;
   if (type < static_cast<uint8_t>(MsgType::kHello) ||
-      type > static_cast<uint8_t>(MsgType::kPong)) {
+      type > static_cast<uint8_t>(MsgType::kSqlResult)) {
     return false;
   }
   out->type = static_cast<MsgType>(type);
@@ -285,6 +299,21 @@ bool DecodePayload(const void* data, size_t size, Message* out) {
     case MsgType::kSubDropped:
       if (!r.GetU64(&out->sub_id)) return false;
       break;
+    case MsgType::kSqlExec:
+      if (!r.GetString(&out->text)) return false;
+      break;
+    case MsgType::kSqlResult: {
+      uint8_t flag = 0;
+      if (!r.GetU8(&flag) || !r.GetString(&out->text) ||
+          !r.GetString(&out->name) || !r.GetI64(&out->id) ||
+          !r.GetU64(&out->sub_id) || !r.GetU8(&out->pattern) ||
+          !r.GetU8(&out->view_kind) || !r.GetI64(&out->time) ||
+          !GetTuples(&r, &out->tuples)) {
+        return false;
+      }
+      out->flag = flag != 0;
+      break;
+    }
     case MsgType::kAdvanceAck:
     case MsgType::kFlush:
     case MsgType::kPing:
@@ -355,6 +384,8 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kSubDropped: return "SubDropped";
     case MsgType::kPing: return "Ping";
     case MsgType::kPong: return "Pong";
+    case MsgType::kSqlExec: return "SqlExec";
+    case MsgType::kSqlResult: return "SqlResult";
   }
   return "Unknown";
 }

@@ -38,7 +38,10 @@ namespace net {
 /// client dispatches them to subscription handles while waiting.
 
 inline constexpr uint32_t kMagic = 0x4e415055;  // "UPAN"
-inline constexpr uint32_t kProtocolVersion = 1;
+/// Version 2 added the text-SQL session messages (kSqlExec/kSqlResult).
+/// The server still accepts version-1 clients; they just cannot issue
+/// kSqlExec (it is answered with kError on a v1 session).
+inline constexpr uint32_t kProtocolVersion = 2;
 /// Hard frame cap: a length field above this is treated as corruption
 /// before any allocation happens.
 inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
@@ -80,11 +83,27 @@ enum class MsgType : uint8_t {
   kSubData = 21,        ///< push: sub_id:u64, tuples (deltas, in order).
   kSubWatermark = 22,   ///< push: sub_id:u64, time:i64.
   kSubReset = 23,       ///< push: sub_id:u64, tuples (fresh snapshot).
-  kSubDropped = 24,     ///< push: sub_id:u64 (slow-consumer policy fired).
+  kSubDropped = 24,     ///< push: sub_id:u64 -- the server detached the
+                        ///< subscription (slow-consumer policy, SQL
+                        ///< UNSUBSCRIBE, or its query was unregistered).
 
   // Liveness.
   kPing = 25,  ///< (empty body).
   kPong = 26,  ///< (empty body).
+
+  // Text-SQL session layer (protocol version >= 2; see
+  // src/sql/session/). One statement per request; SUBSCRIBE statements
+  // answer with the full subscription payload (the kSubscribeAck
+  // fields), after which the usual pushes flow for that sub_id.
+  kSqlExec = 27,    ///< text:str (one session statement).
+  kSqlResult = 28,  ///< flag:u8 (ok), text:str (result or error),
+                    ///< name:str (on error: caret context; on a
+                    ///< successful SUBSCRIBE: the query name),
+                    ///< id:i64 (error byte offset, -1 if none),
+                    ///< sub_id:u64, pattern:u8, view_kind:u8,
+                    ///< time:i64, tuples (all five meaningful only for
+                    ///< a successful SUBSCRIBE: the snapshot payload;
+                    ///< sub_id is 0 otherwise).
 };
 
 /// One decoded protocol message: the type plus the union of every body

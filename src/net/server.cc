@@ -47,10 +47,66 @@ Message MakeError(uint64_t req_id, std::string text) {
   return m;
 }
 
+/// Bridges the window between Engine::Subscribe returning and the
+/// session learning the subscription id: the engine assigns the id
+/// inside Subscribe, but deltas may start flowing the instant it
+/// returns -- before the caller can register the id with the session.
+/// Events arriving before the channel is armed are buffered, then
+/// replayed in order (the hub serializes emissions, so ordering is
+/// preserved end to end). Shared by kSubscribe and the SQL SUBSCRIBE
+/// statement.
+struct SubChannel {
+  std::mutex mu;
+  bool armed = false;
+  uint64_t sub_id = 0;
+  std::shared_ptr<Session> session;
+  std::vector<SubscriptionEvent> backlog;
+};
+
+/// Engine-side subscribe + session-side registration. Returns null when
+/// the query is unknown; otherwise the channel is attached but NOT yet
+/// armed -- the caller queues its response frame first (so the client
+/// sees the subscription exist before its first delta), then calls
+/// ArmSubChannel.
+std::shared_ptr<SubChannel> AttachSubscription(
+    Engine* engine, const std::shared_ptr<Session>& s,
+    const std::string& query, SubscriptionInfo* info) {
+  auto ch = std::make_shared<SubChannel>();
+  ch->session = s;
+  const bool ok = engine->Subscribe(
+      query,
+      [ch](const SubscriptionEvent& ev) {
+        std::unique_lock<std::mutex> lock(ch->mu);
+        if (!ch->armed) {
+          ch->backlog.push_back(ev);
+          return;
+        }
+        const uint64_t id = ch->sub_id;
+        lock.unlock();
+        ch->session->OnSubEvent(id, ev);
+      },
+      info);
+  if (!ok) return nullptr;
+  s->AddSub(info->id, info->pattern);
+  s->engine_subs[info->id] = query;
+  return ch;
+}
+
+void ArmSubChannel(const std::shared_ptr<SubChannel>& ch,
+                   const std::shared_ptr<Session>& s, uint64_t sub_id) {
+  std::lock_guard<std::mutex> lock(ch->mu);
+  ch->armed = true;
+  ch->sub_id = sub_id;
+  for (const SubscriptionEvent& ev : ch->backlog) {
+    s->OnSubEvent(sub_id, ev);
+  }
+  ch->backlog.clear();
+}
+
 }  // namespace
 
 Server::Server(Engine* engine, ServerOptions options)
-    : engine_(engine), options_(std::move(options)) {
+    : engine_(engine), options_(std::move(options)), sql_(engine) {
   UPA_CHECK(engine_ != nullptr);
 }
 
@@ -274,7 +330,9 @@ bool Server::HandleRequest(const std::shared_ptr<Session>& s, Message&& m) {
   }
   switch (m.type) {
     case MsgType::kHello: {
-      if (m.version != kProtocolVersion) {
+      // Every version up to ours is accepted (v1 clients simply cannot
+      // use the v2-gated kSqlExec); newer versions are rejected.
+      if (m.version < 1 || m.version > kProtocolVersion) {
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
         s->QueueResponse(MakeError(
             m.req_id, "unsupported protocol version " +
@@ -284,10 +342,11 @@ bool Server::HandleRequest(const std::shared_ptr<Session>& s, Message&& m) {
         return false;
       }
       s->handshaken = true;
+      s->version = m.version;
       Message ack;
       ack.type = MsgType::kHelloAck;
       ack.req_id = m.req_id;
-      ack.version = kProtocolVersion;
+      ack.version = m.version;  // Echo the negotiated (client's) version.
       ack.name = options_.server_name;
       s->QueueResponse(ack);
       return true;
@@ -419,6 +478,22 @@ bool Server::HandleRequest(const std::shared_ptr<Session>& s, Message&& m) {
       s->QueueResponse(ack);
       return true;
     }
+    case MsgType::kSqlExec: {
+      if (!options_.enable_sql) {
+        s->QueueResponse(MakeError(
+            m.req_id, "SQL sessions are disabled on this server"));
+        return true;
+      }
+      if (s->version < 2) {
+        s->QueueResponse(MakeError(
+            m.req_id, "kSqlExec requires protocol version 2 (session "
+                      "negotiated version " +
+                          std::to_string(s->version) + ")"));
+        return true;
+      }
+      HandleSqlExec(s, m);
+      return true;
+    }
     case MsgType::kPing: {
       Message pong;
       pong.type = MsgType::kPong;
@@ -439,41 +514,12 @@ bool Server::HandleRequest(const std::shared_ptr<Session>& s, Message&& m) {
 
 void Server::HandleSubscribe(const std::shared_ptr<Session>& s,
                              const Message& m) {
-  // The engine assigns the subscription id inside Subscribe, but deltas
-  // may start flowing the instant Subscribe returns -- before this
-  // thread can register the id with the session. The channel bridges
-  // that window: events arriving before it is armed are buffered, then
-  // replayed in order (the hub serializes emissions, so ordering is
-  // preserved end to end).
-  struct SubChannel {
-    std::mutex mu;
-    bool armed = false;
-    uint64_t sub_id = 0;
-    std::shared_ptr<Session> session;
-    std::vector<SubscriptionEvent> backlog;
-  };
-  auto ch = std::make_shared<SubChannel>();
-  ch->session = s;
   SubscriptionInfo info;
-  const bool ok = engine_->Subscribe(
-      m.name,
-      [ch](const SubscriptionEvent& ev) {
-        std::unique_lock<std::mutex> lock(ch->mu);
-        if (!ch->armed) {
-          ch->backlog.push_back(ev);
-          return;
-        }
-        const uint64_t id = ch->sub_id;
-        lock.unlock();
-        ch->session->OnSubEvent(id, ev);
-      },
-      &info);
-  if (!ok) {
+  auto ch = AttachSubscription(engine_, s, m.name, &info);
+  if (ch == nullptr) {
     s->QueueResponse(MakeError(m.req_id, "unknown query '" + m.name + "'"));
     return;
   }
-  s->AddSub(info.id, info.pattern);
-  s->engine_subs[info.id] = m.name;
   // Ack (with the starting snapshot) before draining the backlog, so the
   // client sees the subscription exist before its first delta.
   Message ack;
@@ -486,15 +532,122 @@ void Server::HandleSubscribe(const std::shared_ptr<Session>& s,
   ack.time = engine_->clock();
   ack.tuples = std::move(info.snapshot);
   s->QueueResponse(ack);
+  ArmSubChannel(ch, s, info.id);
+}
+
+void Server::SweepQuerySubs(const std::string& query) {
+  std::vector<std::shared_ptr<Session>> all;
   {
-    std::lock_guard<std::mutex> lock(ch->mu);
-    ch->armed = true;
-    ch->sub_id = info.id;
-    for (const SubscriptionEvent& ev : ch->backlog) {
-      s->OnSubEvent(info.id, ev);
-    }
-    ch->backlog.clear();
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    all.reserve(sessions_.size());
+    for (auto& [id, sess] : sessions_) all.push_back(sess);
   }
+  for (auto& sess : all) {
+    if (sess->kind() != Session::Kind::kBinary) continue;
+    for (auto it = sess->engine_subs.begin();
+         it != sess->engine_subs.end();) {
+      if (it->second != query) {
+        ++it;
+        continue;
+      }
+      const uint64_t sub_id = it->first;
+      sess->RemoveSub(sub_id);
+      it = sess->engine_subs.erase(it);
+      Message drop;
+      drop.type = MsgType::kSubDropped;
+      drop.req_id = 0;
+      drop.sub_id = sub_id;
+      sess->QueueResponse(drop);
+    }
+  }
+}
+
+void Server::HandleSqlExec(const std::shared_ptr<Session>& s,
+                           const Message& m) {
+  Message resp;
+  resp.type = MsgType::kSqlResult;
+  resp.req_id = m.req_id;
+  resp.id = -1;
+
+  sqlsession::SqlResult r = sql_.Execute(m.text);
+  if (!r.ok) {
+    resp.flag = false;
+    resp.text = std::move(r.error);
+    resp.name = std::move(r.context);
+    if (r.error_offset != ParseResult::kNoOffset) {
+      resp.id = static_cast<int64_t>(r.error_offset);
+    }
+    s->QueueResponse(resp);
+    return;
+  }
+
+  switch (r.action) {
+    case sqlsession::SqlResult::Action::kSubscribe: {
+      SubscriptionInfo info;
+      auto ch = AttachSubscription(engine_, s, r.action_query, &info);
+      if (ch == nullptr) {
+        // The query disappeared between the session's check and the
+        // attach (another session unregistered it).
+        resp.flag = false;
+        resp.text = "no query named '" + r.action_query + "' is registered";
+        s->QueueResponse(resp);
+        return;
+      }
+      resp.flag = true;
+      resp.text = std::move(r.text);
+      resp.name = r.action_query;  // Query name (clients key mirrors on it).
+      resp.sub_id = info.id;
+      resp.pattern = static_cast<uint8_t>(info.pattern);
+      resp.view_kind = static_cast<uint8_t>(info.view_kind);
+      resp.time = engine_->clock();
+      resp.tuples = std::move(info.snapshot);
+      s->QueueResponse(resp);
+      ArmSubChannel(ch, s, info.id);
+      return;
+    }
+    case sqlsession::SqlResult::Action::kUnsubscribe: {
+      // Detach every subscription this session holds on the query.
+      int removed = 0;
+      for (auto it = s->engine_subs.begin(); it != s->engine_subs.end();) {
+        if (it->second != r.action_query) {
+          ++it;
+          continue;
+        }
+        engine_->Unsubscribe(it->second, it->first);
+        s->RemoveSub(it->first);
+        // Uniform drop signal so client-side mirrors notice without
+        // tracking which statement removed them.
+        Message drop;
+        drop.type = MsgType::kSubDropped;
+        drop.req_id = 0;
+        drop.sub_id = it->first;
+        s->QueueResponse(drop);
+        it = s->engine_subs.erase(it);
+        ++removed;
+      }
+      if (removed == 0) {
+        resp.flag = false;
+        resp.text = "no subscription to '" + r.action_query +
+                    "' on this session";
+        s->QueueResponse(resp);
+        return;
+      }
+      resp.flag = true;
+      resp.text = std::move(r.text);
+      s->QueueResponse(resp);
+      return;
+    }
+    case sqlsession::SqlResult::Action::kUnregistered:
+      // Engine-side teardown is done (shards joined, hub destroyed);
+      // notify and forget every session's subs on the dropped query.
+      SweepQuerySubs(r.action_query);
+      break;
+    case sqlsession::SqlResult::Action::kNone:
+      break;
+  }
+  resp.flag = true;
+  resp.text = std::move(r.text);
+  s->QueueResponse(resp);
 }
 
 void Server::ReapDropped(const std::shared_ptr<Session>& s) {

@@ -12,6 +12,7 @@
 
 #include "engine/engine.h"
 #include "net/session.h"
+#include "sql/session/session.h"
 
 namespace upa {
 namespace net {
@@ -39,6 +40,10 @@ struct ServerOptions {
   SlowConsumerPolicy slow_consumer = SlowConsumerPolicy::kBlock;
   /// Name reported in kHelloAck.
   std::string server_name = "upa-engine";
+  /// Accept kSqlExec (the text-SQL session layer, protocol version 2).
+  /// Off by default: text DDL can declare sources and drop queries, so
+  /// the operator opts in (engine_server --sql).
+  bool enable_sql = false;
 };
 
 /// Aggregated server counters (also exported to the global obs registry
@@ -105,6 +110,18 @@ class Server {
   /// that must close the session.
   bool HandleRequest(const std::shared_ptr<Session>& s, Message&& m);
   void HandleSubscribe(const std::shared_ptr<Session>& s, const Message& m);
+  /// Executes one text-SQL statement (kSqlExec) through sql_ and performs
+  /// the transport side of its action: SUBSCRIBE attaches through the
+  /// same channel machinery as kSubscribe (the kSqlResult carries the
+  /// snapshot payload), UNSUBSCRIBE detaches this session's subs on the
+  /// query, UNREGISTER sweeps every session's subs on the dropped query
+  /// with kSubDropped pushes (poll thread owns all sessions, so the
+  /// sweep is race-free).
+  void HandleSqlExec(const std::shared_ptr<Session>& s, const Message& m);
+  /// Pushes kSubDropped for (and forgets) every session's subscriptions
+  /// on `query`. Engine-side teardown already happened (UnregisterQuery
+  /// joined the shards), so only the session bookkeeping remains.
+  void SweepQuerySubs(const std::string& query);
   /// Engine-side unsubscribe + session detach for ids the slow-consumer
   /// policy dropped.
   void ReapDropped(const std::shared_ptr<Session>& s);
@@ -116,6 +133,8 @@ class Server {
 
   Engine* const engine_;
   const ServerOptions options_;
+  /// Statement executor behind kSqlExec (stateless; poll thread only).
+  sqlsession::SqlSession sql_;
 
   int listen_fd_ = -1;
   int metrics_fd_ = -1;

@@ -68,6 +68,10 @@ class Session {
 
   std::string in;        ///< Unconsumed inbound bytes.
   bool handshaken = false;
+  /// Protocol version negotiated by kHello (the server accepts every
+  /// version up to kProtocolVersion; version-gated requests such as
+  /// kSqlExec check this).
+  uint32_t version = 0;
   /// Engine subscription ids attached to this session -> query name
   /// (needed to unsubscribe on close).
   std::map<uint64_t, std::string> engine_subs;

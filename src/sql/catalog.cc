@@ -1,45 +1,65 @@
 #include "sql/catalog.h"
 
+#include <mutex>
 #include <utility>
 
 namespace upa {
 
-int SourceCatalog::Declare(const std::string& name, const SourceDecl& decl) {
+int SourceCatalog::DeclareLocked(const std::string& name,
+                                 SourceDecl decl) {
   for (const auto& [existing_name, existing] : sources_) {
     if (existing_name == name || existing.stream_id == decl.stream_id) {
       return -1;
     }
   }
-  sources_.emplace(name, decl);
-  next_id_ = std::max(next_id_, decl.stream_id + 1);
-  return decl.stream_id;
+  const int id = decl.stream_id;
+  next_id_ = std::max(next_id_, id + 1);
+  sources_.emplace(name, std::move(decl));
+  return id;
+}
+
+int SourceCatalog::Declare(const std::string& name, const SourceDecl& decl) {
+  std::unique_lock lock(mu_);
+  return DeclareLocked(name, decl);
 }
 
 int SourceCatalog::DeclareStream(const std::string& name, Schema schema) {
+  // The next_id_ read and the declaration must be one atomic step, so
+  // concurrent sessions never mint the same id.
+  std::unique_lock lock(mu_);
   SourceDecl decl;
   decl.stream_id = next_id_;
   decl.schema = std::move(schema);
   decl.kind = SourceKind::kStream;
-  return Declare(name, decl);
+  return DeclareLocked(name, std::move(decl));
 }
 
 int SourceCatalog::DeclareRelation(const std::string& name, Schema schema,
                                    bool retroactive) {
+  std::unique_lock lock(mu_);
   SourceDecl decl;
   decl.stream_id = next_id_;
   decl.schema = std::move(schema);
   decl.kind = retroactive ? SourceKind::kRelation : SourceKind::kNrr;
-  return Declare(name, decl);
+  return DeclareLocked(name, std::move(decl));
 }
 
 const SourceDecl* SourceCatalog::Find(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = sources_.find(name);
   return it == sources_.end() ? nullptr : &it->second;
 }
 
+std::map<std::string, SourceDecl> SourceCatalog::sources() const {
+  std::shared_lock lock(mu_);
+  return sources_;
+}
+
 ParseResult SourceCatalog::Compile(const std::string& text) const {
   // ParseQuery annotates update patterns and validates the plan itself;
-  // the catalog's job is only to supply the name->source resolution.
+  // the catalog's job is only to supply the name->source resolution. The
+  // shared lock pins the map for the duration of the parse.
+  std::shared_lock lock(mu_);
   return ParseQuery(text, sources_);
 }
 

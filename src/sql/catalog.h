@@ -2,6 +2,7 @@
 #define UPA_SQL_CATALOG_H_
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 
 #include "sql/parser.h"
@@ -16,9 +17,30 @@ namespace upa {
 ///
 /// Names follow Section 4.2's trichotomy: base streams, non-retroactive
 /// relations, and (retroactive) relations.
+///
+/// The catalog is an online, shared component: SQL sessions declare
+/// sources and compile queries concurrently with ingest. All methods are
+/// internally synchronized with a reader/writer lock -- declarations
+/// take the lock exclusively, Find/Compile/sources() take it shared, so
+/// concurrent compiles never block each other and DDL never observes a
+/// half-written map. Declarations never overwrite or erase, so the
+/// SourceDecl pointer returned by Find() stays valid for the catalog's
+/// lifetime (map nodes are stable).
 class SourceCatalog {
  public:
   SourceCatalog() = default;
+
+  // The internal mutex makes the catalog non-copyable; the fuzz tests
+  // build throwaway catalogs by value, so provide explicit moves that
+  // transfer only the data (never move a catalog that is being used
+  // concurrently).
+  SourceCatalog(SourceCatalog&& other) noexcept
+      : sources_(std::move(other.sources_)), next_id_(other.next_id_) {}
+  SourceCatalog& operator=(SourceCatalog&& other) noexcept {
+    sources_ = std::move(other.sources_);
+    next_id_ = other.next_id_;
+    return *this;
+  }
 
   /// Declares a base stream. Returns its stream id, or -1 if the name is
   /// already taken (declarations never overwrite).
@@ -34,20 +56,26 @@ class SourceCatalog {
   /// the name or the id is already in use.
   int Declare(const std::string& name, const SourceDecl& decl);
 
-  /// Looks a source up by name; nullptr if absent.
+  /// Looks a source up by name; nullptr if absent. The pointer remains
+  /// valid for the catalog's lifetime (sources are never removed).
   const SourceDecl* Find(const std::string& name) const;
 
-  /// Parser-ready view of all declarations.
-  const std::map<std::string, SourceDecl>& sources() const {
-    return sources_;
-  }
+  /// Snapshot of all declarations, taken under the shared lock. Returns
+  /// a copy so callers can iterate while other sessions declare.
+  std::map<std::string, SourceDecl> sources() const;
 
   /// Compiles `text` against this catalog into an annotated, validated
   /// plan (ParseQuery performs annotation and validation); on error the
-  /// result carries a message instead of a plan.
+  /// result carries a message instead of a plan. Holds the shared lock
+  /// for the duration of the parse, so compiles run concurrently with
+  /// each other and serialize only against declarations.
   ParseResult Compile(const std::string& text) const;
 
  private:
+  /// Dup-name / dup-id check + insert; caller holds mu_ exclusively.
+  int DeclareLocked(const std::string& name, SourceDecl decl);
+
+  mutable std::shared_mutex mu_;
   std::map<std::string, SourceDecl> sources_;
   int next_id_ = 0;
 };

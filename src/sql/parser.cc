@@ -22,15 +22,17 @@ struct Token {
   bool is_float = false;
   int64_t int_value = 0;
   double float_value = 0.0;
+  size_t offset = 0;  // Byte offset of the token's first character.
 };
 
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/// Splits `text` into tokens; returns false and sets *error on bad input.
+/// Splits `text` into tokens; returns false and sets *error (and
+/// *error_offset to the byte where scanning stopped) on bad input.
 bool Tokenize(const std::string& text, std::vector<Token>* out,
-              std::string* error) {
+              std::string* error, size_t* error_offset) {
   size_t i = 0;
   const size_t n = text.size();
   while (i < n) {
@@ -45,6 +47,7 @@ bool Tokenize(const std::string& text, std::vector<Token>* out,
       Token t;
       t.kind = TokKind::kIdent;
       t.text = text.substr(i, j - i);
+      t.offset = i;
       out->push_back(std::move(t));
       i = j;
       continue;
@@ -62,6 +65,7 @@ bool Tokenize(const std::string& text, std::vector<Token>* out,
       Token t;
       t.kind = TokKind::kNumber;
       t.text = text.substr(i, j - i);
+      t.offset = i;
       t.is_float = is_float;
       if (is_float) {
         t.float_value = std::strtod(t.text.c_str(), nullptr);
@@ -76,11 +80,13 @@ bool Tokenize(const std::string& text, std::vector<Token>* out,
       const size_t close = text.find('\'', i + 1);
       if (close == std::string::npos) {
         *error = "unterminated string literal";
+        *error_offset = i;
         return false;
       }
       Token t;
       t.kind = TokKind::kString;
       t.text = text.substr(i + 1, close - i - 1);
+      t.offset = i;
       out->push_back(std::move(t));
       i = close + 1;
       continue;
@@ -92,6 +98,7 @@ bool Tokenize(const std::string& text, std::vector<Token>* out,
         Token t;
         t.kind = TokKind::kSymbol;
         t.text = two == "<>" ? "!=" : two;
+        t.offset = i;
         out->push_back(std::move(t));
         i += 2;
         continue;
@@ -103,14 +110,18 @@ bool Tokenize(const std::string& text, std::vector<Token>* out,
       Token t;
       t.kind = TokKind::kSymbol;
       t.text = one;
+      t.offset = i;
       out->push_back(std::move(t));
       ++i;
       continue;
     }
     *error = "unexpected character '" + one + "'";
+    *error_offset = i;
     return false;
   }
-  out->push_back(Token{});  // kEnd sentinel.
+  Token end;
+  end.offset = n;
+  out->push_back(std::move(end));  // kEnd sentinel.
   return true;
 }
 
@@ -152,12 +163,17 @@ struct AggSpec {
   AggKind kind = AggKind::kCount;
   int agg_col = -1;        // Resolved later (-1 for COUNT(*)).
   std::string agg_name;    // Column name inside the aggregate.
+  size_t agg_name_at = 0;  // Byte offset of agg_name, for resolve errors.
 };
 
 struct Projection {
   bool star = false;
   bool distinct = false;
   std::vector<std::string> columns;  // Unresolved names (possibly a.b).
+  // Byte offset of each entry of `columns`: resolution happens after the
+  // whole statement is parsed, so errors would otherwise anchor at the
+  // end of the text instead of the offending name.
+  std::vector<size_t> column_offsets;
   AggSpec agg;
 };
 
@@ -239,18 +255,29 @@ class Parser {
   // -- Error plumbing (no exceptions). --
 
   PlanPtr Error(const std::string& message) {
-    if (error_.empty()) error_ = message;
+    return ErrorAt(message, Peek().offset);
+  }
+
+  /// Error anchored at an explicit byte offset -- for names that were
+  /// consumed (or are resolved later) by the time the failure surfaces.
+  PlanPtr ErrorAt(const std::string& message, size_t offset) {
+    if (error_.empty()) {
+      error_ = message;
+      error_offset_ = offset;
+    }
     return nullptr;
   }
 
   ParseResult Fail() {
     ParseResult r;
     r.error = error_.empty() ? "parse error" : error_;
+    r.error_offset = error_.empty() ? Peek().offset : error_offset_;
     return r;
   }
 
   ParseResult FailWith(const std::string& message) {
     error_ = message;
+    error_offset_ = Peek().offset;
     return Fail();
   }
 
@@ -274,16 +301,17 @@ class Parser {
       return nullptr;
     }
     std::string group_col_name;
+    size_t group_at = 0;
     bool has_group_by = false;
     if (MatchKeyword("GROUP")) {
       if (!MatchKeyword("BY")) return Error("expected BY after GROUP");
-      if (!ParseColumnName(&group_col_name)) {
+      if (!ParseColumnName(&group_col_name, &group_at)) {
         return Error("expected column after GROUP BY");
       }
       has_group_by = true;
     }
     return Assemble(proj, std::move(from), preds, has_group_by,
-                    group_col_name);
+                    group_col_name, group_at);
   }
 
   bool ParseProjection(Projection* proj) {
@@ -317,7 +345,8 @@ class Parser {
               Error("only COUNT accepts *");
               return false;
             }
-          } else if (!ParseColumnName(&proj->agg.agg_name)) {
+          } else if (!ParseColumnName(&proj->agg.agg_name,
+                                      &proj->agg.agg_name_at)) {
             Error("expected column inside aggregate");
             return false;
           }
@@ -330,11 +359,13 @@ class Parser {
       }
       {
         std::string col;
-        if (!ParseColumnName(&col)) {
+        size_t col_at = 0;
+        if (!ParseColumnName(&col, &col_at)) {
           Error("expected column or aggregate in SELECT list");
           return false;
         }
         proj->columns.push_back(col);
+        proj->column_offsets.push_back(col_at);
       }
     item_done:
       if (!MatchSymbol(",")) break;
@@ -346,7 +377,8 @@ class Parser {
     return true;
   }
 
-  bool ParseColumnName(std::string* out) {
+  bool ParseColumnName(std::string* out, size_t* at = nullptr) {
+    if (at != nullptr) *at = Peek().offset;
     std::string name;
     if (!TakeIdent(&name)) return false;
     if (MatchSymbol(".")) {
@@ -364,19 +396,21 @@ class Parser {
   bool ParseFromList(std::vector<FromSource>* from) {
     do {
       FromSource src;
+      const size_t name_at = Peek().offset;
       if (!TakeIdent(&src.name)) {
         Error("expected source name in FROM");
         return false;
       }
       auto it = sources_.find(src.name);
       if (it == sources_.end()) {
-        Error("unknown source '" + src.name + "'");
+        ErrorAt("unknown source '" + src.name + "'", name_at);
         return false;
       }
       src.decl = it->second;
       if (MatchSymbol("[")) {
         if (src.decl.kind != SourceKind::kStream) {
-          Error("relation '" + src.name + "' cannot take a window");
+          ErrorAt("relation '" + src.name + "' cannot take a window",
+                  name_at);
           return false;
         }
         if (MatchKeyword("RANGE")) {
@@ -416,9 +450,10 @@ class Parser {
     return true;
   }
 
-  /// Resolves "name" or "source.name" against the FROM sources.
+  /// Resolves "name" or "source.name" against the FROM sources. `at` is
+  /// the byte offset where the reference appeared (errors anchor there).
   bool ResolveColumn(const std::vector<FromSource>& from,
-                     const std::string& spec, ColumnRef* out) {
+                     const std::string& spec, size_t at, ColumnRef* out) {
     const size_t dot = spec.find('.');
     if (dot != std::string::npos) {
       const std::string source = spec.substr(0, dot);
@@ -427,7 +462,7 @@ class Parser {
         if (from[s].name == source) {
           const int c = from[s].decl.schema.IndexOf(col);
           if (c < 0) {
-            Error("no column '" + col + "' in '" + source + "'");
+            ErrorAt("no column '" + col + "' in '" + source + "'", at);
             return false;
           }
           out->source = static_cast<int>(s);
@@ -435,7 +470,7 @@ class Parser {
           return true;
         }
       }
-      Error("unknown source '" + source + "' in column reference");
+      ErrorAt("unknown source '" + source + "' in column reference", at);
       return false;
     }
     int hits = 0;
@@ -448,11 +483,12 @@ class Parser {
       }
     }
     if (hits == 0) {
-      Error("unknown column '" + spec + "'");
+      ErrorAt("unknown column '" + spec + "'", at);
       return false;
     }
     if (hits > 1) {
-      Error("ambiguous column '" + spec + "' (qualify with the source name)");
+      ErrorAt("ambiguous column '" + spec + "' (qualify with the source name)",
+              at);
       return false;
     }
     return true;
@@ -462,12 +498,13 @@ class Parser {
                         std::vector<WherePred>* preds) {
     do {
       std::string lhs_name;
-      if (!ParseColumnName(&lhs_name)) {
+      size_t lhs_at = 0;
+      if (!ParseColumnName(&lhs_name, &lhs_at)) {
         Error("expected column in WHERE predicate");
         return false;
       }
       WherePred pred;
-      if (!ResolveColumn(from, lhs_name, &pred.lhs)) return false;
+      if (!ResolveColumn(from, lhs_name, lhs_at, &pred.lhs)) return false;
       if (MatchSymbol("=")) {
         pred.op = CmpOp::kEq;
       } else if (MatchSymbol("!=")) {
@@ -513,11 +550,14 @@ class Parser {
       } else {
         // Column-vs-column: join predicate.
         std::string rhs_name;
-        if (!ParseColumnName(&rhs_name)) {
+        size_t rhs_at = 0;
+        if (!ParseColumnName(&rhs_name, &rhs_at)) {
           Error("expected literal or column on the right of the predicate");
           return false;
         }
-        if (!ResolveColumn(from, rhs_name, &pred.rhs_col)) return false;
+        if (!ResolveColumn(from, rhs_name, rhs_at, &pred.rhs_col)) {
+          return false;
+        }
         if (pred.op != CmpOp::kEq) {
           Error("column-to-column predicates must be equalities");
           return false;
@@ -551,7 +591,7 @@ class Parser {
   /// Assembles the logical plan for one SELECT block.
   PlanPtr Assemble(const Projection& proj, std::vector<FromSource> from,
                    const std::vector<WherePred>& preds, bool has_group_by,
-                   const std::string& group_col_name) {
+                   const std::string& group_col_name, size_t group_at) {
     // Partition the WHERE conjuncts.
     std::vector<Predicate> pre[2];
     std::vector<const WherePred*> joins;
@@ -633,11 +673,16 @@ class Parser {
       int group_col = -1;
       if (has_group_by) {
         ColumnRef ref;
-        if (!ResolveColumn(from, group_col_name, &ref)) return nullptr;
+        if (!ResolveColumn(from, group_col_name, group_at, &ref)) {
+          return nullptr;
+        }
         group_col = combined_index(ref);
         if (!proj.columns.empty()) {
           ColumnRef sel_ref;
-          if (!ResolveColumn(from, proj.columns[0], &sel_ref)) return nullptr;
+          if (!ResolveColumn(from, proj.columns[0], proj.column_offsets[0],
+                             &sel_ref)) {
+            return nullptr;
+          }
           if (combined_index(sel_ref) != group_col) {
             return Error("the non-aggregate SELECT column must be the GROUP "
                          "BY column");
@@ -650,7 +695,10 @@ class Parser {
           agg_col = -1;  // COUNT(*)
         } else {
           ColumnRef ref;
-          if (!ResolveColumn(from, proj.agg.agg_name, &ref)) return nullptr;
+          if (!ResolveColumn(from, proj.agg.agg_name, proj.agg.agg_name_at,
+                             &ref)) {
+            return nullptr;
+          }
           agg_col = combined_index(ref);
           const ValueType t = base->schema.field(agg_col).type;
           if (proj.agg.kind != AggKind::kCount && t == ValueType::kString) {
@@ -664,9 +712,12 @@ class Parser {
     // Plain projection.
     if (!proj.star) {
       std::vector<int> cols;
-      for (const std::string& name : proj.columns) {
+      for (size_t i = 0; i < proj.columns.size(); ++i) {
         ColumnRef ref;
-        if (!ResolveColumn(from, name, &ref)) return nullptr;
+        if (!ResolveColumn(from, proj.columns[i], proj.column_offsets[i],
+                           &ref)) {
+          return nullptr;
+        }
         cols.push_back(combined_index(ref));
       }
       base = MakeProject(std::move(base), cols);
@@ -683,6 +734,7 @@ class Parser {
   const std::map<std::string, SourceDecl>& sources_;
   size_t pos_ = 0;
   std::string error_;
+  size_t error_offset_ = ParseResult::kNoOffset;
 };
 
 }  // namespace
@@ -691,7 +743,9 @@ ParseResult ParseQuery(const std::string& text,
                        const std::map<std::string, SourceDecl>& sources) {
   std::vector<Token> tokens;
   ParseResult result;
-  if (!Tokenize(text, &tokens, &result.error)) return result;
+  if (!Tokenize(text, &tokens, &result.error, &result.error_offset)) {
+    return result;
+  }
   Parser parser(std::move(tokens), sources);
   ParseResult parsed = parser.Run();
   if (!parsed.ok()) return parsed;
@@ -699,8 +753,56 @@ ParseResult ParseQuery(const std::string& text,
   if (!IsValidPlan(*parsed.plan)) {
     parsed.plan.reset();
     parsed.error = "query violates planner constraints (Section 5.4.2)";
+    parsed.error_offset = 0;  // A whole-plan property, not one token's.
   }
   return parsed;
+}
+
+std::string CaretContext(const std::string& text, size_t offset) {
+  if (offset == ParseResult::kNoOffset) return "";
+  if (offset > text.size()) offset = text.size();
+  size_t line_start = text.rfind('\n', offset == 0 ? 0 : offset - 1);
+  line_start = line_start == std::string::npos ? 0 : line_start + 1;
+  size_t line_end = text.find('\n', offset);
+  if (line_end == std::string::npos) line_end = text.size();
+  std::string excerpt = text.substr(line_start, line_end - line_start);
+  for (char& c : excerpt) {
+    if (c == '\t') c = ' ';
+  }
+  std::string out = excerpt;
+  out += '\n';
+  out += std::string(offset - line_start, ' ');
+  out += "^~~~";
+  return out;
+}
+
+TokenizeResult TokenizeQuery(const std::string& text) {
+  TokenizeResult r;
+  std::vector<Token> raw;
+  if (!Tokenize(text, &raw, &r.error, &r.error_offset)) return r;
+  r.tokens.reserve(raw.size());
+  for (const Token& t : raw) {
+    if (t.kind == TokKind::kEnd) continue;
+    SqlToken s;
+    switch (t.kind) {
+      case TokKind::kIdent:
+        s.kind = "identifier";
+        break;
+      case TokKind::kNumber:
+        s.kind = "number";
+        break;
+      case TokKind::kString:
+        s.kind = "string";
+        break;
+      default:
+        s.kind = "symbol";
+        break;
+    }
+    s.text = t.text;
+    s.offset = t.offset;
+    r.tokens.push_back(std::move(s));
+  }
+  return r;
 }
 
 }  // namespace upa

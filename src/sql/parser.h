@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/logical_plan.h"
 
@@ -27,11 +28,48 @@ struct SourceDecl {
 /// Result of ParseQuery: either a plan or a parse/semantic error message
 /// (the library does not use exceptions).
 struct ParseResult {
+  /// `error_offset` when the error has no single anchoring position
+  /// (e.g. a whole-plan validation failure).
+  static constexpr size_t kNoOffset = static_cast<size_t>(-1);
+
   PlanPtr plan;             ///< Null on error.
   std::string error;        ///< Empty on success.
+  /// Byte offset into the query text where the error was detected:
+  /// the start of the offending token (== text.size() when the parser
+  /// ran off the end of the statement), or kNoOffset.
+  size_t error_offset = kNoOffset;
 
   bool ok() const { return plan != nullptr; }
 };
+
+/// Renders a caret context line for an error at byte `offset` of `text`:
+/// the source line containing the offset followed by a `^~~~` marker
+/// under the offending column. Returns "" when offset is
+/// ParseResult::kNoOffset. Tabs in the excerpt are flattened to spaces
+/// so the caret column stays aligned.
+std::string CaretContext(const std::string& text, size_t offset);
+
+/// One token of the SQL dialect, as exposed by TokenizeQuery (the
+/// session layer's TOKENIZE introspection statement -- same shape as
+/// DuckDB's parser-introspection API: token class + byte offset).
+struct SqlToken {
+  std::string kind;  ///< "identifier" | "number" | "string" | "symbol".
+  std::string text;  ///< Identifier/symbol spelling or string body.
+  size_t offset = 0;  ///< Byte offset of the token's first character.
+};
+
+/// Result of TokenizeQuery: the token list, or a tokenizer error with
+/// the byte offset where scanning stopped.
+struct TokenizeResult {
+  std::vector<SqlToken> tokens;
+  std::string error;  ///< Empty on success.
+  size_t error_offset = ParseResult::kNoOffset;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Runs just the tokenizer over `text` (no grammar, no catalog).
+TokenizeResult TokenizeQuery(const std::string& text);
 
 /// Compiles a declarative continuous query into a logical plan.
 ///

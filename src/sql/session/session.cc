@@ -1,0 +1,360 @@
+#include "sql/session/session.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "core/cost_model.h"
+
+namespace upa {
+namespace sqlsession {
+
+namespace {
+
+/// %.3g keeps the EXPLAIN goldens stable across platforms while still
+/// showing enough of an estimate to compare plans by.
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+const char* TypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+std::string SchemaWithTypes(const Schema& s) {
+  std::string out = "(";
+  for (int i = 0; i < s.num_fields(); ++i) {
+    if (i > 0) out += ", ";
+    out += s.field(i).name;
+    out += ' ';
+    out += TypeName(s.field(i).type);
+  }
+  out += ")";
+  return out;
+}
+
+/// The operator label of logical_plan.cc's Render (kind + parameters).
+/// Duplicated here because that renderer is file-local; explain_golden
+/// tests pin the two against each other via PlanNode::ToString.
+std::string NodeLabel(const PlanNode& n) {
+  std::string out;
+  switch (n.kind) {
+    case PlanOpKind::kStream:
+      out = "stream S" + std::to_string(n.stream_id);
+      break;
+    case PlanOpKind::kRelation:
+      out = std::string("relation ") + (n.retroactive ? "R" : "NRR") +
+            std::to_string(n.stream_id);
+      break;
+    case PlanOpKind::kWindow:
+      out = "window [" + std::to_string(n.window_size) + "]";
+      break;
+    case PlanOpKind::kCountWindow:
+      out = "count-window [#" + std::to_string(n.count) + "]";
+      break;
+    case PlanOpKind::kSelect:
+      out = "select";
+      for (const Predicate& p : n.preds) out += " " + p.ToString();
+      break;
+    case PlanOpKind::kProject:
+      out = "project";
+      break;
+    case PlanOpKind::kUnion:
+      out = "union";
+      break;
+    case PlanOpKind::kJoin:
+      out = "join $" + std::to_string(n.left_col) + "=$" +
+            std::to_string(n.right_col);
+      break;
+    case PlanOpKind::kIntersect:
+      out = "intersect";
+      break;
+    case PlanOpKind::kDistinct:
+      out = "distinct";
+      break;
+    case PlanOpKind::kGroupBy:
+      out = "group-by";
+      break;
+    case PlanOpKind::kNegate:
+      out = "negate $" + std::to_string(n.left_col) + " not-in $" +
+            std::to_string(n.right_col);
+      break;
+  }
+  return out;
+}
+
+void RenderExplainNode(const PlanNode& n, const Catalog& stats, int depth,
+                       std::string* out) {
+  const NodeEstimate est = EstimateNode(n, stats);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += NodeLabel(n);
+  *out += "   <" + PatternName(n.pattern) + ">";
+  *out += "  rate=" + Fmt(est.rate) + " size=" + Fmt(est.size) + "\n";
+  for (const auto& c : n.children) {
+    RenderExplainNode(*c, stats, depth + 1, out);
+  }
+}
+
+bool ContainsNrrLeaf(const PlanNode& n) {
+  if (n.kind == PlanOpKind::kRelation && !n.retroactive) return true;
+  for (const auto& c : n.children) {
+    if (ContainsNrrLeaf(*c)) return true;
+  }
+  return false;
+}
+
+SqlResult Ok(std::string text) {
+  SqlResult r;
+  r.ok = true;
+  r.text = std::move(text);
+  return r;
+}
+
+SqlResult Fail(std::string error,
+               size_t offset = ParseResult::kNoOffset) {
+  SqlResult r;
+  r.error = std::move(error);
+  r.error_offset = offset;
+  return r;
+}
+
+/// Maps an error offset of the embedded query text onto the full
+/// statement text (caret rendering happens against the statement).
+size_t Rebase(size_t query_offset, size_t sql_offset) {
+  if (query_offset == ParseResult::kNoOffset) return ParseResult::kNoOffset;
+  return sql_offset + query_offset;
+}
+
+const char* SourceKindName(SourceKind k) {
+  switch (k) {
+    case SourceKind::kStream:
+      return "stream";
+    case SourceKind::kNrr:
+      return "relation";
+    case SourceKind::kRelation:
+      return "retroactive relation";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PlanNode& plan, const Catalog& stats) {
+  std::string out = "plan:\n";
+  RenderExplainNode(plan, stats, 1, &out);
+
+  const double premature = EstimatePrematureFrequency(plan, stats);
+  PlannerOptions opts;
+  opts.premature_frequency = premature;
+
+  // An NRR join cannot run under NT (see BuildPipeline); its cost row is
+  // reported as unavailable rather than pretending the mode is viable.
+  const bool nt_viable = !ContainsNrrLeaf(plan);
+  struct Row {
+    ExecMode mode;
+    const char* name;  // Padded for column alignment.
+    bool viable;
+    double cost;
+  };
+  Row rows[] = {
+      {ExecMode::kNegativeTuple, "NT    ", nt_viable, 0.0},
+      {ExecMode::kDirect, "DIRECT", true, 0.0},
+      {ExecMode::kUpa, "UPA   ", true, 0.0},
+  };
+  int chosen = -1;
+  for (int i = 0; i < 3; ++i) {
+    if (!rows[i].viable) continue;
+    rows[i].cost = EstimatePlanCost(plan, stats, rows[i].mode, opts).total;
+    // <= so UPA wins exact ties (the engine's default execution mode).
+    if (chosen < 0 || rows[i].cost <= rows[chosen].cost) chosen = i;
+  }
+
+  out += "cost (per unit time, Section 5.4.1):\n";
+  for (int i = 0; i < 3; ++i) {
+    out += "  ";
+    out += rows[i].name;
+    if (!rows[i].viable) {
+      out += " = n/a (NRR join)\n";
+      continue;
+    }
+    out += " = " + Fmt(rows[i].cost);
+    if (i == chosen) out += "   (chosen)";
+    out += "\n";
+  }
+  out += "premature deletion frequency: " + Fmt(premature) + "\n";
+  return out;
+}
+
+SqlResult SqlSession::Execute(const std::string& statement) {
+  StatementParse parsed = ParseStatement(statement);
+  SqlResult r;
+  if (!parsed.ok()) {
+    r = Fail(parsed.error, parsed.error_offset);
+  } else {
+    r = Run(parsed.stmt);
+  }
+  if (!r.ok && r.error_offset != ParseResult::kNoOffset) {
+    r.context = CaretContext(statement, r.error_offset);
+  }
+  return r;
+}
+
+SqlResult SqlSession::Run(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kCreateStream: {
+      const int id = engine_->DeclareStream(stmt.name, stmt.schema);
+      if (id < 0) {
+        return Fail("source '" + stmt.name + "' is already declared");
+      }
+      return Ok("created stream " + stmt.name + " (id " +
+                std::to_string(id) + ")");
+    }
+
+    case StatementKind::kCreateRelation: {
+      const int id =
+          engine_->DeclareRelation(stmt.name, stmt.schema, stmt.retroactive);
+      if (id < 0) {
+        return Fail("source '" + stmt.name + "' is already declared");
+      }
+      return Ok(std::string("created ") +
+                (stmt.retroactive ? "retroactive relation " : "relation ") +
+                stmt.name + " (id " + std::to_string(id) + ")");
+    }
+
+    case StatementKind::kRegisterQuery: {
+      RegisterResult rr = engine_->RegisterSql(stmt.name, stmt.sql);
+      if (!rr.ok) {
+        // Recover the byte offset when the failure was a compile error
+        // (registration itself reports duplicate names and the like,
+        // which have no anchoring position in the text).
+        ParseResult pr = engine_->catalog()->Compile(stmt.sql);
+        if (!pr.ok() && pr.error == rr.error) {
+          return Fail(rr.error, Rebase(pr.error_offset, stmt.sql_offset));
+        }
+        return Fail(rr.error);
+      }
+      return Ok("registered query " + stmt.name + " (" +
+                std::to_string(rr.shards) +
+                (rr.shards == 1 ? " shard)" : " shards)"));
+    }
+
+    case StatementKind::kUnregisterQuery: {
+      std::string err;
+      if (!engine_->UnregisterQuery(stmt.name, &err)) return Fail(err);
+      SqlResult r = Ok("unregistered query " + stmt.name);
+      r.action = SqlResult::Action::kUnregistered;
+      r.action_query = stmt.name;
+      return r;
+    }
+
+    case StatementKind::kSubscribe: {
+      if (engine_->FindQuery(stmt.name) == nullptr) {
+        return Fail("no query named '" + stmt.name + "' is registered");
+      }
+      SqlResult r = Ok("subscribed to " + stmt.name);
+      r.action = SqlResult::Action::kSubscribe;
+      r.action_query = stmt.name;
+      return r;
+    }
+
+    case StatementKind::kUnsubscribe: {
+      // Subscriptions live in the transport; it resolves whether one
+      // exists. The session only routes the request.
+      SqlResult r = Ok("unsubscribed from " + stmt.name);
+      r.action = SqlResult::Action::kUnsubscribe;
+      r.action_query = stmt.name;
+      return r;
+    }
+
+    case StatementKind::kShowStreams: {
+      const auto sources = engine_->catalog()->sources();
+      if (sources.empty()) return Ok("no sources declared");
+      std::string out;
+      for (const auto& [name, decl] : sources) {
+        out += name;
+        out += "  ";
+        out += SourceKindName(decl.kind);
+        out += "  id=" + std::to_string(decl.stream_id);
+        out += "  " + SchemaWithTypes(decl.schema) + "\n";
+      }
+      if (!out.empty()) out.pop_back();
+      return Ok(std::move(out));
+    }
+
+    case StatementKind::kShowQueries: {
+      const EngineMetrics m = engine_->Metrics();
+      if (m.queries.empty()) return Ok("no queries registered");
+      std::string out;
+      for (const QueryMetrics& q : m.queries) {
+        out += q.name;
+        // FindQuery can miss when another session unregisters between
+        // the metrics snapshot and this lookup; the row degrades to the
+        // counters alone.
+        if (const RegisteredQuery* rq = engine_->FindQuery(q.name)) {
+          out += "  pattern=" + PatternName(rq->plan().pattern);
+          out += "  mode=" + ExecModeName(rq->mode());
+        }
+        out += "  shards=" + std::to_string(q.shards);
+        out += "  subscribers=" + std::to_string(q.subscribers);
+        out += "  processed=" + std::to_string(q.processed);
+        out += "\n";
+      }
+      if (!out.empty()) out.pop_back();
+      return Ok(std::move(out));
+    }
+
+    case StatementKind::kShowMetrics:
+      return Ok(engine_->Metrics().ToString());
+
+    case StatementKind::kTokenize: {
+      const TokenizeResult t = TokenizeQuery(stmt.sql);
+      if (!t.ok()) {
+        return Fail(t.error, Rebase(t.error_offset, stmt.sql_offset));
+      }
+      // Offsets are relative to the embedded query text (the thing being
+      // tokenized), matching the DuckDB-style introspection shape.
+      std::string out;
+      for (const SqlToken& tok : t.tokens) {
+        out += std::to_string(tok.offset);
+        out += "  ";
+        out += tok.kind;
+        out += "  ";
+        out += tok.text;
+        out += "\n";
+      }
+      if (out.empty()) return Ok("0 tokens");
+      out.pop_back();
+      return Ok(std::move(out));
+    }
+
+    case StatementKind::kValidate: {
+      const ParseResult pr = engine_->catalog()->Compile(stmt.sql);
+      if (!pr.ok()) {
+        return Fail(pr.error, Rebase(pr.error_offset, stmt.sql_offset));
+      }
+      return Ok("valid (root pattern " + PatternName(pr.plan->pattern) +
+                ")");
+    }
+
+    case StatementKind::kExplain: {
+      const ParseResult pr = engine_->catalog()->Compile(stmt.sql);
+      if (!pr.ok()) {
+        return Fail(pr.error, Rebase(pr.error_offset, stmt.sql_offset));
+      }
+      return Ok(ExplainPlan(*pr.plan, Catalog{}));
+    }
+  }
+  return Fail("unhandled statement kind");
+}
+
+}  // namespace sqlsession
+}  // namespace upa

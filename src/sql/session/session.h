@@ -1,0 +1,84 @@
+#ifndef UPA_SQL_SESSION_SESSION_H_
+#define UPA_SQL_SESSION_SESSION_H_
+
+#include <string>
+
+#include "core/cost_model.h"
+#include "engine/engine.h"
+#include "sql/session/statement.h"
+
+namespace upa {
+namespace sqlsession {
+
+/// Outcome of executing one session statement.
+///
+/// Errors carry a byte offset into the statement text plus a rendered
+/// caret context (the offending source line with `^~~~` underneath), so
+/// transports can show tokenizer-grade diagnostics without re-parsing.
+///
+/// SUBSCRIBE / UNSUBSCRIBE / UNREGISTER do not complete inside the
+/// session: subscriptions are owned by the transport (the network server
+/// holds the delta channel; a REPL prints the events), so the session
+/// validates the statement and returns an `action` marker that tells the
+/// transport what to do (attach a subscription, detach one, or sweep the
+/// subscriptions of a query that no longer exists).
+struct SqlResult {
+  enum class Action {
+    kNone,          ///< Statement fully handled here.
+    kSubscribe,     ///< Transport should subscribe to `action_query`.
+    kUnsubscribe,   ///< Transport should drop its sub on `action_query`.
+    kUnregistered,  ///< `action_query` was unregistered; sweep its subs.
+  };
+
+  bool ok = false;
+  std::string text;   ///< Human-readable result (success only).
+  std::string error;  ///< Error message (failure only).
+  /// Byte offset of the error into the statement text, or
+  /// ParseResult::kNoOffset when the error has no anchoring position
+  /// (semantic failures such as a duplicate name).
+  size_t error_offset = ParseResult::kNoOffset;
+  std::string context;  ///< CaretContext rendering, "" when no offset.
+
+  Action action = Action::kNone;
+  std::string action_query;  ///< Query name the action refers to.
+};
+
+/// One text-SQL session against an engine: parses session statements
+/// (see statement.h for the dialect) and executes them through the
+/// engine's online catalog and registry. Stateless beyond the engine
+/// pointer -- any number of sessions may execute concurrently; the
+/// catalog's reader/writer lock and the engine's registration lock are
+/// the synchronization points, so DDL from one session never stops
+/// another session's ingest or subscriptions.
+///
+/// The introspection statements (TOKENIZE / VALIDATE / EXPLAIN) follow
+/// the shape of DuckDB's parser-introspection API: they analyze the
+/// embedded query without registering or running it. EXPLAIN renders
+/// the compiled plan with per-operator update patterns (Section 5.2)
+/// and the Section 5.4.1 cost estimates under all three execution
+/// strategies, marking the cheapest.
+class SqlSession {
+ public:
+  /// `engine` is borrowed and must outlive the session.
+  explicit SqlSession(Engine* engine) : engine_(engine) {}
+
+  SqlResult Execute(const std::string& statement);
+
+ private:
+  SqlResult Run(const Statement& stmt);
+
+  Engine* engine_;
+};
+
+/// The EXPLAIN rendering for a compiled plan, exposed for golden tests:
+/// the operator tree (logical_plan.cc's label format) with per-edge
+/// `rate=` / `size=` estimates, the per-mode cost totals, and the
+/// premature-deletion frequency. `stats` supplies the cardinality
+/// assumptions (a default-constructed Catalog uses the Section 6.1
+/// defaults).
+std::string ExplainPlan(const PlanNode& plan, const Catalog& stats);
+
+}  // namespace sqlsession
+}  // namespace upa
+
+#endif  // UPA_SQL_SESSION_SESSION_H_

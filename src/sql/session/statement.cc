@@ -1,0 +1,268 @@
+#include "sql/session/statement.h"
+
+#include <cctype>
+#include <utility>
+#include <vector>
+
+namespace upa {
+namespace sqlsession {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Tiny offset-tracking scanner for the statement head. The embedded
+/// query text (after AS / TOKENIZE / ...) is deliberately NOT scanned
+/// here: it is sliced out verbatim and handed to the query parser, which
+/// owns its own tokenizer and error offsets.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (i_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[i_]))) {
+      ++i_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return i_ >= text_.size();
+  }
+
+  size_t pos() const { return i_; }
+
+  /// Consumes one identifier-shaped word; "" when the next character is
+  /// not a word character. `at` (optional) receives the word's offset.
+  std::string Word(size_t* at = nullptr) {
+    SkipSpace();
+    if (at != nullptr) *at = i_;
+    const size_t start = i_;
+    while (i_ < text_.size() && IsWordChar(text_[i_])) ++i_;
+    return text_.substr(start, i_ - start);
+  }
+
+  bool MatchChar(char c) {
+    SkipSpace();
+    if (i_ < text_.size() && text_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Rest of the text from the current position (leading space skipped).
+  std::string Rest() {
+    SkipSpace();
+    return text_.substr(i_);
+  }
+
+ private:
+  const std::string& text_;
+  size_t i_ = 0;
+};
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+StatementParse Err(std::string message, size_t offset) {
+  StatementParse r;
+  r.error = std::move(message);
+  r.error_offset = offset;
+  return r;
+}
+
+/// Parses "(col TYPE, ...)" into `schema`. Returns "" or an error
+/// message (with *at set to the offending offset).
+std::string ParseSchema(Cursor* c, Schema* schema, size_t* at) {
+  *at = c->pos();
+  if (!c->MatchChar('(')) {
+    *at = c->pos();
+    return "expected ( to start the column list";
+  }
+  std::vector<Field> fields;
+  for (;;) {
+    size_t word_at = 0;
+    const std::string col = c->Word(&word_at);
+    if (col.empty()) {
+      *at = word_at;
+      return "expected a column name";
+    }
+    const std::string type_word = c->Word(&word_at);
+    const std::string type = Upper(type_word);
+    Field f;
+    f.name = col;
+    if (type == "INT") {
+      f.type = ValueType::kInt;
+    } else if (type == "DOUBLE") {
+      f.type = ValueType::kDouble;
+    } else if (type == "STRING") {
+      f.type = ValueType::kString;
+    } else {
+      *at = word_at;
+      return "expected a column type (INT, DOUBLE, or STRING)";
+    }
+    for (const Field& seen : fields) {
+      if (seen.name == f.name) {
+        *at = word_at;
+        return "duplicate column '" + f.name + "'";
+      }
+    }
+    fields.push_back(std::move(f));
+    if (c->MatchChar(',')) continue;
+    if (c->MatchChar(')')) break;
+    *at = c->pos();
+    return "expected , or ) in the column list";
+  }
+  *schema = Schema(std::move(fields));
+  return "";
+}
+
+}  // namespace
+
+StatementParse ParseStatement(const std::string& raw) {
+  // Tolerate one trailing ';' (REPL habit). Stripping only at the end
+  // keeps every byte offset valid for the original text.
+  std::string text = raw;
+  {
+    size_t end = text.size();
+    while (end > 0 &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+      --end;
+    }
+    if (end > 0 && text[end - 1] == ';') --end;
+    text.resize(end);
+  }
+
+  Cursor c(text);
+  if (c.AtEnd()) return Err("empty statement", 0);
+  size_t kw_at = 0;
+  const std::string first = c.Word(&kw_at);
+  if (first.empty()) {
+    return Err("expected a statement keyword", kw_at);
+  }
+  const std::string kw = Upper(first);
+  StatementParse r;
+
+  if (kw == "CREATE") {
+    size_t what_at = 0;
+    const std::string what = Upper(c.Word(&what_at));
+    if (what != "STREAM" && what != "RELATION") {
+      return Err("expected STREAM or RELATION after CREATE", what_at);
+    }
+    r.stmt.kind = what == "STREAM" ? StatementKind::kCreateStream
+                                   : StatementKind::kCreateRelation;
+    size_t name_at = 0;
+    r.stmt.name = c.Word(&name_at);
+    if (r.stmt.name.empty()) {
+      return Err("expected a source name", name_at);
+    }
+    size_t schema_at = 0;
+    const std::string serr = ParseSchema(&c, &r.stmt.schema, &schema_at);
+    if (!serr.empty()) return Err(serr, schema_at);
+    if (r.stmt.kind == StatementKind::kCreateRelation) {
+      size_t opt_at = 0;
+      if (!c.AtEnd()) {
+        const std::string opt = c.Word(&opt_at);
+        if (Upper(opt) != "RETROACTIVE") {
+          return Err("expected RETROACTIVE or end of statement", opt_at);
+        }
+        r.stmt.retroactive = true;
+      }
+    }
+    if (!c.AtEnd()) {
+      return Err("trailing input after CREATE statement", c.pos());
+    }
+    return r;
+  }
+
+  if (kw == "REGISTER" || kw == "UNREGISTER") {
+    size_t q_at = 0;
+    if (Upper(c.Word(&q_at)) != "QUERY") {
+      return Err("expected QUERY after " + kw, q_at);
+    }
+    size_t name_at = 0;
+    r.stmt.name = c.Word(&name_at);
+    if (r.stmt.name.empty()) {
+      return Err("expected a query name", name_at);
+    }
+    if (kw == "UNREGISTER") {
+      r.stmt.kind = StatementKind::kUnregisterQuery;
+      if (!c.AtEnd()) {
+        return Err("trailing input after UNREGISTER QUERY", c.pos());
+      }
+      return r;
+    }
+    r.stmt.kind = StatementKind::kRegisterQuery;
+    size_t as_at = 0;
+    if (Upper(c.Word(&as_at)) != "AS") {
+      return Err("expected AS after the query name", as_at);
+    }
+    c.SkipSpace();
+    r.stmt.sql_offset = c.pos();
+    r.stmt.sql = c.Rest();
+    if (r.stmt.sql.empty()) {
+      return Err("expected a query after AS", r.stmt.sql_offset);
+    }
+    return r;
+  }
+
+  if (kw == "SUBSCRIBE" || kw == "UNSUBSCRIBE") {
+    r.stmt.kind = kw == "SUBSCRIBE" ? StatementKind::kSubscribe
+                                    : StatementKind::kUnsubscribe;
+    size_t name_at = 0;
+    r.stmt.name = c.Word(&name_at);
+    if (r.stmt.name.empty()) {
+      return Err("expected a query name after " + kw, name_at);
+    }
+    if (!c.AtEnd()) {
+      return Err("trailing input after " + kw, c.pos());
+    }
+    return r;
+  }
+
+  if (kw == "SHOW") {
+    size_t what_at = 0;
+    const std::string what = Upper(c.Word(&what_at));
+    if (what == "STREAMS") {
+      r.stmt.kind = StatementKind::kShowStreams;
+    } else if (what == "QUERIES") {
+      r.stmt.kind = StatementKind::kShowQueries;
+    } else if (what == "METRICS") {
+      r.stmt.kind = StatementKind::kShowMetrics;
+    } else {
+      return Err("expected STREAMS, QUERIES, or METRICS after SHOW",
+                 what_at);
+    }
+    if (!c.AtEnd()) {
+      return Err("trailing input after SHOW", c.pos());
+    }
+    return r;
+  }
+
+  if (kw == "TOKENIZE" || kw == "VALIDATE" || kw == "EXPLAIN") {
+    r.stmt.kind = kw == "TOKENIZE"   ? StatementKind::kTokenize
+                  : kw == "VALIDATE" ? StatementKind::kValidate
+                                     : StatementKind::kExplain;
+    c.SkipSpace();
+    r.stmt.sql_offset = c.pos();
+    r.stmt.sql = c.Rest();
+    if (r.stmt.sql.empty()) {
+      return Err("expected a query after " + kw, r.stmt.sql_offset);
+    }
+    return r;
+  }
+
+  return Err("unknown statement '" + first + "'", kw_at);
+}
+
+}  // namespace sqlsession
+}  // namespace upa

@@ -1,0 +1,77 @@
+#ifndef UPA_SQL_SESSION_STATEMENT_H_
+#define UPA_SQL_SESSION_STATEMENT_H_
+
+#include <string>
+
+#include "common/schema.h"
+#include "sql/parser.h"
+
+namespace upa {
+namespace sqlsession {
+
+/// The statement forms of the SQL session dialect (the text front door
+/// carried over the network protocol's kSqlExec message; see
+/// SqlSession). DDL statements mutate the engine's online catalog; the
+/// introspection statements mirror the shape of DuckDB's
+/// parser-introspection API (tokenize / validate / explain a query
+/// without running it).
+///
+///   CREATE STREAM <name> (<col> <TYPE>, ...)
+///   CREATE RELATION <name> (<col> <TYPE>, ...) [RETROACTIVE]
+///   REGISTER QUERY <name> AS <select...>
+///   UNREGISTER QUERY <name>
+///   SUBSCRIBE <name>
+///   UNSUBSCRIBE <name>
+///   SHOW STREAMS | SHOW QUERIES | SHOW METRICS
+///   TOKENIZE <select...>
+///   VALIDATE <select...>
+///   EXPLAIN <select...>
+///
+/// Types are INT, DOUBLE, STRING. Keywords are case-insensitive; one
+/// optional trailing ';' is accepted.
+enum class StatementKind {
+  kCreateStream,
+  kCreateRelation,
+  kRegisterQuery,
+  kUnregisterQuery,
+  kSubscribe,
+  kUnsubscribe,
+  kShowStreams,
+  kShowQueries,
+  kShowMetrics,
+  kTokenize,
+  kValidate,
+  kExplain,
+};
+
+/// One parsed session statement. Which fields are meaningful depends on
+/// `kind` (the WalRecord idiom).
+struct Statement {
+  StatementKind kind = StatementKind::kShowStreams;
+  std::string name;         ///< Stream / relation / query name.
+  Schema schema;            ///< CREATE forms.
+  bool retroactive = false; ///< CREATE RELATION.
+  /// Embedded query text, verbatim (REGISTER ... AS, TOKENIZE, VALIDATE,
+  /// EXPLAIN). `sql_offset` is its byte offset inside the statement
+  /// text, so query-level error offsets can be rebased onto the full
+  /// statement for caret rendering.
+  std::string sql;
+  size_t sql_offset = 0;
+};
+
+/// Outcome of ParseStatement: a statement or an error with a byte offset
+/// into the statement text (same contract as ParseResult).
+struct StatementParse {
+  Statement stmt;
+  std::string error;  ///< Empty on success.
+  size_t error_offset = ParseResult::kNoOffset;
+
+  bool ok() const { return error.empty(); }
+};
+
+StatementParse ParseStatement(const std::string& text);
+
+}  // namespace sqlsession
+}  // namespace upa
+
+#endif  // UPA_SQL_SESSION_STATEMENT_H_

@@ -149,6 +149,7 @@ const std::vector<MsgType>& AllTypes() {
       MsgType::kSubData,       MsgType::kSubWatermark,
       MsgType::kSubReset,      MsgType::kSubDropped,
       MsgType::kPing,          MsgType::kPong,
+      MsgType::kSqlExec,       MsgType::kSqlResult,
   };
   return types;
 }

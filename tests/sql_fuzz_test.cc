@@ -8,18 +8,26 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/logical_plan.h"
 #include "core/physical_planner.h"
+#include "engine/engine.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "sql/catalog.h"
 #include "tests/test_util.h"
 
 namespace upa {
 namespace {
 
+using net::Client;
 using testing_util::IntSchema;
 
 constexpr int kStreams = 3;
@@ -179,6 +187,157 @@ TEST(SqlCatalogFuzzTest, HostileInputsGetErrorsNotCrashes) {
       EXPECT_FALSE(r.error.empty());
     }
   }
+}
+
+// --- Session-path fuzz: random statements against a live server -------
+
+/// Random session statement, biased toward well-formed forms so DDL,
+/// registration, subscription, and introspection all get real coverage;
+/// query names cycle through a small pool so duplicate-register and
+/// unregister-missing error paths fire constantly.
+std::string RandomSessionStatement(Rng& rng, int* fresh) {
+  const auto qname = [&] { return "q" + std::to_string(rng.NextBelow(8)); };
+  switch (rng.NextBelow(12)) {
+    case 0:
+      return "CREATE STREAM fz" + std::to_string((*fresh)++) + " (a INT)";
+    case 1:
+      return "CREATE RELATION fr" + std::to_string((*fresh)++) +
+             " (a INT) RETROACTIVE";
+    case 2:
+    case 3:
+      return "REGISTER QUERY " + qname() + " AS " + RandomQuery(rng);
+    case 4:
+      return "UNREGISTER QUERY " + qname();
+    case 5:
+      return "SUBSCRIBE " + qname();
+    case 6:
+      return "UNSUBSCRIBE " + qname();
+    case 7:
+      return rng.NextBool(0.5) ? "SHOW QUERIES" : "SHOW STREAMS";
+    case 8:
+      return "EXPLAIN " + RandomQuery(rng);
+    case 9:
+      return rng.NextBool(0.5) ? "TOKENIZE " + RandomQuery(rng)
+                               : "VALIDATE " + RandomQuery(rng);
+    default: {  // Mutated garbage: must get an error, never a hang.
+      std::string text = "REGISTER QUERY " + qname() + " AS " +
+                         RandomQuery(rng);
+      const int edits = 1 + static_cast<int>(rng.NextBelow(6));
+      for (int e = 0; e < edits && !text.empty(); ++e) {
+        const size_t pos = rng.NextBelow(text.size());
+        switch (rng.NextBelow(3)) {
+          case 0:
+            text.erase(pos, 1);
+            break;
+          case 1:
+            text.insert(pos, 1, text[pos]);
+            break;
+          default:
+            text[pos] = static_cast<char>('!' + rng.NextBelow(90));
+            break;
+        }
+      }
+      return text;
+    }
+  }
+}
+
+/// Two concurrent sessions fuzz the full wire path -- statement parser,
+/// SqlSession, the engine's online catalog/registry, and the server's
+/// subscription sweep -- while one of them also ingests. The server must
+/// never crash, no statement may wedge the catalog's RW lock, and the
+/// engine must still register and flush afterwards. Run under TSan in
+/// scripts/ci.sh, this is the "DDL is online" fuzz oracle.
+TEST(SqlSessionFuzzTest, ConcurrentSessionStatementsNeverWedgeTheServer) {
+  EngineOptions eopts;
+  eopts.default_shards = 2;
+  auto engine = std::make_unique<Engine>(eopts);
+  for (int i = 0; i < kStreams; ++i) {
+    ASSERT_EQ(engine->DeclareStream("s" + std::to_string(i), IntSchema(2)),
+              i);
+  }
+  net::ServerOptions sopts;
+  sopts.port = 0;
+  sopts.enable_sql = true;
+  net::Server server(engine.get(), sopts);
+  std::string err;
+  ASSERT_TRUE(server.Start(&err)) << err;
+  const int port = server.port();
+
+  std::atomic<int> transport_failures{0};
+  const auto session = [&](uint64_t seed, bool ingests) {
+    Client client;
+    std::string cerr;
+    if (!client.Connect("127.0.0.1", port, &cerr)) {
+      ADD_FAILURE() << "connect: " << cerr;
+      return;
+    }
+    Rng rng(seed);
+    int fresh = static_cast<int>(seed) * 1000;
+    Time ts = 1;
+    for (int iter = 0; iter < 400; ++iter) {
+      const std::string stmt = RandomSessionStatement(rng, &fresh);
+      net::SqlExecResult r;
+      // False means the transport died -- garbage statements must come
+      // back as in-band errors on a healthy connection.
+      if (!client.SqlExec(stmt, &r, &cerr)) {
+        ADD_FAILURE() << "connection died on: " << stmt << "\n" << cerr;
+        transport_failures.fetch_add(1);
+        return;
+      }
+      if (!r.ok) EXPECT_FALSE(r.error.empty()) << stmt;
+      if (ingests && iter % 7 == 0) {
+        std::vector<std::pair<uint32_t, Tuple>> batch;
+        for (int s = 0; s < kStreams; ++s) {
+          batch.emplace_back(
+              static_cast<uint32_t>(s),
+              testing_util::T({static_cast<int64_t>(rng.NextInRange(0, 9)),
+                               static_cast<int64_t>(rng.NextInRange(0, 99))},
+                              ts));
+        }
+        ++ts;
+        if (!client.IngestBatch(batch, &cerr)) {
+          ADD_FAILURE() << "ingest died: " << cerr;
+          transport_failures.fetch_add(1);
+          return;
+        }
+        if (iter % 49 == 0 && !client.Flush(&cerr)) {
+          ADD_FAILURE() << "flush died: " << cerr;
+          transport_failures.fetch_add(1);
+          return;
+        }
+      }
+    }
+    client.Close();
+  };
+
+  std::thread a([&] { session(1, /*ingests=*/true); });
+  std::thread b([&] { session(2, /*ingests=*/false); });
+  a.join();
+  b.join();
+  ASSERT_EQ(transport_failures.load(), 0);
+
+  // The catalog and registry must still be fully usable: a fresh session
+  // can declare, register, subscribe, and barrier.
+  Client after;
+  ASSERT_TRUE(after.Connect("127.0.0.1", port, &err)) << err;
+  net::SqlExecResult r;
+  ASSERT_TRUE(after.SqlExec("CREATE STREAM post (a INT, b INT)", &r, &err))
+      << err;
+  EXPECT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(after.SqlExec(
+                  "REGISTER QUERY post_q AS SELECT DISTINCT c0 FROM "
+                  "s0 [RANGE 10]",
+                  &r, &err))
+      << err;
+  EXPECT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(after.SqlExec("SUBSCRIBE post_q", &r, &err)) << err;
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_NE(r.mirror, nullptr);
+  ASSERT_TRUE(after.Flush(&err)) << err;
+  after.Close();
+  server.Stop();
+  engine->Stop();
 }
 
 }  // namespace

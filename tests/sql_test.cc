@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "sql/catalog.h"
 #include "sql/parser.h"
 #include "tests/test_util.h"
 #include "workload/lbl_generator.h"
@@ -193,6 +194,136 @@ TEST(SqlTest, Errors) {
   EXPECT_NE(MustFail("SELECT * FROM link0 [RANGE 10] WHERE protocol ~ 3")
                 .find("unexpected character"),
             std::string::npos);
+}
+
+// --- Error spans: byte offsets + caret context goldens. ---
+
+struct SpanCase {
+  const char* sql;
+  const char* error;   ///< Exact error message.
+  size_t offset;       ///< Exact byte offset of the offending token.
+  const char* caret;   ///< Exact CaretContext golden.
+};
+
+TEST(SqlSpanTest, MalformedStatementsCarryExactOffsetsAndCarets) {
+  const SpanCase cases[] = {
+      {"SELEKT * FROM link0 [RANGE 10]", "expected SELECT", 0,
+       "SELEKT * FROM link0 [RANGE 10]\n"
+       "^~~~"},
+      {"SELECT * FORM link0 [RANGE 10]", "expected FROM", 9,
+       "SELECT * FORM link0 [RANGE 10]\n"
+       "         ^~~~"},
+      {"SELECT * FROM nope [RANGE 10]", "unknown source 'nope'", 14,
+       "SELECT * FROM nope [RANGE 10]\n"
+       "              ^~~~"},
+      // Column resolution runs after the parse; the span must still
+      // anchor at the name, not wherever the cursor finished.
+      {"SELECT zap FROM link0 [RANGE 10]", "unknown column 'zap'", 7,
+       "SELECT zap FROM link0 [RANGE 10]\n"
+       "       ^~~~"},
+      {"SELECT * FROM link0 [RANGE -5]",
+       "RANGE requires a positive integer", 27,
+       "SELECT * FROM link0 [RANGE -5]\n"
+       "                           ^~~~"},
+      {"SELECT * FROM link0 [RANGE 10] WHERE protocol ~ 3",
+       "unexpected character '~'", 46,
+       "SELECT * FROM link0 [RANGE 10] WHERE protocol ~ 3\n"
+       "                                              ^~~~"},
+      {"SELECT * FROM link0 [RANGE 10] trailing",
+       "trailing input after query", 31,
+       "SELECT * FROM link0 [RANGE 10] trailing\n"
+       "                               ^~~~"},
+      {"SELECT src_ip FROM link0 [RANGE 10], link1 [RANGE 10] "
+       "WHERE link0.src_ip = link1.src_ip",
+       "ambiguous column 'src_ip' (qualify with the source name)", 7,
+       "SELECT src_ip FROM link0 [RANGE 10], link1 [RANGE 10] "
+       "WHERE link0.src_ip = link1.src_ip\n"
+       "       ^~~~"},
+  };
+  for (const SpanCase& c : cases) {
+    ParseResult r = ParseQuery(c.sql, TrafficSources());
+    ASSERT_FALSE(r.ok()) << c.sql;
+    EXPECT_EQ(r.error, c.error) << c.sql;
+    EXPECT_EQ(r.error_offset, c.offset) << c.sql;
+    EXPECT_EQ(CaretContext(c.sql, r.error_offset), c.caret) << c.sql;
+  }
+}
+
+TEST(SqlSpanTest, CaretContextEdgeCases) {
+  // No offset -> no context.
+  EXPECT_EQ(CaretContext("SELECT", ParseResult::kNoOffset), "");
+  // Offset past the end clamps to the end of the last line.
+  EXPECT_EQ(CaretContext("ab", 99), "ab\n  ^~~~");
+  // Multi-line input excerpts only the offending line, and the caret
+  // column is relative to that line.
+  EXPECT_EQ(CaretContext("line one\nbad here", 9 + 4),
+            "bad here\n    ^~~~");
+  // Tabs flatten to spaces so the caret column stays aligned.
+  EXPECT_EQ(CaretContext("\tx", 1), " x\n ^~~~");
+}
+
+TEST(SqlSpanTest, WellFormedQueriesReportNoOffset) {
+  ParseResult r = ParseQuery("SELECT * FROM link0 [RANGE 10]",
+                             TrafficSources());
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.error_offset, ParseResult::kNoOffset);
+}
+
+// --- SourceCatalog: declaration error paths. ---
+
+TEST(SourceCatalogTest, DuplicateNameIsRejectedAndOriginalUnchanged) {
+  SourceCatalog cat;
+  const int id = cat.DeclareStream("s", IntSchema(2));
+  ASSERT_GE(id, 0);
+  // Same name again -- any kind, any schema -- must fail without
+  // touching the original declaration.
+  EXPECT_EQ(cat.DeclareStream("s", IntSchema(3)), -1);
+  EXPECT_EQ(cat.DeclareRelation("s", IntSchema(2), true), -1);
+  const SourceDecl* d = cat.Find("s");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->stream_id, id);
+  EXPECT_EQ(d->kind, SourceKind::kStream);
+  EXPECT_EQ(d->schema.num_fields(), 2);
+}
+
+TEST(SourceCatalogTest, DuplicateExplicitIdIsRejected) {
+  SourceCatalog cat;
+  ASSERT_EQ(cat.Declare("a", SourceDecl{7, IntSchema(1),
+                                        SourceKind::kStream}), 7);
+  // A second source may not reuse stream id 7 under a different name.
+  EXPECT_EQ(cat.Declare("b", SourceDecl{7, IntSchema(1),
+                                        SourceKind::kStream}), -1);
+  EXPECT_EQ(cat.Find("b"), nullptr);
+  // Auto-assigned ids skip past explicit ones instead of colliding.
+  const int next = cat.DeclareStream("c", IntSchema(1));
+  EXPECT_GE(next, 0);
+  EXPECT_NE(next, 7);
+}
+
+TEST(SourceCatalogTest, CompileResolvesOnlyDeclaredSources) {
+  SourceCatalog cat;
+  ASSERT_GE(cat.DeclareStream("s", IntSchema(2)), 0);
+  ParseResult ok = cat.Compile("SELECT * FROM s [RANGE 10]");
+  EXPECT_TRUE(ok.ok()) << ok.error;
+  ParseResult bad = cat.Compile("SELECT * FROM t [RANGE 10]");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error.find("unknown source 't'"), std::string::npos);
+  EXPECT_EQ(bad.error_offset, 14u);
+}
+
+TEST(SourceCatalogTest, SchemaMismatchSurfacesAtCompileTime) {
+  // The catalog pins the schema at declaration; a query written against
+  // different columns fails to compile (there is no silent coercion).
+  SourceCatalog cat;
+  Schema s({Field{"a", ValueType::kInt}, Field{"b", ValueType::kString}});
+  ASSERT_GE(cat.DeclareStream("s", s), 0);
+  ParseResult r = cat.Compile("SELECT missing FROM s [RANGE 10]");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("unknown column 'missing'"), std::string::npos);
+  // Type checks also bind against the declared schema.
+  ParseResult t = cat.Compile("SELECT * FROM s [RANGE 10] WHERE b = 3");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.error.find("string column"), std::string::npos);
 }
 
 // --- Parsed queries execute correctly end to end. ---
