@@ -33,14 +33,19 @@ PlanPtr SingleGroupQuery(Time window) {
   return plan;
 }
 
+/// `arg` is the family's sweep variable (shard count for the scaling
+/// families, ingest batch size for the batch sweep) and names the run.
+/// `batch_size` feeds EngineOptions::batch_size (0 = auto, Section 15).
 void RunEngineBench(benchmark::State& state, const std::string& family,
-                    PlanPtr plan, int shards, const Trace& trace) {
+                    PlanPtr plan, int shards, const Trace& trace,
+                    int64_t arg, size_t batch_size = 0) {
   auto& collector = bench_json::Collector::Global();
   for (auto _ : state) {
     EngineOptions opts;
     opts.default_shards = shards;
     opts.queue_capacity = 8192;
     opts.max_batch = 256;
+    opts.batch_size = batch_size;
     opts.profile_queries = collector.profile_enabled();
     Engine engine(opts);
     const RegisterResult reg =
@@ -64,8 +69,8 @@ void RunEngineBench(benchmark::State& state, const std::string& family,
 
     bench_json::Run run;
     run.family = family;
-    run.name = family + "/" + std::to_string(shards);
-    run.args = {shards};
+    run.name = family + "/" + std::to_string(arg);
+    run.args = {arg};
     run.wall_seconds = secs;
     run.counters["ktuples_per_s"] = state.counters["ktuples_per_s"];
     run.counters["shards"] = static_cast<double>(reg.shards);
@@ -89,7 +94,7 @@ void BM_EngineJoinScaling(benchmark::State& state) {
   PlanPtr plan = JoinQuery(window, kProtoTelnet);
   const Trace& trace = LblTrace(2, 20000);
   RunEngineBench(state, "BM_EngineJoinScaling", std::move(plan),
-                 static_cast<int>(state.range(0)), trace);
+                 static_cast<int>(state.range(0)), trace, state.range(0));
 }
 
 void BM_EngineFallbackScaling(benchmark::State& state) {
@@ -97,7 +102,20 @@ void BM_EngineFallbackScaling(benchmark::State& state) {
   PlanPtr plan = SingleGroupQuery(window);
   const Trace& trace = LblTrace(1, 20000);
   RunEngineBench(state, "BM_EngineFallbackScaling", std::move(plan),
-                 static_cast<int>(state.range(0)), trace);
+                 static_cast<int>(state.range(0)), trace, state.range(0));
+}
+
+// Batch-size sweep on the 1-shard join (E13): same plan and trace as the
+// scaling family's first point, with ingest coalescing dialed from the
+// per-tuple oracle (batch 1) up to 1024. The gap isolates what Section 15
+// buys: amortized clock advances and one expiration sweep per batch.
+void BM_EngineJoinBatchSweep(benchmark::State& state) {
+  const Time window = 2000;
+  PlanPtr plan = JoinQuery(window, kProtoTelnet);
+  const Trace& trace = LblTrace(2, 20000);
+  RunEngineBench(state, "BM_EngineJoinBatchSweep", std::move(plan),
+                 /*shards=*/1, trace, state.range(0),
+                 static_cast<size_t>(state.range(0)));
 }
 
 BENCHMARK(BM_EngineJoinScaling)
@@ -110,6 +128,14 @@ BENCHMARK(BM_EngineJoinScaling)
 BENCHMARK(BM_EngineFallbackScaling)
     ->Arg(1)
     ->Arg(4)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_EngineJoinBatchSweep)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
     ->UseManualTime()
     ->Iterations(1);
 

@@ -28,14 +28,18 @@ namespace {
 
 using bench_util::LblTrace;
 
-void BM_NetIngestThroughput(benchmark::State& state) {
-  const size_t batch_size = static_cast<size_t>(state.range(0));
-  const int num_clients = static_cast<int>(state.range(1));
+/// `engine_batch` feeds EngineOptions::batch_size: how many routed rows
+/// the engine coalesces per shard-queue item once tuples leave the wire
+/// (0 = auto, 1 = per-tuple; DESIGN.md Section 15). Orthogonal to the
+/// wire batch, which amortizes framing and round trips.
+void RunNetIngest(benchmark::State& state, const std::string& family,
+                  size_t batch_size, int num_clients, size_t engine_batch) {
   const Trace& trace = LblTrace(1, 4000);
   auto& collector = bench_json::Collector::Global();
   for (auto _ : state) {
     EngineOptions eopts;
     eopts.default_shards = 2;
+    eopts.batch_size = engine_batch;
     Engine engine(eopts);
     net::ServerOptions sopts;
     sopts.port = 0;
@@ -121,11 +125,15 @@ void BM_NetIngestThroughput(benchmark::State& state) {
         static_cast<double>(wire_bytes) / tuples;
 
     bench_json::Run run;
-    run.family = "BM_NetIngestThroughput";
-    run.name = "BM_NetIngestThroughput/batch:" +
-               std::to_string(batch_size) + "/clients:" +
-               std::to_string(num_clients);
-    run.args = {static_cast<int64_t>(batch_size), num_clients};
+    run.family = family;
+    if (family == "BM_NetEngineBatchSweep") {
+      run.name = family + "/ebatch:" + std::to_string(engine_batch);
+      run.args = {static_cast<int64_t>(engine_batch)};
+    } else {
+      run.name = family + "/batch:" + std::to_string(batch_size) +
+                 "/clients:" + std::to_string(num_clients);
+      run.args = {static_cast<int64_t>(batch_size), num_clients};
+    }
     run.wall_seconds = secs;
     run.counters["ktuples_per_s"] = state.counters["ktuples_per_s"];
     run.counters["wire_mb_per_s"] = state.counters["wire_mb_per_s"];
@@ -134,8 +142,31 @@ void BM_NetIngestThroughput(benchmark::State& state) {
   }
 }
 
+void BM_NetIngestThroughput(benchmark::State& state) {
+  RunNetIngest(state, "BM_NetIngestThroughput",
+               static_cast<size_t>(state.range(0)),
+               static_cast<int>(state.range(1)), /*engine_batch=*/0);
+}
+
+// Engine-batch sweep behind a fixed wire configuration (E13): one client
+// shipping 128-tuple wire batches while the engine's ingest coalescing
+// runs from per-tuple (1) to 1024. Isolates the Section 15 win on the
+// full client -> server -> engine -> subscriber path.
+void BM_NetEngineBatchSweep(benchmark::State& state) {
+  RunNetIngest(state, "BM_NetEngineBatchSweep", /*batch_size=*/128,
+               /*num_clients=*/1, static_cast<size_t>(state.range(0)));
+}
+
 BENCHMARK(BM_NetIngestThroughput)
     ->ArgsProduct({{16, 128, 1024}, {1, 4}})
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_NetEngineBatchSweep)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
     ->UseManualTime()
     ->Iterations(1);
 

@@ -43,6 +43,15 @@ cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# Batched-ingest variant: the same suite with UPA_BATCH=64, which flips
+# every engine constructed with the default batch_size=0 onto the
+# batched execution path (DESIGN.md Section 15); tests that depend on
+# per-tuple queue granularity pin batch_size=1 explicitly. Alongside the
+# fixed-seed differential suite (batch_test), this catches divergence
+# between the two execution strategies anywhere in the tier-1 surface.
+echo "ci.sh: tier-1 under UPA_BATCH=64"
+UPA_BATCH=64 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
 # Recovery suite: the kill-restart differential and the WAL/checkpoint
 # corruption tests get a dedicated serial pass under the ASan config --
 # they hammer the filesystem (truncations, bit-flips, torn writes), and

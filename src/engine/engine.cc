@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <future>
 #include <mutex>
 #include <utility>
@@ -10,13 +11,31 @@
 
 namespace upa {
 
+namespace {
+
+/// Resolves batch_size = 0 (auto) to the UPA_BATCH environment variable
+/// when it names a batch (> 1), else to per-tuple execution.
+EngineOptions ResolveOptions(EngineOptions o) {
+  if (o.batch_size == 0) {
+    o.batch_size = 1;
+    if (const char* env = std::getenv("UPA_BATCH")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && v > 1) o.batch_size = static_cast<size_t>(v);
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
 Engine::Engine(const EngineOptions& options)
     : Engine(options, DeferDurabilityTag{}) {
   if (!options_.durability.dir.empty()) InitDurability();
 }
 
 Engine::Engine(const EngineOptions& options, DeferDurabilityTag)
-    : options_(options) {
+    : options_(ResolveOptions(options)) {
   if (options_.supervise) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
@@ -127,6 +146,9 @@ RegisterResult Engine::DoRegister(const std::string& name, PlanPtr plan,
   QueryOptions effective = options;
   if (options_.profile_queries) effective.profile = true;
   if (options_.check_invariants) effective.check_invariants = true;
+  // Batched ingest builds every replica (including recovery rebuilds,
+  // which go through the same factory) with batch-mode ticks enabled.
+  if (options_.batch_size > 1) effective.batching = true;
   // Durability implies per-shard ingest logs: they are the retained-state
   // source of checkpoints, and they make every shard restartable, so a
   // snapshot/checkpoint barrier can always recover a crashed shard.
@@ -179,6 +201,9 @@ bool Engine::UnregisterQuery(const std::string& name, std::string* error) {
   std::unique_ptr<RegisteredQuery> q;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
+    // Acknowledged rows pending for this query must reach its shards
+    // before the registry forgets it, or they would be silently dropped.
+    FlushPendingLocked();
     q = registry_.Remove(name);
     if (q != nullptr && wal_ != nullptr && !q->sql().empty()) {
       // Logged under the same lock that removed the query, so the WAL
@@ -290,7 +315,9 @@ void Engine::IngestImpl(int stream_id, const Tuple& t) {
   // Log before routing, and under the same (shared) lock: a checkpoint
   // reads its WAL cut under the unique lock, which cannot interleave
   // here, so every record at or below the cut has also reached its shard
-  // queue before the checkpoint's barrier control.
+  // queue before the checkpoint's barrier control. (With batching, "the
+  // shard queue" includes the pending batch: the checkpoint flushes it
+  // under the same unique lock before reading the cut.)
   uint64_t seq = 0;
   if (wal_ != nullptr) {
     durability::WalRecord rec;
@@ -299,6 +326,14 @@ void Engine::IngestImpl(int stream_id, const Tuple& t) {
     rec.tuple = t;
     seq = wal_->Append(std::move(rec));
   }
+  if (options_.batch_size > 1) {
+    // Coalesce; routing happens with batch_mu_ held so two full batches
+    // from concurrent producers cannot interleave inside a shard queue.
+    std::lock_guard<std::mutex> blk(batch_mu_);
+    pending_.push_back({stream_id, t, seq});
+    if (pending_.size() >= options_.batch_size) RouteRowsLocked();
+    return;
+  }
   for (const auto& q : registry_.queries()) {
     if (!q->HasStream(stream_id)) continue;
     q->enqueued.fetch_add(1, std::memory_order_relaxed);
@@ -306,11 +341,50 @@ void Engine::IngestImpl(int stream_id, const Tuple& t) {
   }
 }
 
+void Engine::FlushPendingBatch() {
+  if (options_.batch_size <= 1) return;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  FlushPendingLocked();
+}
+
+void Engine::FlushPendingLocked() {
+  if (options_.batch_size <= 1) return;
+  std::lock_guard<std::mutex> blk(batch_mu_);
+  RouteRowsLocked();
+}
+
+void Engine::RouteRowsLocked() {
+  if (pending_.empty()) return;
+  std::vector<std::vector<ShardRow>> per_shard;
+  for (const auto& q : registry_.queries()) {
+    per_shard.assign(static_cast<size_t>(q->num_shards()), {});
+    bool any = false;
+    for (const PendingRow& r : pending_) {
+      if (!q->HasStream(r.stream)) continue;
+      q->enqueued.fetch_add(1, std::memory_order_relaxed);
+      const size_t s = static_cast<size_t>(q->ShardOf(r.stream, r.tuple));
+      per_shard[s].push_back({r.stream, r.tuple, r.seq});
+      any = true;
+    }
+    if (!any) continue;
+    for (size_t s = 0; s < per_shard.size(); ++s) {
+      if (!per_shard[s].empty()) {
+        q->shard(static_cast<int>(s)).EnqueueRows(std::move(per_shard[s]));
+      }
+    }
+  }
+  pending_.clear();
+}
+
 void Engine::IngestTrace(const Trace& trace) {
   for (const TraceEvent& e : trace.events) Ingest(e.stream, e.tuple);
 }
 
 void Engine::AdvanceTo(Time now) {
+  // Route pending rows first: a time advance must not overtake rows that
+  // were acknowledged before it (the recovery digest check barriers at
+  // the checkpoint clock right after AdvanceTo).
+  FlushPendingBatch();
   Time seen = clock_.load(std::memory_order_relaxed);
   bool advanced = false;
   while (now > seen) {
@@ -392,6 +466,7 @@ bool BarrierQuery(RegisteredQuery* q, Time ts,
 
 bool Engine::Flush() {
   FlushHeld();
+  FlushPendingBatch();
   const Time ts = clock();
   std::vector<std::string> need_reset;
   bool ok = true;
@@ -411,6 +486,7 @@ bool Engine::Flush() {
 
 bool Engine::FlushQuery(const std::string& name) {
   FlushHeld();
+  FlushPendingBatch();
   const Time ts = clock();
   std::vector<std::string> need_reset;
   {
@@ -429,6 +505,7 @@ bool Engine::Snapshot(const std::string& name, std::vector<Tuple>* out,
   UPA_CHECK(out != nullptr);
   out->clear();
   FlushHeld();
+  FlushPendingBatch();
   const Time ts = std::max(at, clock());
   std::vector<std::string> need_reset;
   {
@@ -471,6 +548,7 @@ void Engine::ResetSubscriptions(const std::vector<std::string>& names,
                                 Time ts) {
   if (names.empty()) return;
   std::unique_lock<std::shared_mutex> lock(mu_);
+  FlushPendingLocked();
   for (const std::string& name : names) {
     RegisteredQuery* q = registry_.Find(name);
     if (q == nullptr) continue;
@@ -505,6 +583,7 @@ bool Engine::Subscribe(const std::string& name, SubscriptionCallback callback,
   // window between the snapshot capture and the callback attach in which
   // a delta could be lost or duplicated.
   std::unique_lock<std::shared_mutex> lock(mu_);
+  FlushPendingLocked();  // Producers are locked out: the flush is exact.
   RegisteredQuery* q = registry_.Find(name);
   if (q == nullptr) return false;
   SubscriptionHub* hub = &q->hub();
@@ -581,6 +660,11 @@ bool Engine::Checkpoint(std::string* error) {
   std::vector<std::unique_ptr<Capture>> captures;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
+    // Route pending rows before reading the WAL cut: every record at or
+    // below the cut must be in its shard queue ahead of the capture
+    // controls, and producers (who append + coalesce under the shared
+    // lock) cannot interleave here.
+    FlushPendingLocked();
     m.clock = clock();
     m.wal_seq = wal_->last_seq();
     for (const auto& [name, decl] : catalog_.sources()) {
@@ -872,6 +956,7 @@ std::unique_ptr<Engine> Engine::StartFromCheckpoint(
     }
     rep.wal_records_replayed = suffix.size();
     rep.wal_gap = gap;
+    cand->FlushPendingBatch();  // Replayed rows must not sit coalesced.
     engine = std::move(cand);
   }
   rep.digest_mismatches = digest_mismatches;
@@ -1007,6 +1092,7 @@ EngineMetrics Engine::Metrics() const {
 void Engine::Stop() {
   if (stopped_.load(std::memory_order_relaxed)) return;
   FlushHeld();  // Before stopping ingest: the held tuple must not vanish.
+  FlushPendingBatch();  // Likewise for coalesced rows.
   if (stopped_.exchange(true)) return;
   // The checkpointer goes first (it barriers shards), then the watchdog
   // (so no restart races shard shutdown).

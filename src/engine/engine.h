@@ -57,6 +57,15 @@ struct EngineOptions {
   size_t queue_capacity = 4096;
   /// Max tuples a shard worker drains per wakeup.
   size_t max_batch = 128;
+  /// Batched ingest (DESIGN.md Section 15): rows are coalesced in the
+  /// engine and shipped to the shard queues as multi-row items; shard
+  /// workers hand same-stream same-timestamp runs to the operators in
+  /// one call, and replicas defer silent expiration sweeps to batch
+  /// boundaries. Results, counters, and digests are byte-identical to
+  /// per-tuple execution at every barrier. 1 = per-tuple execution (the
+  /// differential oracle path); 0 = auto: the UPA_BATCH environment
+  /// variable if set (> 1), else 1.
+  size_t batch_size = 0;
   /// What producers do when a shard queue is full.
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   /// Profile every registered query (per-query QueryOptions::profile
@@ -314,6 +323,17 @@ class Engine {
   /// barrier/snapshot entry point so a held tuple is never outstanding
   /// when results are observed.
   void FlushHeld();
+  /// Routes the coalesced pending rows to the shard queues (no-op with
+  /// batch_size <= 1). Called by every barrier/snapshot entry point so a
+  /// pending row is never outstanding when results are observed, and by
+  /// Stop/UnregisterQuery so acknowledged ingests are never dropped.
+  /// Acquires mu_ shared; use FlushPendingLocked when already holding it.
+  void FlushPendingBatch();
+  /// As FlushPendingBatch, but mu_ (shared or unique) is already held.
+  void FlushPendingLocked();
+  /// Groups pending_ by query and shard (preserving ingest order) and
+  /// enqueues multi-row items. Caller holds mu_ and batch_mu_.
+  void RouteRowsLocked();
   void WatchdogLoop();
   /// Post-barrier subscription publication: emits the watermark to `q`'s
   /// subscribers, or, when a shard restarted since the sinks were
@@ -359,6 +379,18 @@ class Engine {
   };
   std::mutex watch_mu_;
   std::map<const ShardExecutor*, StallWatch> watch_;  // Guarded by watch_mu_.
+
+  // Batched ingest (batch_size > 1): acknowledged rows wait here until
+  // the batch fills or a barrier flushes them. Rows are routed while
+  // batch_mu_ is held, so concurrent producers cannot reorder two
+  // batches on their way into one shard queue.
+  struct PendingRow {
+    int stream = -1;
+    Tuple tuple;
+    uint64_t seq = 0;  ///< WAL sequence (0: not logged).
+  };
+  std::mutex batch_mu_;
+  std::vector<PendingRow> pending_;  // Guarded by batch_mu_.
 
   // One-tuple hold slot for the kReorderIngest fault.
   std::mutex hold_mu_;

@@ -86,6 +86,7 @@ std::unique_ptr<Pipeline> RegisteredQuery::MakeReplica() const {
   if (options_.check_invariants) {
     replica->EnableInvariantChecks(InvariantFor(*plan_));
   }
+  if (options_.batching) replica->EnableBatching();
   return replica;
 }
 

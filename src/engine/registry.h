@@ -33,6 +33,11 @@ struct QueryOptions {
   /// replicas deliver (WKS outputs expire FIFO, WK expirations are never
   /// signalled early or late). Aborts on violation — a test-harness knob.
   bool check_invariants = false;
+  /// Build every shard replica with batched execution enabled
+  /// (Pipeline::EnableBatching, DESIGN.md Section 15). Set by the engine
+  /// when EngineOptions::batch_size > 1; threaded through the replica
+  /// factory so recovery rebuilds inherit it.
+  bool batching = false;
 };
 
 /// A registered continuous query: the owned logical plan, its partition

@@ -68,6 +68,11 @@ bool ShardExecutor::Restart() {
   const bool degrade = degrade_request_.load(std::memory_order_relaxed);
   if (degrade) pipeline_->SetDegraded(true);
   degraded_.store(degrade, std::memory_order_relaxed);
+  // Count the restart before replay: replaying the log acks any control
+  // that was parked at the crash, and the caller it unblocks may read
+  // metrics immediately — it must see this recovery. (The promise's
+  // set_value orders the store for that reader.)
+  restarts_.fetch_add(1, std::memory_order_relaxed);
   clock_ = -1;
   {
     std::lock_guard<std::mutex> log_lock(log_mu_);
@@ -99,7 +104,6 @@ bool ShardExecutor::Restart() {
     PruneLogLocked();
   }
   crashed_.store(false, std::memory_order_release);
-  restarts_.fetch_add(1, std::memory_order_relaxed);
   PublishCounters();
   worker_ = std::thread([this] { Run(); });
   return true;
@@ -110,6 +114,13 @@ bool ShardExecutor::Enqueue(int stream, const Tuple& t, uint64_t wal_seq) {
   item.stream = stream;
   item.tuple = t;
   item.wal_seq = wal_seq;
+  return queue_.Push(std::move(item));
+}
+
+bool ShardExecutor::EnqueueRows(std::vector<ShardRow> rows) {
+  if (rows.empty()) return true;
+  ShardItem item;
+  item.rows = std::move(rows);
   return queue_.Push(std::move(item));
 }
 
@@ -146,6 +157,7 @@ std::future<void> ShardExecutor::EnqueueControl(
 void ShardExecutor::Run() {
   const bool recovery = rebuild_ != nullptr;
   std::vector<ShardItem> batch;
+  std::vector<uint64_t> item_seqs;
   batch.reserve(max_batch_);
   for (;;) {
     if (faults_ != nullptr) {
@@ -158,10 +170,13 @@ void ShardExecutor::Run() {
     // Batch boundaries are the only place degradation flips, so the
     // request never contends with a replica that is mid-tuple.
     ApplyDegradeRequest();
-    uint64_t base_seq = 0;
     // Log the whole batch before touching any of it: a crash between two
     // items of a batch then loses nothing — the tail is replayed.
-    if (recovery) AppendBatchToLog(batch, &base_seq);
+    if (recovery) AppendBatchToLog(batch, &item_seqs);
+    // Open a batched-execution bracket (a no-op unless the replica was
+    // built with batching enabled): silent expiration sweeps are deferred
+    // until the matching EndBatch below or the next control barrier.
+    pipeline_->BeginBatch();
     for (size_t i = 0; i < batch.size(); ++i) {
       ShardItem& item = batch[i];
       if (item.stream >= 0) {
@@ -179,7 +194,15 @@ void ShardExecutor::Run() {
         // With recovery on, the ledger counts at log-append time (the
         // entry survives a crash); without a log, count per item here.
         if (!recovery) processed_.fetch_add(1, std::memory_order_relaxed);
+      } else if (!item.rows.empty()) {
+        if (RunRows(item)) return;  // Injected crash mid-item.
+        if (!recovery) {
+          processed_.fetch_add(item.rows.size(), std::memory_order_relaxed);
+        }
       } else {
+        // A control is a barrier: flush deferred expirations first so the
+        // action observes state byte-identical to per-tuple execution.
+        pipeline_->EndBatch();
         if (item.control_ts > clock_) {
           clock_ = item.control_ts;
           pipeline_->Tick(clock_);
@@ -189,11 +212,53 @@ void ShardExecutor::Run() {
         // counters covering everything up to it (Flush => exact stats).
         PublishCounters();
         item.done->set_value();
-        if (recovery) AckLogged(base_seq + i);
+        if (recovery) AckLogged(item_seqs[i]);
+        pipeline_->BeginBatch();
       }
     }
+    pipeline_->EndBatch();
     PublishCounters();
   }
+}
+
+bool ShardExecutor::RunRows(const ShardItem& item) {
+  const std::vector<ShardRow>& rows = item.rows;
+  if (faults_ != nullptr) {
+    // Per-tuple fallback: the fault schedule counts individual tuples,
+    // and an injected crash must land between two rows exactly where it
+    // would land between two single-tuple items.
+    for (const ShardRow& r : rows) {
+      if (faults_->ShouldCrash(query_name_, index_)) {
+        crashed_.store(true, std::memory_order_release);
+        return true;
+      }
+      if (r.tuple.ts > clock_) {
+        clock_ = r.tuple.ts;
+        pipeline_->Tick(clock_);
+      }
+      pipeline_->Ingest(r.stream, r.tuple);
+    }
+    return false;
+  }
+  size_t i = 0;
+  std::vector<const Tuple*> run;
+  while (i < rows.size()) {
+    size_t j = i + 1;
+    while (j < rows.size() && rows[j].stream == rows[i].stream &&
+           rows[j].tuple.ts == rows[i].tuple.ts) {
+      ++j;
+    }
+    if (rows[i].tuple.ts > clock_) {
+      clock_ = rows[i].tuple.ts;
+      pipeline_->Tick(clock_);
+    }
+    run.clear();
+    run.reserve(j - i);
+    for (size_t k = i; k < j; ++k) run.push_back(&rows[k].tuple);
+    pipeline_->IngestRun(rows[i].stream, run.data(), j - i);
+    i = j;
+  }
+  return false;
 }
 
 void ShardExecutor::ApplyDegradeRequest() {
@@ -204,11 +269,28 @@ void ShardExecutor::ApplyDegradeRequest() {
 }
 
 void ShardExecutor::AppendBatchToLog(const std::vector<ShardItem>& batch,
-                                     uint64_t* base_seq) {
+                                     std::vector<uint64_t>* item_seqs) {
   uint64_t data_items = 0;
   std::lock_guard<std::mutex> lock(log_mu_);
-  *base_seq = log_end_seq_;
+  item_seqs->clear();
+  item_seqs->reserve(batch.size());
   for (const ShardItem& item : batch) {
+    item_seqs->push_back(log_end_seq_);
+    if (!item.rows.empty()) {
+      // Expand multi-row items into per-row data entries: replay,
+      // pruning, and checkpoint capture then never see a batch boundary.
+      for (const ShardRow& r : item.rows) {
+        ShardItem row_item;
+        row_item.stream = r.stream;
+        row_item.tuple = r.tuple;
+        row_item.wal_seq = r.wal_seq;
+        if (r.tuple.ts > log_newest_) log_newest_ = r.tuple.ts;
+        log_.push_back({std::move(row_item), false});
+        ++log_end_seq_;
+        ++data_items;
+      }
+      continue;
+    }
     log_.push_back({item, false});
     ++log_end_seq_;
     if (item.stream >= 0) {

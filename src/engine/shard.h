@@ -19,12 +19,23 @@
 
 namespace upa {
 
-/// One unit of work routed to a shard: either a stream tuple or a control
-/// message. Controls carry a target time to tick to and an optional
-/// action run on the shard thread with exclusive access to the replica —
-/// the mechanism behind consistent view snapshots and drain barriers.
+/// One row of a coalesced multi-row ShardItem (the engine's batched
+/// ingest path, DESIGN.md Section 15). Rows carry the same payload as a
+/// single-tuple item; the recovery log expands them back to per-row
+/// entries so replay and checkpoint capture are batching-oblivious.
+struct ShardRow {
+  int stream = -1;
+  Tuple tuple;
+  uint64_t wal_seq = 0;
+};
+
+/// One unit of work routed to a shard: a stream tuple, a coalesced batch
+/// of stream tuples, or a control message. Controls carry a target time
+/// to tick to and an optional action run on the shard thread with
+/// exclusive access to the replica — the mechanism behind consistent view
+/// snapshots and drain barriers.
 struct ShardItem {
-  int stream = -1;  ///< >= 0: tuple item; -1: control.
+  int stream = -1;  ///< >= 0: tuple item; -1: control or multi-row batch.
   Tuple tuple;
   /// WAL sequence number of the ingest record behind this tuple (0: not
   /// WAL-logged -- durability off, WAL failed, or recovery re-injection).
@@ -32,6 +43,13 @@ struct ShardItem {
   /// the replayed WAL suffix partition the input exactly at the barrier's
   /// WAL cut.
   uint64_t wal_seq = 0;
+
+  /// Non-empty: a coalesced batch of rows in ingest order (timestamps
+  /// non-decreasing), built by the engine when EngineOptions::batch_size
+  /// > 1. The worker splits it into same-stream same-timestamp runs for
+  /// Pipeline::IngestRun. Mutually exclusive with `stream >= 0` and with
+  /// the control fields.
+  std::vector<ShardRow> rows;
 
   Time control_ts = -1;  ///< Control: advance the replica clock to here.
   std::function<void(Pipeline&)> action;  ///< Control: run on shard thread.
@@ -109,6 +127,12 @@ class ShardExecutor {
   /// `wal_seq` tags the item with its WAL record (see ShardItem).
   bool Enqueue(int stream, const Tuple& t, uint64_t wal_seq = 0);
 
+  /// Routes a coalesced batch of rows (ingest order, non-decreasing
+  /// timestamps) to this shard as one queue item. Counts as a single
+  /// item against the queue capacity — the engine's batch_size bounds
+  /// how much data one item can carry. Returns false if dropped.
+  bool EnqueueRows(std::vector<ShardRow> rows);
+
   /// Enqueues a control message: the worker ticks the replica to `ts`
   /// (monotone; earlier times are ignored), then runs `action` (may be
   /// null) with exclusive access, then fulfills the returned future.
@@ -170,9 +194,20 @@ class ShardExecutor {
   };
 
   void Run();
+  /// Processes one multi-row item: splits the rows into same-stream
+  /// same-timestamp runs for Pipeline::IngestRun (or falls back to the
+  /// per-tuple path when a fault injector is attached, so crash points
+  /// keep per-tuple granularity). Returns true if an injected crash
+  /// killed the worker mid-item.
+  bool RunRows(const ShardItem& item);
   void PublishCounters();
+  /// Appends every popped item to the recovery log, expanding multi-row
+  /// items into per-row data entries (so replay, pruning, and checkpoint
+  /// capture stay batching-oblivious). `item_seqs[i]` receives the log
+  /// sequence assigned to batch[i] (controls need it for AckLogged; for
+  /// an expanded item it is the sequence of its first row).
   void AppendBatchToLog(const std::vector<ShardItem>& batch,
-                        uint64_t* base_seq);
+                        std::vector<uint64_t>* item_seqs);
   void AckLogged(uint64_t seq);
   void PruneLogLocked();
   void ApplyDegradeRequest();

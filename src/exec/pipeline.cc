@@ -87,6 +87,41 @@ void Pipeline::CheckViewInvariant(const Tuple& t) const {
   }
 }
 
+void Pipeline::EnableBatching() {
+  UPA_CHECK(view_ != nullptr);  // Topology must be complete.
+  batching_enabled_ = true;
+  silent_.resize(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    silent_[i] = nodes_[i].op->SilentExpiration() ? 1 : 0;
+  }
+}
+
+void Pipeline::BeginBatch() {
+  if (!batching_enabled_) return;
+  in_batch_ = true;
+}
+
+void Pipeline::EndBatch() {
+  if (!in_batch_) return;
+  in_batch_ = false;
+  if (last_tick_ < 0) return;
+  // Flush the deferred sweeps up to the batch's final clock. Silent
+  // operators emit nothing on a tick by contract; the emitter aborts if
+  // one ever does.
+  class MustNotEmit : public Emitter {
+   public:
+    void Emit(const Tuple& t) override {
+      (void)t;
+      UPA_CHECK(false);  // SilentExpiration operator emitted on a tick.
+    }
+  };
+  MustNotEmit sink;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (silent_[i] != 0) nodes_[i].op->AdvanceTime(last_tick_, sink);
+  }
+  if (view_ != nullptr) view_->AdvanceTime(last_tick_);
+}
+
 void Pipeline::Tick(Time now) {
   if (now <= last_tick_) return;
   tick_floor_ = last_tick_;
@@ -109,6 +144,22 @@ void Pipeline::Tick(Time now) {
     Pipeline* p_;
     int node_;
   };
+  if (in_batch_) {
+    // Deferred-sweep mode: silent operators advance clocks only (their
+    // purges run at EndBatch); expiration-observing operators keep the
+    // exact per-tick path, since their tick output is part of the
+    // result stream.
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (silent_[i] != 0) {
+        nodes_[i].op->AdvanceClock(now);
+      } else {
+        TickEmitter e(this, static_cast<int>(i));
+        nodes_[i].op->AdvanceTime(now, e);
+      }
+    }
+    if (view_ != nullptr) view_->AdvanceClock(now);
+    return;
+  }
   for (size_t i = 0; i < nodes_.size(); ++i) {
     TickEmitter e(this, static_cast<int>(i));
     nodes_[i].op->AdvanceTime(now, e);
@@ -133,6 +184,90 @@ void Pipeline::Ingest(int stream_id, const Tuple& t) {
   for (auto it = begin; it != end; ++it) {
     Deliver(it->second.first, it->second.second, t);
   }
+}
+
+void Pipeline::IngestRun(int stream_id, const Tuple* const* run, size_t n) {
+  if (n == 0) return;
+  if (n == 1) {
+    Ingest(stream_id, *run[0]);
+    return;
+  }
+  const auto [begin, end] = stream_bindings_.equal_range(stream_id);
+  UPA_CHECK(begin != end);
+  UPA_CHECK(run[n - 1]->ts <= last_tick_);
+  UPA_DCHECK(run[0]->ts == run[n - 1]->ts);
+  if (std::next(begin) != end) {
+    // Multiple ingress bindings (e.g. a self-join): tuple-at-a-time
+    // delivery interleaves the bindings per tuple, so a batched hand-off
+    // would reorder work against state. Fall back.
+    for (size_t i = 0; i < n; ++i) Ingest(stream_id, *run[i]);
+    return;
+  }
+  const int node = begin->second.first;
+  const int port = begin->second.second;
+  stats_.ingested += n;
+  size_t i = 0;
+  while (i < n) {
+    if (profiler_ != nullptr && profiler_->SampleIngest()) {
+      // Sampled events take the instrumented per-tuple path so the
+      // profiler's cost decomposition keeps its meaning under batching.
+      SampledIngestOne(node, port, *run[i]);
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    bool sample_j = false;
+    while (j < n) {
+      if (profiler_ != nullptr && profiler_->SampleIngest()) {
+        sample_j = true;
+        break;
+      }
+      ++j;
+    }
+    DeliverRun(node, port, run + i, j - i);
+    if (sample_j) {
+      SampledIngestOne(node, port, *run[j]);
+      ++j;
+    }
+    i = j;
+  }
+}
+
+void Pipeline::SampledIngestOne(int node, int port, const Tuple& t) {
+  profiler_->BeginRoot(obs::Root::kIngest);
+  const uint64_t start = obs::NowNs();
+  DeliverSampled(node, port, t);
+  profiler_->AddRootGrossNs(obs::Root::kIngest, obs::NowNs() - start);
+}
+
+void Pipeline::DeliverRun(int node, int port, const Tuple* const* run,
+                          size_t n) {
+  if (n == 0) return;
+  if (node < 0) {
+    for (size_t i = 0; i < n; ++i) DeliverToView(*run[i]);
+    return;
+  }
+  if (n == 1) {
+    Deliver(node, port, *run[0]);
+    return;
+  }
+  stats_.delivered += n;
+  for (size_t i = 0; i < n; ++i) {
+    if (run[i]->negative) ++stats_.negatives_delivered;
+  }
+  Node& nd = nodes_[static_cast<size_t>(node)];
+  // Collect the run's emissions, then forward them as a run to the
+  // parent. ProcessBatch preserves per-tuple emission order and parents
+  // never feed back into children, so the sequence reaching the view is
+  // identical to tuple-at-a-time delivery.
+  std::vector<Tuple> emitted;
+  VectorEmitter collect(&emitted);
+  nd.op->ProcessBatch(port, run, n, collect);
+  if (emitted.empty()) return;
+  std::vector<const Tuple*> next;
+  next.reserve(emitted.size());
+  for (const Tuple& t : emitted) next.push_back(&t);
+  DeliverRun(nd.parent, nd.parent_port, next.data(), next.size());
 }
 
 void Pipeline::Deliver(int node, int port, const Tuple& t) {

@@ -109,6 +109,37 @@ class Pipeline {
   /// Pushes one tuple of `stream_id` through the plan.
   void Ingest(int stream_id, const Tuple& t);
 
+  /// Pushes a run of same-stream, same-timestamp tuples through the plan
+  /// (the batched ingest path, DESIGN.md Section 15). `run` borrows the
+  /// caller's tuples. The caller must have Tick()ed to the run's
+  /// timestamp, exactly as for Ingest(). Delivery hands whole runs to
+  /// Operator::ProcessBatch stage by stage; emission order -- and hence
+  /// every result and counter -- is identical to calling Ingest() n
+  /// times. Streams bound to several ingress nodes fall back to
+  /// per-tuple delivery (batching would reorder the binding interleave).
+  void IngestRun(int stream_id, const Tuple* const* run, size_t n);
+
+  /// Opts this pipeline into batched execution: Tick() inside a
+  /// BeginBatch()/EndBatch() bracket advances silent operators
+  /// (Operator::SilentExpiration) by clock only, deferring their
+  /// physical expiration sweeps -- and the view's -- to EndBatch().
+  /// Expiration-observing operators are unaffected; they keep exact
+  /// per-tick AdvanceTime calls in every mode. Call after SetView().
+  void EnableBatching();
+
+  bool batching_enabled() const { return batching_enabled_; }
+
+  /// Marks the start of a batch. No-op unless EnableBatching() was
+  /// called; idempotent, so drivers may bracket unconditionally.
+  void BeginBatch();
+
+  /// Marks a batch boundary: flushes every deferred expiration sweep up
+  /// to the last tick. After EndBatch() the pipeline's physical state is
+  /// byte-identical to per-tuple execution at the same clock -- barriers
+  /// (snapshots, digests, checkpoints) must run on this side of the
+  /// bracket. Idempotent.
+  void EndBatch();
+
   /// True if `stream_id` is bound to an ingress node.
   bool HasStream(int stream_id) const {
     return stream_bindings_.count(stream_id) > 0;
@@ -180,8 +211,10 @@ class Pipeline {
   };
 
   void Deliver(int node, int port, const Tuple& t);
+  void DeliverRun(int node, int port, const Tuple* const* run, size_t n);
   void DeliverToView(const Tuple& t);
   void CheckViewInvariant(const Tuple& t) const;
+  void SampledIngestOne(int node, int port, const Tuple& t);
 
   // Cold mirror of the Tick/Deliver paths taken only on sampled events:
   // operator calls are bracketed with profiler frames, emissions counted,
@@ -199,6 +232,11 @@ class Pipeline {
   PipelineStats stats_;
   std::unique_ptr<obs::PipelineProfiler> profiler_;
   bool degraded_ = false;
+
+  // Batched execution (EnableBatching/BeginBatch/EndBatch).
+  bool batching_enabled_ = false;
+  bool in_batch_ = false;
+  std::vector<uint8_t> silent_;  ///< Cached Operator::SilentExpiration.
 
   // Invariant checker state (EnableInvariantChecks).
   bool check_invariants_ = false;

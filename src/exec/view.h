@@ -42,6 +42,14 @@ class ResultView {
   /// results whose `exp` has passed.
   virtual void AdvanceTime(Time now) = 0;
 
+  /// Batched execution (DESIGN.md Section 15): advances the view's clock
+  /// without the physical expiration sweep, which the pipeline defers to
+  /// one AdvanceTime() at the batch boundary. Reads filter by liveness,
+  /// so the deferral is invisible to snapshots and digests taken at
+  /// barriers (which always follow a batch boundary). The default is the
+  /// full advance, for views whose AdvanceTime is already trivial.
+  virtual void AdvanceClock(Time now) { AdvanceTime(now); }
+
   /// Number of live result tuples.
   virtual size_t Size() const = 0;
 
@@ -77,6 +85,10 @@ class BufferView : public ResultView {
 
   void Apply(const Tuple& t) override;
   void AdvanceTime(Time now) override;
+  /// Clock only; the buffer's purge watermark lags until the batch-end
+  /// AdvanceTime. Correct in both maintenance modes (under NT, removal
+  /// is negative-tuple-driven and AdvanceTime is a clock bump anyway).
+  void AdvanceClock(Time now) override { buffer_->SetClock(now); }
   size_t Size() const override { return buffer_->LiveCount(); }
   size_t StateBytes() const override { return buffer_->StateBytes(); }
   std::vector<Tuple> Snapshot() const override;

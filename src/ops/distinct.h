@@ -24,6 +24,14 @@ namespace upa {
 /// arrive as negative input tuples instead: the corresponding output tuple
 /// is deleted (emitting its negative downstream) and a replacement is
 /// emitted, exactly the Figure 2 behaviour.
+///
+/// Batched execution (DESIGN.md Section 15): duplicate elimination is
+/// order-dependent -- whether tuple i of a run is a duplicate depends on
+/// the output state mutated by tuples 0..i-1 -- and its AdvanceTime()
+/// emits (expiration negatives and replacement promotions are part of
+/// the result stream). It therefore keeps the default sequential
+/// ProcessBatch and exact per-tick AdvanceTime; batching around it still
+/// amortizes the ingress/emitter plumbing but never reorders its work.
 class DistinctOp : public Operator {
  public:
   DistinctOp(Schema schema, std::vector<int> key_cols,

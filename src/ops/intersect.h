@@ -30,6 +30,13 @@ class IntersectOp : public Operator {
   const Schema& output_schema() const override { return schema_; }
   void Process(int port, const Tuple& t, Emitter& out) override;
   void AdvanceTime(Time now, Emitter& out) override;
+  /// Like the join: state expires silently, results carry exp timestamps,
+  /// so the batch path may defer the sweep (DESIGN.md §15).
+  bool SilentExpiration() const override { return true; }
+  void AdvanceClock(Time now) override {
+    state_[0]->SetClock(now);
+    state_[1]->SetClock(now);
+  }
   size_t StateBytes() const override;
   size_t StateTuples() const override;
   std::string Name() const override { return "intersect"; }

@@ -59,6 +59,36 @@ void JoinOp::Process(int port, const Tuple& t, Emitter& out) {
                               });
 }
 
+void JoinOp::ProcessBatch(int port, const Tuple* const* run, size_t n,
+                          Emitter& out) {
+  UPA_DCHECK(port == 0 || port == 1);
+  for (size_t i = 0; i < n; ++i) {
+    if (run[i]->negative) {
+      // Deletions interleave with probes; keep exact sequential order.
+      for (size_t j = 0; j < n; ++j) Process(port, *run[j], out);
+      return;
+    }
+  }
+  const int other = 1 - port;
+  {
+    obs::InsertTimer insert_timer(profile_);
+    for (size_t i = 0; i < n; ++i) state_[port]->Insert(*run[i]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Tuple& t = *run[i];
+    state_[other]->ForEachMatch(col_[other],
+                                t.fields[static_cast<size_t>(col_[port])],
+                                [&](const Tuple& match) {
+                                  out.Emit(Combine(port, t, match));
+                                });
+  }
+}
+
+void JoinOp::AdvanceClock(Time now) {
+  state_[0]->SetClock(now);
+  state_[1]->SetClock(now);
+}
+
 void JoinOp::AdvanceTime(Time now, Emitter& out) {
   (void)out;  // Join state expires silently; results carry exp timestamps.
   if (time_expiration_) {

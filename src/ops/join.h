@@ -37,6 +37,16 @@ class JoinOp : public Operator {
   const Schema& output_schema() const override { return schema_; }
   void Process(int port, const Tuple& t, Emitter& out) override;
   void AdvanceTime(Time now, Emitter& out) override;
+  /// AdvanceTime never emits (results carry exp timestamps), so the
+  /// pipeline may defer the state sweep across a batch (DESIGN.md §15).
+  bool SilentExpiration() const override { return true; }
+  void AdvanceClock(Time now) override;
+  /// Batched probe/insert: inserts the whole run into this side's state,
+  /// then probes the other side in run order. Inserts emit nothing and
+  /// the probes read only the other side, so the emitted sequence equals
+  /// the sequential loop's. Runs containing deletions fall back.
+  void ProcessBatch(int port, const Tuple* const* run, size_t n,
+                    Emitter& out) override;
   size_t StateBytes() const override;
   size_t StateTuples() const override;
   std::string Name() const override { return "join"; }

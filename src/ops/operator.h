@@ -65,6 +65,34 @@ class Operator {
   /// whatever expiration work the operator's maintenance policy requires.
   virtual void AdvanceTime(Time now, Emitter& out) = 0;
 
+  /// Batched-execution contract (DESIGN.md Section 15). An operator is
+  /// *silent* when AdvanceTime() never emits: it only moves local clocks
+  /// and silently drops expired state. For silent operators the pipeline
+  /// may run a batch in deferred-sweep mode -- AdvanceClock() per tick so
+  /// liveness checks observe the current instant, one full AdvanceTime()
+  /// at the batch boundary to do the physical purge. Operators whose
+  /// AdvanceTime() can emit (materialized NT windows, duplicate
+  /// elimination, group-by, negation) must return false and keep exact
+  /// per-tick AdvanceTime() calls; their expirations are part of the
+  /// result stream and may not be reordered against it.
+  virtual bool SilentExpiration() const { return false; }
+
+  /// Advances local clocks without physical expiration work. Called per
+  /// tick, in place of AdvanceTime(), only when SilentExpiration() is
+  /// true. The default is for operators with no time-dependent state.
+  virtual void AdvanceClock(Time now) { (void)now; }
+
+  /// Processes a run of tuples that arrived back to back on `port` at one
+  /// timestamp with no intervening clock movement (`run[i]` borrows the
+  /// caller's tuples). The default preserves tuple-at-a-time semantics
+  /// exactly; overrides may reorganize internal work (e.g. a join
+  /// inserting the whole run before probing it) only when the emitted
+  /// sequence is provably identical to the sequential loop.
+  virtual void ProcessBatch(int port, const Tuple* const* run, size_t n,
+                            Emitter& out) {
+    for (size_t i = 0; i < n; ++i) Process(port, *run[i], out);
+  }
+
   /// Approximate bytes of operator state (all buffers and auxiliary
   /// structures).
   virtual size_t StateBytes() const { return 0; }

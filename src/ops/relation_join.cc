@@ -129,6 +129,39 @@ void RelJoinOp::Process(int port, const Tuple& t, Emitter& out) {
                        });
 }
 
+void RelJoinOp::ProcessBatch(int port, const Tuple* const* run, size_t n,
+                             Emitter& out) {
+  UPA_DCHECK(port == 0 || port == 1);
+  if (port == 1) {
+    // Table deltas are signed and must apply in order.
+    for (size_t i = 0; i < n; ++i) Process(port, *run[i], out);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (run[i]->negative) {
+      for (size_t j = 0; j < n; ++j) Process(port, *run[j], out);
+      return;
+    }
+  }
+  {
+    obs::InsertTimer insert_timer(profile_);
+    for (size_t i = 0; i < n; ++i) window_->Insert(*run[i]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Tuple& t = *run[i];
+    table_->ForEachMatch(table_col_,
+                         t.fields[static_cast<size_t>(stream_col_)],
+                         [&](const Tuple& row) {
+                           out.Emit(Combine(t, row, false, t.ts));
+                         });
+  }
+}
+
+void RelJoinOp::AdvanceClock(Time now) {
+  window_->SetClock(now);
+  table_->SetClock(now);
+}
+
 void RelJoinOp::AdvanceTime(Time now, Emitter& out) {
   (void)out;
   if (time_expiration_) {

@@ -37,6 +37,9 @@ class NrrJoinOp : public Operator {
   const Schema& output_schema() const override { return schema_; }
   void Process(int port, const Tuple& t, Emitter& out) override;
   void AdvanceTime(Time now, Emitter& out) override;
+  /// Table maintenance is silent; AdvanceTime only moves the clock.
+  bool SilentExpiration() const override { return true; }
+  void AdvanceClock(Time now) override { table_->SetClock(now); }
   size_t StateBytes() const override { return table_->StateBytes(); }
   size_t StateTuples() const override { return table_->PhysicalCount(); }
   std::string Name() const override { return "nrr-join"; }
@@ -68,6 +71,16 @@ class RelJoinOp : public Operator {
   const Schema& output_schema() const override { return schema_; }
   void Process(int port, const Tuple& t, Emitter& out) override;
   void AdvanceTime(Time now, Emitter& out) override;
+  /// Window/table state expires silently (results carry exp timestamps),
+  /// so the pipeline may defer the window sweep across a batch.
+  bool SilentExpiration() const override { return true; }
+  void AdvanceClock(Time now) override;
+  /// Batched stream-side probe/insert: inserts the run into the window,
+  /// then probes the table in run order (probes read only the table, so
+  /// the emitted sequence equals the sequential loop's). Table-delta and
+  /// deletion runs fall back to the sequential path.
+  void ProcessBatch(int port, const Tuple* const* run, size_t n,
+                    Emitter& out) override;
   size_t StateBytes() const override;
   size_t StateTuples() const override;
   std::string Name() const override { return "rel-join"; }

@@ -19,6 +19,15 @@ void SelectOp::Process(int port, const Tuple& t, Emitter& out) {
   if (EvalAll(preds_, t)) out.Emit(t);
 }
 
+void SelectOp::ProcessBatch(int port, const Tuple* const* run, size_t n,
+                            Emitter& out) {
+  UPA_DCHECK(port == 0);
+  (void)port;
+  for (size_t i = 0; i < n; ++i) {
+    if (EvalAll(preds_, *run[i])) out.Emit(*run[i]);
+  }
+}
+
 void SelectOp::AdvanceTime(Time now, Emitter& out) {
   (void)now;
   (void)out;

@@ -25,6 +25,11 @@ class SelectOp : public Operator {
   const Schema& output_schema() const override { return schema_; }
   void Process(int port, const Tuple& t, Emitter& out) override;
   void AdvanceTime(Time now, Emitter& out) override;
+  bool SilentExpiration() const override { return true; }
+  /// Batch-evaluated predicates: one virtual dispatch per run instead of
+  /// one per tuple; emission order is the sequential order by definition.
+  void ProcessBatch(int port, const Tuple* const* run, size_t n,
+                    Emitter& out) override;
   std::string Name() const override { return "select"; }
 
   const std::vector<Predicate>& predicates() const { return preds_; }
@@ -45,6 +50,7 @@ class ProjectOp : public Operator {
   const Schema& output_schema() const override { return schema_; }
   void Process(int port, const Tuple& t, Emitter& out) override;
   void AdvanceTime(Time now, Emitter& out) override;
+  bool SilentExpiration() const override { return true; }
   std::string Name() const override { return "project"; }
 
   const std::vector<int>& cols() const { return cols_; }
@@ -66,6 +72,7 @@ class UnionOp : public Operator {
   const Schema& output_schema() const override { return schema_; }
   void Process(int port, const Tuple& t, Emitter& out) override;
   void AdvanceTime(Time now, Emitter& out) override;
+  bool SilentExpiration() const override { return true; }
   std::string Name() const override { return "union"; }
 
  private:

@@ -35,6 +35,10 @@ class TimeWindowOp : public Operator {
   const Schema& output_schema() const override { return schema_; }
   void Process(int port, const Tuple& t, Emitter& out) override;
   void AdvanceTime(Time now, Emitter& out) override;
+  /// Direct-approach windows store nothing and never emit on a tick;
+  /// materialized (NT) windows emit expiration negatives and must keep
+  /// exact per-tick AdvanceTime calls (DESIGN.md §15).
+  bool SilentExpiration() const override { return !materialize_; }
   size_t StateBytes() const override;
   size_t StateTuples() const override;
   std::string Name() const override { return "window"; }
@@ -65,6 +69,8 @@ class CountWindowOp : public Operator {
   const Schema& output_schema() const override { return schema_; }
   void Process(int port, const Tuple& t, Emitter& out) override;
   void AdvanceTime(Time now, Emitter& out) override;
+  /// Count windows slide on arrivals, never on time: ticks are no-ops.
+  bool SilentExpiration() const override { return true; }
   size_t StateBytes() const override;
   size_t StateTuples() const override { return window_.size(); }
   std::string Name() const override { return "count-window"; }

@@ -41,6 +41,16 @@ using TupleFn = std::function<void(const Tuple&)>;
 /// expirations -- duplicate elimination, group-by, negation, and
 /// materialized final results -- use eager buffers; join/intersection
 /// inputs may be lazy at the price of transiently higher memory use.
+///
+/// Batched execution (DESIGN.md Section 15) adds a third cadence: the
+/// logical clock may be bumped per tick via SetClock() while the physical
+/// purge (Advance with the sweep) runs once per batch. This is legal for
+/// any consumer that passes `on_expire == nullptr` -- reads filter by
+/// LiveAt(now()), so a deferred purge is invisible to results -- and each
+/// implementation documents in its own header what the expired-but-
+/// unpurged residue looks like and which mutations stay legal across a
+/// batch boundary. Consumers that must *observe* expirations keep exact
+/// per-tick Advance() calls; deferral never applies to them.
 class StateBuffer {
  public:
   virtual ~StateBuffer() = default;

@@ -27,6 +27,21 @@ namespace upa {
 /// while join/match probing still scans the whole buffer -- the model
 /// charges lambda1*N1 + lambda2*N2, doubled, to NT joins. Leave it false
 /// for genuinely hash-probed state (relation tables, hybrid views).
+///
+/// Update-pattern contract (STR / NT state):
+///  - Append order: arbitrary; buckets keep per-bucket arrival order.
+///  - Expiration discipline: deletion-driven. Under NT execution every
+///    removal arrives as an explicit negative tuple (EraseOneMatch by
+///    (fields, exp) identity); time only moves via SetClock() so that
+///    liveness checks observe the current instant. Advance() with a
+///    callback exists for eager clock-driven use but must scan.
+///  - Batch boundaries: signed deltas must NOT be reordered across each
+///    other for the same key -- a negative must see its positive already
+///    applied -- so batched callers keep per-key delta order and may only
+///    defer the clock-driven purge scan, never the negative-tuple
+///    deletes. LiveCount() equals the stored count in deletion-driven
+///    use; while a clock-driven purge is deferred it may transiently
+///    count expired residents (reads stay correct via LiveAt(now())).
 class HashBuffer : public StateBuffer {
  public:
   /// `key_col` is the column the table is keyed on; `num_buckets` >= 1.

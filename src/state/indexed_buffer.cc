@@ -30,38 +30,43 @@ void IndexedBuffer::Insert(const Tuple& t) {
   UPA_DCHECK(!t.negative);
   UPA_DCHECK(t.LiveAt(now_));
   UPA_DCHECK(static_cast<size_t>(key_col_) < t.fields.size());
-  std::list<Tuple>& cell =
-      Cell(RowOf(t.exp), ColOf(t.fields[static_cast<size_t>(key_col_)]));
-  // Cells are sorted by expiration time (mostly-append workloads).
-  auto it = cell.end();
-  while (it != cell.begin()) {
-    auto prev = std::prev(it);
-    if (prev->exp <= t.exp) break;
-    it = prev;
-  }
-  cell.insert(it, t);
+  Cell& cell =
+      CellAt(RowOf(t.exp), ColOf(t.fields[static_cast<size_t>(key_col_)]));
+  // Cells are sorted by expiration time; upper_bound lands after any
+  // equal-exp tuples, so ties keep arrival order. Mostly-append
+  // workloads insert at (or near) the tail.
+  auto it = std::upper_bound(
+      cell.items.begin() + static_cast<ptrdiff_t>(cell.head),
+      cell.items.end(), t.exp,
+      [](Time e, const Tuple& u) { return e < u.exp; });
+  cell.items.insert(it, t);
   ++count_;
   bytes_ += EstimateTupleBytes(t);
 }
 
 void IndexedBuffer::Advance(Time now, const ExpireFn& on_expire) {
-  const Time prev_now = now_;
   BumpClock(now);
   if (lazy_) {
     UPA_CHECK(on_expire == nullptr);
     if (!LazyPurgeDue(now_)) return;
+    purged_to_ = now_;
     if (count_ == 0) return;
     for (size_t row = 0; row < static_cast<size_t>(rows_); ++row) {
       PurgeRow(row, nullptr);
     }
     return;
   }
-  if (count_ == 0) return;
-  const int64_t first_block = BlockOf(prev_now);
+  if (now_ <= purged_to_) return;
+  // Blocks that intersect (purged_to_, now_] hold every expired tuple;
+  // the watermark (not the previous clock) keeps this correct when the
+  // clock was bumped without purging across a batch.
+  const int64_t first_block = BlockOf(purged_to_);
   const int64_t last_block = BlockOf(now_);
   const int64_t nrows = rows_;
   const int64_t nblocks = std::min<int64_t>(last_block - first_block + 1,
                                             nrows);
+  purged_to_ = now_;
+  if (count_ == 0) return;
   for (int64_t b = 0; b < nblocks; ++b) {
     PurgeRow(static_cast<size_t>((first_block + b) % nrows), on_expire);
   }
@@ -69,25 +74,36 @@ void IndexedBuffer::Advance(Time now, const ExpireFn& on_expire) {
 
 void IndexedBuffer::PurgeRow(size_t row, const ExpireFn& on_expire) {
   for (int col = 0; col < buckets_; ++col) {
-    std::list<Tuple>& cell = Cell(row, static_cast<size_t>(col));
-    while (!cell.empty() && !cell.front().LiveAt(now_)) {
-      bytes_ -= EstimateTupleBytes(cell.front());
-      --count_;
-      if (on_expire != nullptr) on_expire(cell.front());
-      cell.pop_front();
-    }
+    PurgeCell(CellAt(row, static_cast<size_t>(col)), on_expire);
+  }
+}
+
+void IndexedBuffer::PurgeCell(Cell& cell, const ExpireFn& on_expire) {
+  std::vector<Tuple>& v = cell.items;
+  size_t h = cell.head;
+  while (h < v.size() && !v[h].LiveAt(now_)) {
+    bytes_ -= EstimateTupleBytes(v[h]);
+    --count_;
+    if (on_expire != nullptr) on_expire(v[h]);
+    ++h;
+  }
+  cell.head = h;
+  if (cell.head > 0 && cell.head * 2 >= v.size()) {
+    v.erase(v.begin(), v.begin() + static_cast<ptrdiff_t>(cell.head));
+    cell.head = 0;
   }
 }
 
 bool IndexedBuffer::EraseOneMatch(const Tuple& t) {
   UPA_DCHECK(static_cast<size_t>(key_col_) < t.fields.size());
   const size_t col = ColOf(t.fields[static_cast<size_t>(key_col_)]);
-  std::list<Tuple>& cell = Cell(RowOf(t.exp), col);
-  for (auto it = cell.begin(); it != cell.end(); ++it) {
-    if (it->exp == t.exp && it->FieldsEqual(t)) {
-      bytes_ -= EstimateTupleBytes(*it);
+  Cell& cell = CellAt(RowOf(t.exp), col);
+  std::vector<Tuple>& v = cell.items;
+  for (size_t i = cell.head; i < v.size(); ++i) {
+    if (v[i].exp == t.exp && v[i].FieldsEqual(t)) {
+      bytes_ -= EstimateTupleBytes(v[i]);
       --count_;
-      cell.erase(it);
+      v.erase(v.begin() + static_cast<ptrdiff_t>(i));
       return true;
     }
   }
@@ -95,9 +111,9 @@ bool IndexedBuffer::EraseOneMatch(const Tuple& t) {
 }
 
 void IndexedBuffer::ForEachLive(const TupleFn& fn) const {
-  for (const std::list<Tuple>& cell : grid_) {
-    for (const Tuple& t : cell) {
-      if (t.LiveAt(now_)) fn(t);
+  for (const Cell& cell : grid_) {
+    for (size_t i = cell.head; i < cell.items.size(); ++i) {
+      if (cell.items[i].LiveAt(now_)) fn(cell.items[i]);
     }
   }
 }
@@ -105,29 +121,36 @@ void IndexedBuffer::ForEachLive(const TupleFn& fn) const {
 void IndexedBuffer::ForEachMatch(int col, const Value& v,
                                  const TupleFn& fn) const {
   if (col != key_col_) {
-    for (const std::list<Tuple>& cell : grid_) {
-      for (const Tuple& t : cell) {
+    for (const Cell& cell : grid_) {
+      for (size_t i = cell.head; i < cell.items.size(); ++i) {
+        const Tuple& t = cell.items[i];
         if (t.LiveAt(now_) && t.fields[static_cast<size_t>(col)] == v) fn(t);
       }
     }
     return;
   }
-  // One column of the grid: P short lists instead of the whole buffer.
+  // One column of the grid: P short cells instead of the whole buffer.
   const size_t bucket = ColOf(v);
   for (size_t row = 0; row < static_cast<size_t>(rows_); ++row) {
-    for (const Tuple& t : Cell(row, bucket)) {
+    const Cell& cell = CellAt(row, bucket);
+    for (size_t i = cell.head; i < cell.items.size(); ++i) {
+      const Tuple& t = cell.items[i];
       if (t.LiveAt(now_) && t.fields[static_cast<size_t>(col)] == v) fn(t);
     }
   }
 }
 
 size_t IndexedBuffer::LiveCount() const {
-  if (!lazy_) return count_;
+  // Cells are expiration-sorted, so the expired-but-unpurged residue
+  // (purging deferred to a batch boundary, or lazy mode) is a prefix of
+  // each cell; skipping it makes the count exact in either discipline.
   size_t live = 0;
-  for (const std::list<Tuple>& cell : grid_) {
-    for (const Tuple& t : cell) {
-      if (t.LiveAt(now_)) ++live;
-    }
+  for (const Cell& cell : grid_) {
+    const std::vector<Tuple>& v = cell.items;
+    auto it = std::partition_point(
+        v.begin() + static_cast<ptrdiff_t>(cell.head), v.end(),
+        [this](const Tuple& t) { return !t.LiveAt(now_); });
+    live += static_cast<size_t>(v.end() - it);
   }
   return live;
 }
@@ -137,9 +160,13 @@ size_t IndexedBuffer::StateBytes() const {
 }
 
 void IndexedBuffer::Clear() {
-  for (std::list<Tuple>& cell : grid_) cell.clear();
+  for (Cell& cell : grid_) {
+    cell.items.clear();
+    cell.head = 0;
+  }
   count_ = 0;
   bytes_ = 0;
+  purged_to_ = now_;
 }
 
 }  // namespace upa

@@ -1,7 +1,6 @@
 #ifndef UPA_STATE_INDEXED_BUFFER_H_
 #define UPA_STATE_INDEXED_BUFFER_H_
 
-#include <list>
 #include <string>
 #include <vector>
 
@@ -18,12 +17,25 @@ namespace upa {
 /// (Figure 7) makes expiration cheap but probes scan everything, while
 /// the NT hash table makes keyed lookups cheap but has no time-based
 /// expiration. This buffer crosses the two: tuples live in a grid of
-/// `P x B` small lists -- the row selected by the expiration-time block
+/// `P x B` small cells -- the row selected by the expiration-time block
 /// (exactly the circular calendar of the partitioned buffer), the column
 /// by a hash of the key attribute. Probes visit one column (P short
-/// lists); expiration visits one row; both are sub-linear in the buffer
-/// size. The price is P*B list headers of memory overhead, which the E9
+/// cells); expiration visits one row; both are sub-linear in the buffer
+/// size. The price is P*B cell headers of memory overhead, which the E9
 /// ablation benchmark quantifies.
+///
+/// Update-pattern contract (WK, Section 5.2 rule 4):
+///  - Append order: arbitrary; each cell is kept sorted by expiration
+///    time at insert (tuples with equal `exp` keep arrival order).
+///  - Expiration discipline: predictable. Advance(now) expires exactly
+///    the tuples with `exp <= now`; in eager mode they are reported via
+///    `on_expire` in row order, expiration-sorted within a cell.
+///  - Batch boundaries: the physical purge may lag the logical clock.
+///    SetClock() bumps `now()` without purging; the purge watermark
+///    (`purged_to_`) is tracked separately, so the next Advance() sweeps
+///    every row whose block intersects (purged_to_, now]. Reads filter by
+///    LiveAt(now()), so deferral is invisible to results; after a batch
+///    boundary LiveCount()==PhysicalCount() again.
 class IndexedBuffer : public StateBuffer {
  public:
   /// `key_col`: the probe attribute. `num_partitions` P and `window_span`
@@ -45,25 +57,36 @@ class IndexedBuffer : public StateBuffer {
   int key_col() const { return key_col_; }
 
  private:
+  /// One grid cell: expiration-sorted tuples from index `head` on (the
+  /// prefix before `head` is purged and compacted away periodically).
+  struct Cell {
+    std::vector<Tuple> items;
+    size_t head = 0;
+  };
+
   int64_t BlockOf(Time exp) const { return exp / span_; }
   size_t RowOf(Time exp) const {
     return static_cast<size_t>(BlockOf(exp) % static_cast<int64_t>(rows_));
   }
   size_t ColOf(const Value& v) const;
-  std::list<Tuple>& Cell(size_t row, size_t col) {
+  Cell& CellAt(size_t row, size_t col) {
     return grid_[row * static_cast<size_t>(buckets_) + col];
   }
-  const std::list<Tuple>& Cell(size_t row, size_t col) const {
+  const Cell& CellAt(size_t row, size_t col) const {
     return grid_[row * static_cast<size_t>(buckets_) + col];
   }
 
   void PurgeRow(size_t row, const ExpireFn& on_expire);
+  void PurgeCell(Cell& cell, const ExpireFn& on_expire);
 
   int key_col_;
   int rows_;     // Expiration partitions (P).
   int buckets_;  // Hash buckets (B).
   Time span_;
-  std::vector<std::list<Tuple>> grid_;  // rows_ x buckets_, sorted by exp.
+  std::vector<Cell> grid_;  // rows_ x buckets_, each sorted by exp.
+  /// Purge watermark: everything with exp <= purged_to_ is physically
+  /// gone. Lags now_ while purging is deferred to a batch boundary.
+  Time purged_to_ = 0;
   size_t count_ = 0;
   size_t bytes_ = 0;
 };

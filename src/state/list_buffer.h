@@ -14,6 +14,17 @@ namespace upa {
 /// differs from the insertion order, finding expired tuples requires a
 /// sequential scan of the whole buffer -- exactly the inefficiency that
 /// motivates the update-pattern-aware PartitionedBuffer.
+///
+/// Update-pattern contract (pattern-oblivious baseline):
+///  - Append order: arrival order, preserved by iteration.
+///  - Expiration discipline: liveness-checked on read; Advance() scans
+///    and removes everything with exp <= now (eager) or on the lazy
+///    purge interval.
+///  - Batch boundaries: SetClock() may bump the clock without purging;
+///    because every read filters by LiveAt(now()), deferring the purge
+///    scan to the batch boundary changes no result. The scan itself is
+///    liveness-driven (not watermark-driven), so a single Advance() at
+///    the boundary removes everything the per-tick oracle would have.
 class ListBuffer : public StateBuffer {
  public:
   ListBuffer() = default;
@@ -39,6 +50,17 @@ class ListBuffer : public StateBuffer {
 /// The WKS structure (Section 5.3.2): results expire in the order they were
 /// generated, so insertions append at the tail and expirations pop from the
 /// head -- both O(1). Insert() UPA_DCHECKs the FIFO property.
+///
+/// Update-pattern contract (WKS, Section 5.2 rules 1-3):
+///  - Append order: non-decreasing `exp` -- the producer must emit in
+///    expiration order (asserted). Iteration is FIFO.
+///  - Expiration discipline: predictable and FIFO; Advance() pops the
+///    expired prefix, so one pop per expired tuple, never a scan.
+///  - Batch boundaries: SetClock() may run ahead of the physical purge;
+///    the expired residue stays a head prefix (FIFO invariant), reads
+///    skip it via LiveAt(now()), and the next Advance() pops exactly
+///    that prefix. No mutation may break exp monotonicity mid-batch:
+///    inserts after a clock bump must still carry exp >= the tail's.
 class FifoBuffer : public StateBuffer {
  public:
   FifoBuffer() = default;

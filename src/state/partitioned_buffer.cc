@@ -1,15 +1,19 @@
 #include "state/partitioned_buffer.h"
 
 #include <algorithm>
+#include <iterator>
+#include <utility>
 
 #include "common/macros.h"
 
 namespace upa {
 
 namespace {
-// Rough heap overhead of one std::list partition (head node + bookkeeping);
+// Rough heap overhead of one partition (vector headers + bookkeeping);
 // used so the E6 experiment sees the paper's space/time tradeoff.
 constexpr size_t kPartitionOverheadBytes = 64;
+
+bool ExpLess(const Tuple& a, const Tuple& b) { return a.exp < b.exp; }
 }  // namespace
 
 PartitionedBuffer::PartitionedBuffer(int num_partitions, Time window_span) {
@@ -19,7 +23,7 @@ PartitionedBuffer::PartitionedBuffer(int num_partitions, Time window_span) {
   parts_.resize(static_cast<size_t>(num_partitions));
 }
 
-std::list<Tuple>& PartitionedBuffer::PartitionOf(Time exp) {
+PartitionedBuffer::Partition& PartitionedBuffer::PartitionOf(Time exp) {
   const size_t idx =
       static_cast<size_t>(BlockOf(exp) % static_cast<int64_t>(parts_.size()));
   return parts_[idx];
@@ -28,26 +32,44 @@ std::list<Tuple>& PartitionedBuffer::PartitionOf(Time exp) {
 void PartitionedBuffer::Insert(const Tuple& t) {
   UPA_DCHECK(!t.negative);
   UPA_DCHECK(t.LiveAt(now_));
-  std::list<Tuple>& part = PartitionOf(t.exp);
+  Partition& part = PartitionOf(t.exp);
   if (lazy_) {
-    part.push_back(t);
+    // Insertion order; purged by scan on the lazy interval.
+    part.sorted.push_back(t);
   } else {
-    // Keep the partition sorted by expiration time. Tuples mostly arrive in
-    // roughly increasing exp order, so scan from the tail.
-    auto it = part.end();
-    while (it != part.begin()) {
-      auto prev = std::prev(it);
-      if (prev->exp <= t.exp) break;
-      it = prev;
-    }
-    part.insert(it, t);
+    // O(1): stage now, fold into the sorted run when the partition is
+    // next purged or read. The fold is stable, so equal-exp tuples keep
+    // arrival order (same discipline as sorting in place at insert).
+    part.staged.push_back(t);
   }
   ++count_;
   bytes_ += EstimateTupleBytes(t);
 }
 
+void PartitionedBuffer::MergeStaged(Partition& p) const {
+  if (p.staged.empty()) return;
+  std::stable_sort(p.staged.begin(), p.staged.end(), ExpLess);
+  // Drop the already-purged prefix so the merge works on live data only.
+  if (p.head > 0) {
+    p.sorted.erase(p.sorted.begin(),
+                   p.sorted.begin() + static_cast<ptrdiff_t>(p.head));
+    p.head = 0;
+  }
+  const Time min_exp = p.staged.front().exp;
+  const size_t old_size = p.sorted.size();
+  p.sorted.insert(p.sorted.end(),
+                  std::make_move_iterator(p.staged.begin()),
+                  std::make_move_iterator(p.staged.end()));
+  p.staged.clear();
+  // Only the tail with exp >= min staged exp participates in the merge.
+  auto lo = std::lower_bound(
+      p.sorted.begin(), p.sorted.begin() + static_cast<ptrdiff_t>(old_size),
+      min_exp, [](const Tuple& t, Time e) { return t.exp < e; });
+  std::inplace_merge(lo, p.sorted.begin() + static_cast<ptrdiff_t>(old_size),
+                     p.sorted.end(), ExpLess);
+}
+
 void PartitionedBuffer::Advance(Time now, const ExpireFn& on_expire) {
-  const Time prev_now = now_;
   BumpClock(now);
   if (lazy_) {
     UPA_CHECK(on_expire == nullptr);
@@ -55,17 +77,23 @@ void PartitionedBuffer::Advance(Time now, const ExpireFn& on_expire) {
     // A lazy purge covers everything that expired since the previous
     // purge, which spans many blocks; sweep every partition (amortized
     // over the purge interval).
+    purged_to_ = now_;
     if (count_ == 0) return;
     for (size_t p = 0; p < parts_.size(); ++p) PurgePartition(p, nullptr);
     return;
   }
-  if (count_ == 0) return;
-  // Tuples that expired in (prev_now, now_] live in the partitions whose
-  // blocks intersect that range; visit each at most once.
-  const int64_t first_block = BlockOf(prev_now);
+  if (now_ <= purged_to_) return;
+  // Tuples that expired in (purged_to_, now_] live in the partitions
+  // whose blocks intersect that range; visit each at most once. Using the
+  // purge watermark (not the previous clock) keeps this correct when the
+  // clock was bumped without purging across a batch.
+  const int64_t first_block = BlockOf(purged_to_);
   const int64_t last_block = BlockOf(now_);
   const int64_t nparts = static_cast<int64_t>(parts_.size());
-  const int64_t nblocks = std::min<int64_t>(last_block - first_block + 1, nparts);
+  const int64_t nblocks =
+      std::min<int64_t>(last_block - first_block + 1, nparts);
+  purged_to_ = now_;
+  if (count_ == 0) return;
   for (int64_t b = 0; b < nblocks; ++b) {
     const size_t p = static_cast<size_t>((first_block + b) % nparts);
     PurgePartition(p, on_expire);
@@ -73,38 +101,60 @@ void PartitionedBuffer::Advance(Time now, const ExpireFn& on_expire) {
 }
 
 void PartitionedBuffer::PurgePartition(size_t p, const ExpireFn& on_expire) {
-  std::list<Tuple>& part = parts_[p];
+  Partition& part = parts_[p];
   if (!lazy_) {
-    // Sorted by exp: the expired tuples form a prefix.
-    while (!part.empty() && !part.front().LiveAt(now_)) {
-      bytes_ -= EstimateTupleBytes(part.front());
+    // Fold staged tuples in only when some of them are due; otherwise the
+    // expired tuples (if any) form a prefix of the sorted run already.
+    bool staged_due = false;
+    for (const Tuple& t : part.staged) {
+      if (!t.LiveAt(now_)) {
+        staged_due = true;
+        break;
+      }
+    }
+    if (staged_due) MergeStaged(part);
+    std::vector<Tuple>& v = part.sorted;
+    size_t h = part.head;
+    while (h < v.size() && !v[h].LiveAt(now_)) {
+      bytes_ -= EstimateTupleBytes(v[h]);
       --count_;
-      if (on_expire != nullptr) on_expire(part.front());
-      part.pop_front();
+      if (on_expire != nullptr) on_expire(v[h]);
+      ++h;
+    }
+    part.head = h;
+    // Compact once the purged prefix dominates the partition.
+    if (part.head > 0 && part.head * 2 >= v.size()) {
+      v.erase(v.begin(), v.begin() + static_cast<ptrdiff_t>(part.head));
+      part.head = 0;
     }
     return;
   }
-  for (auto it = part.begin(); it != part.end();) {
-    if (!it->LiveAt(now_)) {
-      bytes_ -= EstimateTupleBytes(*it);
-      --count_;
-      it = part.erase(it);
+  std::vector<Tuple>& v = part.sorted;
+  size_t w = 0;
+  for (size_t r = 0; r < v.size(); ++r) {
+    if (v[r].LiveAt(now_)) {
+      if (w != r) v[w] = std::move(v[r]);
+      ++w;
     } else {
-      ++it;
+      bytes_ -= EstimateTupleBytes(v[r]);
+      --count_;
     }
   }
+  v.resize(w);
 }
 
 bool PartitionedBuffer::EraseOneMatch(const Tuple& t) {
   // Premature expiration via a negative tuple: the structure is not indexed
   // for this, so all partitions are scanned (Section 5.3.2 accepts this
   // cost when premature expirations are rare).
-  for (std::list<Tuple>& part : parts_) {
-    for (auto it = part.begin(); it != part.end(); ++it) {
-      if (it->exp == t.exp && it->FieldsEqual(t)) {
-        bytes_ -= EstimateTupleBytes(*it);
+  for (Partition& part : parts_) {
+    if (!lazy_) MergeStaged(part);
+    std::vector<Tuple>& v = part.sorted;
+    for (size_t i = part.head; i < v.size(); ++i) {
+      if (v[i].exp == t.exp && v[i].FieldsEqual(t)) {
+        bytes_ -= EstimateTupleBytes(v[i]);
         --count_;
-        part.erase(it);
+        v.erase(v.begin() + static_cast<ptrdiff_t>(i));
         return true;
       }
     }
@@ -113,27 +163,48 @@ bool PartitionedBuffer::EraseOneMatch(const Tuple& t) {
 }
 
 void PartitionedBuffer::ForEachLive(const TupleFn& fn) const {
-  for (const std::list<Tuple>& part : parts_) {
-    for (const Tuple& t : part) {
-      if (t.LiveAt(now_)) fn(t);
+  for (Partition& part : parts_) {
+    if (!lazy_) MergeStaged(part);
+    const std::vector<Tuple>& v = part.sorted;
+    for (size_t i = part.head; i < v.size(); ++i) {
+      if (v[i].LiveAt(now_)) fn(v[i]);
     }
   }
 }
 
 void PartitionedBuffer::ForEachMatch(int col, const Value& v,
                                      const TupleFn& fn) const {
-  for (const std::list<Tuple>& part : parts_) {
-    for (const Tuple& t : part) {
+  for (Partition& part : parts_) {
+    if (!lazy_) MergeStaged(part);
+    const std::vector<Tuple>& vec = part.sorted;
+    for (size_t i = part.head; i < vec.size(); ++i) {
+      const Tuple& t = vec[i];
       if (t.LiveAt(now_) && t.fields[static_cast<size_t>(col)] == v) fn(t);
     }
   }
 }
 
 size_t PartitionedBuffer::LiveCount() const {
-  if (!lazy_) return count_;
+  if (!lazy_) {
+    // Exact even while purging is deferred: the expired residue is a
+    // prefix of each sorted run (binary search), plus a scan of the
+    // (small) staged runs.
+    size_t live = 0;
+    for (const Partition& part : parts_) {
+      const std::vector<Tuple>& v = part.sorted;
+      auto it = std::partition_point(
+          v.begin() + static_cast<ptrdiff_t>(part.head), v.end(),
+          [this](const Tuple& t) { return !t.LiveAt(now_); });
+      live += static_cast<size_t>(v.end() - it);
+      for (const Tuple& t : part.staged) {
+        if (t.LiveAt(now_)) ++live;
+      }
+    }
+    return live;
+  }
   size_t live = 0;
-  for (const std::list<Tuple>& part : parts_) {
-    for (const Tuple& t : part) {
+  for (const Partition& part : parts_) {
+    for (const Tuple& t : part.sorted) {
       if (t.LiveAt(now_)) ++live;
     }
   }
@@ -145,9 +216,14 @@ size_t PartitionedBuffer::StateBytes() const {
 }
 
 void PartitionedBuffer::Clear() {
-  for (std::list<Tuple>& part : parts_) part.clear();
+  for (Partition& part : parts_) {
+    part.sorted.clear();
+    part.staged.clear();
+    part.head = 0;
+  }
   count_ = 0;
   bytes_ = 0;
+  purged_to_ = now_;
 }
 
 }  // namespace upa

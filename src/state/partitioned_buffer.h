@@ -1,7 +1,6 @@
 #ifndef UPA_STATE_PARTITIONED_BUFFER_H_
 #define UPA_STATE_PARTITIONED_BUFFER_H_
 
-#include <list>
 #include <string>
 #include <vector>
 
@@ -21,11 +20,32 @@ namespace upa {
 /// `(exp / span) % P`, where `span` covers 1/P of the window range. The
 /// structure behaves like a calendar queue whose events are expirations.
 ///
-/// In eager mode each partition is kept sorted by expiration time, so
-/// Advance() pops an expired prefix of the due partition(s); insertions
-/// sort into a single partition (~N/P tuples). In lazy mode partitions are
-/// kept in insertion order (O(1) insert) and purged by scanning only the
-/// due partitions.
+/// Update-pattern contract (WK, Section 5.2 rule 4):
+///  - Append order: arbitrary. Insert() accepts tuples in any expiration
+///    order and is O(1) — each tuple is appended to its partition's
+///    *staged* run and folded into the expiration-sorted run on the next
+///    purge or read of that partition (a stable merge, so tuples with
+///    equal `exp` keep arrival order, matching the historical
+///    insert-after-ties discipline).
+///  - Expiration discipline: predictable. Every tuple carries its exact
+///    `exp` at insert; Advance(now) expires precisely the tuples with
+///    `exp <= now`, never early, never late. Eager mode reports them (in
+///    block order, expiration-sorted within a partition) via `on_expire`.
+///  - Batch boundaries: physical purging may lag the logical clock.
+///    SetClock()/AdvanceClock-style deferral bumps `now()` without
+///    purging; the buffer tracks the purge watermark separately
+///    (`purged_to_`), so a later Advance() sweeps every block in
+///    (purged_to_, now] even if the clock moved first. Reads filter by
+///    LiveAt(now()), so deferring the sweep to a batch boundary is
+///    invisible to results. After a batch boundary (Advance called with
+///    the batch's final clock) the expired prefix of every due partition
+///    is gone and LiveCount()==PhysicalCount() again.
+///
+/// In eager mode each partition keeps an expiration-sorted vector plus a
+/// small unsorted staged run; Advance() pops an expired prefix of the due
+/// partition(s). In lazy mode partitions are kept in insertion order
+/// (O(1) insert) and purged by scanning only the due partitions every
+/// purge interval.
 ///
 /// More partitions means less state to scan per operation but more
 /// per-partition overhead -- the tradeoff of experiment E6.
@@ -50,14 +70,33 @@ class PartitionedBuffer : public StateBuffer {
   int num_partitions() const { return static_cast<int>(parts_.size()); }
 
  private:
+  /// One expiration block. `sorted` is ordered by (exp, arrival) from
+  /// index `head` on (the prefix before `head` is already purged and is
+  /// compacted away periodically); `staged` holds recent eager inserts
+  /// not yet merged. Lazy mode uses `sorted` as a plain insertion-order
+  /// vector and never stages.
+  struct Partition {
+    std::vector<Tuple> sorted;
+    std::vector<Tuple> staged;
+    size_t head = 0;
+  };
+
   int64_t BlockOf(Time exp) const { return exp / span_; }
-  std::list<Tuple>& PartitionOf(Time exp);
+  Partition& PartitionOf(Time exp);
+
+  /// Folds `staged` into `sorted` (stable on equal exp). No-op when
+  /// nothing is staged.
+  void MergeStaged(Partition& p) const;
 
   /// Removes tuples with exp <= now_ from partition `p`.
   void PurgePartition(size_t p, const ExpireFn& on_expire);
 
   Time span_;
-  std::vector<std::list<Tuple>> parts_;
+  /// Mutable: reads fold staged runs in place (logical state unchanged).
+  mutable std::vector<Partition> parts_;
+  /// Purge watermark: every tuple with exp <= purged_to_ has been
+  /// physically removed. Lags now_ while purging is deferred.
+  Time purged_to_ = 0;
   size_t count_ = 0;
   size_t bytes_ = 0;
 };

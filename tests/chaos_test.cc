@@ -234,6 +234,9 @@ TEST(ChaosDegradeTest, WatermarkDegradesAndRecoversWithoutLoss) {
   opts.default_shards = 1;
   opts.queue_capacity = 16;
   opts.max_batch = 4;
+  opts.batch_size = 1;     // The fill below counts queue *items*: batched
+                           // ingest would coalesce them and never trip
+                           // the watermark. Pin the per-tuple path.
   opts.supervise = false;  // Drive PollSupervisor by hand.
   opts.check_invariants = true;
   opts.fault_injector = &faults;
