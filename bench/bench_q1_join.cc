@@ -45,6 +45,38 @@ void BM_Q1_Telnet(benchmark::State& state) {
   BM_Q1(state, "BM_Q1_Telnet", kProtoTelnet);
 }
 
+// Experiment E14: the skew sweep. Fixed window, UPA execution, telnet
+// selectivity (large probed state); the source-address Zipf exponent
+// (arg0, x10) and the heavy-light threshold (arg1, 0 = disabled oracle
+// path) vary. Per-tuple latency is measured so the table can report the
+// p99 tail, which the hot keys dominate: a scan-probed buffer pays its
+// O(N) probe on exactly the popular arrivals.
+void BM_Q1_SkewZipf(benchmark::State& state) {
+  const double zipf = static_cast<double>(state.range(0)) / 10.0;
+  const int threshold = static_cast<int>(state.range(1));
+  const Time window = 10000;
+  PlanPtr plan = Query1(window, kProtoTelnet);
+  const Trace& trace =
+      LblTrace(2, TraceDurationFor(window), 1000, 42, zipf);
+  PlannerOptions popts;
+  popts.heavy_threshold = threshold;
+  // Let the top-K bound follow the threshold: at threshold 2 roughly the
+  // top hundred keys qualify under zipf >= 1.0, and capping them at the
+  // default 64 would leave probe mass on the scan path.
+  popts.heavy_max_keys = 256;
+  ReplayOptions ropts;
+  ropts.measure_latency = true;
+  RunQuery(state, "BM_Q1_SkewZipf", {state.range(0), threshold}, *plan,
+           ExecMode::kUpa, popts, trace,
+           "UPA_H" + std::to_string(threshold), ropts);
+}
+
+void SkewArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t z : {0, 8, 10, 14}) {       // Zipf exponent x10.
+    for (int64_t h : {0, 2, 8}) b->Args({z, h});
+  }
+}
+
 void FtpArgs(benchmark::internal::Benchmark* b) {
   for (Time w : bench_util::WindowSweep()) {
     for (int mode = 0; mode < 3; ++mode) b->Args({w, mode});
@@ -62,6 +94,7 @@ void TelnetArgs(benchmark::internal::Benchmark* b) {
 
 BENCHMARK(BM_Q1_Ftp)->Apply(FtpArgs)->UseManualTime()->Iterations(1);
 BENCHMARK(BM_Q1_Telnet)->Apply(TelnetArgs)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Q1_SkewZipf)->Apply(SkewArgs)->UseManualTime()->Iterations(1);
 
 }  // namespace
 }  // namespace upa

@@ -46,7 +46,35 @@ void SweepArgs(benchmark::internal::Benchmark* b) {
   }
 }
 
+// Experiment E14 (second query): the same skew sweep over the distinct +
+// join shape. The delta-distinct outputs keep one tuple per live source,
+// so the join buffers hold the full key domain and every probe scans it;
+// a heavy key's materialized copies collapse that to its match count.
+void BM_Q4_SkewZipf(benchmark::State& state) {
+  const double zipf = static_cast<double>(state.range(0)) / 10.0;
+  const int threshold = static_cast<int>(state.range(1));
+  const Time window = 2000;
+  PlanPtr plan = Query4(window);
+  const Trace& trace =
+      LblTrace(2, TraceDurationFor(window), 1000, 42, zipf);
+  PlannerOptions popts;
+  popts.heavy_threshold = threshold;
+  popts.heavy_max_keys = 256;  // Match the Q1 sweep (see bench_q1_join).
+  ReplayOptions ropts;
+  ropts.measure_latency = true;
+  RunQuery(state, "BM_Q4_SkewZipf", {state.range(0), threshold}, *plan,
+           ExecMode::kUpa, popts, trace,
+           "UPA_H" + std::to_string(threshold), ropts);
+}
+
+void SkewArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t z : {0, 8, 10, 14}) {       // Zipf exponent x10.
+    for (int64_t h : {0, 2, 8}) b->Args({z, h});
+  }
+}
+
 BENCHMARK(BM_Q4)->Apply(SweepArgs)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Q4_SkewZipf)->Apply(SkewArgs)->UseManualTime()->Iterations(1);
 
 }  // namespace
 }  // namespace upa

@@ -25,20 +25,23 @@ inline Time TraceDurationFor(Time window) {
 }
 
 /// Cached trace generation (several benchmarks share the same trace).
+/// `zipf` overrides the source-address skew (the generator's default is
+/// 1.0; the E14 skew sweep varies it from uniform to hot-key-dominated).
 inline const Trace& LblTrace(int links, Time duration, int sources = 1000,
-                             uint64_t seed = 42) {
+                             uint64_t seed = 42, double zipf = 1.0) {
   struct Key {
     int links;
     Time duration;
     int sources;
     uint64_t seed;
+    double zipf;
     bool operator<(const Key& o) const {
-      return std::tie(links, duration, sources, seed) <
-             std::tie(o.links, o.duration, o.sources, o.seed);
+      return std::tie(links, duration, sources, seed, zipf) <
+             std::tie(o.links, o.duration, o.sources, o.seed, o.zipf);
     }
   };
   static std::map<Key, Trace>* cache = new std::map<Key, Trace>();
-  const Key key{links, duration, sources, seed};
+  const Key key{links, duration, sources, seed, zipf};
   auto it = cache->find(key);
   if (it == cache->end()) {
     LblTraceConfig cfg;
@@ -46,6 +49,7 @@ inline const Trace& LblTrace(int links, Time duration, int sources = 1000,
     cfg.duration = duration;
     cfg.num_sources = sources;
     cfg.seed = seed;
+    cfg.source_zipf = zipf;
     it = cache->emplace(key, GenerateLblTrace(cfg)).first;
   }
   return it->second;
@@ -78,7 +82,8 @@ inline Catalog LblCatalog(int links, int sources) {
 inline void RunQuery(benchmark::State& state, const std::string& family,
                      std::vector<int64_t> args, const PlanNode& plan,
                      ExecMode mode, const PlannerOptions& options,
-                     const Trace& trace, const std::string& label = {}) {
+                     const Trace& trace, const std::string& label = {},
+                     const ReplayOptions& replay_options = {}) {
   const std::string run_label = label.empty() ? ExecModeName(mode) : label;
   for (auto _ : state) {
     auto pipeline = BuildPipeline(plan, mode, options);
@@ -88,9 +93,13 @@ inline void RunQuery(benchmark::State& state, const std::string& family,
       popts.sample_interval = collector.sample_interval();
       pipeline->EnableProfiling(popts);
     }
-    const ReplayMetrics m = ReplayTrace(trace, pipeline.get());
+    const ReplayMetrics m = ReplayTrace(trace, pipeline.get(), replay_options);
     state.SetIterationTime(m.wall_seconds);
     state.counters["ms_per_1k"] = m.ms_per_1000_tuples;
+    if (m.latency_measured) {
+      state.counters["p99_us"] = m.latency_ns.Percentile(99.0) / 1e3;
+      state.counters["p50_us"] = m.latency_ns.Percentile(50.0) / 1e3;
+    }
     state.counters["results"] =
         static_cast<double>(pipeline->view().Size());
     state.counters["neg_tuples"] =
@@ -113,6 +122,18 @@ inline void RunQuery(benchmark::State& state, const std::string& family,
     run.args = args;
     run.FillFromReplay(m);
     run.counters["results"] = static_cast<double>(pipeline->view().Size());
+    if (m.latency_measured) {
+      run.counters["p99_us"] = m.latency_ns.Percentile(99.0) / 1e3;
+      run.counters["p50_us"] = m.latency_ns.Percentile(50.0) / 1e3;
+    }
+    // Heavy-light coverage for the skew experiments: how much of the
+    // probe mass the materialized heavy partition absorbed.
+    const HeavyLightStats hl = pipeline->CollectHeavyLight();
+    if (hl.heavy_probe_hits + hl.light_probes > 0) {
+      run.counters["heavy_keys"] = static_cast<double>(hl.heavy_keys);
+      run.counters["heavy_hits"] = static_cast<double>(hl.heavy_probe_hits);
+      run.counters["light_probes"] = static_cast<double>(hl.light_probes);
+    }
     collector.Add(std::move(run));
   }
   state.SetLabel(run_label);

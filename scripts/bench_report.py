@@ -56,6 +56,13 @@ COLUMNS = {
     "proc_ms": ("proc_ms", "{:.3f}"),
     "ins_ms": ("ins_ms", "{:.3f}"),
     "exp_ms": ("exp_ms", "{:.3f}"),
+    # Per-event ingest latency percentiles (replay measure_latency).
+    "p50_us": ("p50_us", "{:.2f}"),
+    "p99_us": ("p99_us", "{:.2f}"),
+    # Heavy-light partitioning coverage (E14 skew sweep).
+    "heavy_keys": ("heavy_keys", "{:.0f}"),
+    "heavy_hits": ("heavy_hits", "{:.0f}"),
+    "light_probes": ("light_probes", "{:.0f}"),
 }
 PHASE_KEYS = {
     "proc_ms": "processing_ms",

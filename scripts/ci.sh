@@ -52,6 +52,17 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 echo "ci.sh: tier-1 under UPA_BATCH=64"
 UPA_BATCH=64 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# Heavy-light variant: the same suite with UPA_HEAVY_THRESHOLD=8, which
+# wraps every scan-probed per-key buffer in the heavy-light decorator
+# (DESIGN.md Section 16) for engines built with the default
+# heavy_threshold=-1; tests that pin the oracle path set the knob to 0
+# explicitly. Alongside the Zipf differential battery (skew_test), this
+# catches any result divergence introduced by promotion/demotion across
+# the whole tier-1 surface.
+echo "ci.sh: tier-1 under UPA_HEAVY_THRESHOLD=8"
+UPA_HEAVY_THRESHOLD=8 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -j "$(nproc)"
+
 # Recovery suite: the kill-restart differential and the WAL/checkpoint
 # corruption tests get a dedicated serial pass under the ASan config --
 # they hammer the filesystem (truncations, bit-flips, torn writes), and

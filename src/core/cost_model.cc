@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <vector>
 
 #include "common/macros.h"
 
@@ -295,6 +297,66 @@ double MaintainCost(ExecMode mode, UpdatePattern pattern, double rate,
   return rate;
 }
 
+/// Effective probe-size multiplier under heavy-light partitioning
+/// (DESIGN.md Section 16). A heavy key's matches are materialized per
+/// key, so a probe carrying value v scans only v's copies instead of the
+/// whole buffer: the expected scanned fraction becomes
+///   sum_{v heavy} f_v^2  +  (1 - sum_{v heavy} f_v)
+/// (probe frequency times state share for heavy values, full scan for
+/// the light residue). A key qualifies as heavy when its expected count
+/// within one repartition epoch (~ a quarter window, so f_v * size / 4
+/// by Little's law) reaches the threshold — mirroring the runtime
+/// tracker's promotion rule. Returns 1.0 when the knob is off or the
+/// probed side has no usable key statistics (never reads the
+/// environment: EXPLAIN output must not depend on UPA_HEAVY_THRESHOLD).
+double HeavyProbeFactor(const NodeEstimate& probed, int key_col,
+                        const CostCtx& ctx) {
+  const PlannerOptions& opts = *ctx.opts;
+  if (opts.heavy_threshold <= 0) return 1.0;
+  if (key_col < 0 || static_cast<size_t>(key_col) >= probed.origin.size()) {
+    return 1.0;
+  }
+  const double size = std::min(probed.size, 1e12);
+  if (size <= 0.0) return 1.0;
+  const double promote_mass =
+      4.0 * static_cast<double>(opts.heavy_threshold) / size;
+  const size_t max_keys =
+      static_cast<size_t>(std::max(1, opts.heavy_max_keys));
+  const auto [stream, col] = probed.origin[static_cast<size_t>(key_col)];
+  std::vector<double> freqs;
+  if (stream >= 0) {
+    const auto sit = ctx.catalog->streams.find(stream);
+    if (sit != ctx.catalog->streams.end()) {
+      const auto cit = sit->second.columns.find(col);
+      if (cit != sit->second.columns.end()) {
+        for (const auto& [value, f] : cit->second.value_freq) {
+          (void)value;
+          if (f >= promote_mass) freqs.push_back(f);
+        }
+      }
+    }
+  }
+  if (freqs.empty()) {
+    // Uniform fallback: every key carries 1/d of the mass; all qualify
+    // or none do.
+    const double d = std::max(
+        1.0, probed.distinct[static_cast<size_t>(key_col)]);
+    const double f = 1.0 / d;
+    if (f < promote_mass) return 1.0;
+    const double k = std::min(d, static_cast<double>(max_keys));
+    return Cap(k * f * f + (1.0 - k * f), 1.0);
+  }
+  std::sort(freqs.begin(), freqs.end(), std::greater<double>());
+  if (freqs.size() > max_keys) freqs.resize(max_keys);
+  double mass = 0.0, sq = 0.0;
+  for (double f : freqs) {
+    mass += f;
+    sq += f * f;
+  }
+  mass = std::min(mass, 1.0);
+  return Cap(sq + (1.0 - mass), 1.0);
+}
+
 double NodeCost(const PlanNode& n, const NodeEstimate& e, CostCtx& ctx) {
   const ExecMode mode = ctx.mode;
   const PlannerOptions& opts = *ctx.opts;
@@ -343,8 +405,14 @@ double NodeCost(const PlanNode& n, const NodeEstimate& e, CostCtx& ctx) {
       }
       // Probes scan the other input's live state in every strategy; the
       // negative tuple approach processes each tuple twice (Section 5.4.1).
-      const double probe = nt_factor * (l.rate * std::min(r.size, 1e12) +
-                                        r.rate * std::min(l.size, 1e12));
+      // Heavy-light partitioning shrinks the effective scanned state of
+      // each side when the join key is skewed (DESIGN.md Section 16).
+      const double probe =
+          nt_factor *
+          (l.rate * std::min(r.size, 1e12) *
+               HeavyProbeFactor(r, n.right_col, ctx) +
+           r.rate * std::min(l.size, 1e12) *
+               HeavyProbeFactor(l, n.left_col, ctx));
       const double maintain =
           MaintainCost(mode, n.child(0).pattern, l.rate,
                        std::min(l.size, 1e12), /*lazy=*/true, opts) +
@@ -374,19 +442,32 @@ double NodeCost(const PlanNode& n, const NodeEstimate& e, CostCtx& ctx) {
       const double in_size = std::min(in.size, 1e12);
       const bool delta_eligible = mode == ExecMode::kUpa &&
                                   n.child(0).pattern != UpdatePattern::kStrict;
-      // Every arrival scans (half) the stored output for its key.
-      const double probe = in.rate * e.size / 2.0;
+      // Every arrival scans (half) the stored output for its key. The
+      // duplicate check is a single-key probe, so the heavy-light factor
+      // applies; the input estimate supplies the arrival frequencies and
+      // the promote-mass normalizer (conservative: it charges a heavy
+      // probe its match count in the input, though the output stores at
+      // most one tuple per key).
+      const double dup_hl = n.cols.size() == 1
+                                ? HeavyProbeFactor(in, n.cols[0], ctx)
+                                : 1.0;
+      const double probe = in.rate * e.size / 2.0 * dup_hl;
       if (delta_eligible) {
         // Section 5.4.1: cost of the delta operator.
         return probe + MaintainCost(mode, UpdatePattern::kWeak, e.rate,
                                     2.0 * e.size, false, opts);
       }
       // Classic: replacement scans of the stored input on output expiry.
+      // Single-key distinct replacement probes are key lookups, so the
+      // heavy-light factor applies to the scanned input (Section 16).
+      const double hl = n.cols.size() == 1
+                            ? HeavyProbeFactor(in, n.cols[0], ctx)
+                            : 1.0;
       const double replacement_rate = e.size / std::max(1.0, in_size) * in.rate;
       const double replace_cost =
           mode == ExecMode::kNegativeTuple
               ? nt_factor * in.rate
-              : replacement_rate * in_size;
+              : replacement_rate * in_size * hl;
       return probe + replace_cost +
              MaintainCost(mode, n.child(0).pattern, in.rate, in_size, true,
                           opts) +

@@ -1,6 +1,7 @@
 #include "core/physical_planner.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <utility>
 
@@ -15,6 +16,7 @@
 #include "ops/stateless.h"
 #include "ops/window.h"
 #include "state/hash_buffer.h"
+#include "state/heavy_light_buffer.h"
 #include "state/indexed_buffer.h"
 #include "state/list_buffer.h"
 #include "state/partitioned_buffer.h"
@@ -240,28 +242,41 @@ class PlannerImpl {
   /// properties. `key_col` is the operator's key attribute on that input
   /// (hash key under negative-tuple maintenance). `probed` marks state
   /// that the operator probes by key on every arrival (join/intersection
-  /// inputs), eligible for the IndexedBuffer extension.
+  /// inputs), eligible for the IndexedBuffer extension. `heavy` marks
+  /// state probed by equality on `key_col`, eligible for heavy-light
+  /// partitioning (DESIGN.md Section 16) when `heavy_threshold` > 0; kept
+  /// separate from `probed` so the E9 IndexedBuffer ablation is
+  /// unaffected by the skew knob.
   std::unique_ptr<StateBuffer> MakeBuffer(Style style, UpdatePattern pattern,
                                           bool negatives_complete, int key_col,
                                           Time span, bool allow_lazy,
-                                          bool probed = false) const {
+                                          bool probed = false,
+                                          bool heavy = false) const {
+    const Time effective_span = std::max<Time>(1, span);
+    bool heavy_eligible =
+        heavy && opts_.heavy_threshold > 0 && key_col >= 0;
+    auto order = HeavyLightBuffer::ProbeOrder::kArrival;
+    Time block_span = effective_span;
     std::unique_ptr<StateBuffer> buf;
     if (style == Style::kNegative || negatives_complete) {
       // Negative-tuple maintenance: the hash index locates the tuples that
       // arriving negatives delete; probing still scans, matching the
-      // Section 5.4.1 cost accounting (see HashBuffer).
+      // Section 5.4.1 cost accounting (see HashBuffer). Never lazy:
+      // removal is deletion-driven. A key-restricted probe scans one
+      // bucket in arrival order, so heavy wrapping uses kArrival.
       buf = std::make_unique<HashBuffer>(key_col < 0 ? 0 : key_col,
                                          opts_.hash_buckets,
                                          /*scan_probes=*/true);
-      return buf;
+      return MaybeWrapHeavy(std::move(buf), heavy_eligible, key_col, order,
+                            block_span, effective_span);
     }
-    const Time effective_span = std::max<Time>(1, span);
     if (style == Style::kDirect) {
       buf = std::make_unique<ListBuffer>();
     } else if (probed && opts_.index_probed_state && key_col >= 0) {
       buf = std::make_unique<IndexedBuffer>(key_col, opts_.num_partitions,
                                             effective_span,
                                             opts_.index_buckets);
+      heavy_eligible = false;  // Already key-indexed; nothing to gain.
     } else {
       switch (pattern) {
         case UpdatePattern::kMonotonic:
@@ -269,14 +284,43 @@ class PlannerImpl {
           buf = std::make_unique<FifoBuffer>();
           break;
         case UpdatePattern::kWeak:
-        case UpdatePattern::kStrict:
-          buf = std::make_unique<PartitionedBuffer>(opts_.num_partitions,
-                                                    effective_span);
+        case UpdatePattern::kStrict: {
+          auto part = std::make_unique<PartitionedBuffer>(
+              opts_.num_partitions, effective_span);
+          block_span = part->block_span();
+          // Eager partitions enumerate (block, exp, arrival); lazy ones
+          // keep per-block insertion order.
+          order = allow_lazy
+                      ? HeavyLightBuffer::ProbeOrder::kPartitionArrival
+                      : HeavyLightBuffer::ProbeOrder::kPartitionExp;
+          buf = std::move(part);
           break;
+        }
       }
     }
     if (allow_lazy) buf->SetLazy(LazyInterval(effective_span));
-    return buf;
+    return MaybeWrapHeavy(std::move(buf), heavy_eligible, key_col, order,
+                          block_span, effective_span);
+  }
+
+  /// Wraps `buf` in a HeavyLightBuffer replicating its enumeration order.
+  /// The repartition epoch is a quarter of the edge's window span, so
+  /// promotion reacts within a window while staying far coarser than the
+  /// per-tick barrier cadence.
+  std::unique_ptr<StateBuffer> MaybeWrapHeavy(
+      std::unique_ptr<StateBuffer> buf, bool eligible, int key_col,
+      HeavyLightBuffer::ProbeOrder order, Time block_span,
+      Time effective_span) const {
+    if (!eligible) return buf;
+    HeavyLightBuffer::Options hl;
+    hl.threshold = static_cast<uint64_t>(opts_.heavy_threshold);
+    hl.max_heavy_keys = static_cast<size_t>(std::max(1, opts_.heavy_max_keys));
+    hl.tracker_capacity =
+        static_cast<size_t>(std::max(1, opts_.heavy_tracker_capacity));
+    hl.epoch = std::max<Time>(1, effective_span / 4);
+    return std::make_unique<HeavyLightBuffer>(std::move(buf), key_col, order,
+                                              block_span,
+                                              opts_.num_partitions, hl);
   }
 
   BuildResult BuildNode(const PlanNode& n) {
@@ -421,9 +465,11 @@ class PlannerImpl {
           std::make_unique<JoinOp>(
               n.child(0).schema, n.child(1).schema, n.left_col, n.right_col,
               MakeBuffer(style, l.pattern, complete, n.left_col, l.span,
-                         /*allow_lazy=*/!complete, /*probed=*/true),
+                         /*allow_lazy=*/!complete, /*probed=*/true,
+                         /*heavy=*/true),
               MakeBuffer(style, rr.pattern, complete, n.right_col, rr.span,
-                         /*allow_lazy=*/!complete, /*probed=*/true),
+                         /*allow_lazy=*/!complete, /*probed=*/true,
+                         /*heavy=*/true),
               /*time_expiration=*/!complete),
           {l.node, rr.node});
       r.pattern = n.pattern;
@@ -456,7 +502,8 @@ class PlannerImpl {
           std::make_unique<RelJoinOp>(
               n.child(0).schema, rnode.schema, n.left_col, n.right_col,
               MakeBuffer(style, l.pattern, l.negatives_complete, n.left_col,
-                         l.span, /*allow_lazy=*/!l.negatives_complete),
+                         l.span, /*allow_lazy=*/!l.negatives_complete,
+                         /*probed=*/false, /*heavy=*/true),
               std::move(table),
               /*time_expiration=*/!l.negatives_complete),
           {l.node});
@@ -477,12 +524,16 @@ class PlannerImpl {
         c.pattern != UpdatePattern::kStrict;
     if (use_delta) {
       // The delta operator's own output expires out of generation order
-      // (weak non-monotonic), so its output state is partitioned.
+      // (weak non-monotonic), so its output state is partitioned. Every
+      // arrival probes it by the (single-column) distinct key for the
+      // duplicate check, so hot keys dominate the probe mass and the
+      // output is heavy-light eligible.
       r.node = pipeline_->AddOperator(
           std::make_unique<DeltaDistinctOp>(
               n.schema, n.cols,
               MakeBuffer(style, UpdatePattern::kWeak, false, key0, c.span,
-                         /*allow_lazy=*/false)),
+                         /*allow_lazy=*/false, /*probed=*/false,
+                         /*heavy=*/n.cols.size() == 1)),
           {c.node});
       r.negatives_complete = false;
     } else {
@@ -490,9 +541,16 @@ class PlannerImpl {
           std::make_unique<DistinctOp>(
               n.schema, n.cols,
               MakeBuffer(style, c.pattern, c.negatives_complete, key0, c.span,
-                         /*allow_lazy=*/!c.negatives_complete),
+                         /*allow_lazy=*/!c.negatives_complete,
+                         // Replacement lookups probe the input by the
+                         // (single-column) distinct key; multi-column keys
+                         // scan via ForEachLive and gain nothing.
+                         /*probed=*/false, /*heavy=*/n.cols.size() == 1),
+              // The output is probed per arrival (duplicate check), same
+              // heavy-light eligibility as the delta operator's output.
               MakeBuffer(style, UpdatePattern::kWeak, c.negatives_complete,
-                         key0, c.span, /*allow_lazy=*/false),
+                         key0, c.span, /*allow_lazy=*/false,
+                         /*probed=*/false, /*heavy=*/n.cols.size() == 1),
               /*time_expiration=*/!c.negatives_complete),
           {c.node});
       r.negatives_complete = c.negatives_complete;
@@ -554,7 +612,15 @@ class PlannerImpl {
 std::unique_ptr<Pipeline> BuildPipeline(const PlanNode& plan, ExecMode mode,
                                         const PlannerOptions& options) {
   ValidatePlan(plan);
-  PlannerImpl impl(mode, options);
+  PlannerOptions resolved = options;
+  if (resolved.heavy_threshold < 0) {
+    // "Auto": the UPA_HEAVY_THRESHOLD environment variable, mirroring the
+    // UPA_BATCH tier-1 CI variant; absent (or unparsable) means disabled.
+    const char* env = std::getenv("UPA_HEAVY_THRESHOLD");
+    resolved.heavy_threshold = env != nullptr ? std::atoi(env) : 0;
+    if (resolved.heavy_threshold < 0) resolved.heavy_threshold = 0;
+  }
+  PlannerImpl impl(mode, resolved);
   return impl.Build(plan);
 }
 

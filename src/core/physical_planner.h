@@ -71,6 +71,19 @@ struct PlannerOptions {
   bool index_probed_state = false;
   /// Hash fan-out of IndexedBuffer when index_probed_state is set.
   int index_buckets = 64;
+  /// Heavy-light state partitioning (DESIGN.md Section 16): per-epoch
+  /// probe count at which a key is promoted to the materialized heavy
+  /// partition of key-probed join/distinct state. 0 disables wrapping
+  /// entirely (the differential oracle path); < 0 means "auto": resolve
+  /// from the `UPA_HEAVY_THRESHOLD` environment variable at
+  /// BuildPipeline() time, defaulting to disabled. The cost model treats
+  /// any value <= 0 as disabled and never consults the environment, so
+  /// EXPLAIN output is stable across env configurations.
+  int heavy_threshold = -1;
+  /// Top-K bound on the heavy set of each wrapped buffer.
+  int heavy_max_keys = 64;
+  /// Resident-key bound of each buffer's frequency sketch.
+  int heavy_tracker_capacity = 256;
 };
 
 /// Compiles the annotated logical plan into an executable pipeline for the

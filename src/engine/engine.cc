@@ -149,6 +149,12 @@ RegisterResult Engine::DoRegister(const std::string& name, PlanPtr plan,
   // Batched ingest builds every replica (including recovery rebuilds,
   // which go through the same factory) with batch-mode ticks enabled.
   if (options_.batch_size > 1) effective.batching = true;
+  // Heavy-light skew knob: a per-query planner setting wins; otherwise
+  // inherit the engine-wide default (itself -1 = auto, resolved against
+  // UPA_HEAVY_THRESHOLD inside BuildPipeline).
+  if (effective.planner.heavy_threshold < 0) {
+    effective.planner.heavy_threshold = options_.heavy_threshold;
+  }
   // Durability implies per-shard ingest logs: they are the retained-state
   // source of checkpoints, and they make every shard restartable, so a
   // snapshot/checkpoint barrier can always recover a crashed shard.
@@ -1072,6 +1078,7 @@ EngineMetrics Engine::Metrics() const {
       qm.view_size += sm.view_size;
       qm.restarts += sm.restarts;
       qm.stats += sm.stats;
+      qm.heavy += sm.heavy;
       if (sm.profiled) {
         qm.profiled = true;
         qm.phases += sm.phases;

@@ -66,6 +66,13 @@ struct EngineOptions {
   /// differential oracle path); 0 = auto: the UPA_BATCH environment
   /// variable if set (> 1), else 1.
   size_t batch_size = 0;
+  /// Heavy-light state partitioning (DESIGN.md Section 16): engine-wide
+  /// default for PlannerOptions::heavy_threshold when a query does not
+  /// set its own. 0 disables (the differential oracle path, like
+  /// batch_size = 1); > 0 is the per-epoch probe count that promotes a
+  /// key; -1 = auto: the UPA_HEAVY_THRESHOLD environment variable if set,
+  /// else disabled.
+  int heavy_threshold = -1;
   /// What producers do when a shard queue is full.
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   /// Profile every registered query (per-query QueryOptions::profile

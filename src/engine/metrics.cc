@@ -173,6 +173,19 @@ std::string EngineMetrics::ToPrometheus() const {
            static_cast<double>(q.stats.results_pos));
     series("upa_query_results_total", "counter", l + ",sign=\"negative\"",
            static_cast<double>(q.stats.results_neg));
+    // Heavy-light state partitioning (DESIGN.md Section 16). All zero
+    // when the skew knob is off; exported unconditionally so dashboards
+    // need not special-case the oracle path.
+    series("upa_state_heavy_keys", "gauge", l,
+           static_cast<double>(q.heavy.heavy_keys));
+    series("upa_state_promotions_total", "counter", l,
+           static_cast<double>(q.heavy.promotions));
+    series("upa_state_demotions_total", "counter", l,
+           static_cast<double>(q.heavy.demotions));
+    series("upa_state_probes_total", "counter", l + ",partition=\"heavy\"",
+           static_cast<double>(q.heavy.heavy_probe_hits));
+    series("upa_state_probes_total", "counter", l + ",partition=\"light\"",
+           static_cast<double>(q.heavy.light_probes));
     if (q.profiled) {
       series("upa_query_phase_seconds", "counter", l + ",phase=\"processing\"",
              q.phases.processing_ns / 1e9);

@@ -27,6 +27,8 @@ struct ShardMetrics {
   PipelineStats stats;        ///< The replica's execution counters. After a
                               ///< restart these cover the current replica
                               ///< only (replay re-counts retained tuples).
+  HeavyLightStats heavy;      ///< Heavy-light state counters (DESIGN.md
+                              ///< §16); all-zero when the skew knob is off.
   bool profiled = false;      ///< Replica runs with a profiler attached.
   obs::PhaseBreakdown phases; ///< Section 6.1 split (when profiled).
 };
@@ -50,6 +52,7 @@ struct QueryMetrics {
   uint64_t stall_events = 0;    ///< Times the watchdog flagged a stalled
                                 ///< shard (queue backed up, no progress).
   PipelineStats stats;        ///< Merged shard PipelineStats.
+  HeavyLightStats heavy;      ///< Summed shard heavy-light counters.
   bool profiled = false;      ///< Any shard published a phase breakdown.
   obs::PhaseBreakdown phases; ///< Merged shard phase breakdowns.
 

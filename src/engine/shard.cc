@@ -354,6 +354,7 @@ void ShardExecutor::PublishCounters() {
   view_size_.store(pipeline_->view().Size(), std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(stats_mu_);
   published_stats_ = pipeline_->stats();
+  published_heavy_ = pipeline_->CollectHeavyLight();
   if (pipeline_->profiling()) {
     published_phases_ = pipeline_->profiler()->Snapshot().phases;
   }
@@ -373,6 +374,7 @@ ShardMetrics ShardExecutor::Metrics(int shard_index) const {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     m.stats = published_stats_;
+    m.heavy = published_heavy_;
     m.phases = published_phases_;
   }
   m.profiled = m.phases.sampled_ingests > 0 || m.phases.sampled_ticks > 0;

@@ -250,6 +250,7 @@ class ShardExecutor {
   std::atomic<size_t> view_size_{0};
   mutable std::mutex stats_mu_;
   PipelineStats published_stats_;        // Guarded by stats_mu_.
+  HeavyLightStats published_heavy_;      // Guarded by stats_mu_.
   obs::PhaseBreakdown published_phases_; // Guarded by stats_mu_.
 };
 

@@ -198,6 +198,15 @@ class Pipeline {
   size_t StateBytes() const;
   size_t StateTuples() const;
 
+  /// Sums heavy-light partitioning counters (DESIGN.md Section 16) over
+  /// every operator's state buffers. All-zero unless the planner wrapped
+  /// state in HeavyLightBuffer (heavy_threshold > 0).
+  HeavyLightStats CollectHeavyLight() const {
+    HeavyLightStats s;
+    for (const Node& n : nodes_) n.op->CollectHeavyLight(&s);
+    return s;
+  }
+
   int num_operators() const { return static_cast<int>(nodes_.size()); }
   const Operator& op(int node) const { return *nodes_[size_t(node)].op; }
 

@@ -11,14 +11,25 @@ ReplayMetrics ReplayTrace(const Trace& trace, Pipeline* pipeline,
                           const ReplayOptions& options) {
   UPA_CHECK(pipeline != nullptr);
   ReplayMetrics m;
+  obs::Histogram latency;
   const auto start = std::chrono::steady_clock::now();
   uint64_t since_poll = 0;
   uint64_t since_checkpoint = 0;
   for (const TraceEvent& e : trace.events) {
     // Traces may carry streams this query does not reference.
     if (!pipeline->HasStream(e.stream)) continue;
-    pipeline->Tick(e.tuple.ts);
-    pipeline->Ingest(e.stream, e.tuple);
+    if (options.measure_latency) {
+      const auto t0 = std::chrono::steady_clock::now();
+      pipeline->Tick(e.tuple.ts);
+      pipeline->Ingest(e.stream, e.tuple);
+      const auto t1 = std::chrono::steady_clock::now();
+      latency.Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+    } else {
+      pipeline->Tick(e.tuple.ts);
+      pipeline->Ingest(e.stream, e.tuple);
+    }
     ++m.tuples;
     if (options.state_poll_interval > 0 &&
         ++since_poll >= options.state_poll_interval) {
@@ -57,6 +68,10 @@ ReplayMetrics ReplayTrace(const Trace& trace, Pipeline* pipeline,
   if (options.state_poll_interval > 0) {
     m.max_state_bytes = std::max(m.max_state_bytes, pipeline->StateBytes());
     m.max_state_tuples = std::max(m.max_state_tuples, pipeline->StateTuples());
+  }
+  if (options.measure_latency) {
+    m.latency_measured = true;
+    m.latency_ns = latency.Snap();
   }
   return m;
 }

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "exec/pipeline.h"
+#include "obs/metrics.h"
 #include "workload/trace.h"
 
 namespace upa {
@@ -25,6 +26,13 @@ struct ReplayMetrics {
   /// per-operator cost estimates for this replay.
   bool profiled = false;
   obs::ProfileSnapshot profile;
+  /// Per-tuple processing latency (one Tick + Ingest, nanoseconds),
+  /// recorded when ReplayOptions::measure_latency is set. Tail latency is
+  /// the skew experiments' second axis: a scan-probed buffer under a
+  /// Zipf-heavy key pays its O(N) probe on exactly the popular arrivals,
+  /// which the mean hides but the p99 exposes.
+  bool latency_measured = false;
+  obs::Histogram::Snapshot latency_ns;
 };
 
 /// Options for ReplayTrace.
@@ -42,6 +50,10 @@ struct ReplayOptions {
   /// even without arrivals). 0 disables.
   Time drain = 0;
   Time drain_step = 1;
+  /// Time every Tick + Ingest pair individually and fill
+  /// ReplayMetrics::latency_ns. Two clock reads per tuple -- leave off
+  /// unless the benchmark reports tail latency.
+  bool measure_latency = false;
 };
 
 /// Replays `trace` through `pipeline` (Tick + Ingest per event, per the

@@ -50,6 +50,11 @@ class DistinctOp : public Operator {
   /// drive replacement), so only it participates in degradation.
   void SetDegraded(bool on) override { input_->SetDegraded(on); }
 
+  void CollectHeavyLight(HeavyLightStats* out) const override {
+    input_->CollectHeavyLight(out);
+    output_->CollectHeavyLight(out);
+  }
+
   const std::vector<int>& key_cols() const { return key_cols_; }
 
  private:
@@ -99,6 +104,10 @@ class DeltaDistinctOp : public Operator {
   size_t StateBytes() const override;
   size_t StateTuples() const override;
   std::string Name() const override { return "delta-distinct"; }
+
+  void CollectHeavyLight(HeavyLightStats* out) const override {
+    output_->CollectHeavyLight(out);
+  }
 
   const std::vector<int>& key_cols() const { return key_cols_; }
 

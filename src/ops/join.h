@@ -59,6 +59,11 @@ class JoinOp : public Operator {
     state_[1]->SetDegraded(on);
   }
 
+  void CollectHeavyLight(HeavyLightStats* out) const override {
+    state_[0]->CollectHeavyLight(out);
+    state_[1]->CollectHeavyLight(out);
+  }
+
   int left_col() const { return col_[0]; }
   int right_col() const { return col_[1]; }
 

@@ -7,6 +7,7 @@
 #include "common/schema.h"
 #include "common/tuple.h"
 #include "obs/op_profile.h"
+#include "state/buffer.h"
 
 namespace upa {
 
@@ -109,6 +110,12 @@ class Operator {
   /// observe expirations. Called on the shard worker thread at batch
   /// boundaries, never concurrently with Process/AdvanceTime.
   virtual void SetDegraded(bool on) { (void)on; }
+
+  /// Accumulates heavy-light partitioning counters (DESIGN.md Section 16)
+  /// from this operator's state buffers into `out`. Default: none.
+  /// Called on the shard worker thread at publication barriers, never
+  /// concurrently with Process/AdvanceTime.
+  virtual void CollectHeavyLight(HeavyLightStats* out) const { (void)out; }
 
   /// Attaches the per-operator profile this operator reports into (set by
   /// Pipeline::EnableProfiling; null when the pipeline is unprofiled).

@@ -87,6 +87,10 @@ class RelJoinOp : public Operator {
 
   void SetDegraded(bool on) override { window_->SetDegraded(on); }
 
+  void CollectHeavyLight(HeavyLightStats* out) const override {
+    window_->CollectHeavyLight(out);
+  }
+
  private:
   Tuple Combine(const Tuple& stream_t, const Tuple& table_t,
                 bool negative, Time ts) const;

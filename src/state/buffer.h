@@ -1,6 +1,7 @@
 #ifndef UPA_STATE_BUFFER_H_
 #define UPA_STATE_BUFFER_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -14,6 +15,28 @@ using ExpireFn = std::function<void(const Tuple&)>;
 
 /// Callback for iteration over live tuples.
 using TupleFn = std::function<void(const Tuple&)>;
+
+/// Counters exposed by heavy-light partitioned state (DESIGN.md
+/// Section 16). `heavy_keys` is the current resident heavy-key count (a
+/// gauge); the rest are cumulative over the buffer's lifetime. Summed
+/// across buffers, operators, and shards on the way to the metrics
+/// endpoint (`upa_state_heavy_keys` et al).
+struct HeavyLightStats {
+  uint64_t heavy_keys = 0;
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;
+  uint64_t heavy_probe_hits = 0;
+  uint64_t light_probes = 0;
+
+  HeavyLightStats& operator+=(const HeavyLightStats& o) {
+    heavy_keys += o.heavy_keys;
+    promotions += o.promotions;
+    demotions += o.demotions;
+    heavy_probe_hits += o.heavy_probe_hits;
+    light_probes += o.light_probes;
+    return *this;
+  }
+};
 
 /// Abstract state buffer used by stateful operators (join inputs, duplicate
 /// elimination input/output, negation inputs) and by materialized results.
@@ -73,7 +96,9 @@ class StateBuffer {
   /// logically expired tuples, so degradation trades memory for CPU
   /// without changing results. Idempotent; `SetDegraded(false)` restores
   /// the configured interval and lets the next Advance() catch up.
-  void SetDegraded(bool on);
+  /// Virtual so decorators (HeavyLightBuffer) can forward to the wrapped
+  /// buffer.
+  virtual void SetDegraded(bool on);
 
   bool degraded() const { return degraded_; }
 
@@ -86,8 +111,10 @@ class StateBuffer {
 
   /// Advances the logical clock without purging. Used under the negative
   /// tuple approach, where physical removal is driven by negative tuples
-  /// but liveness checks must still observe the current time.
-  void SetClock(Time now) { BumpClock(now); }
+  /// but liveness checks must still observe the current time. Virtual so
+  /// decorators can keep the inner buffer's clock in step (and, for
+  /// HeavyLightBuffer, observe barrier points).
+  virtual void SetClock(Time now) { BumpClock(now); }
 
   /// Adds a live tuple. UPA_DCHECKs that `t.exp > now()`.
   virtual void Insert(const Tuple& t) = 0;
@@ -141,6 +168,12 @@ class StateBuffer {
   /// recovery compare a replayed replica against the checkpointed
   /// original without serializing either in full.
   uint64_t LiveDigest() const;
+
+  /// Accumulates heavy-light partitioning counters into `out`. Plain
+  /// buffers have none; HeavyLightBuffer overrides.
+  virtual void CollectHeavyLight(HeavyLightStats* out) const {
+    (void)out;
+  }
 
  protected:
   StateBuffer() = default;

@@ -1,0 +1,135 @@
+#include "state/freq_tracker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+KeyFrequencyTracker::KeyFrequencyTracker(size_t capacity)
+    : capacity_(capacity) {
+  UPA_CHECK(capacity_ >= 1);
+}
+
+void KeyFrequencyTracker::Credit(const Value& v, uint64_t weight) {
+  if (weight == 0) return;
+  auto it = index_.find(v);
+  if (it != index_.end()) {
+    // Counts only grow between decays, so stale min_candidates_ entries
+    // are detected by the count check at consumption time.
+    slots_[it->second].count += weight;
+    return;
+  }
+  if (slots_.size() < capacity_) {
+    index_.emplace(v, slots_.size());
+    slots_.push_back(Slot{v, weight, 0});
+    return;
+  }
+  // Space-saving replacement: evict the minimum (count, key) resident and
+  // credit the newcomer with its count plus the new weight.
+  const size_t vi = PickVictim();
+  const uint64_t inherited = slots_[vi].count;
+  index_.erase(slots_[vi].key);
+  slots_[vi] = Slot{v, inherited + weight, inherited};
+  index_.emplace(v, vi);
+}
+
+size_t KeyFrequencyTracker::PickVictim() {
+  while (candidates_valid_ && next_candidate_ < min_candidates_.size()) {
+    const Value& cand = min_candidates_[next_candidate_];
+    auto it = index_.find(cand);
+    if (it != index_.end() && slots_[it->second].count == min_bound_) {
+      ++next_candidate_;
+      return it->second;
+    }
+    // Incremented past the bound (or re-keyed by a prior eviction): no
+    // longer the minimum, skip permanently for this bound generation.
+    ++next_candidate_;
+  }
+  // Rescan: find the smallest count, then collect every resident at that
+  // count in ascending key order. New entries always enter above the
+  // bound (inheritance adds weight) and increments only raise counts, so
+  // the list remains exhaustive until it drains.
+  UPA_DCHECK(!slots_.empty());
+  uint64_t min_count = slots_[0].count;
+  for (const Slot& s : slots_) min_count = std::min(min_count, s.count);
+  min_bound_ = min_count;
+  min_candidates_.clear();
+  for (const Slot& s : slots_) {
+    if (s.count == min_count) min_candidates_.push_back(s.key);
+  }
+  std::sort(min_candidates_.begin(), min_candidates_.end());
+  candidates_valid_ = true;
+  next_candidate_ = 1;  // Slot 0 of the list is consumed right now.
+  auto it = index_.find(min_candidates_[0]);
+  UPA_DCHECK(it != index_.end());
+  return it->second;
+}
+
+void KeyFrequencyTracker::Decay() {
+  size_t keep = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].count /= 2;
+    slots_[i].err /= 2;
+    if (slots_[i].count > 0) {
+      if (keep != i) slots_[keep] = std::move(slots_[i]);
+      ++keep;
+    }
+  }
+  slots_.resize(keep);
+  index_.clear();
+  for (size_t i = 0; i < slots_.size(); ++i) index_.emplace(slots_[i].key, i);
+  candidates_valid_ = false;
+  min_candidates_.clear();
+  next_candidate_ = 0;
+}
+
+uint64_t KeyFrequencyTracker::CountOf(const Value& v) const {
+  auto it = index_.find(v);
+  return it == index_.end() ? 0 : slots_[it->second].count;
+}
+
+std::vector<Value> KeyFrequencyTracker::HeavyKeys(uint64_t threshold,
+                                                  size_t max_keys) const {
+  UPA_CHECK(threshold >= 1);
+  std::vector<std::pair<uint64_t, Value>> qualifying;
+  for (const Slot& s : slots_) {
+    // Qualify on the guaranteed lower bound; rank on the raw count.
+    if (s.count - s.err >= threshold) qualifying.emplace_back(s.count, s.key);
+  }
+  // Highest count first; equal counts in natural key order. The explicit
+  // tie-break keeps the result independent of slot order.
+  std::sort(qualifying.begin(), qualifying.end(), [](const auto& a,
+                                                     const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  if (qualifying.size() > max_keys) qualifying.resize(max_keys);
+  std::vector<Value> keys;
+  keys.reserve(qualifying.size());
+  for (auto& [count, key] : qualifying) keys.push_back(std::move(key));
+  return keys;
+}
+
+void KeyFrequencyTracker::Clear() {
+  slots_.clear();
+  index_.clear();
+  min_candidates_.clear();
+  next_candidate_ = 0;
+  candidates_valid_ = false;
+}
+
+size_t KeyFrequencyTracker::StateBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Slot& s : slots_) {
+    // One slot plus one index node per resident, plus the candidate list.
+    bytes += sizeof(Slot) + sizeof(size_t) + 3 * sizeof(void*);
+    if (const auto* str = std::get_if<std::string>(&s.key)) {
+      bytes += str->capacity();
+    }
+  }
+  bytes += min_candidates_.capacity() * sizeof(Value);
+  return bytes;
+}
+
+}  // namespace upa

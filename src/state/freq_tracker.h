@@ -1,0 +1,109 @@
+#ifndef UPA_STATE_FREQ_TRACKER_H_
+#define UPA_STATE_FREQ_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace upa {
+
+/// Space-bounded per-key probe-frequency estimator backing heavy-light
+/// state partitioning (DESIGN.md Section 16). A deterministic variant of
+/// the space-saving sketch: at most `capacity` keys are resident; when a
+/// new key arrives into a full sketch it replaces the resident with the
+/// smallest (count, key) pair and inherits its count plus the new weight,
+/// which keeps the classic guarantee that every resident's count
+/// overestimates its true frequency by at most the smallest resident
+/// count.
+///
+/// Determinism contract: every result is a pure function of the
+/// ingest-order sequence of Observe()/Credit()/Decay() calls. Ties are
+/// broken by the natural Value ordering (variant index, then per-type),
+/// never by hash order or allocation order, so two replicas fed the same
+/// probe sequence report byte-identical heavy sets -- the property the
+/// skew differential battery pins. Hashing is used only to index
+/// residents; eviction picks the minimum (count, key) over all residents,
+/// which is iteration-order independent.
+///
+/// Cost contract: the tracker taxes every light probe of a wrapped
+/// buffer, so Observe() must stay far cheaper than the O(n) scan it
+/// instruments even in the adversarial low-skew regime where every
+/// observation of a full sketch evicts. Increments are one hash lookup;
+/// evictions amortize their victim scan through a cached candidate list
+/// (all residents at the current minimum count, consumed in key order --
+/// counts never decrease between decays, so the list stays exhaustive).
+class KeyFrequencyTracker {
+ public:
+  explicit KeyFrequencyTracker(size_t capacity);
+
+  /// Counts one observation of `v` (a probe against the wrapped state).
+  void Observe(const Value& v) { Credit(v, 1); }
+
+  /// Counts `weight` observations of `v` at once. Heavy-partition hits
+  /// are tallied per key and credited in bulk at the next repartition
+  /// barrier, keeping the sketch entirely off the heavy probe path.
+  void Credit(const Value& v, uint64_t weight);
+
+  /// Halves every resident count and evicts those that reach zero. Called
+  /// once per repartition epoch so that counts approximate a sliding
+  /// exponentially-decayed window and cooled-off keys free sketch space.
+  void Decay();
+
+  /// Estimated count of `v`; zero when not resident.
+  uint64_t CountOf(const Value& v) const;
+
+  /// Keys whose guaranteed count (count minus inherited error) reaches
+  /// `threshold`, ordered by (count descending, key ascending), truncated
+  /// to `max_keys`. `threshold` must be >= 1.
+  std::vector<Value> HeavyKeys(uint64_t threshold, size_t max_keys) const;
+
+  size_t size() const { return slots_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+  /// Approximate heap footprint, for StateBytes() accounting.
+  size_t StateBytes() const;
+
+ private:
+  struct Slot {
+    Value key;
+    uint64_t count;
+    /// Overestimation bound inherited at insertion (the evicted victim's
+    /// count): true frequency lies in [count - err, count]. Heavy
+    /// qualification uses the guaranteed lower bound, otherwise the
+    /// eviction-churn minimum of a low-skew workload inflates every
+    /// newcomer past the threshold and cold keys get promoted.
+    uint64_t err;
+  };
+
+  struct ValueHasher {
+    size_t operator()(const Value& v) const {
+      return static_cast<size_t>(HashValue(v));
+    }
+  };
+
+  /// Returns the slot index of the eviction victim: the resident with the
+  /// smallest (count, key). Serves from min_candidates_ when possible and
+  /// rescans otherwise.
+  size_t PickVictim();
+
+  size_t capacity_;
+  std::vector<Slot> slots_;
+  std::unordered_map<Value, size_t, ValueHasher> index_;
+
+  /// Keys whose count equalled min_bound_ at the last victim scan, in
+  /// ascending key order; entries whose count moved on are skipped at
+  /// consumption time. Invalidated by Decay()/Clear().
+  std::vector<Value> min_candidates_;
+  size_t next_candidate_ = 0;
+  uint64_t min_bound_ = 0;
+  bool candidates_valid_ = false;
+};
+
+}  // namespace upa
+
+#endif  // UPA_STATE_FREQ_TRACKER_H_

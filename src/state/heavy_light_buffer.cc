@@ -1,0 +1,304 @@
+#include "state/heavy_light_buffer.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace upa {
+
+HeavyLightBuffer::HeavyLightBuffer(std::unique_ptr<StateBuffer> inner,
+                                   int key_col, ProbeOrder order,
+                                   Time partition_span, int num_partitions,
+                                   const Options& options)
+    : inner_(std::move(inner)),
+      key_col_(key_col),
+      order_(order),
+      partition_span_(std::max<Time>(1, partition_span)),
+      num_partitions_(std::max(1, num_partitions)),
+      options_(options),
+      tracker_(options.tracker_capacity) {
+  UPA_CHECK(inner_ != nullptr);
+  UPA_CHECK(key_col_ >= 0);
+  UPA_CHECK(options_.threshold >= 1);
+  UPA_CHECK(options_.max_heavy_keys >= 1);
+  UPA_CHECK(options_.epoch >= 1);
+}
+
+bool HeavyLightBuffer::EntryLess(const Entry& a, const Entry& b) {
+  if (a.part != b.part) return a.part < b.part;
+  if (a.exp_key != b.exp_key) return a.exp_key < b.exp_key;
+  return a.seq < b.seq;
+}
+
+HeavyLightBuffer::Entry HeavyLightBuffer::MakeEntry(const Tuple& t) {
+  Entry e;
+  e.seq = next_seq_++;
+  if (order_ != ProbeOrder::kArrival) {
+    e.part = (t.exp / partition_span_) % num_partitions_;
+    if (order_ == ProbeOrder::kPartitionExp) e.exp_key = t.exp;
+  }
+  e.tuple = t;
+  return e;
+}
+
+void HeavyLightBuffer::InsertEntry(HeavyState* hs, Entry e) {
+  heavy_bytes_ += EntryBytes(e);
+  auto& v = hs->entries;
+  // Arrival-ordered structures always append (monotone seq); partitioned
+  // orders insort, still O(1) for the common in-order case.
+  auto pos = v.empty() || EntryLess(v.back(), e)
+                 ? v.end()
+                 : std::upper_bound(v.begin(), v.end(), e, EntryLess);
+  v.insert(pos, std::move(e));
+}
+
+size_t HeavyLightBuffer::EntryBytes(const Entry& e) const {
+  return sizeof(Entry) + EstimateTupleBytes(e.tuple) - sizeof(Tuple);
+}
+
+void HeavyLightBuffer::Insert(const Tuple& t) {
+  inner_->Insert(t);
+  if (heavy_.empty()) return;
+  UPA_DCHECK(key_col_ < static_cast<int>(t.fields.size()));
+  auto it = heavy_.find(t.fields[key_col_]);
+  if (it != heavy_.end()) InsertEntry(&it->second, MakeEntry(t));
+}
+
+void HeavyLightBuffer::Advance(Time now, const ExpireFn& on_expire) {
+  inner_->Advance(now, on_expire);
+  BumpClock(now);
+  MaybeRepartition();
+}
+
+void HeavyLightBuffer::SetClock(Time now) {
+  inner_->SetClock(now);
+  BumpClock(now);
+  MaybeRepartition();
+}
+
+void HeavyLightBuffer::SetDegraded(bool on) { inner_->SetDegraded(on); }
+
+bool HeavyLightBuffer::EraseOneMatch(const Tuple& t) {
+  if (!inner_->EraseOneMatch(t)) return false;
+  if (heavy_.empty()) return true;
+  UPA_DCHECK(key_col_ < static_cast<int>(t.fields.size()));
+  auto it = heavy_.find(t.fields[key_col_]);
+  if (it != heavy_.end()) {
+    auto& v = it->second.entries;
+    // Copies with equal (fields, exp) are interchangeable, so removing
+    // the first matching copy mirrors whichever one the inner buffer
+    // removed.
+    for (auto e = v.begin(); e != v.end(); ++e) {
+      if (e->tuple.exp == t.exp && e->tuple.FieldsEqual(t)) {
+        heavy_bytes_ -= EntryBytes(*e);
+        v.erase(e);
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+void HeavyLightBuffer::ForEachLive(const TupleFn& fn) const {
+  inner_->ForEachLive(fn);
+}
+
+void HeavyLightBuffer::ForEachMatch(int col, const Value& v,
+                                    const TupleFn& fn) const {
+  if (col != key_col_) {
+    inner_->ForEachMatch(col, v, fn);
+    return;
+  }
+  auto it = heavy_.empty() ? heavy_.end() : heavy_.find(v);
+  if (it == heavy_.end()) {
+    // The sketch taxes only light probes, which already pay an O(n) scan,
+    // and only during observed epochs (the duty cycle bounds the tax when
+    // no skew is present); heavy hits are tallied per key and credited in
+    // bulk at the next barrier.
+    if (observing_) tracker_.Observe(v);
+    ++light_probes_;
+    inner_->ForEachMatch(col, v, fn);
+    return;
+  }
+  ++heavy_probe_hits_;
+  ++it->second.hits;
+  for (const Entry& e : it->second.entries) {
+    if (e.tuple.LiveAt(now())) fn(e.tuple);
+  }
+}
+
+size_t HeavyLightBuffer::LiveCount() const { return inner_->LiveCount(); }
+
+size_t HeavyLightBuffer::PhysicalCount() const {
+  return inner_->PhysicalCount();
+}
+
+size_t HeavyLightBuffer::StateBytes() const {
+  return inner_->StateBytes() + heavy_bytes_ + tracker_.StateBytes();
+}
+
+void HeavyLightBuffer::Clear() {
+  inner_->Clear();
+  heavy_.clear();
+  pending_.clear();
+  tracker_.Clear();
+  heavy_bytes_ = 0;
+}
+
+std::string HeavyLightBuffer::Name() const {
+  return "heavy-light(" + inner_->Name() + ")";
+}
+
+void HeavyLightBuffer::CollectHeavyLight(HeavyLightStats* out) const {
+  out->heavy_keys += heavy_.size();
+  out->promotions += promotions_;
+  out->demotions += demotions_;
+  out->heavy_probe_hits += heavy_probe_hits_;
+  out->light_probes += light_probes_;
+}
+
+std::vector<Value> HeavyLightBuffer::HeavyKeysForTest() const {
+  std::vector<Value> keys;
+  keys.reserve(heavy_.size());
+  for (const auto& [key, hs] : heavy_) keys.push_back(key);
+  return keys;
+}
+
+std::vector<Tuple> HeavyLightBuffer::HeavyEnumerationForTest(
+    const Value& key) const {
+  std::vector<Tuple> rows;
+  auto it = heavy_.find(key);
+  if (it == heavy_.end()) return rows;
+  for (const Entry& e : it->second.entries) {
+    if (e.tuple.LiveAt(now())) rows.push_back(e.tuple);
+  }
+  return rows;
+}
+
+void HeavyLightBuffer::MaybeRepartition() {
+  const int64_t epoch = now() / options_.epoch;
+  if (epoch <= last_epoch_) return;
+  last_epoch_ = epoch;
+  if (!observing_) {
+    // Frozen epoch: the sketch saw no probes, so there is nothing to
+    // repartition. Resume observation on the probation cadence.
+    observing_ = options_.probation_epochs <= 1 ||
+                 epoch % options_.probation_epochs == 0;
+    return;
+  }
+  Repartition(std::max<int64_t>(1, epoch - last_observed_epoch_));
+  last_observed_epoch_ = epoch;
+  // Duty cycle on measured absorption: when the heavy partition took less
+  // than 1/8 of the probes since the last observed barrier, the workload
+  // has no exploitable skew and the sketch freezes until the next
+  // probation epoch. The ratio uses the real probe counters -- ground
+  // truth, immune to sketch estimation error -- and any workload where
+  // heavy copies pay for themselves clears 1/8 by a wide margin.
+  // Surviving heavy keys keep serving their copies while frozen
+  // (result-invariant either way) and are re-judged when observation
+  // resumes.
+  const uint64_t hits = heavy_probe_hits_ - hits_at_barrier_;
+  const uint64_t probes = hits + (light_probes_ - light_at_barrier_);
+  hits_at_barrier_ = heavy_probe_hits_;
+  light_at_barrier_ = light_probes_;
+  // The first two observed barriers never freeze: second-chance admission
+  // needs two consecutive observed barriers, and a frozen gap in between
+  // would stretch cold-start promotion latency for genuinely hot keys.
+  ++observed_barriers_;
+  observing_ = observed_barriers_ < 2 || hits * 8 >= probes ||
+               options_.probation_epochs <= 1 ||
+               epoch % options_.probation_epochs == 0;
+}
+
+void HeavyLightBuffer::Repartition(int64_t elapsed_epochs) {
+  // Credit heavy-partition hits accumulated since the last barrier before
+  // selecting the next heavy set, so a still-hot heavy key is not demoted
+  // for having bypassed the sketch. Keys whose measured hit *rate* fell
+  // below the threshold are cold no matter what the sketch estimates (its
+  // counts for heavy keys are stale EWDA carry by construction): they are
+  // demoted and barred from re-promotion at this barrier, so a key
+  // promoted on sketch overestimation is evicted at the next observed
+  // barrier on ground truth. The bar scales with the elapsed epochs so a
+  // frozen stretch does not dilute it.
+  const uint64_t cold_bar =
+      options_.threshold * static_cast<uint64_t>(elapsed_epochs);
+  std::set<Value> cold;
+  for (auto& [key, hs] : heavy_) {
+    tracker_.Credit(key, hs.hits);
+    if (hs.hits < cold_bar) cold.insert(key);
+    hs.hits = 0;
+  }
+  std::vector<Value> target =
+      tracker_.HeavyKeys(options_.threshold, options_.max_heavy_keys);
+  if (!cold.empty()) {
+    target.erase(std::remove_if(target.begin(), target.end(),
+                                [&](const Value& k) {
+                                  return cold.count(k) > 0;
+                                }),
+                 target.end());
+  }
+  const std::set<Value> target_set(target.begin(), target.end());
+
+  // Demote keys that cooled off; their tuples remain in the inner buffer
+  // untouched, so demotion only drops the materialized copies.
+  for (auto it = heavy_.begin(); it != heavy_.end();) {
+    if (target_set.count(it->first) == 0) {
+      for (const Entry& e : it->second.entries) heavy_bytes_ -= EntryBytes(e);
+      ++demotions_;
+      it = heavy_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Prune expired copies of surviving heavy keys (probes filter by
+  // liveness, so this is purely a space bound).
+  for (auto& [key, hs] : heavy_) {
+    auto& v = hs.entries;
+    auto keep = v.begin();
+    for (auto e = v.begin(); e != v.end(); ++e) {
+      if (e->tuple.LiveAt(now())) {
+        if (keep != e) *keep = std::move(*e);
+        ++keep;
+      } else {
+        heavy_bytes_ -= EntryBytes(*e);
+      }
+    }
+    v.erase(keep, v.end());
+  }
+
+  // Second-chance admission: a candidate is promoted only after
+  // qualifying at two consecutive observed barriers. A genuinely hot key
+  // re-qualifies immediately and pays one barrier of extra latency; a key
+  // that qualified through random collisions in a low-skew stream almost
+  // never re-qualifies, so the heavy set stays empty where there is no
+  // skew to exploit. Cold-demoted keys were excluded from `target` above
+  // and so restart the full qualify-confirm ladder.
+  std::set<Value> fresh;
+  std::set<Value> next_pending;
+  for (const Value& k : target) {
+    if (heavy_.count(k) != 0) continue;
+    if (pending_.count(k) != 0) {
+      fresh.insert(k);
+    } else {
+      next_pending.insert(k);
+    }
+  }
+  pending_ = std::move(next_pending);
+  if (!fresh.empty()) {
+    promotions_ += fresh.size();
+    for (const Value& k : fresh) heavy_.emplace(k, HeavyState{});
+    inner_->ForEachLive([&](const Tuple& t) {
+      UPA_DCHECK(key_col_ < static_cast<int>(t.fields.size()));
+      const Value& k = t.fields[key_col_];
+      if (fresh.count(k) == 0) return;
+      InsertEntry(&heavy_[k], MakeEntry(t));
+    });
+  }
+
+  tracker_.Decay();
+}
+
+}  // namespace upa

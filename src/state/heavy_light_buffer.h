@@ -1,0 +1,196 @@
+#ifndef UPA_STATE_HEAVY_LIGHT_BUFFER_H_
+#define UPA_STATE_HEAVY_LIGHT_BUFFER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "state/buffer.h"
+#include "state/freq_tracker.h"
+
+namespace upa {
+
+/// Heavy-light partitioned state (DESIGN.md Section 16), after
+/// "Maintaining Queries under Updates Using Heavy-Light Partitioning of
+/// the Input Relations": a decorator over any key-probed StateBuffer that
+/// splits keys by probe frequency. *Light* keys stay exactly as the inner
+/// buffer stores them and are probed by delegation (a scan for the
+/// scan-probed structures). *Heavy* keys -- the top-K of a space-bounded
+/// frequency sketch -- additionally keep a materialized, enumeration-ready
+/// per-key copy vector, so a probe touches only the matches instead of the
+/// whole buffer. Under the Zipf-skewed LBL workload the heavy set absorbs
+/// most probes, collapsing the O(N)-per-arrival probe term to O(matches).
+///
+/// Correctness by order replication: every tuple always lives in the inner
+/// buffer, which keeps serving ForEachLive/Advance/serialization, and each
+/// heavy copy vector is maintained in exactly the inner buffer's
+/// per-key enumeration order (`ProbeOrder`). A heavy probe therefore
+/// yields the same tuples in the same order as the delegated scan would
+/// have -- promotion and demotion are invisible in results by
+/// construction, which is what the skew differential battery pins.
+///
+/// Barrier-only repartitioning: promotion/demotion decisions are taken
+/// only when the buffer's logical clock crosses an epoch boundary
+/// (SetClock/Advance -- the shard's tick barriers), never mid-tuple, so a
+/// shard's heavy set is a deterministic function of its probe sequence and
+/// clock movements. Recovery needs no heavy/light metadata: a rebuilt
+/// replica starts with a cold sketch and an empty heavy set, re-learning
+/// frequencies as probes arrive, with identical results throughout.
+class HeavyLightBuffer : public StateBuffer {
+ public:
+  /// Per-key enumeration order of the wrapped structure. A heavy copy
+  /// vector sorted by the matching (partition, expiration, arrival) key
+  /// reproduces the inner buffer's probe order exactly.
+  enum class ProbeOrder {
+    /// FifoBuffer, ListBuffer, and single-bucket HashBuffer probes:
+    /// arrival order.
+    kArrival,
+    /// Lazy PartitionedBuffer: partition index, then arrival.
+    kPartitionArrival,
+    /// Eager PartitionedBuffer: partition index, then expiration, then
+    /// arrival.
+    kPartitionExp,
+  };
+
+  struct Options {
+    /// Sketch count a key must reach within the current epoch to qualify
+    /// as heavy. Must be >= 1 (0 disables wrapping at the planner).
+    uint64_t threshold = 8;
+    /// Top-K bound on the heavy set.
+    size_t max_heavy_keys = 64;
+    /// Resident-key bound of the frequency sketch.
+    size_t tracker_capacity = 256;
+    /// Repartition cadence in time units; promotion/demotion happens when
+    /// the logical clock crosses a multiple of this.
+    Time epoch = 1;
+    /// Sketch duty cycle while the heavy partition is not pulling its
+    /// weight: when the heavy set absorbed less than 1/8 of the probes
+    /// since the last observed barrier, the sketch freezes (no
+    /// observations, no decay, no repartitioning) except during epochs
+    /// whose index is a multiple of this. Bounds the tracker tax on
+    /// workloads with no exploitable skew to ~1/probation_epochs of the
+    /// probe stream, at the price of up to probation_epochs * epoch
+    /// detection latency when skew first appears. 1 = always observe.
+    /// The 1/8 bar is deliberately low: any workload where heavy copies
+    /// pay for themselves clears it by a wide margin.
+    int64_t probation_epochs = 4;
+  };
+
+  /// `key_col` is the probed column; `partition_span`/`num_partitions`
+  /// describe the inner PartitionedBuffer geometry (ignored under
+  /// kArrival).
+  HeavyLightBuffer(std::unique_ptr<StateBuffer> inner, int key_col,
+                   ProbeOrder order, Time partition_span, int num_partitions,
+                   const Options& options);
+
+  void Insert(const Tuple& t) override;
+  void Advance(Time now, const ExpireFn& on_expire) override;
+  void SetClock(Time now) override;
+  void SetDegraded(bool on) override;
+  bool EraseOneMatch(const Tuple& t) override;
+  void ForEachLive(const TupleFn& fn) const override;
+  void ForEachMatch(int col, const Value& v, const TupleFn& fn) const override;
+  size_t LiveCount() const override;
+  size_t PhysicalCount() const override;
+  size_t StateBytes() const override;
+  void Clear() override;
+  std::string Name() const override;
+  void CollectHeavyLight(HeavyLightStats* out) const override;
+
+  const StateBuffer& inner() const { return *inner_; }
+
+  /// Test hooks.
+  std::vector<Value> HeavyKeysForTest() const;
+  const KeyFrequencyTracker& tracker_for_test() const { return tracker_; }
+  /// Forces an immediate observed repartition at the current clock (tests
+  /// only; production repartitioning is driven by epoch crossings). Keeps
+  /// the sketch observing so subsequent probes count regardless of the
+  /// duty cycle.
+  void RepartitionForTest() {
+    observing_ = true;
+    Repartition(/*elapsed_epochs=*/1);
+    observing_ = true;
+  }
+  /// Live rows of one heavy key in enumeration order (empty when light).
+  std::vector<Tuple> HeavyEnumerationForTest(const Value& key) const;
+
+ private:
+  /// One materialized copy of a stored tuple of a heavy key. `part` and
+  /// `exp_key` are the enumeration sort prefix per ProbeOrder; `seq` is a
+  /// global arrival sequence (promotion scans assign fresh sequences in
+  /// inner enumeration order, so relative order is preserved).
+  struct Entry {
+    int64_t part = 0;
+    Time exp_key = 0;
+    uint64_t seq = 0;
+    Tuple tuple;
+  };
+  struct HeavyState {
+    std::vector<Entry> entries;
+    /// Probe hits since the last barrier, credited to the sketch in bulk
+    /// at repartition time so heavy probes never touch the tracker.
+    uint64_t hits = 0;
+  };
+
+  static bool EntryLess(const Entry& a, const Entry& b);
+  Entry MakeEntry(const Tuple& t);
+  void InsertEntry(HeavyState* hs, Entry e);
+  size_t EntryBytes(const Entry& e) const;
+  void MaybeRepartition();
+  /// `elapsed_epochs` is the number of epochs since the last observed
+  /// barrier (> 1 after a frozen stretch); the cold-demotion bar scales
+  /// with it so a frozen interval does not make retention easier.
+  void Repartition(int64_t elapsed_epochs);
+
+  std::unique_ptr<StateBuffer> inner_;
+  int key_col_;
+  ProbeOrder order_;
+  Time partition_span_;
+  int num_partitions_;
+  Options options_;
+
+  /// Mutated on const probe paths (ForEachMatch), like the staged-run
+  /// folds of PartitionedBuffer: observation and hit counters never change
+  /// the logical contents.
+  mutable KeyFrequencyTracker tracker_;
+  /// Mutable for the same reason: probe paths bump per-key hit tallies.
+  mutable std::map<Value, HeavyState> heavy_;
+  uint64_t next_seq_ = 0;
+  int64_t last_epoch_ = 0;
+  /// Epoch index of the last observed barrier; the gap to the current
+  /// barrier scales the cold-demotion bar across frozen stretches.
+  int64_t last_observed_epoch_ = 0;
+  /// Observed barriers seen so far; the duty cycle may only freeze after
+  /// two of them, so cold-start promotion (qualify, then confirm) is
+  /// never stretched across a frozen gap.
+  int64_t observed_barriers_ = 0;
+  /// Second-chance admission: keys that qualified at the previous
+  /// observed barrier but were not yet heavy. Promotion requires
+  /// qualifying at two consecutive observed barriers, which squares the
+  /// probability that random collisions in a low-skew probe stream
+  /// promote a key that then pays maintenance for nothing.
+  std::set<Value> pending_;
+  /// Whether the sketch ingests probes this epoch (see
+  /// Options::probation_epochs). Starts true so cold-start skew is
+  /// detected within the first epoch.
+  bool observing_ = true;
+  /// Probe-counter snapshots taken at the last observed barrier; the
+  /// deltas give the heavy partition's actual absorption ratio, which
+  /// drives the duty cycle (ground truth, immune to sketch estimation
+  /// error).
+  uint64_t hits_at_barrier_ = 0;
+  uint64_t light_at_barrier_ = 0;
+  size_t heavy_bytes_ = 0;
+
+  uint64_t promotions_ = 0;
+  uint64_t demotions_ = 0;
+  mutable uint64_t heavy_probe_hits_ = 0;
+  mutable uint64_t light_probes_ = 0;
+};
+
+}  // namespace upa
+
+#endif  // UPA_STATE_HEAVY_LIGHT_BUFFER_H_

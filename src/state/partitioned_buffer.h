@@ -69,6 +69,11 @@ class PartitionedBuffer : public StateBuffer {
 
   int num_partitions() const { return static_cast<int>(parts_.size()); }
 
+  /// Width of one expiration block (1/P of the covered window range).
+  /// Exposed so HeavyLightBuffer can replicate the block enumeration
+  /// order of wrapped partitioned state.
+  Time block_span() const { return span_; }
+
  private:
   /// One expiration block. `sorted` is ordered by (exp, arrival) from
   /// index `head` on (the prefix before `head` is already purged and is

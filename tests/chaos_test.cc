@@ -11,7 +11,9 @@
 // recovered by rebuilding the replica from the window-bounded ingest log,
 // and neither delays nor degradation may change what a query answers.
 // Restart and degradation events must additionally be visible through
-// EngineMetrics and its Prometheus exposition.
+// EngineMetrics and its Prometheus exposition. Every third seed
+// additionally arms heavy-light state partitioning, so kills land while
+// replicas hold promoted per-key state (see RunChaosEngine).
 
 #include <gtest/gtest.h>
 
@@ -89,10 +91,17 @@ struct RunResult {
 
 /// Runs the seed's scenario through an engine (optionally faulted) and
 /// returns the final view at trace-end + drain plus the metrics then.
+/// Every third seed runs with heavy-light partitioning armed (DESIGN.md
+/// Section 16) at a threshold low enough that promotions happen within
+/// the random windows' short epochs -- so shard kills land mid-epoch and
+/// recovery must rebuild a cold sketch with identical results. The
+/// faulted and fault-free runs share the seed, hence the configuration.
 RunResult RunChaosEngine(uint64_t seed, FaultInjector* faults) {
   Scenario s = BuildScenario(seed);
   Engine engine(ChaosOptions(faults));
-  const RegisterResult r = engine.RegisterPlan("q", std::move(s.plan));
+  QueryOptions qopts;
+  qopts.planner.heavy_threshold = seed % 3 == 0 ? 2 : 0;
+  const RegisterResult r = engine.RegisterPlan("q", std::move(s.plan), qopts);
   EXPECT_TRUE(r.ok) << r.error;
   engine.IngestTrace(s.trace);
   engine.AdvanceTo(s.trace.LastTs() + kDrain);

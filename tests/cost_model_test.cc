@@ -133,6 +133,62 @@ TEST(CostTest, GroupByCostIndependentOfNegatives) {
   EXPECT_GT(upa, 0.0);
 }
 
+TEST(CostTest, HeavyThresholdDiscountsSkewedJoinProbes) {
+  // Zipf-like src column: two heavy hitters carry 60% of the probes.
+  Catalog cat = TwoLinkCatalog(1.0, 100);
+  for (int s = 0; s < 2; ++s) {
+    cat.streams[s].columns[0].value_freq[Value{int64_t{1}}] = 0.40;
+    cat.streams[s].columns[0].value_freq[Value{int64_t{2}}] = 0.20;
+  }
+  PlanPtr p = MakeJoin(Win(0, 1000), Win(1, 1000), 0, 0);
+  AnnotatePatterns(p.get());
+
+  PlannerOptions off;  // Default: heavy_threshold resolves to disabled.
+  PlannerOptions zero;
+  zero.heavy_threshold = 0;
+  PlannerOptions on;
+  on.heavy_threshold = 8;
+
+  for (ExecMode mode :
+       {ExecMode::kUpa, ExecMode::kDirect, ExecMode::kNegativeTuple}) {
+    const double c_off = EstimatePlanCost(*p, cat, mode, off).total;
+    const double c_zero = EstimatePlanCost(*p, cat, mode, zero).total;
+    const double c_on = EstimatePlanCost(*p, cat, mode, on).total;
+    // <= 0 is the oracle path and must price identically to the default
+    // regardless of UPA_HEAVY_THRESHOLD in the environment (EXPLAIN
+    // transcripts are golden-filed under the CI env variant).
+    EXPECT_DOUBLE_EQ(c_off, c_zero) << ExecModeName(mode);
+    // Materialized heavy keys shrink the effective probed state: with
+    // 60% of probes hitting per-key copies the probe term drops.
+    EXPECT_LT(c_on, c_off) << ExecModeName(mode);
+  }
+}
+
+TEST(CostTest, HeavyThresholdIsNeutralWithoutSkew) {
+  // Uniform key column whose per-key mass stays below the promotion
+  // rule: the factor must be exactly 1 (no phantom discount at zipf 0).
+  Catalog cat = TwoLinkCatalog(1.0, 1000);
+  PlanPtr p = MakeJoin(Win(0, 100), Win(1, 100), 0, 0);
+  AnnotatePatterns(p.get());
+  PlannerOptions on;
+  on.heavy_threshold = 8;
+  EXPECT_DOUBLE_EQ(EstimatePlanCost(*p, cat, ExecMode::kUpa, on).total,
+                   EstimatePlanCost(*p, cat, ExecMode::kUpa, {}).total);
+}
+
+TEST(CostTest, HeavyThresholdDiscountsDistinctReplacement) {
+  // Single-key classic distinct under DIRECT: replacement scans of the
+  // stored input shrink when the key is skewed.
+  Catalog cat = TwoLinkCatalog(1.0, 50);
+  cat.streams[0].columns[0].value_freq[Value{int64_t{1}}] = 0.50;
+  PlanPtr p = MakeDistinct(Win(0, 1000), {0});
+  AnnotatePatterns(p.get());
+  PlannerOptions on;
+  on.heavy_threshold = 8;
+  EXPECT_LT(EstimatePlanCost(*p, cat, ExecMode::kDirect, on).total,
+            EstimatePlanCost(*p, cat, ExecMode::kDirect, {}).total);
+}
+
 TEST(CostTest, PrematureFrequencyFeedsStrategyChoice) {
   // A fast W2 relative to the value domain: most answer deletions are
   // caused by W2 arrivals (Section 5.4.3's "majority of deletions occur

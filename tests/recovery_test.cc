@@ -123,10 +123,19 @@ SqlScenario BuildScenario(uint64_t seed) {
   return s;
 }
 
-EngineOptions DurableOptions(const std::string& dir) {
+/// `heavy_threshold` >= 0 pins the heavy-light knob engine-wide
+/// (DESIGN.md Section 16); -1 defers to UPA_HEAVY_THRESHOLD (the CI env
+/// variant). Every third KillRecoverTest seed runs with it armed so the
+/// abrupt kill and the checkpoint barrier land while replicas hold
+/// promoted per-key state. Heavy/light membership is deliberately absent
+/// from checkpoints -- a recovered replica restarts with a cold sketch --
+/// and the differential below proves that is invisible in results.
+EngineOptions DurableOptions(const std::string& dir,
+                             int heavy_threshold = -1) {
   EngineOptions opts;
   opts.default_shards = 2;
   opts.check_invariants = true;
+  opts.heavy_threshold = heavy_threshold;
   opts.durability.dir = dir;
   opts.durability.wal_segment_bytes = 4096;  // Exercise segment rotation.
   return opts;
@@ -186,12 +195,13 @@ TEST_P(KillRecoverTest, RecoveredRunMatchesUninterruptedRunAndOracle) {
   for (const QuerySpec& q : s.queries) workload += "; " + q.sql;
   SCOPED_TRACE(workload);
   const Time final_t = s.trace.LastTs() + kDrain;
+  const int heavy = seed % 3 == 0 ? 2 : -1;
 
   // Run 1: durable and uninterrupted.
   std::vector<std::vector<std::vector<Value>>> want;
   TempDir dir_full("full" + std::to_string(seed));
   {
-    Engine engine(DurableOptions(dir_full.str()));
+    Engine engine(DurableOptions(dir_full.str(), heavy));
     DeclareAll(&engine);
     if (::testing::Test::HasFatalFailure()) return;
     for (const QuerySpec& q : s.queries) {
@@ -213,7 +223,7 @@ TEST_P(KillRecoverTest, RecoveredRunMatchesUninterruptedRunAndOracle) {
   TempDir dir_kill("kill" + std::to_string(seed));
   bool checkpointed = false;
   {
-    EngineOptions opts = DurableOptions(dir_kill.str());
+    EngineOptions opts = DurableOptions(dir_kill.str(), heavy);
     opts.durability.seal_on_close = false;
     Engine engine(opts);
     DeclareAll(&engine);
@@ -235,7 +245,7 @@ TEST_P(KillRecoverTest, RecoveredRunMatchesUninterruptedRunAndOracle) {
   // Recover and finish the run.
   durability::RecoveryReport rep;
   std::unique_ptr<Engine> engine = Engine::StartFromCheckpoint(
-      dir_kill.str(), DurableOptions(dir_kill.str()), &rep);
+      dir_kill.str(), DurableOptions(dir_kill.str(), heavy), &rep);
   ASSERT_NE(engine, nullptr);
   EXPECT_TRUE(rep.attempted);
   EXPECT_FALSE(rep.data_loss) << rep.note;

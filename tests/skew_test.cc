@@ -1,0 +1,634 @@
+// Zipf differential battery for heavy-light partitioned state
+// (DESIGN.md Section 16). Heavy-light partitioning is an execution
+// strategy, not a semantics: for every heavy threshold the engine must
+// produce results, digests, and operator counters identical to the
+// disabled-path oracle (heavy_threshold = 0, which constructs no
+// HeavyLightBuffer at all), which is itself pinned to the reference
+// evaluator -- the same differential structure batch_test.cc uses for
+// batched ingest. Four suites:
+//
+//   * SkewDifferentialTest -- the five paper queries replayed over LBL
+//     traces at source_zipf in {0, 0.8, 1.0, 1.4}, at heavy thresholds
+//     {2, 32} x batch sizes {1, 64}, against the threshold=0 run and the
+//     reference oracle: canonical rows and serde::RowsDigest at every
+//     snapshot barrier plus the final PipelineStats. At high skew with
+//     the low threshold the battery additionally asserts the mechanism
+//     actually engaged (promotions and heavy probe hits observed), so a
+//     silently-dead heavy path cannot pass.
+//   * SkewChaosTest -- 50 seeds of random plan + random trace at
+//     thresholds {0, 2, 32} x batch {1, 64}; all runs must agree with
+//     the reference oracle.
+//   * KeyFrequencyTrackerTest -- determinism, space bound, top-K order,
+//     and decay of the frequency sketch.
+//   * HeavyLightBufferTest -- order-replication properties probed
+//     directly against unwrapped control buffers for every ProbeOrder,
+//     including demote + re-promote reproducing identical enumeration
+//     state and negative-tuple erasure from heavy copies.
+//
+// All engine runs arm the update-pattern invariant checker, so a heavy
+// probe that violated an operator's Section 5.2 expiration contract
+// aborts rather than merely diffing.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/logical_plan.h"
+#include "engine/engine.h"
+#include "ref/reference.h"
+#include "state/heavy_light_buffer.h"
+#include "state/list_buffer.h"
+#include "state/partitioned_buffer.h"
+#include "state/serde.h"
+#include "tests/random_plan_util.h"
+#include "tests/test_util.h"
+#include "workload/lbl_generator.h"
+
+namespace upa {
+namespace {
+
+using testing_util::Canonical;
+using testing_util::RandomPlan;
+using testing_util::RandomTrace;
+using testing_util::RowsToString;
+using testing_util::T;
+
+constexpr Time kWindow = 60;
+constexpr int kLowThreshold = 2;
+constexpr int kHighThreshold = 32;
+
+void CollectStreams(const PlanNode& n, std::set<int>* out) {
+  if (n.kind == PlanOpKind::kStream || n.kind == PlanOpKind::kRelation) {
+    out->insert(n.stream_id);
+  }
+  for (const auto& c : n.children) CollectStreams(*c, out);
+}
+
+// --- The five paper queries over the LBL schema (batch_test shapes). ---
+
+PlanPtr Query1() {  // Join of selections on the source address.
+  auto side = [](int link) {
+    return MakeSelect(MakeWindow(MakeStream(link, LblSchema()), kWindow),
+                      {Predicate{kColProtocol, CmpOp::kEq,
+                                 Value{int64_t{kProtoTelnet}}}});
+  };
+  return MakeJoin(side(0), side(1), kColSrcIp, kColSrcIp);
+}
+
+PlanPtr Query2() {  // Distinct source addresses on one link.
+  return MakeDistinct(
+      MakeProject(MakeWindow(MakeStream(0, LblSchema()), kWindow),
+                  {kColSrcIp}),
+      {0});
+}
+
+PlanPtr Query3() {  // Negation of two links on the source address.
+  auto src = [](int link) {
+    return MakeProject(MakeWindow(MakeStream(link, LblSchema()), kWindow),
+                       {kColSrcIp});
+  };
+  return MakeNegate(src(0), src(1), 0, 0);
+}
+
+PlanPtr Query4() {  // Join of per-link distinct source addresses.
+  auto side = [](int link) {
+    return MakeDistinct(
+        MakeProject(MakeWindow(MakeStream(link, LblSchema()), kWindow),
+                    {kColSrcIp}),
+        {0});
+  };
+  return MakeJoin(side(0), side(1), 0, 0);
+}
+
+PlanPtr Query5() {  // Negation above a join (Figure 6 pull-up shape).
+  return MakeNegate(
+      MakeJoin(MakeProject(MakeWindow(MakeStream(0, LblSchema()), kWindow),
+                           {kColSrcIp}),
+               MakeSelect(MakeWindow(MakeStream(2, LblSchema()), kWindow),
+                          {Predicate{kColProtocol, CmpOp::kEq,
+                                     Value{int64_t{kProtoTelnet}}}}),
+               0, kColSrcIp),
+      MakeProject(MakeWindow(MakeStream(1, LblSchema()), kWindow), {0}), 0,
+      0);
+}
+
+struct PaperQuery {
+  std::string name;
+  PlanPtr (*make)();
+  std::vector<int> compare_cols;  ///< Empty = all (see engine_test.cc).
+  int links;
+};
+
+std::vector<PaperQuery> PaperQueries() {
+  std::vector<PaperQuery> qs;
+  qs.push_back({"q1", &Query1, {}, 2});
+  qs.push_back({"q2", &Query2, {}, 1});
+  qs.push_back({"q3", &Query3, {}, 2});
+  qs.push_back({"q4", &Query4, {}, 2});
+  qs.push_back({"q5", &Query5, {0}, 3});
+  return qs;
+}
+
+/// Everything one replay observes. Runs of the same query + trace at
+/// different heavy thresholds / batch sizes must compare equal on every
+/// field except `heavy` (the only counters the knob is allowed to move).
+struct RunRecord {
+  std::vector<std::vector<std::vector<Value>>> checkpoints;
+  std::vector<uint64_t> digests;
+  PipelineStats stats;
+  HeavyLightStats heavy;
+};
+
+/// Replays `trace` through an engine running `pq` with the given heavy
+/// threshold and batch size, snapshotting every 75 ticks plus a drain.
+RunRecord RunConfigured(const PaperQuery& pq, const Trace& trace,
+                        int heavy_threshold, size_t batch_size) {
+  PlanPtr plan = pq.make();
+  AnnotatePatterns(plan.get());
+
+  EngineOptions opts;
+  opts.default_shards = 2;
+  opts.queue_capacity = 256;
+  opts.max_batch = 32;
+  opts.batch_size = batch_size;
+  opts.check_invariants = true;
+  Engine engine(opts);
+  QueryOptions qopts;
+  // Explicit, including 0: the disabled leg must stay the oracle even
+  // when the suite itself runs under UPA_HEAVY_THRESHOLD (the CI env
+  // variant) -- only a negative value defers to the environment.
+  qopts.planner.heavy_threshold = heavy_threshold;
+  const RegisterResult reg =
+      engine.RegisterPlan(pq.name, std::move(plan), qopts);
+  EXPECT_TRUE(reg.ok) << reg.error;
+
+  RunRecord rec;
+  const Time checkpoint_every = 75;
+  Time next_checkpoint = checkpoint_every;
+  std::vector<Tuple> view;
+  auto snapshot_at = [&](Time ts) {
+    EXPECT_TRUE(engine.Snapshot(pq.name, &view, ts));
+    rec.checkpoints.push_back(Canonical(view, pq.compare_cols));
+    rec.digests.push_back(serde::RowsDigest(view));
+  };
+
+  size_t i = 0;
+  const size_t n = trace.events.size();
+  while (i < n) {
+    const Time ts = trace.events[i].tuple.ts;
+    while (i < n && trace.events[i].tuple.ts == ts) {
+      engine.Ingest(trace.events[i].stream, trace.events[i].tuple);
+      ++i;
+    }
+    if (ts >= next_checkpoint) {
+      next_checkpoint = ts + checkpoint_every;
+      snapshot_at(ts);
+    }
+  }
+  snapshot_at(trace.LastTs() + 2 * kWindow);  // Drain.
+  for (const QueryMetrics& qm : engine.Metrics().queries) {
+    if (qm.name == pq.name) rec.heavy = qm.heavy;
+  }
+  engine.Stop();
+  EXPECT_TRUE(engine.Stats(pq.name, &rec.stats));
+  return rec;
+}
+
+void ExpectSameRun(const PaperQuery& pq, const std::string& label,
+                   const RunRecord& got, const RunRecord& want) {
+  ASSERT_EQ(got.checkpoints.size(), want.checkpoints.size());
+  for (size_t c = 0; c < got.checkpoints.size(); ++c) {
+    EXPECT_EQ(got.checkpoints[c], want.checkpoints[c])
+        << pq.name << " " << label << " checkpoint " << c << "\nheavy:\n"
+        << RowsToString(got.checkpoints[c]) << "oracle:\n"
+        << RowsToString(want.checkpoints[c]);
+    EXPECT_EQ(got.digests[c], want.digests[c])
+        << pq.name << " " << label << " checkpoint " << c;
+  }
+  // Operator counters, not just views: a heavy probe that enumerated a
+  // different replacement representative or delivered extra (later-
+  // cancelled) tuples would diff here even with equal snapshots.
+  EXPECT_EQ(got.stats.ingested, want.stats.ingested) << pq.name;
+  EXPECT_EQ(got.stats.delivered, want.stats.delivered)
+      << pq.name << " " << label;
+  EXPECT_EQ(got.stats.negatives_delivered, want.stats.negatives_delivered)
+      << pq.name << " " << label;
+  EXPECT_EQ(got.stats.results_pos, want.stats.results_pos)
+      << pq.name << " " << label;
+  EXPECT_EQ(got.stats.results_neg, want.stats.results_neg)
+      << pq.name << " " << label;
+}
+
+class SkewDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkewDifferentialTest, PaperQueryMatchesDisabledOracleAcrossSkews) {
+  const PaperQuery pq =
+      std::move(PaperQueries()[static_cast<size_t>(GetParam())]);
+  for (double zipf : {0.0, 0.8, 1.0, 1.4}) {
+    LblTraceConfig cfg;
+    cfg.num_links = pq.links;
+    cfg.duration = 300;
+    cfg.num_sources = 40;
+    cfg.source_zipf = zipf;
+    const Trace trace = GenerateLblTrace(cfg);
+    SCOPED_TRACE(pq.name + " zipf=" + std::to_string(zipf));
+
+    // Reference oracle for the final view; the disabled-path engine run
+    // is additionally pinned to it per-checkpoint by engine_test.
+    PlanPtr oracle_plan = pq.make();
+    AnnotatePatterns(oracle_plan.get());
+    std::set<int> streams;
+    CollectStreams(*oracle_plan, &streams);
+    ReferenceEvaluator oracle(oracle_plan.get());
+    for (const TraceEvent& e : trace.events) {
+      if (streams.count(e.stream) > 0) oracle.Observe(e.stream, e.tuple);
+    }
+
+    const RunRecord base = RunConfigured(pq, trace, /*heavy_threshold=*/0, 1);
+    ASSERT_FALSE(base.checkpoints.empty());
+    ASSERT_GT(base.stats.ingested, 0u);  // The diff must cover real work.
+    EXPECT_EQ(base.heavy.heavy_keys + base.heavy.promotions, 0u)
+        << pq.name << ": disabled path must construct no heavy state";
+    EXPECT_EQ(base.checkpoints.back(),
+              Canonical(oracle.EvalAt(trace.LastTs() + 2 * kWindow),
+                        pq.compare_cols))
+        << pq.name << ": disabled path vs oracle";
+
+    for (int threshold : {kLowThreshold, kHighThreshold}) {
+      for (size_t batch : {size_t{1}, size_t{64}}) {
+        const std::string label = "threshold=" + std::to_string(threshold) +
+                                  " batch=" + std::to_string(batch);
+        const RunRecord got = RunConfigured(pq, trace, threshold, batch);
+        ExpectSameRun(pq, label, got, base);
+        // The skewed join must actually exercise the heavy path at the
+        // low threshold -- otherwise this battery would pass with the
+        // decorator silently never promoting.
+        if (pq.name == "q1" && zipf >= 1.0 && threshold == kLowThreshold &&
+            batch == 1) {
+          EXPECT_GT(got.heavy.promotions, 0u) << label;
+          EXPECT_GT(got.heavy.heavy_probe_hits, 0u) << label;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperQueries, SkewDifferentialTest,
+                         ::testing::Range(0, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return PaperQueries()[static_cast<size_t>(
+                                                     info.param)]
+                               .name;
+                         });
+
+// --- Random-plan sweep: the chaos corpus across heavy thresholds. ---
+
+constexpr Time kDrain = 40;
+
+struct Scenario {
+  PlanPtr plan;
+  Trace trace;
+  std::set<int> streams;
+};
+
+Scenario BuildScenario(uint64_t seed) {
+  Rng rng(seed);
+  Scenario s;
+  s.plan = RandomPlan(rng, static_cast<int>(1 + rng.NextBelow(2)));
+  AnnotatePatterns(s.plan.get());
+  s.trace = RandomTrace(rng, 120);
+  const std::function<void(const PlanNode&)> collect = [&](const PlanNode& n) {
+    if (n.kind == PlanOpKind::kStream) s.streams.insert(n.stream_id);
+    for (const auto& c : n.children) collect(*c);
+  };
+  collect(*s.plan);
+  return s;
+}
+
+std::vector<std::vector<Value>> RunScenario(uint64_t seed, int heavy_threshold,
+                                            size_t batch_size) {
+  Scenario s = BuildScenario(seed);
+  EngineOptions opts;
+  opts.default_shards = 2;
+  opts.queue_capacity = 64;
+  opts.max_batch = 8;
+  opts.batch_size = batch_size;
+  opts.check_invariants = true;
+  Engine engine(opts);
+  QueryOptions qopts;
+  qopts.planner.heavy_threshold = heavy_threshold;
+  const RegisterResult r = engine.RegisterPlan("q", std::move(s.plan), qopts);
+  EXPECT_TRUE(r.ok) << r.error;
+  engine.IngestTrace(s.trace);
+  engine.AdvanceTo(s.trace.LastTs() + kDrain);
+  std::vector<Tuple> view;
+  EXPECT_TRUE(engine.Snapshot("q", &view));
+  engine.Stop();
+  return Canonical(view);
+}
+
+class SkewChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SkewChaosTest, RandomPlanAgreesAcrossHeavyThresholds) {
+  const uint64_t seed = GetParam();
+  const Scenario s = BuildScenario(seed);
+  ASSERT_TRUE(IsValidPlan(*s.plan)) << s.plan->ToString();
+  SCOPED_TRACE("seed=" + std::to_string(seed) + "\n" + s.plan->ToString());
+
+  ReferenceEvaluator ref(s.plan.get());
+  for (const TraceEvent& e : s.trace.events) {
+    if (s.streams.count(e.stream) > 0) ref.Observe(e.stream, e.tuple);
+  }
+  const auto oracle = Canonical(ref.EvalAt(s.trace.LastTs() + kDrain));
+
+  for (int threshold : {0, kLowThreshold, kHighThreshold}) {
+    for (size_t batch : {size_t{1}, size_t{64}}) {
+      const auto rows = RunScenario(seed, threshold, batch);
+      EXPECT_EQ(rows, oracle)
+          << "threshold=" << threshold << " batch=" << batch << "\nengine:\n"
+          << RowsToString(rows) << "oracle:\n"
+          << RowsToString(oracle);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkewChaosTest,
+                         ::testing::Range<uint64_t>(1, 51));
+
+// --- Frequency sketch properties. ---
+
+TEST(KeyFrequencyTrackerTest, DeterministicForFixedIngestOrder) {
+  KeyFrequencyTracker a(32), b(32);
+  Rng rng(7);
+  std::vector<Value> observed;
+  for (int i = 0; i < 5000; ++i) {
+    // Quadratic skew: low values dominate, tail churns the sketch.
+    const int64_t v = static_cast<int64_t>(rng.NextBelow(20) *
+                                           (1 + rng.NextBelow(20)));
+    observed.emplace_back(v);
+  }
+  for (size_t i = 0; i < observed.size(); ++i) {
+    a.Observe(observed[i]);
+    b.Observe(observed[i]);
+    if (i % 500 == 499) {
+      a.Decay();
+      b.Decay();
+    }
+  }
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.HeavyKeys(1, 32), b.HeavyKeys(1, 32));
+  for (const Value& v : a.HeavyKeys(1, 32)) {
+    EXPECT_EQ(a.CountOf(v), b.CountOf(v));
+  }
+}
+
+TEST(KeyFrequencyTrackerTest, SpaceBoundHoldsUnderDistinctFlood) {
+  KeyFrequencyTracker t(16);
+  for (int64_t i = 0; i < 10000; ++i) {
+    t.Observe(Value{i});
+    ASSERT_LE(t.size(), 16u);
+  }
+  EXPECT_LE(t.HeavyKeys(1, 1000).size(), 16u);
+}
+
+TEST(KeyFrequencyTrackerTest, HeavyKeysOrderedAndTruncated) {
+  KeyFrequencyTracker t(8);
+  for (int i = 0; i < 9; ++i) t.Observe(Value{int64_t{3}});
+  for (int i = 0; i < 9; ++i) t.Observe(Value{int64_t{1}});  // Tie with 3.
+  for (int i = 0; i < 5; ++i) t.Observe(Value{int64_t{2}});
+  t.Observe(Value{int64_t{4}});
+
+  const auto all = t.HeavyKeys(1, 8);
+  ASSERT_EQ(all.size(), 4u);
+  // Count descending, key ascending on ties.
+  EXPECT_EQ(all[0], Value{int64_t{1}});
+  EXPECT_EQ(all[1], Value{int64_t{3}});
+  EXPECT_EQ(all[2], Value{int64_t{2}});
+  EXPECT_EQ(all[3], Value{int64_t{4}});
+
+  EXPECT_EQ(t.HeavyKeys(5, 8).size(), 3u);   // Threshold filter.
+  EXPECT_EQ(t.HeavyKeys(1, 2).size(), 2u);   // Top-K truncation.
+  EXPECT_EQ(t.HeavyKeys(1, 2)[0], Value{int64_t{1}});
+}
+
+TEST(KeyFrequencyTrackerTest, DecayHalvesAndEvictsCooledKeys) {
+  KeyFrequencyTracker t(8);
+  for (int i = 0; i < 8; ++i) t.Observe(Value{int64_t{1}});
+  t.Observe(Value{int64_t{2}});
+  t.Decay();
+  EXPECT_EQ(t.CountOf(Value{int64_t{1}}), 4u);
+  EXPECT_EQ(t.CountOf(Value{int64_t{2}}), 0u);  // 1 -> 0: evicted.
+  EXPECT_EQ(t.size(), 1u);
+  t.Decay();
+  t.Decay();
+  t.Decay();
+  EXPECT_EQ(t.size(), 0u);  // Fully cooled sketch frees all slots.
+}
+
+TEST(KeyFrequencyTrackerTest, SpaceSavingInheritsEvictedCount) {
+  KeyFrequencyTracker t(2);
+  for (int i = 0; i < 3; ++i) t.Observe(Value{int64_t{10}});
+  t.Observe(Value{int64_t{20}});
+  // Full sketch: 30 replaces the smallest resident (20, count 1) and
+  // inherits count + 1 = 2, the space-saving overestimate.
+  t.Observe(Value{int64_t{30}});
+  EXPECT_EQ(t.CountOf(Value{int64_t{20}}), 0u);
+  EXPECT_EQ(t.CountOf(Value{int64_t{30}}), 2u);
+  EXPECT_EQ(t.CountOf(Value{int64_t{10}}), 3u);
+}
+
+// --- Order-replication properties of the decorator. ---
+
+/// Canonical string of one enumerated tuple (fields + timing identity).
+std::string Row(const Tuple& t) {
+  std::string s = "[ts=" + std::to_string(t.ts) +
+                  " exp=" + std::to_string(t.exp) + "]";
+  for (const Value& v : t.fields) s += " " + ToString(v);
+  return s;
+}
+
+std::vector<std::string> MatchSequence(const StateBuffer& buf, int col,
+                                       const Value& v) {
+  std::vector<std::string> out;
+  buf.ForEachMatch(col, v, [&](const Tuple& t) { out.push_back(Row(t)); });
+  return out;
+}
+
+struct OrderCase {
+  std::string name;
+  HeavyLightBuffer::ProbeOrder order;
+  bool lazy = false;       ///< Partitioned cases only.
+  bool partitioned = false;
+};
+
+/// Builds the wrapped buffer and an identically-configured unwrapped
+/// control for one case. `partition_span` receives the geometry the
+/// decorator must replicate.
+std::unique_ptr<StateBuffer> MakeInner(const OrderCase& c) {
+  if (!c.partitioned) return std::make_unique<ListBuffer>();
+  auto part = std::make_unique<PartitionedBuffer>(4, kWindow);
+  if (c.lazy) part->SetLazy(kWindow / 4);
+  return part;
+}
+
+std::vector<OrderCase> OrderCases() {
+  return {
+      {"arrival_list", HeavyLightBuffer::ProbeOrder::kArrival, false, false},
+      {"partition_lazy", HeavyLightBuffer::ProbeOrder::kPartitionArrival,
+       true, true},
+      {"partition_eager", HeavyLightBuffer::ProbeOrder::kPartitionExp, false,
+       true},
+  };
+}
+
+TEST(HeavyLightBufferTest, HeavyProbesReplicateInnerEnumerationOrder) {
+  for (const OrderCase& c : OrderCases()) {
+    SCOPED_TRACE(c.name);
+    auto inner = MakeInner(c);
+    const Time block_span =
+        c.partitioned
+            ? static_cast<PartitionedBuffer*>(inner.get())->block_span()
+            : kWindow;
+    HeavyLightBuffer::Options opts;
+    opts.threshold = 2;
+    opts.epoch = kWindow / 4;
+    HeavyLightBuffer wrapped(std::move(inner), /*key_col=*/0, c.order,
+                             block_span, /*num_partitions=*/4, opts);
+    auto control = MakeInner(c);
+
+    Rng rng(11);
+    Time now = 0;
+    const auto step = [&](Time to) {
+      now = to;
+      wrapped.Advance(now, nullptr);
+      control->Advance(now, nullptr);
+    };
+    const auto probe_all = [&] {
+      for (int64_t k = 0; k < 6; ++k) {
+        EXPECT_EQ(MatchSequence(wrapped, 0, Value{k}),
+                  MatchSequence(*control, 0, Value{k}))
+            << c.name << " key " << k << " at t=" << now;
+      }
+    };
+
+    for (Time ts = 1; ts <= 4 * kWindow; ++ts) {
+      step(ts);
+      for (int j = 0; j < 2; ++j) {
+        // Skewed keys: 0 and 1 dominate and go heavy; 2..5 stay light.
+        const int64_t key = rng.NextBelow(3) != 0
+                                ? static_cast<int64_t>(rng.NextBelow(2))
+                                : static_cast<int64_t>(2 + rng.NextBelow(4));
+        const Tuple t = T({key, static_cast<int64_t>(ts)}, ts,
+                          ts + 1 + rng.NextInRange(0, kWindow - 2));
+        wrapped.Insert(t);
+        control->Insert(t);
+      }
+      probe_all();  // Trains the sketch and diffs every enumeration.
+    }
+    EXPECT_FALSE(wrapped.HeavyKeysForTest().empty())
+        << c.name << ": the skewed keys must actually promote";
+    // Drain: enumerations must track expiration exactly.
+    for (Time ts = 4 * kWindow + 1; ts <= 5 * kWindow + 2; ++ts) {
+      step(ts);
+      probe_all();
+    }
+    EXPECT_EQ(wrapped.LiveCount(), control->LiveCount());
+  }
+}
+
+TEST(HeavyLightBufferTest, DemoteThenRepromoteReproducesEnumerationState) {
+  HeavyLightBuffer::Options opts;
+  opts.threshold = 4;
+  opts.epoch = kWindow;  // Manual repartitioning via the test hook.
+  HeavyLightBuffer buf(std::make_unique<ListBuffer>(), 0,
+                       HeavyLightBuffer::ProbeOrder::kArrival, kWindow, 4,
+                       opts);
+  const Value key{int64_t{7}};
+  for (Time ts = 1; ts <= 10; ++ts) {
+    buf.Advance(ts, nullptr);
+    buf.Insert(T({7, static_cast<int64_t>(ts)}, ts, ts + kWindow));
+  }
+  for (int i = 0; i < 8; ++i) buf.ForEachMatch(0, key, [](const Tuple&) {});
+  // Second-chance admission: the first barrier only marks the key
+  // pending; the second confirms and promotes.
+  buf.RepartitionForTest();
+  ASSERT_TRUE(buf.HeavyKeysForTest().empty());
+  buf.RepartitionForTest();
+  ASSERT_EQ(buf.HeavyKeysForTest(), std::vector<Value>{key});
+
+  std::vector<std::string> before;
+  for (const Tuple& t : buf.HeavyEnumerationForTest(key)) {
+    before.push_back(Row(t));
+  }
+  ASSERT_EQ(before.size(), 10u);
+  ASSERT_EQ(before, MatchSequence(buf.inner(), 0, key));
+
+  // Each repartition decays the sketch; without fresh probes the key
+  // cools below the threshold and is demoted.
+  int rounds = 0;
+  while (!buf.HeavyKeysForTest().empty() && rounds < 10) {
+    buf.RepartitionForTest();
+    ++rounds;
+  }
+  ASSERT_TRUE(buf.HeavyKeysForTest().empty()) << "never demoted";
+  EXPECT_TRUE(buf.HeavyEnumerationForTest(key).empty());
+
+  // Re-promote (again via qualify-then-confirm): the rebuilt copy vector
+  // must equal the original one.
+  for (int i = 0; i < 8; ++i) buf.ForEachMatch(0, key, [](const Tuple&) {});
+  buf.RepartitionForTest();
+  buf.RepartitionForTest();
+  ASSERT_EQ(buf.HeavyKeysForTest(), std::vector<Value>{key});
+  std::vector<std::string> after;
+  for (const Tuple& t : buf.HeavyEnumerationForTest(key)) {
+    after.push_back(Row(t));
+  }
+  EXPECT_EQ(after, before);
+
+  HeavyLightStats hl;
+  buf.CollectHeavyLight(&hl);
+  EXPECT_EQ(hl.promotions, 2u);
+  EXPECT_EQ(hl.demotions, 1u);
+  EXPECT_EQ(hl.heavy_keys, 1u);
+}
+
+TEST(HeavyLightBufferTest, EraseOneMatchRemovesHeavyCopies) {
+  HeavyLightBuffer::Options opts;
+  opts.threshold = 2;
+  opts.epoch = kWindow;
+  HeavyLightBuffer buf(std::make_unique<ListBuffer>(), 0,
+                       HeavyLightBuffer::ProbeOrder::kArrival, kWindow, 4,
+                       opts);
+  ListBuffer control;
+  const Value key{int64_t{5}};
+  std::vector<Tuple> stored;
+  for (Time ts = 1; ts <= 6; ++ts) {
+    buf.Advance(ts, nullptr);
+    control.Advance(ts, nullptr);
+    const Tuple t = T({5, static_cast<int64_t>(ts)}, ts, ts + kWindow);
+    buf.Insert(t);
+    control.Insert(t);
+    stored.push_back(t);
+  }
+  for (int i = 0; i < 4; ++i) buf.ForEachMatch(0, key, [](const Tuple&) {});
+  buf.RepartitionForTest();  // Qualify (pending).
+  buf.RepartitionForTest();  // Confirm and promote.
+  ASSERT_EQ(buf.HeavyKeysForTest(), std::vector<Value>{key});
+
+  // Negative-tuple-style erasure of a middle element must hit the heavy
+  // copy too, keeping the decorated enumeration equal to the control's.
+  ASSERT_TRUE(buf.EraseOneMatch(stored[2]));
+  ASSERT_TRUE(control.EraseOneMatch(stored[2]));
+  EXPECT_EQ(MatchSequence(buf, 0, key), MatchSequence(control, 0, key));
+  EXPECT_EQ(buf.HeavyEnumerationForTest(key).size(), 5u);
+  EXPECT_FALSE(buf.EraseOneMatch(stored[2]));  // Already gone.
+}
+
+}  // namespace
+}  // namespace upa
