@@ -9,6 +9,15 @@
 //                            subscriber per client, so every batch also
 //                            pays the subscription fan-out.
 //
+//   BM_NetReconnectChurn   : the same ingest+subscribe path while the
+//                            client deliberately drops its connection
+//                            every N wire batches and rides its
+//                            reconnect-with-resume machinery back
+//                            (session lease + replay ring on). Arg 0 is
+//                            the no-churn baseline; the counters report
+//                            how many reconnects/resumes the run paid
+//                            and what that did to tuples/sec.
+//
 // Small batches are dominated by the per-frame round trip; the batch
 // knob shows where the protocol amortizes away.
 
@@ -157,6 +166,104 @@ void BM_NetEngineBatchSweep(benchmark::State& state) {
                /*num_clients=*/1, static_cast<size_t>(state.range(0)));
 }
 
+// Reconnect churn (robustness cost model): one client ingesting
+// 128-tuple wire batches into a resumption-enabled server, dropping its
+// own connection every `churn` batches. Each drop pays a reconnect
+// handshake plus a resume (ring replay of whatever the subscription
+// missed), so the throughput delta against churn:0 prices the fault
+// path end to end.
+void BM_NetReconnectChurn(benchmark::State& state) {
+  const size_t batch_size = 128;
+  const int64_t churn = state.range(0);  // Batches between drops; 0 = never.
+  const Trace& trace = LblTrace(1, 4000);
+  auto& collector = bench_json::Collector::Global();
+  for (auto _ : state) {
+    EngineOptions eopts;
+    eopts.default_shards = 2;
+    Engine engine(eopts);
+    net::ServerOptions sopts;
+    sopts.port = 0;
+    sopts.session_lease_ms = 10000;
+    sopts.replay_ring_bytes = 1 << 20;
+    net::Server server(&engine, sopts);
+    std::string err;
+    if (!server.Start(&err)) {
+      state.SkipWithError("server start failed");
+      return;
+    }
+    net::Client client;
+    net::ReconnectPolicy policy;
+    policy.enabled = true;
+    policy.max_attempts = 10;
+    policy.backoff_base_ms = 1;
+    policy.backoff_max_ms = 50;
+    policy.jitter_seed = 7;
+    client.set_reconnect(policy);
+    bool ok = client.Connect("127.0.0.1", server.port(), &err);
+    const int64_t link0 =
+        ok ? client.DeclareStream("link0", LblSchema(), &err) : -1;
+    ok = ok && link0 >= 0 &&
+         client.RegisterQuery("sources",
+                              "SELECT DISTINCT src_ip FROM link0 [RANGE 800]",
+                              0, nullptr, &err) &&
+         client.Subscribe("sources", &err) != nullptr;
+    if (!ok) {
+      state.SkipWithError("client setup failed");
+      return;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::pair<uint32_t, Tuple>> batch;
+    batch.reserve(batch_size);
+    int64_t batches = 0;
+    for (const TraceEvent& e : trace.events) {
+      batch.emplace_back(static_cast<uint32_t>(link0), e.tuple);
+      if (batch.size() >= batch_size) {
+        if (!client.IngestBatch(batch, &err)) {
+          state.SkipWithError("ingest failed");
+          return;
+        }
+        batch.clear();
+        if (churn > 0 && ++batches % churn == 0) client.Disconnect();
+      }
+    }
+    if (!batch.empty() && !client.IngestBatch(batch, &err)) {
+      state.SkipWithError("ingest failed");
+      return;
+    }
+    client.Flush(&err);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const net::ClientStats cs = client.stats();
+    client.Close();
+    server.Stop();
+    engine.Stop();
+
+    state.SetIterationTime(secs);
+    const double tuples = static_cast<double>(trace.events.size());
+    state.counters["ktuples_per_s"] = tuples / secs / 1000.0;
+    state.counters["reconnects"] = static_cast<double>(cs.reconnects);
+    state.counters["resumes"] = static_cast<double>(cs.resumes);
+    state.counters["resume_replays"] = static_cast<double>(cs.resume_replays);
+    state.counters["resume_snapshots"] =
+        static_cast<double>(cs.resume_snapshots);
+
+    bench_json::Run run;
+    run.family = "BM_NetReconnectChurn";
+    run.name = run.family + "/churn:" + std::to_string(churn);
+    run.args = {churn};
+    run.wall_seconds = secs;
+    run.counters["ktuples_per_s"] = state.counters["ktuples_per_s"];
+    run.counters["reconnects"] = state.counters["reconnects"];
+    run.counters["resumes"] = state.counters["resumes"];
+    run.counters["resume_replays"] = state.counters["resume_replays"];
+    run.counters["resume_snapshots"] = state.counters["resume_snapshots"];
+    collector.Add(std::move(run));
+  }
+}
+
 BENCHMARK(BM_NetIngestThroughput)
     ->ArgsProduct({{16, 128, 1024}, {1, 4}})
     ->UseManualTime()
@@ -167,6 +274,12 @@ BENCHMARK(BM_NetEngineBatchSweep)
     ->Arg(64)
     ->Arg(256)
     ->Arg(1024)
+    ->UseManualTime()
+    ->Iterations(1);
+BENCHMARK(BM_NetReconnectChurn)
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(2)
     ->UseManualTime()
     ->Iterations(1);
 

@@ -74,6 +74,21 @@ int Usage(const char* argv0) {
       "                        (default: run until SIGINT/SIGTERM)\n"
       "  --sql                 serve mode: accept text-SQL sessions\n"
       "                        (kSqlExec; pair with examples/upa_sql)\n"
+      "  --session-lease-ms <ms>\n"
+      "                        serve mode: keep a disconnected subscriber's\n"
+      "                        session resumable for ms milliseconds\n"
+      "                        (default 10000; 0 disables resumption;\n"
+      "                        UPA_SESSION_LEASE_MS overrides the default)\n"
+      "  --replay-ring-bytes <n>\n"
+      "                        serve mode: per-session replay buffer cap in\n"
+      "                        bytes (default 1048576). A resume whose\n"
+      "                        deltas were evicted from the ring falls back\n"
+      "                        to a consistent snapshot catch-up instead of\n"
+      "                        replay -- same answers, more bytes; watch\n"
+      "                        upa_net_replay_ring_overruns_total\n"
+      "  --heartbeat-ms <ms>   serve mode: ping idle subscribers every ms\n"
+      "                        milliseconds and detach peers silent for 4x\n"
+      "                        that long into their lease (default 0 = off)\n"
       "  --durable-dir <dir>   enable WAL + checkpoints under dir\n"
       "  --recover             resume from the last checkpoint in\n"
       "                        --durable-dir instead of starting fresh\n"
@@ -112,6 +127,12 @@ int main(int argc, char** argv) {
   std::string durable_dir;
   bool recover = false;
   bool enable_sql = false;
+  long session_lease_ms = 10000;  // Serve mode default: resumption on.
+  long replay_ring_bytes = 1 << 20;
+  long heartbeat_ms = 0;
+  if (const char* env = std::getenv("UPA_SESSION_LEASE_MS")) {
+    ParseInt(env, &session_lease_ms);
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -148,6 +169,25 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       durable_dir = argv[++i];
+    } else if (std::strcmp(arg, "--session-lease-ms") == 0) {
+      if (!has_value || !ParseInt(argv[++i], &session_lease_ms) ||
+          session_lease_ms < 0) {
+        std::fprintf(stderr,
+                     "--session-lease-ms requires a duration in ms\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--replay-ring-bytes") == 0) {
+      if (!has_value || !ParseInt(argv[++i], &replay_ring_bytes) ||
+          replay_ring_bytes < 0) {
+        std::fprintf(stderr, "--replay-ring-bytes requires a byte count\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--heartbeat-ms") == 0) {
+      if (!has_value || !ParseInt(argv[++i], &heartbeat_ms) ||
+          heartbeat_ms < 0) {
+        std::fprintf(stderr, "--heartbeat-ms requires a duration in ms\n");
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(arg, "--recover") == 0) {
       recover = true;
     } else if (std::strcmp(arg, "--sql") == 0) {
@@ -193,6 +233,9 @@ int main(int argc, char** argv) {
     sopts.port = static_cast<int>(serve_port);
     sopts.metrics_port = static_cast<int>(metrics_port);
     sopts.enable_sql = enable_sql;
+    sopts.session_lease_ms = session_lease_ms;
+    sopts.replay_ring_bytes = static_cast<size_t>(replay_ring_bytes);
+    sopts.heartbeat_ms = static_cast<int>(heartbeat_ms);
     net::Server server(&engine, sopts);
     std::string err;
     if (!server.Start(&err)) {
@@ -200,6 +243,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("listening on 127.0.0.1:%d\n", server.port());
+    if (session_lease_ms > 0) {
+      std::printf("session resumption: lease %ld ms, replay ring %ld bytes"
+                  "%s\n",
+                  session_lease_ms, replay_ring_bytes,
+                  heartbeat_ms > 0 ? ", heartbeats on" : "");
+    } else {
+      std::printf("session resumption: disabled\n");
+    }
     if (server.metrics_port() >= 0) {
       std::printf("serving /metrics on http://127.0.0.1:%d/metrics\n",
                   server.metrics_port());

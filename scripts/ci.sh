@@ -116,6 +116,21 @@ grep -q "graceful shutdown complete" "$SMOKE_LOG" || {
   exit 1
 }
 
+# Fault-socket soak: a fixed slice of the seeded network chaos
+# differential (tests/net_chaos_test.cc), run serially on top of the
+# full-suite pass above. Every seed pushes a faulted, reconnecting
+# subscriber through the deterministic FaultProxy (injected RSTs,
+# stalls, split/coalesced frames) and requires the faulted mirror, a
+# clean mirror, the Snapshot RPC and the reference oracle to agree,
+# with the resume/replay/snapshot accounting balancing exactly. The
+# fixed seeds cover both the ring-replay and the snapshot-fallback
+# resume paths; under UPA_TSAN=1 this same stage puts the client's
+# reconnect machinery and the server's writer/adoption paths under the
+# race detector.
+echo "ci.sh: fault-socket soak (fixed seeds)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j 1 \
+  -R 'NetChaosSoak|Seeds/NetChaosTest\..*/(2|6|11|24|41)$'
+
 # SQL session smoke: a --sql engine_server on an ephemeral port, driven
 # by the upa_sql shell with a scripted DDL + register + introspection +
 # subscribe exchange. The transcript (including the EXPLAIN cost table)

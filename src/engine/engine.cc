@@ -621,6 +621,43 @@ bool Engine::Subscribe(const std::string& name, SubscriptionCallback callback,
   return true;
 }
 
+bool Engine::Resubscribe(const std::string& name, uint64_t id,
+                         SubscriptionCallback callback,
+                         std::vector<Tuple>* snapshot) {
+  FlushHeld();
+  const Time ts = clock();
+  // Same attach discipline as Subscribe: producers are locked out for
+  // the whole swap, so the snapshot and the callback handoff are one
+  // atomic step -- no delta is lost to the old callback or duplicated
+  // to the new one.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  FlushPendingLocked();
+  RegisteredQuery* q = registry_.Find(name);
+  if (q == nullptr) return false;
+  SubscriptionHub* hub = &q->hub();
+  if (!hub->Remove(id)) return false;
+  std::vector<std::vector<Tuple>> parts(static_cast<size_t>(q->num_shards()));
+  if (!BarrierQuery(q, ts, [hub, &parts](int shard, Pipeline& p) {
+        p.SetDeltaSink([hub](const Tuple& t) {
+          if (hub->active()) hub->EmitDelta(t);
+        });
+        parts[static_cast<size_t>(shard)] = p.view().Snapshot();
+      })) {
+    return false;
+  }
+  hub->attached_restarts = q->TotalRestarts();
+  if (snapshot != nullptr) {
+    snapshot->clear();
+    for (auto& part : parts) {
+      snapshot->insert(snapshot->end(),
+                       std::make_move_iterator(part.begin()),
+                       std::make_move_iterator(part.end()));
+    }
+  }
+  hub->Add(id, std::move(callback));
+  return true;
+}
+
 const RegisteredQuery* Engine::FindQuery(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return registry_.Find(name);

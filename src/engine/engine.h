@@ -252,6 +252,17 @@ class Engine {
   bool Subscribe(const std::string& name, SubscriptionCallback callback,
                  SubscriptionInfo* info);
 
+  /// Re-couples existing subscription `id` on query `name` to a new
+  /// callback, capturing a consistent snapshot at the same barrier that
+  /// installs the callback (the same no-lost/no-duplicated-delta window
+  /// as Subscribe). The id is stable: deltas emitted after the barrier
+  /// flow to `callback`; nothing flows to the old one. Backs the
+  /// network layer's resume snapshot-fallback (DESIGN.md Section 17).
+  /// Returns false if the query or id is unknown.
+  bool Resubscribe(const std::string& name, uint64_t id,
+                   SubscriptionCallback callback,
+                   std::vector<Tuple>* snapshot);
+
   /// Detaches subscription `id` from query `name`. On return no
   /// callback for it is in flight and none will fire again. Returns
   /// false if the query or id is unknown.

@@ -22,6 +22,10 @@ std::string FaultKindName(FaultKind kind) {
       return "reorder-ingest";
     case FaultKind::kTornWalWrite:
       return "torn-wal-write";
+    case FaultKind::kNetRst:
+      return "net-rst";
+    case FaultKind::kNetDelay:
+      return "net-delay";
   }
   return "?";
 }
@@ -121,6 +125,43 @@ bool FaultInjector::TearWalWrite(size_t frame_bytes, size_t* keep_bytes) {
   return false;
 }
 
+FaultInjector::NetAction FaultInjector::OnNetBytes(int dir, size_t n) {
+  NetAction action;
+  if (dir != 0 && dir != 1) return action;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t count = (net_bytes_[dir] += n);
+  for (PendingEvent& p : schedule_) {
+    if (p.event.kind != FaultKind::kNetRst &&
+        p.event.kind != FaultKind::kNetDelay) {
+      continue;
+    }
+    if (p.event.shard >= 0 && p.event.shard != dir) continue;
+    if (p.event.kind == FaultKind::kNetDelay && p.event.repeat) {
+      // Re-fires each time the counter crosses a multiple of at_count
+      // (chunk granularity: one firing per crossing, however large the
+      // chunk).
+      if (p.event.at_count == 0) continue;
+      if (count / p.event.at_count == (count - n) / p.event.at_count) continue;
+      ++fired_[FaultKind::kNetDelay];
+      action.delay_ms += p.event.param;
+      continue;
+    }
+    if (p.fired || count < p.event.at_count) continue;
+    if (p.event.kind == FaultKind::kNetRst) {
+      // At most one reset per call: the triggering chunk kills one
+      // connection, so a second due event stays armed for a later chunk
+      // and fired(kNetRst) matches the resets actually injected.
+      if (action.rst) continue;
+      action.rst = true;
+    } else {
+      action.delay_ms += p.event.param;
+    }
+    p.fired = true;
+    ++fired_[p.event.kind];
+  }
+  return action;
+}
+
 uint64_t FaultInjector::fired(FaultKind kind) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = fired_.find(kind);
@@ -185,6 +226,39 @@ std::vector<FaultEvent> FaultInjector::RandomSchedule(
       e.at_count = 1 + rng.NextBelow(span);
       schedule.push_back(e);
     }
+  }
+  return schedule;
+}
+
+std::vector<FaultEvent> FaultInjector::RandomNetSchedule(
+    uint64_t seed, uint64_t expected_bytes_c2s, uint64_t expected_bytes_s2c) {
+  Rng rng(seed);
+  std::vector<FaultEvent> schedule;
+  const uint64_t span[2] = {expected_bytes_c2s > 2 ? expected_bytes_c2s : 2,
+                            expected_bytes_s2c > 2 ? expected_bytes_s2c : 2};
+  // One to three connection resets at random byte offsets: the core
+  // reconnect-with-resume scenario. Biased toward the fat
+  // server->client direction, where a reset can strand replayable
+  // subscription frames.
+  const int rsts = 1 + static_cast<int>(rng.NextBelow(3));
+  for (int i = 0; i < rsts; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kNetRst;
+    e.shard = rng.NextBool(0.35) ? 0 : 1;
+    e.at_count = 1 + rng.NextBelow(span[e.shard]);
+    schedule.push_back(e);
+  }
+  // A recurring short stall on one direction: stretches frames across
+  // the reconnect window and exercises the client's whole-frame read
+  // deadline.
+  if (rng.NextBool(0.6)) {
+    FaultEvent e;
+    e.kind = FaultKind::kNetDelay;
+    e.shard = static_cast<int>(rng.NextBelow(2));
+    e.at_count = 1 + span[e.shard] / (2 + rng.NextBelow(6));
+    e.param = 1 + static_cast<int>(rng.NextBelow(3));
+    e.repeat = true;
+    schedule.push_back(e);
   }
   return schedule;
 }

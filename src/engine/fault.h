@@ -43,6 +43,17 @@ enum class FaultKind {
   /// the whole frame away). Recovery must detect the torn frame and
   /// replay exactly the records before it.
   kTornWalWrite,
+  /// The network fault proxy (src/net/fault_socket.h) resets the
+  /// connection (TCP RST) once its per-direction forwarded-byte counter
+  /// reaches at_count; `shard` is the direction (0 = client->server,
+  /// 1 = server->client, -1 = either). Counting bytes, not kernel read
+  /// chunks, keeps the trigger deterministic under arbitrary
+  /// segmentation.
+  kNetRst,
+  /// The proxy stalls forwarding for `param` milliseconds at the byte
+  /// threshold (same direction encoding), simulating congestion; with
+  /// `repeat` the stall re-fires every at_count bytes.
+  kNetDelay,
 };
 
 std::string FaultKindName(FaultKind kind);
@@ -94,6 +105,20 @@ class FaultInjector {
   /// the crash (the event's `param`, clamped to [0, frame_bytes)).
   bool TearWalWrite(size_t frame_bytes, size_t* keep_bytes);
 
+  /// What the network fault proxy should do after forwarding `n` more
+  /// bytes in direction `dir` (0 = client->server, 1 = server->client).
+  /// rst and delay_ms can both be set; the proxy delays, then resets.
+  struct NetAction {
+    bool rst = false;
+    int delay_ms = 0;
+  };
+
+  /// Proxy hook, called once per forwarded chunk. Cumulative
+  /// per-direction byte counters decide firing, so the schedule is
+  /// deterministic in the byte stream regardless of how the kernel
+  /// segments it.
+  NetAction OnNetBytes(int dir, size_t n);
+
   /// Faults of `kind` that have fired so far.
   uint64_t fired(FaultKind kind) const;
   uint64_t total_fired() const;
@@ -105,6 +130,14 @@ class FaultInjector {
   static std::vector<FaultEvent> RandomSchedule(
       uint64_t seed, const std::vector<std::string>& queries, int shards,
       uint64_t expected_events, bool ingest_faults);
+
+  /// Seeded random network schedule: a few connection resets and stalls
+  /// at random byte offsets of a run expected to move about
+  /// `expected_bytes_c2s` / `expected_bytes_s2c` bytes per direction.
+  /// Deterministic in `seed`; drives FaultProxy via OnNetBytes.
+  static std::vector<FaultEvent> RandomNetSchedule(uint64_t seed,
+                                                   uint64_t expected_bytes_c2s,
+                                                   uint64_t expected_bytes_s2c);
 
  private:
   struct PendingEvent {
@@ -118,6 +151,7 @@ class FaultInjector {
   std::map<std::pair<std::string, int>, uint64_t> batch_counts_;
   uint64_t ingest_count_ = 0;
   uint64_t wal_count_ = 0;
+  uint64_t net_bytes_[2] = {0, 0};  ///< Forwarded bytes per direction.
   std::map<FaultKind, uint64_t> fired_;
 };
 

@@ -12,6 +12,8 @@
 #include <arpa/inet.h>
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace upa {
 namespace net {
@@ -19,6 +21,13 @@ namespace {
 
 void SetError(std::string* error, std::string text) {
   if (error != nullptr) *error = std::move(text);
+}
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
 }
 
 }  // namespace
@@ -89,6 +98,13 @@ void SubscriptionMirror::ApplyWatermark(Time t) {
               rows_.end());
 }
 
+bool SubscriptionMirror::AcceptSeq(uint64_t seq) {
+  if (seq == 0) return true;  // Pre-v3 frame: no dedup possible.
+  if (seq <= last_seq_) return false;
+  last_seq_ = seq;
+  return true;
+}
+
 std::vector<Tuple> SubscriptionMirror::Rows() const {
   if (view_kind_ != ViewDeltaKind::kGroupReplace) return rows_;
   std::vector<Tuple> out;
@@ -106,15 +122,36 @@ std::vector<Tuple> SubscriptionMirror::Rows() const {
 Client::~Client() { Close(); }
 
 void Client::Close() {
+  DropSocket();
+  subs_.clear();
+  token_ = 0;
+  resume_candidates_.clear();
+}
+
+void Client::Disconnect() { DropSocket(); }
+
+void Client::DropSocket() {
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
   inbuf_.clear();
-  subs_.clear();
 }
 
 bool Client::Connect(const std::string& host, int port, std::string* error,
                      const std::string& client_name) {
   Close();
+  host_ = host;
+  port_ = port;
+  client_name_ = client_name;
+  jitter_state_ = reconnect_.jitter_seed;
+  if (!ConnectSocket(error)) return false;
+  if (!Handshake(error)) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::ConnectSocket(std::string* error) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     SetError(error, "socket: " + std::string(strerror(errno)));
@@ -122,16 +159,16 @@ bool Client::Connect(const std::string& host, int port, std::string* error,
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     // Not a literal address: resolve (numeric service keeps this cheap).
     addrinfo hints{};
     hints.ai_family = AF_INET;
     hints.ai_socktype = SOCK_STREAM;
     addrinfo* res = nullptr;
-    if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+    if (::getaddrinfo(host_.c_str(), nullptr, &hints, &res) != 0 ||
         res == nullptr) {
-      SetError(error, "cannot resolve host '" + host + "'");
+      SetError(error, "cannot resolve host '" + host_ + "'");
       ::close(fd);
       return false;
     }
@@ -140,7 +177,7 @@ bool Client::Connect(const std::string& host, int port, std::string* error,
     ::freeaddrinfo(res);
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    SetError(error, "connect " + host + ":" + std::to_string(port) + ": " +
+    SetError(error, "connect " + host_ + ":" + std::to_string(port_) + ": " +
                         strerror(errno));
     ::close(fd);
     return false;
@@ -148,23 +185,40 @@ bool Client::Connect(const std::string& host, int port, std::string* error,
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
+  inbuf_.clear();
+  return true;
+}
 
+bool Client::Handshake(std::string* error) {
   Message hello;
   hello.type = MsgType::kHello;
   hello.version = kProtocolVersion;
-  hello.name = client_name;
-  Message ack;
-  if (!Call(&hello, &ack, error)) {
-    Close();
-    return false;
+  hello.name = client_name_;
+  hello.req_id = next_req_id_++;
+  if (!SendAll(EncodeFrame(hello), error)) return false;
+  for (;;) {
+    Message m;
+    if (ReadFrame(&m, -1, error) <= 0) return false;
+    if (m.req_id == 0) {
+      DispatchPush(m);
+      continue;
+    }
+    if (m.req_id != hello.req_id) {
+      SetError(error, "response for unexpected request id");
+      return false;
+    }
+    if (m.type == MsgType::kError) {
+      SetError(error, m.text);
+      return false;
+    }
+    if (m.type != MsgType::kHelloAck || m.version != kProtocolVersion) {
+      SetError(error, "handshake failed");
+      return false;
+    }
+    server_name_ = m.name;
+    token_ = m.token;
+    return true;
   }
-  if (ack.type != MsgType::kHelloAck || ack.version != kProtocolVersion) {
-    SetError(error, "handshake failed");
-    Close();
-    return false;
-  }
-  server_name_ = ack.name;
-  return true;
 }
 
 bool Client::SendAll(const std::string& bytes, std::string* error) {
@@ -184,6 +238,12 @@ bool Client::SendAll(const std::string& bytes, std::string* error) {
 }
 
 int Client::ReadFrame(Message* out, int timeout_ms, std::string* error) {
+  // The timeout is a whole-frame deadline: partial reads, pushes and
+  // EINTR wake-ups shrink the residual wait instead of restarting it, so
+  // a server trickling bytes cannot stretch a 50ms timeout indefinitely.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms >= 0 ? timeout_ms
+                                                                  : 0);
   for (;;) {
     size_t consumed = 0;
     const DecodeStatus st =
@@ -196,8 +256,16 @@ int Client::ReadFrame(Message* out, int timeout_ms, std::string* error) {
       SetError(error, "corrupt frame from server");
       return -1;
     }
+    int wait = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left <= 0 && timeout_ms != 0) return 0;
+      wait = left > 0 ? static_cast<int>(left) : 0;
+    }
     pollfd p{fd_, POLLIN, 0};
-    const int pr = ::poll(&p, 1, timeout_ms);
+    const int pr = ::poll(&p, 1, wait);
     if (pr == 0) return 0;
     if (pr < 0) {
       if (errno == EINTR) continue;
@@ -218,17 +286,38 @@ int Client::ReadFrame(Message* out, int timeout_ms, std::string* error) {
 }
 
 void Client::DispatchPush(const Message& m) {
+  if (m.type == MsgType::kPing) {
+    // Server heartbeat (req_id 0): answer in-line so liveness holds even
+    // while this thread is blocked inside a long Call.
+    Message pong;
+    pong.type = MsgType::kPong;
+    std::string ignored;
+    SendAll(EncodeFrame(pong), &ignored);
+    return;
+  }
   auto it = subs_.find(m.sub_id);
   if (it == subs_.end()) return;  // Already unsubscribed; stale push.
   SubscriptionMirror* sub = it->second.get();
   switch (m.type) {
     case MsgType::kSubData:
+      if (!sub->AcceptSeq(m.seq)) {
+        ++stats_.frames_deduped;
+        break;
+      }
       for (const Tuple& t : m.tuples) sub->ApplyDelta(t);
       break;
     case MsgType::kSubWatermark:
+      if (!sub->AcceptSeq(m.seq)) {
+        ++stats_.frames_deduped;
+        break;
+      }
       sub->ApplyWatermark(m.time);
       break;
     case MsgType::kSubReset:
+      if (!sub->AcceptSeq(m.seq)) {
+        ++stats_.frames_deduped;
+        break;
+      }
       // Post-recovery resynchronization: the snapshot supersedes
       // everything applied so far.
       ++sub->resets_applied_;
@@ -243,29 +332,182 @@ void Client::DispatchPush(const Message& m) {
 }
 
 bool Client::Call(Message* req, Message* resp, std::string* error) {
-  if (fd_ < 0) {
-    SetError(error, "not connected");
-    return false;
-  }
+  // Bounded resend cycles: each transport loss costs one full Reconnect
+  // (itself backoff-bounded), so this caps pathological connect-then-die
+  // loops, not ordinary retries.
+  const bool may_retry = reconnect_.enabled && !in_reconnect_;
   req->req_id = next_req_id_++;
-  if (!SendAll(EncodeFrame(*req), error)) return false;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    if (fd_ < 0) {
+      if (!may_retry || host_.empty()) {
+        SetError(error, "not connected");
+        return false;
+      }
+      if (!Reconnect(error)) return false;
+    }
+    if (cycle > 0 &&
+        (req->type == MsgType::kSubscribe || req->type == MsgType::kSqlExec)) {
+      // The resume's orphan sweep tore down whatever a lost kSubscribe /
+      // kSqlExec created, and replaying the cached ack would hand back a
+      // dead sub_id -- force re-execution under a fresh id. Idempotent
+      // requests keep their req_id so the server's one-deep response
+      // cache absorbs a duplicate execution.
+      req->req_id = next_req_id_++;
+    }
+    bool transport_lost = false;
+    if (!SendAll(EncodeFrame(*req), error)) {
+      transport_lost = true;
+    } else {
+      for (;;) {
+        Message m;
+        const int r = ReadFrame(&m, -1, error);
+        if (r <= 0) {
+          transport_lost = true;
+          break;
+        }
+        if (m.req_id == 0) {
+          DispatchPush(m);
+          continue;
+        }
+        if (m.req_id != req->req_id) {
+          SetError(error, "response for unexpected request id");
+          return false;
+        }
+        if (m.type == MsgType::kError) {
+          SetError(error, m.text);
+          return false;
+        }
+        *resp = std::move(m);
+        return true;
+      }
+    }
+    if (!transport_lost) return false;
+    DropSocket();
+    if (!may_retry) return false;
+  }
+  SetError(error, "connection kept failing across reconnects");
+  return false;
+}
+
+bool Client::Reconnect(std::string* error) {
+  if (in_reconnect_) return false;
+  in_reconnect_ = true;
+  struct Guard {
+    bool& flag;
+    ~Guard() { flag = false; }
+  } guard{in_reconnect_};
+
+  int backoff = reconnect_.backoff_base_ms;
+  for (int attempt = 1;; ++attempt) {
+    DropSocket();
+    // The dying session's token may still own our subscriptions under
+    // the server's lease. Keep every such token and try the newest
+    // first: a connection that died *mid-resume* may already have been
+    // adopted into server-side, making its token the live owner, while
+    // the older token covers the case where the resume never arrived.
+    if (token_ != 0 && !subs_.empty()) {
+      auto& c = resume_candidates_;
+      if (std::find(c.begin(), c.end(), token_) == c.end()) {
+        c.insert(c.begin(), token_);
+        if (c.size() > 4) c.resize(4);
+      }
+    }
+    token_ = 0;
+
+    std::string err;
+    if (ConnectSocket(&err) && Handshake(&err)) {
+      ++stats_.reconnects;
+      if (resume_candidates_.empty() || subs_.empty()) return true;
+      bool transport_ok = true;
+      for (uint64_t candidate : resume_candidates_) {
+        bool accepted = false;
+        if (!TryResume(candidate, &accepted, &err)) {
+          // Transport died mid-resume; loop back, reconnect, and try
+          // again (the fresh token just joined the candidate list).
+          transport_ok = false;
+          break;
+        }
+        if (accepted) {
+          resume_candidates_.clear();
+          return true;
+        }
+      }
+      if (transport_ok) {
+        // Every candidate was rejected: the lease expired (or the
+        // server restarted). The connection itself is healthy; the
+        // subscriptions are gone, which the mirrors report as dropped.
+        for (auto& [sub_id, sub] : subs_) {
+          if (!sub->dropped_) {
+            sub->dropped_ = true;
+            ++stats_.resume_lost;
+          }
+        }
+        resume_candidates_.clear();
+        return true;
+      }
+    }
+    DropSocket();
+    if (attempt >= reconnect_.max_attempts) {
+      SetError(error, "reconnect failed after " + std::to_string(attempt) +
+                          " attempts: " + err);
+      return false;
+    }
+    // Capped exponential backoff with deterministic jitter (up to half
+    // the step), so chaos runs at a fixed jitter_seed reproduce exactly.
+    const int jitter = static_cast<int>(
+        SplitMix64(&jitter_state_) % (static_cast<uint64_t>(backoff) / 2 + 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff + jitter));
+    backoff = std::min(backoff * 2, reconnect_.backoff_max_ms);
+  }
+}
+
+bool Client::TryResume(uint64_t token, bool* accepted, std::string* error) {
+  *accepted = false;
+  Message req;
+  req.type = MsgType::kResume;
+  req.token = token;
+  req.req_id = next_req_id_++;
+  for (const auto& [sub_id, sub] : subs_) {
+    if (sub->dropped_) continue;
+    req.acks.emplace_back(sub_id, sub->last_seq_);
+  }
+  if (req.acks.empty()) return true;  // Nothing to resume; not a failure.
+  if (!SendAll(EncodeFrame(req), error)) return false;
   for (;;) {
     Message m;
-    const int r = ReadFrame(&m, -1, error);
-    if (r <= 0) return false;
+    if (ReadFrame(&m, -1, error) <= 0) return false;
     if (m.req_id == 0) {
+      // Replayed ring frames precede the ack; the mirrors dedup them.
       DispatchPush(m);
       continue;
     }
-    if (m.req_id != req->req_id) {
+    if (m.req_id != req.req_id) {
       SetError(error, "response for unexpected request id");
       return false;
     }
-    if (m.type == MsgType::kError) {
-      SetError(error, m.text);
+    if (m.type == MsgType::kError || !m.flag) {
+      return true;  // Rejected (stale token); caller tries the next one.
+    }
+    if (m.type != MsgType::kResumeAck) {
+      SetError(error, "unexpected resume response");
       return false;
     }
-    *resp = std::move(m);
+    *accepted = true;
+    ++stats_.resumes;
+    for (const auto& [sub_id, disposition] : m.acks) {
+      auto it = subs_.find(sub_id);
+      if (it == subs_.end()) continue;
+      if (disposition == kResumeReplayed) {
+        ++stats_.resume_replays;
+      } else if (disposition == kResumeSnapshot) {
+        // The kSubReset carrying the fresh snapshot is already behind the
+        // ack in the stream (or arrives with the next read).
+        ++stats_.resume_snapshots;
+      } else {
+        it->second->dropped_ = true;
+        ++stats_.resume_lost;
+      }
+    }
     return true;
   }
 }
@@ -441,14 +683,23 @@ bool Client::Ping(std::string* error) {
 
 bool Client::PollEvents(int timeout_ms, std::string* error) {
   if (fd_ < 0) {
-    SetError(error, "not connected");
-    return false;
+    if (!reconnect_.enabled || in_reconnect_ || host_.empty()) {
+      SetError(error, "not connected");
+      return false;
+    }
+    if (!Reconnect(error)) return false;
   }
   int wait = timeout_ms;
   for (;;) {
     Message m;
     const int r = ReadFrame(&m, wait, error);
-    if (r < 0) return false;
+    if (r < 0) {
+      DropSocket();
+      if (!reconnect_.enabled || in_reconnect_) return false;
+      // Reconnect-with-resume; freshly replayed pushes surface on the
+      // next poll.
+      return Reconnect(error);
+    }
     if (r == 0) return true;
     if (m.req_id == 0) {
       DispatchPush(m);

@@ -36,6 +36,37 @@ struct SqlExecResult {
   class SubscriptionMirror* mirror = nullptr;
 };
 
+/// Automatic-reconnect knobs (Client::set_reconnect). Off by default:
+/// with `enabled` false a connection loss surfaces as a failed call, the
+/// pre-v3 behavior. With it on, the client reconnects with capped
+/// exponential backoff, re-handshakes, and resumes its session under the
+/// server's lease (DESIGN.md Section 17), so subscription mirrors survive
+/// the outage.
+struct ReconnectPolicy {
+  bool enabled = false;
+  /// Socket (re)connection attempts per outage before giving up.
+  int max_attempts = 10;
+  /// First retry delay; doubles per attempt up to `backoff_max_ms`.
+  int backoff_base_ms = 10;
+  int backoff_max_ms = 2000;
+  /// Seed for the deterministic jitter added to each backoff (tests pin
+  /// exact reconnect timing by fixing this).
+  uint64_t jitter_seed = 1;
+};
+
+/// Client-side resilience counters (Client::stats). The differential
+/// chaos tests pin these against the server's upa_net_* counters: every
+/// client resume has a matching server-side adoption, split identically
+/// into replayed / snapshot / lost subscriptions.
+struct ClientStats {
+  uint64_t reconnects = 0;        ///< Successful re-handshakes.
+  uint64_t resumes = 0;           ///< Successful kResume adoptions.
+  uint64_t resume_replays = 0;    ///< Subs caught up from the replay ring.
+  uint64_t resume_snapshots = 0;  ///< Subs reset to a fresh snapshot.
+  uint64_t resume_lost = 0;       ///< Subs dropped (lease expired / query gone).
+  uint64_t frames_deduped = 0;    ///< Replayed frames already applied.
+};
+
 /// What RegisterAck reports about a (possibly pre-existing) query.
 struct ClientQueryInfo {
   std::string name;
@@ -84,6 +115,9 @@ class SubscriptionMirror {
   uint64_t negatives_applied() const { return negatives_applied_; }
   /// kSubReset events applied (post-recovery resynchronizations).
   uint64_t resets_applied() const { return resets_applied_; }
+  /// Highest per-subscription sequence number applied (v3 frames stamp
+  /// one; replayed frames at or below this are dropped as duplicates).
+  uint64_t last_seq() const { return last_seq_; }
 
   /// Copies out the mirrored live rows (order unspecified; group views
   /// render as (group, agg) like GroupArrayView::Snapshot).
@@ -98,6 +132,10 @@ class SubscriptionMirror {
   void ApplySnapshot(const std::vector<Tuple>& rows, Time at);
   void ApplyDelta(const Tuple& t);
   void ApplyWatermark(Time t);
+  /// Sequence-dedup gate: false when `seq` was already applied (a resume
+  /// replayed a frame the client had before the disconnect). seq 0
+  /// (pre-v3 frames) always passes.
+  bool AcceptSeq(uint64_t seq);
 
   const uint64_t sub_id_;
   const std::string query_;
@@ -109,6 +147,7 @@ class SubscriptionMirror {
   uint64_t deltas_applied_ = 0;
   uint64_t negatives_applied_ = 0;
   uint64_t resets_applied_ = 0;
+  uint64_t last_seq_ = 0;
 
   std::vector<Tuple> rows_;          ///< kMultiset state.
   std::map<Value, double> groups_;   ///< kGroupReplace state.
@@ -138,6 +177,21 @@ class Client {
   bool connected() const { return fd_ >= 0; }
   /// Server name from the handshake.
   const std::string& server_name() const { return server_name_; }
+
+  /// Session token from the handshake (0 = server resumption disabled).
+  uint64_t token() const { return token_; }
+
+  /// Enables/configures automatic reconnect-with-resume. Takes effect on
+  /// the next connection loss.
+  void set_reconnect(ReconnectPolicy policy) { reconnect_ = policy; }
+  const ReconnectPolicy& reconnect() const { return reconnect_; }
+
+  ClientStats stats() const { return stats_; }
+
+  /// Test hook: drops the socket as if the network failed, keeping the
+  /// session state (token, mirrors, request ids) so the next call
+  /// exercises the reconnect-with-resume path. No-op when disconnected.
+  void Disconnect();
 
   /// Declares (or idempotently re-finds) a source; returns its stream id
   /// or -1.
@@ -198,19 +252,56 @@ class Client {
  private:
   /// Sends `req` (stamping a fresh req_id) and blocks for the matching
   /// response, dispatching req_id-0 pushes to mirrors. A kError response
-  /// fills `*error` and returns false.
+  /// fills `*error` and returns false. On transport loss with reconnect
+  /// enabled, reconnects (resuming the session) and retries: kSubscribe/
+  /// kSqlExec retry under a fresh req_id (their pre-loss execution, if
+  /// any, was torn down by the resume's orphan sweep), everything else
+  /// retries under the same req_id so the server's response cache
+  /// absorbs a request that already executed.
   bool Call(Message* req, Message* resp, std::string* error);
   bool SendAll(const std::string& bytes, std::string* error);
   /// Reads one frame. `timeout_ms` < 0 blocks indefinitely. Returns 1 on
-  /// frame, 0 on timeout, -1 on error/EOF.
+  /// frame, 0 on timeout, -1 on error/EOF. The timeout is a deadline on
+  /// the whole frame: partial reads and EINTR wake-ups consume it rather
+  /// than rearming it.
   int ReadFrame(Message* out, int timeout_ms, std::string* error);
   void DispatchPush(const Message& m);
+
+  /// Connect() pieces, reused by Reconnect(): raw socket + TCP_NODELAY,
+  /// then the kHello exchange (records server_name_/token_).
+  bool ConnectSocket(std::string* error);
+  bool Handshake(std::string* error);
+  /// Drops the socket and, per the policy, reconnects with backoff and
+  /// resumes the session (newest token candidate first). Returns true
+  /// once connected and handshaken -- even when every resume candidate
+  /// was rejected, in which case the mirrors are marked dropped
+  /// (stats().resume_lost) and the connection is fresh.
+  bool Reconnect(std::string* error);
+  /// One kResume exchange for `token`; fills `*accepted`. False only on
+  /// transport loss.
+  bool TryResume(uint64_t token, bool* accepted, std::string* error);
+  void DropSocket();
 
   int fd_ = -1;
   uint64_t next_req_id_ = 1;
   std::string inbuf_;
   std::string server_name_;
   std::map<uint64_t, std::unique_ptr<SubscriptionMirror>> subs_;
+
+  /// Connection parameters retained for reconnects.
+  std::string host_;
+  int port_ = 0;
+  std::string client_name_;
+
+  uint64_t token_ = 0;
+  /// Tokens of previous incarnations that may still own subscriptions
+  /// server-side, newest first (a reconnect interrupted mid-resume
+  /// leaves more than one live candidate).
+  std::vector<uint64_t> resume_candidates_;
+  ReconnectPolicy reconnect_;
+  ClientStats stats_;
+  uint64_t jitter_state_ = 0;
+  bool in_reconnect_ = false;
 };
 
 }  // namespace net

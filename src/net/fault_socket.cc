@@ -1,0 +1,219 @@
+#include "net/fault_socket.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace upa {
+namespace net {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FaultProxy::FaultProxy(FaultProxyOptions options)
+    : options_(std::move(options)), rng_state_(options_.seed) {}
+
+FaultProxy::~FaultProxy() { Stop(); }
+
+bool FaultProxy::Start(std::string* error) {
+  if (running_.load()) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // Ephemeral.
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    if (error != nullptr) *error = "bind: " + std::string(strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  ::fcntl(listen_fd_, F_SETFL, O_NONBLOCK);
+  if (::pipe(wake_pipe_) != 0) {
+    if (error != nullptr) *error = "pipe: " + std::string(strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  running_.store(true);
+  thread_ = std::thread([this] { Run(); });
+  return true;
+}
+
+void FaultProxy::Stop() {
+  if (!running_.exchange(false)) return;
+  if (wake_pipe_[1] >= 0) {
+    const char b = 'x';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  for (Conn& c : conns_) Abort(&c, /*rst=*/false);
+  conns_.clear();
+  for (int* fd : {&listen_fd_, &wake_pipe_[0], &wake_pipe_[1]}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+  port_ = -1;
+}
+
+void FaultProxy::Run() {
+  while (running_.load()) {
+    std::vector<pollfd> fds;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns_) {
+      fds.push_back({c.client_fd, POLLIN, 0});
+      fds.push_back({c.server_fd, POLLIN, 0});
+    }
+    if (::poll(fds.data(), fds.size(), 100) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (!running_.load()) return;
+    if ((fds[0].revents & POLLIN) != 0) {
+      char buf[16];
+      [[maybe_unused]] ssize_t n = ::read(wake_pipe_[0], buf, sizeof(buf));
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) break;
+        const int sfd = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in target{};
+        target.sin_family = AF_INET;
+        target.sin_port = htons(static_cast<uint16_t>(options_.target_port));
+        ::inet_pton(AF_INET, options_.target_host.c_str(), &target.sin_addr);
+        if (sfd < 0 || ::connect(sfd, reinterpret_cast<sockaddr*>(&target),
+                                 sizeof(target)) < 0) {
+          ::close(cfd);
+          if (sfd >= 0) ::close(sfd);
+          continue;
+        }
+        const int one = 1;
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        ::setsockopt(sfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        conns_.push_back(Conn{cfd, sfd});
+        connections_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Pump both directions of each connection whose source is readable;
+    // POLLHUP/POLLERR surface through read() inside Pump. The pollfd
+    // snapshot indexes the pre-accept prefix of conns_, so dead entries
+    // are swept only after the pass.
+    const size_t polled = (fds.size() - 2) / 2;
+    for (size_t i = 0; i < polled; ++i) {
+      Conn& c = conns_[i];
+      for (int dir = 0; dir < 2; ++dir) {
+        const pollfd& p = fds[2 + 2 * i + static_cast<size_t>(dir)];
+        if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        if (!Pump(&c, dir)) break;  // Abort() already closed both fds.
+      }
+    }
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Conn& c) { return c.client_fd < 0; }),
+                 conns_.end());
+  }
+}
+
+bool FaultProxy::Pump(Conn* c, int dir) {
+  const int src = dir == 0 ? c->client_fd : c->server_fd;
+  const int dst = dir == 0 ? c->server_fd : c->client_fd;
+  char buf[64 * 1024];
+  const ssize_t n = ::read(src, buf, sizeof(buf));
+  if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN &&
+                 errno != EWOULDBLOCK)) {
+    // Peer gone: propagate an orderly close (no RST -- injected resets
+    // are the only aborts, so rsts_injected() counts exactly the
+    // scheduled faults).
+    Abort(c, /*rst=*/false);
+    return false;
+  }
+  if (n < 0) return true;  // EINTR/EAGAIN: try again next round.
+  size_t off = 0;
+  while (off < static_cast<size_t>(n)) {
+    const size_t room = std::min(options_.max_chunk_bytes,
+                                 static_cast<size_t>(n) - off);
+    const size_t chunk = 1 + SplitMix64(&rng_state_) % room;
+    if (options_.injector != nullptr) {
+      const FaultInjector::NetAction action =
+          options_.injector->OnNetBytes(dir, chunk);
+      if (action.delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+      }
+      if (action.rst) {
+        // The triggering chunk is lost with the connection: the abort
+        // cuts mid-stream, which is what forces the client's resume
+        // path to reconcile a half-delivered frame.
+        Abort(c, /*rst=*/true);
+        rsts_injected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    if (!WriteAll(dst, buf + off, chunk)) {
+      Abort(c, /*rst=*/false);
+      return false;
+    }
+    bytes_forwarded_.fetch_add(chunk, std::memory_order_relaxed);
+    off += chunk;
+  }
+  return true;
+}
+
+void FaultProxy::Abort(Conn* c, bool rst) {
+  for (int* fd : {&c->client_fd, &c->server_fd}) {
+    if (*fd < 0) continue;
+    if (rst) {
+      // Abortive close: linger{on, 0} turns close() into a TCP RST, the
+      // real connection-reset a crashed peer or middlebox produces.
+      linger lg{1, 0};
+      ::setsockopt(*fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    }
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+}  // namespace net
+}  // namespace upa

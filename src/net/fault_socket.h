@@ -1,0 +1,93 @@
+#ifndef UPA_NET_FAULT_SOCKET_H_
+#define UPA_NET_FAULT_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/fault.h"
+
+namespace upa {
+namespace net {
+
+struct FaultProxyOptions {
+  /// Where forwarded connections go (the real server).
+  std::string target_host = "127.0.0.1";
+  int target_port = 0;
+  /// Seeds the chunking RNG (how reads are split/coalesced before
+  /// forwarding). A (seed, schedule) pair reproduces a run byte-exactly.
+  uint64_t seed = 1;
+  /// Scheduled network faults (kNetRst / kNetDelay), consulted once per
+  /// forwarded chunk. May be null: the proxy then only re-segments.
+  FaultInjector* injector = nullptr;
+  /// Upper bound on one forwarded chunk. Below the loopback MSS so
+  /// frame splits genuinely cross read() boundaries at the receiver.
+  size_t max_chunk_bytes = 1536;
+};
+
+/// Deterministic network fault layer for the chaos tests: a loopback TCP
+/// proxy that forwards bytes between clients and the engine server while
+/// re-segmenting the stream (partial writes, split and coalesced frames)
+/// with a seeded RNG, and injecting the scheduled faults -- connection
+/// resets (real RSTs via SO_LINGER abort) and forwarding stalls -- at
+/// deterministic byte offsets via FaultInjector::OnNetBytes.
+///
+/// Single poll thread owns every connection; a stall therefore delays
+/// all traffic through the proxy, which is the congestion model the
+/// tests want. Reconnecting clients get fresh proxied connections, so a
+/// Client pointed at port() exercises its full reconnect-with-resume
+/// path under fire without the server noticing anything but socket
+/// errors.
+class FaultProxy {
+ public:
+  explicit FaultProxy(FaultProxyOptions options);
+  ~FaultProxy();
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// Binds an ephemeral loopback port and starts the forwarding thread.
+  bool Start(std::string* error = nullptr);
+  /// Aborts every connection and joins the thread. Idempotent.
+  void Stop();
+
+  /// Port clients should connect to (after Start).
+  int port() const { return port_; }
+
+  uint64_t connections() const { return connections_.load(); }
+  uint64_t rsts_injected() const { return rsts_injected_.load(); }
+  uint64_t bytes_forwarded() const { return bytes_forwarded_.load(); }
+
+ private:
+  struct Conn {
+    int client_fd = -1;
+    int server_fd = -1;
+  };
+
+  void Run();
+  /// Forwards readable bytes one rng-sized chunk at a time, consulting
+  /// the injector per chunk. Returns false when the connection must die
+  /// (peer EOF, error, or an injected RST).
+  bool Pump(Conn* c, int dir);
+  void Abort(Conn* c, bool rst);
+
+  const FaultProxyOptions options_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::vector<Conn> conns_;
+  uint64_t rng_state_ = 0;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> rsts_injected_{0};
+  std::atomic<uint64_t> bytes_forwarded_{0};
+};
+
+}  // namespace net
+}  // namespace upa
+
+#endif  // UPA_NET_FAULT_SOCKET_H_

@@ -61,6 +61,31 @@ bool GetTuples(serde::Reader* r, std::vector<Tuple>* out) {
   return true;
 }
 
+void PutAcks(std::string* out,
+             const std::vector<std::pair<uint64_t, uint64_t>>& acks) {
+  serde::PutU32(out, static_cast<uint32_t>(acks.size()));
+  for (const auto& [sub_id, v] : acks) {
+    serde::PutU64(out, sub_id);
+    serde::PutU64(out, v);
+  }
+}
+
+bool GetAcks(serde::Reader* r,
+             std::vector<std::pair<uint64_t, uint64_t>>* out) {
+  uint32_t n = 0;
+  if (!r->GetU32(&n)) return false;
+  // Each entry is exactly 16 bytes.
+  if (n > r->remaining() / 16 + 1) return false;
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t sub_id = 0, v = 0;
+    if (!r->GetU64(&sub_id) || !r->GetU64(&v)) return false;
+    out->emplace_back(sub_id, v);
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string EncodePayload(const Message& m) {
@@ -69,9 +94,13 @@ std::string EncodePayload(const Message& m) {
   serde::PutU64(&out, m.req_id);
   switch (m.type) {
     case MsgType::kHello:
+      serde::PutU32(&out, m.version);
+      serde::PutString(&out, m.name);
+      break;
     case MsgType::kHelloAck:
       serde::PutU32(&out, m.version);
       serde::PutString(&out, m.name);
+      serde::PutU64(&out, m.token);
       break;
     case MsgType::kError:
       serde::PutString(&out, m.text);
@@ -145,10 +174,12 @@ std::string EncodePayload(const Message& m) {
     case MsgType::kSubData:
     case MsgType::kSubReset:
       serde::PutU64(&out, m.sub_id);
+      serde::PutU64(&out, m.seq);
       PutTuples(&out, m.tuples);
       break;
     case MsgType::kSubWatermark:
       serde::PutU64(&out, m.sub_id);
+      serde::PutU64(&out, m.seq);
       serde::PutI64(&out, m.time);
       break;
     case MsgType::kSubDropped:
@@ -168,6 +199,15 @@ std::string EncodePayload(const Message& m) {
       serde::PutI64(&out, m.time);
       PutTuples(&out, m.tuples);
       break;
+    case MsgType::kResume:
+      serde::PutU64(&out, m.token);
+      PutAcks(&out, m.acks);
+      break;
+    case MsgType::kResumeAck:
+      serde::PutU8(&out, m.flag ? 1 : 0);
+      serde::PutString(&out, m.text);
+      PutAcks(&out, m.acks);
+      break;
     case MsgType::kAdvanceAck:
     case MsgType::kFlush:
     case MsgType::kPing:
@@ -182,14 +222,19 @@ bool DecodePayload(const void* data, size_t size, Message* out) {
   uint8_t type = 0;
   if (!r.GetU8(&type) || !r.GetU64(&out->req_id)) return false;
   if (type < static_cast<uint8_t>(MsgType::kHello) ||
-      type > static_cast<uint8_t>(MsgType::kSqlResult)) {
+      type > static_cast<uint8_t>(MsgType::kResumeAck)) {
     return false;
   }
   out->type = static_cast<MsgType>(type);
   switch (out->type) {
     case MsgType::kHello:
-    case MsgType::kHelloAck:
       if (!r.GetU32(&out->version) || !r.GetString(&out->name)) return false;
+      break;
+    case MsgType::kHelloAck:
+      if (!r.GetU32(&out->version) || !r.GetString(&out->name) ||
+          !r.GetU64(&out->token)) {
+        return false;
+      }
       break;
     case MsgType::kError:
       if (!r.GetString(&out->text)) return false;
@@ -289,12 +334,16 @@ bool DecodePayload(const void* data, size_t size, Message* out) {
     }
     case MsgType::kSubData:
     case MsgType::kSubReset:
-      if (!r.GetU64(&out->sub_id) || !GetTuples(&r, &out->tuples)) {
+      if (!r.GetU64(&out->sub_id) || !r.GetU64(&out->seq) ||
+          !GetTuples(&r, &out->tuples)) {
         return false;
       }
       break;
     case MsgType::kSubWatermark:
-      if (!r.GetU64(&out->sub_id) || !r.GetI64(&out->time)) return false;
+      if (!r.GetU64(&out->sub_id) || !r.GetU64(&out->seq) ||
+          !r.GetI64(&out->time)) {
+        return false;
+      }
       break;
     case MsgType::kSubDropped:
       if (!r.GetU64(&out->sub_id)) return false;
@@ -309,6 +358,18 @@ bool DecodePayload(const void* data, size_t size, Message* out) {
           !r.GetU64(&out->sub_id) || !r.GetU8(&out->pattern) ||
           !r.GetU8(&out->view_kind) || !r.GetI64(&out->time) ||
           !GetTuples(&r, &out->tuples)) {
+        return false;
+      }
+      out->flag = flag != 0;
+      break;
+    }
+    case MsgType::kResume:
+      if (!r.GetU64(&out->token) || !GetAcks(&r, &out->acks)) return false;
+      break;
+    case MsgType::kResumeAck: {
+      uint8_t flag = 0;
+      if (!r.GetU8(&flag) || !r.GetString(&out->text) ||
+          !GetAcks(&r, &out->acks)) {
         return false;
       }
       out->flag = flag != 0;
@@ -386,6 +447,8 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kPong: return "Pong";
     case MsgType::kSqlExec: return "SqlExec";
     case MsgType::kSqlResult: return "SqlResult";
+    case MsgType::kResume: return "Resume";
+    case MsgType::kResumeAck: return "ResumeAck";
   }
   return "Unknown";
 }

@@ -41,7 +41,16 @@ inline constexpr uint32_t kMagic = 0x4e415055;  // "UPAN"
 /// Version 2 added the text-SQL session messages (kSqlExec/kSqlResult).
 /// The server still accepts version-1 clients; they just cannot issue
 /// kSqlExec (it is answered with kError on a v1 session).
-inline constexpr uint32_t kProtocolVersion = 2;
+///
+/// Version 3 adds resumable sessions: kHelloAck carries a server-issued
+/// session token, every kSubData/kSubWatermark/kSubReset push is stamped
+/// with a per-subscription sequence number (`seq`, monotonically
+/// increasing from 1, one counter per sub_id shared by all three push
+/// kinds), and kResume/kResumeAck let a reconnecting client adopt its
+/// previous session's subscriptions from the server's replay ring
+/// (DESIGN.md Section 17). Older clients interoperate: tokens and seqs
+/// are advisory unless the client sends kResume.
+inline constexpr uint32_t kProtocolVersion = 3;
 /// Hard frame cap: a length field above this is treated as corruption
 /// before any allocation happens.
 inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
@@ -51,7 +60,9 @@ inline constexpr size_t kFrameHeaderBytes = 12;
 enum class MsgType : uint8_t {
   // Session establishment.
   kHello = 1,         ///< version:u32, name:str (client name, advisory).
-  kHelloAck = 2,      ///< version:u32, name:str (server name).
+  kHelloAck = 2,      ///< version:u32, name:str (server name),
+                      ///< token:u64 (session token; 0 when the server
+                      ///< cannot offer resumption).
   kError = 3,         ///< text:str (response to the failing req_id).
 
   // Catalog and registration.
@@ -80,9 +91,11 @@ enum class MsgType : uint8_t {
                         ///< tuples (starting snapshot).
   kUnsubscribe = 19,    ///< name:str (query), sub_id:u64.
   kUnsubscribeAck = 20, ///< flag:u8 (ok).
-  kSubData = 21,        ///< push: sub_id:u64, tuples (deltas, in order).
-  kSubWatermark = 22,   ///< push: sub_id:u64, time:i64.
-  kSubReset = 23,       ///< push: sub_id:u64, tuples (fresh snapshot).
+  kSubData = 21,        ///< push: sub_id:u64, seq:u64, tuples (deltas,
+                        ///< in order).
+  kSubWatermark = 22,   ///< push: sub_id:u64, seq:u64, time:i64.
+  kSubReset = 23,       ///< push: sub_id:u64, seq:u64, tuples (fresh
+                        ///< snapshot; supersedes all earlier seqs).
   kSubDropped = 24,     ///< push: sub_id:u64 -- the server detached the
                         ///< subscription (slow-consumer policy, SQL
                         ///< UNSUBSCRIBE, or its query was unregistered).
@@ -104,7 +117,25 @@ enum class MsgType : uint8_t {
                     ///< time:i64, tuples (all five meaningful only for
                     ///< a successful SUBSCRIBE: the snapshot payload;
                     ///< sub_id is 0 otherwise).
+
+  // Resumable sessions (protocol version >= 3; DESIGN.md Section 17).
+  // kResume must be the first request after kHelloAck on the new
+  // connection; it adopts the identified detached session wholesale.
+  kResume = 29,     ///< token:u64 (from the previous kHelloAck),
+                    ///< acks: count:u32, (sub_id:u64, last_seq:u64)*
+                    ///< -- the highest seq applied per subscription
+                    ///< (0 = nothing received yet).
+  kResumeAck = 30,  ///< flag:u8 (resumed), text:str (reason when not),
+                    ///< acks: count:u32, (sub_id:u64, disposition:u64)*
+                    ///< where disposition 0 = replayed from the ring,
+                    ///< 1 = reset to a fresh snapshot (ring overrun or
+                    ///< shard restart), 2 = dropped (query gone).
 };
+
+/// Disposition codes in kResumeAck's per-subscription ack list.
+inline constexpr uint64_t kResumeReplayed = 0;
+inline constexpr uint64_t kResumeSnapshot = 1;
+inline constexpr uint64_t kResumeDropped = 2;
 
 /// One decoded protocol message: the type plus the union of every body
 /// field, flat (the WalRecord idiom -- only the fields the type's grammar
@@ -124,6 +155,11 @@ struct Message {
   uint8_t view_kind = 0;  ///< ViewDeltaKind for materializing deltas.
   uint64_t sub_id = 0;    ///< Subscription handle.
   int64_t time = 0;       ///< Clock advance / watermark.
+  uint64_t token = 0;     ///< Session token (kHelloAck / kResume).
+  uint64_t seq = 0;       ///< Per-subscription frame sequence (pushes).
+  std::vector<std::pair<uint64_t, uint64_t>> acks;  ///< kResume:
+                          ///< (sub_id, last_seq); kResumeAck:
+                          ///< (sub_id, disposition).
   std::vector<std::pair<uint32_t, Tuple>> batch;  ///< kIngestBatch.
   std::vector<Tuple> tuples;  ///< Snapshots, deltas, resets.
 };

@@ -11,6 +11,8 @@
 
 #include <arpa/inet.h>
 
+#include <stdlib.h>
+
 #include <algorithm>
 #include <utility>
 
@@ -20,6 +22,20 @@
 namespace upa {
 namespace net {
 namespace {
+
+int64_t NowMs() { return static_cast<int64_t>(obs::NowNs() / 1000000u); }
+
+/// Resolves ServerOptions::session_lease_ms: -1 = auto (the
+/// UPA_SESSION_LEASE_MS env knob, default 0 = resumption off).
+int ResolveLeaseMs(int opt) {
+  if (opt >= 0) return opt;
+  const char* env = ::getenv("UPA_SESSION_LEASE_MS");
+  if (env != nullptr && *env != '\0') {
+    const long v = ::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<int>(v);
+  }
+  return 0;
+}
 
 bool SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -47,21 +63,20 @@ Message MakeError(uint64_t req_id, std::string text) {
   return m;
 }
 
-/// Bridges the window between Engine::Subscribe returning and the
-/// session learning the subscription id: the engine assigns the id
-/// inside Subscribe, but deltas may start flowing the instant it
-/// returns -- before the caller can register the id with the session.
-/// Events arriving before the channel is armed are buffered, then
-/// replayed in order (the hub serializes emissions, so ordering is
-/// preserved end to end). Shared by kSubscribe and the SQL SUBSCRIBE
-/// statement.
-struct SubChannel {
-  std::mutex mu;
-  bool armed = false;
-  uint64_t sub_id = 0;
-  std::shared_ptr<Session> session;
-  std::vector<SubscriptionEvent> backlog;
-};
+/// The hub-side delivery callback for a channel. Holds the channel lock
+/// across the whole delivery (see SubChannel in session.h): resume
+/// adoption disarms under the same lock, so no event can land in a
+/// half-moved session.
+SubscriptionCallback ChannelCallback(const std::shared_ptr<SubChannel>& ch) {
+  return [ch](const SubscriptionEvent& ev) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    if (!ch->armed) {
+      ch->backlog.push_back(ev);
+      return;
+    }
+    ch->session->OnSubEvent(ch->sub_id, ev);
+  };
+}
 
 /// Engine-side subscribe + session-side registration. Returns null when
 /// the query is unknown; otherwise the channel is attached but NOT yet
@@ -73,22 +88,11 @@ std::shared_ptr<SubChannel> AttachSubscription(
     const std::string& query, SubscriptionInfo* info) {
   auto ch = std::make_shared<SubChannel>();
   ch->session = s;
-  const bool ok = engine->Subscribe(
-      query,
-      [ch](const SubscriptionEvent& ev) {
-        std::unique_lock<std::mutex> lock(ch->mu);
-        if (!ch->armed) {
-          ch->backlog.push_back(ev);
-          return;
-        }
-        const uint64_t id = ch->sub_id;
-        lock.unlock();
-        ch->session->OnSubEvent(id, ev);
-      },
-      info);
+  const bool ok = engine->Subscribe(query, ChannelCallback(ch), info);
   if (!ok) return nullptr;
   s->AddSub(info->id, info->pattern);
   s->engine_subs[info->id] = query;
+  s->channels[info->id] = ch;
   return ch;
 }
 
@@ -108,6 +112,7 @@ void ArmSubChannel(const std::shared_ptr<SubChannel>& ch,
 Server::Server(Engine* engine, ServerOptions options)
     : engine_(engine), options_(std::move(options)), sql_(engine) {
   UPA_CHECK(engine_ != nullptr);
+  lease_ms_ = ResolveLeaseMs(options_.session_lease_ms);
 }
 
 Server::~Server() { Stop(); }
@@ -172,6 +177,7 @@ bool Server::Start(std::string* error) {
       return false;
     }
   }
+  token_seed_ = obs::NowNs() ^ 0x5851f42d4c957f2dull;
   stopping_.store(false, std::memory_order_release);
   poll_exited_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -189,36 +195,24 @@ void Server::Stop() {
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     for (auto& [id, s] : sessions_) s->MarkClosed();
+    for (auto& [token, d] : detached_) d.session->MarkClosed();
   }
   WakePoll();
   WakeWriter();
   if (poll_thread_.joinable()) poll_thread_.join();
   if (writer_thread_.joinable()) writer_thread_.join();
-  // The threads are gone; tear the sessions down on this thread.
-  std::map<uint64_t, std::shared_ptr<Session>> sessions;
+  // The threads are gone; tear the sessions (live and detached) down on
+  // this thread.
+  std::vector<std::shared_ptr<Session>> sessions;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    sessions.swap(sessions_);
+    sessions.reserve(sessions_.size() + detached_.size());
+    for (auto& [id, s] : sessions_) sessions.push_back(s);
+    for (auto& [token, d] : detached_) sessions.push_back(d.session);
+    sessions_.clear();
+    detached_.clear();
   }
-  for (auto& [id, s] : sessions) {
-    s->MarkClosed();
-    for (const auto& [sub_id, query] : s->engine_subs) {
-      engine_->Unsubscribe(query, sub_id);
-    }
-    s->engine_subs.clear();
-    closed_frames_in_.fetch_add(s->frames_in.load(std::memory_order_relaxed),
-                                std::memory_order_relaxed);
-    closed_frames_out_.fetch_add(
-        s->frames_out.load(std::memory_order_relaxed),
-        std::memory_order_relaxed);
-    closed_bytes_in_.fetch_add(s->bytes_in.load(std::memory_order_relaxed),
-                               std::memory_order_relaxed);
-    closed_bytes_out_.fetch_add(s->bytes_out.load(std::memory_order_relaxed),
-                                std::memory_order_relaxed);
-    closed_slow_drops_.fetch_add(
-        s->slow_drops.load(std::memory_order_relaxed),
-        std::memory_order_relaxed);
-  }
+  for (auto& s : sessions) TearDownSession(s);
   for (int* fd : {&listen_fd_, &metrics_fd_, &poll_pipe_[0], &poll_pipe_[1],
                   &writer_pipe_[0], &writer_pipe_[1]}) {
     if (*fd >= 0) ::close(*fd);
@@ -247,8 +241,9 @@ void Server::AcceptPending(int listen_fd, Session::Kind kind) {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto session = std::make_shared<Session>(
         next_session_id_++, fd, kind, options_.slow_consumer,
-        options_.send_cap_bytes, [this] { WakeWriter(); },
-        [this] { WakePoll(); });
+        options_.send_cap_bytes, options_.replay_ring_bytes,
+        [this] { WakeWriter(); }, [this] { WakePoll(); });
+    session->last_in_ms = NowMs();
     sessions_opened_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions_[session->id()] = session;
@@ -261,6 +256,7 @@ bool Server::ReadSession(const std::shared_ptr<Session>& s) {
     const ssize_t n = ::read(s->fd(), buf, sizeof(buf));
     if (n > 0) {
       s->in.append(buf, static_cast<size_t>(n));
+      s->last_in_ms = NowMs();  // Any inbound byte counts as liveness.
       s->bytes_in.fetch_add(static_cast<uint64_t>(n),
                             std::memory_order_relaxed);
       if (static_cast<size_t>(n) < sizeof(buf)) break;
@@ -328,6 +324,17 @@ bool Server::HandleRequest(const std::shared_ptr<Session>& s, Message&& m) {
     s->CloseAfterDrain();
     return false;
   }
+  // A client retrying its last un-acked request after a resume (same
+  // req_id) gets the cached response replayed instead of re-executing
+  // it -- exactly-once for non-idempotent requests like kIngestBatch.
+  if (m.req_id != 0 && m.type != MsgType::kHello &&
+      m.type != MsgType::kResume) {
+    std::string cached;
+    if (s->CachedResponse(m.req_id, &cached)) {
+      s->QueueBytes(std::move(cached));
+      return true;
+    }
+  }
   switch (m.type) {
     case MsgType::kHello: {
       // Every version up to ours is accepted (v1 clients simply cannot
@@ -343,11 +350,17 @@ bool Server::HandleRequest(const std::shared_ptr<Session>& s, Message&& m) {
       }
       s->handshaken = true;
       s->version = m.version;
+      // Issue a session token when the server can offer resumption; a
+      // zero token tells the client not to bother with kResume.
+      if (lease_ms_ > 0 && s->kind() == Session::Kind::kBinary) {
+        s->token = NextToken();
+      }
       Message ack;
       ack.type = MsgType::kHelloAck;
       ack.req_id = m.req_id;
       ack.version = m.version;  // Echo the negotiated (client's) version.
       ack.name = options_.server_name;
+      ack.token = s->token;
       s->QueueResponse(ack);
       return true;
     }
@@ -475,6 +488,7 @@ bool Server::HandleRequest(const std::shared_ptr<Session>& s, Message&& m) {
       ack.flag = engine_->Unsubscribe(m.name, m.sub_id);
       s->RemoveSub(m.sub_id);
       s->engine_subs.erase(m.sub_id);
+      s->channels.erase(m.sub_id);
       s->QueueResponse(ack);
       return true;
     }
@@ -501,6 +515,13 @@ bool Server::HandleRequest(const std::shared_ptr<Session>& s, Message&& m) {
       s->QueueResponse(pong);
       return true;
     }
+    case MsgType::kPong:
+      // The answer to a server heartbeat; ReadSession already recorded
+      // the liveness.
+      return true;
+    case MsgType::kResume:
+      HandleResume(s, m);
+      return true;
     default: {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       s->QueueResponse(MakeError(
@@ -539,8 +560,11 @@ void Server::SweepQuerySubs(const std::string& query) {
   std::vector<std::shared_ptr<Session>> all;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    all.reserve(sessions_.size());
+    all.reserve(sessions_.size() + detached_.size());
     for (auto& [id, sess] : sessions_) all.push_back(sess);
+    // Detached sessions hold subs too; forgetting them here makes their
+    // eventual resume report the sub as dropped (disposition 2).
+    for (auto& [token, d] : detached_) all.push_back(d.session);
   }
   for (auto& sess : all) {
     if (sess->kind() != Session::Kind::kBinary) continue;
@@ -552,6 +576,7 @@ void Server::SweepQuerySubs(const std::string& query) {
       }
       const uint64_t sub_id = it->first;
       sess->RemoveSub(sub_id);
+      sess->channels.erase(sub_id);
       it = sess->engine_subs.erase(it);
       Message drop;
       drop.type = MsgType::kSubDropped;
@@ -622,6 +647,7 @@ void Server::HandleSqlExec(const std::shared_ptr<Session>& s,
         drop.req_id = 0;
         drop.sub_id = it->first;
         s->QueueResponse(drop);
+        s->channels.erase(it->first);
         it = s->engine_subs.erase(it);
         ++removed;
       }
@@ -656,15 +682,17 @@ void Server::ReapDropped(const std::shared_ptr<Session>& s) {
     if (it == s->engine_subs.end()) continue;
     engine_->Unsubscribe(it->second, sub_id);
     s->engine_subs.erase(it);
+    s->channels.erase(sub_id);
   }
 }
 
-void Server::CloseSession(const std::shared_ptr<Session>& s) {
+void Server::TearDownSession(const std::shared_ptr<Session>& s) {
   s->MarkClosed();
   for (const auto& [sub_id, query] : s->engine_subs) {
     engine_->Unsubscribe(query, sub_id);
   }
   s->engine_subs.clear();
+  s->channels.clear();
   closed_frames_in_.fetch_add(s->frames_in.load(std::memory_order_relaxed),
                               std::memory_order_relaxed);
   closed_frames_out_.fetch_add(s->frames_out.load(std::memory_order_relaxed),
@@ -675,8 +703,247 @@ void Server::CloseSession(const std::shared_ptr<Session>& s) {
                               std::memory_order_relaxed);
   closed_slow_drops_.fetch_add(s->slow_drops.load(std::memory_order_relaxed),
                                std::memory_order_relaxed);
+  closed_ring_overruns_.fetch_add(
+      s->ring_overruns.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+void Server::CloseSession(const std::shared_ptr<Session>& s) {
+  TearDownSession(s);
   std::lock_guard<std::mutex> lock(sessions_mu_);
   sessions_.erase(s->id());
+}
+
+void Server::DisconnectSession(const std::shared_ptr<Session>& s) {
+  const bool resumable =
+      s->kind() == Session::Kind::kBinary && s->handshaken &&
+      s->token != 0 && !s->engine_subs.empty() && lease_ms_ > 0 &&
+      !stopping_.load(std::memory_order_acquire);
+  if (!resumable) {
+    CloseSession(s);
+    return;
+  }
+  // Keep the session alive under the lease: subscriptions stay attached
+  // and feed the replay rings. EOF is indistinguishable from a crash on
+  // the wire, so even a graceful peer close lands here -- the lease (or
+  // the client's own kResume) is what reclaims the state.
+  s->Detach();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(s->id());
+  detached_[s->token] = Detached{s, NowMs() + lease_ms_};
+}
+
+void Server::RunTimers() {
+  const int64_t now = NowMs();
+  // Lease expiry: a detached session whose client never resumed.
+  std::vector<std::shared_ptr<Session>> expired;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto it = detached_.begin(); it != detached_.end();) {
+      if (now >= it->second.deadline_ms) {
+        expired.push_back(it->second.session);
+        it = detached_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& s : expired) {
+    TearDownSession(s);
+    leases_expired_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Heartbeats: ping silent sessions, reap the truly dead.
+  if (options_.heartbeat_ms <= 0) return;
+  const int64_t interval = options_.heartbeat_ms;
+  const int64_t timeout = options_.heartbeat_timeout_ms > 0
+                              ? options_.heartbeat_timeout_ms
+                              : 4 * interval;
+  std::vector<std::shared_ptr<Session>> live;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    live.reserve(sessions_.size());
+    for (auto& [id, s] : sessions_) live.push_back(s);
+  }
+  for (auto& s : live) {
+    if (s->kind() != Session::Kind::kBinary || !s->handshaken ||
+        s->closed() || s->disconnected()) {
+      continue;
+    }
+    if (now - s->last_in_ms >= timeout) {
+      heartbeat_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      // A stalled-but-alive client (GC pause, network partition) can
+      // still resume within the lease; only the socket is given up.
+      DisconnectSession(s);
+      continue;
+    }
+    if (now - s->last_in_ms >= interval &&
+        now - s->ping_sent_ms >= interval) {
+      Message ping;
+      ping.type = MsgType::kPing;
+      ping.req_id = 0;  // Unsolicited: the pong also carries req_id 0.
+      s->QueueResponse(ping);
+      s->ping_sent_ms = now;
+    }
+  }
+}
+
+uint64_t Server::NextToken() {
+  // splitmix64: deterministic walk from a time-seeded origin; tokens
+  // are unguessable enough for loopback use and never zero.
+  uint64_t x = (token_seed_ += 0x9e3779b97f4a7c15ull);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x != 0 ? x : 1;
+}
+
+void Server::HandleResume(const std::shared_ptr<Session>& s,
+                          const Message& m) {
+  Message ack;
+  ack.type = MsgType::kResumeAck;
+  ack.req_id = m.req_id;
+  if (lease_ms_ <= 0) {
+    ack.flag = false;
+    ack.text = "session resumption is disabled on this server";
+    resume_rejects_.fetch_add(1, std::memory_order_relaxed);
+    s->QueueResponse(ack);
+    return;
+  }
+  if (!s->engine_subs.empty()) {
+    ack.flag = false;
+    ack.text = "kResume must precede any subscription on the session";
+    resume_rejects_.fetch_add(1, std::memory_order_relaxed);
+    s->QueueResponse(ack);
+    return;
+  }
+  // Find the token's session: usually detached, but a half-open zombie
+  // (peer vanished without the server noticing) may still be live --
+  // force-detach it so its state can be adopted.
+  std::shared_ptr<Session> old;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = detached_.find(m.token);
+    if (it != detached_.end()) {
+      old = it->second.session;
+      detached_.erase(it);  // A token resumes at most once.
+    } else {
+      for (auto& [id, sess] : sessions_) {
+        if (sess->token == m.token && sess.get() != s.get() &&
+            sess->kind() == Session::Kind::kBinary) {
+          old = sess;
+          break;
+        }
+      }
+      if (old != nullptr) sessions_.erase(old->id());
+    }
+  }
+  if (old == nullptr) {
+    ack.flag = false;
+    ack.text = "unknown or expired session token";
+    resume_rejects_.fetch_add(1, std::memory_order_relaxed);
+    s->QueueResponse(ack);
+    return;
+  }
+  if (!old->detached()) old->Detach();
+
+  // Adoption. Disarm every channel under its lock first: after this
+  // loop no delivery is mid-flight into `old`, and new events buffer in
+  // the channel backlogs until re-armed below.
+  for (auto& [sub_id, ch] : old->channels) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    ch->armed = false;
+    ch->session = s;
+  }
+  s->AdoptFrom(*old);
+  s->engine_subs = std::move(old->engine_subs);
+  old->engine_subs.clear();
+  s->channels = std::move(old->channels);
+  old->channels.clear();
+  TearDownSession(old);  // Subs/channels already moved; rolls counters.
+
+  std::map<uint64_t, uint64_t> client_acks(m.acks.begin(), m.acks.end());
+  // Subscriptions the client does not even know about (its kSubscribe
+  // ack was lost in flight) are orphans: unsubscribe and forget, no
+  // disposition entry. The client re-subscribes with a fresh req_id.
+  for (auto it = s->engine_subs.begin(); it != s->engine_subs.end();) {
+    if (client_acks.count(it->first) != 0) {
+      ++it;
+      continue;
+    }
+    engine_->Unsubscribe(it->second, it->first);
+    s->RemoveSub(it->first);
+    s->channels.erase(it->first);
+    it = s->engine_subs.erase(it);
+  }
+
+  // Per-subscription catch-up decision (DESIGN.md Section 17): replay
+  // the ring suffix when it still covers the client's ack, else fall
+  // back to a consistent snapshot through the barrier-coupled
+  // Resubscribe path.
+  std::vector<std::shared_ptr<SubChannel>> to_arm;
+  for (const auto& [sub_id, last_acked] : client_acks) {
+    auto sub_it = s->engine_subs.find(sub_id);
+    if (sub_it == s->engine_subs.end()) {
+      ack.acks.emplace_back(sub_id, kResumeDropped);
+      continue;
+    }
+    const std::string& query = sub_it->second;
+    auto ch_it = s->channels.find(sub_id);
+    if (ch_it == s->channels.end()) {
+      // Bookkeeping hole; treat as dropped rather than guess.
+      engine_->Unsubscribe(query, sub_id);
+      s->RemoveSub(sub_id);
+      s->engine_subs.erase(sub_it);
+      ack.acks.emplace_back(sub_id, kResumeDropped);
+      continue;
+    }
+    if (s->CanReplay(sub_id, last_acked)) {
+      s->ReplayFrom(sub_id, last_acked);
+      resume_replays_.fetch_add(1, std::memory_order_relaxed);
+      ack.acks.emplace_back(sub_id, kResumeReplayed);
+      to_arm.push_back(ch_it->second);
+      continue;
+    }
+    // Ring overrun (or a bogus ack): re-couple the existing engine
+    // subscription to a fresh channel and push the snapshot the barrier
+    // captured as a kSubReset. The sub_id is stable across Resubscribe,
+    // so the client's mirror just resets in place.
+    auto ch2 = std::make_shared<SubChannel>();
+    ch2->session = s;
+    ch2->sub_id = sub_id;
+    std::vector<Tuple> snapshot;
+    if (!engine_->Resubscribe(query, sub_id, ChannelCallback(ch2),
+                              &snapshot)) {
+      engine_->Unsubscribe(query, sub_id);
+      s->RemoveSub(sub_id);
+      s->channels.erase(sub_id);
+      s->engine_subs.erase(sub_it);
+      ack.acks.emplace_back(sub_id, kResumeDropped);
+      continue;
+    }
+    ch_it->second = ch2;
+    s->PushReset(sub_id, std::move(snapshot));
+    resume_snapshots_.fetch_add(1, std::memory_order_relaxed);
+    ack.acks.emplace_back(sub_id, kResumeSnapshot);
+    to_arm.push_back(ch2);
+  }
+
+  resumes_.fetch_add(1, std::memory_order_relaxed);
+  ack.flag = true;
+  s->QueueResponse(ack);
+  // Arm after the ack so backlogged deltas follow it (sequence numbers
+  // make the order client-verifiable either way).
+  for (auto& ch : to_arm) {
+    std::lock_guard<std::mutex> lock(ch->mu);
+    ch->armed = true;
+    for (const SubscriptionEvent& ev : ch->backlog) {
+      s->OnSubEvent(ch->sub_id, ev);
+    }
+    ch->backlog.clear();
+  }
 }
 
 void Server::PollLoop() {
@@ -723,13 +990,19 @@ void Server::PollLoop() {
         if (re == 0) continue;
         if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) {
           if (!ReadSession(polled[i])) {
-            if (!polled[i]->close_after_drain()) CloseSession(polled[i]);
+            // EOF or read error: resumable sessions detach under the
+            // lease instead of closing (a crash and a graceful close
+            // are indistinguishable on the wire).
+            if (!polled[i]->close_after_drain()) {
+              DisconnectSession(polled[i]);
+            }
           }
         }
       }
     }
     // Housekeeping: flush idle delta batches, unsubscribe slow-consumer
-    // drops, reap dead sessions, refresh exported metrics.
+    // drops, reap dead/disconnected sessions, run lease + heartbeat
+    // timers, refresh exported metrics.
     std::vector<std::shared_ptr<Session>> all;
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -741,8 +1014,14 @@ void Server::PollLoop() {
         s->FlushPending();
         ReapDropped(s);
       }
-      if (s->closed()) CloseSession(s);
+      if (s->closed()) {
+        CloseSession(s);
+      } else if (s->disconnected()) {
+        // The writer hit a send error; decide detach-vs-close here.
+        DisconnectSession(s);
+      }
     }
+    RunTimers();
     ExportMetrics();
   }
   poll_exited_.store(true, std::memory_order_release);
@@ -760,7 +1039,9 @@ void Server::WriterLoop() {
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
       for (auto& [id, s] : sessions_) {
-        if (s->closed()) continue;
+        // Detached/disconnected sessions have no live socket; the poll
+        // thread owns their fate.
+        if (s->closed() || s->detached() || s->disconnected()) continue;
         if (s->HasOutput() || s->close_after_drain()) {
           writable.push_back(s);
           fds.push_back({s->fd(), POLLOUT, 0});
@@ -771,9 +1052,10 @@ void Server::WriterLoop() {
     if (fds[0].revents & POLLIN) DrainPipe(writer_pipe_[0]);
     for (size_t i = 0; i < writable.size(); ++i) {
       const std::shared_ptr<Session>& s = writable[i];
-      if (s->closed()) continue;
+      if (s->closed() || s->detached()) continue;
       if ((fds[1 + i].revents & (POLLERR | POLLHUP)) != 0) {
-        s->MarkClosed();
+        // Socket loss is the poll thread's call: it may be resumable.
+        s->MarkDisconnected();
         WakePoll();
         continue;
       }
@@ -794,10 +1076,11 @@ void Server::WriterLoop() {
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
         if (n < 0 && errno == EINTR) continue;
-        s->MarkClosed();
+        s->MarkDisconnected();
         WakePoll();
         break;
       }
+      if (s->disconnected()) continue;
       if (s->residual.empty() && !s->HasOutput() && s->close_after_drain()) {
         s->MarkClosed();
         WakePoll();
@@ -823,10 +1106,28 @@ void Server::ExportMetrics() {
       .Add(now.protocol_errors - exported_.protocol_errors);
   reg.GetCounter("upa_net_slow_drops_total")
       .Add(now.slow_drops - exported_.slow_drops);
+  reg.GetCounter("upa_net_resumes_total")
+      .Add(now.resumes - exported_.resumes);
+  reg.GetCounter("upa_net_resume_replays_total")
+      .Add(now.resume_replays - exported_.resume_replays);
+  reg.GetCounter("upa_net_resume_snapshots_total")
+      .Add(now.resume_snapshots - exported_.resume_snapshots);
+  reg.GetCounter("upa_net_resume_rejects_total")
+      .Add(now.resume_rejects - exported_.resume_rejects);
+  reg.GetCounter("upa_net_leases_expired_total")
+      .Add(now.leases_expired - exported_.leases_expired);
+  reg.GetCounter("upa_net_heartbeat_timeouts_total")
+      .Add(now.heartbeat_timeouts - exported_.heartbeat_timeouts);
+  reg.GetCounter("upa_net_replay_ring_overruns_total")
+      .Add(now.replay_ring_overruns - exported_.replay_ring_overruns);
   reg.GetGauge("upa_net_sessions_active")
       .Set(static_cast<int64_t>(now.sessions_active));
   reg.GetGauge("upa_net_subscriptions")
       .Set(static_cast<int64_t>(now.subscriptions));
+  reg.GetGauge("upa_net_detached_sessions")
+      .Set(static_cast<int64_t>(now.detached_sessions));
+  reg.GetGauge("upa_net_replay_ring_bytes")
+      .Set(static_cast<int64_t>(now.replay_ring_bytes));
   exported_ = now;
 }
 
@@ -834,21 +1135,36 @@ ServerStats Server::Stats() const {
   ServerStats st;
   st.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
   st.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  st.resumes = resumes_.load(std::memory_order_relaxed);
+  st.resume_replays = resume_replays_.load(std::memory_order_relaxed);
+  st.resume_snapshots = resume_snapshots_.load(std::memory_order_relaxed);
+  st.resume_rejects = resume_rejects_.load(std::memory_order_relaxed);
+  st.leases_expired = leases_expired_.load(std::memory_order_relaxed);
+  st.heartbeat_timeouts =
+      heartbeat_timeouts_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(sessions_mu_);
   st.sessions_active = sessions_.size();
-  for (const auto& [id, s] : sessions_) {
+  st.detached_sessions = detached_.size();
+  const auto fold = [&st](const std::shared_ptr<Session>& s) {
     st.slow_drops += s->slow_drops.load(std::memory_order_relaxed);
     st.frames_in += s->frames_in.load(std::memory_order_relaxed);
     st.frames_out += s->frames_out.load(std::memory_order_relaxed);
     st.bytes_in += s->bytes_in.load(std::memory_order_relaxed);
     st.bytes_out += s->bytes_out.load(std::memory_order_relaxed);
     st.subscriptions += s->engine_subs.size();
-  }
+    st.replay_ring_bytes += s->ring_bytes();
+    st.replay_ring_overruns +=
+        s->ring_overruns.load(std::memory_order_relaxed);
+  };
+  for (const auto& [id, s] : sessions_) fold(s);
+  for (const auto& [token, d] : detached_) fold(d.session);
   st.frames_in += closed_frames_in_.load(std::memory_order_relaxed);
   st.frames_out += closed_frames_out_.load(std::memory_order_relaxed);
   st.bytes_in += closed_bytes_in_.load(std::memory_order_relaxed);
   st.bytes_out += closed_bytes_out_.load(std::memory_order_relaxed);
   st.slow_drops += closed_slow_drops_.load(std::memory_order_relaxed);
+  st.replay_ring_overruns +=
+      closed_ring_overruns_.load(std::memory_order_relaxed);
   return st;
 }
 

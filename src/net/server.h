@@ -44,6 +44,22 @@ struct ServerOptions {
   /// Off by default: text DDL can declare sources and drop queries, so
   /// the operator opts in (engine_server --sql).
   bool enable_sql = false;
+  /// How long a disconnected session with live subscriptions stays
+  /// resumable (DESIGN.md Section 17). 0 disables resumption (a
+  /// disconnect tears the session down immediately, the pre-v3
+  /// behavior); -1 = auto: read UPA_SESSION_LEASE_MS, default 0.
+  int session_lease_ms = -1;
+  /// Per-session byte budget for the replay rings that back resume
+  /// (summed encoded frames across the session's subscriptions). When
+  /// the budget is exceeded the oldest frames are evicted and a resume
+  /// that needs them falls back to a fresh snapshot.
+  size_t replay_ring_bytes = 1u << 20;
+  /// Heartbeat interval: after this many ms without inbound traffic the
+  /// server pings the session. 0 disables heartbeats.
+  int heartbeat_ms = 0;
+  /// A session silent for this long is reaped (detached if resumable,
+  /// closed otherwise). 0 = 4x heartbeat_ms.
+  int heartbeat_timeout_ms = 0;
 };
 
 /// Aggregated server counters (also exported to the global obs registry
@@ -58,6 +74,15 @@ struct ServerStats {
   uint64_t protocol_errors = 0;
   uint64_t slow_drops = 0;
   uint64_t subscriptions = 0;  ///< Currently attached via this server.
+  uint64_t detached_sessions = 0;  ///< Disconnected, lease still live.
+  uint64_t resumes = 0;            ///< Successful kResume adoptions.
+  uint64_t resume_replays = 0;     ///< Subs caught up from the ring.
+  uint64_t resume_snapshots = 0;   ///< Subs reset to a fresh snapshot.
+  uint64_t resume_rejects = 0;     ///< kResume with a dead/unknown token.
+  uint64_t leases_expired = 0;     ///< Detached sessions reaped.
+  uint64_t heartbeat_timeouts = 0; ///< Sessions reaped for silence.
+  uint64_t replay_ring_bytes = 0;  ///< Currently retained for replay.
+  uint64_t replay_ring_overruns = 0;  ///< Frames evicted from rings.
 };
 
 /// The engine's network front end: a poll-based multi-client server
@@ -118,14 +143,29 @@ class Server {
   /// with kSubDropped pushes (poll thread owns all sessions, so the
   /// sweep is race-free).
   void HandleSqlExec(const std::shared_ptr<Session>& s, const Message& m);
+  /// Adopts the detached (or zombie live) session identified by the
+  /// resume token into `s`: replays each subscription's ring suffix or
+  /// resets it to a fresh snapshot, per the client's acked sequences.
+  void HandleResume(const std::shared_ptr<Session>& s, const Message& m);
   /// Pushes kSubDropped for (and forgets) every session's subscriptions
-  /// on `query`. Engine-side teardown already happened (UnregisterQuery
-  /// joined the shards), so only the session bookkeeping remains.
+  /// on `query` -- including detached sessions' (their resume then
+  /// reports the sub as dropped). Engine-side teardown already happened
+  /// (UnregisterQuery joined the shards), so only the session
+  /// bookkeeping remains.
   void SweepQuerySubs(const std::string& query);
   /// Engine-side unsubscribe + session detach for ids the slow-consumer
   /// policy dropped.
   void ReapDropped(const std::shared_ptr<Session>& s);
+  /// Unsubscribes, closes and rolls counters (does not touch the maps).
+  void TearDownSession(const std::shared_ptr<Session>& s);
   void CloseSession(const std::shared_ptr<Session>& s);
+  /// Socket loss: detaches the session under the resume lease when it
+  /// is resumable (binary, handshaken, has subscriptions, lease on),
+  /// closes it otherwise.
+  void DisconnectSession(const std::shared_ptr<Session>& s);
+  /// Lease expiry + heartbeat housekeeping (poll thread, each round).
+  void RunTimers();
+  uint64_t NextToken();
   void WakePoll();
   void WakeWriter();
   /// Publishes Stats() deltas to the global obs registry (upa_net_*).
@@ -159,10 +199,28 @@ class Server {
   /// thread snapshots it under the lock each round.
   mutable std::mutex sessions_mu_;
   std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  /// Disconnected-but-resumable sessions keyed by token, with their
+  /// lease deadlines. Mutated by the poll thread; Stats() reads it
+  /// under sessions_mu_.
+  struct Detached {
+    std::shared_ptr<Session> session;
+    int64_t deadline_ms = 0;
+  };
+  std::map<uint64_t, Detached> detached_;
   uint64_t next_session_id_ = 1;
+  /// splitmix64 state behind NextToken (poll thread only).
+  uint64_t token_seed_ = 0;
+  /// Resolved ServerOptions::session_lease_ms (env applied).
+  int lease_ms_ = 0;
 
   std::atomic<uint64_t> sessions_opened_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> resumes_{0};
+  std::atomic<uint64_t> resume_replays_{0};
+  std::atomic<uint64_t> resume_snapshots_{0};
+  std::atomic<uint64_t> resume_rejects_{0};
+  std::atomic<uint64_t> leases_expired_{0};
+  std::atomic<uint64_t> heartbeat_timeouts_{0};
 
   /// Totals rolled over from reaped sessions, so Stats() counters are
   /// monotonic across disconnects.
@@ -171,6 +229,7 @@ class Server {
   std::atomic<uint64_t> closed_bytes_in_{0};
   std::atomic<uint64_t> closed_bytes_out_{0};
   std::atomic<uint64_t> closed_slow_drops_{0};
+  std::atomic<uint64_t> closed_ring_overruns_{0};
 
   /// Last stats snapshot pushed to the obs registry (poll thread only).
   ServerStats exported_;

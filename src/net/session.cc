@@ -1,5 +1,6 @@
 #include "net/session.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <utility>
@@ -8,13 +9,15 @@ namespace upa {
 namespace net {
 
 Session::Session(uint64_t id, int fd, Kind kind, SlowConsumerPolicy policy,
-                 size_t send_cap_bytes, std::function<void()> wake_writer,
+                 size_t send_cap_bytes, size_t replay_ring_cap,
+                 std::function<void()> wake_writer,
                  std::function<void()> wake_poll)
     : id_(id),
       fd_(fd),
       kind_(kind),
       policy_(policy),
       cap_bytes_(send_cap_bytes),
+      ring_cap_bytes_(replay_ring_cap),
       wake_writer_(std::move(wake_writer)),
       wake_poll_(std::move(wake_poll)) {}
 
@@ -32,7 +35,10 @@ void Session::AddSub(uint64_t sub_id, UpdatePattern pattern) {
 
 void Session::RemoveSub(uint64_t sub_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  sub_state_.erase(sub_id);
+  auto it = sub_state_.find(sub_id);
+  if (it == sub_state_.end()) return;
+  ring_total_ -= it->second.ring_bytes;
+  sub_state_.erase(it);
 }
 
 void Session::OnSubEvent(uint64_t sub_id, const SubscriptionEvent& ev) {
@@ -59,23 +65,74 @@ void Session::OnSubEvent(uint64_t sub_id, const SubscriptionEvent& ev) {
     }
     case SubscriptionEvent::Kind::kWatermark: {
       if (!FlushPendingLocked(sub_id, &sub, &lock)) return;
+      // FlushPendingLocked may have released the lock (kBlock); the
+      // entry can only have been erased by a concurrent drop, in which
+      // case the iterator is gone.
+      auto again = sub_state_.find(sub_id);
+      if (again == sub_state_.end()) return;
       Message m;
       m.type = MsgType::kSubWatermark;
       m.sub_id = sub_id;
       m.time = ev.time;
-      AppendLocked(EncodeFrame(m));
+      std::string frame;
+      StampAndRingLocked(&again->second, &m, /*is_reset=*/false, &frame);
+      AppendLocked(frame);
       break;
     }
-    case SubscriptionEvent::Kind::kReset: {
-      // The snapshot supersedes anything buffered.
-      sub.pending.clear();
-      Message m;
-      m.type = MsgType::kSubReset;
-      m.sub_id = sub_id;
-      m.tuples = ev.snapshot;
-      AppendLocked(EncodeFrame(m));
+    case SubscriptionEvent::Kind::kReset:
+      ResetSubLocked(&sub, sub_id, ev.snapshot);
       break;
+  }
+}
+
+void Session::ResetSubLocked(SubState* sub, uint64_t sub_id,
+                             std::vector<Tuple> snapshot) {
+  // The snapshot supersedes anything buffered or ringed: the pending
+  // batch is dropped and the ring collapses to just the reset frame,
+  // from which any older ack can catch up (not an overrun).
+  sub->pending.clear();
+  ring_total_ -= sub->ring_bytes;
+  sub->ring.clear();
+  sub->ring_bytes = 0;
+  Message m;
+  m.type = MsgType::kSubReset;
+  m.sub_id = sub_id;
+  m.tuples = std::move(snapshot);
+  std::string frame;
+  StampAndRingLocked(sub, &m, /*is_reset=*/true, &frame);
+  AppendLocked(frame);
+}
+
+void Session::StampAndRingLocked(SubState* sub, Message* m, bool is_reset,
+                                 std::string* encoded) {
+  m->seq = sub->next_seq++;
+  *encoded = EncodeFrame(*m);
+  if (ring_cap_bytes_ == 0) {
+    sub->evicted_to = m->seq;
+    return;
+  }
+  sub->ring.push_back(ReplayFrame{m->seq, is_reset, *encoded});
+  sub->ring_bytes += encoded->size();
+  ring_total_ += encoded->size();
+  EvictRingsLocked();
+}
+
+void Session::EvictRingsLocked() {
+  while (ring_total_ > ring_cap_bytes_) {
+    SubState* fattest = nullptr;
+    for (auto& [sub_id, sub] : sub_state_) {
+      if (sub.ring.empty()) continue;
+      if (fattest == nullptr || sub.ring_bytes > fattest->ring_bytes) {
+        fattest = &sub;
+      }
     }
+    if (fattest == nullptr) break;
+    ReplayFrame& front = fattest->ring.front();
+    fattest->evicted_to = front.seq;
+    fattest->ring_bytes -= front.bytes.size();
+    ring_total_ -= front.bytes.size();
+    fattest->ring.pop_front();
+    ring_overruns.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -87,20 +144,27 @@ bool Session::FlushPendingLocked(uint64_t sub_id, SubState* sub,
   m.sub_id = sub_id;
   m.tuples = std::move(sub->pending);
   sub->pending.clear();
-  const std::string frame = EncodeFrame(m);
+  std::string frame;
+  StampAndRingLocked(sub, &m, /*is_reset=*/false, &frame);
+  // A detached session has no live socket: the frame lives in the ring
+  // for replay and the send cap does not apply.
+  if (detached()) return true;
   if (out_.size() + frame.size() > cap_bytes_) {
     if (policy_ == SlowConsumerPolicy::kBlock) {
       block_waits.fetch_add(1, std::memory_order_relaxed);
       wake_writer_();
       can_send_.wait(*lock, [this, &frame] {
-        return closed() || out_.size() + frame.size() <= cap_bytes_;
+        return closed() || detached() ||
+               out_.size() + frame.size() <= cap_bytes_;
       });
       if (closed()) return false;
+      if (detached()) return true;  // Ringed above; nothing to send.
     } else {
       // kDropSubscription: discard, notify, and hand the id to the poll
       // thread for the engine-side unsubscribe (it cannot happen here:
-      // this runs inside the hub callback, under the hub lock).
+      // this runs inside the hub callback, under the channel lock).
       slow_drops.fetch_add(1, std::memory_order_relaxed);
+      ring_total_ -= sub->ring_bytes;
       sub_state_.erase(sub_id);
       dropped_.push_back(sub_id);
       Message notice;
@@ -116,7 +180,7 @@ bool Session::FlushPendingLocked(uint64_t sub_id, SubState* sub,
 }
 
 void Session::AppendLocked(const std::string& bytes) {
-  if (closed()) return;
+  if (closed() || detached()) return;
   out_ += bytes;
   frames_out.fetch_add(1, std::memory_order_relaxed);
   wake_writer_();
@@ -143,7 +207,21 @@ void Session::QueueResponse(const Message& m) {
   // A response must not overtake subscription data produced before it
   // (e.g. a FlushAck must follow the watermarks that barrier emitted).
   FlushAllPendingLocked(&lock);
-  AppendLocked(EncodeFrame(m));
+  const std::string frame = EncodeFrame(m);
+  if (m.req_id != 0 && m.type != MsgType::kHelloAck &&
+      m.type != MsgType::kResumeAck) {
+    // One-deep response cache: after a resume, a client retrying its
+    // last un-acked request (same req_id) gets this frame replayed
+    // instead of re-executing a possibly non-idempotent request.
+    // Handshake and resume acks are excluded, mirroring the lookup-side
+    // skip: they are sent on the new connection *between* the original
+    // request and its retry, and caching them would clobber the adopted
+    // response the retry is about to ask for (turning e.g. a retried
+    // kIngestBatch into a double ingest).
+    last_req_id_ = m.req_id;
+    last_resp_frame_ = frame;
+  }
+  AppendLocked(frame);
 }
 
 void Session::QueueBytes(std::string bytes) {
@@ -159,6 +237,78 @@ void Session::FlushPending() {
 std::vector<uint64_t> Session::TakeDropped() {
   std::lock_guard<std::mutex> lock(mu_);
   return std::exchange(dropped_, {});
+}
+
+void Session::Detach() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    detached_.store(true, std::memory_order_release);
+    // The socket is dead: whatever was queued but unsent is recoverable
+    // from the replay rings, so drop it rather than leak it.
+    out_.clear();
+  }
+  // A heartbeat-initiated detach abandons a socket that may still be
+  // open; shut it down (the fd itself stays with the session until the
+  // destructor) so a merely-slow peer sees the connection die and takes
+  // its reconnect path instead of waiting forever.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  can_send_.notify_all();
+}
+
+void Session::AdoptFrom(Session& old) {
+  std::scoped_lock lock(old.mu_, mu_);
+  sub_state_ = std::move(old.sub_state_);
+  old.sub_state_.clear();
+  ring_total_ = old.ring_total_;
+  old.ring_total_ = 0;
+  dropped_ = std::move(old.dropped_);
+  old.dropped_.clear();
+  last_req_id_ = old.last_req_id_;
+  last_resp_frame_ = std::move(old.last_resp_frame_);
+  old.last_req_id_ = 0;
+  old.last_resp_frame_.clear();
+}
+
+bool Session::CanReplay(uint64_t sub_id, uint64_t last_acked) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sub_state_.find(sub_id);
+  if (it == sub_state_.end()) return false;
+  const SubState& sub = it->second;
+  if (last_acked >= sub.next_seq) return false;       // Bogus claim.
+  if (last_acked + 1 == sub.next_seq) return true;    // Fully caught up.
+  // A ring that starts with a reset supersedes everything older, so it
+  // can serve any stale ack.
+  if (!sub.ring.empty() && sub.ring.front().is_reset) return true;
+  return last_acked >= sub.evicted_to;
+}
+
+void Session::ReplayFrom(uint64_t sub_id, uint64_t last_acked) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sub_state_.find(sub_id);
+  if (it == sub_state_.end()) return;
+  for (const ReplayFrame& f : it->second.ring) {
+    if (f.seq <= last_acked) continue;
+    AppendLocked(f.bytes);
+  }
+}
+
+void Session::PushReset(uint64_t sub_id, std::vector<Tuple> snapshot) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sub_state_.find(sub_id);
+  if (it == sub_state_.end()) return;
+  ResetSubLocked(&it->second, sub_id, std::move(snapshot));
+}
+
+bool Session::CachedResponse(uint64_t req_id, std::string* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (req_id == 0 || req_id != last_req_id_) return false;
+  *frame = last_resp_frame_;
+  return true;
+}
+
+size_t Session::ring_bytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_total_;
 }
 
 bool Session::HasOutput() {

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -16,6 +18,8 @@
 
 namespace upa {
 namespace net {
+
+class Session;
 
 /// What the server does when a subscriber cannot keep up -- i.e. when a
 /// session's queued-but-unsent subscription bytes exceed the configured
@@ -37,12 +41,50 @@ enum class SlowConsumerPolicy {
   kDropSubscription,
 };
 
-/// One accepted connection. The poll thread owns the read side (`in`,
-/// handshake state, request dispatch) without locking; the send side is
-/// a mutex-guarded output buffer fed by the poll thread (responses),
-/// engine threads (subscription events, via Server's hub callbacks) and
-/// drained by the server's writer thread. Sessions are reference-counted
-/// by the server and by in-flight subscription callbacks.
+/// Bridges the window between Engine::Subscribe returning and the
+/// session learning the subscription id: the engine assigns the id
+/// inside Subscribe, but deltas may start flowing the instant it
+/// returns -- before the caller can register the id with the session.
+/// Events arriving before the channel is armed are buffered, then
+/// replayed in order (the hub serializes emissions, so ordering is
+/// preserved end to end). Shared by kSubscribe and the SQL SUBSCRIBE
+/// statement.
+///
+/// The delivery callback holds `mu` across the whole delivery into the
+/// session (lock order: SubChannel::mu before Session's internal lock,
+/// never the reverse). That makes resume adoption race-free: the poll
+/// thread disarms every channel under `mu`, after which no event can be
+/// mid-flight into the old session, moves the subscription state to the
+/// adopting session, re-points `session`, and re-arms -- events landing
+/// in the window buffer in `backlog` and replay in order.
+struct SubChannel {
+  std::mutex mu;
+  bool armed = false;
+  uint64_t sub_id = 0;
+  std::shared_ptr<Session> session;
+  std::vector<SubscriptionEvent> backlog;
+};
+
+/// One accepted connection (or, between disconnect and lease expiry, a
+/// detached resumable session). The poll thread owns the read side
+/// (`in`, handshake state, request dispatch) without locking; the send
+/// side is a mutex-guarded output buffer fed by the poll thread
+/// (responses), engine threads (subscription events, via Server's hub
+/// callbacks) and drained by the server's writer thread. Sessions are
+/// reference-counted by the server and by in-flight subscription
+/// callbacks.
+///
+/// Resumable-session lifecycle (DESIGN.md Section 17): every
+/// kSubData/kSubWatermark/kSubReset frame is stamped with a
+/// per-subscription sequence number and retained in a bounded replay
+/// ring. On connection loss the server Detach()es the session instead
+/// of closing it: subscriptions stay attached to the engine and keep
+/// feeding the ring (the dead socket's output buffer is discarded).
+/// A reconnecting client's kResume adopts the detached session's
+/// subscription state into its new session (AdoptFrom) and either
+/// replays the ring suffix past the client's acked sequence
+/// (ReplayFrom) or -- when the ring was overrun -- pushes a fresh
+/// snapshot as a kSubReset (PushReset).
 class Session {
  public:
   enum class Kind {
@@ -52,9 +94,11 @@ class Session {
 
   /// `wake_writer` / `wake_poll` poke the server's threads (self-pipe);
   /// both must stay callable for the session's lifetime.
+  /// `replay_ring_cap` bounds the summed encoded-frame bytes retained
+  /// across this session's replay rings (0 disables retention).
   Session(uint64_t id, int fd, Kind kind, SlowConsumerPolicy policy,
-          size_t send_cap_bytes, std::function<void()> wake_writer,
-          std::function<void()> wake_poll);
+          size_t send_cap_bytes, size_t replay_ring_cap,
+          std::function<void()> wake_writer, std::function<void()> wake_poll);
   ~Session();
 
   Session(const Session&) = delete;
@@ -72,9 +116,18 @@ class Session {
   /// version up to kProtocolVersion; version-gated requests such as
   /// kSqlExec check this).
   uint32_t version = 0;
+  /// Session token issued in kHelloAck (0 when resumption is off).
+  uint64_t token = 0;
+  /// Millisecond timestamps driving the heartbeat state machine: any
+  /// inbound byte counts as liveness.
+  int64_t last_in_ms = 0;
+  int64_t ping_sent_ms = 0;
   /// Engine subscription ids attached to this session -> query name
   /// (needed to unsubscribe on close).
   std::map<uint64_t, std::string> engine_subs;
+  /// The delivery channel per subscription, kept so kResume can re-point
+  /// it at the adopting session.
+  std::map<uint64_t, std::shared_ptr<SubChannel>> channels;
 
   // --- Output path (any thread) ---
 
@@ -86,12 +139,13 @@ class Session {
   /// signed tuples.
   void AddSub(uint64_t sub_id, UpdatePattern pattern);
 
-  /// Detaches a subscription from the event path (pending deltas are
-  /// discarded). The caller must separately unsubscribe from the engine.
+  /// Detaches a subscription from the event path (pending deltas and
+  /// its replay ring are discarded). The caller must separately
+  /// unsubscribe from the engine.
   void RemoveSub(uint64_t sub_id);
 
   /// Delivers one engine subscription event. Called from engine threads
-  /// (under the hub lock). Deltas are batched per subscription and
+  /// (under the channel lock). Deltas are batched per subscription and
   /// flushed as kSubData frames at watermark boundaries, when the batch
   /// reaches kDeltaBatchMax, or before any response frame; watermarks
   /// and resets enqueue immediately (after the flush) so a subscriber
@@ -100,10 +154,13 @@ class Session {
 
   /// Enqueues a response/control frame. Flushes every subscription's
   /// pending deltas first (a response must never overtake data emitted
-  /// before it) and bypasses the send cap.
+  /// before it) and bypasses the send cap. Responses with a nonzero
+  /// req_id are cached (last one only) so a retried request after a
+  /// resume can be answered idempotently.
   void QueueResponse(const Message& m);
 
-  /// Enqueues raw bytes (the HTTP path), bypassing the cap.
+  /// Enqueues raw bytes (the HTTP path and cached-response replay),
+  /// bypassing the cap.
   void QueueBytes(std::string bytes);
 
   /// Flushes all pending delta batches to the output buffer (poll thread
@@ -113,6 +170,58 @@ class Session {
   /// Subscriptions dropped by the slow-consumer policy since the last
   /// call (poll thread: unsubscribe them from the engine).
   std::vector<uint64_t> TakeDropped();
+
+  // --- Resumable-session interface (poll thread) ---
+
+  /// Detaches the session from its (dead) socket: discards the output
+  /// buffer, releases any emitter blocked on the send cap, and makes
+  /// every later append a ring-only operation. Subscription state and
+  /// replay rings keep accumulating; the fd stays open (harmlessly)
+  /// until the session is destroyed. Not reversible -- resumption
+  /// adopts the state into a fresh session instead.
+  void Detach();
+  bool detached() const {
+    return detached_.load(std::memory_order_acquire);
+  }
+
+  /// Writer-thread signal that the socket errored: the poll thread
+  /// decides whether to detach (resumable) or close.
+  void MarkDisconnected() {
+    disconnected_.store(true, std::memory_order_release);
+  }
+  bool disconnected() const {
+    return disconnected_.load(std::memory_order_acquire);
+  }
+
+  /// Adopts `old`'s subscription state (sequence counters, pending
+  /// deltas, replay rings, cached response) into this session. The
+  /// caller must have disarmed every channel first so no delivery is
+  /// mid-flight into `old`.
+  void AdoptFrom(Session& old);
+
+  /// True when the replay ring can serve every frame after `last_acked`
+  /// for `sub_id` (also true when the ring starts with a reset, which
+  /// supersedes anything older). False on an unknown sub, a bogus ack
+  /// (ahead of what was ever sent), or an overrun ring.
+  bool CanReplay(uint64_t sub_id, uint64_t last_acked);
+
+  /// Appends every ringed frame with seq > `last_acked` to the output
+  /// buffer (cap-exempt).
+  void ReplayFrom(uint64_t sub_id, uint64_t last_acked);
+
+  /// Pushes a kSubReset carrying `snapshot` for `sub_id`: discards the
+  /// pending batch, supersedes the replay ring (the reset becomes its
+  /// first frame), stamps the next sequence number. Used for the resume
+  /// snapshot-fallback path; engine-driven resets go through OnSubEvent
+  /// and behave identically.
+  void PushReset(uint64_t sub_id, std::vector<Tuple> snapshot);
+
+  /// Looks up the cached response for a retried request. Returns false
+  /// when `req_id` does not match the most recent response.
+  bool CachedResponse(uint64_t req_id, std::string* frame);
+
+  /// Summed encoded-frame bytes currently retained in replay rings.
+  size_t ring_bytes();
 
   // --- Writer-thread interface ---
 
@@ -132,10 +241,11 @@ class Session {
     return close_after_drain_.load(std::memory_order_relaxed);
   }
 
-  /// Marks the session dead (IO error, protocol error, server stop):
-  /// wakes any emitter blocked on the send cap and makes every later
-  /// queue/emit call a no-op. Idempotent; does not close the fd (the
-  /// poll thread does, once, when it reaps the session).
+  /// Marks the session dead (IO error on a non-resumable session, lease
+  /// expiry, protocol error, server stop): wakes any emitter blocked on
+  /// the send cap and makes every later queue/emit call a no-op.
+  /// Idempotent; does not close the fd (closed when the last reference
+  /// drops).
   void MarkClosed();
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
@@ -146,21 +256,51 @@ class Session {
   std::atomic<uint64_t> bytes_out{0};
   std::atomic<uint64_t> slow_drops{0};
   std::atomic<uint64_t> block_waits{0};
+  /// Frames evicted from replay rings to stay under the cap; a resume
+  /// whose ack predates the evicted point falls back to a snapshot.
+  std::atomic<uint64_t> ring_overruns{0};
 
  private:
+  /// One retained (already encoded) push frame.
+  struct ReplayFrame {
+    uint64_t seq = 0;
+    bool is_reset = false;
+    std::string bytes;
+  };
+
   struct SubState {
     UpdatePattern pattern = UpdatePattern::kMonotonic;
     std::vector<Tuple> pending;  ///< Deltas awaiting a kSubData frame.
+    /// Next sequence number to stamp (one counter per subscription,
+    /// shared by data/watermark/reset frames; starts at 1).
+    uint64_t next_seq = 1;
+    /// Retained frames, oldest first; contiguous seqs
+    /// (evicted_to, next_seq).
+    std::deque<ReplayFrame> ring;
+    size_t ring_bytes = 0;
+    /// Highest sequence number evicted from the ring (0 = none).
+    uint64_t evicted_to = 0;
   };
 
   /// Encodes and appends one kSubData frame for `sub`'s pending deltas,
-  /// enforcing the send cap per the slow-consumer policy. Returns false
-  /// if the subscription was dropped (kDropSubscription) or the session
-  /// closed. `lock` is the held session lock (released/reacquired while
-  /// blocking under kBlock).
+  /// enforcing the send cap per the slow-consumer policy. The frame is
+  /// stamped and ringed unconditionally (even when detached). Returns
+  /// false if the subscription was dropped (kDropSubscription) or the
+  /// session closed. `lock` is the held session lock (released and
+  /// reacquired while blocking under kBlock).
   bool FlushPendingLocked(uint64_t sub_id, SubState* sub,
                           std::unique_lock<std::mutex>* lock);
   void FlushAllPendingLocked(std::unique_lock<std::mutex>* lock);
+  /// Stamps `m` with `sub`'s next sequence, rings the encoded frame,
+  /// and appends it to the output buffer unless detached. Returns the
+  /// encoded frame size.
+  void StampAndRingLocked(SubState* sub, Message* m, bool is_reset,
+                          std::string* encoded);
+  void ResetSubLocked(SubState* sub, uint64_t sub_id,
+                      std::vector<Tuple> snapshot);
+  /// Evicts oldest frames (largest ring first) until the session-wide
+  /// ring budget is met.
+  void EvictRingsLocked();
   void AppendLocked(const std::string& bytes);
 
   const uint64_t id_;
@@ -168,6 +308,7 @@ class Session {
   const Kind kind_;
   const SlowConsumerPolicy policy_;
   const size_t cap_bytes_;
+  const size_t ring_cap_bytes_;
   const std::function<void()> wake_writer_;
   const std::function<void()> wake_poll_;
 
@@ -176,7 +317,12 @@ class Session {
   std::string out_;                         // Guarded by mu_.
   std::map<uint64_t, SubState> sub_state_;  // Guarded by mu_.
   std::vector<uint64_t> dropped_;           // Guarded by mu_.
+  size_t ring_total_ = 0;                   // Guarded by mu_.
+  uint64_t last_req_id_ = 0;                // Guarded by mu_.
+  std::string last_resp_frame_;             // Guarded by mu_.
   std::atomic<bool> closed_{false};
+  std::atomic<bool> detached_{false};
+  std::atomic<bool> disconnected_{false};
   std::atomic<bool> close_after_drain_{false};
 };
 

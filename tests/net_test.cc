@@ -30,6 +30,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <functional>
 #include <map>
@@ -125,6 +126,10 @@ Message RandomMessage(MsgType type, Rng& rng) {
   m.view_kind = static_cast<uint8_t>(rng.NextBelow(2));
   m.sub_id = rng.Next();
   m.time = static_cast<int64_t>(rng.NextBelow(1000000));
+  m.token = rng.Next();
+  m.seq = rng.Next();
+  const size_t na = rng.NextBelow(5);
+  for (size_t i = 0; i < na; ++i) m.acks.emplace_back(rng.Next(), rng.Next());
   const size_t nb = rng.NextBelow(5);
   for (size_t i = 0; i < nb; ++i) {
     m.batch.emplace_back(static_cast<uint32_t>(rng.NextBelow(4)),
@@ -150,6 +155,7 @@ const std::vector<MsgType>& AllTypes() {
       MsgType::kSubReset,      MsgType::kSubDropped,
       MsgType::kPing,          MsgType::kPong,
       MsgType::kSqlExec,       MsgType::kSqlResult,
+      MsgType::kResume,        MsgType::kResumeAck,
   };
   return types;
 }
@@ -863,6 +869,469 @@ TEST(NetServerTest, ShardKillWithDurabilityResetsAndResynchronizes) {
     if (qm.name == "q") restarts = qm.restarts;
   }
   EXPECT_GE(restarts, 1u);
+}
+
+// --- 4. Resilient sessions: reconnect, resume, heartbeats --------------
+
+namespace raw {
+
+/// Minimal loopback listener for fake-server tests.
+struct Listener {
+  int fd = -1;
+  int port = 0;
+  Listener() {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0 &&
+        ::listen(fd, 1) == 0) {
+      socklen_t len = sizeof(addr);
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+      port = ntohs(addr.sin_port);
+    }
+  }
+  ~Listener() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Blocking read of one decoded frame off `fd` (fails the test on EOF).
+Message ReadMsg(int fd) {
+  std::string buf;
+  Message m;
+  for (;;) {
+    size_t consumed = 0;
+    const DecodeStatus st = DecodeFrame(buf.data(), buf.size(), &m, &consumed);
+    if (st == DecodeStatus::kOk) return m;
+    EXPECT_EQ(st, DecodeStatus::kNeedMore);
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      ADD_FAILURE() << "connection closed while awaiting a frame";
+      return m;
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+/// Reads frames until one carries `req_id` (dispatching nothing);
+/// returns it. Replay pushes (req_id 0) are collected into `pushes`.
+Message ReadResponse(int fd, uint64_t req_id,
+                     std::vector<Message>* pushes = nullptr) {
+  std::string buf;
+  for (;;) {
+    Message m;
+    size_t consumed = 0;
+    const DecodeStatus st = DecodeFrame(buf.data(), buf.size(), &m, &consumed);
+    if (st == DecodeStatus::kOk) {
+      buf.erase(0, consumed);
+      if (m.req_id == req_id) return m;
+      if (m.req_id == 0 && pushes != nullptr) pushes->push_back(std::move(m));
+      continue;
+    }
+    EXPECT_EQ(st, DecodeStatus::kNeedMore);
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      ADD_FAILURE() << "connection closed while awaiting req " << req_id;
+      return Message{};
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+/// v3 handshake on a raw connection; returns the issued session token.
+uint64_t Handshake(const Conn& conn) {
+  Message hello;
+  hello.type = MsgType::kHello;
+  hello.req_id = 1;
+  hello.version = kProtocolVersion;
+  EXPECT_TRUE(conn.Send(EncodeFrame(hello)));
+  const Message ack = ReadResponse(conn.fd, 1);
+  EXPECT_EQ(ack.type, MsgType::kHelloAck);
+  return ack.token;
+}
+
+}  // namespace raw
+
+// Satellite: the client's frame-read timeout is a whole-frame deadline.
+// A peer trickling bytes slower than the frame but faster than the old
+// per-poll timeout used to pin PollEvents for the whole trickle; now the
+// residual budget shrinks across partial reads and the call returns on
+// schedule.
+TEST(NetClientTest, ReadFrameTimeoutIsAWholeFrameDeadline) {
+  raw::Listener listener;
+  ASSERT_GT(listener.port, 0);
+  std::thread fake_server([&listener] {
+    const int fd = ::accept(listener.fd, nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    const Message hello = raw::ReadMsg(fd);
+    Message ack;
+    ack.type = MsgType::kHelloAck;
+    ack.req_id = hello.req_id;
+    ack.version = kProtocolVersion;
+    ack.name = "trickler";
+    [[maybe_unused]] ssize_t sent;
+    const std::string ack_frame = EncodeFrame(ack);
+    sent = ::send(fd, ack_frame.data(), ack_frame.size(), MSG_NOSIGNAL);
+    // Trickle a push frame one byte per 100ms: each byte lands inside
+    // the client's 200ms window, but the whole frame takes ~2s.
+    Message push;
+    push.type = MsgType::kSubWatermark;
+    push.sub_id = 1;
+    push.seq = 1;
+    push.time = 1;
+    const std::string frame = EncodeFrame(push);
+    for (size_t i = 0; i < frame.size() && i < 15; ++i) {
+      if (::send(fd, frame.data() + i, 1, MSG_NOSIGNAL) != 1) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    ::close(fd);
+  });
+
+  Client client;
+  std::string err;
+  ASSERT_TRUE(client.Connect("127.0.0.1", listener.port, &err)) << err;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(client.PollEvents(200, &err)) << err;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  // Old behavior: ~1.7s (the trickle keeps resetting the window). The
+  // bound leaves slack for CI scheduling noise while still catching a
+  // rearming timeout.
+  EXPECT_LT(elapsed, 1000) << "partial reads rearmed the poll timeout";
+  client.Close();
+  fake_server.join();
+}
+
+/// Wire variant with resumable sessions (tests tune ring/heartbeat).
+ServerOptions ResumableOptions(size_t ring_bytes = 1u << 20,
+                               int heartbeat_ms = 0,
+                               int heartbeat_timeout_ms = 0) {
+  ServerOptions sopts;
+  sopts.session_lease_ms = 10000;
+  sopts.replay_ring_bytes = ring_bytes;
+  sopts.heartbeat_ms = heartbeat_ms;
+  sopts.heartbeat_timeout_ms = heartbeat_timeout_ms;
+  return sopts;
+}
+
+/// Declares link0, registers the monotonic `q`, subscribes, and returns
+/// the mirror.
+SubscriptionMirror* SetupMonoSub(Wire& w) {
+  std::string err;
+  const int64_t link0 = w.client.DeclareStream("link0", LblSchema(), &err);
+  EXPECT_GE(link0, 0) << err;
+  EXPECT_TRUE(w.client.RegisterQuery(
+      "q", "SELECT src_ip FROM link0 WHERE protocol = 2", 0, nullptr, &err))
+      << err;
+  SubscriptionMirror* sub = w.client.Subscribe("q", &err);
+  EXPECT_NE(sub, nullptr) << err;
+  return sub;
+}
+
+std::vector<std::pair<uint32_t, Tuple>> TraceBatch(const Trace& trace,
+                                                   uint32_t stream_id,
+                                                   size_t begin, size_t end) {
+  std::vector<std::pair<uint32_t, Tuple>> batch;
+  for (size_t i = begin; i < end && i < trace.events.size(); ++i) {
+    if (trace.events[i].stream != 0) continue;
+    batch.emplace_back(stream_id, trace.events[i].tuple);
+  }
+  return batch;
+}
+
+TEST(NetResumeTest, ResumeReplaysDeltasBufferedWhileDisconnected) {
+  EngineOptions eopts;
+  eopts.default_shards = 1;
+  Wire w(eopts, ResumableOptions());
+  std::string err;
+  SubscriptionMirror* sub = SetupMonoSub(w);
+  ASSERT_NE(sub, nullptr);
+  EXPECT_NE(w.client.token(), 0u) << "lease on, so a token must be issued";
+
+  Client feeder;  // Keeps the engine fed while the subscriber is gone.
+  ASSERT_TRUE(feeder.Connect("127.0.0.1", w.server->port(), &err)) << err;
+
+  const Trace trace = NetTrace(200);
+  const size_t half = trace.events.size() / 2;
+  ASSERT_TRUE(feeder.IngestBatch(TraceBatch(trace, 0, 0, half), &err)) << err;
+  ASSERT_TRUE(w.client.Flush(&err)) << err;  // Mirror current; seqs acked.
+  const uint64_t seq_before = sub->last_seq();
+  EXPECT_GT(seq_before, 0u);
+
+  w.client.Disconnect();
+  ASSERT_TRUE(feeder.IngestBatch(TraceBatch(trace, 0, half,
+                                            trace.events.size()), &err))
+      << err;
+  ASSERT_TRUE(feeder.Flush(&err));  // Deltas + watermark land in the ring.
+
+  ReconnectPolicy policy;
+  policy.enabled = true;
+  w.client.set_reconnect(policy);
+  // Any request triggers reconnect-with-resume; the replayed suffix is
+  // applied before the resume ack, so the mirror is current immediately.
+  ASSERT_TRUE(w.client.Ping(&err)) << err;
+
+  const ClientStats cs = w.client.stats();
+  EXPECT_EQ(cs.reconnects, 1u);
+  EXPECT_EQ(cs.resumes, 1u);
+  EXPECT_EQ(cs.resume_replays, 1u);
+  EXPECT_EQ(cs.resume_snapshots, 0u);
+  EXPECT_EQ(cs.resume_lost, 0u);
+  EXPECT_GT(sub->last_seq(), seq_before);
+  EXPECT_FALSE(sub->dropped());
+  EXPECT_EQ(sub->resets_applied(), 0u) << "replay must not resort to resets";
+
+  std::vector<Tuple> snap;
+  ASSERT_TRUE(w.client.Snapshot("q", &snap, nullptr, &err)) << err;
+  EXPECT_EQ(Canonical(sub->Rows()), Canonical(snap));
+
+  const ServerStats ss = w.server->Stats();
+  EXPECT_EQ(ss.resumes, 1u);
+  EXPECT_EQ(ss.resume_replays, 1u);
+  EXPECT_EQ(ss.resume_snapshots, 0u);
+  EXPECT_EQ(ss.detached_sessions, 0u);
+  feeder.Close();
+}
+
+TEST(NetResumeTest, RingOverrunFallsBackToSnapshotCatchUp) {
+  EngineOptions eopts;
+  eopts.default_shards = 1;
+  // A 256-byte budget cannot hold any real delta frame: every resume
+  // that is not fully caught up must take the snapshot path.
+  Wire w(eopts, ResumableOptions(/*ring_bytes=*/256));
+  std::string err;
+  SubscriptionMirror* sub = SetupMonoSub(w);
+  ASSERT_NE(sub, nullptr);
+
+  Client feeder;
+  ASSERT_TRUE(feeder.Connect("127.0.0.1", w.server->port(), &err)) << err;
+  const Trace trace = NetTrace(200);
+  const size_t half = trace.events.size() / 2;
+  ASSERT_TRUE(feeder.IngestBatch(TraceBatch(trace, 0, 0, half), &err)) << err;
+  ASSERT_TRUE(w.client.Flush(&err)) << err;
+
+  w.client.Disconnect();
+  ASSERT_TRUE(feeder.IngestBatch(TraceBatch(trace, 0, half,
+                                            trace.events.size()), &err))
+      << err;
+  ASSERT_TRUE(feeder.Flush(&err));
+
+  ReconnectPolicy policy;
+  policy.enabled = true;
+  w.client.set_reconnect(policy);
+  ASSERT_TRUE(w.client.Ping(&err)) << err;
+
+  const ClientStats cs = w.client.stats();
+  EXPECT_EQ(cs.resumes, 1u);
+  EXPECT_EQ(cs.resume_replays, 0u);
+  EXPECT_EQ(cs.resume_snapshots, 1u);
+  EXPECT_EQ(cs.resume_lost, 0u);
+  EXPECT_GE(sub->resets_applied(), 1u)
+      << "the overrun fallback must arrive as a kSubReset snapshot";
+  EXPECT_FALSE(sub->dropped());
+
+  std::vector<Tuple> snap;
+  ASSERT_TRUE(w.client.Snapshot("q", &snap, nullptr, &err)) << err;
+  EXPECT_EQ(Canonical(sub->Rows()), Canonical(snap));
+
+  const ServerStats ss = w.server->Stats();
+  EXPECT_EQ(ss.resume_snapshots, 1u);
+  EXPECT_GT(ss.replay_ring_overruns, 0u)
+      << "the tiny ring never overran, so the fallback was not exercised";
+  feeder.Close();
+}
+
+TEST(NetResumeTest, StaleTokenAndMidSessionResumesAreRejected) {
+  Wire w({}, ResumableOptions());
+  std::string err;
+  ASSERT_NE(SetupMonoSub(w), nullptr);
+
+  // Unknown token: rejected, session stays usable.
+  raw::Conn conn(w.server->port());
+  ASSERT_GE(conn.fd, 0);
+  raw::Handshake(conn);
+  Message resume;
+  resume.type = MsgType::kResume;
+  resume.req_id = 2;
+  resume.token = 0xdeadbeefdeadbeefULL;
+  resume.acks.emplace_back(1, 0);
+  ASSERT_TRUE(conn.Send(EncodeFrame(resume)));
+  Message ack = raw::ReadResponse(conn.fd, 2);
+  EXPECT_EQ(ack.type, MsgType::kResumeAck);
+  EXPECT_FALSE(ack.flag);
+  EXPECT_NE(ack.text.find("token"), std::string::npos) << ack.text;
+
+  // A session that already subscribed cannot resume into another one
+  // (that would leak its own engine subscriptions).
+  Message subscribe;
+  subscribe.type = MsgType::kSubscribe;
+  subscribe.req_id = 3;
+  subscribe.name = "q";
+  ASSERT_TRUE(conn.Send(EncodeFrame(subscribe)));
+  const Message sub_ack = raw::ReadResponse(conn.fd, 3);
+  ASSERT_EQ(sub_ack.type, MsgType::kSubscribeAck);
+  resume.req_id = 4;
+  resume.token = w.client.token();
+  ASSERT_TRUE(conn.Send(EncodeFrame(resume)));
+  ack = raw::ReadResponse(conn.fd, 4);
+  EXPECT_EQ(ack.type, MsgType::kResumeAck);
+  EXPECT_FALSE(ack.flag);
+  EXPECT_NE(ack.text.find("precede"), std::string::npos) << ack.text;
+
+  EXPECT_GE(w.server->Stats().resume_rejects, 2u);
+  // The original client was never disturbed.
+  ASSERT_TRUE(w.client.Ping(&err)) << err;
+}
+
+TEST(NetResumeTest, ATokenResumesAtMostOnce) {
+  EngineOptions eopts;
+  eopts.default_shards = 1;
+  Wire w(eopts, ResumableOptions());
+  std::string err;
+  SubscriptionMirror* sub = SetupMonoSub(w);
+  ASSERT_NE(sub, nullptr);
+  const uint64_t token = w.client.token();
+  const uint64_t sub_id = sub->sub_id();
+  const uint64_t last_seq = sub->last_seq();
+  w.client.Disconnect();
+
+  // First resume wins (even racing the server's own notice of the
+  // disconnect: a live zombie with the token is force-detached).
+  raw::Conn first(w.server->port());
+  ASSERT_GE(first.fd, 0);
+  raw::Handshake(first);
+  Message resume;
+  resume.type = MsgType::kResume;
+  resume.req_id = 2;
+  resume.token = token;
+  resume.acks.emplace_back(sub_id, last_seq);
+  ASSERT_TRUE(first.Send(EncodeFrame(resume)));
+  Message ack = raw::ReadResponse(first.fd, 2);
+  EXPECT_EQ(ack.type, MsgType::kResumeAck);
+  EXPECT_TRUE(ack.flag) << ack.text;
+  ASSERT_EQ(ack.acks.size(), 1u);
+  EXPECT_EQ(ack.acks[0].first, sub_id);
+  EXPECT_EQ(ack.acks[0].second, kResumeReplayed);
+
+  // Second resume with the consumed token must be rejected.
+  raw::Conn second(w.server->port());
+  ASSERT_GE(second.fd, 0);
+  raw::Handshake(second);
+  ASSERT_TRUE(second.Send(EncodeFrame(resume)));
+  ack = raw::ReadResponse(second.fd, 2);
+  EXPECT_EQ(ack.type, MsgType::kResumeAck);
+  EXPECT_FALSE(ack.flag);
+  EXPECT_GE(w.server->Stats().resume_rejects, 1u);
+}
+
+TEST(NetResumeTest, LeaseExpiryDropsTheSessionAndTheClientReportsIt) {
+  EngineOptions eopts;
+  eopts.default_shards = 1;
+  ServerOptions sopts = ResumableOptions();
+  sopts.session_lease_ms = 50;  // Expires within one housekeeping round.
+  Wire w(eopts, sopts);
+  std::string err;
+  SubscriptionMirror* sub = SetupMonoSub(w);
+  ASSERT_NE(sub, nullptr);
+
+  w.client.Disconnect();
+  // Housekeeping runs each poll round (<=100ms); wait out lease + reap.
+  for (int i = 0; i < 100 && w.server->Stats().leases_expired == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(w.server->Stats().leases_expired, 1u);
+
+  ReconnectPolicy policy;
+  policy.enabled = true;
+  w.client.set_reconnect(policy);
+  // The reconnect succeeds; the resume does not. The connection is
+  // fresh and usable, and the lost subscription is reported, not
+  // silently resurrected empty.
+  ASSERT_TRUE(w.client.Ping(&err)) << err;
+  const ClientStats cs = w.client.stats();
+  EXPECT_EQ(cs.reconnects, 1u);
+  EXPECT_EQ(cs.resumes, 0u);
+  EXPECT_EQ(cs.resume_lost, 1u);
+  EXPECT_TRUE(sub->dropped());
+  EXPECT_GE(w.server->Stats().resume_rejects, 1u);
+  EXPECT_EQ(w.server->Stats().subscriptions, 0u)
+      << "the reaped session leaked an engine subscription";
+}
+
+TEST(NetResumeTest, HeartbeatTimeoutReapsASilentPeerWhoThenResumes) {
+  EngineOptions eopts;
+  eopts.default_shards = 1;
+  Wire w(eopts, ResumableOptions(/*ring_bytes=*/1u << 20,
+                                 /*heartbeat_ms=*/50,
+                                 /*heartbeat_timeout_ms=*/200));
+  std::string err;
+
+  // The silent subscriber: a second client that stops reading entirely.
+  Client quiet;
+  ASSERT_TRUE(quiet.Connect("127.0.0.1", w.server->port(), &err)) << err;
+  const int64_t link0 = w.client.DeclareStream("link0", LblSchema(), &err);
+  ASSERT_GE(link0, 0) << err;
+  ASSERT_TRUE(w.client.RegisterQuery(
+      "q", "SELECT src_ip FROM link0 WHERE protocol = 2", 0, nullptr, &err))
+      << err;
+  SubscriptionMirror* sub = quiet.Subscribe("q", &err);
+  ASSERT_NE(sub, nullptr) << err;
+
+  // Deltas in flight while the peer is silent: traffic lands in its
+  // ring; heartbeats go unanswered; the server reaps the socket but
+  // keeps the session resumable under the lease.
+  const Trace trace = NetTrace(150);
+  ASSERT_TRUE(w.client.IngestBatch(
+      TraceBatch(trace, static_cast<uint32_t>(link0), 0,
+                 trace.events.size()), &err))
+      << err;
+  ASSERT_TRUE(w.client.Flush(&err)) << err;
+  for (int i = 0; i < 60 && w.server->Stats().heartbeat_timeouts == 0; ++i) {
+    // Keep the driving client chatty so only `quiet` goes silent.
+    ASSERT_TRUE(w.client.Ping(&err)) << err;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(w.server->Stats().heartbeat_timeouts, 1u);
+  EXPECT_GE(w.server->Stats().detached_sessions, 1u);
+
+  // The reaped peer comes back: reconnect, resume, replay -- nothing
+  // was lost even though the server gave up its socket.
+  ReconnectPolicy policy;
+  policy.enabled = true;
+  quiet.set_reconnect(policy);
+  ASSERT_TRUE(quiet.Ping(&err)) << err;
+  const ClientStats cs = quiet.stats();
+  EXPECT_EQ(cs.resumes, 1u);
+  EXPECT_EQ(cs.resume_lost, 0u);
+  EXPECT_FALSE(sub->dropped());
+  ASSERT_TRUE(quiet.Flush(&err)) << err;
+  std::vector<Tuple> snap;
+  ASSERT_TRUE(quiet.Snapshot("q", &snap, nullptr, &err)) << err;
+  EXPECT_EQ(Canonical(sub->Rows()), Canonical(snap));
+  quiet.Close();
+}
+
+TEST(NetResumeTest, ResumptionMetricsAreExported) {
+  ServerOptions sopts = ResumableOptions();
+  sopts.metrics_port = 0;
+  Wire w({}, sopts);
+  ASSERT_GE(w.server->metrics_port(), 0);
+  raw::Conn conn(w.server->metrics_port());
+  ASSERT_GE(conn.fd, 0);
+  ASSERT_TRUE(conn.Send("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"));
+  const std::string body = conn.ReadAll();
+  for (const char* series :
+       {"upa_net_resumes_total", "upa_net_resume_replays_total",
+        "upa_net_resume_snapshots_total", "upa_net_resume_rejects_total",
+        "upa_net_leases_expired_total", "upa_net_heartbeat_timeouts_total",
+        "upa_net_replay_ring_overruns_total", "upa_net_replay_ring_bytes",
+        "upa_net_detached_sessions"}) {
+    EXPECT_NE(body.find(series), std::string::npos) << series;
+  }
 }
 
 }  // namespace
